@@ -1,0 +1,42 @@
+//! Microbenchmark: version-vector operations — the §4.2 claim that PRAM
+//! is cheap rests on WiD comparison and per-client counters being nearly
+//! free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use globe_coherence::{ClientId, VersionVector, WriteId};
+
+fn vv(n: u32, base: u64) -> VersionVector {
+    (0..n).map(|c| (ClientId::new(c), base + u64::from(c))).collect()
+}
+
+fn bench_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_vector");
+    for n in [1u32, 8, 64] {
+        let a = vv(n, 100);
+        let b = vv(n, 90);
+        group.bench_function(format!("dominates/{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(&a).dominates(std::hint::black_box(&b)))
+        });
+        group.bench_function(format!("merge_max/{n}"), |bench| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge_max(std::hint::black_box(&b));
+                m
+            })
+        });
+        group.bench_function(format!("is_next/{n}"), |bench| {
+            let wid = WriteId::new(ClientId::new(0), 101);
+            bench.iter(|| std::hint::black_box(&a).is_next(std::hint::black_box(wid)))
+        });
+        group.bench_function(format!("wire_roundtrip/{n}"), |bench| {
+            bench.iter(|| {
+                let bytes = globe_wire::to_bytes(std::hint::black_box(&a));
+                globe_wire::from_bytes::<VersionVector>(&bytes).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clocks);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Mesobenchmark: a complete small workload per coherence model — the
+//! Criterion twin of the `models_compare` experiment binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use globe_bench::Config;
+use globe_coherence::ObjectModel;
+use globe_core::ReplicationPolicy;
+use globe_workload::{build, run_workload, Arrival, WorkloadSpec};
+
+fn config(model: ObjectModel) -> Config {
+    let policy = ReplicationPolicy::builder(model)
+        .immediate()
+        .build()
+        .expect("valid");
+    let mut config = Config::baseline(policy, 3);
+    config.setup.local_writes = true;
+    config.workload = WorkloadSpec {
+        duration: Duration::from_secs(15),
+        drain: Duration::from_secs(5),
+        reader_arrival: Arrival::Poisson(1.0),
+        writer_arrival: Arrival::Poisson(0.4),
+        ..config.workload
+    };
+    config
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models_e2e");
+    group.sample_size(10);
+    for model in [
+        ObjectModel::Sequential,
+        ObjectModel::Pram,
+        ObjectModel::Fifo,
+        ObjectModel::Causal,
+        ObjectModel::Eventual,
+    ] {
+        let cfg = config(model);
+        group.bench_function(model.paper_name(), |b| {
+            b.iter_batched(
+                || build(&cfg.setup).expect("setup"),
+                |mut instance| {
+                    run_workload(
+                        &mut instance.sim,
+                        &instance.readers,
+                        &instance.writers,
+                        &cfg.workload,
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Mesobenchmark: end-to-end protocol step cost — how fast the engine
+//! drives write-propagate-apply rounds, per coherence model.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{registers, BindOptions, ClientHandle, GlobeSim, RegisterDoc, ReplicationPolicy};
+use globe_net::Topology;
+
+fn build(model: ObjectModel) -> (GlobeSim, ClientHandle) {
+    let policy = ReplicationPolicy::builder(model)
+        .immediate()
+        .build()
+        .expect("valid");
+    let mut sim = GlobeSim::new(Topology::lan(), 1);
+    let server = sim.add_node();
+    let c1 = sim.add_node();
+    let c2 = sim.add_node();
+    let object = sim
+        .create_object(
+            "/bench",
+            policy,
+            &mut || Box::new(RegisterDoc::new()),
+            &[
+                (server, StoreClass::Permanent),
+                (c1, StoreClass::ClientInitiated),
+                (c2, StoreClass::ClientInitiated),
+            ],
+        )
+        .expect("create");
+    let handle = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .expect("bind");
+    (sim, handle)
+}
+
+fn bench_protocol_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_step");
+    group.sample_size(20);
+    for model in [
+        ObjectModel::Sequential,
+        ObjectModel::Pram,
+        ObjectModel::Fifo,
+        ObjectModel::Causal,
+        ObjectModel::Eventual,
+    ] {
+        group.bench_function(format!("write_propagate/{}", model.paper_name()), |b| {
+            b.iter_batched(
+                || build(model),
+                |(mut sim, handle)| {
+                    for i in 0..50 {
+                        sim.write(&handle, registers::put("p", format!("v{i}").as_bytes()))
+                            .expect("write");
+                    }
+                    sim.run_for(Duration::from_secs(1));
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_step);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Mesobenchmark: the Table-1 transfer-instant sweep as a Criterion
+//! comparison group, so regressions in the lazy-aggregation machinery
+//! show up in CI.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use globe_bench::Config;
+use globe_coherence::ObjectModel;
+use globe_core::ReplicationPolicy;
+use globe_workload::{build, run_workload, Arrival, WorkloadSpec};
+
+fn config(lazy: Option<Duration>) -> Config {
+    let policy = match lazy {
+        None => ReplicationPolicy::builder(ObjectModel::Pram)
+            .immediate()
+            .build()
+            .expect("valid"),
+        Some(period) => ReplicationPolicy::builder(ObjectModel::Pram)
+            .lazy(period)
+            .build()
+            .expect("valid"),
+    };
+    let mut config = Config::baseline(policy, 9);
+    config.workload = WorkloadSpec {
+        duration: Duration::from_secs(15),
+        drain: Duration::from_secs(5),
+        writer_arrival: Arrival::Poisson(2.0), // hot object
+        ..config.workload
+    };
+    config
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_transfer_instant");
+    group.sample_size(10);
+    for (label, lazy) in [
+        ("immediate", None),
+        ("lazy_1s", Some(Duration::from_secs(1))),
+        ("lazy_5s", Some(Duration::from_secs(5))),
+    ] {
+        let cfg = config(lazy);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || build(&cfg.setup).expect("setup"),
+                |mut instance| {
+                    run_workload(
+                        &mut instance.sim,
+                        &instance.readers,
+                        &instance.writers,
+                        &cfg.workload,
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmark: marshalling throughput of the wire format — the cost
+//! every invocation and coherence message pays.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use globe_coherence::{ClientId, VersionVector, WriteId};
+use globe_core::{CoherenceMsg, InvocationMessage, LoggedWrite, MethodId, NetMsg, RequestId};
+use globe_naming::ObjectId;
+
+fn sample_update(payload: usize) -> NetMsg {
+    let deps: VersionVector = (0..8u32).map(|c| (ClientId::new(c), 100u64)).collect();
+    NetMsg {
+        object: ObjectId::new(42),
+        msg: CoherenceMsg::Update {
+            write: LoggedWrite {
+                wid: WriteId::new(ClientId::new(3), 12345),
+                inv: InvocationMessage::new(MethodId::new(1), Bytes::from(vec![7u8; payload])),
+                deps,
+                page: Some("conference/program.html".to_string()),
+                order: Some(9000),
+            },
+        },
+    }
+}
+
+fn sample_read() -> NetMsg {
+    NetMsg {
+        object: ObjectId::new(42),
+        msg: CoherenceMsg::ReadReq {
+            req: RequestId::new(77),
+            client: ClientId::new(3),
+            inv: InvocationMessage::new(MethodId::new(0), Bytes::from_static(b"index.html")),
+            min_version: (0..4u32).map(|c| (ClientId::new(c), 10u64)).collect(),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for (label, msg) in [
+        ("read_req", sample_read()),
+        ("update_512B", sample_update(512)),
+        ("update_8KB", sample_update(8192)),
+    ] {
+        let encoded = globe_wire::to_bytes(&msg);
+        group.bench_function(format!("encode/{label}"), |b| {
+            b.iter(|| globe_wire::to_bytes(std::hint::black_box(&msg)))
+        });
+        group.bench_function(format!("decode/{label}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |bytes| globe_wire::from_bytes::<NetMsg>(std::hint::black_box(&bytes)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! FIG1 — An object distributed across four address spaces: measures
+//! what the local-object architecture buys. A client whose address space
+//! hosts a replica reads locally; a client without one forwards every
+//! invocation (RPC-style), exactly the contrast Fig. 1 illustrates.
+
+use std::time::Duration;
+
+use globe_bench::{fmt_duration, Table};
+use globe_coherence::StoreClass;
+use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+use globe_net::Topology;
+use globe_web::{methods, Page, WebSemantics};
+use globe_workload::LatencySummary;
+
+fn measure(reads_local: bool) -> (LatencySummary, u64) {
+    let mut sim = GlobeSim::new(Topology::wan(), 4);
+    // Four address spaces, as in Fig. 1.
+    let server = sim.add_node_in(globe_net::RegionId::new(0));
+    let mirror = sim.add_node_in(globe_net::RegionId::new(1));
+    let client_a = sim.add_node_in(globe_net::RegionId::new(1));
+    let _client_b = sim.add_node_in(globe_net::RegionId::new(1));
+
+    let placement: Vec<(globe_net::NodeId, StoreClass)> = if reads_local {
+        vec![
+            (server, StoreClass::Permanent),
+            (mirror, StoreClass::ObjectInitiated),
+            (client_a, StoreClass::ClientInitiated), // replica in client's space
+        ]
+    } else {
+        vec![
+            (server, StoreClass::Permanent),
+            (mirror, StoreClass::ObjectInitiated),
+        ]
+    };
+    let object = sim
+        .create_object(
+            "/fig1/object",
+            ReplicationPolicy::builder(globe_coherence::ObjectModel::Pram)
+                .immediate()
+                .build()
+                .expect("valid"),
+            &mut || Box::new(WebSemantics::new()),
+            &placement,
+        )
+        .expect("create");
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .expect("bind master");
+    sim.write(&master, methods::put_page("index.html", &Page::html("fig1")))
+        .expect("seed write");
+    sim.run_for(Duration::from_secs(2));
+
+    // Client A reads: from its own address space's replica, or remotely
+    // from the faraway server.
+    let read_target = if reads_local { client_a } else { server };
+    let handle = sim
+        .bind(object, client_a, BindOptions::new().read_node(read_target))
+        .expect("bind client");
+    let before = sim.metrics().lock().ops.len();
+    for _ in 0..50 {
+        sim.read(&handle, methods::get_page("index.html"))
+            .expect("read");
+    }
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    let samples: Vec<Duration> = metrics.ops[before..]
+        .iter()
+        .map(|op| op.latency())
+        .collect();
+    (LatencySummary::of(samples), sim.net_stats().bytes_sent)
+}
+
+fn main() {
+    println!(
+        "Reproducing Fig. 1: one distributed object, four address spaces.\n\
+         A local object with a replica answers reads in-process; without\n\
+         one, every invocation crosses the WAN to the server.\n"
+    );
+    let mut table = Table::new(
+        "Read latency by local-object composition",
+        &["binding", "p50", "p99", "max", "net bytes"],
+    );
+    for (label, local) in [
+        ("local replica in client space", true),
+        ("RPC-style proxy to server", false),
+    ] {
+        let (latency, bytes) = measure(local);
+        table.row(vec![
+            label.to_string(),
+            fmt_duration(latency.p50),
+            fmt_duration(latency.p99),
+            fmt_duration(latency.max),
+            bytes.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,132 @@
+//! FIG2 — The layered store model: permanent stores, object-initiated
+//! mirrors, client-initiated caches. One update stream; per-layer read
+//! latency and staleness show the trade the paper describes: "whereas
+//! permanent stores are responsible for implementing an object's
+//! coherence model, object-initiated and client-initiated stores may
+//! offer weaker coherence, but perhaps offering the benefit of higher
+//! performance" (§3.1).
+
+use std::time::Duration;
+
+use globe_bench::{fmt_duration, fmt_f64, Table};
+use globe_coherence::StoreClass;
+use globe_core::{BindOptions, GlobeSim, ReplicationPolicy, StoreScope};
+use globe_net::{NodeId, RegionId, Topology};
+use globe_web::{methods, WebSemantics};
+use globe_workload::{staleness, Arrival, LatencySummary};
+
+struct LayerResult {
+    label: &'static str,
+    latency: LatencySummary,
+    stale_fraction: f64,
+    mean_staleness: Duration,
+}
+
+fn run_layer(read_from: StoreClass) -> LayerResult {
+    // The model is implemented by permanent stores only; mirrors and
+    // caches get the out-of-scope lazy propagation.
+    let policy = ReplicationPolicy {
+        store_scope: StoreScope::Permanent,
+        lazy_period: Duration::from_secs(3),
+        ..ReplicationPolicy::builder(globe_coherence::ObjectModel::Pram)
+            .immediate()
+            .build()
+            .expect("valid")
+    };
+    let mut sim = GlobeSim::new(Topology::wan(), 7);
+    let server = sim.add_node_in(RegionId::new(0));
+    let mirror = sim.add_node_in(RegionId::new(1));
+    let cache = sim.add_node_in(RegionId::new(1));
+    let reader_node = sim.add_node_in(RegionId::new(1));
+    let object = sim
+        .create_object(
+            "/fig2/object",
+            policy,
+            &mut || Box::new(WebSemantics::new()),
+            &[
+                (server, StoreClass::Permanent),
+                (mirror, StoreClass::ObjectInitiated),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .expect("create");
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .expect("bind master");
+
+    let read_node: NodeId = match read_from {
+        StoreClass::Permanent => server,
+        StoreClass::ObjectInitiated => mirror,
+        StoreClass::ClientInitiated => cache,
+    };
+    let reader = sim
+        .bind(object, reader_node, BindOptions::new().read_node(read_node))
+        .expect("bind reader");
+
+    // Interleave writes and reads for 60 virtual seconds.
+    let mut rng_writes = Arrival::Fixed(Duration::from_secs(2));
+    let _ = &mut rng_writes;
+    let before_ops = sim.metrics().lock().ops.len();
+    for round in 0..30 {
+        sim.write(
+            &master,
+            methods::patch_page("news.html", format!("item {round}; ").as_bytes()),
+        )
+        .expect("write");
+        for _ in 0..3 {
+            sim.run_for(Duration::from_millis(600));
+            let _ = sim.read(&reader, methods::get_page("news.html"));
+        }
+        sim.run_for(Duration::from_millis(200));
+    }
+    sim.run_for(Duration::from_secs(5));
+
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    let samples: Vec<Duration> = metrics.ops[before_ops..]
+        .iter()
+        .filter(|op| op.kind == globe_core::MethodKind::Read && op.client == reader.client)
+        .map(|op| op.latency())
+        .collect();
+    drop(metrics);
+    let history = sim.history();
+    let history = history.lock();
+    let stale = staleness(&history);
+    LayerResult {
+        label: match read_from {
+            StoreClass::Permanent => "permanent store (server)",
+            StoreClass::ObjectInitiated => "object-initiated store (mirror)",
+            StoreClass::ClientInitiated => "client-initiated store (cache)",
+        },
+        latency: LatencySummary::of(samples),
+        stale_fraction: stale.stale_fraction,
+        mean_staleness: stale.mean_staleness,
+    }
+}
+
+fn main() {
+    println!(
+        "Reproducing Fig. 2: the three store layers. Reads from deeper\n\
+         layers are faster (nearby) but staler (out of the coherence\n\
+         scope, they receive updates lazily).\n"
+    );
+    let mut table = Table::new(
+        "Read characteristics per store layer (coherence scope = permanent)",
+        &["layer", "read p50", "read p99", "stale reads", "mean staleness"],
+    );
+    for class in [
+        StoreClass::Permanent,
+        StoreClass::ObjectInitiated,
+        StoreClass::ClientInitiated,
+    ] {
+        let result = run_layer(class);
+        table.row(vec![
+            result.label.to_string(),
+            fmt_duration(result.latency.p50),
+            fmt_duration(result.latency.p99),
+            format!("{}%", fmt_f64(result.stale_fraction * 100.0)),
+            fmt_duration(result.mean_staleness),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,196 @@
+//! TAB1 — Regenerates Table 1 of the paper as a set of measured
+//! experiments: for each implementation parameter, sweep its values with
+//! everything else fixed, and report the performance consequences the
+//! paper argues for in §3.3.
+
+use std::time::Duration;
+
+use globe_bench::{compare, Config, Table};
+use globe_coherence::ObjectModel;
+use globe_core::{
+    AccessTransfer, CoherenceTransfer, OutdateReaction, Propagation, ReplicationPolicy,
+    StoreScope, TransferInitiative, WriteSet,
+};
+use globe_workload::Arrival;
+
+const SEED: u64 = 42;
+
+fn base_policy() -> ReplicationPolicy {
+    ReplicationPolicy::builder(ObjectModel::Pram)
+        .immediate()
+        .object_outdate(OutdateReaction::Wait)
+        .client_outdate(OutdateReaction::Wait)
+        .build()
+        .expect("base policy is valid")
+}
+
+fn config_with(policy: ReplicationPolicy) -> Config {
+    Config::baseline(policy, SEED)
+}
+
+fn propagation_table() -> Table {
+    // §3.3: update ships data eagerly; invalidate ships tombstones and
+    // refetches on demand — which wins depends on the read/write ratio.
+    let mut variants = Vec::new();
+    for (label, read_rate) in [("read-heavy", 4.0), ("read-light", 0.2)] {
+        for (mode_label, propagation) in [
+            ("update", Propagation::Update),
+            ("invalidate", Propagation::Invalidate),
+        ] {
+            let policy = ReplicationPolicy {
+                propagation,
+                object_outdate: OutdateReaction::Demand,
+                ..base_policy()
+            };
+            let mut config = config_with(policy);
+            config.workload.reader_arrival = Arrival::Poisson(read_rate);
+            variants.push((format!("{mode_label} / {label}"), config));
+        }
+    }
+    compare(
+        "Table 1a — Consistency propagation: update vs invalidate",
+        variants,
+    )
+}
+
+fn store_scope_table() -> Table {
+    let mut variants = Vec::new();
+    for (label, scope) in [
+        ("permanent", StoreScope::Permanent),
+        ("perm+object-init", StoreScope::PermanentAndObjectInitiated),
+        ("all", StoreScope::All),
+    ] {
+        let policy = ReplicationPolicy {
+            store_scope: scope,
+            ..base_policy()
+        };
+        variants.push((label.to_string(), config_with(policy)));
+    }
+    compare(
+        "Table 1b — Store scope: which layers implement the model",
+        variants,
+    )
+}
+
+fn write_set_table() -> Table {
+    let mut variants = Vec::new();
+    for (label, write_set, writers) in
+        [("single", WriteSet::Single, 1usize), ("multiple", WriteSet::Multiple, 4)]
+    {
+        let policy = ReplicationPolicy {
+            write_set,
+            ..base_policy()
+        };
+        let mut config = config_with(policy);
+        config.setup.writers = writers;
+        variants.push((label.to_string(), config));
+    }
+    compare("Table 1c — Write set: single vs multiple writers", variants)
+}
+
+fn initiative_table() -> Table {
+    let mut variants = Vec::new();
+    for (label, initiative) in [
+        ("push", TransferInitiative::Push),
+        ("pull", TransferInitiative::Pull),
+    ] {
+        let policy = ReplicationPolicy {
+            initiative,
+            lazy_period: Duration::from_secs(2),
+            ..base_policy()
+        };
+        variants.push((label.to_string(), config_with(policy)));
+    }
+    compare("Table 1d — Transfer initiative: push vs pull", variants)
+}
+
+fn instant_table() -> Table {
+    // §3.3's headline claim: "if a highly replicated Web object is often
+    // modified, it may be more efficient to implement a periodic update
+    // in which several updates are aggregated, instead of an immediate
+    // one. In contrast, if the Web object is seldom modified, then an
+    // immediate coherence transfer type avoids unnecessary network
+    // traffic."
+    let mut variants = Vec::new();
+    for (mix, write_rate) in [("hot", 2.0), ("cold", 0.05)] {
+        for (label, lazy) in [
+            ("immediate", None),
+            ("lazy 1s", Some(Duration::from_secs(1))),
+            ("lazy 5s", Some(Duration::from_secs(5))),
+        ] {
+            let policy = match lazy {
+                None => base_policy(),
+                Some(period) => ReplicationPolicy::builder(ObjectModel::Pram)
+                    .lazy(period)
+                    .build()
+                    .expect("valid"),
+            };
+            let mut config = config_with(policy);
+            config.workload.writer_arrival = Arrival::Poisson(write_rate);
+            variants.push((format!("{label} / {mix} object"), config));
+        }
+    }
+    compare(
+        "Table 1e — Transfer instant: immediate vs lazy (aggregated)",
+        variants,
+    )
+}
+
+fn access_transfer_table() -> Table {
+    let mut variants = Vec::new();
+    for (label, access) in [
+        ("partial", AccessTransfer::Partial),
+        ("full", AccessTransfer::Full),
+    ] {
+        let policy = ReplicationPolicy {
+            access_transfer: access,
+            ..base_policy()
+        };
+        let mut config = config_with(policy);
+        config.workload.pages = 16; // bigger documents make `full` hurt
+        config.workload.page_bytes = 2048;
+        variants.push((label.to_string(), config));
+    }
+    compare(
+        "Table 1f — Access transfer type: partial vs full document",
+        variants,
+    )
+}
+
+fn coherence_transfer_table() -> Table {
+    let mut variants = Vec::new();
+    for (label, transfer, outdate) in [
+        ("notification/wait", CoherenceTransfer::Notification, OutdateReaction::Wait),
+        ("notification/demand", CoherenceTransfer::Notification, OutdateReaction::Demand),
+        ("partial", CoherenceTransfer::Partial, OutdateReaction::Wait),
+        ("full", CoherenceTransfer::Full, OutdateReaction::Wait),
+    ] {
+        let policy = ReplicationPolicy {
+            coherence_transfer: transfer,
+            object_outdate: outdate,
+            ..base_policy()
+        };
+        let mut config = config_with(policy);
+        config.workload.page_bytes = 2048;
+        variants.push((label.to_string(), config));
+    }
+    compare(
+        "Table 1g — Coherence transfer type: notification vs partial vs full",
+        variants,
+    )
+}
+
+fn main() {
+    println!("Reproducing Table 1: implementation parameters for replication policies\n");
+    for table in [
+        propagation_table(),
+        store_scope_table(),
+        write_set_table(),
+        initiative_table(),
+        instant_table(),
+        access_transfer_table(),
+        coherence_transfer_table(),
+    ] {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,99 @@
+//! TAB2 / FIG3 / FIG4 — The paper's worked example: the conference home
+//! page with the exact Table-2 strategy, compared against alternative
+//! strategies for the same workload.
+
+use std::time::Duration;
+
+use globe_bench::{compare, Config, Table};
+use globe_coherence::{ClientModel, ObjectModel};
+use globe_core::{CoherenceTransfer, OutdateReaction, ReplicationPolicy, TransferInitiative};
+use globe_workload::{Arrival, SetupSpec, TopologyKind, WorkloadSpec};
+
+const SEED: u64 = 1998;
+
+fn conference_config(policy: ReplicationPolicy) -> Config {
+    Config {
+        setup: SetupSpec {
+            name: "/conf/icdcs98".to_string(),
+            topology: TopologyKind::Wan,
+            mirrors: 0,
+            caches: 2,
+            readers: 6,
+            writers: 1,
+            policy,
+            reader_guards: vec![],
+            writer_guards: vec![ClientModel::ReadYourWrites],
+            local_writes: false,
+            seed: SEED,
+        },
+        workload: WorkloadSpec {
+            duration: Duration::from_secs(120),
+            drain: Duration::from_secs(15),
+            pages: 6,
+            zipf_theta: 0.6,
+            page_bytes: 300,
+            incremental: true, // the master "incrementally updates the page"
+            reader_arrival: Arrival::Poisson(0.5),
+            writer_arrival: Arrival::Fixed(Duration::from_secs(7)),
+            seed: SEED,
+        },
+    }
+}
+
+fn main() {
+    let table2 = ReplicationPolicy::conference_page();
+    println!("Reproducing Table 2: replication strategy for the conference home page\n");
+    println!("{table2}\n");
+
+    let alternatives = vec![
+        ("Table 2 (lazy push, partial)".to_string(), conference_config(table2.clone())),
+        (
+            "immediate push".to_string(),
+            conference_config(ReplicationPolicy {
+                instant: globe_core::TransferInstant::Immediate,
+                ..table2.clone()
+            }),
+        ),
+        (
+            "pull 2s".to_string(),
+            conference_config(ReplicationPolicy {
+                initiative: TransferInitiative::Pull,
+                lazy_period: Duration::from_secs(2),
+                ..table2.clone()
+            }),
+        ),
+        (
+            "full coherence transfer".to_string(),
+            conference_config(ReplicationPolicy {
+                coherence_transfer: CoherenceTransfer::Full,
+                ..table2.clone()
+            }),
+        ),
+        (
+            "eventual, no guards".to_string(),
+            Config {
+                setup: SetupSpec {
+                    writer_guards: vec![],
+                    ..conference_config(
+                        ReplicationPolicy::builder(ObjectModel::Eventual)
+                            .lazy(Duration::from_secs(2))
+                            .client_outdate(OutdateReaction::Wait)
+                            .build()
+                            .expect("valid"),
+                    )
+                    .setup
+                },
+                ..conference_config(table2.clone())
+            },
+        ),
+    ];
+    let table: Table = compare(
+        "Conference page: Table-2 strategy vs alternatives (master uses RYW)",
+        alternatives,
+    );
+    println!("{table}");
+    println!(
+        "Fig. 3/4 message flow is asserted in tests/conference_scenario.rs; run\n\
+         `cargo run --example conference_page` for the narrated version."
+    );
+}

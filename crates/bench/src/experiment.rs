@@ -1,0 +1,122 @@
+//! Shared experiment runner: one configuration in, one outcome row out.
+
+use std::time::Duration;
+
+use globe_core::ReplicationPolicy;
+use globe_workload::{
+    build, run_workload, Arrival, SetupSpec, TopologyKind, WorkloadOutcome, WorkloadSpec,
+};
+
+use crate::{fmt_bytes, fmt_duration, fmt_f64, Table};
+
+/// A complete experiment configuration: deployment plus workload.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Deployment shape.
+    pub setup: SetupSpec,
+    /// Workload parameters.
+    pub workload: WorkloadSpec,
+}
+
+impl Config {
+    /// The default magazine-style configuration used by the Table-1
+    /// sweeps: one server, one mirror, two caches, four readers, one
+    /// writer, WAN topology.
+    pub fn baseline(policy: ReplicationPolicy, seed: u64) -> Self {
+        Config {
+            setup: SetupSpec {
+                name: "/bench/object".to_string(),
+                topology: TopologyKind::Wan,
+                mirrors: 1,
+                caches: 2,
+                readers: 4,
+                writers: 1,
+                policy,
+                reader_guards: Vec::new(),
+                writer_guards: Vec::new(),
+                local_writes: false,
+                seed,
+            },
+            workload: WorkloadSpec {
+                duration: Duration::from_secs(60),
+                drain: Duration::from_secs(15),
+                pages: 8,
+                zipf_theta: 0.8,
+                page_bytes: 512,
+                incremental: false,
+                reader_arrival: Arrival::Poisson(1.0),
+                writer_arrival: Arrival::Poisson(0.2),
+                seed,
+            },
+        }
+    }
+
+    /// Runs the configuration and returns the outcome.
+    pub fn run(&self) -> WorkloadOutcome {
+        let mut instance = build(&self.setup).expect("experiment setup must build");
+        run_workload(
+            &mut instance.sim,
+            &instance.readers,
+            &instance.writers,
+            &self.workload,
+        )
+    }
+}
+
+/// Standard outcome columns shared by most experiment tables.
+pub const OUTCOME_COLUMNS: &[&str] = &[
+    "variant",
+    "reads",
+    "writes",
+    "msgs",
+    "msgs/op",
+    "bytes",
+    "read p50",
+    "read p99",
+    "write p50",
+    "stale reads",
+    "staleness",
+];
+
+/// Renders one outcome as a standard row.
+pub fn outcome_row(variant: &str, outcome: &WorkloadOutcome) -> Vec<String> {
+    vec![
+        variant.to_string(),
+        outcome.reads_completed.to_string(),
+        outcome.writes_completed.to_string(),
+        outcome.messages.to_string(),
+        fmt_f64(outcome.messages_per_op()),
+        fmt_bytes(outcome.bytes),
+        fmt_duration(outcome.read_latency.p50),
+        fmt_duration(outcome.read_latency.p99),
+        fmt_duration(outcome.write_latency.p50),
+        format!("{:.0}%", outcome.staleness.stale_fraction * 100.0),
+        fmt_duration(outcome.staleness.mean_staleness),
+    ]
+}
+
+/// Runs a set of labelled configurations into a single table.
+pub fn compare(title: &str, variants: Vec<(String, Config)>) -> Table {
+    let mut table = Table::new(title, OUTCOME_COLUMNS);
+    for (label, config) in variants {
+        let outcome = config.run();
+        table.row(outcome_row(&label, &outcome));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_runs_quickly() {
+        let mut config = Config::baseline(ReplicationPolicy::magazine(), 1);
+        config.workload.duration = Duration::from_secs(10);
+        config.workload.drain = Duration::from_secs(5);
+        let outcome = config.run();
+        assert!(outcome.reads_completed > 0);
+        let row = outcome_row("x", &outcome);
+        assert_eq!(row.len(), OUTCOME_COLUMNS.len());
+    }
+}

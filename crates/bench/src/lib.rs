@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The ICDCS'98 paper's evaluation is a worked prototype rather than a
+//! numbers section; this crate turns each of its tables, figures, and
+//! explicit performance claims into an executable experiment:
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table 1 (implementation parameters) | `table1_params` |
+//! | Table 2 + Figs. 3–4 (conference page) | `table2_conference` |
+//! | Fig. 1 (object across address spaces) | `fig1_binding` |
+//! | Fig. 2 (layered store model) | `fig2_layers` |
+//! | §3.2 model cost claims | `models_compare` |
+//! | §4.2 reliability-from-coherence | `reliability_pram` |
+//! | §5 self-adaptive policies (ablation) | `adaptive` |
+//!
+//! Run any of them with `cargo run -p globe-bench --release --bin <name>`.
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+mod experiment;
+mod table;
+
+pub use experiment::{compare, outcome_row, Config, OUTCOME_COLUMNS};
+pub use table::{fmt_bytes, fmt_duration, fmt_f64, Table};

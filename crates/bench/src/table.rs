@@ -1,0 +1,160 @@
+//! ASCII table rendering for experiment output.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A titled table of string cells, rendered in the style of the paper's
+/// tables.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.min(100)))?;
+        write!(f, "|")?;
+        for (col, width) in self.columns.iter().zip(&widths) {
+            write!(f, " {col:width$} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (cell, width) in row.iter().zip(&widths) {
+                write!(f, " {cell:width$} |")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration compactly (µs/ms/s as appropriate).
+pub fn fmt_duration(d: Duration) -> String {
+    if d < Duration::from_millis(1) {
+        format!("{}us", d.as_micros())
+    } else if d < Duration::from_secs(1) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats bytes with a unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 10_000 {
+        format!("{bytes}B")
+    } else if bytes < 10_000_000 {
+        format!("{:.1}KB", bytes as f64 / 1e3)
+    } else {
+        format!("{:.1}MB", bytes as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("| a-much-longer-name | 2"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new("x", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12us");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_bytes(42), "42B");
+        assert_eq!(fmt_bytes(150_000), "150.0KB");
+        assert_eq!(fmt_bytes(15_000_000), "15.0MB");
+        assert_eq!(fmt_f64(1.234), "1.23");
+    }
+}

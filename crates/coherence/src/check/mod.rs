@@ -1,0 +1,227 @@
+//! Execution-history checkers for every coherence model in the paper.
+//!
+//! Each checker takes a recorded [`History`](crate::History) and returns
+//! `Ok(())` or the first [`Violation`] found. They are *store-based*, like
+//! the paper's model definitions: ordering models constrain the order in
+//! which stores apply writes; session models constrain what individual
+//! clients observe.
+//!
+//! The sequential checker is sound but not complete: it validates the
+//! prefix-equal total order that sequencer-based implementations produce
+//! and may reject exotic-but-legal executions. That is the right trade
+//! for a protocol validator.
+
+mod object;
+mod session;
+
+use std::fmt;
+
+pub use object::{
+    check_causal, check_eventual, check_fifo, check_pram, check_read_integrity,
+    check_read_integrity_lww, check_sequential,
+};
+pub use session::{
+    check_monotonic_reads, check_monotonic_writes, check_read_your_writes,
+    check_session, check_writes_follow_reads,
+};
+
+use crate::{ClientId, ClientModel, ObjectModel, PageKey, StoreId, WriteId};
+
+/// A coherence violation, with enough context to debug the protocol that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A store applied two writes of one client out of issue order.
+    PramInversion {
+        /// The offending store.
+        store: StoreId,
+        /// The writing client.
+        client: ClientId,
+        /// Sequence number applied first.
+        earlier_applied: u64,
+        /// Smaller sequence number applied later.
+        later_applied: u64,
+    },
+    /// A store skipped a write of a client under a gap-free model.
+    PramGap {
+        /// The offending store.
+        store: StoreId,
+        /// The writing client.
+        client: ClientId,
+        /// Sequence number expected next.
+        expected: u64,
+        /// Sequence number actually applied.
+        got: u64,
+    },
+    /// A store applied causally-related writes in the wrong order.
+    CausalInversion {
+        /// The offending store.
+        store: StoreId,
+        /// The write that should have come first.
+        cause: WriteId,
+        /// The dependent write that was applied first.
+        effect: WriteId,
+    },
+    /// A store applied a write whose causal dependency it never applied.
+    CausalMissingDependency {
+        /// The offending store.
+        store: StoreId,
+        /// The missing dependency.
+        cause: WriteId,
+        /// The write applied without it.
+        effect: WriteId,
+    },
+    /// Two stores' apply sequences are not prefixes of a common total
+    /// order (sequential coherence requires one global ordering).
+    SequentialDivergence {
+        /// First store.
+        store_a: StoreId,
+        /// Second store.
+        store_b: StoreId,
+        /// Position at which the sequences disagree.
+        position: usize,
+    },
+    /// The global order does not respect some client's program order.
+    SequentialProgramOrder {
+        /// The writing client.
+        client: ClientId,
+        /// Sequence number applied first.
+        earlier_applied: u64,
+        /// Smaller sequence number applied later.
+        later_applied: u64,
+    },
+    /// A read did not return the latest locally-applied write.
+    StaleLocalRead {
+        /// The store serving the read.
+        store: StoreId,
+        /// The reading client.
+        client: ClientId,
+        /// The page read.
+        page: PageKey,
+        /// What the read should have seen.
+        expected: Option<WriteId>,
+        /// What it actually saw.
+        got: Option<WriteId>,
+    },
+    /// Stores did not converge to identical final states.
+    Divergence {
+        /// First store.
+        store_a: StoreId,
+        /// Its digest.
+        digest_a: u64,
+        /// Second store.
+        store_b: StoreId,
+        /// Its digest.
+        digest_b: u64,
+    },
+    /// A session guarantee was violated for a client.
+    Session {
+        /// Which guarantee.
+        model: ClientModel,
+        /// The affected client.
+        client: ClientId,
+        /// Human-readable details.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::PramInversion {
+                store,
+                client,
+                earlier_applied,
+                later_applied,
+            } => write!(
+                f,
+                "pram inversion at {store}: applied {client}'s write #{earlier_applied} before #{later_applied}"
+            ),
+            Violation::PramGap {
+                store,
+                client,
+                expected,
+                got,
+            } => write!(
+                f,
+                "pram gap at {store}: expected {client}'s write #{expected}, applied #{got}"
+            ),
+            Violation::CausalInversion {
+                store,
+                cause,
+                effect,
+            } => write!(
+                f,
+                "causal inversion at {store}: {effect} applied before its cause {cause}"
+            ),
+            Violation::CausalMissingDependency {
+                store,
+                cause,
+                effect,
+            } => write!(
+                f,
+                "causal dependency missing at {store}: {effect} applied but {cause} never was"
+            ),
+            Violation::SequentialDivergence {
+                store_a,
+                store_b,
+                position,
+            } => write!(
+                f,
+                "sequential divergence: {store_a} and {store_b} disagree at apply position {position}"
+            ),
+            Violation::SequentialProgramOrder {
+                client,
+                earlier_applied,
+                later_applied,
+            } => write!(
+                f,
+                "global order breaks {client}'s program order: #{earlier_applied} before #{later_applied}"
+            ),
+            Violation::StaleLocalRead {
+                store,
+                client,
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stale read at {store} by {client} on '{page}': expected {expected:?}, got {got:?}"
+            ),
+            Violation::Divergence {
+                store_a,
+                digest_a,
+                store_b,
+                digest_b,
+            } => write!(
+                f,
+                "final states diverge: {store_a}={digest_a:#018x} vs {store_b}={digest_b:#018x}"
+            ),
+            Violation::Session {
+                model,
+                client,
+                detail,
+            } => write!(f, "{} violated for {client}: {detail}", model.paper_name()),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks a history against an object-based model.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] of the model found in the history.
+pub fn check_object_model(
+    history: &crate::History,
+    model: ObjectModel,
+) -> Result<(), Violation> {
+    match model {
+        ObjectModel::Sequential => check_sequential(history),
+        ObjectModel::Pram => check_pram(history),
+        ObjectModel::Fifo => check_fifo(history),
+        ObjectModel::Causal => check_causal(history),
+        ObjectModel::Eventual => check_eventual(history),
+    }
+}

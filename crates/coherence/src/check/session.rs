@@ -1,0 +1,299 @@
+//! Checkers for the client-based models of §3.2.2 (Bayou session
+//! guarantees).
+
+use std::collections::HashMap;
+
+use crate::{
+    ClientId, ClientModel, History, OpKind, StoreId, VersionVector, Violation, WriteId,
+};
+
+/// Checks Read-Your-Writes for `client`: at every read, the serving
+/// store's applied vector covers all of the client's earlier writes.
+///
+/// # Errors
+///
+/// Returns [`Violation::Session`] with `model = ReadYourWrites`.
+pub fn check_read_your_writes(history: &History, client: ClientId) -> Result<(), Violation> {
+    let mut own_writes: u64 = 0;
+    for op in history.client_ops(client) {
+        match &op.kind {
+            OpKind::Write { wid, .. } => own_writes = own_writes.max(wid.seq),
+            OpKind::Read { store_version, .. } => {
+                let applied = store_version.get(client);
+                if applied < own_writes {
+                    return Err(Violation::Session {
+                        model: ClientModel::ReadYourWrites,
+                        client,
+                        detail: format!(
+                            "read at {} saw only {applied} of the client's {own_writes} writes",
+                            op.store
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Monotonic Reads for `client`: the version observed by each read
+/// dominates the union of versions observed by all earlier reads.
+///
+/// # Errors
+///
+/// Returns [`Violation::Session`] with `model = MonotonicReads`.
+pub fn check_monotonic_reads(history: &History, client: ClientId) -> Result<(), Violation> {
+    let mut read_set = VersionVector::new();
+    for op in history.client_ops(client) {
+        if let OpKind::Read { store_version, .. } = &op.kind {
+            if !store_version.dominates(&read_set) {
+                return Err(Violation::Session {
+                    model: ClientModel::MonotonicReads,
+                    client,
+                    detail: format!(
+                        "read at {} observed {store_version} which does not cover prior read set {read_set}",
+                        op.store
+                    ),
+                });
+            }
+            read_set.merge_max(store_version);
+        }
+    }
+    Ok(())
+}
+
+/// Checks Monotonic Writes (client-PRAM) for `client`: every store applies
+/// this client's writes in issue order (inversions forbidden; gaps allowed
+/// mid-run, since later writes may still be in flight).
+///
+/// # Errors
+///
+/// Returns [`Violation::Session`] with `model = MonotonicWrites`.
+pub fn check_monotonic_writes(history: &History, client: ClientId) -> Result<(), Violation> {
+    let mut last_at_store: HashMap<StoreId, u64> = HashMap::new();
+    for apply in history.applies().iter().filter(|a| a.wid.client == client) {
+        let last = last_at_store.entry(apply.store).or_insert(0);
+        if apply.wid.seq <= *last {
+            return Err(Violation::Session {
+                model: ClientModel::MonotonicWrites,
+                client,
+                detail: format!(
+                    "store {} applied write #{} after #{}",
+                    apply.store, apply.wid.seq, last
+                ),
+            });
+        }
+        *last = apply.wid.seq;
+    }
+    Ok(())
+}
+
+/// Checks Writes-Follow-Reads (client-causal) for `client`: whenever the
+/// client wrote after reading, every store that applies the write has
+/// already applied everything the read depended on ("the article and then
+/// the reaction must appear in that order on every store").
+///
+/// # Errors
+///
+/// Returns [`Violation::Session`] with `model = WritesFollowReads`.
+pub fn check_writes_follow_reads(history: &History, client: ClientId) -> Result<(), Violation> {
+    // Dependency vector each of the client's writes must follow.
+    let mut read_set = VersionVector::new();
+    let mut write_deps: HashMap<WriteId, VersionVector> = HashMap::new();
+    for op in history.client_ops(client) {
+        match &op.kind {
+            OpKind::Read { store_version, .. } => read_set.merge_max(store_version),
+            OpKind::Write { wid, .. } => {
+                write_deps.insert(*wid, read_set.clone());
+            }
+        }
+    }
+    if write_deps.is_empty() {
+        return Ok(());
+    }
+    for store in history.stores() {
+        let mut applied = VersionVector::new();
+        for apply in history.store_applies(store) {
+            if let Some(deps) = write_deps.get(&apply.wid) {
+                if !applied.dominates(deps) {
+                    return Err(Violation::Session {
+                        model: ClientModel::WritesFollowReads,
+                        client,
+                        detail: format!(
+                            "store {store} applied {} before its read dependencies {deps} (had {applied})",
+                            apply.wid
+                        ),
+                    });
+                }
+            }
+            applied.advance_to(apply.wid);
+        }
+    }
+    Ok(())
+}
+
+/// Checks one session guarantee for one client.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_session(
+    history: &History,
+    client: ClientId,
+    model: ClientModel,
+) -> Result<(), Violation> {
+    match model {
+        ClientModel::ReadYourWrites => check_read_your_writes(history, client),
+        ClientModel::MonotonicReads => check_monotonic_reads(history, client),
+        ClientModel::MonotonicWrites => check_monotonic_writes(history, client),
+        ClientModel::WritesFollowReads => check_writes_follow_reads(history, client),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use globe_net::SimTime;
+
+    fn c(n: u32) -> ClientId {
+        ClientId::new(n)
+    }
+    fn s(n: u32) -> StoreId {
+        StoreId::new(n)
+    }
+    fn w(client: u32, seq: u64) -> WriteId {
+        WriteId::new(c(client), seq)
+    }
+    fn t(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+    fn vv(entries: &[(u32, u64)]) -> VersionVector {
+        entries.iter().map(|&(cl, sq)| (c(cl), sq)).collect()
+    }
+
+    #[test]
+    fn ryw_passes_when_store_caught_up() {
+        let mut h = History::new();
+        h.record_write(t(1), c(1), s(0), "p", w(1, 1), VersionVector::new());
+        h.record_read(t(2), c(1), s(1), "p", Some(w(1, 1)), vv(&[(1, 1)]));
+        assert!(check_read_your_writes(&h, c(1)).is_ok());
+    }
+
+    #[test]
+    fn ryw_fails_when_store_lags() {
+        // The paper's motivating case: the Web master writes to the
+        // server, then reads from a cache that has not received the push.
+        let mut h = History::new();
+        h.record_write(t(1), c(1), s(0), "p", w(1, 1), VersionVector::new());
+        h.record_read(t(2), c(1), s(1), "p", None, VersionVector::new());
+        let err = check_read_your_writes(&h, c(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Session {
+                model: ClientModel::ReadYourWrites,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ryw_ignores_other_clients() {
+        let mut h = History::new();
+        h.record_write(t(1), c(2), s(0), "p", w(2, 1), VersionVector::new());
+        h.record_read(t(2), c(1), s(1), "p", None, VersionVector::new());
+        assert!(check_read_your_writes(&h, c(1)).is_ok());
+    }
+
+    #[test]
+    fn monotonic_reads_rejects_backwards_store_switch() {
+        // Read a fresh store S1, then a stale store S2: the second copy is
+        // "an earlier version", exactly the paper's S1/S2 example.
+        let mut h = History::new();
+        h.record_read(t(1), c(1), s(1), "p", Some(w(2, 3)), vv(&[(2, 3)]));
+        h.record_read(t(2), c(1), s(2), "p", Some(w(2, 1)), vv(&[(2, 1)]));
+        let err = check_monotonic_reads(&h, c(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Session {
+                model: ClientModel::MonotonicReads,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn monotonic_reads_accepts_same_or_newer() {
+        let mut h = History::new();
+        h.record_read(t(1), c(1), s(1), "p", Some(w(2, 1)), vv(&[(2, 1)]));
+        h.record_read(t(2), c(1), s(2), "p", Some(w(2, 1)), vv(&[(2, 1)]));
+        h.record_read(t(3), c(1), s(1), "p", Some(w(2, 4)), vv(&[(2, 4)]));
+        assert!(check_monotonic_reads(&h, c(1)).is_ok());
+    }
+
+    #[test]
+    fn monotonic_writes_rejects_inversion_at_any_store() {
+        let mut h = History::new();
+        h.record_write(t(1), c(1), s(0), "p", w(1, 1), VersionVector::new());
+        h.record_write(t(2), c(1), s(0), "p", w(1, 2), VersionVector::new());
+        h.record_apply(t(3), s(5), w(1, 2), "p");
+        h.record_apply(t(4), s(5), w(1, 1), "p");
+        assert!(check_monotonic_writes(&h, c(1)).is_err());
+        // A different client is unaffected.
+        assert!(check_monotonic_writes(&h, c(2)).is_ok());
+    }
+
+    #[test]
+    fn monotonic_writes_allows_gaps_in_flight() {
+        let mut h = History::new();
+        h.record_write(t(1), c(1), s(0), "p", w(1, 1), VersionVector::new());
+        h.record_write(t(2), c(1), s(0), "p", w(1, 2), VersionVector::new());
+        h.record_write(t(3), c(1), s(0), "p", w(1, 3), VersionVector::new());
+        h.record_apply(t(4), s(5), w(1, 1), "p");
+        h.record_apply(t(5), s(5), w(1, 3), "p"); // 2 still in flight
+        assert!(check_monotonic_writes(&h, c(1)).is_ok());
+    }
+
+    #[test]
+    fn wfr_rejects_reaction_without_article() {
+        // Client 2 reads the article (write of client 1), reacts; a store
+        // applies the reaction while never having the article.
+        let mut h = History::new();
+        h.record_read(t(1), c(2), s(0), "p", Some(w(1, 1)), vv(&[(1, 1)]));
+        h.record_write(t(2), c(2), s(0), "p", w(2, 1), VersionVector::new());
+        h.record_apply(t(3), s(1), w(2, 1), "p"); // reaction without article
+        let err = check_writes_follow_reads(&h, c(2)).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Session {
+                model: ClientModel::WritesFollowReads,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wfr_accepts_article_then_reaction() {
+        let mut h = History::new();
+        h.record_read(t(1), c(2), s(0), "p", Some(w(1, 1)), vv(&[(1, 1)]));
+        h.record_write(t(2), c(2), s(0), "p", w(2, 1), VersionVector::new());
+        h.record_apply(t(3), s(1), w(1, 1), "p");
+        h.record_apply(t(4), s(1), w(2, 1), "p");
+        assert!(check_writes_follow_reads(&h, c(2)).is_ok());
+    }
+
+    #[test]
+    fn wfr_without_reads_is_trivially_satisfied() {
+        let mut h = History::new();
+        h.record_write(t(1), c(1), s(0), "p", w(1, 1), VersionVector::new());
+        h.record_apply(t(2), s(1), w(1, 1), "p");
+        assert!(check_writes_follow_reads(&h, c(1)).is_ok());
+    }
+
+    #[test]
+    fn dispatcher_covers_all_models() {
+        let h = History::new();
+        for &m in ClientModel::ALL {
+            assert!(check_session(&h, c(1), m).is_ok());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Coherence machinery for the Globe Web-object framework.
+//!
+//! The ICDCS'98 paper distinguishes *object-based* coherence models —
+//! what a replicated Web object promises all of its clients (§3.2.1:
+//! sequential, PRAM, FIFO, causal, eventual) — from *client-based* models
+//! — what one client additionally requires (§3.2.2: the four Bayou
+//! session guarantees, which the framework *enforces* rather than merely
+//! checks). This crate defines those models, the logical-clock machinery
+//! the protocols in `globe-core` use to implement them (write identifiers
+//! and per-client version vectors, §4.2), and history checkers that
+//! validate recorded executions against every model.
+//!
+//! # Examples
+//!
+//! Write identifiers and the store-side `expected_write` table:
+//!
+//! ```
+//! use globe_coherence::{ClientId, VersionVector, WriteId};
+//!
+//! let master = ClientId::new(0);
+//! let mut expected = VersionVector::new();
+//! let w1 = WriteId::new(master, 1);
+//! let w2 = w1.next();
+//! // Out-of-order arrival: w2 must be buffered, not applied.
+//! assert!(!expected.is_next(w2));
+//! expected.record(w1);
+//! assert!(expected.is_next(w2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+mod history;
+mod ids;
+mod lamport;
+mod model;
+mod store;
+mod version;
+
+pub use check::{check_object_model, check_session, Violation};
+pub use history::{fnv1a, ApplyRecord, ClientOp, History, OpKind, PageKey};
+pub use ids::{ClientId, Dependency, StoreId, WriteId};
+pub use lamport::{LamportClock, LamportStamp};
+pub use model::{ClientModel, ModelCombination, ObjectModel};
+pub use store::StoreClass;
+pub use version::{ClockOrd, VersionVector};

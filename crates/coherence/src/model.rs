@@ -1,0 +1,296 @@
+//! The paper's coherence-model taxonomy (§3.2).
+//!
+//! Object-based models express what the *object* promises all of its
+//! clients; client-based models express what a *single client* additionally
+//! requires. The two combine: "if the object offers sequential consistency,
+//! then it automatically offers every client-based model as well. On the
+//! other hand, if only PRAM consistency is offered, a client may decide to
+//! impose the Monotonic Reads model as well" (§3.2.2).
+
+use std::fmt;
+
+use globe_wire::wire_enum;
+
+wire_enum! {
+    /// Coherence offered by a Web object to all of its clients (§3.2.1).
+    pub enum ObjectModel {
+        /// Lamport's sequential consistency: one global ordering of
+        /// operations, consistent with each client's program order. "Hard
+        /// to implement efficiently" but needed by, e.g., shared
+        /// white-boards.
+        Sequential = 0,
+        /// Lipton–Sandberg PRAM: writes by one client are applied at every
+        /// store in issue order; no cross-client ordering. Implemented by
+        /// tagging writes with WiDs and buffering gaps (§4.2).
+        Pram = 1,
+        /// The paper's FIFO optimization of PRAM for overwriting updates:
+        /// "a write request from a client is honored if it is more recent
+        /// than the latest write from that same client. Otherwise, the
+        /// request is simply ignored."
+        Fifo = 2,
+        /// Causal coherence: causally-related operations are ordered at
+        /// every store; concurrent ones need not be (Web-forum example).
+        Causal = 3,
+        /// Eventual coherence: updates are eventually propagated, with no
+        /// ordering constraints — the weakest model.
+        Eventual = 4,
+    }
+}
+
+wire_enum! {
+    /// Coherence required by a single client (§3.2.2, after Bayou's
+    /// session guarantees — enforced here, not merely checked).
+    pub enum ClientModel {
+        /// The client-PRAM model — Bayou's *Monotonic Writes*: this
+        /// client's writes appear at every store in issue order.
+        MonotonicWrites = 0,
+        /// The client-causal model — Bayou's *Writes Follow Reads*: writes
+        /// issued after a read are ordered after the writes that read
+        /// depended on, at every store (newspaper-reaction example).
+        WritesFollowReads = 1,
+        /// Bayou's *Read Your Writes*: every read by this client reflects
+        /// all of the client's earlier writes (the Web master's model).
+        ReadYourWrites = 2,
+        /// Bayou's *Monotonic Reads*: successive reads, possibly at
+        /// different stores, never move backwards in time.
+        MonotonicReads = 3,
+    }
+}
+
+impl ObjectModel {
+    /// A comparative strength rank: lower is stronger. Only meaningful
+    /// within the chain Sequential < Causal < PRAM ≈ FIFO < Eventual.
+    pub fn strength_rank(self) -> u8 {
+        match self {
+            ObjectModel::Sequential => 0,
+            ObjectModel::Causal => 1,
+            ObjectModel::Pram => 2,
+            ObjectModel::Fifo => 2,
+            ObjectModel::Eventual => 3,
+        }
+    }
+
+    /// Whether this object-based model already guarantees the given
+    /// client-based model, making a session guard redundant (§3.2.2).
+    ///
+    /// The reasoning is store-based, matching the paper: ordering models
+    /// constrain the *order* in which stores apply writes, not how quickly
+    /// writes propagate. Hence PRAM/causal do not subsume Read-Your-Writes
+    /// or Monotonic Reads — a client may bind to a store that simply has
+    /// not received its write yet, which is exactly why the paper's Web
+    /// master adds RYW on top of PRAM.
+    pub fn subsumes(self, client: ClientModel) -> bool {
+        use ClientModel::*;
+        use ObjectModel::*;
+        match self {
+            Sequential => true,
+            Causal => matches!(client, MonotonicWrites | WritesFollowReads),
+            Pram | Fifo => matches!(client, MonotonicWrites),
+            Eventual => false,
+        }
+    }
+
+    /// Human-readable name as used in the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ObjectModel::Sequential => "sequential",
+            ObjectModel::Pram => "PRAM",
+            ObjectModel::Fifo => "FIFO",
+            ObjectModel::Causal => "causal",
+            ObjectModel::Eventual => "eventual",
+        }
+    }
+}
+
+impl ClientModel {
+    /// The paper's name for the model.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ClientModel::MonotonicWrites => "client-PRAM",
+            ClientModel::WritesFollowReads => "client-causal",
+            ClientModel::ReadYourWrites => "read your writes",
+            ClientModel::MonotonicReads => "monotonic reads",
+        }
+    }
+
+    /// The equivalent Bayou session guarantee's name (§3.2.2).
+    pub fn bayou_name(self) -> &'static str {
+        match self {
+            ClientModel::MonotonicWrites => "Monotonic Writes",
+            ClientModel::WritesFollowReads => "Writes Follow Reads",
+            ClientModel::ReadYourWrites => "Read Your Writes",
+            ClientModel::MonotonicReads => "Monotonic Reads",
+        }
+    }
+}
+
+impl fmt::Display for ObjectModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+impl fmt::Display for ClientModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A combination of an object-based model with the client-based models a
+/// particular client requests on top.
+///
+/// # Examples
+///
+/// The paper's conference page: PRAM for the object, Read-Your-Writes for
+/// the Web master.
+///
+/// ```
+/// use globe_coherence::{ClientModel, ModelCombination, ObjectModel};
+///
+/// let combo = ModelCombination::new(ObjectModel::Pram)
+///     .with_client(ClientModel::ReadYourWrites);
+/// assert!(combo.effective_client_models().contains(&ClientModel::ReadYourWrites));
+/// // Monotonic Writes would be redundant under PRAM:
+/// let combo = combo.with_client(ClientModel::MonotonicWrites);
+/// assert!(combo.redundant_client_models().contains(&ClientModel::MonotonicWrites));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCombination {
+    object: ObjectModel,
+    clients: Vec<ClientModel>,
+}
+
+impl ModelCombination {
+    /// Starts from an object-based model with no client additions.
+    pub fn new(object: ObjectModel) -> Self {
+        ModelCombination {
+            object,
+            clients: Vec::new(),
+        }
+    }
+
+    /// Adds a client-based requirement (idempotent).
+    pub fn with_client(mut self, model: ClientModel) -> Self {
+        if !self.clients.contains(&model) {
+            self.clients.push(model);
+        }
+        self
+    }
+
+    /// The object-based model.
+    pub fn object(&self) -> ObjectModel {
+        self.object
+    }
+
+    /// Requested client models that the object model does not already
+    /// provide — the ones a session guard must actually enforce.
+    pub fn effective_client_models(&self) -> Vec<ClientModel> {
+        self.clients
+            .iter()
+            .copied()
+            .filter(|&m| !self.object.subsumes(m))
+            .collect()
+    }
+
+    /// Requested client models that are redundant under the object model.
+    pub fn redundant_client_models(&self) -> Vec<ClientModel> {
+        self.clients
+            .iter()
+            .copied()
+            .filter(|&m| self.object.subsumes(m))
+            .collect()
+    }
+}
+
+impl fmt::Display for ModelCombination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.object)?;
+        for m in &self.clients {
+            write!(f, " + {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_subsumes_everything() {
+        for &m in ClientModel::ALL {
+            assert!(ObjectModel::Sequential.subsumes(m));
+        }
+    }
+
+    #[test]
+    fn pram_subsumes_only_monotonic_writes() {
+        assert!(ObjectModel::Pram.subsumes(ClientModel::MonotonicWrites));
+        assert!(!ObjectModel::Pram.subsumes(ClientModel::ReadYourWrites));
+        assert!(!ObjectModel::Pram.subsumes(ClientModel::MonotonicReads));
+        assert!(!ObjectModel::Pram.subsumes(ClientModel::WritesFollowReads));
+    }
+
+    #[test]
+    fn causal_subsumes_write_orderings_only() {
+        assert!(ObjectModel::Causal.subsumes(ClientModel::MonotonicWrites));
+        assert!(ObjectModel::Causal.subsumes(ClientModel::WritesFollowReads));
+        assert!(!ObjectModel::Causal.subsumes(ClientModel::ReadYourWrites));
+        assert!(!ObjectModel::Causal.subsumes(ClientModel::MonotonicReads));
+    }
+
+    #[test]
+    fn eventual_subsumes_nothing() {
+        for &m in ClientModel::ALL {
+            assert!(!ObjectModel::Eventual.subsumes(m));
+        }
+    }
+
+    #[test]
+    fn strength_ranks_are_ordered() {
+        assert!(
+            ObjectModel::Sequential.strength_rank() < ObjectModel::Causal.strength_rank()
+        );
+        assert!(ObjectModel::Causal.strength_rank() < ObjectModel::Pram.strength_rank());
+        assert!(ObjectModel::Pram.strength_rank() < ObjectModel::Eventual.strength_rank());
+    }
+
+    #[test]
+    fn combination_partitions_requests() {
+        let combo = ModelCombination::new(ObjectModel::Pram)
+            .with_client(ClientModel::ReadYourWrites)
+            .with_client(ClientModel::MonotonicWrites)
+            .with_client(ClientModel::ReadYourWrites); // duplicate ignored
+        assert_eq!(
+            combo.effective_client_models(),
+            vec![ClientModel::ReadYourWrites]
+        );
+        assert_eq!(
+            combo.redundant_client_models(),
+            vec![ClientModel::MonotonicWrites]
+        );
+        assert_eq!(combo.to_string(), "PRAM + read your writes + client-PRAM");
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        for &m in ObjectModel::ALL {
+            let b = globe_wire::to_bytes(&m);
+            assert_eq!(globe_wire::from_bytes::<ObjectModel>(&b).unwrap(), m);
+        }
+        for &m in ClientModel::ALL {
+            let b = globe_wire::to_bytes(&m);
+            assert_eq!(globe_wire::from_bytes::<ClientModel>(&b).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ObjectModel::Pram.paper_name(), "PRAM");
+        assert_eq!(ClientModel::MonotonicWrites.paper_name(), "client-PRAM");
+        assert_eq!(
+            ClientModel::WritesFollowReads.bayou_name(),
+            "Writes Follow Reads"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's three-layer store model (§3.1, Fig. 2).
+
+use std::fmt;
+
+use globe_wire::wire_enum;
+
+wire_enum! {
+    /// The class of a store holding a replica of a Web object.
+    ///
+    /// "Stores are organized in a layered fashion … permanent stores are
+    /// responsible for implementing an object's coherence model;
+    /// object-initiated and client-initiated stores may offer weaker
+    /// coherence, but perhaps offering the benefit of higher performance"
+    /// (§3.1).
+    pub enum StoreClass {
+        /// Implements persistence; exists independent of any client. "A
+        /// Web server is an example of a permanent store."
+        Permanent = 0,
+        /// Installed by the object's own global replication policy. "A
+        /// typical example … is a mirrored Web site."
+        ObjectInitiated = 1,
+        /// Installed by clients, independent of the object's policy. "A
+        /// site-wide cache at a Web proxy is an example."
+        ClientInitiated = 2,
+    }
+}
+
+impl StoreClass {
+    /// Layer depth in Fig. 2: permanent stores are layer 0, mirrors layer
+    /// 1, caches layer 2.
+    pub fn layer(self) -> u8 {
+        match self {
+            StoreClass::Permanent => 0,
+            StoreClass::ObjectInitiated => 1,
+            StoreClass::ClientInitiated => 2,
+        }
+    }
+
+    /// Whether this store class is managed by servers (the object side of
+    /// the Fig. 2 divide) rather than by clients.
+    pub fn is_server_managed(self) -> bool {
+        !matches!(self, StoreClass::ClientInitiated)
+    }
+}
+
+impl fmt::Display for StoreClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreClass::Permanent => "permanent",
+            StoreClass::ObjectInitiated => "object-initiated",
+            StoreClass::ClientInitiated => "client-initiated",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_are_ordered_top_down() {
+        assert!(StoreClass::Permanent.layer() < StoreClass::ObjectInitiated.layer());
+        assert!(StoreClass::ObjectInitiated.layer() < StoreClass::ClientInitiated.layer());
+    }
+
+    #[test]
+    fn server_managed_divide_matches_figure_2() {
+        assert!(StoreClass::Permanent.is_server_managed());
+        assert!(StoreClass::ObjectInitiated.is_server_managed());
+        assert!(!StoreClass::ClientInitiated.is_server_managed());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for &class in StoreClass::ALL {
+            let b = globe_wire::to_bytes(&class);
+            assert_eq!(globe_wire::from_bytes::<StoreClass>(&b).unwrap(), class);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StoreClass::Permanent.to_string(), "permanent");
+        assert_eq!(StoreClass::ObjectInitiated.to_string(), "object-initiated");
+        assert_eq!(StoreClass::ClientInitiated.to_string(), "client-initiated");
+    }
+}

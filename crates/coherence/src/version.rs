@@ -1,0 +1,322 @@
+//! Version vectors keyed by client.
+//!
+//! The paper's stores each keep "a version number (`expected_write[client]`)
+//! that contains the value of the sequence number of the last performed
+//! write or update for each client" (§4.2). [`VersionVector`] is that
+//! table, with the lattice operations the protocols and checkers need.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+use crate::{ClientId, WriteId};
+
+/// Relationship between two version vectors under the pointwise partial
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockOrd {
+    /// Identical entries.
+    Equal,
+    /// Strictly less on at least one entry, nowhere greater.
+    Before,
+    /// Strictly greater on at least one entry, nowhere less.
+    After,
+    /// Incomparable: each is greater somewhere.
+    Concurrent,
+}
+
+/// A per-client table of write sequence numbers.
+///
+/// Entry `c → n` means "the writes `1..=n` of client `c` are covered".
+/// Missing entries mean `0`. The type doubles as the paper's
+/// `expected_write` store table (what a replica has applied) and as the
+/// causal dependency vector a write carries.
+///
+/// # Examples
+///
+/// ```
+/// use globe_coherence::{ClientId, VersionVector, WriteId};
+///
+/// let mut applied = VersionVector::new();
+/// let c = ClientId::new(1);
+/// assert!(applied.is_next(WriteId::new(c, 1)));
+/// applied.record(WriteId::new(c, 1));
+/// assert!(!applied.is_next(WriteId::new(c, 3)), "gap: write 2 missing");
+/// assert_eq!(applied.get(c), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    entries: BTreeMap<ClientId, u64>,
+}
+
+impl VersionVector {
+    /// An empty vector (all clients at 0).
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// Sequence number covered for `client` (0 if absent).
+    pub fn get(&self, client: ClientId) -> u64 {
+        self.entries.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Sets the entry for `client`.
+    ///
+    /// Storing 0 removes the entry, keeping the representation canonical
+    /// so `Eq` matches the lattice's notion of equality.
+    pub fn set(&mut self, client: ClientId, seq: u64) {
+        if seq == 0 {
+            self.entries.remove(&client);
+        } else {
+            self.entries.insert(client, seq);
+        }
+    }
+
+    /// Increments `client`'s entry and returns the new value.
+    pub fn bump(&mut self, client: ClientId) -> u64 {
+        let next = self.get(client) + 1;
+        self.entries.insert(client, next);
+        next
+    }
+
+    /// Whether `wid` is the next expected write from its client
+    /// (`wid.seq == get(wid.client) + 1`), i.e. applying it leaves no gap.
+    pub fn is_next(&self, wid: WriteId) -> bool {
+        wid.seq == self.get(wid.client) + 1
+    }
+
+    /// Whether `wid` is already covered (`wid.seq <= get(wid.client)`).
+    pub fn covers(&self, wid: WriteId) -> bool {
+        wid.seq <= self.get(wid.client)
+    }
+
+    /// Records `wid` as applied.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if applying `wid` would skip a sequence
+    /// number; protocols must buffer out-of-order writes instead (that is
+    /// precisely the PRAM rule of §4.2).
+    pub fn record(&mut self, wid: WriteId) {
+        debug_assert!(
+            self.is_next(wid) || self.covers(wid),
+            "recording {wid} would skip past {}",
+            self.get(wid.client)
+        );
+        if wid.seq > self.get(wid.client) {
+            self.entries.insert(wid.client, wid.seq);
+        }
+    }
+
+    /// Unconditionally raises `client`'s entry to at least `seq`.
+    ///
+    /// This is the FIFO-model operation: overwriting semantics allow a
+    /// store to jump over skipped writes.
+    pub fn advance_to(&mut self, wid: WriteId) {
+        if wid.seq > self.get(wid.client) {
+            self.entries.insert(wid.client, wid.seq);
+        }
+    }
+
+    /// Pointwise maximum (least upper bound).
+    pub fn merge_max(&mut self, other: &VersionVector) {
+        for (&client, &seq) in &other.entries {
+            if seq > self.get(client) {
+                self.entries.insert(client, seq);
+            }
+        }
+    }
+
+    /// Whether every entry of `other` is covered by `self` (pointwise ≥).
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other
+            .entries
+            .iter()
+            .all(|(&client, &seq)| self.get(client) >= seq)
+    }
+
+    /// Compares under the pointwise partial order.
+    pub fn compare(&self, other: &VersionVector) -> ClockOrd {
+        let ge = self.dominates(other);
+        let le = other.dominates(self);
+        match (ge, le) {
+            (true, true) => ClockOrd::Equal,
+            (true, false) => ClockOrd::After,
+            (false, true) => ClockOrd::Before,
+            (false, false) => ClockOrd::Concurrent,
+        }
+    }
+
+    /// Iterates over `(client, seq)` entries with non-zero seq.
+    pub fn iter(&self) -> impl Iterator<Item = (ClientId, u64)> + '_ {
+        self.entries.iter().map(|(&c, &s)| (c, s))
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether all entries are zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The writes present in `self` but not covered by `other`, as
+    /// `(client, from_exclusive, to_inclusive)` ranges. Used to compute
+    /// deltas for partial coherence transfers.
+    pub fn missing_from(&self, other: &VersionVector) -> Vec<(ClientId, u64, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|(&client, &seq)| {
+                let have = other.get(client);
+                (seq > have).then_some((client, have, seq))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (client, seq)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{client}:{seq}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(ClientId, u64)> for VersionVector {
+    fn from_iter<I: IntoIterator<Item = (ClientId, u64)>>(iter: I) -> Self {
+        let mut vv = VersionVector::new();
+        for (client, seq) in iter {
+            vv.set(client, seq);
+        }
+        vv
+    }
+}
+
+impl WireEncode for VersionVector {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.entries.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.entries.encoded_len()
+    }
+}
+
+impl WireDecode for VersionVector {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let entries = BTreeMap::<ClientId, u64>::decode(buf)?;
+        // Normalize: zero entries are not stored.
+        let mut vv = VersionVector::new();
+        for (c, s) in entries {
+            vv.set(c, s);
+        }
+        Ok(vv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> ClientId {
+        ClientId::new(n)
+    }
+
+    #[test]
+    fn get_set_bump() {
+        let mut vv = VersionVector::new();
+        assert_eq!(vv.get(c(1)), 0);
+        assert_eq!(vv.bump(c(1)), 1);
+        assert_eq!(vv.bump(c(1)), 2);
+        vv.set(c(2), 7);
+        assert_eq!(vv.get(c(2)), 7);
+        vv.set(c(2), 0);
+        assert!(vv.iter().all(|(client, _)| client != c(2)));
+    }
+
+    #[test]
+    fn is_next_and_covers() {
+        let mut vv = VersionVector::new();
+        vv.set(c(1), 3);
+        assert!(vv.is_next(WriteId::new(c(1), 4)));
+        assert!(!vv.is_next(WriteId::new(c(1), 5)));
+        assert!(vv.covers(WriteId::new(c(1), 3)));
+        assert!(!vv.covers(WriteId::new(c(1), 4)));
+    }
+
+    #[test]
+    fn record_ignores_duplicates() {
+        let mut vv = VersionVector::new();
+        vv.record(WriteId::new(c(1), 1));
+        vv.record(WriteId::new(c(1), 1));
+        assert_eq!(vv.get(c(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip")]
+    #[cfg(debug_assertions)]
+    fn record_gap_panics_in_debug() {
+        let mut vv = VersionVector::new();
+        vv.record(WriteId::new(c(1), 3));
+    }
+
+    #[test]
+    fn advance_to_allows_gaps() {
+        let mut vv = VersionVector::new();
+        vv.advance_to(WriteId::new(c(1), 5));
+        assert_eq!(vv.get(c(1)), 5);
+        vv.advance_to(WriteId::new(c(1), 2));
+        assert_eq!(vv.get(c(1)), 5, "never regresses");
+    }
+
+    #[test]
+    fn lattice_operations() {
+        let a: VersionVector = [(c(1), 2), (c(2), 1)].into_iter().collect();
+        let b: VersionVector = [(c(1), 1), (c(3), 4)].into_iter().collect();
+        assert_eq!(a.compare(&b), ClockOrd::Concurrent);
+        let mut joined = a.clone();
+        joined.merge_max(&b);
+        assert!(joined.dominates(&a) && joined.dominates(&b));
+        assert_eq!(joined.compare(&a), ClockOrd::After);
+        assert_eq!(a.compare(&joined), ClockOrd::Before);
+        assert_eq!(a.compare(&a.clone()), ClockOrd::Equal);
+    }
+
+    #[test]
+    fn missing_from_reports_ranges() {
+        let newer: VersionVector = [(c(1), 5), (c(2), 2)].into_iter().collect();
+        let older: VersionVector = [(c(1), 3)].into_iter().collect();
+        let missing = newer.missing_from(&older);
+        assert_eq!(missing, vec![(c(1), 3, 5), (c(2), 0, 2)]);
+        assert!(older.missing_from(&newer).is_empty());
+    }
+
+    #[test]
+    fn canonical_eq_ignores_zero_entries() {
+        let mut a = VersionVector::new();
+        a.set(c(1), 1);
+        a.set(c(1), 0);
+        assert_eq!(a, VersionVector::new());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let vv: VersionVector = [(c(1), 9), (c(5), 1)].into_iter().collect();
+        let bytes = globe_wire::to_bytes(&vv);
+        assert_eq!(globe_wire::from_bytes::<VersionVector>(&bytes).unwrap(), vv);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let vv: VersionVector = [(c(1), 2)].into_iter().collect();
+        assert_eq!(vv.to_string(), "[c1:2]");
+    }
+}

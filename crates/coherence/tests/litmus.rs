@@ -1,0 +1,209 @@
+//! Litmus tests: classic histories from the DSM and session-guarantee
+//! literature, hand-encoded, with the verdict each checker must return.
+//! These pin down the *boundaries* between the models — each weaker
+//! model accepts a history the next-stronger one rejects.
+
+use globe_coherence::check::{
+    check_causal, check_eventual, check_fifo, check_monotonic_reads, check_monotonic_writes,
+    check_pram, check_read_your_writes, check_sequential, check_writes_follow_reads,
+};
+use globe_coherence::{ClientId, History, StoreId, VersionVector, WriteId};
+use globe_net::SimTime;
+
+fn c(n: u32) -> ClientId {
+    ClientId::new(n)
+}
+fn s(n: u32) -> StoreId {
+    StoreId::new(n)
+}
+fn w(client: u32, seq: u64) -> WriteId {
+    WriteId::new(c(client), seq)
+}
+fn t(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+fn vv(entries: &[(u32, u64)]) -> VersionVector {
+    entries.iter().map(|&(cl, sq)| (c(cl), sq)).collect()
+}
+
+/// Writes by two clients interleaved differently at two stores: the
+/// canonical history separating PRAM from sequential and causal
+/// coherence (Lipton–Sandberg's motivating example).
+fn pram_but_not_sequential() -> History {
+    let mut h = History::new();
+    h.record_write(t(1), c(1), s(0), "x", w(1, 1), VersionVector::new());
+    h.record_write(t(1), c(2), s(0), "y", w(2, 1), VersionVector::new());
+    // Store 1 sees c1 then c2; store 2 sees c2 then c1.
+    h.record_apply(t(2), s(1), w(1, 1), "x");
+    h.record_apply(t(3), s(1), w(2, 1), "y");
+    h.record_apply(t(2), s(2), w(2, 1), "y");
+    h.record_apply(t(3), s(2), w(1, 1), "x");
+    h
+}
+
+#[test]
+fn concurrent_interleaving_separates_pram_from_sequential() {
+    let h = pram_but_not_sequential();
+    assert!(check_pram(&h).is_ok(), "PRAM permits the interleaving");
+    assert!(check_fifo(&h).is_ok());
+    assert!(
+        check_causal(&h).is_ok(),
+        "the writes are concurrent, so causal permits it too"
+    );
+    assert!(
+        check_sequential(&h).is_err(),
+        "sequential demands one global order"
+    );
+}
+
+/// The newsgroup history (Hutto–Ahamad style): a reaction causally after
+/// an article, inverted at one store — causal rejects what PRAM accepts.
+fn causal_violation_pram_ok() -> History {
+    let mut h = History::new();
+    // c1 posts the article.
+    h.record_write(t(1), c(1), s(0), "forum", w(1, 1), VersionVector::new());
+    h.record_apply(t(1), s(0), w(1, 1), "forum");
+    // c2 reads it at store 0, then reacts.
+    h.record_read(t(2), c(2), s(0), "forum", Some(w(1, 1)), vv(&[(1, 1)]));
+    h.record_write(t(3), c(2), s(0), "forum", w(2, 1), vv(&[(1, 1)]));
+    h.record_apply(t(3), s(0), w(2, 1), "forum");
+    // Store 1 applies reaction before article.
+    h.record_apply(t(4), s(1), w(2, 1), "forum");
+    h.record_apply(t(5), s(1), w(1, 1), "forum");
+    h
+}
+
+#[test]
+fn reaction_before_article_separates_causal_from_pram() {
+    let h = causal_violation_pram_ok();
+    assert!(
+        check_pram(&h).is_ok(),
+        "different clients: PRAM imposes no cross-client order"
+    );
+    assert!(check_causal(&h).is_err(), "causality inverted at store 1");
+}
+
+/// One client's writes applied out of order at a store: rejected by
+/// every ordering model, FIFO included.
+#[test]
+fn per_client_inversion_rejected_by_all_ordering_models() {
+    let mut h = History::new();
+    h.record_write(t(1), c(1), s(0), "x", w(1, 1), VersionVector::new());
+    h.record_write(t(2), c(1), s(0), "x", w(1, 2), vv(&[(1, 1)]));
+    h.record_apply(t(3), s(1), w(1, 2), "x");
+    h.record_apply(t(4), s(1), w(1, 1), "x");
+    assert!(check_pram(&h).is_err());
+    assert!(check_fifo(&h).is_err());
+    assert!(check_causal(&h).is_err(), "program order is causal order");
+    assert!(check_sequential(&h).is_err());
+    assert!(check_monotonic_writes(&h, c(1)).is_err());
+}
+
+/// A skipped (overwritten) write: FIFO's defining behaviour — legal for
+/// FIFO, a gap for PRAM.
+#[test]
+fn overwrite_skip_separates_fifo_from_pram() {
+    let mut h = History::new();
+    for seq in 1..=3 {
+        h.record_write(t(seq), c(1), s(0), "x", w(1, seq), VersionVector::new());
+    }
+    h.record_apply(t(4), s(1), w(1, 1), "x");
+    h.record_apply(t(5), s(1), w(1, 3), "x"); // write 2 overwritten in transit
+    assert!(check_fifo(&h).is_ok());
+    assert!(check_pram(&h).is_err());
+}
+
+/// Bayou's Read-Your-Writes scenario: write at the server, read from a
+/// cache that has not seen it.
+#[test]
+fn bayou_read_your_writes_litmus() {
+    let mut h = History::new();
+    h.record_write(t(1), c(1), s(0), "page", w(1, 1), VersionVector::new());
+    h.record_apply(t(1), s(0), w(1, 1), "page");
+    // Stale cache read: RYW violated for c1, irrelevant for c2.
+    h.record_read(t(2), c(1), s(1), "page", None, VersionVector::new());
+    assert!(check_read_your_writes(&h, c(1)).is_err());
+    assert!(check_read_your_writes(&h, c(2)).is_ok());
+    // The same read against a caught-up cache: satisfied.
+    let mut h2 = History::new();
+    h2.record_write(t(1), c(1), s(0), "page", w(1, 1), VersionVector::new());
+    h2.record_apply(t(1), s(0), w(1, 1), "page");
+    h2.record_read(t(2), c(1), s(1), "page", Some(w(1, 1)), vv(&[(1, 1)]));
+    assert!(check_read_your_writes(&h2, c(1)).is_ok());
+}
+
+/// Bayou's Monotonic Reads scenario, exactly as the paper retells it:
+/// "if a client first reads the page from S1 and later again from S2,
+/// then the second copy should be the same as the one read on S1, or an
+/// updated version thereof, but not an earlier version."
+#[test]
+fn bayou_monotonic_reads_litmus() {
+    let mut h = History::new();
+    h.record_read(t(1), c(1), s(1), "page", Some(w(9, 5)), vv(&[(9, 5)]));
+    h.record_read(t(2), c(1), s(2), "page", Some(w(9, 3)), vv(&[(9, 3)]));
+    assert!(check_monotonic_reads(&h, c(1)).is_err(), "went backwards");
+
+    let mut h2 = History::new();
+    h2.record_read(t(1), c(1), s(1), "page", Some(w(9, 5)), vv(&[(9, 5)]));
+    h2.record_read(t(2), c(1), s(2), "page", Some(w(9, 7)), vv(&[(9, 7)]));
+    assert!(check_monotonic_reads(&h2, c(1)).is_ok(), "updated version ok");
+}
+
+/// Bayou's Writes-Follow-Reads: the paper's electronic-newspaper
+/// example — "the article and then the reaction must appear in that
+/// order on every store to make any sense."
+#[test]
+fn bayou_writes_follow_reads_litmus() {
+    // c2 reads the article then writes a reaction.
+    let base = |h: &mut History| {
+        h.record_write(t(1), c(1), s(0), "news", w(1, 1), VersionVector::new());
+        h.record_apply(t(1), s(0), w(1, 1), "news");
+        h.record_read(t(2), c(2), s(0), "news", Some(w(1, 1)), vv(&[(1, 1)]));
+        h.record_write(t(3), c(2), s(0), "news", w(2, 1), VersionVector::new());
+        h.record_apply(t(3), s(0), w(2, 1), "news");
+    };
+    // Good store: article then reaction.
+    let mut good = History::new();
+    base(&mut good);
+    good.record_apply(t(4), s(1), w(1, 1), "news");
+    good.record_apply(t(5), s(1), w(2, 1), "news");
+    assert!(check_writes_follow_reads(&good, c(2)).is_ok());
+    // Bad store: reaction first.
+    let mut bad = History::new();
+    base(&mut bad);
+    bad.record_apply(t(4), s(1), w(2, 1), "news");
+    assert!(check_writes_follow_reads(&bad, c(2)).is_err());
+}
+
+/// Divergent final states: every ordering checker can pass while the
+/// eventual checker (the only one comparing state) fails — the models
+/// are orthogonal, as §3.2's layering implies.
+#[test]
+fn ordering_and_convergence_are_orthogonal() {
+    let mut h = History::new();
+    h.record_write(t(1), c(1), s(0), "x", w(1, 1), VersionVector::new());
+    h.record_apply(t(1), s(0), w(1, 1), "x");
+    // Store 1 never receives the write — PRAM-legal mid-run…
+    h.record_final_digest(s(0), 111);
+    h.record_final_digest(s(1), 222);
+    assert!(check_pram(&h).is_ok());
+    // …but it is not convergence.
+    assert!(check_eventual(&h).is_err());
+}
+
+/// An empty history satisfies everything (vacuous truth).
+#[test]
+fn empty_history_satisfies_all_nine_models() {
+    let h = History::new();
+    assert!(check_sequential(&h).is_ok());
+    assert!(check_causal(&h).is_ok());
+    assert!(check_pram(&h).is_ok());
+    assert!(check_fifo(&h).is_ok());
+    assert!(check_eventual(&h).is_ok());
+    for client in [c(0), c(1)] {
+        assert!(check_read_your_writes(&h, client).is_ok());
+        assert!(check_monotonic_reads(&h, client).is_ok());
+        assert!(check_monotonic_writes(&h, client).is_ok());
+        assert!(check_writes_follow_reads(&h, client).is_ok());
+    }
+}

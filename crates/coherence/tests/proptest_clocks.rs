@@ -1,0 +1,111 @@
+//! Property tests: `VersionVector` forms a join-semilattice, and the
+//! comparison/dominance operations behave like a partial order.
+
+use globe_coherence::{ClientId, ClockOrd, VersionVector, WriteId};
+use proptest::prelude::*;
+
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    proptest::collection::btree_map(0u32..8, 0u64..16, 0..8).prop_map(|m| {
+        m.into_iter()
+            .map(|(c, s)| (ClientId::new(c), s))
+            .collect::<VersionVector>()
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_idempotent(a in arb_vv()) {
+        let mut m = a.clone();
+        m.merge_max(&a);
+        prop_assert_eq!(m, a);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_vv(), b in arb_vv()) {
+        let mut ab = a.clone();
+        ab.merge_max(&b);
+        let mut ba = b.clone();
+        ba.merge_max(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        let mut left = a.clone();
+        left.merge_max(&b);
+        left.merge_max(&c);
+        let mut bc = b.clone();
+        bc.merge_max(&c);
+        let mut right = a.clone();
+        right.merge_max(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_upper_bound(a in arb_vv(), b in arb_vv()) {
+        let mut m = a.clone();
+        m.merge_max(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric(a in arb_vv(), b in arb_vv()) {
+        match a.compare(&b) {
+            ClockOrd::Equal => prop_assert_eq!(&a, &b),
+            ClockOrd::Before => prop_assert_eq!(b.compare(&a), ClockOrd::After),
+            ClockOrd::After => prop_assert_eq!(b.compare(&a), ClockOrd::Before),
+            ClockOrd::Concurrent => prop_assert_eq!(b.compare(&a), ClockOrd::Concurrent),
+        }
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    #[test]
+    fn missing_from_is_exact(a in arb_vv(), b in arb_vv()) {
+        let missing = a.missing_from(&b);
+        // Every reported range is genuinely missing and sorted by client.
+        for &(client, from, to) in &missing {
+            prop_assert_eq!(b.get(client), from);
+            prop_assert_eq!(a.get(client), to);
+            prop_assert!(to > from);
+        }
+        // Applying the ranges to b makes it dominate a.
+        let mut patched = b.clone();
+        for &(client, _, to) in &missing {
+            patched.set(client, patched.get(client).max(to));
+        }
+        prop_assert!(patched.dominates(&a));
+    }
+
+    #[test]
+    fn record_sequence_reaches_vector(seqs in proptest::collection::vec(0u32..4, 0..32)) {
+        // Applying each client's writes 1..=n in order yields exactly n.
+        let mut vv = VersionVector::new();
+        let mut counts = std::collections::BTreeMap::new();
+        for c in seqs {
+            let client = ClientId::new(c);
+            let n = counts.entry(client).or_insert(0u64);
+            *n += 1;
+            let wid = WriteId::new(client, *n);
+            prop_assert!(vv.is_next(wid));
+            vv.record(wid);
+            prop_assert!(vv.covers(wid));
+        }
+        for (client, n) in counts {
+            prop_assert_eq!(vv.get(client), n);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip(a in arb_vv()) {
+        let bytes = globe_wire::to_bytes(&a);
+        prop_assert_eq!(globe_wire::from_bytes::<VersionVector>(&bytes).unwrap(), a);
+    }
+}

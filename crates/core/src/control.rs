@@ -1,0 +1,283 @@
+//! The control sub-object.
+//!
+//! "The control object takes care of invocations from client processes,
+//! and controls the interaction between the semantics object and the
+//! replication object. Incoming invocation requests are also handled by
+//! the control object" (§2). One [`ControlObject`] exists per distributed
+//! object per address space; it hosts an optional store replica (spaces
+//! that only run clients have none — their local object consists of the
+//! proxy sessions and the communication object) and any number of client
+//! sessions.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use globe_coherence::ClientId;
+use globe_naming::ObjectId;
+use globe_net::{NetCtx, NodeId};
+
+use crate::{
+    CallError, CoherenceMsg, InvocationMessage, RequestId, Session, StoreReplica, TimerKind,
+};
+
+/// Interval for client-proxy retransmission of unacknowledged writes.
+const SESSION_RETRY_PERIOD: std::time::Duration = std::time::Duration::from_millis(1000);
+
+/// The per-object dispatcher within one address space.
+pub struct ControlObject {
+    object: ObjectId,
+    store: Option<StoreReplica>,
+    sessions: HashMap<ClientId, Session>,
+    req_owner: HashMap<RequestId, ClientId>,
+    session_retry_armed: bool,
+}
+
+impl ControlObject {
+    /// A control object hosting a store replica.
+    pub fn with_store(object: ObjectId, store: StoreReplica) -> Self {
+        ControlObject {
+            object,
+            store: Some(store),
+            sessions: HashMap::new(),
+            req_owner: HashMap::new(),
+            session_retry_armed: false,
+        }
+    }
+
+    /// A proxy-only control object (client address spaces).
+    pub fn proxy_only(object: ObjectId) -> Self {
+        ControlObject {
+            object,
+            store: None,
+            sessions: HashMap::new(),
+            req_owner: HashMap::new(),
+            session_retry_armed: false,
+        }
+    }
+
+    /// The object this control object belongs to.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The hosted store replica, if any.
+    pub fn store(&self) -> Option<&StoreReplica> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the hosted store replica.
+    pub fn store_mut(&mut self) -> Option<&mut StoreReplica> {
+        self.store.as_mut()
+    }
+
+    /// Installs a store replica (e.g. a cache created after binding).
+    pub fn set_store(&mut self, store: StoreReplica) {
+        self.store = Some(store);
+    }
+
+    /// Registers a client session.
+    pub fn add_session(&mut self, session: Session) {
+        self.sessions.insert(session.client(), session);
+    }
+
+    /// Access to a client session.
+    pub fn session(&self, client: ClientId) -> Option<&Session> {
+        self.sessions.get(&client)
+    }
+
+    /// Mutable access to a client session.
+    pub fn session_mut(&mut self, client: ClientId) -> Option<&mut Session> {
+        self.sessions.get_mut(&client)
+    }
+
+    /// Arms whatever timers the hosted replica's policy needs.
+    pub fn start(&mut self, ctx: &mut dyn NetCtx) {
+        if let Some(store) = self.store.as_mut() {
+            store.start(ctx);
+        }
+    }
+
+    /// Issues a read on behalf of a local client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] if the client has no session here.
+    pub fn client_read(
+        &mut self,
+        client: ClientId,
+        inv: InvocationMessage,
+        ctx: &mut dyn NetCtx,
+    ) -> Result<RequestId, CallError> {
+        let session = self
+            .sessions
+            .get_mut(&client)
+            .ok_or(CallError::NotBound)?;
+        let req = session.issue_read(inv, ctx);
+        self.req_owner.insert(req, client);
+        Ok(req)
+    }
+
+    /// Issues a write on behalf of a local client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] if the client has no session here.
+    pub fn client_write(
+        &mut self,
+        client: ClientId,
+        inv: InvocationMessage,
+        ctx: &mut dyn NetCtx,
+    ) -> Result<RequestId, CallError> {
+        let session = self
+            .sessions
+            .get_mut(&client)
+            .ok_or(CallError::NotBound)?;
+        let req = session.issue_write(inv, ctx);
+        self.req_owner.insert(req, client);
+        if !self.session_retry_armed {
+            ctx.set_timer(
+                SESSION_RETRY_PERIOD,
+                crate::space::timer_token(self.object, TimerKind::SessionRetry),
+            );
+            self.session_retry_armed = true;
+        }
+        Ok(req)
+    }
+
+    /// Takes a completed call result.
+    pub fn take_result(
+        &mut self,
+        client: ClientId,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        let session = self.sessions.get_mut(&client)?;
+        let result = session.take_result(req)?;
+        self.req_owner.remove(&req);
+        Some(result)
+    }
+
+    /// Routes one incoming coherence message.
+    pub fn handle_message(&mut self, from: NodeId, msg: CoherenceMsg, ctx: &mut dyn NetCtx) {
+        match msg {
+            CoherenceMsg::ReadReq {
+                req,
+                client,
+                inv,
+                min_version,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.serve_read(from, req, client, inv, min_version, ctx);
+                }
+            }
+            CoherenceMsg::WriteReq { req, client, write } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_write_req(from, req, client, write, ctx);
+                }
+            }
+            CoherenceMsg::Reply {
+                req,
+                outcome,
+                version,
+                sees,
+                full_state,
+            } => {
+                if let Some(&client) = self.req_owner.get(&req) {
+                    if let Some(session) = self.sessions.get_mut(&client) {
+                        session.on_reply(req, outcome, version, sees, full_state, ctx);
+                    }
+                } else if let Some(store) = self.store.as_mut() {
+                    // A reply for a write this store forwarded home.
+                    let relayed = store.relay_reply(
+                        &CoherenceMsg::Reply {
+                            req,
+                            outcome,
+                            version,
+                            sees,
+                            full_state,
+                        },
+                        ctx,
+                    );
+                    let _ = relayed;
+                }
+            }
+            CoherenceMsg::Update { write } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.accept_write(None, write, ctx);
+                }
+            }
+            CoherenceMsg::UpdateBatch { writes, version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_update_batch(writes, version, ctx);
+                }
+            }
+            CoherenceMsg::FullState {
+                version,
+                state,
+                writers,
+                order_high,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_full_state(version, state, writers, order_high, ctx);
+                }
+            }
+            CoherenceMsg::Invalidate { pages, version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_invalidate(pages, version, ctx);
+                }
+            }
+            CoherenceMsg::Notify { version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_notify(version, ctx);
+                }
+            }
+            CoherenceMsg::DemandUpdate { since, order_since } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_demand_update(from, since, order_since, ctx);
+                }
+            }
+            CoherenceMsg::DemandResend { client, from_seq } => {
+                if let Some(session) = self.sessions.get_mut(&client) {
+                    session.resend_from(from_seq, ctx);
+                }
+            }
+            CoherenceMsg::PolicyUpdate { policy } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.set_policy(policy, ctx);
+                }
+            }
+        }
+    }
+
+    /// Routes a timer to the hosted replica or, for session-retry
+    /// timers, to the local client sessions.
+    pub fn handle_timer(&mut self, kind: TimerKind, ctx: &mut dyn NetCtx) {
+        if kind == TimerKind::SessionRetry {
+            self.session_retry_armed = false;
+            let mut unacked = 0;
+            for session in self.sessions.values_mut() {
+                unacked += session.resend_unacked(ctx);
+            }
+            if unacked > 0 {
+                ctx.set_timer(
+                    SESSION_RETRY_PERIOD,
+                    crate::space::timer_token(self.object, TimerKind::SessionRetry),
+                );
+                self.session_retry_armed = true;
+            }
+            return;
+        }
+        if let Some(store) = self.store.as_mut() {
+            store.handle_timer(kind, ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for ControlObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlObject")
+            .field("object", &self.object)
+            .field("has_store", &self.store.is_some())
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}

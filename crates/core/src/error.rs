@@ -1,0 +1,97 @@
+//! Errors surfaced by the object framework.
+
+use std::fmt;
+
+use crate::MethodId;
+
+/// Error raised by a semantics object while dispatching an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// The method id is not part of the object's interface.
+    UnknownMethod(MethodId),
+    /// The marshalled arguments could not be decoded.
+    BadArguments(String),
+    /// A snapshot could not be restored.
+    BadState(String),
+    /// A domain-level failure (e.g. page not found).
+    Application(String),
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::UnknownMethod(m) => write!(f, "unknown method {m}"),
+            SemanticsError::BadArguments(why) => write!(f, "bad arguments: {why}"),
+            SemanticsError::BadState(why) => write!(f, "bad state: {why}"),
+            SemanticsError::Application(why) => write!(f, "application error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// Error completing a client call on a bound object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The semantics object rejected the invocation.
+    Semantics(String),
+    /// The simulation stalled before a reply arrived (e.g. a `wait`
+    /// outdate reaction with nothing left scheduled to unblock it).
+    Stalled,
+    /// The virtual-time deadline passed before a reply arrived.
+    TimedOut,
+    /// The handle has an operation outstanding; clients are sequential.
+    Busy,
+    /// The object is not bound in this address space.
+    NotBound,
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Semantics(why) => write!(f, "semantics error: {why}"),
+            CallError::Stalled => write!(f, "call stalled: nothing scheduled can complete it"),
+            CallError::TimedOut => write!(f, "call timed out"),
+            CallError::Busy => write!(f, "client already has an outstanding operation"),
+            CallError::NotBound => write!(f, "object is not bound in this address space"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// Error constructing or validating a replication policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Lazy transfer requires a non-zero period.
+    ZeroLazyPeriod,
+    /// The combination of parameters is contradictory.
+    Contradiction(&'static str),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::ZeroLazyPeriod => {
+                write!(f, "lazy transfer instant requires a non-zero period")
+            }
+            PolicyError::Contradiction(why) => write!(f, "contradictory policy: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        assert!(SemanticsError::UnknownMethod(MethodId::new(9))
+            .to_string()
+            .contains("m9"));
+        assert!(CallError::Stalled.to_string().contains("stalled"));
+        assert!(PolicyError::ZeroLazyPeriod.to_string().contains("period"));
+    }
+}

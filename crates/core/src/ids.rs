@@ -1,0 +1,98 @@
+//! Identifiers local to the object framework.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+/// Identifies one method of an object's interface.
+///
+/// Replication and communication sub-objects see only method identifiers
+/// and marshalled parameters, never the semantics behind them (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(u16);
+
+impl MethodId {
+    /// Creates a method id from its raw value.
+    pub const fn new(raw: u16) -> Self {
+        MethodId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl WireEncode for MethodId {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        2
+    }
+}
+
+impl WireDecode for MethodId {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(MethodId(u16::decode(buf)?))
+    }
+}
+
+/// Correlates a client request with its eventual reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates a request id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+impl WireEncode for RequestId {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl WireDecode for RequestId {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(RequestId(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_display() {
+        let m = MethodId::new(3);
+        assert_eq!(globe_wire::from_bytes::<MethodId>(&globe_wire::to_bytes(&m)).unwrap(), m);
+        assert_eq!(m.to_string(), "m3");
+        let r = RequestId::new(9);
+        assert_eq!(globe_wire::from_bytes::<RequestId>(&globe_wire::to_bytes(&r)).unwrap(), r);
+        assert_eq!(r.to_string(), "req9");
+    }
+}

@@ -1,0 +1,96 @@
+//! Distributed shared Web objects with per-object pluggable replication
+//! and coherence — a Rust reproduction of the Globe Web-object framework
+//! (Kermarrec, Kuz, van Steen, Tanenbaum, ICDCS 1998).
+//!
+//! Each Web document is a *distributed shared object* that fully
+//! encapsulates its own state, methods, and — crucially — its policies
+//! for caching, replication, and coherence. A local object in each bound
+//! address space is composed of four sub-objects (§2 of the paper):
+//!
+//! * **semantics** ([`Semantics`]) — the document state and methods,
+//!   written by the developer;
+//! * **communication** ([`CommObject`]) — point-to-point and multicast
+//!   messaging, system-provided;
+//! * **replication** ([`replication::ReplicationObject`]) — the coherence
+//!   protocol, chosen per object from [`globe_coherence::ObjectModel`]
+//!   and parameterized by the Table-1 [`ReplicationPolicy`];
+//! * **control** ([`ControlObject`]) — glue dispatching invocations
+//!   between the other three.
+//!
+//! Stores come in the paper's three classes (permanent, object-initiated,
+//! client-initiated); clients bind through the naming and location
+//! services and may impose *client-based* coherence (Bayou session
+//! guarantees) on top of the object's model. The [`GlobeSim`] runtime
+//! hosts all of this on a deterministic simulated network; the protocols
+//! are sans-IO and run identically over real TCP (see `globe-net`).
+//!
+//! # Examples
+//!
+//! The paper's conference-page scenario in miniature:
+//!
+//! ```
+//! use globe_coherence::{ClientModel, StoreClass};
+//! use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+//! use globe_net::Topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = GlobeSim::new(Topology::lan(), 7);
+//! let server = sim.add_node();
+//! let cache = sim.add_node();
+//! let object = sim.create_object(
+//!     "/conf/icdcs98",
+//!     ReplicationPolicy::conference_page(),
+//!     &mut || Box::new(RegisterDoc::new()),
+//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
+//! )?;
+//! // The Web master reads through the cache but demands Read-Your-Writes.
+//! let master = sim.bind(object, cache, BindOptions::new()
+//!     .read_node(cache)
+//!     .guard(ClientModel::ReadYourWrites))?;
+//! sim.write(&master, registers::put("program.html", b"TBA"))?;
+//! let page = sim.read(&master, registers::get("program.html"))?;
+//! assert_eq!(&page[..], b"TBA");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod comm;
+mod control;
+mod error;
+mod ids;
+mod invocation;
+mod messages;
+mod metrics;
+mod policy;
+pub mod replication;
+mod runtime;
+mod semantics;
+mod session;
+mod space;
+mod store_engine;
+mod tcp_runtime;
+
+pub use adaptive::{AdaptiveController, Regime};
+pub use comm::CommObject;
+pub use control::ControlObject;
+pub use error::{CallError, PolicyError, SemanticsError};
+pub use ids::{MethodId, RequestId};
+pub use invocation::{InvocationMessage, MethodKind};
+pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg};
+pub use metrics::{
+    shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory,
+    SharedMetrics,
+};
+pub use policy::{
+    AccessTransfer, CoherenceTransfer, OutdateReaction, PolicyBuilder, Propagation,
+    ReplicationPolicy, StoreScope, TransferInitiative, TransferInstant, WriteSet,
+};
+pub use runtime::{BindOptions, ClientHandle, GlobeSim, ReadChoice, RuntimeError, WriteChoice};
+pub use semantics::{registers, RegisterDoc, Semantics};
+pub use session::{Session, SessionConfig};
+pub use space::AddressSpace;
+pub use store_engine::{PeerStore, StoreConfig, StoreReplica, TimerKind, WHOLE_DOC};
+pub use tcp_runtime::GlobeTcp;

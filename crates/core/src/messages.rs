@@ -1,0 +1,586 @@
+//! Coherence protocol messages exchanged between local objects.
+//!
+//! Everything a replication object says to a peer is one of these
+//! variants, marshalled with `globe-wire` and wrapped in a [`NetMsg`]
+//! envelope naming the distributed object it belongs to. Communication
+//! objects move these around without interpreting them (§2).
+
+use bytes::{Buf, BufMut, Bytes};
+use globe_coherence::{ClientId, PageKey, VersionVector, WriteId};
+use globe_naming::ObjectId;
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+use crate::{InvocationMessage, ReplicationPolicy, RequestId};
+
+/// One write travelling through the system: the marshalled invocation
+/// plus the coherence metadata every store needs to order it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedWrite {
+    /// The write identifier (paper's WiD).
+    pub wid: WriteId,
+    /// The marshalled write invocation.
+    pub inv: InvocationMessage,
+    /// Writes this one must follow (empty unless the causal model or a
+    /// session guard added dependencies).
+    pub deps: VersionVector,
+    /// The page the write touches, filled in by the home store's
+    /// semantics object (clients do not implement semantics, §4.2).
+    pub page: Option<PageKey>,
+    /// Total-order number assigned by the sequencer (sequential model
+    /// only).
+    pub order: Option<u64>,
+}
+
+impl LoggedWrite {
+    /// A write as a client proxy submits it: no page, no order yet.
+    pub fn from_client(wid: WriteId, inv: InvocationMessage, deps: VersionVector) -> Self {
+        LoggedWrite {
+            wid,
+            inv,
+            deps,
+            page: None,
+            order: None,
+        }
+    }
+}
+
+impl WireEncode for LoggedWrite {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.wid.encode(buf);
+        self.inv.encode(buf);
+        self.deps.encode(buf);
+        self.page.encode(buf);
+        self.order.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.wid.encoded_len()
+            + self.inv.encoded_len()
+            + self.deps.encoded_len()
+            + self.page.encoded_len()
+            + self.order.encoded_len()
+    }
+}
+
+impl WireDecode for LoggedWrite {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(LoggedWrite {
+            wid: WriteId::decode(buf)?,
+            inv: InvocationMessage::decode(buf)?,
+            deps: VersionVector::decode(buf)?,
+            page: Option::<PageKey>::decode(buf)?,
+            order: Option::<u64>::decode(buf)?,
+        })
+    }
+}
+
+/// Outcome of a client call, as shipped in a [`CoherenceMsg::Reply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// The invocation executed; marshalled result attached.
+    Ok(Bytes),
+    /// The semantics object rejected the invocation.
+    Err(String),
+}
+
+impl WireEncode for CallOutcome {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            CallOutcome::Ok(bytes) => {
+                buf.put_u8(0);
+                bytes.encode(buf);
+            }
+            CallOutcome::Err(msg) => {
+                buf.put_u8(1);
+                msg.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CallOutcome::Ok(bytes) => bytes.encoded_len(),
+            CallOutcome::Err(msg) => msg.encoded_len(),
+        }
+    }
+}
+
+impl WireDecode for CallOutcome {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated {
+                needed: 1,
+                remaining: 0,
+            });
+        }
+        match buf.get_u8() {
+            0 => Ok(CallOutcome::Ok(Bytes::decode(buf)?)),
+            1 => Ok(CallOutcome::Err(String::decode(buf)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "CallOutcome",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A coherence protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoherenceMsg {
+    /// Client proxy → store: execute a read.
+    ReadReq {
+        /// Correlation id.
+        req: RequestId,
+        /// The reading client.
+        client: ClientId,
+        /// The marshalled read invocation.
+        inv: InvocationMessage,
+        /// Writes the serving store must have applied first (session
+        /// guard requirements; empty when no guard is active).
+        min_version: VersionVector,
+    },
+    /// Client proxy → home store: perform a write.
+    WriteReq {
+        /// Correlation id.
+        req: RequestId,
+        /// The writing client.
+        client: ClientId,
+        /// The write with its coherence metadata.
+        write: LoggedWrite,
+    },
+    /// Store → client proxy: a call finished.
+    Reply {
+        /// Correlation id of the completed call.
+        req: RequestId,
+        /// Result of the invocation.
+        outcome: CallOutcome,
+        /// The serving store's applied vector (drives session guards).
+        version: VersionVector,
+        /// The write whose value a read returned, if page-granular.
+        sees: Option<WriteId>,
+        /// Full document snapshot, when the access transfer type is
+        /// `full` (Table 1).
+        full_state: Option<Bytes>,
+    },
+    /// Store → store: one write (partial coherence transfer).
+    Update {
+        /// The propagated write.
+        write: LoggedWrite,
+    },
+    /// Store → store: several writes aggregated by a lazy transfer, or a
+    /// pull response.
+    UpdateBatch {
+        /// The propagated writes, in sender order.
+        writes: Vec<LoggedWrite>,
+        /// The sender's applied vector after these writes.
+        version: VersionVector,
+    },
+    /// Store → store: complete state (full coherence transfer).
+    FullState {
+        /// The sender's applied vector.
+        version: VersionVector,
+        /// Snapshot of the semantics object.
+        state: Bytes,
+        /// Last writer per page, so the receiver can keep serving `sees`
+        /// metadata.
+        writers: Vec<(PageKey, WriteId)>,
+        /// Sequencer order height (sequential model).
+        order_high: Option<u64>,
+    },
+    /// Store → store: the named pages changed (invalidation propagation).
+    Invalidate {
+        /// Invalidated pages; `None` marks the whole document.
+        pages: Vec<Option<PageKey>>,
+        /// The sender's applied vector after the invalidating writes.
+        version: VersionVector,
+    },
+    /// Store → store: something changed, no data attached (the
+    /// `notification` coherence transfer type).
+    Notify {
+        /// The sender's applied vector.
+        version: VersionVector,
+    },
+    /// Store → store: send me what I am missing (pull initiative, demand
+    /// outdate reaction, anti-entropy).
+    DemandUpdate {
+        /// The requester's applied vector.
+        since: VersionVector,
+        /// The requester's sequencer height (sequential model).
+        order_since: Option<u64>,
+    },
+    /// Home store → client proxy: resend writes lost in transit (the
+    /// §4.2 reliability-from-coherence mechanism).
+    DemandResend {
+        /// Whose writes are missing.
+        client: ClientId,
+        /// First missing sequence number.
+        from_seq: u64,
+    },
+    /// Home store → stores: the object's replication policy changed at
+    /// run time (§5 future work: dynamically adaptable parameters).
+    PolicyUpdate {
+        /// The new policy.
+        policy: ReplicationPolicy,
+    },
+}
+
+impl CoherenceMsg {
+    /// Short name of the variant, for traffic accounting.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CoherenceMsg::ReadReq { .. } => "ReadReq",
+            CoherenceMsg::WriteReq { .. } => "WriteReq",
+            CoherenceMsg::Reply { .. } => "Reply",
+            CoherenceMsg::Update { .. } => "Update",
+            CoherenceMsg::UpdateBatch { .. } => "UpdateBatch",
+            CoherenceMsg::FullState { .. } => "FullState",
+            CoherenceMsg::Invalidate { .. } => "Invalidate",
+            CoherenceMsg::Notify { .. } => "Notify",
+            CoherenceMsg::DemandUpdate { .. } => "DemandUpdate",
+            CoherenceMsg::DemandResend { .. } => "DemandResend",
+            CoherenceMsg::PolicyUpdate { .. } => "PolicyUpdate",
+        }
+    }
+}
+
+impl WireEncode for CoherenceMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            CoherenceMsg::ReadReq {
+                req,
+                client,
+                inv,
+                min_version,
+            } => {
+                buf.put_u8(0);
+                req.encode(buf);
+                client.encode(buf);
+                inv.encode(buf);
+                min_version.encode(buf);
+            }
+            CoherenceMsg::WriteReq { req, client, write } => {
+                buf.put_u8(1);
+                req.encode(buf);
+                client.encode(buf);
+                write.encode(buf);
+            }
+            CoherenceMsg::Reply {
+                req,
+                outcome,
+                version,
+                sees,
+                full_state,
+            } => {
+                buf.put_u8(2);
+                req.encode(buf);
+                outcome.encode(buf);
+                version.encode(buf);
+                sees.encode(buf);
+                full_state.encode(buf);
+            }
+            CoherenceMsg::Update { write } => {
+                buf.put_u8(3);
+                write.encode(buf);
+            }
+            CoherenceMsg::UpdateBatch { writes, version } => {
+                buf.put_u8(4);
+                writes.encode(buf);
+                version.encode(buf);
+            }
+            CoherenceMsg::FullState {
+                version,
+                state,
+                writers,
+                order_high,
+            } => {
+                buf.put_u8(5);
+                version.encode(buf);
+                state.encode(buf);
+                writers.encode(buf);
+                order_high.encode(buf);
+            }
+            CoherenceMsg::Invalidate { pages, version } => {
+                buf.put_u8(6);
+                pages.encode(buf);
+                version.encode(buf);
+            }
+            CoherenceMsg::Notify { version } => {
+                buf.put_u8(7);
+                version.encode(buf);
+            }
+            CoherenceMsg::DemandUpdate { since, order_since } => {
+                buf.put_u8(8);
+                since.encode(buf);
+                order_since.encode(buf);
+            }
+            CoherenceMsg::DemandResend { client, from_seq } => {
+                buf.put_u8(9);
+                client.encode(buf);
+                from_seq.encode(buf);
+            }
+            CoherenceMsg::PolicyUpdate { policy } => {
+                buf.put_u8(10);
+                policy.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CoherenceMsg::ReadReq {
+                req,
+                client,
+                inv,
+                min_version,
+            } => {
+                req.encoded_len()
+                    + client.encoded_len()
+                    + inv.encoded_len()
+                    + min_version.encoded_len()
+            }
+            CoherenceMsg::WriteReq { req, client, write } => {
+                req.encoded_len() + client.encoded_len() + write.encoded_len()
+            }
+            CoherenceMsg::Reply {
+                req,
+                outcome,
+                version,
+                sees,
+                full_state,
+            } => {
+                req.encoded_len()
+                    + outcome.encoded_len()
+                    + version.encoded_len()
+                    + sees.encoded_len()
+                    + full_state.encoded_len()
+            }
+            CoherenceMsg::Update { write } => write.encoded_len(),
+            CoherenceMsg::UpdateBatch { writes, version } => {
+                writes.encoded_len() + version.encoded_len()
+            }
+            CoherenceMsg::FullState {
+                version,
+                state,
+                writers,
+                order_high,
+            } => {
+                version.encoded_len()
+                    + state.encoded_len()
+                    + writers.encoded_len()
+                    + order_high.encoded_len()
+            }
+            CoherenceMsg::Invalidate { pages, version } => {
+                pages.encoded_len() + version.encoded_len()
+            }
+            CoherenceMsg::Notify { version } => version.encoded_len(),
+            CoherenceMsg::DemandUpdate { since, order_since } => {
+                since.encoded_len() + order_since.encoded_len()
+            }
+            CoherenceMsg::DemandResend { client, from_seq } => {
+                client.encoded_len() + from_seq.encoded_len()
+            }
+            CoherenceMsg::PolicyUpdate { policy } => policy.encoded_len(),
+        }
+    }
+}
+
+impl WireDecode for CoherenceMsg {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated {
+                needed: 1,
+                remaining: 0,
+            });
+        }
+        match buf.get_u8() {
+            0 => Ok(CoherenceMsg::ReadReq {
+                req: RequestId::decode(buf)?,
+                client: ClientId::decode(buf)?,
+                inv: InvocationMessage::decode(buf)?,
+                min_version: VersionVector::decode(buf)?,
+            }),
+            1 => Ok(CoherenceMsg::WriteReq {
+                req: RequestId::decode(buf)?,
+                client: ClientId::decode(buf)?,
+                write: LoggedWrite::decode(buf)?,
+            }),
+            2 => Ok(CoherenceMsg::Reply {
+                req: RequestId::decode(buf)?,
+                outcome: CallOutcome::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+                sees: Option::<WriteId>::decode(buf)?,
+                full_state: Option::<Bytes>::decode(buf)?,
+            }),
+            3 => Ok(CoherenceMsg::Update {
+                write: LoggedWrite::decode(buf)?,
+            }),
+            4 => Ok(CoherenceMsg::UpdateBatch {
+                writes: Vec::<LoggedWrite>::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+            }),
+            5 => Ok(CoherenceMsg::FullState {
+                version: VersionVector::decode(buf)?,
+                state: Bytes::decode(buf)?,
+                writers: Vec::<(PageKey, WriteId)>::decode(buf)?,
+                order_high: Option::<u64>::decode(buf)?,
+            }),
+            6 => Ok(CoherenceMsg::Invalidate {
+                pages: Vec::<Option<PageKey>>::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+            }),
+            7 => Ok(CoherenceMsg::Notify {
+                version: VersionVector::decode(buf)?,
+            }),
+            8 => Ok(CoherenceMsg::DemandUpdate {
+                since: VersionVector::decode(buf)?,
+                order_since: Option::<u64>::decode(buf)?,
+            }),
+            9 => Ok(CoherenceMsg::DemandResend {
+                client: ClientId::decode(buf)?,
+                from_seq: u64::decode(buf)?,
+            }),
+            10 => Ok(CoherenceMsg::PolicyUpdate {
+                policy: ReplicationPolicy::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "CoherenceMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The network envelope: which distributed object a message belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetMsg {
+    /// The target distributed object.
+    pub object: ObjectId,
+    /// The protocol message.
+    pub msg: CoherenceMsg,
+}
+
+impl WireEncode for NetMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.object.encode(buf);
+        self.msg.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.object.encoded_len() + self.msg.encoded_len()
+    }
+}
+
+impl WireDecode for NetMsg {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(NetMsg {
+            object: ObjectId::decode(buf)?,
+            msg: CoherenceMsg::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MethodId;
+
+    fn sample_write() -> LoggedWrite {
+        LoggedWrite {
+            wid: WriteId::new(ClientId::new(1), 3),
+            inv: InvocationMessage::new(MethodId::new(1), Bytes::from_static(b"args")),
+            deps: [(ClientId::new(2), 1u64)].into_iter().collect(),
+            page: Some("index.html".to_string()),
+            order: Some(17),
+        }
+    }
+
+    fn roundtrip(msg: CoherenceMsg) {
+        let env = NetMsg {
+            object: ObjectId::new(5),
+            msg,
+        };
+        let bytes = globe_wire::to_bytes(&env);
+        assert_eq!(bytes.len(), env.encoded_len());
+        let back: NetMsg = globe_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(CoherenceMsg::ReadReq {
+            req: RequestId::new(1),
+            client: ClientId::new(2),
+            inv: InvocationMessage::new(MethodId::new(0), Bytes::from_static(b"p")),
+            min_version: [(ClientId::new(2), 4u64)].into_iter().collect(),
+        });
+        roundtrip(CoherenceMsg::WriteReq {
+            req: RequestId::new(2),
+            client: ClientId::new(1),
+            write: sample_write(),
+        });
+        roundtrip(CoherenceMsg::Reply {
+            req: RequestId::new(3),
+            outcome: CallOutcome::Ok(Bytes::from_static(b"result")),
+            version: [(ClientId::new(1), 3u64)].into_iter().collect(),
+            sees: Some(WriteId::new(ClientId::new(1), 3)),
+            full_state: Some(Bytes::from_static(b"snapshot")),
+        });
+        roundtrip(CoherenceMsg::Reply {
+            req: RequestId::new(4),
+            outcome: CallOutcome::Err("page missing".into()),
+            version: VersionVector::new(),
+            sees: None,
+            full_state: None,
+        });
+        roundtrip(CoherenceMsg::Update {
+            write: sample_write(),
+        });
+        roundtrip(CoherenceMsg::UpdateBatch {
+            writes: vec![sample_write(), sample_write()],
+            version: VersionVector::new(),
+        });
+        roundtrip(CoherenceMsg::FullState {
+            version: [(ClientId::new(1), 9u64)].into_iter().collect(),
+            state: Bytes::from_static(b"state"),
+            writers: vec![("a".to_string(), WriteId::new(ClientId::new(1), 9))],
+            order_high: Some(12),
+        });
+        roundtrip(CoherenceMsg::Invalidate {
+            pages: vec![Some("a".to_string()), None],
+            version: VersionVector::new(),
+        });
+        roundtrip(CoherenceMsg::Notify {
+            version: [(ClientId::new(3), 1u64)].into_iter().collect(),
+        });
+        roundtrip(CoherenceMsg::DemandUpdate {
+            since: VersionVector::new(),
+            order_since: None,
+        });
+        roundtrip(CoherenceMsg::DemandResend {
+            client: ClientId::new(1),
+            from_seq: 4,
+        });
+        roundtrip(CoherenceMsg::PolicyUpdate {
+            policy: ReplicationPolicy::conference_page(),
+        });
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let msgs = [
+            CoherenceMsg::Notify {
+                version: VersionVector::new(),
+            },
+            CoherenceMsg::DemandUpdate {
+                since: VersionVector::new(),
+                order_since: None,
+            },
+        ];
+        assert_ne!(msgs[0].kind_name(), msgs[1].kind_name());
+    }
+
+    #[test]
+    fn bogus_tag_rejected() {
+        assert!(matches!(
+            globe_wire::from_bytes::<CoherenceMsg>(&[99]),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+}

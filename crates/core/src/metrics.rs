@@ -1,0 +1,140 @@
+//! Operation-level metrics shared across the runtime.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use globe_coherence::{ClientId, History};
+use globe_net::SimTime;
+use parking_lot::Mutex;
+
+use crate::MethodKind;
+
+/// One completed client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSample {
+    /// The issuing client.
+    pub client: ClientId,
+    /// Read or write.
+    pub kind: MethodKind,
+    /// When the client issued the operation.
+    pub issued: SimTime,
+    /// When the reply arrived back at the client.
+    pub completed: SimTime,
+    /// Whether the call succeeded at the semantics level.
+    pub ok: bool,
+}
+
+impl OpSample {
+    /// End-to-end latency of the operation.
+    pub fn latency(&self) -> std::time::Duration {
+        self.completed.saturating_since(self.issued)
+    }
+}
+
+/// Aggregated per-message-kind traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCount {
+    /// Messages sent.
+    pub count: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Mutable metrics store shared by every local object in a runtime.
+#[derive(Debug, Default)]
+pub struct MetricsStore {
+    /// Completed operations, in completion order.
+    pub ops: Vec<OpSample>,
+    /// Coherence traffic by message kind.
+    pub traffic: BTreeMap<&'static str, KindCount>,
+}
+
+impl MetricsStore {
+    /// Records a completed operation.
+    pub fn record_op(&mut self, sample: OpSample) {
+        self.ops.push(sample);
+    }
+
+    /// Accounts one protocol message of `kind` and `bytes` payload.
+    pub fn record_msg(&mut self, kind: &'static str, bytes: usize) {
+        let entry = self.traffic.entry(kind).or_default();
+        entry.count += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.traffic.values().map(|k| k.count).sum()
+    }
+
+    /// Total bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.values().map(|k| k.bytes).sum()
+    }
+
+    /// Mean latency of completed operations of `kind`, if any completed.
+    pub fn mean_latency(&self, kind: MethodKind) -> Option<std::time::Duration> {
+        let samples: Vec<_> = self.ops.iter().filter(|s| s.kind == kind).collect();
+        if samples.is_empty() {
+            return None;
+        }
+        let total: std::time::Duration = samples.iter().map(|s| s.latency()).sum();
+        Some(total / samples.len() as u32)
+    }
+}
+
+/// Shared handle to the metrics store.
+pub type SharedMetrics = Arc<Mutex<MetricsStore>>;
+
+/// Shared handle to the recorded execution history.
+pub type SharedHistory = Arc<Mutex<History>>;
+
+/// Creates an empty shared metrics store.
+pub fn shared_metrics() -> SharedMetrics {
+    Arc::new(Mutex::new(MetricsStore::default()))
+}
+
+/// Creates an empty shared history.
+pub fn shared_history() -> SharedHistory {
+    Arc::new(Mutex::new(History::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_latency_and_means() {
+        let mut m = MetricsStore::default();
+        m.record_op(OpSample {
+            client: ClientId::new(1),
+            kind: MethodKind::Read,
+            issued: SimTime::from_millis(0),
+            completed: SimTime::from_millis(10),
+            ok: true,
+        });
+        m.record_op(OpSample {
+            client: ClientId::new(1),
+            kind: MethodKind::Read,
+            issued: SimTime::from_millis(10),
+            completed: SimTime::from_millis(40),
+            ok: true,
+        });
+        assert_eq!(
+            m.mean_latency(MethodKind::Read),
+            Some(std::time::Duration::from_millis(20))
+        );
+        assert_eq!(m.mean_latency(MethodKind::Write), None);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut m = MetricsStore::default();
+        m.record_msg("Update", 100);
+        m.record_msg("Update", 50);
+        m.record_msg("Notify", 10);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_bytes(), 160);
+        assert_eq!(m.traffic["Update"].count, 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! The causal replication object.
+//!
+//! "The ordering of operations must be guaranteed only between causally
+//! related operations. For example, such a coherence model could be
+//! applied to a Web forum, like a newsgroup, where a participant's
+//! reaction makes sense only if the audience has received the message
+//! that triggered the reaction. This ordering must be ensured at every
+//! store" (§3.2.1).
+//!
+//! Writes carry a dependency vector assembled by the writer's proxy (its
+//! observed version merged over every reply it has seen, plus its own
+//! previous write). A store applies a write only once its applied vector
+//! dominates those dependencies, buffering otherwise — vector-clock
+//! causal delivery.
+
+use globe_coherence::ObjectModel;
+
+use super::{Readiness, ReplicaView, ReplicationObject};
+use crate::LoggedWrite;
+
+/// Causal coherence via dependency-vector delivery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CausalReplication;
+
+impl ReplicationObject for CausalReplication {
+    fn name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn model(&self) -> ObjectModel {
+        ObjectModel::Causal
+    }
+
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness {
+        if view.has_seen(write.wid) {
+            return Readiness::Stale;
+        }
+        if view.applied.dominates(&write.deps) {
+            Readiness::Ready
+        } else {
+            Readiness::Buffer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use globe_coherence::{ClientId, VersionVector, WriteId};
+
+    use super::super::testutil::{view, write_with_deps};
+    use super::*;
+
+    #[test]
+    fn reaction_waits_for_article() {
+        let repl = CausalReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        // Client 2's reaction depends on client 1's article.
+        let reaction = write_with_deps(2, 1, &[(1, 1)]);
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &reaction),
+            Readiness::Buffer
+        );
+        let mut applied = applied;
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &reaction),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn concurrent_writes_apply_in_any_order() {
+        let repl = CausalReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        let a = write_with_deps(1, 1, &[]);
+        let b = write_with_deps(2, 1, &[]);
+        assert_eq!(repl.readiness(&view(&applied, &extra, 0), &a), Readiness::Ready);
+        assert_eq!(repl.readiness(&view(&applied, &extra, 0), &b), Readiness::Ready);
+    }
+
+    #[test]
+    fn own_program_order_rides_on_deps() {
+        let repl = CausalReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        // Second write of client 1 carries a dep on its first.
+        let second = write_with_deps(1, 2, &[(1, 1)]);
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &second),
+            Readiness::Buffer
+        );
+    }
+
+    #[test]
+    fn duplicates_are_stale() {
+        let repl = CausalReplication;
+        let mut applied = VersionVector::new();
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write_with_deps(1, 1, &[])),
+            Readiness::Stale
+        );
+    }
+}

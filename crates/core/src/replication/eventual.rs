@@ -1,0 +1,119 @@
+//! The eventual replication object.
+//!
+//! "The eventual coherence model is the weakest form of coherence since
+//! it ensures that eventually updates are propagated but without any
+//! ordering constraints" (§3.2.1).
+//!
+//! Writes apply in arrival order with no buffering; concurrent writes to
+//! the same page are resolved deterministically by last-writer-wins on
+//! the write identifier, so replicas converge no matter the delivery
+//! order. Periodic anti-entropy pulls repair losses.
+//!
+//! **Convergence requires overwrite-style (LWW-able) operations**: a
+//! write's value must replace the page, as `put_page` does. Incremental
+//! operations like `patch_page` are not commutative, and no ordering-free
+//! model can converge them — that is precisely the gap CRDTs later
+//! filled. Use PRAM (single writer) or sequential coherence for
+//! incremental updates, as the paper's conference example does.
+
+use globe_coherence::{ObjectModel, WriteId};
+
+use super::{Readiness, ReplicaView, ReplicationObject};
+use crate::LoggedWrite;
+
+/// Eventual coherence with LWW convergence and anti-entropy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventualReplication;
+
+impl ReplicationObject for EventualReplication {
+    fn name(&self) -> &'static str {
+        "eventual"
+    }
+
+    fn model(&self) -> ObjectModel {
+        ObjectModel::Eventual
+    }
+
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness {
+        if view.has_seen(write.wid) {
+            return Readiness::Stale;
+        }
+        if !view.applied.dominates(&write.deps) {
+            // Session guards may still impose ordering on the weakest
+            // model; anti-entropy guarantees progress.
+            return Readiness::Buffer;
+        }
+        Readiness::Ready
+    }
+
+    fn should_dispatch(&self, current: Option<WriteId>, new: WriteId) -> bool {
+        match current {
+            None => true,
+            // Deterministic last-writer-wins: higher sequence number
+            // wins; ties (across clients) break by client id.
+            Some(cur) => (new.seq, new.client) >= (cur.seq, cur.client),
+        }
+    }
+
+    fn wants_anti_entropy(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use globe_coherence::{ClientId, VersionVector};
+
+    use super::super::testutil::{view, write};
+    use super::*;
+
+    #[test]
+    fn applies_out_of_order_without_buffering() {
+        let repl = EventualReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 5)),
+            Readiness::Ready
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn exact_dedup_via_extras() {
+        let repl = EventualReplication;
+        let applied = VersionVector::new();
+        let mut extra = BTreeSet::new();
+        extra.insert(WriteId::new(ClientId::new(1), 5));
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 5)),
+            Readiness::Stale,
+            "already incorporated, even though the prefix is empty"
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Ready,
+            "the hole below an extra is still applicable"
+        );
+    }
+
+    #[test]
+    fn lww_resolution_is_total_and_deterministic() {
+        let repl = EventualReplication;
+        let w_a = WriteId::new(ClientId::new(1), 3);
+        let w_b = WriteId::new(ClientId::new(2), 3);
+        let w_c = WriteId::new(ClientId::new(1), 4);
+        assert!(repl.should_dispatch(None, w_a));
+        // Higher seq always wins.
+        assert!(repl.should_dispatch(Some(w_a), w_c));
+        assert!(!repl.should_dispatch(Some(w_c), w_a));
+        // Equal seq: client id breaks the tie the same way everywhere.
+        assert!(repl.should_dispatch(Some(w_a), w_b));
+        assert!(!repl.should_dispatch(Some(w_b), w_a));
+    }
+}

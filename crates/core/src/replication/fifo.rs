@@ -1,0 +1,88 @@
+//! The FIFO replication object.
+//!
+//! "The FIFO coherence model is an optimization of the PRAM model. In
+//! this case, a write request from a client is honored if it is more
+//! recent than the latest write from that same client. Otherwise, the
+//! request is simply ignored. This model will prove better performance
+//! when clients overwrite a Web object instead of performing incremental
+//! updates" (§3.2.1).
+
+use globe_coherence::ObjectModel;
+
+use super::{Readiness, RecordMode, ReplicaView, ReplicationObject};
+use crate::LoggedWrite;
+
+/// FIFO (overwrite) coherence: only the newest write per client matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoReplication;
+
+impl ReplicationObject for FifoReplication {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn model(&self) -> ObjectModel {
+        ObjectModel::Fifo
+    }
+
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness {
+        if write.wid.seq <= view.applied.get(write.wid.client) {
+            // Outrun by a more recent write from the same client: ignore.
+            return Readiness::Stale;
+        }
+        if !view.applied.dominates(&write.deps) {
+            return Readiness::Buffer;
+        }
+        Readiness::Ready
+    }
+
+    fn record_mode(&self) -> RecordMode {
+        // Jumping from seq 1 to seq 5 is the whole point: 2–4 were
+        // overwritten and will be ignored if they ever arrive.
+        RecordMode::Advance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use globe_coherence::{ClientId, VersionVector, WriteId};
+
+    use super::super::testutil::{view, write};
+    use super::*;
+
+    #[test]
+    fn newer_write_skips_gaps() {
+        let repl = FifoReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 5)),
+            Readiness::Ready,
+            "fifo jumps straight to the newest write"
+        );
+    }
+
+    #[test]
+    fn older_write_is_ignored() {
+        let repl = FifoReplication;
+        let mut applied = VersionVector::new();
+        applied.advance_to(WriteId::new(ClientId::new(1), 5));
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 3)),
+            Readiness::Stale,
+            "late write 3 arrives after 5 was applied: simply ignored"
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 6)),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn record_mode_advances() {
+        assert_eq!(FifoReplication.record_mode(), RecordMode::Advance);
+    }
+}

@@ -1,0 +1,216 @@
+//! Replication sub-objects: one pluggable implementation per coherence
+//! model.
+//!
+//! "It is important to note that the replication objects all have the
+//! same interface. This means that the flow of control within the local
+//! object is more or less the same everywhere. However, the internals of
+//! the replication objects differ as each implements its own part of a
+//! coherence protocol" (§4.2). The shared interface is
+//! [`ReplicationObject`]; the internals are the five implementations in
+//! this module. The store engine ([`crate::StoreReplica`]) drives them
+//! and handles the mechanics that Table 1 parameterizes (push/pull,
+//! immediate/lazy, update/invalidate, partial/full).
+
+mod causal;
+mod eventual;
+mod fifo;
+mod pram;
+mod sequential;
+
+pub use causal::CausalReplication;
+pub use eventual::EventualReplication;
+pub use fifo::FifoReplication;
+pub use pram::PramReplication;
+pub use sequential::SequentialReplication;
+
+use std::collections::BTreeSet;
+
+use globe_coherence::{ObjectModel, VersionVector, WriteId};
+
+use crate::LoggedWrite;
+
+/// Verdict on whether a replica may apply an incoming write now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Apply immediately.
+    Ready,
+    /// Hold until prerequisites arrive ("the update request is buffered
+    /// and the store waits until the next one", §4.2).
+    Buffer,
+    /// Already seen or superseded; drop ("the request is simply
+    /// ignored", §3.2.1 on FIFO).
+    Stale,
+}
+
+/// How applied writes are folded into the replica's version vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordMode {
+    /// Exact bookkeeping: contiguous prefix plus an explicit set of
+    /// out-of-band writes (PRAM, causal, sequential, eventual).
+    Exact,
+    /// Jump-ahead bookkeeping: skipped writes count as seen because they
+    /// were overwritten (FIFO).
+    Advance,
+}
+
+/// A replica's ordering state, as visible to a replication object when it
+/// judges an incoming write.
+#[derive(Debug)]
+pub struct ReplicaView<'a> {
+    /// Contiguous-prefix version vector of applied writes.
+    pub applied: &'a VersionVector,
+    /// Writes applied out of contiguous order (eventual model).
+    pub extra_seen: &'a BTreeSet<WriteId>,
+    /// Next sequencer order number expected (sequential model).
+    pub next_order: u64,
+}
+
+impl ReplicaView<'_> {
+    /// Whether the replica has already incorporated `wid`.
+    pub fn has_seen(&self, wid: WriteId) -> bool {
+        self.applied.covers(wid) || self.extra_seen.contains(&wid)
+    }
+}
+
+/// The uniform interface of every replication sub-object.
+///
+/// Implementations are deliberately *stateless*: all ordering state lives
+/// in the store engine, so strategies can be swapped at run time without
+/// state migration ("the standardized interfaces offered by our model
+/// allow us to dynamically update strategies", §3.2.2).
+pub trait ReplicationObject: Send {
+    /// Short protocol name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The coherence model this object implements.
+    fn model(&self) -> ObjectModel;
+
+    /// Judges an incoming write against the replica's current state.
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness;
+
+    /// How the store engine should record applied writes.
+    fn record_mode(&self) -> RecordMode {
+        RecordMode::Exact
+    }
+
+    /// Whether the value of `new` should reach the semantics object given
+    /// the page's current last writer (eventual consistency resolves
+    /// concurrent writes by last-writer-wins; ordering models apply in
+    /// arrival order).
+    fn should_dispatch(&self, current: Option<WriteId>, new: WriteId) -> bool {
+        let _ = (current, new);
+        true
+    }
+
+    /// Whether the home store assigns a global total order to writes.
+    fn orders_writes(&self) -> bool {
+        false
+    }
+
+    /// Whether a non-home store may accept client writes locally and
+    /// relay them to the home store asynchronously. This is the §3.2.1
+    /// efficiency claim: PRAM-family models need no global coordination,
+    /// so a nearby replica can acknowledge a write immediately; the
+    /// sequential model must take the sequencer round-trip.
+    fn accepts_local_writes(&self) -> bool {
+        !self.orders_writes()
+    }
+
+    /// Whether replicas should run periodic anti-entropy pulls regardless
+    /// of the configured transfer initiative.
+    fn wants_anti_entropy(&self) -> bool {
+        false
+    }
+}
+
+/// Instantiates the replication object for a coherence model.
+///
+/// # Examples
+///
+/// ```
+/// use globe_coherence::ObjectModel;
+/// use globe_core::replication::replication_for;
+///
+/// let repl = replication_for(ObjectModel::Pram);
+/// assert_eq!(repl.name(), "pram");
+/// ```
+pub fn replication_for(model: ObjectModel) -> Box<dyn ReplicationObject> {
+    match model {
+        ObjectModel::Sequential => Box::new(SequentialReplication),
+        ObjectModel::Pram => Box::new(PramReplication),
+        ObjectModel::Fifo => Box::new(FifoReplication),
+        ObjectModel::Causal => Box::new(CausalReplication),
+        ObjectModel::Eventual => Box::new(EventualReplication),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use bytes::Bytes;
+    use globe_coherence::ClientId;
+
+    use crate::{InvocationMessage, MethodId};
+
+    use super::*;
+
+    pub fn write(client: u32, seq: u64) -> LoggedWrite {
+        LoggedWrite {
+            wid: WriteId::new(ClientId::new(client), seq),
+            inv: InvocationMessage::new(MethodId::new(1), Bytes::new()),
+            deps: VersionVector::new(),
+            page: Some("p".to_string()),
+            order: None,
+        }
+    }
+
+    pub fn write_with_deps(client: u32, seq: u64, deps: &[(u32, u64)]) -> LoggedWrite {
+        let mut w = write(client, seq);
+        w.deps = deps
+            .iter()
+            .map(|&(c, s)| (ClientId::new(c), s))
+            .collect();
+        w
+    }
+
+    pub fn view<'a>(
+        applied: &'a VersionVector,
+        extra: &'a BTreeSet<WriteId>,
+        next_order: u64,
+    ) -> ReplicaView<'a> {
+        ReplicaView {
+            applied,
+            extra_seen: extra,
+            next_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_matches_models() {
+        for &model in ObjectModel::ALL {
+            let repl = replication_for(model);
+            assert_eq!(repl.model(), model);
+            assert!(!repl.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_sequential_orders_writes() {
+        for &model in ObjectModel::ALL {
+            let repl = replication_for(model);
+            assert_eq!(repl.orders_writes(), model == ObjectModel::Sequential);
+        }
+    }
+
+    #[test]
+    fn only_eventual_wants_anti_entropy() {
+        for &model in ObjectModel::ALL {
+            let repl = replication_for(model);
+            assert_eq!(repl.wants_anti_entropy(), model == ObjectModel::Eventual);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The PRAM replication object (§4.2 of the paper).
+//!
+//! "Upon receipt of an update … the sequence number of the incoming
+//! update's WiD is compared to the client's version number
+//! (`expected_write[client]`). If they are equal, then all previous
+//! updates have been performed and the new update is performed as well.
+//! Otherwise, the update request is buffered and the store waits until
+//! the next one."
+
+use globe_coherence::ObjectModel;
+
+use super::{Readiness, ReplicaView, ReplicationObject};
+use crate::LoggedWrite;
+
+/// Pipelined-RAM coherence: per-client issue order at every store.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PramReplication;
+
+impl ReplicationObject for PramReplication {
+    fn name(&self) -> &'static str {
+        "pram"
+    }
+
+    fn model(&self) -> ObjectModel {
+        ObjectModel::Pram
+    }
+
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness {
+        if view.has_seen(write.wid) {
+            return Readiness::Stale;
+        }
+        if !view.applied.dominates(&write.deps) {
+            // Session-guard dependencies (e.g. Writes-Follow-Reads) ride
+            // on the same mechanism.
+            return Readiness::Buffer;
+        }
+        if view.applied.is_next(write.wid) {
+            Readiness::Ready
+        } else {
+            Readiness::Buffer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use globe_coherence::{ClientId, VersionVector, WriteId};
+
+    use super::super::testutil::{view, write, write_with_deps};
+    use super::*;
+
+    #[test]
+    fn applies_in_sequence_buffers_gaps() {
+        let repl = PramReplication;
+        let mut applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 1)),
+            Readiness::Ready
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Buffer,
+            "gap: write 1 not applied yet"
+        );
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn duplicates_are_stale() {
+        let repl = PramReplication;
+        let mut applied = VersionVector::new();
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 1)),
+            Readiness::Stale
+        );
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let repl = PramReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 1)),
+            Readiness::Ready
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(2, 1)),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn guard_dependencies_buffer() {
+        let repl = PramReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        // First write of client 2, but it depends on client 1's write 1
+        // (a Writes-Follow-Reads guard).
+        let w = write_with_deps(2, 1, &[(1, 1)]);
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &w),
+            Readiness::Buffer
+        );
+        let mut applied = applied;
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &w),
+            Readiness::Ready
+        );
+    }
+}

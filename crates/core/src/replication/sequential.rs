@@ -1,0 +1,121 @@
+//! The sequential replication object.
+//!
+//! "The sequential coherence model requires a global ordering of
+//! operations on an object. Although such a coherence model is hard to
+//! implement efficiently, many applications will actually need it"
+//! (§3.2.1, citing Lamport).
+//!
+//! Implementation: the home (permanent) store is the sequencer. Writes
+//! are forwarded to it, applied in arrival order (respecting per-client
+//! issue order), stamped with a global order number, and propagated;
+//! replicas apply strictly in order-number sequence.
+
+use globe_coherence::ObjectModel;
+
+use super::{Readiness, ReplicaView, ReplicationObject};
+use crate::LoggedWrite;
+
+/// Sequential coherence via a home-store sequencer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialReplication;
+
+impl ReplicationObject for SequentialReplication {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn model(&self) -> ObjectModel {
+        ObjectModel::Sequential
+    }
+
+    fn readiness(&self, view: &ReplicaView<'_>, write: &LoggedWrite) -> Readiness {
+        match write.order {
+            // Already sequenced: replicas follow the total order exactly.
+            Some(order) => {
+                if order < view.next_order {
+                    Readiness::Stale
+                } else if order == view.next_order && view.applied.dominates(&write.deps) {
+                    Readiness::Ready
+                } else {
+                    Readiness::Buffer
+                }
+            }
+            // Not yet sequenced: the home store admits writes in
+            // per-client issue order (PRAM rule) before stamping them.
+            None => {
+                if view.has_seen(write.wid) {
+                    Readiness::Stale
+                } else if view.applied.is_next(write.wid)
+                    && view.applied.dominates(&write.deps)
+                {
+                    Readiness::Ready
+                } else {
+                    Readiness::Buffer
+                }
+            }
+        }
+    }
+
+    fn orders_writes(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use globe_coherence::{ClientId, VersionVector, WriteId};
+
+    use super::super::testutil::{view, write};
+    use super::*;
+
+    fn ordered(client: u32, seq: u64, order: u64) -> LoggedWrite {
+        let mut w = write(client, seq);
+        w.order = Some(order);
+        w
+    }
+
+    #[test]
+    fn replicas_follow_the_total_order() {
+        let repl = SequentialReplication;
+        let applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &ordered(1, 1, 0)),
+            Readiness::Ready
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &ordered(2, 1, 1)),
+            Readiness::Buffer,
+            "order 1 must wait for order 0"
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 2), &ordered(2, 1, 1)),
+            Readiness::Stale,
+            "order already passed"
+        );
+    }
+
+    #[test]
+    fn home_admits_writes_in_client_order() {
+        let repl = SequentialReplication;
+        let mut applied = VersionVector::new();
+        let extra = BTreeSet::new();
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Buffer,
+            "client's first write missing"
+        );
+        applied.record(WriteId::new(ClientId::new(1), 1));
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &write(1, 2)),
+            Readiness::Ready
+        );
+    }
+
+    #[test]
+    fn orders_writes_flag() {
+        assert!(SequentialReplication.orders_writes());
+    }
+}

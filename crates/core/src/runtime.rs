@@ -1,0 +1,841 @@
+//! The simulated Globe runtime: address spaces, support services, and a
+//! synchronous client API over the deterministic network.
+//!
+//! [`GlobeSim`] is the top-level entry point used by the examples, tests,
+//! and benchmarks: create nodes, create distributed Web objects with
+//! their per-object replication policies, bind clients, and run.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use globe_coherence::{ClientId, ClientModel, StoreClass, StoreId, VersionVector};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
+use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
+
+use crate::{
+    shared_history, shared_metrics, AddressSpace, CallError, ControlObject, InvocationMessage,
+    PeerStore, ReplicationPolicy, RequestId, Semantics, Session, SessionConfig, SharedHistory,
+    SharedMetrics, StoreConfig, StoreReplica,
+};
+
+/// Error creating or binding an object in the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The object name is already registered.
+    NameTaken(String),
+    /// Object placement listed no permanent store.
+    NoPermanentStore,
+    /// The referenced node does not exist in the runtime.
+    UnknownNode(NodeId),
+    /// The referenced object does not exist.
+    UnknownObject(ObjectId),
+    /// The object name failed to parse.
+    BadName(String),
+    /// The requested store to bind to does not hold a replica.
+    NoSuchReplica,
+    /// The replication policy failed validation.
+    BadPolicy(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NameTaken(name) => write!(f, "object name {name} is already taken"),
+            RuntimeError::NoPermanentStore => {
+                write!(f, "object placement must include a permanent store")
+            }
+            RuntimeError::UnknownNode(node) => write!(f, "node {node} does not exist"),
+            RuntimeError::UnknownObject(object) => write!(f, "object {object} does not exist"),
+            RuntimeError::BadName(why) => write!(f, "bad object name: {why}"),
+            RuntimeError::NoSuchReplica => write!(f, "no replica matches the binding request"),
+            RuntimeError::BadPolicy(why) => write!(f, "bad replication policy: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A client's handle to a bound distributed object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientHandle {
+    /// The bound object.
+    pub object: ObjectId,
+    /// The node (address space) the client runs in.
+    pub node: NodeId,
+    /// The client's identity.
+    pub client: ClientId,
+}
+
+/// Which replica a client's reads should bind to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadChoice {
+    /// The nearest replica of the deepest layer (what a browser does).
+    #[default]
+    Nearest,
+    /// The nearest replica of a specific store class.
+    Class(StoreClass),
+    /// The replica hosted on a specific node.
+    Node(NodeId),
+}
+
+/// Which store accepts a client's writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteChoice {
+    /// The home (primary permanent) store — the paper's Fig. 3 shape,
+    /// where "the Web master writes directly to the Web server".
+    #[default]
+    Home,
+    /// The client's bound read store, when the object's coherence model
+    /// permits local write ingress (all models except sequential). This
+    /// realizes the §3.2.1 claim that PRAM-family models need no global
+    /// coordination on the write path.
+    Bound,
+}
+
+/// Options for [`GlobeSim::bind`].
+#[derive(Debug, Clone, Default)]
+pub struct BindOptions {
+    /// Which replica serves this client's reads.
+    pub read_from: ReadChoice,
+    /// Which store accepts this client's writes.
+    pub write_via: WriteChoice,
+    /// Client-based coherence models to enforce for this client.
+    pub guards: Vec<ClientModel>,
+}
+
+impl BindOptions {
+    /// Default binding: nearest replica, no session guards.
+    pub fn new() -> Self {
+        BindOptions::default()
+    }
+
+    /// Binds reads to the replica on `node`.
+    pub fn read_node(mut self, node: NodeId) -> Self {
+        self.read_from = ReadChoice::Node(node);
+        self
+    }
+
+    /// Binds reads to the nearest replica of `class`.
+    pub fn read_class(mut self, class: StoreClass) -> Self {
+        self.read_from = ReadChoice::Class(class);
+        self
+    }
+
+    /// Routes writes through the bound read store when the coherence
+    /// model allows it (falls back to the home store otherwise).
+    pub fn write_local(mut self) -> Self {
+        self.write_via = WriteChoice::Bound;
+        self
+    }
+
+    /// Adds a client-based coherence model.
+    pub fn guard(mut self, model: ClientModel) -> Self {
+        if !self.guards.contains(&model) {
+            self.guards.push(model);
+        }
+        self
+    }
+}
+
+struct ObjectRecord {
+    policy: ReplicationPolicy,
+    home_node: NodeId,
+    home_store: StoreId,
+    stores: Vec<(NodeId, StoreId, StoreClass)>,
+}
+
+/// The simulated Globe middleware runtime.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+/// use globe_coherence::StoreClass;
+/// use globe_net::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = GlobeSim::new(Topology::lan(), 42);
+/// let server = sim.add_node();
+/// let browser = sim.add_node();
+/// let obj = sim.create_object(
+///     "/home/alice",
+///     ReplicationPolicy::personal_home_page(),
+///     &mut || Box::new(RegisterDoc::new()),
+///     &[(server, StoreClass::Permanent)],
+/// )?;
+/// let alice = sim.bind(obj, browser, BindOptions::new())?;
+/// sim.write(&alice, registers::put("index.html", b"<h1>hi</h1>"))?;
+/// let page = sim.read(&alice, registers::get("index.html"))?;
+/// assert_eq!(&page[..], b"<h1>hi</h1>");
+/// # Ok(())
+/// # }
+/// ```
+pub struct GlobeSim {
+    net: SimNet,
+    spaces: HashMap<NodeId, Rc<RefCell<AddressSpace>>>,
+    names: NameSpace,
+    locations: LocationService,
+    objects: HashMap<ObjectId, ObjectRecord>,
+    history: SharedHistory,
+    metrics: SharedMetrics,
+    next_client: u32,
+    next_store: u32,
+    call_timeout: Duration,
+}
+
+impl GlobeSim {
+    /// Creates a runtime over `topology` with a deterministic seed.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        GlobeSim {
+            net: SimNet::new(topology, seed),
+            spaces: HashMap::new(),
+            names: NameSpace::new(),
+            locations: LocationService::new(),
+            objects: HashMap::new(),
+            history: shared_history(),
+            metrics: shared_metrics(),
+            next_client: 0,
+            next_store: 0,
+            call_timeout: Duration::from_secs(300),
+        }
+    }
+
+    /// Adds an address space in region 0.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_node_in(RegionId::new(0))
+    }
+
+    /// Adds an address space in `region`.
+    pub fn add_node_in(&mut self, region: RegionId) -> NodeId {
+        let node = self.net.add_node_in(region);
+        let space = Rc::new(RefCell::new(AddressSpace::new(node)));
+        let handler_space = Rc::clone(&space);
+        self.net.set_handler(node, move |event, ctx| {
+            handler_space.borrow_mut().handle_event(event, ctx);
+        });
+        self.spaces.insert(node, space);
+        node
+    }
+
+    /// Maximum virtual time a synchronous call may take before
+    /// [`CallError::TimedOut`].
+    pub fn set_call_timeout(&mut self, timeout: Duration) {
+        self.call_timeout = timeout;
+    }
+
+    /// Creates a distributed Web object with its own replication policy.
+    ///
+    /// `placement` lists the stores holding replicas; the first
+    /// `Permanent` entry becomes the home (sequencing) store. Each store
+    /// gets a fresh semantics instance from `semantics_factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the name is taken or malformed, a
+    /// node is unknown, no permanent store is listed, or the policy is
+    /// invalid.
+    pub fn create_object(
+        &mut self,
+        name: &str,
+        policy: ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        placement: &[(NodeId, StoreClass)],
+    ) -> Result<ObjectId, RuntimeError> {
+        policy
+            .validate()
+            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        let parsed: ObjectName = name
+            .parse()
+            .map_err(|e: globe_naming::ParseNameError| RuntimeError::BadName(e.to_string()))?;
+        for (node, _) in placement {
+            if !self.spaces.contains_key(node) {
+                return Err(RuntimeError::UnknownNode(*node));
+            }
+        }
+        let home_index = placement
+            .iter()
+            .position(|(_, class)| *class == StoreClass::Permanent)
+            .ok_or(RuntimeError::NoPermanentStore)?;
+        let object = self
+            .names
+            .register(parsed)
+            .map_err(|_| RuntimeError::NameTaken(name.to_string()))?;
+        let home_node = placement[home_index].0;
+
+        let mut stores = Vec::new();
+        for (node, class) in placement {
+            let store_id = StoreId::new(self.next_store);
+            self.next_store += 1;
+            stores.push((*node, store_id, *class));
+            self.locations.register(
+                object,
+                ContactRecord {
+                    node: *node,
+                    class: *class,
+                    region: self.net.topology().region_of(*node),
+                },
+            );
+        }
+        let home_store = stores[home_index].1;
+
+        for (index, (node, store_id, class)) in stores.iter().enumerate() {
+            let is_home = index == home_index;
+            let peers = if is_home {
+                stores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != home_index)
+                    .map(|(_, (n, _, c))| PeerStore { node: *n, class: *c })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let replica = StoreReplica::new(StoreConfig {
+                object,
+                store_id: *store_id,
+                class: *class,
+                policy: policy.clone(),
+                home_node,
+                is_home,
+                peers,
+                semantics: semantics_factory(),
+                history: self.history.clone(),
+                metrics: self.metrics.clone(),
+            });
+            let space = Rc::clone(&self.spaces[node]);
+            {
+                let mut space = space.borrow_mut();
+                match space.control_mut(object) {
+                    Some(control) => control.set_store(replica),
+                    None => space.install(ControlObject::with_store(object, replica)),
+                }
+            }
+            self.net.with_ctx(*node, |ctx| {
+                space
+                    .borrow_mut()
+                    .control_mut(object)
+                    .expect("control installed above")
+                    .start(ctx);
+            });
+        }
+
+        self.objects.insert(
+            object,
+            ObjectRecord {
+                policy,
+                home_node,
+                home_store,
+                stores,
+            },
+        );
+        Ok(object)
+    }
+
+    /// Installs an additional store (mirror or cache) at run time. The
+    /// new replica synchronizes itself by demanding missing updates from
+    /// the home store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or node is unknown.
+    pub fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        if !self.spaces.contains_key(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let store_id = StoreId::new(self.next_store);
+        self.next_store += 1;
+        let home_node = record.home_node;
+        let policy = record.policy.clone();
+        record.stores.push((node, store_id, class));
+        self.locations.register(
+            object,
+            ContactRecord {
+                node,
+                class,
+                region: self.net.topology().region_of(node),
+            },
+        );
+        let replica = StoreReplica::new(StoreConfig {
+            object,
+            store_id,
+            class,
+            policy,
+            home_node,
+            is_home: false,
+            peers: Vec::new(),
+            semantics,
+            history: self.history.clone(),
+            metrics: self.metrics.clone(),
+        });
+        let space = Rc::clone(&self.spaces[&node]);
+        {
+            let mut space = space.borrow_mut();
+            match space.control_mut(object) {
+                Some(control) => control.set_store(replica),
+                None => space.install(ControlObject::with_store(object, replica)),
+            }
+        }
+        // Tell the home store about its new peer, then let the replica
+        // arm its timers and fetch the current state.
+        let home_space = Rc::clone(&self.spaces[&home_node]);
+        if let Some(store) = home_space
+            .borrow_mut()
+            .control_mut(object)
+            .and_then(|c| c.store_mut())
+        {
+            store.add_peer(PeerStore { node, class });
+        }
+        self.net.with_ctx(node, |ctx| {
+            let mut space = space.borrow_mut();
+            let control = space.control_mut(object).expect("just installed");
+            control.start(ctx);
+            if let Some(store) = control.store_mut() {
+                store.initial_sync(ctx);
+            }
+        });
+        Ok(store_id)
+    }
+
+    /// Binds a client in `node`'s address space to `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node is unknown or the
+    /// requested replica does not exist.
+    pub fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        if !self.spaces.contains_key(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let region = self.net.topology().region_of(node);
+        let read_node = match opts.read_from {
+            ReadChoice::Nearest => self
+                .locations
+                .nearest_any_layer(object, region)
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node,
+            ReadChoice::Class(class) => self
+                .locations
+                .nearest(object, region, Some(class))
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node,
+            ReadChoice::Node(n) => n,
+        };
+        let read_store = record
+            .stores
+            .iter()
+            .find(|(n, _, _)| *n == read_node)
+            .map(|(_, id, _)| *id)
+            .ok_or(RuntimeError::NoSuchReplica)?;
+
+        let client = ClientId::new(self.next_client);
+        self.next_client += 1;
+        let guards: Vec<ClientModel> = opts
+            .guards
+            .into_iter()
+            .filter(|g| !record.policy.model.subsumes(*g))
+            .collect();
+        let local_ok = crate::replication::replication_for(record.policy.model)
+            .accepts_local_writes();
+        let (write_node, write_store) = match opts.write_via {
+            WriteChoice::Bound if local_ok => (read_node, read_store),
+            _ => (record.home_node, record.home_store),
+        };
+        let session = Session::new(SessionConfig {
+            client,
+            object,
+            model: record.policy.model,
+            guards,
+            read_node,
+            read_store,
+            write_node,
+            write_store,
+            history: self.history.clone(),
+            metrics: self.metrics.clone(),
+        });
+        let space = Rc::clone(&self.spaces[&node]);
+        let mut space_ref = space.borrow_mut();
+        match space_ref.control_mut(object) {
+            Some(control) => control.add_session(session),
+            None => {
+                let mut control = ControlObject::proxy_only(object);
+                control.add_session(session);
+                space_ref.install(control);
+            }
+        }
+        Ok(ClientHandle {
+            object,
+            node,
+            client,
+        })
+    }
+
+    /// Adds a client-based coherence model to an existing binding at run
+    /// time — "when a client binds to a store and requests support for
+    /// some client-based coherence model, the replication subobject of
+    /// the store is easily augmented to integrate the implementation of
+    /// the new coherence model" (§3.2.2). Guards the object model already
+    /// subsumes are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the handle is unknown.
+    pub fn add_guard(
+        &mut self,
+        handle: &ClientHandle,
+        guard: ClientModel,
+    ) -> Result<(), RuntimeError> {
+        let space = Rc::clone(
+            self.spaces
+                .get(&handle.node)
+                .ok_or(RuntimeError::UnknownNode(handle.node))?,
+        );
+        let mut space = space.borrow_mut();
+        let session = space
+            .control_mut(handle.object)
+            .and_then(|c| c.session_mut(handle.client))
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        session.add_guard(guard);
+        Ok(())
+    }
+
+    /// Simulates a crash-and-restart of the (non-home) replica at `node`:
+    /// its in-memory state is discarded and it resynchronizes from the
+    /// home store, the way a store recovers by re-binding to the object's
+    /// permanent stores (§3.1: permanent stores implement persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown.
+    pub fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let (_, store_id, class) = *record
+            .stores
+            .iter()
+            .find(|(n, _, _)| *n == node)
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        if node == record.home_node {
+            return Err(RuntimeError::BadPolicy(
+                "the home store cannot be restarted from itself".to_string(),
+            ));
+        }
+        let replica = StoreReplica::new(StoreConfig {
+            object,
+            store_id,
+            class,
+            policy: record.policy.clone(),
+            home_node: record.home_node,
+            is_home: false,
+            peers: Vec::new(),
+            semantics: fresh_semantics,
+            history: self.history.clone(),
+            metrics: self.metrics.clone(),
+        });
+        let space = Rc::clone(&self.spaces[&node]);
+        {
+            let mut space = space.borrow_mut();
+            let control = space
+                .control_mut(object)
+                .ok_or(RuntimeError::NoSuchReplica)?;
+            control.set_store(replica);
+        }
+        self.net.with_ctx(node, |ctx| {
+            let mut space = space.borrow_mut();
+            let control = space.control_mut(object).expect("control exists");
+            control.start(ctx);
+            if let Some(store) = control.store_mut() {
+                store.initial_sync(ctx);
+            }
+        });
+        Ok(())
+    }
+
+    /// Rebinds a client's reads to the replica on `store_node` (clients
+    /// may switch replicas; monotonic-reads guards make that safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if that node holds no replica.
+    pub fn rebind_reads(
+        &mut self,
+        handle: &ClientHandle,
+        store_node: NodeId,
+    ) -> Result<(), RuntimeError> {
+        let record = self
+            .objects
+            .get(&handle.object)
+            .ok_or(RuntimeError::UnknownObject(handle.object))?;
+        let store_id = record
+            .stores
+            .iter()
+            .find(|(n, _, _)| *n == store_node)
+            .map(|(_, id, _)| *id)
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        let space = Rc::clone(&self.spaces[&handle.node]);
+        let mut space = space.borrow_mut();
+        let session = space
+            .control_mut(handle.object)
+            .and_then(|c| c.session_mut(handle.client))
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        session.rebind_reads(store_node, store_id);
+        Ok(())
+    }
+
+    /// Issues an asynchronous read; poll with [`GlobeSim::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    pub fn issue_read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        let space = Rc::clone(self.spaces.get(&handle.node).ok_or(CallError::NotBound)?);
+        self.net.with_ctx(handle.node, |ctx| {
+            space
+                .borrow_mut()
+                .control_mut(handle.object)
+                .ok_or(CallError::NotBound)?
+                .client_read(handle.client, inv, ctx)
+        })
+    }
+
+    /// Issues an asynchronous write; poll with [`GlobeSim::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    pub fn issue_write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        let space = Rc::clone(self.spaces.get(&handle.node).ok_or(CallError::NotBound)?);
+        self.net.with_ctx(handle.node, |ctx| {
+            space
+                .borrow_mut()
+                .control_mut(handle.object)
+                .ok_or(CallError::NotBound)?
+                .client_write(handle.client, inv, ctx)
+        })
+    }
+
+    /// Takes the result of an asynchronous call, if it completed.
+    pub fn result(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        let space = self.spaces.get(&handle.node)?;
+        let mut space = space.borrow_mut();
+        space
+            .control_mut(handle.object)?
+            .take_result(handle.client, req)
+    }
+
+    fn pump(&mut self, handle: &ClientHandle, req: RequestId) -> Result<Bytes, CallError> {
+        let deadline = self.net.now() + self.call_timeout;
+        loop {
+            if let Some(result) = self.result(handle, req) {
+                return result;
+            }
+            if self.net.now() > deadline {
+                return Err(CallError::TimedOut);
+            }
+            if !self.net.step() {
+                return Err(CallError::Stalled);
+            }
+        }
+    }
+
+    /// Executes a read synchronously, driving the simulation until the
+    /// reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    pub fn read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<Bytes, CallError> {
+        let req = self.issue_read(handle, inv)?;
+        self.pump(handle, req)
+    }
+
+    /// Executes a write synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    pub fn write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<Bytes, CallError> {
+        let req = self.issue_write(handle, inv)?;
+        self.pump(handle, req)
+    }
+
+    /// Changes an object's replication policy at run time; the home store
+    /// broadcasts the new policy to every replica (§5 future work).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for unknown objects or invalid policies.
+    pub fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        policy
+            .validate()
+            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        record.policy = policy.clone();
+        let home = record.home_node;
+        let space = Rc::clone(&self.spaces[&home]);
+        self.net.with_ctx(home, |ctx| {
+            if let Some(store) = space
+                .borrow_mut()
+                .control_mut(object)
+                .and_then(|c| c.store_mut())
+            {
+                store.set_policy(policy, ctx);
+            }
+        });
+        Ok(())
+    }
+
+    /// Runs the simulation for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.net.run_for(d);
+    }
+
+    /// Runs until no events remain (beware periodic timers).
+    pub fn run_until_quiescent(&mut self) -> usize {
+        self.net.run_until_quiescent()
+    }
+
+    /// Processes at most `max_events` events.
+    pub fn run_budget(&mut self, max_events: usize) -> usize {
+        self.net.run_budget(max_events)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// The shared execution history (for coherence checking).
+    pub fn history(&self) -> SharedHistory {
+        self.history.clone()
+    }
+
+    /// The shared metrics store.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.metrics.clone()
+    }
+
+    /// The topology, for partitions and link changes mid-run.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        self.net.topology_mut()
+    }
+
+    /// Direct access to the underlying network (benchmarks).
+    pub fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    /// Records every store's final state digest into the history, for
+    /// convergence checking at the end of a run.
+    pub fn finalize_digests(&mut self) {
+        for (object, record) in &self.objects {
+            for (node, _, _) in &record.stores {
+                if let Some(space) = self.spaces.get(node) {
+                    if let Some(store) = space.borrow().control(*object).and_then(|c| c.store()) {
+                        store.record_final_digest();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The state digest of the replica at `node`, if one exists.
+    pub fn store_digest(&self, object: ObjectId, node: NodeId) -> Option<u64> {
+        let space = self.spaces.get(&node)?;
+        let space = space.borrow();
+        let store = space.control(object)?.store()?;
+        Some(store.final_digest())
+    }
+
+    /// The applied-version vector of the replica at `node`.
+    pub fn store_version(&self, object: ObjectId, node: NodeId) -> Option<VersionVector> {
+        let space = self.spaces.get(&node)?;
+        let space = space.borrow();
+        let store = space.control(object)?.store()?;
+        Some(store.applied().clone())
+    }
+
+    /// All stores of an object, as `(node, store id, class)` triples.
+    pub fn stores_of(&self, object: ObjectId) -> Vec<(NodeId, StoreId, StoreClass)> {
+        self.objects
+            .get(&object)
+            .map(|r| r.stores.clone())
+            .unwrap_or_default()
+    }
+
+    /// The home (primary permanent) store's node.
+    pub fn home_of(&self, object: ObjectId) -> Option<NodeId> {
+        self.objects.get(&object).map(|r| r.home_node)
+    }
+}
+
+impl fmt::Debug for GlobeSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobeSim")
+            .field("nodes", &self.spaces.len())
+            .field("objects", &self.objects.len())
+            .field("now", &self.net.now())
+            .finish()
+    }
+}

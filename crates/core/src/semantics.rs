@@ -1,0 +1,242 @@
+//! The semantics sub-object.
+//!
+//! "The semantics object encapsulates the files that comprise the Web
+//! document. The developer is responsible only for the construction of
+//! those files, and encapsulating them into a semantics object with the
+//! appropriate interfaces. All other parts can either be obtained from
+//! libraries, or are generated" (§2). Implement [`Semantics`] and the
+//! framework supplies replication, communication, and control.
+
+use bytes::Bytes;
+use globe_coherence::PageKey;
+
+use crate::{InvocationMessage, MethodId, MethodKind, SemanticsError};
+
+/// State and operations of a distributed shared object.
+///
+/// The framework calls [`Semantics::dispatch`] with marshalled invocation
+/// messages; everything else (snapshots, method classification, page
+/// attribution) exists so replication objects can move state around
+/// without understanding it.
+pub trait Semantics: Send {
+    /// Executes one invocation against local state, returning the
+    /// marshalled result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SemanticsError`] for unknown methods, undecodable
+    /// arguments, or domain failures. Write dispatch must be
+    /// deterministic: replicas apply the same invocations in the same
+    /// order and must reach the same state.
+    fn dispatch(&mut self, inv: &InvocationMessage) -> Result<Bytes, SemanticsError>;
+
+    /// Classifies a method as read or write.
+    fn method_kind(&self, method: MethodId) -> MethodKind;
+
+    /// The page (part) of the document an invocation touches, if it is
+    /// page-granular. Whole-document operations return `None`.
+    ///
+    /// Partial access and coherence transfers (§3.3, Table 1) operate at
+    /// this granularity.
+    fn part_of(&self, inv: &InvocationMessage) -> Option<PageKey>;
+
+    /// Serializes the complete state (for full coherence transfers).
+    fn snapshot(&self) -> Bytes;
+
+    /// Replaces the complete state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemanticsError::BadState`] if the snapshot is malformed.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SemanticsError>;
+
+    /// A digest of the current state, used by convergence checkers.
+    fn digest(&self) -> u64;
+}
+
+/// A minimal key→value document semantics used by the framework's own
+/// tests and benchmarks: each page is a named register.
+///
+/// Methods: `0 = get(page)`, `1 = put(page, value)`, `2 = list()`.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{registers, InvocationMessage, RegisterDoc, Semantics};
+///
+/// let mut doc = RegisterDoc::new();
+/// doc.dispatch(&registers::put("greeting", b"hello")).unwrap();
+/// let got = doc.dispatch(&registers::get("greeting")).unwrap();
+/// assert_eq!(&got[..], b"hello");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegisterDoc {
+    pages: std::collections::BTreeMap<String, Bytes>,
+}
+
+impl RegisterDoc {
+    /// An empty document.
+    pub fn new() -> Self {
+        RegisterDoc::default()
+    }
+
+    /// Direct access for tests: the value of a page.
+    pub fn page(&self, name: &str) -> Option<&Bytes> {
+        self.pages.get(name)
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the document has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Invocation constructors for [`RegisterDoc`].
+pub mod registers {
+    use bytes::Bytes;
+    use globe_wire::{to_bytes, WireEncode};
+
+    use crate::{InvocationMessage, MethodId};
+
+    /// Method id of `get`.
+    pub const GET: MethodId = MethodId::new(0);
+    /// Method id of `put`.
+    pub const PUT: MethodId = MethodId::new(1);
+    /// Method id of `list`.
+    pub const LIST: MethodId = MethodId::new(2);
+
+    /// Builds a `get(page)` invocation.
+    pub fn get(page: &str) -> InvocationMessage {
+        InvocationMessage::new(GET, to_bytes(page))
+    }
+
+    /// Builds a `put(page, value)` invocation.
+    pub fn put(page: &str, value: &[u8]) -> InvocationMessage {
+        let pair = (page.to_string(), Bytes::copy_from_slice(value));
+        let mut buf = Vec::with_capacity(pair.encoded_len());
+        pair.encode(&mut buf);
+        InvocationMessage::new(PUT, Bytes::from(buf))
+    }
+
+    /// Builds a `list()` invocation.
+    pub fn list() -> InvocationMessage {
+        InvocationMessage::new(LIST, Bytes::new())
+    }
+}
+
+impl Semantics for RegisterDoc {
+    fn dispatch(&mut self, inv: &InvocationMessage) -> Result<Bytes, SemanticsError> {
+        match inv.method {
+            registers::GET => {
+                let page: String = globe_wire::from_bytes(&inv.args)
+                    .map_err(|e| SemanticsError::BadArguments(e.to_string()))?;
+                Ok(self.pages.get(&page).cloned().unwrap_or_default())
+            }
+            registers::PUT => {
+                let (page, value): (String, Bytes) = globe_wire::from_bytes(&inv.args)
+                    .map_err(|e| SemanticsError::BadArguments(e.to_string()))?;
+                self.pages.insert(page, value);
+                Ok(Bytes::new())
+            }
+            registers::LIST => {
+                let names: Vec<String> = self.pages.keys().cloned().collect();
+                Ok(globe_wire::to_bytes(&names))
+            }
+            other => Err(SemanticsError::UnknownMethod(other)),
+        }
+    }
+
+    fn method_kind(&self, method: MethodId) -> MethodKind {
+        match method {
+            registers::PUT => MethodKind::Write,
+            _ => MethodKind::Read,
+        }
+    }
+
+    fn part_of(&self, inv: &InvocationMessage) -> Option<PageKey> {
+        match inv.method {
+            registers::GET => globe_wire::from_bytes::<String>(&inv.args).ok(),
+            registers::PUT => globe_wire::from_bytes::<(String, Bytes)>(&inv.args)
+                .ok()
+                .map(|(page, _)| page),
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        globe_wire::to_bytes(&self.pages)
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SemanticsError> {
+        self.pages = globe_wire::from_bytes(snapshot)
+            .map_err(|e| SemanticsError::BadState(e.to_string()))?;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        globe_coherence::fnv1a(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_list_roundtrip() {
+        let mut doc = RegisterDoc::new();
+        assert!(doc.is_empty());
+        doc.dispatch(&registers::put("a", b"1")).unwrap();
+        doc.dispatch(&registers::put("b", b"2")).unwrap();
+        assert_eq!(&doc.dispatch(&registers::get("a")).unwrap()[..], b"1");
+        let listed: Vec<String> =
+            globe_wire::from_bytes(&doc.dispatch(&registers::list()).unwrap()).unwrap();
+        assert_eq!(listed, vec!["a", "b"]);
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn missing_page_reads_empty() {
+        let mut doc = RegisterDoc::new();
+        assert!(doc.dispatch(&registers::get("nope")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn method_kinds_and_parts() {
+        let doc = RegisterDoc::new();
+        assert_eq!(doc.method_kind(registers::PUT), MethodKind::Write);
+        assert_eq!(doc.method_kind(registers::GET), MethodKind::Read);
+        assert_eq!(doc.method_kind(registers::LIST), MethodKind::Read);
+        assert_eq!(doc.part_of(&registers::get("x")).as_deref(), Some("x"));
+        assert_eq!(doc.part_of(&registers::put("y", b"v")).as_deref(), Some("y"));
+        assert_eq!(doc.part_of(&registers::list()), None);
+    }
+
+    #[test]
+    fn snapshot_restore_digest() {
+        let mut doc = RegisterDoc::new();
+        doc.dispatch(&registers::put("a", b"1")).unwrap();
+        let snap = doc.snapshot();
+        let d1 = doc.digest();
+        let mut other = RegisterDoc::new();
+        other.restore(&snap).unwrap();
+        assert_eq!(other.digest(), d1);
+        assert_eq!(other.page("a").map(|b| &b[..]), Some(&b"1"[..]));
+        assert!(other.restore(b"\xff\xff").is_err());
+    }
+
+    #[test]
+    fn unknown_method_is_rejected() {
+        let mut doc = RegisterDoc::new();
+        let bogus = InvocationMessage::new(MethodId::new(99), Bytes::new());
+        assert_eq!(
+            doc.dispatch(&bogus),
+            Err(SemanticsError::UnknownMethod(MethodId::new(99)))
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Address spaces: the unit of distribution.
+//!
+//! "A local object resides in a single address space and communicates
+//! with local objects in other address spaces" (§2). An [`AddressSpace`]
+//! hosts one [`ControlObject`] per distributed object it participates in
+//! and routes network events to them.
+
+use std::collections::HashMap;
+
+use globe_naming::ObjectId;
+use globe_net::{Event, NetCtx, NodeId, TimerToken};
+
+use crate::{ControlObject, NetMsg, TimerKind};
+
+/// Encodes `(object, timer kind)` into a network timer token.
+pub(crate) fn timer_token(object: ObjectId, kind: TimerKind) -> TimerToken {
+    TimerToken(object.raw() * 8 + kind as u64)
+}
+
+/// Decodes a timer token back into `(object, timer kind)`.
+pub(crate) fn decode_timer(token: TimerToken) -> (ObjectId, Option<TimerKind>) {
+    (
+        ObjectId::new(token.0 / 8),
+        TimerKind::from_raw(token.0 % 8),
+    )
+}
+
+/// One process/node participating in the Globe runtime.
+pub struct AddressSpace {
+    node: NodeId,
+    objects: HashMap<ObjectId, ControlObject>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `node`.
+    pub fn new(node: NodeId) -> Self {
+        AddressSpace {
+            node,
+            objects: HashMap::new(),
+        }
+    }
+
+    /// This space's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Installs (or replaces) the local object for `object`.
+    pub fn install(&mut self, control: ControlObject) {
+        self.objects.insert(control.object(), control);
+    }
+
+    /// The local object for `object`, if installed.
+    pub fn control(&self, object: ObjectId) -> Option<&ControlObject> {
+        self.objects.get(&object)
+    }
+
+    /// Mutable access to the local object for `object`.
+    pub fn control_mut(&mut self, object: ObjectId) -> Option<&mut ControlObject> {
+        self.objects.get_mut(&object)
+    }
+
+    /// Ids of all objects with a local object here.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Routes one network event to the owning control object.
+    pub fn handle_event(&mut self, event: Event, ctx: &mut dyn NetCtx) {
+        match event {
+            Event::Message { from, payload } => {
+                let Ok(env) = globe_wire::from_bytes::<NetMsg>(&payload) else {
+                    return; // corrupt frame: drop, like a bad datagram
+                };
+                if let Some(control) = self.objects.get_mut(&env.object) {
+                    control.handle_message(from, env.msg, ctx);
+                }
+            }
+            Event::Timer { token } => {
+                let (object, kind) = decode_timer(token);
+                let Some(kind) = kind else { return };
+                if let Some(control) = self.objects.get_mut(&object) {
+                    control.handle_timer(kind, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("node", &self.node)
+            .field("objects", &self.objects.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tokens_roundtrip() {
+        for raw in [0u64, 1, 7, 100] {
+            let object = ObjectId::new(raw);
+            for kind in [TimerKind::LazyPush, TimerKind::PullPoll, TimerKind::DemandRetry] {
+                let token = timer_token(object, kind);
+                let (obj, decoded) = decode_timer(token);
+                assert_eq!(obj, object);
+                assert_eq!(decoded, Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_decodes_none() {
+        let (_, kind) = decode_timer(TimerToken(7)); // kind bits = 7
+        assert_eq!(kind, None);
+    }
+}

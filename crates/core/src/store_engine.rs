@@ -1,0 +1,960 @@
+//! The store-side engine: one replica of one distributed object.
+//!
+//! A [`StoreReplica`] combines the semantics object, a pluggable
+//! replication object, and the communication object, and interprets every
+//! Table-1 implementation parameter: update vs invalidate propagation,
+//! push vs pull initiative, immediate vs lazy (aggregated) transfer,
+//! partial/full/notification coherence transfers, and the wait/demand
+//! outdate reactions. The home (primary permanent) store additionally
+//! propagates writes to its peers and answers pulls.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Duration;
+
+use bytes::Bytes;
+use globe_coherence::{ClientId, PageKey, StoreClass, StoreId, VersionVector, WriteId};
+use globe_naming::ObjectId;
+use globe_net::{NetCtx, NodeId};
+
+use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
+use crate::{
+    CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
+    OutdateReaction, Propagation, ReplicationPolicy, RequestId, Semantics, SharedHistory,
+    SharedMetrics, TransferInitiative, TransferInstant,
+};
+
+/// Page label used in histories for whole-document operations.
+pub const WHOLE_DOC: &str = "*";
+
+/// Interval at which unmet demands are re-issued (loss recovery).
+const RETRY_PERIOD: Duration = Duration::from_millis(200);
+
+/// Logical timers a replica arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Periodic lazy propagation at the home store.
+    LazyPush = 0,
+    /// Periodic pull (pull initiative or anti-entropy).
+    PullPoll = 1,
+    /// Re-issue of unmet demands.
+    DemandRetry = 2,
+    /// Client-proxy retransmission of unacknowledged writes.
+    SessionRetry = 3,
+}
+
+impl TimerKind {
+    /// Decodes a timer kind from its raw value.
+    pub fn from_raw(raw: u64) -> Option<TimerKind> {
+        match raw {
+            0 => Some(TimerKind::LazyPush),
+            1 => Some(TimerKind::PullPoll),
+            2 => Some(TimerKind::DemandRetry),
+            3 => Some(TimerKind::SessionRetry),
+            _ => None,
+        }
+    }
+}
+
+/// Another store holding a replica of the same object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerStore {
+    /// The peer's node.
+    pub node: NodeId,
+    /// The peer's store class.
+    pub class: StoreClass,
+}
+
+#[derive(Debug)]
+struct BufferedWrite {
+    write: LoggedWrite,
+    reply_to: Option<(NodeId, RequestId, ClientId)>,
+}
+
+#[derive(Debug)]
+struct QueuedRead {
+    req: RequestId,
+    from: NodeId,
+    client: ClientId,
+    inv: InvocationMessage,
+    min_version: VersionVector,
+}
+
+/// Configuration for constructing a [`StoreReplica`].
+pub struct StoreConfig {
+    /// The distributed object this replica belongs to.
+    pub object: ObjectId,
+    /// This replica's store id.
+    pub store_id: StoreId,
+    /// This replica's store class.
+    pub class: StoreClass,
+    /// The object's replication policy.
+    pub policy: ReplicationPolicy,
+    /// The node of the home (primary permanent) store.
+    pub home_node: NodeId,
+    /// Whether this replica is the home store.
+    pub is_home: bool,
+    /// Peer stores (only the home store needs the full list).
+    pub peers: Vec<PeerStore>,
+    /// The semantics object instance for this replica.
+    pub semantics: Box<dyn Semantics>,
+    /// Shared execution history for checkers.
+    pub history: SharedHistory,
+    /// Shared metrics.
+    pub metrics: SharedMetrics,
+}
+
+/// One store's replica of a distributed shared object.
+pub struct StoreReplica {
+    object: ObjectId,
+    store_id: StoreId,
+    class: StoreClass,
+    policy: ReplicationPolicy,
+    repl: Box<dyn ReplicationObject>,
+    semantics: Box<dyn Semantics>,
+    comm: CommObject,
+    applied: VersionVector,
+    extra_seen: BTreeSet<WriteId>,
+    next_order: u64,
+    order_assigned: u64,
+    page_last_writer: HashMap<PageKey, WriteId>,
+    invalid_pages: HashSet<PageKey>,
+    whole_invalid: bool,
+    known_version: VersionVector,
+    write_log: Vec<LoggedWrite>,
+    peer_sent: HashMap<NodeId, usize>,
+    buffered: Vec<BufferedWrite>,
+    queued_reads: Vec<QueuedRead>,
+    forwarded: HashMap<RequestId, NodeId>,
+    client_nodes: HashMap<ClientId, NodeId>,
+    is_home: bool,
+    home_node: NodeId,
+    peers: Vec<PeerStore>,
+    history: SharedHistory,
+    lazy_armed: bool,
+    pull_armed: bool,
+    retry_armed: bool,
+}
+
+impl StoreReplica {
+    /// Builds a replica from its configuration.
+    pub fn new(config: StoreConfig) -> Self {
+        let comm = CommObject::new(config.object, config.metrics.clone());
+        StoreReplica {
+            object: config.object,
+            store_id: config.store_id,
+            class: config.class,
+            repl: replication_for(config.policy.model),
+            policy: config.policy,
+            semantics: config.semantics,
+            comm,
+            applied: VersionVector::new(),
+            extra_seen: BTreeSet::new(),
+            next_order: 0,
+            order_assigned: 0,
+            page_last_writer: HashMap::new(),
+            invalid_pages: HashSet::new(),
+            whole_invalid: false,
+            known_version: VersionVector::new(),
+            write_log: Vec::new(),
+            peer_sent: HashMap::new(),
+            buffered: Vec::new(),
+            queued_reads: Vec::new(),
+            forwarded: HashMap::new(),
+            client_nodes: HashMap::new(),
+            is_home: config.is_home,
+            home_node: config.home_node,
+            peers: config.peers,
+            history: config.history,
+            lazy_armed: false,
+            pull_armed: false,
+            retry_armed: false,
+        }
+    }
+
+    /// This replica's store id.
+    pub fn store_id(&self) -> StoreId {
+        self.store_id
+    }
+
+    /// This replica's store class.
+    pub fn class(&self) -> StoreClass {
+        self.class
+    }
+
+    /// Whether this replica is the home (sequencing) store.
+    pub fn is_home(&self) -> bool {
+        self.is_home
+    }
+
+    /// The replica's applied-write vector.
+    pub fn applied(&self) -> &VersionVector {
+        &self.applied
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &ReplicationPolicy {
+        &self.policy
+    }
+
+    /// Name of the active replication protocol.
+    pub fn protocol_name(&self) -> &'static str {
+        self.repl.name()
+    }
+
+    /// Digest of the replica's semantics state.
+    pub fn final_digest(&self) -> u64 {
+        self.semantics.digest()
+    }
+
+    /// Direct read-only access to the semantics object (tests, gateways).
+    pub fn semantics(&self) -> &dyn Semantics {
+        self.semantics.as_ref()
+    }
+
+    /// Registers an additional peer store (dynamic mirror installation).
+    pub fn add_peer(&mut self, peer: PeerStore) {
+        if !self.peers.iter().any(|p| p.node == peer.node) {
+            self.peers.push(peer);
+        }
+    }
+
+    fn token(&self, kind: TimerKind) -> globe_net::TimerToken {
+        crate::space::timer_token(self.object, kind)
+    }
+
+    fn wants_lazy_timer(&self) -> bool {
+        self.is_home
+            && self.policy.initiative == TransferInitiative::Push
+            && (self.policy.instant == TransferInstant::Lazy
+                || self.policy.object_outdate == OutdateReaction::Demand
+                || self.peers.iter().any(|p| !self.policy.in_scope(p.class)))
+    }
+
+    /// Arms the timers this replica's policy requires. Idempotent.
+    pub fn start(&mut self, ctx: &mut dyn NetCtx) {
+        let wants_lazy = self.wants_lazy_timer();
+        if wants_lazy && !self.lazy_armed {
+            ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::LazyPush));
+            self.lazy_armed = true;
+        }
+        let wants_pull = !self.is_home
+            && (self.policy.initiative == TransferInitiative::Pull
+                || self.repl.wants_anti_entropy());
+        if wants_pull && !self.pull_armed {
+            ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
+            self.pull_armed = true;
+        }
+    }
+
+    fn ensure_retry(&mut self, ctx: &mut dyn NetCtx) {
+        if !self.retry_armed {
+            ctx.set_timer(RETRY_PERIOD, self.token(TimerKind::DemandRetry));
+            self.retry_armed = true;
+        }
+    }
+
+    fn view(&self) -> ReplicaView<'_> {
+        ReplicaView {
+            applied: &self.applied,
+            extra_seen: &self.extra_seen,
+            next_order: self.next_order,
+        }
+    }
+
+    fn mark_seen(&mut self, wid: WriteId) {
+        if self.applied.is_next(wid) {
+            self.applied.record(wid);
+            // Absorb now-contiguous out-of-band writes of this client.
+            loop {
+                let next = WriteId::new(wid.client, self.applied.get(wid.client) + 1);
+                if self.extra_seen.remove(&next) {
+                    self.applied.record(next);
+                } else {
+                    break;
+                }
+            }
+        } else if !self.applied.covers(wid) {
+            self.extra_seen.insert(wid);
+        }
+    }
+
+    /// Applies a write to local state. Returns the finalized write (page
+    /// and order filled in) and the semantics outcome.
+    fn apply_now(
+        &mut self,
+        mut write: LoggedWrite,
+        ctx: &mut dyn NetCtx,
+    ) -> (LoggedWrite, CallOutcome) {
+        if write.page.is_none() {
+            write.page = self.semantics.part_of(&write.inv);
+        }
+        if self.is_home && self.repl.orders_writes() && write.order.is_none() {
+            write.order = Some(self.order_assigned);
+            self.order_assigned += 1;
+        }
+        let dispatch = match &write.page {
+            Some(p) => self
+                .repl
+                .should_dispatch(self.page_last_writer.get(p).copied(), write.wid),
+            None => true,
+        };
+        let outcome = if dispatch {
+            match self.semantics.dispatch(&write.inv) {
+                Ok(bytes) => CallOutcome::Ok(bytes),
+                Err(e) => CallOutcome::Err(e.to_string()),
+            }
+        } else {
+            // Overridden by a newer write (eventual LWW): processed, not
+            // dispatched.
+            CallOutcome::Ok(Bytes::new())
+        };
+        match self.repl.record_mode() {
+            RecordMode::Exact => self.mark_seen(write.wid),
+            RecordMode::Advance => self.applied.advance_to(write.wid),
+        }
+        self.known_version.advance_to(write.wid);
+        if let Some(order) = write.order {
+            self.next_order = self.next_order.max(order + 1);
+        }
+        if let Some(page) = &write.page {
+            if dispatch {
+                self.page_last_writer.insert(page.clone(), write.wid);
+            }
+            self.invalid_pages.remove(page);
+        }
+        self.write_log.push(write.clone());
+        self.history.lock().record_apply(
+            ctx.now(),
+            self.store_id,
+            write.wid,
+            write.page.clone().unwrap_or_else(|| WHOLE_DOC.to_string()),
+        );
+        (write, outcome)
+    }
+
+    /// Accepts a write from a client proxy (`reply_to` set) or a peer
+    /// store (`reply_to` empty), per the replication object's verdict.
+    pub fn accept_write(
+        &mut self,
+        reply_to: Option<(NodeId, RequestId, ClientId)>,
+        write: LoggedWrite,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if let Some((node, _, client)) = reply_to {
+            self.client_nodes.insert(client, node);
+        }
+        match self.repl.readiness(&self.view(), &write) {
+            Readiness::Stale => {
+                // Duplicate or superseded: acknowledge idempotently.
+                if let Some((node, req, _)) = reply_to {
+                    self.send_reply(ctx, node, req, CallOutcome::Ok(Bytes::new()), None);
+                }
+            }
+            Readiness::Buffer => {
+                let gap_wid = write.wid;
+                if !self
+                    .buffered
+                    .iter()
+                    .any(|b| b.write.wid == write.wid && b.write.order == write.order)
+                {
+                    self.buffered.push(BufferedWrite { write, reply_to });
+                }
+                self.react_to_gap(gap_wid, ctx);
+            }
+            Readiness::Ready => {
+                let from_client = reply_to.is_some();
+                let (finalized, outcome) = self.apply_now(write, ctx);
+                self.propagate(&finalized, from_client, ctx);
+                if let Some((node, req, _)) = reply_to {
+                    self.send_reply(ctx, node, req, outcome, None);
+                }
+                self.drain_buffered(ctx);
+                self.drain_queued_reads(ctx);
+            }
+        }
+    }
+
+    /// The paper's outdate reaction: wait passively, or demand the
+    /// missing information (from the home store, or — for a home store
+    /// missing client writes — from the client's proxy, the §4.2
+    /// reliability mechanism).
+    fn react_to_gap(&mut self, wid: WriteId, ctx: &mut dyn NetCtx) {
+        if self.policy.object_outdate != OutdateReaction::Demand {
+            return;
+        }
+        if self.is_home {
+            if let Some(&node) = self.client_nodes.get(&wid.client) {
+                let from_seq = self.applied.get(wid.client) + 1;
+                self.comm.send(
+                    ctx,
+                    node,
+                    &CoherenceMsg::DemandResend {
+                        client: wid.client,
+                        from_seq,
+                    },
+                );
+            }
+        } else {
+            self.demand_update(ctx);
+        }
+        self.ensure_retry(ctx);
+    }
+
+    /// Fetches the object's current state from the home store. Called
+    /// once when a store is installed at run time (dynamic mirrors).
+    pub fn initial_sync(&mut self, ctx: &mut dyn NetCtx) {
+        if !self.is_home {
+            self.demand_update(ctx);
+        }
+    }
+
+    fn demand_update(&mut self, ctx: &mut dyn NetCtx) {
+        let order_since = self.repl.orders_writes().then_some(self.next_order);
+        let since = self.applied.clone();
+        self.comm.send(
+            ctx,
+            self.home_node,
+            &CoherenceMsg::DemandUpdate { since, order_since },
+        );
+    }
+
+    fn drain_buffered(&mut self, ctx: &mut dyn NetCtx) {
+        loop {
+            let mut progressed = false;
+            let mut index = 0;
+            while index < self.buffered.len() {
+                match self.repl.readiness(&self.view(), &self.buffered[index].write) {
+                    Readiness::Ready => {
+                        let entry = self.buffered.remove(index);
+                        let from_client = entry.reply_to.is_some();
+                        let (finalized, outcome) = self.apply_now(entry.write, ctx);
+                        self.propagate(&finalized, from_client, ctx);
+                        if let Some((node, req, _)) = entry.reply_to {
+                            self.send_reply(ctx, node, req, outcome, None);
+                        }
+                        progressed = true;
+                    }
+                    Readiness::Stale => {
+                        let entry = self.buffered.remove(index);
+                        if let Some((node, req, _)) = entry.reply_to {
+                            self.send_reply(ctx, node, req, CallOutcome::Ok(Bytes::new()), None);
+                        }
+                        progressed = true;
+                    }
+                    Readiness::Buffer => index += 1,
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Serves a read request, enforcing session-guard minimum versions
+    /// and invalidation state, with the configured outdate reaction.
+    pub fn serve_read(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        client: ClientId,
+        inv: InvocationMessage,
+        min_version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        self.client_nodes.insert(client, from);
+        let page = self.semantics.part_of(&inv);
+        let invalid = self.whole_invalid
+            || page
+                .as_ref()
+                .is_some_and(|p| self.invalid_pages.contains(p));
+        let behind = !self.applied.dominates(&min_version);
+        if invalid || behind {
+            // "A store containing an outdated replica may either passively
+            // wait until an update arrives, or demand that its copy is
+            // immediately updated" (§3.3). Invalidated pages always
+            // demand: an invalidation protocol must refetch data to serve.
+            let demand = invalid || self.policy.client_outdate == OutdateReaction::Demand;
+            self.queued_reads.push(QueuedRead {
+                req,
+                from,
+                client,
+                inv,
+                min_version,
+            });
+            if demand {
+                if self.is_home {
+                    // The home store can only be behind on the client's
+                    // own in-flight writes: ask the proxy to resend.
+                    self.demand_resend_for_reads(ctx);
+                } else {
+                    self.demand_update(ctx);
+                }
+                self.ensure_retry(ctx);
+            }
+            return;
+        }
+        self.execute_read(from, req, client, inv, page, ctx);
+    }
+
+    fn demand_resend_for_reads(&mut self, ctx: &mut dyn NetCtx) {
+        let mut demands: Vec<(ClientId, u64, NodeId)> = Vec::new();
+        for read in &self.queued_reads {
+            for (client, seq) in read.min_version.iter() {
+                if self.applied.get(client) < seq {
+                    if let Some(&node) = self.client_nodes.get(&client) {
+                        demands.push((client, self.applied.get(client) + 1, node));
+                    }
+                }
+            }
+        }
+        for (client, from_seq, node) in demands {
+            self.comm
+                .send(ctx, node, &CoherenceMsg::DemandResend { client, from_seq });
+        }
+    }
+
+    fn execute_read(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        client: ClientId,
+        inv: InvocationMessage,
+        page: Option<PageKey>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        let outcome = match self.semantics.dispatch(&inv) {
+            Ok(bytes) => CallOutcome::Ok(bytes),
+            Err(e) => CallOutcome::Err(e.to_string()),
+        };
+        let sees = page
+            .as_ref()
+            .and_then(|p| self.page_last_writer.get(p).copied());
+        self.history.lock().record_read(
+            ctx.now(),
+            client,
+            self.store_id,
+            page.unwrap_or_else(|| WHOLE_DOC.to_string()),
+            sees,
+            self.applied.clone(),
+        );
+        self.send_reply(ctx, from, req, outcome, sees);
+    }
+
+    fn send_reply(
+        &mut self,
+        ctx: &mut dyn NetCtx,
+        to: NodeId,
+        req: RequestId,
+        outcome: CallOutcome,
+        sees: Option<WriteId>,
+    ) {
+        let full_state = (self.policy.access_transfer == crate::AccessTransfer::Full)
+            .then(|| self.semantics.snapshot());
+        let reply = CoherenceMsg::Reply {
+            req,
+            outcome,
+            version: self.applied.clone(),
+            sees,
+            full_state,
+        };
+        self.comm.send(ctx, to, &reply);
+    }
+
+    fn drain_queued_reads(&mut self, ctx: &mut dyn NetCtx) {
+        let mut remaining = Vec::new();
+        let queued = std::mem::take(&mut self.queued_reads);
+        for read in queued {
+            let page = self.semantics.part_of(&read.inv);
+            let invalid = self.whole_invalid
+                || page
+                    .as_ref()
+                    .is_some_and(|p| self.invalid_pages.contains(p));
+            if invalid || !self.applied.dominates(&read.min_version) {
+                remaining.push(read);
+            } else {
+                self.execute_read(read.from, read.req, read.client, read.inv, page, ctx);
+            }
+        }
+        self.queued_reads = remaining;
+    }
+
+    /// Propagates freshly applied writes to peers (home store only),
+    /// honouring propagation mode, transfer instant, scope, and
+    /// granularity. Sends each peer everything it has not been sent yet,
+    /// so a policy switched to `immediate` at run time also flushes the
+    /// backlog accumulated under the previous policy.
+    fn propagate(&mut self, write: &LoggedWrite, from_client: bool, ctx: &mut dyn NetCtx) {
+        if !self.is_home {
+            // Local write ingress (weak models): relay the finalized
+            // write to the home store, which propagates it onward.
+            if from_client {
+                self.comm.send(
+                    ctx,
+                    self.home_node,
+                    &CoherenceMsg::Update {
+                        write: write.clone(),
+                    },
+                );
+            }
+            return;
+        }
+        if self.policy.instant != TransferInstant::Immediate
+            || self.policy.initiative != TransferInitiative::Push
+        {
+            // Lazy or pull: the LazyPush timer / peer demands move data.
+            return;
+        }
+        let peers: Vec<PeerStore> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| self.policy.in_scope(p.class))
+            .collect();
+        let log_len = self.write_log.len();
+        for peer in peers {
+            let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
+            if sent >= log_len {
+                continue;
+            }
+            let msg = self.transfer_msg(&self.write_log[sent..]);
+            self.comm.send(ctx, peer.node, &msg);
+            self.peer_sent.insert(peer.node, log_len);
+        }
+    }
+
+    /// Builds the propagation message for a run of pending writes, per
+    /// the policy's propagation mode and coherence transfer type.
+    fn transfer_msg(&self, pending: &[LoggedWrite]) -> CoherenceMsg {
+        match (self.policy.propagation, self.policy.coherence_transfer) {
+            (Propagation::Invalidate, _) => {
+                let mut pages: Vec<Option<PageKey>> =
+                    pending.iter().map(|w| w.page.clone()).collect();
+                pages.dedup();
+                CoherenceMsg::Invalidate {
+                    pages,
+                    version: self.applied.clone(),
+                }
+            }
+            (Propagation::Update, CoherenceTransfer::Partial) => {
+                if pending.len() == 1 {
+                    CoherenceMsg::Update {
+                        write: pending[0].clone(),
+                    }
+                } else {
+                    CoherenceMsg::UpdateBatch {
+                        writes: pending.to_vec(),
+                        version: self.applied.clone(),
+                    }
+                }
+            }
+            (Propagation::Update, CoherenceTransfer::Full) => self.full_state_msg(),
+            (Propagation::Update, CoherenceTransfer::Notification) => CoherenceMsg::Notify {
+                version: self.applied.clone(),
+            },
+        }
+    }
+
+    fn full_state_msg(&self) -> CoherenceMsg {
+        let writers = self
+            .page_last_writer
+            .iter()
+            .map(|(p, w)| (p.clone(), *w))
+            .collect();
+        CoherenceMsg::FullState {
+            version: self.applied.clone(),
+            state: self.semantics.snapshot(),
+            writers,
+            order_high: self
+                .repl
+                .orders_writes()
+                .then_some(self.order_assigned),
+        }
+    }
+
+    /// Periodic lazy propagation: flush everything peers have not seen,
+    /// aggregated per the coherence transfer type. Out-of-scope stores are
+    /// served here too — "simple propagation of updates to other store
+    /// layers" (§3.2.1). Under the demand outdate reaction this timer
+    /// additionally heartbeats the current version to peers that are
+    /// nominally up to date, so a trailing lost update is detected and
+    /// demanded rather than lost forever (the §4.2 reliability story).
+    fn lazy_flush(&mut self, ctx: &mut dyn NetCtx) {
+        if !self.is_home || self.policy.initiative != TransferInitiative::Push {
+            return;
+        }
+        let log_len = self.write_log.len();
+        let peers: Vec<PeerStore> = self.peers.clone();
+        for peer in peers {
+            let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
+            let in_scope = self.policy.in_scope(peer.class);
+            let nothing_new = sent >= log_len
+                || (in_scope && self.policy.instant == TransferInstant::Immediate);
+            if nothing_new {
+                self.peer_sent.insert(peer.node, log_len);
+                if self.policy.object_outdate == OutdateReaction::Demand && log_len > 0 {
+                    let heartbeat = CoherenceMsg::Notify {
+                        version: self.applied.clone(),
+                    };
+                    self.comm.send(ctx, peer.node, &heartbeat);
+                }
+                continue;
+            }
+            let msg = self.transfer_msg(&self.write_log[sent..]);
+            self.comm.send(ctx, peer.node, &msg);
+            self.peer_sent.insert(peer.node, log_len);
+        }
+    }
+
+    /// Answers a pull/demand: ship the writes the requester is missing.
+    pub fn handle_demand_update(
+        &mut self,
+        from: NodeId,
+        since: VersionVector,
+        order_since: Option<u64>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.policy.coherence_transfer == CoherenceTransfer::Full {
+            let msg = self.full_state_msg();
+            self.comm.send(ctx, from, &msg);
+            return;
+        }
+        let missing: Vec<LoggedWrite> = match order_since {
+            Some(order) => self
+                .write_log
+                .iter()
+                .filter(|w| w.order.is_some_and(|o| o >= order))
+                .cloned()
+                .collect(),
+            None => self
+                .write_log
+                .iter()
+                .filter(|w| !since.covers(w.wid))
+                .cloned()
+                .collect(),
+        };
+        let msg = CoherenceMsg::UpdateBatch {
+            writes: missing,
+            version: self.applied.clone(),
+        };
+        self.comm.send(ctx, from, &msg);
+    }
+
+    /// Handles an incoming aggregated update.
+    pub fn handle_update_batch(
+        &mut self,
+        writes: Vec<LoggedWrite>,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        for write in writes {
+            self.accept_write(None, write, ctx);
+        }
+        self.known_version.merge_max(&version);
+        self.maybe_demand_on_known(ctx);
+    }
+
+    /// Handles a full-state transfer.
+    pub fn handle_full_state(
+        &mut self,
+        version: VersionVector,
+        state: Bytes,
+        writers: Vec<(PageKey, WriteId)>,
+        order_high: Option<u64>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.applied.dominates(&version) && !self.applied.is_empty() {
+            return; // stale snapshot
+        }
+        if self.semantics.restore(&state).is_err() {
+            return;
+        }
+        // Record synthetic applies for pages whose winner changed, in
+        // WiD order, so `sees` bookkeeping and read-integrity checking
+        // keep working across snapshot installs.
+        let mut changed: Vec<(PageKey, WriteId)> = writers
+            .iter()
+            .filter(|(p, w)| self.page_last_writer.get(p) != Some(w))
+            .cloned()
+            .collect();
+        changed.sort_by_key(|(_, w)| *w);
+        {
+            let mut history = self.history.lock();
+            for (page, wid) in &changed {
+                history.record_apply(ctx.now(), self.store_id, *wid, page.clone());
+            }
+        }
+        self.page_last_writer = writers.into_iter().collect();
+        self.applied.merge_max(&version);
+        self.known_version.merge_max(&version);
+        if let Some(high) = order_high {
+            self.next_order = self.next_order.max(high);
+        }
+        self.whole_invalid = false;
+        self.invalid_pages.clear();
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+    }
+
+    /// Handles an invalidation.
+    pub fn handle_invalidate(
+        &mut self,
+        pages: Vec<Option<PageKey>>,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        for page in pages {
+            match page {
+                Some(p) => {
+                    // Only mark stale if we have not already applied the
+                    // write that invalidated it.
+                    self.invalid_pages.insert(p);
+                }
+                None => self.whole_invalid = true,
+            }
+        }
+        self.known_version.merge_max(&version);
+        if self.policy.object_outdate == OutdateReaction::Demand {
+            self.demand_update(ctx);
+            self.ensure_retry(ctx);
+        }
+    }
+
+    /// Handles a data-less change notification.
+    pub fn handle_notify(&mut self, version: VersionVector, ctx: &mut dyn NetCtx) {
+        self.known_version.merge_max(&version);
+        self.maybe_demand_on_known(ctx);
+    }
+
+    fn maybe_demand_on_known(&mut self, ctx: &mut dyn NetCtx) {
+        if self.policy.object_outdate == OutdateReaction::Demand
+            && !self.is_home
+            && !self.applied.dominates(&self.known_version)
+        {
+            self.demand_update(ctx);
+            self.ensure_retry(ctx);
+        }
+    }
+
+    /// Handles a write request. The home store accepts directly; a
+    /// non-home store either accepts locally and relays (models without
+    /// global ordering) or forwards the request to the sequencer.
+    pub fn handle_write_req(
+        &mut self,
+        from: NodeId,
+        req: RequestId,
+        client: ClientId,
+        write: LoggedWrite,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home || self.repl.accepts_local_writes() {
+            self.accept_write(Some((from, req, client)), write, ctx);
+        } else {
+            self.forwarded.insert(req, from);
+            self.comm.send(
+                ctx,
+                self.home_node,
+                &CoherenceMsg::WriteReq { req, client, write },
+            );
+        }
+    }
+
+    /// Relays a reply for a write this store forwarded to the home store.
+    /// Returns `false` if the request is unknown here.
+    pub fn relay_reply(&mut self, msg: &CoherenceMsg, ctx: &mut dyn NetCtx) -> bool {
+        if let CoherenceMsg::Reply { req, .. } = msg {
+            if let Some(origin) = self.forwarded.remove(req) {
+                self.comm.send(ctx, origin, msg);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Handles a timer.
+    pub fn handle_timer(&mut self, kind: TimerKind, ctx: &mut dyn NetCtx) {
+        match kind {
+            // Session retries belong to the control object's sessions.
+            TimerKind::SessionRetry => {}
+            TimerKind::LazyPush => {
+                self.lazy_armed = false;
+                self.lazy_flush(ctx);
+                if self.wants_lazy_timer() {
+                    ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::LazyPush));
+                    self.lazy_armed = true;
+                }
+            }
+            TimerKind::PullPoll => {
+                self.pull_armed = false;
+                self.demand_update(ctx);
+                let wants = !self.is_home
+                    && (self.policy.initiative == TransferInitiative::Pull
+                        || self.repl.wants_anti_entropy());
+                if wants {
+                    ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
+                    self.pull_armed = true;
+                }
+            }
+            TimerKind::DemandRetry => {
+                self.retry_armed = false;
+                let gaps = !self.buffered.is_empty()
+                    || !self.queued_reads.is_empty()
+                    || !self.applied.dominates(&self.known_version);
+                if gaps && self.policy.object_outdate == OutdateReaction::Demand
+                    || (!self.queued_reads.is_empty()
+                        && self.policy.client_outdate == OutdateReaction::Demand)
+                {
+                    if self.is_home {
+                        let wids: Vec<WriteId> =
+                            self.buffered.iter().map(|b| b.write.wid).collect();
+                        for wid in wids {
+                            self.react_to_gap(wid, ctx);
+                        }
+                        self.demand_resend_for_reads(ctx);
+                        self.ensure_retry(ctx);
+                    } else {
+                        self.demand_update(ctx);
+                        self.ensure_retry(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adopts a new replication policy at run time. The home store also
+    /// broadcasts the change to every peer (§5: dynamically adaptable
+    /// implementation parameters).
+    pub fn set_policy(&mut self, policy: ReplicationPolicy, ctx: &mut dyn NetCtx) {
+        if policy.model != self.policy.model {
+            self.repl = replication_for(policy.model);
+        }
+        let broadcast = self.is_home;
+        self.policy = policy.clone();
+        if broadcast {
+            let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
+            self.comm
+                .multicast(ctx, peers, &CoherenceMsg::PolicyUpdate { policy });
+        }
+        self.start(ctx);
+    }
+
+    /// Records this replica's final digest into the shared history.
+    pub fn record_final_digest(&self) {
+        self.history
+            .lock()
+            .record_final_digest(self.store_id, self.final_digest());
+    }
+}
+
+impl std::fmt::Debug for StoreReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreReplica")
+            .field("object", &self.object)
+            .field("store", &self.store_id)
+            .field("class", &self.class)
+            .field("protocol", &self.repl.name())
+            .field("applied", &self.applied)
+            .field("buffered", &self.buffered.len())
+            .field("queued_reads", &self.queued_reads.len())
+            .finish()
+    }
+}

@@ -1,0 +1,419 @@
+//! The real-socket Globe runtime.
+//!
+//! [`GlobeTcp`] hosts the same address spaces, control objects, and
+//! replication protocols as [`crate::GlobeSim`], but over the TCP mesh of
+//! `globe-net`: every store runs its event loop on its own thread, and
+//! client nodes are driven from the caller's thread. Nothing in the
+//! protocol stack changes — that is the point of the sans-IO design (and
+//! of the paper's claim that the framework sits on ordinary transports).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use globe_coherence::{ClientId, StoreClass, StoreId};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
+use globe_net::tcp::{TcpEndpoint, TcpMesh};
+use globe_net::{NodeId, RegionId};
+use parking_lot::Mutex;
+
+use crate::{
+    shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
+    ControlObject, InvocationMessage, PeerStore, ReplicationPolicy, RequestId, RuntimeError,
+    Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
+    WriteChoice,
+};
+
+struct ObjectRecord {
+    policy: ReplicationPolicy,
+    home_node: NodeId,
+    home_store: StoreId,
+    stores: Vec<(NodeId, StoreId, StoreClass)>,
+}
+
+/// The Globe middleware over real TCP sockets on loopback.
+///
+/// Build phase: add nodes, create objects, bind clients. Then call
+/// [`GlobeTcp::start`] to spawn the store event loops, and drive client
+/// calls with [`GlobeTcp::read`] / [`GlobeTcp::write`] from the caller's
+/// thread. Shut down with [`GlobeTcp::shutdown`].
+pub struct GlobeTcp {
+    mesh: TcpMesh,
+    endpoints: HashMap<NodeId, TcpEndpoint>,
+    spaces: HashMap<NodeId, Arc<Mutex<AddressSpace>>>,
+    names: NameSpace,
+    locations: LocationService,
+    objects: HashMap<ObjectId, ObjectRecord>,
+    history: SharedHistory,
+    metrics: SharedMetrics,
+    threads: Vec<JoinHandle<()>>,
+    next_client: u32,
+    next_store: u32,
+    started: bool,
+}
+
+impl GlobeTcp {
+    /// Creates an empty TCP runtime.
+    pub fn new() -> Self {
+        GlobeTcp {
+            mesh: TcpMesh::new(),
+            endpoints: HashMap::new(),
+            spaces: HashMap::new(),
+            names: NameSpace::new(),
+            locations: LocationService::new(),
+            objects: HashMap::new(),
+            history: shared_history(),
+            metrics: shared_metrics(),
+            threads: Vec::new(),
+            next_client: 0,
+            next_store: 0,
+            started: false,
+        }
+    }
+
+    /// Adds an address space backed by a real socket endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the endpoint cannot be created.
+    pub fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
+        let endpoint = self
+            .mesh
+            .add_node()
+            .map_err(|e| RuntimeError::BadName(e.to_string()))?;
+        let node = endpoint.node();
+        self.endpoints.insert(node, endpoint);
+        self.spaces
+            .insert(node, Arc::new(Mutex::new(AddressSpace::new(node))));
+        Ok(node)
+    }
+
+    /// Creates a distributed object, mirroring [`crate::GlobeSim::create_object`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on invalid names, policies, or placement.
+    pub fn create_object(
+        &mut self,
+        name: &str,
+        policy: ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        placement: &[(NodeId, StoreClass)],
+    ) -> Result<ObjectId, RuntimeError> {
+        assert!(!self.started, "create objects before start()");
+        policy
+            .validate()
+            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        let parsed: ObjectName = name
+            .parse()
+            .map_err(|e: globe_naming::ParseNameError| RuntimeError::BadName(e.to_string()))?;
+        let home_index = placement
+            .iter()
+            .position(|(_, class)| *class == StoreClass::Permanent)
+            .ok_or(RuntimeError::NoPermanentStore)?;
+        for (node, _) in placement {
+            if !self.spaces.contains_key(node) {
+                return Err(RuntimeError::UnknownNode(*node));
+            }
+        }
+        let object = self
+            .names
+            .register(parsed)
+            .map_err(|_| RuntimeError::NameTaken(name.to_string()))?;
+        let home_node = placement[home_index].0;
+        let mut stores = Vec::new();
+        for (node, class) in placement {
+            let store_id = StoreId::new(self.next_store);
+            self.next_store += 1;
+            stores.push((*node, store_id, *class));
+            self.locations.register(
+                object,
+                ContactRecord {
+                    node: *node,
+                    class: *class,
+                    region: RegionId::new(0),
+                },
+            );
+        }
+        let home_store = stores[home_index].1;
+        for (index, (node, store_id, class)) in stores.iter().enumerate() {
+            let is_home = index == home_index;
+            let peers = if is_home {
+                stores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != home_index)
+                    .map(|(_, (n, _, c))| PeerStore { node: *n, class: *c })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let replica = StoreReplica::new(StoreConfig {
+                object,
+                store_id: *store_id,
+                class: *class,
+                policy: policy.clone(),
+                home_node,
+                is_home,
+                peers,
+                semantics: semantics_factory(),
+                history: self.history.clone(),
+                metrics: self.metrics.clone(),
+            });
+            {
+                let mut space = self.spaces[node].lock();
+                match space.control_mut(object) {
+                    Some(control) => control.set_store(replica),
+                    None => space.install(ControlObject::with_store(object, replica)),
+                }
+            }
+            let endpoint = self
+                .endpoints
+                .get_mut(node)
+                .expect("endpoint exists for node");
+            let mut ctx = endpoint.ctx();
+            self.spaces[node]
+                .lock()
+                .control_mut(object)
+                .expect("control installed above")
+                .start(&mut ctx);
+        }
+        self.objects.insert(
+            object,
+            ObjectRecord {
+                policy,
+                home_node,
+                home_store,
+                stores,
+            },
+        );
+        Ok(object)
+    }
+
+    /// Binds a client in `node`'s address space, mirroring
+    /// [`crate::GlobeSim::bind`]. The node must stay client-driven (do
+    /// not list it as a store placement) so the caller's thread can pump
+    /// its events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node/replica is unknown.
+    pub fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let read_node = match opts.read_from {
+            crate::ReadChoice::Nearest => self
+                .locations
+                .nearest_any_layer(object, RegionId::new(0))
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node,
+            crate::ReadChoice::Class(class) => self
+                .locations
+                .nearest(object, RegionId::new(0), Some(class))
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node,
+            crate::ReadChoice::Node(n) => n,
+        };
+        let read_store = record
+            .stores
+            .iter()
+            .find(|(n, _, _)| *n == read_node)
+            .map(|(_, id, _)| *id)
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        let local_ok =
+            crate::replication::replication_for(record.policy.model).accepts_local_writes();
+        let (write_node, write_store) = match opts.write_via {
+            WriteChoice::Bound if local_ok => (read_node, read_store),
+            _ => (record.home_node, record.home_store),
+        };
+        let client = ClientId::new(self.next_client);
+        self.next_client += 1;
+        let guards = opts
+            .guards
+            .into_iter()
+            .filter(|g| !record.policy.model.subsumes(*g))
+            .collect();
+        let session = Session::new(SessionConfig {
+            client,
+            object,
+            model: record.policy.model,
+            guards,
+            read_node,
+            read_store,
+            write_node,
+            write_store,
+            history: self.history.clone(),
+            metrics: self.metrics.clone(),
+        });
+        let mut space = self
+            .spaces
+            .get(&node)
+            .ok_or(RuntimeError::UnknownNode(node))?
+            .lock();
+        match space.control_mut(object) {
+            Some(control) => control.add_session(session),
+            None => {
+                let mut control = ControlObject::proxy_only(object);
+                control.add_session(session);
+                space.install(control);
+            }
+        }
+        Ok(ClientHandle {
+            object,
+            node,
+            client,
+        })
+    }
+
+    /// Spawns the event loop of every node that hosts a store and is not
+    /// named in `client_nodes` (those stay caller-driven).
+    pub fn start(&mut self, client_nodes: &[NodeId]) {
+        self.started = true;
+        let to_spawn: Vec<NodeId> = self
+            .endpoints
+            .keys()
+            .copied()
+            .filter(|n| !client_nodes.contains(n))
+            .collect();
+        for node in to_spawn {
+            let endpoint = self.endpoints.remove(&node).expect("endpoint present");
+            let space = Arc::clone(&self.spaces[&node]);
+            let handle = endpoint.spawn_loop(move |event, ctx| {
+                space.lock().handle_event(event, ctx);
+            });
+            self.threads.push(handle);
+        }
+    }
+
+    fn pump_client(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+        timeout: Duration,
+    ) -> Result<Bytes, CallError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut space = self.spaces[&handle.node].lock();
+                if let Some(result) = space
+                    .control_mut(handle.object)
+                    .and_then(|c| c.take_result(handle.client, req))
+                {
+                    return result;
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(CallError::TimedOut);
+            }
+            let endpoint = self
+                .endpoints
+                .get_mut(&handle.node)
+                .ok_or(CallError::NotBound)?;
+            if let Some(event) = endpoint.recv_timeout(Duration::from_millis(20)) {
+                let mut ctx = endpoint.ctx();
+                self.spaces[&handle.node].lock().handle_event(event, &mut ctx);
+            }
+        }
+    }
+
+    /// Executes a read over real sockets, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] on failure or timeout.
+    pub fn read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        timeout: Duration,
+    ) -> Result<Bytes, CallError> {
+        let req = {
+            let endpoint = self
+                .endpoints
+                .get_mut(&handle.node)
+                .ok_or(CallError::NotBound)?;
+            let mut ctx = endpoint.ctx();
+            self.spaces[&handle.node]
+                .lock()
+                .control_mut(handle.object)
+                .ok_or(CallError::NotBound)?
+                .client_read(handle.client, inv, &mut ctx)?
+        };
+        self.pump_client(handle, req, timeout)
+    }
+
+    /// Executes a write over real sockets, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] on failure or timeout.
+    pub fn write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        timeout: Duration,
+    ) -> Result<Bytes, CallError> {
+        let req = {
+            let endpoint = self
+                .endpoints
+                .get_mut(&handle.node)
+                .ok_or(CallError::NotBound)?;
+            let mut ctx = endpoint.ctx();
+            self.spaces[&handle.node]
+                .lock()
+                .control_mut(handle.object)
+                .ok_or(CallError::NotBound)?
+                .client_write(handle.client, inv, &mut ctx)?
+        };
+        self.pump_client(handle, req, timeout)
+    }
+
+    /// The shared execution history.
+    pub fn history(&self) -> SharedHistory {
+        self.history.clone()
+    }
+
+    /// The shared metrics.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.metrics.clone()
+    }
+
+    /// Stops the mesh; store threads exit on their next poll.
+    pub fn shutdown(&mut self) {
+        self.mesh.shutdown();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Default for GlobeTcp {
+    fn default() -> Self {
+        GlobeTcp::new()
+    }
+}
+
+impl Drop for GlobeTcp {
+    fn drop(&mut self) {
+        self.mesh.shutdown();
+    }
+}
+
+impl std::fmt::Debug for GlobeTcp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobeTcp")
+            .field("nodes", &self.spaces.len())
+            .field("objects", &self.objects.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}

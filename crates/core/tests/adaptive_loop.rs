@@ -1,0 +1,95 @@
+//! Closed-loop self-adaptation (§5 future work): the controller watches
+//! the write rate and retunes the object's transfer instant while the
+//! workload changes phase under it.
+
+use std::time::Duration;
+
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, AdaptiveController, BindOptions, GlobeSim, Regime, RegisterDoc, ReplicationPolicy,
+    TransferInstant,
+};
+use globe_net::Topology;
+
+#[test]
+fn controller_retunes_the_object_as_the_workload_changes() {
+    let cold = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .unwrap();
+    let hot = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .lazy(Duration::from_secs(2))
+        .build()
+        .unwrap();
+    let mut controller = AdaptiveController::new(
+        cold.clone(),
+        hot,
+        1.0,
+        0.1,
+        Duration::from_secs(10),
+    );
+
+    let mut sim = GlobeSim::new(Topology::wan(), 80);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = sim
+        .create_object(
+            "/adaptive/loop",
+            cold,
+            &mut || Box::new(RegisterDoc::new()),
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .unwrap();
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+
+    let write = |sim: &mut GlobeSim, controller: &mut AdaptiveController, i: usize| {
+        sim.write(&master, registers::put("page", format!("v{i}").as_bytes()))
+            .unwrap();
+        controller.record_write(sim.now());
+        if let Some(policy) = controller.evaluate(sim.now()) {
+            sim.set_policy(object, policy).unwrap();
+        }
+    };
+
+    // Cold phase: sparse writes; the controller must stay cold.
+    for i in 0..4 {
+        write(&mut sim, &mut controller, i);
+        sim.run_for(Duration::from_secs(15));
+    }
+    assert_eq!(controller.regime(), Regime::Cold);
+
+    // Hot phase: a burst; the controller must flip to lazy aggregation.
+    for i in 4..40 {
+        write(&mut sim, &mut controller, i);
+        sim.run_for(Duration::from_millis(200));
+    }
+    assert_eq!(
+        controller.regime(),
+        Regime::Hot,
+        "burst must trip the hot threshold"
+    );
+    assert_eq!(controller.active_policy().instant, TransferInstant::Lazy);
+
+    // Quiet again: the controller cools back down.
+    sim.run_for(Duration::from_secs(120));
+    if let Some(policy) = controller.evaluate(sim.now()) {
+        sim.set_policy(object, policy).unwrap();
+    }
+    assert_eq!(controller.regime(), Regime::Cold);
+
+    // Through all the switching, the object stayed coherent & converged.
+    sim.run_for(Duration::from_secs(5));
+    sim.finalize_digests();
+    assert_eq!(
+        sim.store_digest(object, cache),
+        sim.store_digest(object, server)
+    );
+    let history = sim.history();
+    let history = history.lock();
+    globe_coherence::check::check_fifo(&history).unwrap();
+}

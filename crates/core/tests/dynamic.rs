@@ -1,0 +1,173 @@
+//! Run-time dynamism: guards added after binding, replicas restarted
+//! after crashes, and policy changes mid-flight — the "flexibility needed
+//! in an evolutionary system such as the Web" (§5).
+
+use std::time::Duration;
+
+use globe_coherence::{check, ClientModel, ObjectModel, StoreClass};
+use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+use globe_net::Topology;
+
+fn doc() -> Box<dyn globe_core::Semantics> {
+    Box::new(RegisterDoc::new())
+}
+
+#[test]
+fn guard_added_at_runtime_is_enforced() {
+    // A master bound WITHOUT RYW observes the stale cache; after
+    // add_guard, the same handle's reads are RYW-enforced.
+    let policy = ReplicationPolicy::conference_page(); // 2 s lazy push
+    let mut sim = GlobeSim::new(Topology::lan(), 70);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = sim
+        .create_object(
+            "/dynamic/guard",
+            policy,
+            &mut doc,
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .unwrap();
+    let master = sim
+        .bind(object, cache, BindOptions::new().read_node(cache))
+        .unwrap();
+
+    sim.write(&master, registers::put("p", b"v1")).unwrap();
+    let stale = sim.read(&master, registers::get("p")).unwrap();
+    assert!(stale.is_empty(), "without the guard the cache is stale");
+
+    sim.add_guard(&master, ClientModel::ReadYourWrites).unwrap();
+    sim.write(&master, registers::put("p", b"v2")).unwrap();
+    let fresh = sim.read(&master, registers::get("p")).unwrap();
+    assert_eq!(&fresh[..], b"v2", "guard added at run time must enforce RYW");
+
+    let history = sim.history();
+    let history = history.lock();
+    check::check_pram(&history).unwrap();
+}
+
+#[test]
+fn subsumed_guard_added_at_runtime_is_ignored() {
+    let mut sim = GlobeSim::new(Topology::lan(), 71);
+    let server = sim.add_node();
+    let object = sim
+        .create_object(
+            "/dynamic/subsumed",
+            ReplicationPolicy::whiteboard(), // sequential
+            &mut doc,
+            &[(server, StoreClass::Permanent)],
+        )
+        .unwrap();
+    let handle = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    // Sequential subsumes RYW; adding it must be a harmless no-op.
+    sim.add_guard(&handle, ClientModel::ReadYourWrites).unwrap();
+    sim.write(&handle, registers::put("p", b"x")).unwrap();
+    let got = sim.read(&handle, registers::get("p")).unwrap();
+    assert_eq!(&got[..], b"x");
+}
+
+#[test]
+fn crashed_cache_recovers_from_the_permanent_store() {
+    let policy = ReplicationPolicy::builder(ObjectModel::Pram)
+        .immediate()
+        .build()
+        .unwrap();
+    let mut sim = GlobeSim::new(Topology::wan(), 72);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = sim
+        .create_object(
+            "/dynamic/crash",
+            policy,
+            &mut doc,
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .unwrap();
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    for i in 0..5 {
+        sim.write(&master, registers::put(&format!("p{i}"), b"live"))
+            .unwrap();
+    }
+    sim.run_for(Duration::from_secs(1));
+    let before = sim.store_digest(object, cache).unwrap();
+    assert_eq!(before, sim.store_digest(object, server).unwrap());
+
+    // Crash: all in-memory state gone. Recovery: resync from the home
+    // store (the permanent store implements persistence, §3.1).
+    sim.restart_store(object, cache, doc()).unwrap();
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(
+        sim.store_digest(object, cache).unwrap(),
+        sim.store_digest(object, server).unwrap(),
+        "restarted cache must rebuild the full replica"
+    );
+
+    // And it keeps receiving pushes afterwards.
+    sim.write(&master, registers::put("after", b"restart"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(
+        sim.store_digest(object, cache).unwrap(),
+        sim.store_digest(object, server).unwrap()
+    );
+}
+
+#[test]
+fn home_store_refuses_restart() {
+    let mut sim = GlobeSim::new(Topology::lan(), 73);
+    let server = sim.add_node();
+    let object = sim
+        .create_object(
+            "/dynamic/home",
+            ReplicationPolicy::personal_home_page(),
+            &mut doc,
+            &[(server, StoreClass::Permanent)],
+        )
+        .unwrap();
+    assert!(sim.restart_store(object, server, doc()).is_err());
+}
+
+#[test]
+fn policy_switch_reaches_every_replica() {
+    // set_policy broadcasts PolicyUpdate; verify a replica actually
+    // adopts it (its store reports the new instant).
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .lazy(Duration::from_secs(60))
+        .build()
+        .unwrap();
+    let mut sim = GlobeSim::new(Topology::lan(), 74);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = sim
+        .create_object(
+            "/dynamic/policy",
+            policy,
+            &mut doc,
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .unwrap();
+    let immediate = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .unwrap();
+    sim.set_policy(object, immediate.clone()).unwrap();
+    sim.run_for(Duration::from_millis(100)); // broadcast in flight
+    let metrics = sim.metrics();
+    assert!(
+        metrics.lock().traffic.contains_key("PolicyUpdate"),
+        "policy broadcast must be visible on the wire"
+    );
+}

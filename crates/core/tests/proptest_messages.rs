@@ -1,0 +1,149 @@
+//! Property tests: every coherence protocol message round-trips through
+//! the wire format, and arbitrary bytes never panic the decoder — a
+//! replica must survive any datagram the network hands it.
+
+use bytes::Bytes;
+use globe_coherence::{ClientId, VersionVector, WriteId};
+use globe_core::{
+    CallOutcome, CoherenceMsg, InvocationMessage, LoggedWrite, MethodId, NetMsg, ReplicationPolicy,
+    RequestId,
+};
+use globe_naming::ObjectId;
+use proptest::prelude::*;
+
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    proptest::collection::btree_map(0u32..6, 1u64..100, 0..6).prop_map(|m| {
+        m.into_iter()
+            .map(|(c, s)| (ClientId::new(c), s))
+            .collect::<VersionVector>()
+    })
+}
+
+fn arb_wid() -> impl Strategy<Value = WriteId> {
+    (0u32..8, 1u64..1000).prop_map(|(c, s)| WriteId::new(ClientId::new(c), s))
+}
+
+fn arb_inv() -> impl Strategy<Value = InvocationMessage> {
+    (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(m, args)| InvocationMessage::new(MethodId::new(m), Bytes::from(args)))
+}
+
+fn arb_write() -> impl Strategy<Value = LoggedWrite> {
+    (
+        arb_wid(),
+        arb_inv(),
+        arb_vv(),
+        proptest::option::of("[a-z]{1,12}"),
+        proptest::option::of(0u64..10_000),
+    )
+        .prop_map(|(wid, inv, deps, page, order)| LoggedWrite {
+            wid,
+            inv,
+            deps,
+            page,
+            order,
+        })
+}
+
+fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
+    prop_oneof![
+        (any::<u64>(), 0u32..8, arb_inv(), arb_vv()).prop_map(|(r, c, inv, min_version)| {
+            CoherenceMsg::ReadReq {
+                req: RequestId::new(r),
+                client: ClientId::new(c),
+                inv,
+                min_version,
+            }
+        }),
+        (any::<u64>(), 0u32..8, arb_write()).prop_map(|(r, c, write)| CoherenceMsg::WriteReq {
+            req: RequestId::new(r),
+            client: ClientId::new(c),
+            write,
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            arb_vv(),
+            proptest::option::of(arb_wid()),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+        )
+            .prop_map(|(r, body, version, sees, full)| CoherenceMsg::Reply {
+                req: RequestId::new(r),
+                outcome: CallOutcome::Ok(Bytes::from(body)),
+                version,
+                sees,
+                full_state: full.map(Bytes::from),
+            }),
+        (any::<u64>(), ".{0,24}").prop_map(|(r, msg)| CoherenceMsg::Reply {
+            req: RequestId::new(r),
+            outcome: CallOutcome::Err(msg),
+            version: VersionVector::new(),
+            sees: None,
+            full_state: None,
+        }),
+        arb_write().prop_map(|write| CoherenceMsg::Update { write }),
+        (proptest::collection::vec(arb_write(), 0..5), arb_vv())
+            .prop_map(|(writes, version)| CoherenceMsg::UpdateBatch { writes, version }),
+        (
+            arb_vv(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
+            proptest::option::of(any::<u64>()),
+        )
+            .prop_map(|(version, state, writers, order_high)| CoherenceMsg::FullState {
+                version,
+                state: Bytes::from(state),
+                writers,
+                order_high,
+            }),
+        (
+            proptest::collection::vec(proptest::option::of("[a-z]{1,8}"), 0..4),
+            arb_vv()
+        )
+            .prop_map(|(pages, version)| CoherenceMsg::Invalidate { pages, version }),
+        arb_vv().prop_map(|version| CoherenceMsg::Notify { version }),
+        (arb_vv(), proptest::option::of(any::<u64>()))
+            .prop_map(|(since, order_since)| CoherenceMsg::DemandUpdate { since, order_since }),
+        (0u32..8, any::<u64>()).prop_map(|(c, s)| CoherenceMsg::DemandResend {
+            client: ClientId::new(c),
+            from_seq: s,
+        }),
+        Just(CoherenceMsg::PolicyUpdate {
+            policy: ReplicationPolicy::conference_page(),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn net_msg_roundtrips(object in any::<u64>(), msg in arb_msg()) {
+        let env = NetMsg {
+            object: ObjectId::new(object),
+            msg,
+        };
+        let bytes = globe_wire::to_bytes(&env);
+        prop_assert_eq!(bytes.len(), globe_wire::WireEncode::encoded_len(&env));
+        let back: NetMsg = globe_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, env);
+    }
+
+    /// Arbitrary garbage must never panic the frame decoder.
+    #[test]
+    fn garbage_frames_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = globe_wire::from_bytes::<NetMsg>(&bytes);
+    }
+
+    /// Truncating a valid frame at any boundary yields an error, not a
+    /// panic or a bogus success.
+    #[test]
+    fn truncated_frames_error_cleanly(msg in arb_msg(), cut in any::<prop::sample::Index>()) {
+        let env = NetMsg { object: ObjectId::new(1), msg };
+        let bytes = globe_wire::to_bytes(&env);
+        if bytes.len() > 1 {
+            let cut = 1 + cut.index(bytes.len() - 1);
+            if cut < bytes.len() {
+                prop_assert!(globe_wire::from_bytes::<NetMsg>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Negative paths of the runtime API: every misuse must surface as a
+//! typed error, never a panic or a silent success.
+
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, BindOptions, CallError, GlobeSim, ReadChoice, RegisterDoc, ReplicationPolicy,
+    RuntimeError,
+};
+use globe_net::{NodeId, Topology};
+
+fn doc() -> Box<dyn globe_core::Semantics> {
+    Box::new(RegisterDoc::new())
+}
+
+fn policy() -> ReplicationPolicy {
+    ReplicationPolicy::builder(ObjectModel::Pram)
+        .immediate()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn create_object_rejects_bad_input() {
+    let mut sim = GlobeSim::new(Topology::lan(), 0);
+    let node = sim.add_node();
+
+    // No permanent store in the placement.
+    let err = sim
+        .create_object("/x", policy(), &mut doc, &[(node, StoreClass::ClientInitiated)])
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::NoPermanentStore);
+
+    // Unknown node.
+    let err = sim
+        .create_object(
+            "/x",
+            policy(),
+            &mut doc,
+            &[(NodeId::new(99), StoreClass::Permanent)],
+        )
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::UnknownNode(NodeId::new(99)));
+
+    // Malformed name.
+    let err = sim
+        .create_object("not-absolute", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::BadName(_)));
+
+    // Duplicate name.
+    sim.create_object("/x", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+        .unwrap();
+    let err = sim
+        .create_object("/x", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::NameTaken(_)));
+
+    // Invalid policy.
+    let bad = ReplicationPolicy {
+        lazy_period: std::time::Duration::ZERO,
+        instant: globe_core::TransferInstant::Lazy,
+        ..policy()
+    };
+    let err = sim
+        .create_object("/y", bad, &mut doc, &[(node, StoreClass::Permanent)])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::BadPolicy(_)));
+}
+
+#[test]
+fn bind_rejects_missing_replicas_and_nodes() {
+    let mut sim = GlobeSim::new(Topology::lan(), 1);
+    let server = sim.add_node();
+    let other = sim.add_node();
+    let object = sim
+        .create_object("/b", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+        .unwrap();
+
+    // Binding reads to a node without a replica.
+    let err = sim
+        .bind(object, other, BindOptions::new().read_node(other))
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::NoSuchReplica);
+
+    // Binding in an unknown address space.
+    let err = sim
+        .bind(object, NodeId::new(77), BindOptions::new())
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::UnknownNode(NodeId::new(77)));
+
+    // Requesting a store class that has no replica.
+    let err = sim
+        .bind(
+            object,
+            other,
+            BindOptions {
+                read_from: ReadChoice::Class(StoreClass::ObjectInitiated),
+                ..BindOptions::new()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::NoSuchReplica);
+
+    // Unknown object id.
+    let err = sim
+        .bind(globe_naming::ObjectId::new(999), other, BindOptions::new())
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::UnknownObject(_)));
+}
+
+#[test]
+fn calls_on_unbound_handles_fail_cleanly() {
+    let mut sim = GlobeSim::new(Topology::lan(), 2);
+    let server = sim.add_node();
+    let object = sim
+        .create_object("/c", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+        .unwrap();
+    let real = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    // Forge a handle with a bogus client id.
+    let fake = globe_core::ClientHandle {
+        object,
+        node: server,
+        client: globe_coherence::ClientId::new(4242),
+    };
+    assert_eq!(
+        sim.read(&fake, registers::get("p")).unwrap_err(),
+        CallError::NotBound
+    );
+    assert_eq!(
+        sim.write(&fake, registers::put("p", b"x")).unwrap_err(),
+        CallError::NotBound
+    );
+    // The real handle still works.
+    sim.write(&real, registers::put("p", b"x")).unwrap();
+}
+
+#[test]
+fn semantics_errors_travel_back_to_the_caller() {
+    let mut sim = GlobeSim::new(Topology::lan(), 3);
+    let server = sim.add_node();
+    let object = sim
+        .create_object("/d", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+        .unwrap();
+    let handle = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    // Method 99 does not exist on RegisterDoc.
+    let bogus = globe_core::InvocationMessage::new(
+        globe_core::MethodId::new(99),
+        bytes::Bytes::new(),
+    );
+    match sim.read(&handle, bogus).unwrap_err() {
+        CallError::Semantics(msg) => assert!(msg.contains("m99"), "{msg}"),
+        other => panic!("expected a semantics error, got {other:?}"),
+    }
+}
+
+#[test]
+fn stalled_calls_report_instead_of_hanging() {
+    // A read bound to a store that can never satisfy it: min_version
+    // can't rise because nothing is scheduled. The pump detects the dead
+    // simulation and errors.
+    let lazy_forever = ReplicationPolicy {
+        instant: globe_core::TransferInstant::Lazy,
+        lazy_period: std::time::Duration::from_secs(100_000),
+        client_outdate: globe_core::OutdateReaction::Wait,
+        object_outdate: globe_core::OutdateReaction::Wait,
+        ..policy()
+    };
+    let mut sim = GlobeSim::new(Topology::lan(), 4);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = sim
+        .create_object(
+            "/e",
+            lazy_forever,
+            &mut doc,
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .unwrap();
+    let master = sim
+        .bind(
+            object,
+            cache,
+            BindOptions::new()
+                .read_node(cache)
+                .guard(globe_coherence::ClientModel::ReadYourWrites),
+        )
+        .unwrap();
+    sim.write(&master, registers::put("p", b"v")).unwrap();
+    // RYW read through the un-pushed cache with `wait` everywhere: the
+    // read queues until the far-future lazy push. With a short timeout
+    // the call reports rather than spinning.
+    sim.set_call_timeout(std::time::Duration::from_secs(30));
+    let err = sim.read(&master, registers::get("p")).unwrap_err();
+    assert!(
+        matches!(err, CallError::TimedOut | CallError::Stalled),
+        "got {err:?}"
+    );
+}

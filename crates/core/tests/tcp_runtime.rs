@@ -1,0 +1,133 @@
+//! The same protocols over real TCP sockets: a smoke test of the
+//! sans-IO claim. A server and a cache run on their own threads; the
+//! Web-master client (with Read-Your-Writes) and a user client are
+//! driven from the test thread.
+
+use std::time::Duration;
+
+use globe_coherence::{ClientModel, StoreClass};
+use globe_core::{registers, BindOptions, GlobeTcp, RegisterDoc, ReplicationPolicy};
+
+const CALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn conference_page_over_real_sockets() {
+    let mut globe = GlobeTcp::new();
+    let server = globe.add_node().expect("server node");
+    let cache = globe.add_node().expect("cache node");
+    let master_node = globe.add_node().expect("master node");
+    let user_node = globe.add_node().expect("user node");
+
+    let mut policy = ReplicationPolicy::conference_page();
+    policy.lazy_period = Duration::from_millis(300); // faster for a test
+    let object = globe
+        .create_object(
+            "/conf/icdcs98",
+            policy,
+            &mut || Box::new(RegisterDoc::new()),
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .expect("create object");
+
+    let master = globe
+        .bind(
+            object,
+            master_node,
+            BindOptions::new()
+                .read_node(cache)
+                .guard(ClientModel::ReadYourWrites),
+        )
+        .expect("bind master");
+    let user = globe
+        .bind(object, user_node, BindOptions::new().read_node(cache))
+        .expect("bind user");
+
+    globe.start(&[master_node, user_node]);
+
+    // The master writes to the server and immediately reads through the
+    // cache: RYW must force the cache to demand the update.
+    globe
+        .write(&master, registers::put("program.html", b"v1"), CALL_TIMEOUT)
+        .expect("master write");
+    let got = globe
+        .read(&master, registers::get("program.html"), CALL_TIMEOUT)
+        .expect("master read");
+    assert_eq!(&got[..], b"v1", "read-your-writes over TCP");
+
+    // The user eventually sees the page via the periodic push.
+    let mut user_saw = Vec::new();
+    for _ in 0..50 {
+        user_saw = globe
+            .read(&user, registers::get("program.html"), CALL_TIMEOUT)
+            .expect("user read")
+            .to_vec();
+        if user_saw == b"v1" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(&user_saw[..], b"v1", "push never reached the cache");
+
+    // The history recorded over real sockets passes the same checkers.
+    let history = globe.history();
+    let history = history.lock();
+    globe_coherence::check::check_pram(&history).expect("pram holds over tcp");
+    globe_coherence::check::check_read_your_writes(&history, master.client)
+        .expect("ryw holds over tcp");
+    drop(history);
+
+    globe.shutdown();
+}
+
+#[test]
+fn incremental_updates_over_sockets_stay_ordered() {
+    let mut globe = GlobeTcp::new();
+    let server = globe.add_node().expect("server");
+    let cache = globe.add_node().expect("cache");
+    let writer_node = globe.add_node().expect("writer");
+
+    let policy = ReplicationPolicy::builder(globe_coherence::ObjectModel::Pram)
+        .immediate()
+        .build()
+        .expect("valid");
+    let object = globe
+        .create_object(
+            "/tcp/stream",
+            policy,
+            &mut || Box::new(RegisterDoc::new()),
+            &[
+                (server, StoreClass::Permanent),
+                (cache, StoreClass::ClientInitiated),
+            ],
+        )
+        .expect("create");
+    let writer = globe
+        .bind(object, writer_node, BindOptions::new().read_node(server))
+        .expect("bind");
+    globe.start(&[writer_node]);
+
+    for i in 0..10 {
+        globe
+            .write(
+                &writer,
+                registers::put("page", format!("v{i}").as_bytes()),
+                CALL_TIMEOUT,
+            )
+            .expect("write");
+    }
+    let got = globe
+        .read(&writer, registers::get("page"), CALL_TIMEOUT)
+        .expect("read");
+    assert_eq!(&got[..], b"v9");
+
+    // Give the push a moment, then check PRAM order at every store.
+    std::thread::sleep(Duration::from_millis(500));
+    let history = globe.history();
+    let history = history.lock();
+    globe_coherence::check::check_pram(&history).expect("pram over tcp");
+    drop(history);
+    globe.shutdown();
+}

@@ -1,0 +1,43 @@
+//! Globe support services: naming and location.
+//!
+//! Globe separates a worldwide, human-readable *name space* from a
+//! *location service* that maps object ids to contact addresses; binding
+//! to an object resolves the name, then picks a contact point — normally
+//! the nearest replica of an acceptable store layer (§2: "it must first
+//! bind to that object by contacting it at one of the object's contact
+//! points").
+//!
+//! # Examples
+//!
+//! ```
+//! use globe_coherence::StoreClass;
+//! use globe_naming::{ContactRecord, LocationService, NameSpace};
+//! use globe_net::{NodeId, RegionId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut names = NameSpace::new();
+//! let mut locations = LocationService::new();
+//! let id = names.register("/conf/icdcs98".parse()?)?;
+//! locations.register(id, ContactRecord {
+//!     node: NodeId::new(0),
+//!     class: StoreClass::Permanent,
+//!     region: RegionId::new(0),
+//! });
+//! let id2 = names.resolve(&"/conf/icdcs98".parse()?)?;
+//! assert_eq!(id, id2);
+//! assert_eq!(locations.lookup(id2).len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod location;
+mod name;
+mod namespace;
+mod object_id;
+
+pub use location::{ContactRecord, LocationError, LocationService};
+pub use name::{ObjectName, ParseNameError};
+pub use namespace::{NameError, NameSpace};
+pub use object_id::ObjectId;

@@ -1,0 +1,220 @@
+//! The location service: object ids to contact addresses.
+//!
+//! "In order for a process to invoke an object's method, it must first
+//! bind to that object by contacting it at one of the object's contact
+//! points" (§2). A contact record names a node holding a replica, its
+//! store class, and its region, so binding can pick the nearest replica
+//! of an acceptable layer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use globe_coherence::StoreClass;
+use globe_net::{NodeId, RegionId};
+
+use crate::ObjectId;
+
+/// One contact point of a distributed object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactRecord {
+    /// The node hosting the replica.
+    pub node: NodeId,
+    /// The replica's store class.
+    pub class: StoreClass,
+    /// The region the node lives in.
+    pub region: RegionId,
+}
+
+impl fmt::Display for ContactRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} ({})", self.node, self.region, self.class)
+    }
+}
+
+/// Error returned by the location service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocationError {
+    /// No contact points are registered for the object.
+    NoContacts(ObjectId),
+}
+
+impl fmt::Display for LocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocationError::NoContacts(id) => {
+                write!(f, "no contact points registered for {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocationError {}
+
+/// Tracks where each object's replicas can be contacted.
+///
+/// # Examples
+///
+/// ```
+/// use globe_coherence::StoreClass;
+/// use globe_naming::{ContactRecord, LocationService, ObjectId};
+/// use globe_net::{NodeId, RegionId};
+///
+/// let mut ls = LocationService::new();
+/// let obj = ObjectId::new(1);
+/// ls.register(obj, ContactRecord {
+///     node: NodeId::new(0),
+///     class: StoreClass::Permanent,
+///     region: RegionId::new(0),
+/// });
+/// let contact = ls.nearest(obj, RegionId::new(0), None).unwrap();
+/// assert_eq!(contact.node, NodeId::new(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct LocationService {
+    contacts: HashMap<ObjectId, Vec<ContactRecord>>,
+}
+
+impl LocationService {
+    /// An empty location service.
+    pub fn new() -> Self {
+        LocationService::default()
+    }
+
+    /// Adds a contact point for `object` (duplicates by node replaced —
+    /// a node hosts at most one replica of a given object).
+    pub fn register(&mut self, object: ObjectId, record: ContactRecord) {
+        let records = self.contacts.entry(object).or_default();
+        if let Some(existing) = records.iter_mut().find(|r| r.node == record.node) {
+            *existing = record;
+        } else {
+            records.push(record);
+        }
+    }
+
+    /// Removes the contact point at `node` for `object`.
+    pub fn unregister(&mut self, object: ObjectId, node: NodeId) {
+        if let Some(records) = self.contacts.get_mut(&object) {
+            records.retain(|r| r.node != node);
+        }
+    }
+
+    /// All contact points for `object`, in registration order.
+    pub fn lookup(&self, object: ObjectId) -> &[ContactRecord] {
+        self.contacts.get(&object).map_or(&[], Vec::as_slice)
+    }
+
+    /// The best contact for a client in `from_region`, optionally
+    /// restricted to one store class.
+    ///
+    /// Preference order: same region before other regions, then lower
+    /// store layer (permanent first) within a region, then lowest node id
+    /// for determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LocationError::NoContacts`] if nothing matches.
+    pub fn nearest(
+        &self,
+        object: ObjectId,
+        from_region: RegionId,
+        class: Option<StoreClass>,
+    ) -> Result<ContactRecord, LocationError> {
+        self.lookup(object)
+            .iter()
+            .filter(|r| class.is_none_or(|c| r.class == c))
+            .min_by_key(|r| (r.region != from_region, r.class.layer(), r.node))
+            .copied()
+            .ok_or(LocationError::NoContacts(object))
+    }
+
+    /// The closest contact of the *deepest* available layer — what a
+    /// browser does by default: prefer a nearby cache or mirror over the
+    /// faraway permanent store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LocationError::NoContacts`] if nothing is registered.
+    pub fn nearest_any_layer(
+        &self,
+        object: ObjectId,
+        from_region: RegionId,
+    ) -> Result<ContactRecord, LocationError> {
+        self.lookup(object)
+            .iter()
+            .min_by_key(|r| {
+                (
+                    r.region != from_region,
+                    u8::MAX - r.class.layer(), // deeper layer preferred
+                    r.node,
+                )
+            })
+            .copied()
+            .ok_or(LocationError::NoContacts(object))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u32, class: StoreClass, region: u16) -> ContactRecord {
+        ContactRecord {
+            node: NodeId::new(node),
+            class,
+            region: RegionId::new(region),
+        }
+    }
+
+    #[test]
+    fn nearest_prefers_same_region_then_layer() {
+        let mut ls = LocationService::new();
+        let obj = ObjectId::new(1);
+        ls.register(obj, rec(0, StoreClass::Permanent, 0));
+        ls.register(obj, rec(1, StoreClass::ObjectInitiated, 1));
+        ls.register(obj, rec(2, StoreClass::ClientInitiated, 1));
+        // From region 1: the mirror wins over the faraway server.
+        let got = ls.nearest(obj, RegionId::new(1), None).unwrap();
+        assert_eq!(got.node, NodeId::new(1));
+        // From region 0: the permanent store wins.
+        let got = ls.nearest(obj, RegionId::new(0), None).unwrap();
+        assert_eq!(got.node, NodeId::new(0));
+    }
+
+    #[test]
+    fn nearest_with_class_filter() {
+        let mut ls = LocationService::new();
+        let obj = ObjectId::new(1);
+        ls.register(obj, rec(0, StoreClass::Permanent, 0));
+        ls.register(obj, rec(1, StoreClass::ObjectInitiated, 1));
+        let got = ls
+            .nearest(obj, RegionId::new(1), Some(StoreClass::Permanent))
+            .unwrap();
+        assert_eq!(got.node, NodeId::new(0));
+        assert!(ls
+            .nearest(obj, RegionId::new(0), Some(StoreClass::ClientInitiated))
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_any_layer_prefers_deepest() {
+        let mut ls = LocationService::new();
+        let obj = ObjectId::new(1);
+        ls.register(obj, rec(0, StoreClass::Permanent, 0));
+        ls.register(obj, rec(1, StoreClass::ClientInitiated, 0));
+        let got = ls.nearest_any_layer(obj, RegionId::new(0)).unwrap();
+        assert_eq!(got.node, NodeId::new(1), "cache preferred over server");
+    }
+
+    #[test]
+    fn register_replaces_per_node_and_unregister_removes() {
+        let mut ls = LocationService::new();
+        let obj = ObjectId::new(1);
+        ls.register(obj, rec(0, StoreClass::Permanent, 0));
+        ls.register(obj, rec(0, StoreClass::ObjectInitiated, 2));
+        assert_eq!(ls.lookup(obj).len(), 1);
+        assert_eq!(ls.lookup(obj)[0].class, StoreClass::ObjectInitiated);
+        ls.unregister(obj, NodeId::new(0));
+        assert!(ls.lookup(obj).is_empty());
+        assert!(ls.nearest(obj, RegionId::new(0), None).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Hierarchical object names.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+/// Error returned when parsing an [`ObjectName`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The name did not start with `/`.
+    NotAbsolute,
+    /// A path component was empty (`//`) or the whole name was `/`-only.
+    EmptyComponent,
+    /// A component contained a disallowed character.
+    BadCharacter(char),
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::NotAbsolute => write!(f, "object names must start with '/'"),
+            ParseNameError::EmptyComponent => write!(f, "object names may not have empty components"),
+            ParseNameError::BadCharacter(c) => write!(f, "character {c:?} not allowed in object names"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+/// A worldwide, human-readable object name, e.g. `/conf/icdcs98/home`.
+///
+/// Globe's name service maps these to object handles; this reproduction
+/// keeps the same hierarchical shape so the examples read like the paper.
+///
+/// # Examples
+///
+/// ```
+/// use globe_naming::ObjectName;
+///
+/// # fn main() -> Result<(), globe_naming::ParseNameError> {
+/// let name: ObjectName = "/conf/icdcs98/home".parse()?;
+/// assert_eq!(name.components().count(), 3);
+/// assert!(name.starts_with(&"/conf".parse()?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectName {
+    components: Vec<String>,
+}
+
+impl ObjectName {
+    /// Parses an absolute name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the name is not absolute, has empty
+    /// components, or uses characters outside `[a-zA-Z0-9._-]`.
+    pub fn parse(s: &str) -> Result<Self, ParseNameError> {
+        let Some(rest) = s.strip_prefix('/') else {
+            return Err(ParseNameError::NotAbsolute);
+        };
+        if rest.is_empty() {
+            return Err(ParseNameError::EmptyComponent);
+        }
+        let mut components = Vec::new();
+        for part in rest.split('/') {
+            if part.is_empty() {
+                return Err(ParseNameError::EmptyComponent);
+            }
+            if let Some(bad) = part
+                .chars()
+                .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+            {
+                return Err(ParseNameError::BadCharacter(bad));
+            }
+            components.push(part.to_string());
+        }
+        Ok(ObjectName { components })
+    }
+
+    /// The path components, in order.
+    pub fn components(&self) -> impl Iterator<Item = &str> + '_ {
+        self.components.iter().map(String::as_str)
+    }
+
+    /// Whether `prefix` is an ancestor of (or equal to) this name.
+    pub fn starts_with(&self, prefix: &ObjectName) -> bool {
+        self.components.len() >= prefix.components.len()
+            && self.components[..prefix.components.len()] == prefix.components[..]
+    }
+
+    /// The name with one more trailing component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if `component` is invalid.
+    pub fn child(&self, component: &str) -> Result<ObjectName, ParseNameError> {
+        let mut s = self.to_string();
+        s.push('/');
+        s.push_str(component);
+        ObjectName::parse(&s)
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for part in &self.components {
+            write!(f, "/{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for ObjectName {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ObjectName::parse(s)
+    }
+}
+
+impl WireEncode for ObjectName {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.components.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.components.encoded_len()
+    }
+}
+
+impl WireDecode for ObjectName {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        let components = Vec::<String>::decode(buf)?;
+        if components.is_empty() {
+            return Err(WireError::Invalid("object name with no components"));
+        }
+        Ok(ObjectName { components })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays() {
+        let n = ObjectName::parse("/conf/icdcs98/home").unwrap();
+        assert_eq!(n.to_string(), "/conf/icdcs98/home");
+        assert_eq!(
+            n.components().collect::<Vec<_>>(),
+            vec!["conf", "icdcs98", "home"]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(
+            ObjectName::parse("relative/name"),
+            Err(ParseNameError::NotAbsolute)
+        );
+        assert_eq!(ObjectName::parse("/"), Err(ParseNameError::EmptyComponent));
+        assert_eq!(
+            ObjectName::parse("/a//b"),
+            Err(ParseNameError::EmptyComponent)
+        );
+        assert_eq!(
+            ObjectName::parse("/a/b c"),
+            Err(ParseNameError::BadCharacter(' '))
+        );
+    }
+
+    #[test]
+    fn prefix_and_child() {
+        let root: ObjectName = "/conf".parse().unwrap();
+        let page = root.child("icdcs98").unwrap();
+        assert!(page.starts_with(&root));
+        assert!(!root.starts_with(&page));
+        assert!(page.starts_with(&page));
+        assert!(root.child("bad name").is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let n: ObjectName = "/a/b-c/d.e_f".parse().unwrap();
+        let bytes = globe_wire::to_bytes(&n);
+        assert_eq!(globe_wire::from_bytes::<ObjectName>(&bytes).unwrap(), n);
+    }
+}

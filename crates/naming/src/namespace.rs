@@ -1,0 +1,153 @@
+//! The name service: hierarchical names to object ids.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{ObjectId, ObjectName};
+
+/// Error returned by [`NameSpace`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name is already bound to an object.
+    AlreadyBound(ObjectName),
+    /// The name is not bound.
+    NotFound(ObjectName),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::AlreadyBound(n) => write!(f, "name {n} is already bound"),
+            NameError::NotFound(n) => write!(f, "name {n} is not bound"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Maps worldwide object names to object ids, Globe's name service.
+///
+/// # Examples
+///
+/// ```
+/// use globe_naming::{NameSpace, ObjectName};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ns = NameSpace::new();
+/// let name: ObjectName = "/conf/icdcs98".parse()?;
+/// let id = ns.register(name.clone())?;
+/// assert_eq!(ns.resolve(&name)?, id);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NameSpace {
+    bindings: BTreeMap<ObjectName, ObjectId>,
+    next_id: u64,
+}
+
+impl NameSpace {
+    /// An empty name space.
+    pub fn new() -> Self {
+        NameSpace::default()
+    }
+
+    /// Binds `name` to a freshly allocated object id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError::AlreadyBound`] if the name is taken.
+    pub fn register(&mut self, name: ObjectName) -> Result<ObjectId, NameError> {
+        if self.bindings.contains_key(&name) {
+            return Err(NameError::AlreadyBound(name));
+        }
+        let id = ObjectId::new(self.next_id);
+        self.next_id += 1;
+        self.bindings.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolves a name to its object id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError::NotFound`] if the name is unbound.
+    pub fn resolve(&self, name: &ObjectName) -> Result<ObjectId, NameError> {
+        self.bindings
+            .get(name)
+            .copied()
+            .ok_or_else(|| NameError::NotFound(name.clone()))
+    }
+
+    /// Removes a binding, returning its object id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError::NotFound`] if the name is unbound.
+    pub fn unregister(&mut self, name: &ObjectName) -> Result<ObjectId, NameError> {
+        self.bindings
+            .remove(name)
+            .ok_or_else(|| NameError::NotFound(name.clone()))
+    }
+
+    /// All bindings under `prefix` (inclusive), in name order.
+    pub fn list(&self, prefix: &ObjectName) -> Vec<(&ObjectName, ObjectId)> {
+        self.bindings
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(name, &id)| (name, id))
+            .collect()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the name space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> ObjectName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn register_resolve_unregister() {
+        let mut ns = NameSpace::new();
+        let id = ns.register(n("/a/b")).unwrap();
+        assert_eq!(ns.resolve(&n("/a/b")).unwrap(), id);
+        assert_eq!(
+            ns.register(n("/a/b")),
+            Err(NameError::AlreadyBound(n("/a/b")))
+        );
+        assert_eq!(ns.unregister(&n("/a/b")).unwrap(), id);
+        assert_eq!(ns.resolve(&n("/a/b")), Err(NameError::NotFound(n("/a/b"))));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ns = NameSpace::new();
+        let a = ns.register(n("/a")).unwrap();
+        let b = ns.register(n("/b")).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let mut ns = NameSpace::new();
+        ns.register(n("/conf/icdcs98")).unwrap();
+        ns.register(n("/conf/icdcs98/cfp")).unwrap();
+        ns.register(n("/home/alice")).unwrap();
+        let under_conf = ns.list(&n("/conf"));
+        assert_eq!(under_conf.len(), 2);
+        assert_eq!(ns.list(&n("/home")).len(), 1);
+        assert_eq!(ns.len(), 3);
+    }
+}

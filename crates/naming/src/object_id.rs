@@ -1,0 +1,60 @@
+//! Globally unique object identifiers.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+/// Identifies one distributed shared object, worldwide.
+///
+/// The name service maps human-readable [`ObjectName`](crate::ObjectName)s
+/// to `ObjectId`s; the location service maps `ObjectId`s to contact
+/// addresses. Ids are assigned by [`crate::NameSpace::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Creates an object id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl WireEncode for ObjectId {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl WireDecode for ObjectId {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(ObjectId(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_wire() {
+        let id = ObjectId::new(17);
+        assert_eq!(id.to_string(), "obj17");
+        let b = globe_wire::to_bytes(&id);
+        assert_eq!(globe_wire::from_bytes::<ObjectId>(&b).unwrap(), id);
+    }
+}

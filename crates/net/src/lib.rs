@@ -1,0 +1,56 @@
+//! Network substrate for the Globe Web-object framework.
+//!
+//! The ICDCS'98 paper runs its prototype "in Java 1.1 on top of the
+//! Internet" over TCP/IP. This crate supplies the equivalent substrate in
+//! two interchangeable forms behind one event/handler interface
+//! ([`Event`] / [`NetCtx`]):
+//!
+//! * [`SimNet`] — a deterministic, virtual-time discrete-event simulator
+//!   with per-link latency, jitter, loss, bandwidth, FIFO-ness, and
+//!   partitions. All tests, coherence checking, and benchmarks run here,
+//!   because a seeded run is exactly reproducible.
+//! * [`tcp::TcpMesh`] — real TCP sockets on loopback with the same framing
+//!   and the same handler signature, demonstrating the protocols are not
+//!   simulator artifacts.
+//!
+//! Protocol code upstack (the replication objects of `globe-core`) is
+//! written sans-IO against [`NetCtx`] and cannot tell which substrate is
+//! driving it.
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use globe_net::{Event, SimNet, Topology};
+//!
+//! let mut net = SimNet::new(Topology::wan(), 1);
+//! let server = net.add_node();
+//! let cache = net.add_node();
+//! net.set_handler(cache, |event, _ctx| {
+//!     if let Event::Message { payload, .. } = event {
+//!         assert_eq!(&payload[..], b"update");
+//!     }
+//! });
+//! net.with_ctx(server, |ctx| ctx.send(cache, Bytes::from_static(b"update")));
+//! net.run_until_quiescent();
+//! assert_eq!(net.stats().messages_delivered, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod link;
+mod node;
+mod sim;
+mod stats;
+pub mod tcp;
+mod time;
+mod topology;
+
+pub use event::{Event, NetCtx, TimerId, TimerToken};
+pub use link::LinkConfig;
+pub use node::{NodeId, RegionId};
+pub use sim::{SimNet, TapDisposition, TapEvent};
+pub use stats::NetStats;
+pub use time::SimTime;
+pub use topology::Topology;

@@ -1,0 +1,131 @@
+//! Per-link network characteristics.
+
+use std::time::Duration;
+
+/// Transmission characteristics of a directed link between two nodes.
+///
+/// The simulator computes a message's delivery time as
+/// `now + latency + U(0, jitter) + len / bandwidth`, drops it with
+/// probability `loss`, and — when `fifo` is set — never delivers it before
+/// a message sent earlier on the same link (modelling a TCP connection, as
+/// used by the paper's prototype; clear `fifo` to model UDP for the §4.2
+/// reliability experiment).
+///
+/// # Examples
+///
+/// ```
+/// use globe_net::LinkConfig;
+/// use std::time::Duration;
+///
+/// let wan = LinkConfig::new(Duration::from_millis(80))
+///     .with_jitter(Duration::from_millis(20))
+///     .with_loss(0.01);
+/// assert_eq!(wan.latency, Duration::from_millis(80));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed one-way propagation delay.
+    pub latency: Duration,
+    /// Upper bound of the uniformly distributed extra delay.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub loss: f64,
+    /// Link bandwidth in bytes per second; `None` means infinite.
+    pub bandwidth: Option<u64>,
+    /// Whether the link preserves send order (TCP-like).
+    pub fifo: bool,
+}
+
+impl LinkConfig {
+    /// Creates a lossless, order-preserving link with the given latency and
+    /// no jitter or bandwidth cap.
+    pub fn new(latency: Duration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            bandwidth: None,
+            fifo: true,
+        }
+    }
+
+    /// Sets the jitter bound.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the bandwidth in bytes per second.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets whether the link preserves send order.
+    pub fn with_fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Serialization delay for a message of `len` bytes.
+    pub fn transmission_delay(&self, len: usize) -> Duration {
+        match self.bandwidth {
+            None => Duration::ZERO,
+            Some(bps) => {
+                let ns = (len as u128 * 1_000_000_000) / bps.max(1) as u128;
+                Duration::from_nanos(ns as u64)
+            }
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    /// A LAN-like default: 1 ms latency, lossless, FIFO, infinite bandwidth.
+    fn default() -> Self {
+        LinkConfig::new(Duration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let l = LinkConfig::new(Duration::from_millis(10))
+            .with_jitter(Duration::from_millis(2))
+            .with_loss(0.5)
+            .with_bandwidth(1_000)
+            .with_fifo(false);
+        assert_eq!(l.jitter, Duration::from_millis(2));
+        assert_eq!(l.loss, 0.5);
+        assert_eq!(l.bandwidth, Some(1_000));
+        assert!(!l.fifo);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn loss_out_of_range_panics() {
+        let _ = LinkConfig::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_len() {
+        let l = LinkConfig::default().with_bandwidth(1_000_000); // 1 MB/s
+        assert_eq!(l.transmission_delay(1_000_000), Duration::from_secs(1));
+        assert_eq!(l.transmission_delay(0), Duration::ZERO);
+        let unlimited = LinkConfig::default();
+        assert_eq!(unlimited.transmission_delay(1 << 30), Duration::ZERO);
+    }
+}

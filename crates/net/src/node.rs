@@ -1,0 +1,122 @@
+//! Node identity.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+use globe_wire::{WireDecode, WireEncode, WireError};
+
+/// Identifies one address space (one simulated or real process) on the
+/// network.
+///
+/// In the paper's terms a node hosts zero or more *local objects*; a Web
+/// server, a proxy cache, and a browser each run in their own node.
+///
+/// # Examples
+///
+/// ```
+/// use globe_net::NodeId;
+///
+/// let server = NodeId::new(0);
+/// assert_eq!(server.to_string(), "n0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl WireEncode for NodeId {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl WireDecode for NodeId {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(NodeId(u32::decode(buf)?))
+    }
+}
+
+/// A logical region of the network (for example a continent or an ISP).
+///
+/// Regions drive default link latencies and nearest-replica selection in
+/// the location service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RegionId(u16);
+
+impl RegionId {
+    /// Creates a region id from its raw index.
+    pub const fn new(raw: u16) -> Self {
+        RegionId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl WireEncode for RegionId {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        2
+    }
+}
+
+impl WireDecode for RegionId {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok(RegionId(u16::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(RegionId::new(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let n = NodeId::new(42);
+        assert_eq!(
+            globe_wire::from_bytes::<NodeId>(&globe_wire::to_bytes(&n)).unwrap(),
+            n
+        );
+        let r = RegionId::new(9);
+        assert_eq!(
+            globe_wire::from_bytes::<RegionId>(&globe_wire::to_bytes(&r)).unwrap(),
+            r
+        );
+    }
+}

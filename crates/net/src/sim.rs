@@ -1,0 +1,647 @@
+//! Deterministic virtual-time network simulator.
+//!
+//! The simulator is a single-threaded discrete-event engine: every message
+//! delivery and timer expiry is an event ordered by `(virtual time,
+//! sequence number)`, so a run is a pure function of the topology, the
+//! seed, and the injected workload. That determinism is what lets the
+//! coherence checkers in `globe-coherence` treat a whole distributed
+//! execution as one replayable history.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Duration;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Event, NetCtx, NetStats, NodeId, SimTime, TimerId, TimerToken, Topology};
+
+/// What happened to a message at routing time, reported to the tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapDisposition {
+    /// Scheduled for delivery.
+    Scheduled,
+    /// Dropped by the probabilistic loss model.
+    DroppedLoss,
+    /// Dropped because the node pair is partitioned.
+    DroppedPartition,
+}
+
+/// One observation handed to a registered message tap.
+#[derive(Debug, Clone)]
+pub struct TapEvent {
+    /// Virtual time at which the message was sent.
+    pub sent_at: SimTime,
+    /// Virtual time at which it will be delivered, when scheduled.
+    pub deliver_at: Option<SimTime>,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Outcome at routing time.
+    pub disposition: TapDisposition,
+}
+
+type Handler = Box<dyn FnMut(Event, &mut dyn NetCtx)>;
+type Tap = Box<dyn FnMut(&TapEvent)>;
+
+#[derive(Debug)]
+enum Pending {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+    },
+    Fire {
+        node: NodeId,
+        token: TimerToken,
+        id: TimerId,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    pending: Pending,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Action {
+    Send { to: NodeId, payload: Bytes },
+    SetTimer { delay: Duration, token: TimerToken, id: TimerId },
+    CancelTimer(TimerId),
+}
+
+struct SimCtx {
+    node: NodeId,
+    now: SimTime,
+    next_timer: u64,
+    actions: Vec<Action>,
+}
+
+impl NetCtx for SimCtx {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn send(&mut self, to: NodeId, payload: Bytes) {
+        self.actions.push(Action::Send { to, payload });
+    }
+    fn set_timer(&mut self, delay: Duration, token: TimerToken) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.actions.push(Action::SetTimer { delay, token, id });
+        id
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+}
+
+/// The deterministic virtual-time network.
+///
+/// # Examples
+///
+/// Echo between two nodes:
+///
+/// ```
+/// use bytes::Bytes;
+/// use globe_net::{Event, SimNet, Topology};
+///
+/// let mut net = SimNet::new(Topology::lan(), 7);
+/// let a = net.add_node();
+/// let b = net.add_node();
+/// net.set_handler(b, move |event, ctx| {
+///     if let Event::Message { from, payload } = event {
+///         ctx.send(from, payload); // echo
+///     }
+/// });
+/// let got = std::rc::Rc::new(std::cell::Cell::new(false));
+/// let got2 = got.clone();
+/// net.set_handler(a, move |event, _ctx| {
+///     if let Event::Message { .. } = event {
+///         got2.set(true);
+///     }
+/// });
+/// net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"ping")));
+/// net.run_until_quiescent();
+/// assert!(got.get());
+/// ```
+pub struct SimNet {
+    topology: Topology,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    handlers: HashMap<NodeId, Handler>,
+    cancelled: HashSet<TimerId>,
+    fifo_horizon: HashMap<(NodeId, NodeId), SimTime>,
+    rng: StdRng,
+    stats: NetStats,
+    tap: Option<Tap>,
+}
+
+impl SimNet {
+    /// Creates a simulator over `topology`, seeded for reproducibility.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        SimNet {
+            topology,
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            queue: BinaryHeap::new(),
+            handlers: HashMap::new(),
+            cancelled: HashSet::new(),
+            fifo_horizon: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            tap: None,
+        }
+    }
+
+    /// Registers a new node (region 0) and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.topology.add_node()
+    }
+
+    /// Registers a new node in `region`.
+    pub fn add_node_in(&mut self, region: crate::RegionId) -> NodeId {
+        self.topology.add_node_in(region)
+    }
+
+    /// Installs the event handler for `node`, replacing any previous one.
+    pub fn set_handler<F>(&mut self, node: NodeId, handler: F)
+    where
+        F: FnMut(Event, &mut dyn NetCtx) + 'static,
+    {
+        self.handlers.insert(node, Box::new(handler));
+    }
+
+    /// Installs a tap observing the disposition of every routed message.
+    pub fn set_tap<F>(&mut self, tap: F)
+    where
+        F: FnMut(&TapEvent) + 'static,
+    {
+        self.tap = Some(Box::new(tap));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The topology, for mid-run partitioning or link changes.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Read access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs `f` with a context bound to `node`, applying any sends or
+    /// timer operations it performs. This is how workload drivers inject
+    /// client operations into the simulation from outside any handler.
+    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NetCtx) -> R) -> R {
+        let mut ctx = SimCtx {
+            node,
+            now: self.now,
+            next_timer: self.next_timer,
+            actions: Vec::new(),
+        };
+        let result = f(&mut ctx);
+        self.next_timer = ctx.next_timer;
+        let actions = ctx.actions;
+        for action in actions {
+            self.apply(node, action);
+        }
+        result
+    }
+
+    fn apply(&mut self, node: NodeId, action: Action) {
+        match action {
+            Action::Send { to, payload } => self.route(node, to, payload),
+            Action::SetTimer { delay, token, id } => {
+                self.stats.timers_set += 1;
+                let at = self.now + delay;
+                self.push(at, Pending::Fire { node, token, id });
+            }
+            Action::CancelTimer(id) => {
+                self.cancelled.insert(id);
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, pending }));
+    }
+
+    fn tap(&mut self, event: TapEvent) {
+        if let Some(tap) = self.tap.as_mut() {
+            tap(&event);
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        let len = payload.len();
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += len as u64;
+        if from == to {
+            // Local IPC between a proxy and a store in the same address
+            // space: fast, reliable, unaffected by partitions.
+            let at = self.now + Duration::from_micros(1);
+            self.tap(TapEvent {
+                sent_at: self.now,
+                deliver_at: Some(at),
+                from,
+                to,
+                len,
+                disposition: TapDisposition::Scheduled,
+            });
+            self.push(at, Pending::Deliver { from, to, payload });
+            return;
+        }
+        if self.topology.is_partitioned(from, to) {
+            self.stats.dropped_partition += 1;
+            self.tap(TapEvent {
+                sent_at: self.now,
+                deliver_at: None,
+                from,
+                to,
+                len,
+                disposition: TapDisposition::DroppedPartition,
+            });
+            return;
+        }
+        let link = self.topology.link(from, to);
+        if link.loss > 0.0 && self.rng.random::<f64>() < link.loss {
+            self.stats.dropped_loss += 1;
+            self.tap(TapEvent {
+                sent_at: self.now,
+                deliver_at: None,
+                from,
+                to,
+                len,
+                disposition: TapDisposition::DroppedLoss,
+            });
+            return;
+        }
+        let jitter = if link.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.rng.random_range(0..=link.jitter.as_nanos() as u64))
+        };
+        let mut at = self.now + link.latency + jitter + link.transmission_delay(len);
+        if link.fifo {
+            let horizon = self.fifo_horizon.entry((from, to)).or_insert(SimTime::ZERO);
+            if at < *horizon {
+                at = *horizon;
+            }
+            *horizon = at;
+        }
+        self.tap(TapEvent {
+            sent_at: self.now,
+            deliver_at: Some(at),
+            from,
+            to,
+            len,
+            disposition: TapDisposition::Scheduled,
+        });
+        self.push(at, Pending::Deliver { from, to, payload });
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: Event) {
+        let Some(mut handler) = self.handlers.remove(&node) else {
+            self.stats.dropped_no_handler += 1;
+            return;
+        };
+        let mut ctx = SimCtx {
+            node,
+            now: self.now,
+            next_timer: self.next_timer,
+            actions: Vec::new(),
+        };
+        handler(event, &mut ctx);
+        self.handlers.insert(node, handler);
+        self.next_timer = ctx.next_timer;
+        let actions = ctx.actions;
+        for action in actions {
+            self.apply(node, action);
+        }
+    }
+
+    /// Processes the next event, if any. Returns whether one was processed.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(item)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(item.at >= self.now, "virtual time must be monotone");
+        self.now = item.at;
+        match item.pending {
+            Pending::Deliver { from, to, payload } => {
+                self.stats.messages_delivered += 1;
+                self.stats.bytes_delivered += payload.len() as u64;
+                self.dispatch(to, Event::Message { from, payload });
+            }
+            Pending::Fire { node, token, id } => {
+                if !self.cancelled.remove(&id) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(node, Event::Timer { token });
+                }
+            }
+        }
+        true
+    }
+
+    /// Processes every event scheduled at or before `deadline`, then
+    /// advances the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs the simulation forward by `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Processes events until none remain. Returns the number processed.
+    ///
+    /// Protocols that continually re-arm periodic timers never quiesce;
+    /// use [`SimNet::run_for`] for those, or this method's budgeted
+    /// sibling [`SimNet::run_budget`].
+    pub fn run_until_quiescent(&mut self) -> usize {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes at most `max_events` events; returns how many ran.
+    pub fn run_budget(&mut self, max_events: usize) -> usize {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("nodes", &self.topology.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use super::*;
+    use crate::LinkConfig;
+
+    fn collect_node(net: &mut SimNet, node: NodeId) -> Rc<RefCell<Vec<(NodeId, Bytes)>>> {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        net.set_handler(node, move |event, _ctx| {
+            if let Event::Message { from, payload } = event {
+                log2.borrow_mut().push((from, payload));
+            }
+        });
+        log
+    }
+
+    #[test]
+    fn delivers_with_link_latency() {
+        let mut net = SimNet::new(
+            Topology::uniform(LinkConfig::new(Duration::from_millis(10))),
+            1,
+        );
+        let a = net.add_node();
+        let b = net.add_node();
+        let log = collect_node(&mut net, b);
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"x")));
+        assert!(log.borrow().is_empty());
+        net.run_until_quiescent();
+        assert_eq!(net.now(), SimTime::from_millis(10));
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].0, a);
+    }
+
+    #[test]
+    fn fifo_links_preserve_send_order_despite_jitter() {
+        let link = LinkConfig::new(Duration::from_millis(5)).with_jitter(Duration::from_millis(50));
+        let mut net = SimNet::new(Topology::uniform(link), 42);
+        let a = net.add_node();
+        let b = net.add_node();
+        let log = collect_node(&mut net, b);
+        net.with_ctx(a, |ctx| {
+            for i in 0..20u8 {
+                ctx.send(b, Bytes::from(vec![i]));
+            }
+        });
+        net.run_until_quiescent();
+        let got: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn non_fifo_links_can_reorder() {
+        let link = LinkConfig::new(Duration::from_millis(5))
+            .with_jitter(Duration::from_millis(50))
+            .with_fifo(false);
+        let mut net = SimNet::new(Topology::uniform(link), 42);
+        let a = net.add_node();
+        let b = net.add_node();
+        let log = collect_node(&mut net, b);
+        net.with_ctx(a, |ctx| {
+            for i in 0..50u8 {
+                ctx.send(b, Bytes::from(vec![i]));
+            }
+        });
+        net.run_until_quiescent();
+        let got: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+        assert_eq!(got.len(), 50);
+        assert_ne!(got, (0..50).collect::<Vec<u8>>(), "expected reordering");
+    }
+
+    #[test]
+    fn loss_drops_messages_deterministically() {
+        let link = LinkConfig::new(Duration::from_millis(1)).with_loss(0.5);
+        let run = |seed: u64| {
+            let mut net = SimNet::new(Topology::uniform(link), seed);
+            let a = net.add_node();
+            let b = net.add_node();
+            let log = collect_node(&mut net, b);
+            net.with_ctx(a, |ctx| {
+                for i in 0..100u8 {
+                    ctx.send(b, Bytes::from(vec![i]));
+                }
+            });
+            net.run_until_quiescent();
+            let delivered: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+            (delivered, net.stats())
+        };
+        let (d1, s1) = run(9);
+        let (d2, s2) = run(9);
+        assert_eq!(d1, d2, "same seed must give identical runs");
+        assert_eq!(s1, s2);
+        assert!(s1.dropped_loss > 20 && s1.dropped_loss < 80);
+        let (d3, _) = run(10);
+        assert_ne!(d1, d3, "different seed should differ");
+    }
+
+    #[test]
+    fn partitions_cut_and_heal() {
+        let mut net = SimNet::new(Topology::lan(), 3);
+        let a = net.add_node();
+        let b = net.add_node();
+        let log = collect_node(&mut net, b);
+        net.topology_mut().partition(a, b);
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"lost")));
+        net.run_until_quiescent();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(net.stats().dropped_partition, 1);
+        net.topology_mut().heal(a, b);
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"ok")));
+        net.run_until_quiescent();
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut net = SimNet::new(Topology::lan(), 3);
+        let a = net.add_node();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired2 = fired.clone();
+        net.set_handler(a, move |event, _ctx| {
+            if let Event::Timer { token } = event {
+                fired2.borrow_mut().push(token.0);
+            }
+        });
+        let cancel_me = net.with_ctx(a, |ctx| {
+            ctx.set_timer(Duration::from_millis(30), TimerToken(3));
+            ctx.set_timer(Duration::from_millis(10), TimerToken(1));
+            ctx.set_timer(Duration::from_millis(20), TimerToken(2))
+        });
+        net.with_ctx(a, |ctx| ctx.cancel_timer(cancel_me));
+        net.run_until_quiescent();
+        assert_eq!(*fired.borrow(), vec![1, 3]);
+        assert_eq!(net.stats().timers_set, 3);
+        assert_eq!(net.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn handlers_can_rearm_periodic_timers() {
+        let mut net = SimNet::new(Topology::lan(), 3);
+        let a = net.add_node();
+        let count = Rc::new(RefCell::new(0u32));
+        let count2 = count.clone();
+        net.set_handler(a, move |event, ctx| {
+            if let Event::Timer { token } = event {
+                *count2.borrow_mut() += 1;
+                ctx.set_timer(Duration::from_millis(10), token);
+            }
+        });
+        net.with_ctx(a, |ctx| {
+            ctx.set_timer(Duration::from_millis(10), TimerToken(0));
+        });
+        net.run_for(Duration::from_millis(105));
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(net.now(), SimTime::from_millis(105));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut net = SimNet::new(Topology::lan(), 0);
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn tap_observes_dispositions() {
+        let link = LinkConfig::new(Duration::from_millis(1)).with_loss(1.0);
+        let mut net = SimNet::new(Topology::uniform(link), 0);
+        let a = net.add_node();
+        let b = net.add_node();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        net.set_tap(move |e| seen2.borrow_mut().push(e.disposition));
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"gone")));
+        net.run_until_quiescent();
+        assert_eq!(*seen.borrow(), vec![TapDisposition::DroppedLoss]);
+    }
+
+    #[test]
+    fn message_to_handlerless_node_counts() {
+        let mut net = SimNet::new(Topology::lan(), 0);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from_static(b"?")));
+        net.run_until_quiescent();
+        assert_eq!(net.stats().dropped_no_handler, 1);
+    }
+
+    #[test]
+    fn bandwidth_adds_transmission_delay() {
+        let link = LinkConfig::new(Duration::from_millis(1)).with_bandwidth(1_000); // 1 KB/s
+        let mut net = SimNet::new(Topology::uniform(link), 0);
+        let a = net.add_node();
+        let b = net.add_node();
+        let log = collect_node(&mut net, b);
+        net.with_ctx(a, |ctx| ctx.send(b, Bytes::from(vec![0u8; 500])));
+        net.run_until_quiescent();
+        // 1 ms latency + 500 ms serialization.
+        assert_eq!(net.now(), SimTime::from_millis(501));
+        assert_eq!(log.borrow().len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Network-level traffic accounting.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Counters maintained by the simulator (and, partially, the TCP mesh).
+///
+/// All counts are cumulative since construction; use the `Sub` impl to get
+/// a per-phase delta:
+///
+/// ```
+/// use globe_net::NetStats;
+///
+/// let before = NetStats::default();
+/// let mut after = NetStats::default();
+/// after.messages_sent = 10;
+/// let delta = after - before;
+/// assert_eq!(delta.messages_sent, 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network (before loss/partition filtering).
+    pub messages_sent: u64,
+    /// Messages actually delivered to a handler.
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Messages dropped because the pair was partitioned.
+    pub dropped_partition: u64,
+    /// Messages addressed to a node with no registered handler.
+    pub dropped_no_handler: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Timers armed.
+    pub timers_set: u64,
+    /// Timers that fired (excludes cancelled ones).
+    pub timers_fired: u64,
+}
+
+impl NetStats {
+    /// Total messages dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_no_handler
+    }
+}
+
+impl Sub for NetStats {
+    type Output = NetStats;
+
+    fn sub(self, rhs: NetStats) -> NetStats {
+        NetStats {
+            messages_sent: self.messages_sent - rhs.messages_sent,
+            messages_delivered: self.messages_delivered - rhs.messages_delivered,
+            dropped_loss: self.dropped_loss - rhs.dropped_loss,
+            dropped_partition: self.dropped_partition - rhs.dropped_partition,
+            dropped_no_handler: self.dropped_no_handler - rhs.dropped_no_handler,
+            bytes_sent: self.bytes_sent - rhs.bytes_sent,
+            bytes_delivered: self.bytes_delivered - rhs.bytes_delivered,
+            timers_set: self.timers_set - rhs.timers_set,
+            timers_fired: self.timers_fired - rhs.timers_fired,
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} bytes={}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.dropped(),
+            self.bytes_sent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtraction() {
+        let a = NetStats {
+            messages_sent: 5,
+            bytes_sent: 100,
+            ..NetStats::default()
+        };
+        let b = NetStats {
+            messages_sent: 8,
+            bytes_sent: 160,
+            ..a
+        };
+        let d = b - a;
+        assert_eq!(d.messages_sent, 3);
+        assert_eq!(d.bytes_sent, 60);
+    }
+
+    #[test]
+    fn dropped_sums_all_causes() {
+        let s = NetStats {
+            dropped_loss: 1,
+            dropped_partition: 2,
+            dropped_no_handler: 3,
+            ..NetStats::default()
+        };
+        assert_eq!(s.dropped(), 6);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,585 @@
+//! Real-socket runtime: a mesh of TCP connections on the loopback device.
+//!
+//! The mesh delivers the same [`Event`] stream through the same [`NetCtx`]
+//! interface as the simulator, so any protocol validated deterministically
+//! in [`crate::SimNet`] runs unmodified over real sockets. Frames are
+//! length-prefixed; the first frame on every connection carries the
+//! sender's [`NodeId`].
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::{Event, NetCtx, NodeId, SimTime, TimerId, TimerToken};
+
+/// Errors surfaced by the TCP mesh.
+#[derive(Debug)]
+pub enum MeshError {
+    /// An `std::io` operation failed.
+    Io(std::io::Error),
+    /// The peer node has not been registered with the mesh.
+    UnknownPeer(NodeId),
+    /// The mesh has been shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::Io(e) => write!(f, "i/o failure in tcp mesh: {e}"),
+            MeshError::UnknownPeer(n) => write!(f, "peer {n} is not registered"),
+            MeshError::ShutDown => write!(f, "mesh has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl From<std::io::Error> for MeshError {
+    fn from(e: std::io::Error) -> Self {
+        MeshError::Io(e)
+    }
+}
+
+const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() as u32).to_be_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds limit",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    id: TimerId,
+    token: TimerToken,
+    inbox: Sender<Event>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.id == other.id
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.id.0.cmp(&self.id.0))
+    }
+}
+
+struct TimerService {
+    heap: Mutex<BinaryHeap<TimerEntry>>,
+    cancelled: Mutex<HashSet<TimerId>>,
+    cond: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl TimerService {
+    fn new() -> Arc<Self> {
+        let service = Arc::new(TimerService {
+            heap: Mutex::new(BinaryHeap::new()),
+            cancelled: Mutex::new(HashSet::new()),
+            cond: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("globe-timer".into())
+            .spawn(move || worker.run())
+            .expect("failed to spawn timer thread");
+        service
+    }
+
+    fn arm(&self, delay: Duration, token: TimerToken, inbox: Sender<Event>) -> TimerId {
+        let id = TimerId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let mut heap = self.heap.lock();
+        heap.push(TimerEntry {
+            deadline: Instant::now() + delay,
+            id,
+            token,
+            inbox,
+        });
+        drop(heap);
+        self.cond.notify_one();
+        id
+    }
+
+    fn cancel(&self, id: TimerId) {
+        self.cancelled.lock().insert(id);
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cond.notify_one();
+    }
+
+    fn run(&self) {
+        let mut heap = self.heap.lock();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            if let Some(head) = heap.peek() {
+                if head.deadline <= now {
+                    let entry = heap.pop().expect("peeked entry must pop");
+                    let skip = self.cancelled.lock().remove(&entry.id);
+                    if !skip {
+                        // Receiver may be gone during shutdown; ignore.
+                        let _ = entry.inbox.send(Event::Timer { token: entry.token });
+                    }
+                    continue;
+                }
+                let wait = head.deadline - now;
+                self.cond.wait_for(&mut heap, wait);
+            } else {
+                self.cond.wait_for(&mut heap, Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+struct MeshShared {
+    addrs: RwLock<HashMap<NodeId, SocketAddr>>,
+    timer: Arc<TimerService>,
+    epoch: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A mesh of real TCP endpoints on the loopback interface.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use globe_net::{tcp::TcpMesh, Event, NetCtx};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mesh = TcpMesh::new();
+/// let mut a = mesh.add_node()?;
+/// let mut b = mesh.add_node()?;
+/// let (an, bn) = (a.node(), b.node());
+/// a.sender().send(bn, Bytes::from_static(b"ping"))?;
+/// match b.recv_timeout(std::time::Duration::from_secs(5)) {
+///     Some(Event::Message { from, payload }) => {
+///         assert_eq!(from, an);
+///         assert_eq!(&payload[..], b"ping");
+///     }
+///     other => panic!("expected message, got {other:?}"),
+/// }
+/// mesh.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct TcpMesh {
+    shared: Arc<MeshShared>,
+    next_node: AtomicU64,
+}
+
+impl TcpMesh {
+    /// Creates an empty mesh (and its timer service thread).
+    pub fn new() -> Self {
+        TcpMesh {
+            shared: Arc::new(MeshShared {
+                addrs: RwLock::new(HashMap::new()),
+                timer: TimerService::new(),
+                epoch: Instant::now(),
+                shutdown: AtomicBool::new(false),
+            }),
+            next_node: AtomicU64::new(0),
+        }
+    }
+
+    /// Binds a listener for a new node and returns its endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Io`] if the listener cannot be bound.
+    pub fn add_node(&self) -> Result<TcpEndpoint, MeshError> {
+        let node = NodeId::new(self.next_node.fetch_add(1, Ordering::Relaxed) as u32);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        self.shared.addrs.write().insert(node, addr);
+        let (inbox_tx, inbox_rx) = unbounded();
+        let endpoint = TcpEndpoint {
+            node,
+            shared: Arc::clone(&self.shared),
+            inbox_rx,
+            inbox_tx: inbox_tx.clone(),
+            conns: Arc::new(Mutex::new(HashMap::new())),
+        };
+        let shared = Arc::clone(&self.shared);
+        std::thread::Builder::new()
+            .name(format!("globe-accept-{node}"))
+            .spawn(move || accept_loop(listener, inbox_tx, shared))
+            .expect("failed to spawn accept thread");
+        Ok(endpoint)
+    }
+
+    /// Stops the timer service and marks the mesh as shut down. Endpoint
+    /// receive loops observe the flag through [`TcpEndpoint::recv_timeout`]
+    /// returning `None`.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.timer.stop();
+    }
+
+    /// Wall-clock origin used for [`NetCtx::now`] values.
+    pub fn epoch(&self) -> Instant {
+        self.shared.epoch
+    }
+}
+
+impl Default for TcpMesh {
+    fn default() -> Self {
+        TcpMesh::new()
+    }
+}
+
+impl std::fmt::Debug for TcpMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpMesh")
+            .field("nodes", &self.shared.addrs.read().len())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: Sender<Event>, shared: Arc<MeshShared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let inbox = inbox.clone();
+        std::thread::Builder::new()
+            .name("globe-reader".into())
+            .spawn(move || {
+                // First frame identifies the peer.
+                let Ok(hello) = read_frame(&mut stream) else {
+                    return;
+                };
+                if hello.len() != 4 {
+                    return;
+                }
+                let from = NodeId::new(u32::from_be_bytes([
+                    hello[0], hello[1], hello[2], hello[3],
+                ]));
+                while let Ok(frame) = read_frame(&mut stream) {
+                    if inbox
+                        .send(Event::Message {
+                            from,
+                            payload: Bytes::from(frame),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn reader thread");
+    }
+}
+
+/// One node's connection to the mesh: an inbox plus outbound links.
+pub struct TcpEndpoint {
+    node: NodeId,
+    shared: Arc<MeshShared>,
+    inbox_rx: Receiver<Event>,
+    inbox_tx: Sender<Event>,
+    conns: Arc<Mutex<HashMap<NodeId, TcpStream>>>,
+}
+
+impl TcpEndpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks up to `timeout` for the next event. Returns `None` on
+    /// timeout or when the mesh has shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Event> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.inbox_rx.recv_timeout(timeout).ok()
+    }
+
+    /// A cloneable handle for sending from other threads.
+    pub fn sender(&self) -> TcpSender {
+        TcpSender {
+            node: self.node,
+            shared: Arc::clone(&self.shared),
+            conns: Arc::clone(&self.conns),
+        }
+    }
+
+    /// A [`NetCtx`] for use while handling one event.
+    pub fn ctx(&mut self) -> TcpCtx<'_> {
+        TcpCtx { endpoint: self }
+    }
+
+    /// Runs `handler` for every incoming event until the mesh shuts down,
+    /// polling at `poll` granularity. Intended to be called on a dedicated
+    /// thread per node.
+    pub fn run_loop<F>(mut self, poll: Duration, mut handler: F)
+    where
+        F: FnMut(Event, &mut dyn NetCtx),
+    {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(event) = self.recv_timeout(poll) {
+                let mut ctx = TcpCtx { endpoint: &mut self };
+                handler(event, &mut ctx);
+            }
+        }
+    }
+
+    /// Spawns [`TcpEndpoint::run_loop`] on a named thread.
+    pub fn spawn_loop<F>(self, handler: F) -> JoinHandle<()>
+    where
+        F: FnMut(Event, &mut dyn NetCtx) + Send + 'static,
+    {
+        let name = format!("globe-node-{}", self.node);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || self.run_loop(Duration::from_millis(20), handler))
+            .expect("failed to spawn node thread")
+    }
+
+    fn send_inner(&self, to: NodeId, payload: &Bytes) -> Result<(), MeshError> {
+        send_via(&self.shared, self.node, &self.conns, to, payload)
+    }
+}
+
+impl std::fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpEndpoint").field("node", &self.node).finish()
+    }
+}
+
+fn send_via(
+    shared: &MeshShared,
+    from: NodeId,
+    conns: &Mutex<HashMap<NodeId, TcpStream>>,
+    to: NodeId,
+    payload: &Bytes,
+) -> Result<(), MeshError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(MeshError::ShutDown);
+    }
+    let mut conns = conns.lock();
+    if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(to) {
+        let addr = *shared
+            .addrs
+            .read()
+            .get(&to)
+            .ok_or(MeshError::UnknownPeer(to))?;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &from.raw().to_be_bytes())?;
+        e.insert(stream);
+    }
+    let stream = conns.get_mut(&to).expect("connection just inserted");
+    if let Err(e) = write_frame(stream, payload) {
+        // Drop the broken connection so a later send can re-establish it.
+        conns.remove(&to);
+        return Err(MeshError::Io(e));
+    }
+    Ok(())
+}
+
+/// Cloneable sending handle usable from any thread.
+#[derive(Clone)]
+pub struct TcpSender {
+    node: NodeId,
+    shared: Arc<MeshShared>,
+    conns: Arc<Mutex<HashMap<NodeId, TcpStream>>>,
+}
+
+impl TcpSender {
+    /// Sends `payload` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError`] if the peer is unknown, the mesh is shut
+    /// down, or the connection fails.
+    pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), MeshError> {
+        send_via(&self.shared, self.node, &self.conns, to, &payload)
+    }
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender").field("node", &self.node).finish()
+    }
+}
+
+/// [`NetCtx`] implementation for one event being handled on a TCP node.
+pub struct TcpCtx<'a> {
+    endpoint: &'a mut TcpEndpoint,
+}
+
+impl NetCtx for TcpCtx<'_> {
+    fn node(&self) -> NodeId {
+        self.endpoint.node
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.endpoint.shared.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&mut self, to: NodeId, payload: Bytes) {
+        // Datagram semantics: failures are silent, like simulator loss.
+        let _ = self.endpoint.send_inner(to, &payload);
+    }
+
+    fn set_timer(&mut self, delay: Duration, token: TimerToken) -> TimerId {
+        self.endpoint
+            .shared
+            .timer
+            .arm(delay, token, self.endpoint.inbox_tx.clone())
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.endpoint.shared.timer.cancel(id);
+    }
+}
+
+impl std::fmt::Debug for TcpCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCtx").field("node", &self.node()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_over_sockets() {
+        let mesh = TcpMesh::new();
+        let a = mesh.add_node().unwrap();
+        let b = mesh.add_node().unwrap();
+        let (an, bn) = (a.node(), b.node());
+
+        let b_handle = b.spawn_loop(move |event, ctx| {
+            if let Event::Message { from, payload } = event {
+                assert_eq!(from, an);
+                ctx.send(from, payload);
+            }
+        });
+
+        a.sender().send(bn, Bytes::from_static(b"ping")).unwrap();
+        match a.recv_timeout(Duration::from_secs(5)) {
+            Some(Event::Message { from, payload }) => {
+                assert_eq!(from, bn);
+                assert_eq!(&payload[..], b"ping");
+            }
+            other => panic!("expected echo, got {other:?}"),
+        }
+        mesh.shutdown();
+        let _ = b_handle.join();
+    }
+
+    #[test]
+    fn timers_fire_on_wall_clock() {
+        let mesh = TcpMesh::new();
+        let mut a = mesh.add_node().unwrap();
+        let id = a.ctx().set_timer(Duration::from_millis(30), TimerToken(5));
+        let _ = id;
+        match a.recv_timeout(Duration::from_secs(5)) {
+            Some(Event::Timer { token }) => assert_eq!(token, TimerToken(5)),
+            other => panic!("expected timer, got {other:?}"),
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mesh = TcpMesh::new();
+        let mut a = mesh.add_node().unwrap();
+        let id = a.ctx().set_timer(Duration::from_millis(50), TimerToken(1));
+        a.ctx().cancel_timer(id);
+        a.ctx().set_timer(Duration::from_millis(100), TimerToken(2));
+        match a.recv_timeout(Duration::from_secs(5)) {
+            Some(Event::Timer { token }) => assert_eq!(token, TimerToken(2)),
+            other => panic!("expected timer 2, got {other:?}"),
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let mesh = TcpMesh::new();
+        let a = mesh.add_node().unwrap();
+        let err = a
+            .sender()
+            .send(NodeId::new(99), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert!(matches!(err, MeshError::UnknownPeer(_)));
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn many_messages_preserve_order() {
+        let mesh = TcpMesh::new();
+        let a = mesh.add_node().unwrap();
+        let b = mesh.add_node().unwrap();
+        let sender = a.sender();
+        let bn = b.node();
+        for i in 0..200u32 {
+            sender.send(bn, Bytes::from(i.to_be_bytes().to_vec())).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 200 {
+            match b.recv_timeout(Duration::from_secs(5)) {
+                Some(Event::Message { payload, .. }) => {
+                    got.push(u32::from_be_bytes([
+                        payload[0], payload[1], payload[2], payload[3],
+                    ]));
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(got, (0..200).collect::<Vec<u32>>());
+        mesh.shutdown();
+    }
+}

@@ -1,0 +1,223 @@
+//! Network topology: regions, per-pair link overrides, and partitions.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use crate::{LinkConfig, NodeId, RegionId};
+
+/// Describes how every pair of nodes is connected.
+///
+/// Link resolution order for a directed pair `(a, b)`:
+///
+/// 1. if `(a, b)` is partitioned, the message is dropped;
+/// 2. an explicit per-pair override, if any;
+/// 3. the intra-region default if `a` and `b` share a region;
+/// 4. the inter-region default otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use globe_net::{LinkConfig, Topology};
+/// use std::time::Duration;
+///
+/// let mut topo = Topology::two_region(
+///     LinkConfig::new(Duration::from_millis(2)),
+///     LinkConfig::new(Duration::from_millis(90)),
+/// );
+/// let (eu, us) = (topo.add_node_in(globe_net::RegionId::new(0)),
+///                 topo.add_node_in(globe_net::RegionId::new(1)));
+/// assert_eq!(topo.link(eu, us).latency, Duration::from_millis(90));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    intra_region: LinkConfig,
+    inter_region: LinkConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    partitions: HashSet<(NodeId, NodeId)>,
+    regions: HashMap<NodeId, RegionId>,
+    next_node: u32,
+}
+
+impl Topology {
+    /// A topology where every link has the same configuration.
+    pub fn uniform(link: LinkConfig) -> Self {
+        Topology {
+            intra_region: link,
+            inter_region: link,
+            overrides: HashMap::new(),
+            partitions: HashSet::new(),
+            regions: HashMap::new(),
+            next_node: 0,
+        }
+    }
+
+    /// A topology with distinct intra- and inter-region defaults.
+    pub fn two_region(intra: LinkConfig, inter: LinkConfig) -> Self {
+        Topology {
+            intra_region: intra,
+            inter_region: inter,
+            ..Topology::uniform(intra)
+        }
+    }
+
+    /// A LAN topology: 1 ms lossless links.
+    pub fn lan() -> Self {
+        Topology::uniform(LinkConfig::default())
+    }
+
+    /// A WAN-flavoured topology: 5 ms within a region, 80 ms ± 20 ms
+    /// between regions.
+    pub fn wan() -> Self {
+        Topology::two_region(
+            LinkConfig::new(Duration::from_millis(5)),
+            LinkConfig::new(Duration::from_millis(80)).with_jitter(Duration::from_millis(20)),
+        )
+    }
+
+    /// Registers a new node in region 0 and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_node_in(RegionId::new(0))
+    }
+
+    /// Registers a new node in `region` and returns its id.
+    pub fn add_node_in(&mut self, region: RegionId) -> NodeId {
+        let id = NodeId::new(self.next_node);
+        self.next_node += 1;
+        self.regions.insert(id, region);
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.next_node as usize
+    }
+
+    /// Whether no nodes have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.next_node == 0
+    }
+
+    /// All registered node ids, in creation order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.next_node).map(NodeId::new)
+    }
+
+    /// The region a node was registered in.
+    pub fn region_of(&self, node: NodeId) -> RegionId {
+        self.regions.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Overrides the link configuration for the directed pair `(from, to)`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, link: LinkConfig) {
+        self.overrides.insert((from, to), link);
+    }
+
+    /// Overrides the link configuration in both directions.
+    pub fn set_link_symmetric(&mut self, a: NodeId, b: NodeId, link: LinkConfig) {
+        self.overrides.insert((a, b), link);
+        self.overrides.insert((b, a), link);
+    }
+
+    /// Resolves the effective link configuration for `(from, to)`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkConfig {
+        if let Some(link) = self.overrides.get(&(from, to)) {
+            return *link;
+        }
+        if self.region_of(from) == self.region_of(to) {
+            self.intra_region
+        } else {
+            self.inter_region
+        }
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert((a, b));
+        self.partitions.insert((b, a));
+    }
+
+    /// Splits the network into two sides; every cross-side link is cut.
+    pub fn partition_sets(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.partition(a, b);
+            }
+        }
+    }
+
+    /// Restores both directions between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&(a, b));
+        self.partitions.remove(&(b, a));
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Whether messages from `from` to `to` are currently cut.
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitions.contains(&(from, to))
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_select_defaults() {
+        let mut t = Topology::two_region(
+            LinkConfig::new(Duration::from_millis(1)),
+            LinkConfig::new(Duration::from_millis(50)),
+        );
+        let a = t.add_node_in(RegionId::new(0));
+        let b = t.add_node_in(RegionId::new(0));
+        let c = t.add_node_in(RegionId::new(1));
+        assert_eq!(t.link(a, b).latency, Duration::from_millis(1));
+        assert_eq!(t.link(a, c).latency, Duration::from_millis(50));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn overrides_win() {
+        let mut t = Topology::lan();
+        let a = t.add_node();
+        let b = t.add_node();
+        t.set_link(a, b, LinkConfig::new(Duration::from_millis(7)));
+        assert_eq!(t.link(a, b).latency, Duration::from_millis(7));
+        // Reverse direction keeps the default.
+        assert_eq!(t.link(b, a).latency, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let mut t = Topology::lan();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.partition_sets(&[a], &[b, c]);
+        assert!(t.is_partitioned(a, b));
+        assert!(t.is_partitioned(c, a));
+        assert!(!t.is_partitioned(b, c));
+        t.heal(a, b);
+        assert!(!t.is_partitioned(a, b));
+        assert!(t.is_partitioned(a, c));
+        t.heal_all();
+        assert!(!t.is_partitioned(a, c));
+    }
+
+    #[test]
+    fn node_iteration_order() {
+        let mut t = Topology::lan();
+        let ids: Vec<_> = (0..4).map(|_| t.add_node()).collect();
+        assert_eq!(t.nodes().collect::<Vec<_>>(), ids);
+    }
+}

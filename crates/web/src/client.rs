@@ -1,0 +1,114 @@
+//! A typed client over a bound Web object.
+
+use globe_core::{CallError, ClientHandle, GlobeSim};
+
+use crate::{methods, Page, WebDocument};
+
+/// Typed wrapper translating Web-document method calls into marshalled
+/// invocations on a [`ClientHandle`] — the "browser side" of the object.
+///
+/// # Examples
+///
+/// ```
+/// use globe_coherence::StoreClass;
+/// use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+/// use globe_net::Topology;
+/// use globe_web::{Page, WebClient, WebSemantics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = GlobeSim::new(Topology::lan(), 1);
+/// let server = sim.add_node();
+/// let object = sim.create_object(
+///     "/home/page",
+///     ReplicationPolicy::personal_home_page(),
+///     &mut || Box::new(WebSemantics::new()),
+///     &[(server, StoreClass::Permanent)],
+/// )?;
+/// let handle = sim.bind(object, server, BindOptions::new())?;
+/// let client = WebClient::new(handle);
+/// client.put_page(&mut sim, "index.html", Page::html("<h1>hi</h1>"))?;
+/// let page = client.get_page(&mut sim, "index.html")?.unwrap();
+/// assert_eq!(page.body, bytes::Bytes::from("<h1>hi</h1>"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WebClient {
+    handle: ClientHandle,
+}
+
+impl WebClient {
+    /// Wraps a bound handle.
+    pub fn new(handle: ClientHandle) -> Self {
+        WebClient { handle }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> ClientHandle {
+        self.handle
+    }
+
+    /// Fetches one page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails or the reply cannot be
+    /// decoded.
+    pub fn get_page(&self, sim: &mut GlobeSim, path: &str) -> Result<Option<Page>, CallError> {
+        let reply = sim.read(&self.handle, methods::get_page(path))?;
+        globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
+    }
+
+    /// Replaces one page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails.
+    pub fn put_page(&self, sim: &mut GlobeSim, path: &str, page: Page) -> Result<(), CallError> {
+        sim.write(&self.handle, methods::put_page(path, &page))?;
+        Ok(())
+    }
+
+    /// Appends to one page (the incremental update of the paper's
+    /// conference Web master).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails.
+    pub fn patch_page(&self, sim: &mut GlobeSim, path: &str, extra: &[u8]) -> Result<(), CallError> {
+        sim.write(&self.handle, methods::patch_page(path, extra))?;
+        Ok(())
+    }
+
+    /// Removes one page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails.
+    pub fn remove_page(&self, sim: &mut GlobeSim, path: &str) -> Result<(), CallError> {
+        sim.write(&self.handle, methods::remove_page(path))?;
+        Ok(())
+    }
+
+    /// Lists page paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails or the reply cannot be
+    /// decoded.
+    pub fn list_pages(&self, sim: &mut GlobeSim) -> Result<Vec<String>, CallError> {
+        let reply = sim.read(&self.handle, methods::list_pages())?;
+        globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
+    }
+
+    /// Fetches the whole document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails or the reply cannot be
+    /// decoded.
+    pub fn get_document(&self, sim: &mut GlobeSim) -> Result<WebDocument, CallError> {
+        let reply = sim.read(&self.handle, methods::get_document())?;
+        globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
+    }
+}

@@ -1,0 +1,243 @@
+//! A minimal HTTP/1.0 gateway in front of a Web object.
+//!
+//! The paper's clients are "existing Web browsers" (§4.2): the prototype
+//! bridges browser traffic onto the distributed object. This gateway does
+//! the same: GET fetches a page through a [`PageProvider`], PUT stores
+//! one. It speaks just enough HTTP/1.0 for browsers and `curl`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{Page, WebDocument};
+
+/// Source and sink of pages for the gateway.
+pub trait PageProvider: Send + 'static {
+    /// Fetches the page at `path` (no leading slash).
+    fn fetch(&mut self, path: &str) -> Option<Page>;
+
+    /// Stores a page; returns `false` if writes are not allowed.
+    fn store(&mut self, path: &str, page: Page) -> bool;
+}
+
+/// A provider backed by a shared in-memory [`WebDocument`] (the replica a
+/// gateway node holds).
+#[derive(Debug, Clone, Default)]
+pub struct DocumentProvider {
+    doc: Arc<Mutex<WebDocument>>,
+}
+
+impl DocumentProvider {
+    /// An empty shared document.
+    pub fn new() -> Self {
+        DocumentProvider::default()
+    }
+
+    /// The shared document handle.
+    pub fn document(&self) -> Arc<Mutex<WebDocument>> {
+        Arc::clone(&self.doc)
+    }
+}
+
+impl PageProvider for DocumentProvider {
+    fn fetch(&mut self, path: &str) -> Option<Page> {
+        self.doc.lock().page(path).cloned()
+    }
+
+    fn store(&mut self, path: &str, page: Page) -> bool {
+        self.doc.lock().put(path, page);
+        true
+    }
+}
+
+/// A running HTTP gateway.
+#[derive(Debug)]
+pub struct Gateway {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `127.0.0.1:0` and serves `provider` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the listener cannot be bound.
+    pub fn serve<P: PageProvider>(provider: P) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let provider = Arc::new(Mutex::new(provider));
+        let thread = std::thread::Builder::new()
+            .name("globe-gateway".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let provider = Arc::clone(&provider);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &provider);
+                    });
+                }
+            })?;
+        Ok(Gateway {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (e.g. to point a browser at).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection<P: PageProvider>(
+    stream: TcpStream,
+    provider: &Mutex<P>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let raw_path = parts.next().unwrap_or("/").to_string();
+    let path = raw_path.trim_start_matches('/').to_string();
+
+    let mut content_length = 0usize;
+    let mut content_type = "text/html".to_string();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => content_length = value.trim().parse().unwrap_or(0),
+                "content-type" => content_type = value.trim().to_string(),
+                _ => {}
+            }
+        }
+    }
+
+    let mut stream = stream;
+    match method.as_str() {
+        "GET" => {
+            let page = provider.lock().fetch(&path);
+            match page {
+                Some(page) => {
+                    write!(
+                        stream,
+                        "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\r\n",
+                        page.content_type,
+                        page.body.len()
+                    )?;
+                    stream.write_all(&page.body)?;
+                }
+                None => {
+                    let body = b"<h1>404 Not Found</h1>";
+                    write!(
+                        stream,
+                        "HTTP/1.0 404 Not Found\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n",
+                        body.len()
+                    )?;
+                    stream.write_all(body)?;
+                }
+            }
+        }
+        "PUT" | "POST" => {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let stored = provider.lock().store(
+                &path,
+                Page {
+                    content_type,
+                    body: Bytes::from(body),
+                },
+            );
+            if stored {
+                write!(stream, "HTTP/1.0 204 No Content\r\n\r\n")?;
+            } else {
+                write!(stream, "HTTP/1.0 403 Forbidden\r\n\r\n")?;
+            }
+        }
+        _ => {
+            write!(stream, "HTTP/1.0 405 Method Not Allowed\r\n\r\n")?;
+        }
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn get_put_and_404() {
+        let provider = DocumentProvider::new();
+        let doc = provider.document();
+        doc.lock().put("index.html", Page::html("<h1>Globe</h1>"));
+        let mut gateway = Gateway::serve(provider).unwrap();
+        let addr = gateway.addr();
+
+        let resp = http(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("<h1>Globe</h1>"));
+
+        let resp = http(addr, "GET /missing.html HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+
+        let body = "<p>new</p>";
+        let put = format!(
+            "PUT /new.html HTTP/1.0\r\nContent-Type: text/html\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = http(addr, &put);
+        assert!(resp.starts_with("HTTP/1.0 204"), "{resp}");
+        assert_eq!(
+            doc.lock().page("new.html").unwrap().body,
+            Bytes::from("<p>new</p>")
+        );
+
+        let resp = http(addr, "DELETE /x HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+        gateway.shutdown();
+    }
+}

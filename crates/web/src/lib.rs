@@ -1,0 +1,46 @@
+//! Web documents as Globe distributed shared objects.
+//!
+//! This crate supplies the Web-specific pieces of the ICDCS'98 framework:
+//! the document state model ([`WebDocument`]), its semantics object
+//! ([`WebSemantics`]) exposing the paper's page interface (get / put /
+//! incremental patch / remove / list / whole document), a typed client
+//! ([`WebClient`]) for bound handles, and a small HTTP/1.0 gateway so
+//! "existing Web browsers" can front a replica, as in the prototype.
+//!
+//! # Examples
+//!
+//! ```
+//! use globe_coherence::StoreClass;
+//! use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+//! use globe_net::Topology;
+//! use globe_web::{Page, WebClient, WebSemantics};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = GlobeSim::new(Topology::wan(), 3);
+//! let server = sim.add_node();
+//! let cache = sim.add_node();
+//! let object = sim.create_object(
+//!     "/conf/icdcs98",
+//!     ReplicationPolicy::conference_page(),
+//!     &mut || Box::new(WebSemantics::new()),
+//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
+//! )?;
+//! let master = WebClient::new(sim.bind(object, server, BindOptions::new().read_node(server))?);
+//! master.put_page(&mut sim, "cfp.html", Page::html("<h1>Call for papers</h1>"))?;
+//! assert_eq!(master.list_pages(&mut sim)?, vec!["cfp.html".to_string()]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod document;
+pub mod gateway;
+pub mod methods;
+mod semantics;
+
+pub use client::WebClient;
+pub use document::{Page, WebDocument};
+pub use gateway::{DocumentProvider, Gateway, PageProvider};
+pub use semantics::WebSemantics;

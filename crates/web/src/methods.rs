@@ -1,0 +1,81 @@
+//! The Web object's interface: method ids and marshalled invocations.
+//!
+//! "An interface of a Web object consists of a method for selecting a
+//! page, and reading it in HTML format … Likewise, we offer a method for
+//! replacing one of the document's pages" (§2). Plus the incremental
+//! patch method the conference example's Web master uses, and
+//! housekeeping methods.
+
+use bytes::Bytes;
+use globe_core::{InvocationMessage, MethodId};
+use globe_wire::{to_bytes, WireEncode};
+
+/// `get_page(path) -> Option<Page>` — read.
+pub const GET_PAGE: MethodId = MethodId::new(0);
+/// `put_page(path, page)` — write (replaces the page).
+pub const PUT_PAGE: MethodId = MethodId::new(1);
+/// `patch_page(path, bytes)` — write (appends; the incremental update).
+pub const PATCH_PAGE: MethodId = MethodId::new(2);
+/// `remove_page(path)` — write.
+pub const REMOVE_PAGE: MethodId = MethodId::new(3);
+/// `list_pages() -> Vec<String>` — read.
+pub const LIST_PAGES: MethodId = MethodId::new(4);
+/// `get_document() -> WebDocument` — read (whole document).
+pub const GET_DOCUMENT: MethodId = MethodId::new(5);
+
+/// Builds a `get_page` invocation.
+pub fn get_page(path: &str) -> InvocationMessage {
+    InvocationMessage::new(GET_PAGE, to_bytes(path))
+}
+
+/// Builds a `put_page` invocation.
+pub fn put_page(path: &str, page: &crate::Page) -> InvocationMessage {
+    let args = (path.to_string(), page.clone());
+    let mut buf = Vec::with_capacity(args.encoded_len());
+    args.encode(&mut buf);
+    InvocationMessage::new(PUT_PAGE, Bytes::from(buf))
+}
+
+/// Builds a `patch_page` invocation.
+pub fn patch_page(path: &str, extra: &[u8]) -> InvocationMessage {
+    let args = (path.to_string(), Bytes::copy_from_slice(extra));
+    let mut buf = Vec::with_capacity(args.encoded_len());
+    args.encode(&mut buf);
+    InvocationMessage::new(PATCH_PAGE, Bytes::from(buf))
+}
+
+/// Builds a `remove_page` invocation.
+pub fn remove_page(path: &str) -> InvocationMessage {
+    InvocationMessage::new(REMOVE_PAGE, to_bytes(path))
+}
+
+/// Builds a `list_pages` invocation.
+pub fn list_pages() -> InvocationMessage {
+    InvocationMessage::new(LIST_PAGES, Bytes::new())
+}
+
+/// Builds a `get_document` invocation.
+pub fn get_document() -> InvocationMessage {
+    InvocationMessage::new(GET_DOCUMENT, Bytes::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Page;
+
+    #[test]
+    fn constructors_use_distinct_methods() {
+        let ids = [
+            get_page("a").method,
+            put_page("a", &Page::html("x")).method,
+            patch_page("a", b"x").method,
+            remove_page("a").method,
+            list_pages().method,
+            get_document().method,
+        ];
+        let mut dedup = ids.to_vec();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

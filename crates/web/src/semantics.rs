@@ -1,0 +1,197 @@
+//! The Web document as a Globe semantics object.
+
+use bytes::Bytes;
+use globe_coherence::PageKey;
+use globe_core::{InvocationMessage, MethodId, MethodKind, Semantics, SemanticsError};
+
+use crate::{methods, Page, WebDocument};
+
+/// [`Semantics`] implementation wrapping a [`WebDocument`].
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::Semantics;
+/// use globe_web::{methods, Page, WebSemantics};
+///
+/// let mut sem = WebSemantics::new();
+/// sem.dispatch(&methods::put_page("index.html", &Page::html("<p>hi</p>"))).unwrap();
+/// let reply = sem.dispatch(&methods::get_page("index.html")).unwrap();
+/// let page: Option<Page> = globe_wire::from_bytes(&reply).unwrap();
+/// assert_eq!(page.unwrap().body, bytes::Bytes::from("<p>hi</p>"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WebSemantics {
+    doc: WebDocument,
+}
+
+impl WebSemantics {
+    /// An empty document.
+    pub fn new() -> Self {
+        WebSemantics::default()
+    }
+
+    /// Wraps an existing document (e.g. pre-seeded content).
+    pub fn with_document(doc: WebDocument) -> Self {
+        WebSemantics { doc }
+    }
+
+    /// Read access to the underlying document.
+    pub fn document(&self) -> &WebDocument {
+        &self.doc
+    }
+
+    fn bad_args(e: globe_wire::WireError) -> SemanticsError {
+        SemanticsError::BadArguments(e.to_string())
+    }
+}
+
+impl Semantics for WebSemantics {
+    fn dispatch(&mut self, inv: &InvocationMessage) -> Result<Bytes, SemanticsError> {
+        match inv.method {
+            methods::GET_PAGE => {
+                let path: String =
+                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                let page = self.doc.page(&path).cloned();
+                Ok(globe_wire::to_bytes(&page))
+            }
+            methods::PUT_PAGE => {
+                let (path, page): (String, Page) =
+                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                self.doc.put(path, page);
+                Ok(Bytes::new())
+            }
+            methods::PATCH_PAGE => {
+                let (path, extra): (String, Bytes) =
+                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                self.doc.append(&path, &extra);
+                Ok(Bytes::new())
+            }
+            methods::REMOVE_PAGE => {
+                let path: String =
+                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                self.doc.remove(&path);
+                Ok(Bytes::new())
+            }
+            methods::LIST_PAGES => {
+                let paths: Vec<String> = self.doc.paths().map(String::from).collect();
+                Ok(globe_wire::to_bytes(&paths))
+            }
+            methods::GET_DOCUMENT => Ok(globe_wire::to_bytes(&self.doc)),
+            other => Err(SemanticsError::UnknownMethod(other)),
+        }
+    }
+
+    fn method_kind(&self, method: MethodId) -> MethodKind {
+        match method {
+            methods::PUT_PAGE | methods::PATCH_PAGE | methods::REMOVE_PAGE => MethodKind::Write,
+            _ => MethodKind::Read,
+        }
+    }
+
+    fn part_of(&self, inv: &InvocationMessage) -> Option<PageKey> {
+        match inv.method {
+            methods::GET_PAGE | methods::REMOVE_PAGE => {
+                globe_wire::from_bytes::<String>(&inv.args).ok()
+            }
+            methods::PUT_PAGE => globe_wire::from_bytes::<(String, Page)>(&inv.args)
+                .ok()
+                .map(|(p, _)| p),
+            methods::PATCH_PAGE => globe_wire::from_bytes::<(String, Bytes)>(&inv.args)
+                .ok()
+                .map(|(p, _)| p),
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        globe_wire::to_bytes(&self.doc)
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SemanticsError> {
+        self.doc =
+            globe_wire::from_bytes(snapshot).map_err(|e| SemanticsError::BadState(e.to_string()))?;
+        Ok(())
+    }
+
+    fn digest(&self) -> u64 {
+        globe_coherence::fnv1a(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_interface_roundtrip() {
+        let mut sem = WebSemantics::new();
+        sem.dispatch(&methods::put_page("a.html", &Page::html("alpha")))
+            .unwrap();
+        sem.dispatch(&methods::patch_page("a.html", b" beta")).unwrap();
+        let page: Option<Page> =
+            globe_wire::from_bytes(&sem.dispatch(&methods::get_page("a.html")).unwrap()).unwrap();
+        assert_eq!(page.unwrap().body, Bytes::from("alpha beta"));
+        let listed: Vec<String> =
+            globe_wire::from_bytes(&sem.dispatch(&methods::list_pages()).unwrap()).unwrap();
+        assert_eq!(listed, vec!["a.html"]);
+        let doc: WebDocument =
+            globe_wire::from_bytes(&sem.dispatch(&methods::get_document()).unwrap()).unwrap();
+        assert_eq!(doc.len(), 1);
+        sem.dispatch(&methods::remove_page("a.html")).unwrap();
+        assert!(sem.document().is_empty());
+    }
+
+    #[test]
+    fn missing_page_is_none_not_error() {
+        let mut sem = WebSemantics::new();
+        let page: Option<Page> =
+            globe_wire::from_bytes(&sem.dispatch(&methods::get_page("nope")).unwrap()).unwrap();
+        assert!(page.is_none());
+    }
+
+    #[test]
+    fn kinds_and_parts() {
+        let sem = WebSemantics::new();
+        assert_eq!(sem.method_kind(methods::PUT_PAGE), MethodKind::Write);
+        assert_eq!(sem.method_kind(methods::PATCH_PAGE), MethodKind::Write);
+        assert_eq!(sem.method_kind(methods::REMOVE_PAGE), MethodKind::Write);
+        assert_eq!(sem.method_kind(methods::GET_PAGE), MethodKind::Read);
+        assert_eq!(sem.method_kind(methods::LIST_PAGES), MethodKind::Read);
+        assert_eq!(
+            sem.part_of(&methods::patch_page("x.html", b"y")).as_deref(),
+            Some("x.html")
+        );
+        assert_eq!(sem.part_of(&methods::list_pages()), None);
+        assert_eq!(sem.part_of(&methods::get_document()), None);
+    }
+
+    #[test]
+    fn snapshot_restore_digest_stability() {
+        let mut a = WebSemantics::new();
+        a.dispatch(&methods::put_page("p", &Page::html("v"))).unwrap();
+        let mut b = WebSemantics::new();
+        b.restore(&a.snapshot()).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert!(b.restore(b"\xff").is_err());
+    }
+
+    #[test]
+    fn writes_are_deterministic_across_replicas() {
+        // Same invocation stream, same final digest — the property
+        // replication relies on.
+        let stream = [
+            methods::put_page("a", &Page::html("1")),
+            methods::patch_page("a", b"2"),
+            methods::put_page("b", &Page::with_type("text/plain", "x")),
+            methods::remove_page("b"),
+        ];
+        let mut r1 = WebSemantics::new();
+        let mut r2 = WebSemantics::new();
+        for inv in &stream {
+            r1.dispatch(inv).unwrap();
+            r2.dispatch(inv).unwrap();
+        }
+        assert_eq!(r1.digest(), r2.digest());
+    }
+}

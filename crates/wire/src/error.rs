@@ -1,0 +1,104 @@
+//! Error type for wire encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding (or, rarely, encoding) wire data fails.
+///
+/// Every decoder in this crate is total: malformed input yields a
+/// `WireError`, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a complete value could be read.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes that were actually remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant (tag byte) did not match any known variant.
+    InvalidTag {
+        /// Human-readable name of the type being decoded.
+        type_name: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8,
+    /// A varint used more than 10 bytes (would overflow `u64`).
+    VarintOverflow,
+    /// A length prefix exceeded the decoder's sanity limit.
+    LengthOverflow {
+        /// The declared length.
+        len: u64,
+        /// The maximum the decoder accepts.
+        max: u64,
+    },
+    /// `from_bytes` finished decoding but bytes were left over.
+    TrailingBytes {
+        /// Number of undecoded bytes remaining.
+        remaining: usize,
+    },
+    /// A domain-specific constraint was violated while decoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated input: needed {needed} more bytes, only {remaining} remaining"
+            ),
+            WireError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            WireError::InvalidUtf8 => write!(f, "decoded string is not valid UTF-8"),
+            WireError::VarintOverflow => write!(f, "varint does not fit in 64 bits"),
+            WireError::LengthOverflow { len, max } => {
+                write!(f, "declared length {len} exceeds limit {max}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after complete value")
+            }
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            WireError::Truncated {
+                needed: 4,
+                remaining: 1,
+            },
+            WireError::InvalidTag {
+                type_name: "ObjectModel",
+                tag: 9,
+            },
+            WireError::InvalidUtf8,
+            WireError::VarintOverflow,
+            WireError::LengthOverflow { len: 10, max: 5 },
+            WireError::TrailingBytes { remaining: 3 },
+            WireError::Invalid("empty name"),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,157 @@
+//! LEB128-style variable-length integers and ZigZag signed mapping.
+//!
+//! Varints keep small values (sequence numbers, lengths, identifiers) to a
+//! single byte on the wire, which matters because Globe coherence traffic is
+//! dominated by tiny control messages.
+
+use bytes::{Buf, BufMut};
+
+use crate::WireError;
+
+/// Maximum number of bytes a `u64` varint may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Encodes `value` as an LEB128 varint into `buf`.
+pub fn put_varint<B: BufMut>(buf: &mut B, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes an LEB128 varint from `buf`.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] if the buffer ends mid-varint and
+/// [`WireError::VarintOverflow`] if the encoding exceeds 64 bits.
+pub fn get_varint<B: Buf>(buf: &mut B) -> Result<u64, WireError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated {
+                needed: 1,
+                remaining: 0,
+            });
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// Number of bytes [`put_varint`] will write for `value`.
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Maps a signed integer onto an unsigned one so small magnitudes stay small.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        assert_eq!(buf.len(), varint_len(v), "length mismatch for {v}");
+        let mut slice = buf.as_slice();
+        assert_eq!(get_varint(&mut slice).unwrap(), v);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn single_byte_values() {
+        for v in 0..=127u64 {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(matches!(
+                get_varint(&mut slice),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overlong_is_overflow() {
+        // Eleven continuation bytes can never be a valid u64.
+        let bytes = [0xffu8; 11];
+        let mut slice = &bytes[..];
+        assert_eq!(get_varint(&mut slice), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn tenth_byte_high_bits_rejected() {
+        // 10-byte varint whose last byte contributes more than bit 63.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut slice = &bytes[..];
+        assert_eq!(get_varint(&mut slice), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456, 123_456] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small encodings.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: every encodable value decodes back to itself, and no
+//! byte-level truncation or mutation can cause a panic.
+
+use std::collections::BTreeMap;
+
+use globe_wire::{from_bytes, to_bytes, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint::varint_len(v));
+        let mut s = buf.as_slice();
+        prop_assert_eq!(varint::get_varint(&mut s).unwrap(), v);
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(from_bytes::<i64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,64}") {
+        let v = s.to_string();
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_of_strings_roundtrip(v in proptest::collection::vec(".{0,16}", 0..16)) {
+        let v: Vec<String> = v;
+        prop_assert_eq!(from_bytes::<Vec<String>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn map_roundtrip(m in proptest::collection::btree_map(any::<u64>(), ".{0,8}", 0..16)) {
+        let m: BTreeMap<u64, String> = m;
+        prop_assert_eq!(from_bytes::<BTreeMap<u64, String>>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn pair_option_roundtrip(a in any::<u64>(), b in proptest::option::of(".{0,8}")) {
+        let v = (a, b);
+        prop_assert_eq!(from_bytes::<(u64, Option<String>)>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    /// Decoding arbitrary garbage must never panic, only error or succeed.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = from_bytes::<u64>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<Vec<u64>>(&bytes);
+        let _ = from_bytes::<BTreeMap<u64, String>>(&bytes);
+        let _ = from_bytes::<Option<(u64, String)>>(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point yields an error, not a panic.
+    #[test]
+    fn truncation_never_panics(v in proptest::collection::vec(".{0,8}", 0..8), cut in any::<prop::sample::Index>()) {
+        let v: Vec<String> = v;
+        let bytes = to_bytes(&v);
+        if !bytes.is_empty() {
+            let cut = cut.index(bytes.len());
+            let _ = from_bytes::<Vec<String>>(&bytes[..cut]);
+        }
+    }
+}

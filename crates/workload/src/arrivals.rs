@@ -1,0 +1,86 @@
+//! Arrival processes generating operation schedules in virtual time.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// How a client's operations are spaced in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Fixed spacing (a Web master's periodic edits).
+    Fixed(Duration),
+    /// Poisson process with the given rate (events per second).
+    Poisson(f64),
+}
+
+impl Arrival {
+    /// Draws the next inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Poisson rate is not strictly positive.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match *self {
+            Arrival::Fixed(d) => d,
+            Arrival::Poisson(rate) => {
+                assert!(rate > 0.0, "poisson rate must be positive");
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                Duration::from_secs_f64(-u.ln() / rate)
+            }
+        }
+    }
+
+    /// Generates arrival instants (as offsets) within `horizon`.
+    pub fn schedule<R: Rng + ?Sized>(&self, rng: &mut R, horizon: Duration) -> Vec<Duration> {
+        let mut out = Vec::new();
+        let mut t = self.next_gap(rng);
+        while t < horizon {
+            out.push(t);
+            t += self.next_gap(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_regular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sched =
+            Arrival::Fixed(Duration::from_secs(2)).schedule(&mut rng, Duration::from_secs(10));
+        assert_eq!(
+            sched,
+            vec![
+                Duration::from_secs(2),
+                Duration::from_secs(4),
+                Duration::from_secs(6),
+                Duration::from_secs(8),
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sched = Arrival::Poisson(50.0).schedule(&mut rng, Duration::from_secs(60));
+        let n = sched.len() as f64;
+        let expected = 50.0 * 60.0;
+        assert!((n - expected).abs() < expected * 0.1, "n = {n}");
+        assert!(sched.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = Arrival::Poisson(10.0)
+            .schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
+        let b = Arrival::Poisson(10.0)
+            .schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generation and measurement for Globe Web objects.
+//!
+//! The paper motivates per-object strategies with a gallery of document
+//! classes (§1): personal home pages, popular event pages, periodically
+//! updated magazines, Web forums, and shared white-boards. This crate
+//! turns each into a runnable scenario — a deployment shape plus a
+//! stochastic workload — and measures what the paper argues about:
+//! latency, staleness, and coherence traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use globe_workload::{run_workload, scenario, WorkloadSpec};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (mut instance, spec) = scenario::conference_page(42)?;
+//! let spec = WorkloadSpec { duration: Duration::from_secs(10), ..spec };
+//! let outcome = run_workload(&mut instance.sim, &instance.readers, &instance.writers, &spec);
+//! assert!(outcome.reads_issued > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod driver;
+pub mod scenario;
+mod stats;
+mod zipf;
+
+pub use arrivals::Arrival;
+pub use driver::{run_workload, smoke_reads, WorkloadOutcome, WorkloadSpec};
+pub use scenario::{build, ScenarioInstance, SetupSpec, TopologyKind};
+pub use stats::{staleness, LatencySummary, StalenessSummary};
+pub use zipf::Zipf;

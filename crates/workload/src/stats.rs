@@ -1,0 +1,210 @@
+//! Percentiles and staleness analysis over recorded executions.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use globe_coherence::{ClientId, History, OpKind, WriteId};
+use globe_net::SimTime;
+
+/// Percentile summary of a set of duration samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (need not be sorted).
+    pub fn of(mut samples: Vec<Duration>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let total: Duration = samples.iter().sum();
+        // Nearest-rank percentile: ceil(q·N) - 1.
+        let pick = |q: f64| {
+            let rank = (q * count as f64).ceil() as usize;
+            samples[rank.clamp(1, count) - 1]
+        };
+        LatencySummary {
+            count,
+            mean: total / count as u32,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: samples[count - 1],
+        }
+    }
+}
+
+/// How stale reads were, measured against the writes issued system-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StalenessSummary {
+    /// Reads analysed.
+    pub reads: usize,
+    /// Fraction of reads that missed at least one already-issued write.
+    pub stale_fraction: f64,
+    /// Mean number of missing writes per read.
+    pub mean_missing_writes: f64,
+    /// Mean age of the oldest missing write at read time (stale reads
+    /// only).
+    pub mean_staleness: Duration,
+    /// Maximum such age.
+    pub max_staleness: Duration,
+}
+
+/// Computes staleness of every read in `history`: a read is stale if, at
+/// the moment it executed, some client had already issued a write the
+/// serving store had not applied.
+pub fn staleness(history: &History) -> StalenessSummary {
+    // Issue time of every write, and per-client issue timeline.
+    let mut issue_time: HashMap<WriteId, SimTime> = HashMap::new();
+    let mut timelines: HashMap<ClientId, Vec<SimTime>> = HashMap::new();
+    for (op, wid, _) in history.writes() {
+        issue_time.insert(wid, op.at);
+        timelines.entry(wid.client).or_default().push(op.at);
+    }
+    let issued_by = |client: ClientId, at: SimTime| -> u64 {
+        timelines
+            .get(&client)
+            .map(|times| times.iter().take_while(|&&t| t <= at).count() as u64)
+            .unwrap_or(0)
+    };
+
+    let mut reads = 0usize;
+    let mut stale_reads = 0usize;
+    let mut total_missing = 0u64;
+    let mut stale_ages: Vec<Duration> = Vec::new();
+    for op in history.ops() {
+        let OpKind::Read { store_version, .. } = &op.kind else {
+            continue;
+        };
+        reads += 1;
+        let mut missing = 0u64;
+        let mut oldest_missing: Option<SimTime> = None;
+        for (&client, times) in &timelines {
+            let issued = issued_by(client, op.at);
+            let have = store_version.get(client);
+            if issued > have {
+                missing += issued - have;
+                let first_missing = times[have as usize]; // 0-indexed seq have+1
+                oldest_missing = Some(match oldest_missing {
+                    Some(t) if t <= first_missing => t,
+                    _ => first_missing,
+                });
+            }
+        }
+        if missing > 0 {
+            stale_reads += 1;
+            total_missing += missing;
+            if let Some(t) = oldest_missing {
+                stale_ages.push(op.at.saturating_since(t));
+            }
+        }
+    }
+    let mean_staleness = if stale_ages.is_empty() {
+        Duration::ZERO
+    } else {
+        stale_ages.iter().sum::<Duration>() / stale_ages.len() as u32
+    };
+    StalenessSummary {
+        reads,
+        stale_fraction: if reads == 0 {
+            0.0
+        } else {
+            stale_reads as f64 / reads as f64
+        },
+        mean_missing_writes: if reads == 0 {
+            0.0
+        } else {
+            total_missing as f64 / reads as f64
+        },
+        mean_staleness,
+        max_staleness: stale_ages.into_iter().max().unwrap_or(Duration::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use globe_coherence::{StoreId, VersionVector};
+
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencySummary::of(Vec::new()).count, 0);
+    }
+
+    #[test]
+    fn staleness_counts_missing_writes() {
+        let mut h = History::new();
+        let writer = ClientId::new(1);
+        let reader = ClientId::new(2);
+        let s0 = StoreId::new(0);
+        let s1 = StoreId::new(1);
+        // Writer issues 3 writes at t=1,2,3.
+        for seq in 1..=3u64 {
+            h.record_write(
+                SimTime::from_secs(seq),
+                writer,
+                s0,
+                "p",
+                WriteId::new(writer, seq),
+                VersionVector::new(),
+            );
+        }
+        // A read at t=4 from a store that only applied write 1.
+        let version: VersionVector = [(writer, 1u64)].into_iter().collect();
+        h.record_read(SimTime::from_secs(4), reader, s1, "p", None, version);
+        // A fully fresh read at t=5.
+        let version: VersionVector = [(writer, 3u64)].into_iter().collect();
+        h.record_read(SimTime::from_secs(5), reader, s1, "p", None, version);
+
+        let s = staleness(&h);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.stale_fraction, 0.5);
+        assert_eq!(s.mean_missing_writes, 1.0); // 2 missing over 2 reads
+        // Oldest missing was write 2 issued at t=2, read at t=4 → 2 s.
+        assert_eq!(s.mean_staleness, Duration::from_secs(2));
+        assert_eq!(s.max_staleness, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn fresh_history_has_no_staleness() {
+        let mut h = History::new();
+        h.record_read(
+            SimTime::from_secs(1),
+            ClientId::new(1),
+            StoreId::new(0),
+            "p",
+            None,
+            VersionVector::new(),
+        );
+        let s = staleness(&h);
+        assert_eq!(s.stale_fraction, 0.0);
+        assert_eq!(s.mean_staleness, Duration::ZERO);
+    }
+}

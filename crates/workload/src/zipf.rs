@@ -1,0 +1,119 @@
+//! Zipf-distributed popularity, the classic model for Web page access.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with skew `theta`.
+///
+/// `theta = 0` is uniform; `theta ≈ 0.8–1.0` matches observed Web
+/// popularity. Sampling is O(log n) via binary search over the
+/// precomputed CDF.
+///
+/// # Examples
+///
+/// ```
+/// use globe_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(100, 0.9);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(theta >= 0.0, "zipf skew must be non-negative");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            let w = 1.0 / (rank as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true; `new` rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=1 the top 10 of 100 items carry ~56% of mass.
+        assert!(head > total / 2, "head share too small: {head}/{total}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

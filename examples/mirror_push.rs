@@ -1,0 +1,87 @@
+//! Geographical push-caching (the paper's object-initiated stores, and
+//! its nod to Gwertzman & Seltzer): a popular event page installs a
+//! mirror near its readers *at run time*, which synchronizes itself and
+//! then receives pushes like any other store.
+//!
+//! ```text
+//! cargo run --example mirror_push
+//! ```
+
+use std::time::Duration;
+
+use globe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = GlobeSim::new(Topology::wan(), 64);
+    let server_us = sim.add_node_in(RegionId::new(0));
+    let reader_eu_site = sim.add_node_in(RegionId::new(1));
+
+    let policy = ReplicationPolicy::magazine(); // FIFO, lazy push
+    let object = sim.create_object(
+        "/events/worldcup",
+        policy,
+        &mut || Box::new(WebSemantics::new()),
+        &[(server_us, StoreClass::Permanent)],
+    )?;
+
+    let editor = WebClient::new(sim.bind(object, server_us, BindOptions::new().read_node(server_us))?);
+    let eu_reader = WebClient::new(sim.bind(
+        object,
+        reader_eu_site,
+        BindOptions::new().read_node(server_us), // nothing closer yet
+    )?);
+
+    editor.put_page(&mut sim, "scores.html", Page::html("0 - 0"))?;
+    sim.run_for(Duration::from_secs(1));
+
+    // Phase 1: the EU reader crosses the ocean for every read.
+    for _ in 0..10 {
+        eu_reader.get_page(&mut sim, "scores.html")?;
+    }
+    let metrics = sim.metrics();
+    let trans_atlantic = metrics.lock().mean_latency(MethodKind::Read).unwrap();
+    println!("reads from the US server: mean latency {trans_atlantic:?}");
+
+    // Phase 2: the object installs a mirror in the EU (an
+    // object-initiated store), which pulls the current state on start.
+    let mirror_eu = sim.add_node_in(RegionId::new(1));
+    sim.add_store(
+        object,
+        mirror_eu,
+        StoreClass::ObjectInitiated,
+        Box::new(WebSemantics::new()),
+    )?;
+    sim.run_for(Duration::from_secs(2)); // initial sync
+    sim.rebind_reads(&eu_reader.handle(), mirror_eu)?;
+
+    let ops_before = sim.metrics().lock().ops.len();
+    for _ in 0..10 {
+        eu_reader.get_page(&mut sim, "scores.html")?;
+    }
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    let local: Vec<Duration> = metrics.ops[ops_before..]
+        .iter()
+        .map(|op| op.latency())
+        .collect();
+    let local_mean = local.iter().sum::<Duration>() / local.len() as u32;
+    drop(metrics);
+    println!("reads from the EU mirror:  mean latency {local_mean:?}");
+    assert!(
+        local_mean < trans_atlantic / 4,
+        "the mirror should cut read latency dramatically"
+    );
+
+    // Updates keep flowing to the mirror via the object's push policy.
+    editor.put_page(&mut sim, "scores.html", Page::html("1 - 0 (89')"))?;
+    sim.run_for(Duration::from_secs(6)); // one lazy period
+    let latest = eu_reader
+        .get_page(&mut sim, "scores.html")?
+        .expect("scores page");
+    println!(
+        "after the push, the EU mirror serves: {:?}",
+        std::str::from_utf8(&latest.body)?
+    );
+    assert_eq!(&latest.body[..], b"1 - 0 (89')");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # globe — consistent, replicated Web objects
+//!
+//! A Rust reproduction of *"A Framework for Consistent, Replicated Web
+//! Objects"* (Kermarrec, Kuz, van Steen, Tanenbaum — ICDCS 1998): each
+//! Web document is a distributed shared object that encapsulates its own
+//! replication and coherence strategy, chosen per object from five
+//! object-based coherence models, four client-based session guarantees,
+//! and the full Table-1 implementation-parameter space.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`wire`] — the binary marshalling layer;
+//! * [`net`] — deterministic virtual-time simulator + real TCP mesh;
+//! * [`coherence`] — models, clocks, and execution-history checkers;
+//! * [`naming`] — name space and replica location service;
+//! * [`core`] — the object framework: semantics/replication/communication/
+//!   control sub-objects, stores, binding, policies, runtimes;
+//! * [`web`] — Web-document semantics, typed client, HTTP gateway;
+//! * [`workload`] — scenario library, generators, and measurement.
+//!
+//! See the `examples/` directory for runnable walk-throughs, starting
+//! with `quickstart.rs` (the paper's Fig. 1 in ~50 lines).
+//!
+//! # Examples
+//!
+//! ```
+//! use globe::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = GlobeSim::new(Topology::wan(), 42);
+//! let server = sim.add_node_in(RegionId::new(0));
+//! let cache = sim.add_node_in(RegionId::new(1));
+//! let object = sim.create_object(
+//!     "/conf/icdcs98",
+//!     ReplicationPolicy::conference_page(),
+//!     &mut || Box::new(WebSemantics::new()),
+//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
+//! )?;
+//! let master = WebClient::new(sim.bind(
+//!     object,
+//!     cache,
+//!     BindOptions::new().read_node(cache).guard(ClientModel::ReadYourWrites),
+//! )?);
+//! master.put_page(&mut sim, "program.html", Page::html("<h2>Program</h2>"))?;
+//! // Read-Your-Writes holds even though the cache has not been pushed yet.
+//! let page = master.get_page(&mut sim, "program.html")?.unwrap();
+//! assert_eq!(&page.body[..], b"<h2>Program</h2>");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use globe_coherence as coherence;
+pub use globe_core as core;
+pub use globe_naming as naming;
+pub use globe_net as net;
+pub use globe_web as web;
+pub use globe_wire as wire;
+pub use globe_workload as workload;
+
+/// Everything the examples and most applications need.
+pub mod prelude {
+    pub use globe_coherence::{
+        ClientModel, History, ModelCombination, ObjectModel, StoreClass, VersionVector, WriteId,
+    };
+    pub use globe_core::{
+        AccessTransfer, BindOptions, CallError, ClientHandle, CoherenceTransfer, GlobeSim,
+        GlobeTcp, MethodKind, OutdateReaction, Propagation, ReplicationPolicy, Semantics,
+        StoreScope, TransferInitiative, TransferInstant, WriteChoice, WriteSet,
+    };
+    pub use globe_naming::{ObjectId, ObjectName};
+    pub use globe_net::{LinkConfig, NodeId, RegionId, SimTime, Topology};
+    pub use globe_web::{methods, Page, WebClient, WebDocument, WebSemantics};
+    pub use globe_workload::{
+        run_workload, Arrival, LatencySummary, SetupSpec, WorkloadOutcome, WorkloadSpec,
+    };
+}

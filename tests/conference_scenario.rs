@@ -1,0 +1,153 @@
+//! FIG3/FIG4 — Asserts the paper's worked example produces exactly the
+//! message flows of Fig. 4: WiD-tagged writes to the server, periodic
+//! aggregated pushes to caches, and a demand-update when the master's
+//! Read-Your-Writes requirement is violated at cache M.
+
+use std::time::Duration;
+
+use globe::prelude::*;
+
+fn build() -> (GlobeSim, ObjectId, NodeId, NodeId, NodeId) {
+    let mut sim = GlobeSim::new(Topology::wan(), 1998);
+    let web_server = sim.add_node_in(RegionId::new(0));
+    let cache_m = sim.add_node_in(RegionId::new(0));
+    let cache_u = sim.add_node_in(RegionId::new(1));
+    let mut policy = ReplicationPolicy::conference_page();
+    policy.lazy_period = Duration::from_secs(5);
+    let object = sim
+        .create_object(
+            "/conf/icdcs98/home",
+            policy,
+            &mut || Box::new(WebSemantics::new()),
+            &[
+                (web_server, StoreClass::Permanent),
+                (cache_m, StoreClass::ClientInitiated),
+                (cache_u, StoreClass::ClientInitiated),
+            ],
+        )
+        .expect("create conference object");
+    (sim, object, web_server, cache_m, cache_u)
+}
+
+#[test]
+fn fig4_message_flow() {
+    let (mut sim, object, _server, cache_m, cache_u) = build();
+    let master = sim
+        .bind(
+            object,
+            cache_m,
+            BindOptions::new()
+                .read_node(cache_m)
+                .guard(ClientModel::ReadYourWrites),
+        )
+        .expect("bind master");
+    let user = sim
+        .bind(object, cache_u, BindOptions::new().read_node(cache_u))
+        .expect("bind user");
+
+    // Master writes twice (incremental updates with WiDs), then reads
+    // through cache M before any push has happened.
+    sim.write(&master, methods::put_page("program.html", &Page::html("v1")))
+        .expect("write 1");
+    sim.write(
+        &master,
+        methods::patch_page("program.html", b" + keynote"),
+    )
+    .expect("write 2");
+    let seen = sim
+        .read(&master, methods::get_page("program.html"))
+        .expect("master read");
+    let page: Option<Page> = globe_wire::from_bytes(&seen).expect("decode page");
+    assert_eq!(
+        page.expect("page present").body,
+        bytes::Bytes::from("v1 + keynote"),
+        "RYW: the master must see both of its writes"
+    );
+
+    // The user's early read sees nothing (lazy push still pending).
+    let early = sim
+        .read(&user, methods::get_page("program.html"))
+        .expect("user read");
+    let page: Option<Page> = globe_wire::from_bytes(&early).expect("decode");
+    assert!(page.is_none(), "cache U must still be stale");
+
+    // After the periodic push, the user converges.
+    sim.run_for(Duration::from_secs(6));
+    let late = sim
+        .read(&user, methods::get_page("program.html"))
+        .expect("user read 2");
+    let page: Option<Page> = globe_wire::from_bytes(&late).expect("decode");
+    assert_eq!(page.expect("pushed").body, bytes::Bytes::from("v1 + keynote"));
+
+    // The exact Fig. 4 message kinds must all have been exercised.
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    for kind in ["WriteReq", "ReadReq", "Reply", "UpdateBatch", "DemandUpdate"] {
+        assert!(
+            metrics.traffic.contains_key(kind),
+            "expected {kind} in the flow; saw {:?}",
+            metrics.traffic.keys().collect::<Vec<_>>()
+        );
+    }
+    // Full access transfer: replies carry whole-document snapshots.
+    assert!(metrics.traffic["Reply"].bytes > metrics.traffic["ReadReq"].bytes);
+    drop(metrics);
+
+    // And the history satisfies PRAM + RYW + convergence.
+    sim.finalize_digests();
+    let history = sim.history();
+    let history = history.lock();
+    globe::coherence::check::check_pram(&history).expect("pram");
+    globe::coherence::check::check_read_your_writes(&history, master.client).expect("ryw");
+    globe::coherence::check::check_eventual(&history).expect("convergence");
+}
+
+#[test]
+fn table2_wait_reaction_keeps_server_passive() {
+    // Object-outdate is `wait`: the server never demands, it just waits
+    // for the next write; no DemandResend traffic should appear on a
+    // clean network.
+    let (mut sim, object, server, _cache_m, _cache_u) = build();
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .expect("bind");
+    for i in 0..5 {
+        sim.write(
+            &master,
+            methods::patch_page("news.html", format!("item{i};").as_bytes()),
+        )
+        .expect("write");
+    }
+    sim.run_for(Duration::from_secs(12));
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    assert!(
+        !metrics.traffic.contains_key("DemandResend"),
+        "wait reaction must not demand resends on a clean network"
+    );
+}
+
+#[test]
+fn user_cache_applies_pushes_in_wid_order() {
+    let (mut sim, object, _server, cache_m, cache_u) = build();
+    let master = sim
+        .bind(object, cache_m, BindOptions::new().read_node(cache_m))
+        .expect("bind");
+    for i in 0..12 {
+        sim.write(
+            &master,
+            methods::patch_page("program.html", format!("s{i};").as_bytes()),
+        )
+        .expect("write");
+        sim.run_for(Duration::from_millis(700));
+    }
+    sim.run_for(Duration::from_secs(8));
+    // Cache U applied every write, in sequence-number order.
+    let version = sim
+        .store_version(object, cache_u)
+        .expect("cache U version");
+    assert_eq!(version.get(master.client), 12);
+    let history = sim.history();
+    let history = history.lock();
+    globe::coherence::check::check_pram(&history).expect("pram at caches");
+}
