@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use globe_coherence::{ClientId, VersionVector, WriteId};
 
 fn vv(n: u32, base: u64) -> VersionVector {
-    (0..n).map(|c| (ClientId::new(c), base + u64::from(c))).collect()
+    (0..n)
+        .map(|c| (ClientId::new(c), base + u64::from(c)))
+        .collect()
 }
 
 fn bench_clocks(c: &mut Criterion) {

@@ -5,7 +5,10 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use globe_coherence::{ObjectModel, StoreClass};
-use globe_core::{registers, BindOptions, ClientHandle, GlobeSim, RegisterDoc, ReplicationPolicy};
+use globe_core::{
+    registers, BindOptions, ClientHandle, GlobeRuntime, GlobeSim, ObjectSpec, RegisterDoc,
+    ReplicationPolicy,
+};
 use globe_net::Topology;
 
 fn build(model: ObjectModel) -> (GlobeSim, ClientHandle) {
@@ -17,17 +20,13 @@ fn build(model: ObjectModel) -> (GlobeSim, ClientHandle) {
     let server = sim.add_node();
     let c1 = sim.add_node();
     let c2 = sim.add_node();
-    let object = sim
-        .create_object(
-            "/bench",
-            policy,
-            &mut || Box::new(RegisterDoc::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (c1, StoreClass::ClientInitiated),
-                (c2, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/bench")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(c1, StoreClass::ClientInitiated)
+        .store(c2, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let handle = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -50,7 +49,8 @@ fn bench_protocol_step(c: &mut Criterion) {
                 || build(model),
                 |(mut sim, handle)| {
                     for i in 0..50 {
-                        sim.write(&handle, registers::put("p", format!("v{i}").as_bytes()))
+                        sim.handle(handle)
+                            .write(registers::put("p", format!("v{i}").as_bytes()))
                             .expect("write");
                     }
                     sim.run_for(Duration::from_secs(1));

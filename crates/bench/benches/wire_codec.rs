@@ -49,7 +49,9 @@ fn bench_codec(c: &mut Criterion) {
         group.bench_function(format!("decode/{label}"), |b| {
             b.iter_batched(
                 || encoded.clone(),
-                |bytes| globe_wire::from_bytes::<NetMsg>(std::hint::black_box(&bytes)).unwrap(),
+                |bytes: Bytes| {
+                    globe_wire::from_bytes::<NetMsg>(std::hint::black_box(&bytes)).unwrap()
+                },
                 BatchSize::SmallInput,
             )
         });

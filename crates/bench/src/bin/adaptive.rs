@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use globe_bench::{fmt_bytes, Table};
 use globe_coherence::{ObjectModel, StoreClass};
-use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+use globe_core::{BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, ReplicationPolicy};
 use globe_net::Topology;
 use globe_web::{methods, WebSemantics};
 use globe_workload::staleness;
@@ -72,16 +72,12 @@ fn run(strategy: Strategy) -> PhaseReport {
         0.1,
         Duration::from_secs(10),
     );
-    let object = sim
-        .create_object(
-            "/adaptive/object",
-            start_policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/adaptive/object")
+        .policy(start_policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -93,7 +89,9 @@ fn run(strategy: Strategy) -> PhaseReport {
     // Phase 1 (cold): one write every 10 s; a read 1 s after each write.
     for i in 0..6 {
         let page = globe_web::Page::html(format!("cold{i}"));
-        sim.write(&master, methods::put_page("page", &page)).ok();
+        sim.handle(master)
+            .write(methods::put_page("page", &page))
+            .ok();
         if strategy == Strategy::Controller {
             controller.record_write(sim.now());
             if let Some(p) = controller.evaluate(sim.now()) {
@@ -101,7 +99,7 @@ fn run(strategy: Strategy) -> PhaseReport {
             }
         }
         sim.run_for(Duration::from_secs(1));
-        let _ = sim.read(&reader, methods::get_page("page"));
+        let _ = sim.handle(reader).read(methods::get_page("page"));
         sim.run_for(Duration::from_secs(9));
     }
     let cold_msgs = sim.net_stats().messages_sent;
@@ -119,7 +117,9 @@ fn run(strategy: Strategy) -> PhaseReport {
     // Phase 2 (hot): five writes per second for 20 s; reads at 1 Hz.
     for i in 0..100 {
         let page = globe_web::Page::html(format!("hot{i}"));
-        sim.write(&master, methods::put_page("page", &page)).ok();
+        sim.handle(master)
+            .write(methods::put_page("page", &page))
+            .ok();
         if strategy == Strategy::Controller {
             controller.record_write(sim.now());
             if let Some(p) = controller.evaluate(sim.now()) {
@@ -128,7 +128,7 @@ fn run(strategy: Strategy) -> PhaseReport {
         }
         sim.run_for(Duration::from_millis(200));
         if i % 5 == 4 {
-            let _ = sim.read(&reader, methods::get_page("page"));
+            let _ = sim.handle(reader).read(methods::get_page("page"));
         }
     }
     sim.run_for(Duration::from_secs(10));

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use globe_bench::{fmt_duration, Table};
 use globe_coherence::StoreClass;
-use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+use globe_core::{BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, ReplicationPolicy};
 use globe_net::Topology;
 use globe_web::{methods, Page, WebSemantics};
 use globe_workload::LatencySummary;
@@ -32,21 +32,22 @@ fn measure(reads_local: bool) -> (LatencySummary, u64) {
             (mirror, StoreClass::ObjectInitiated),
         ]
     };
-    let object = sim
-        .create_object(
-            "/fig1/object",
+    let object = ObjectSpec::new("/fig1/object")
+        .policy(
             ReplicationPolicy::builder(globe_coherence::ObjectModel::Pram)
                 .immediate()
                 .build()
                 .expect("valid"),
-            &mut || Box::new(WebSemantics::new()),
-            &placement,
         )
+        .semantics(WebSemantics::new)
+        .stores(&placement)
+        .create(&mut sim)
         .expect("create");
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind master");
-    sim.write(&master, methods::put_page("index.html", &Page::html("fig1")))
+    sim.handle(master)
+        .write(methods::put_page("index.html", &Page::html("fig1")))
         .expect("seed write");
     sim.run_for(Duration::from_secs(2));
 
@@ -58,7 +59,8 @@ fn measure(reads_local: bool) -> (LatencySummary, u64) {
         .expect("bind client");
     let before = sim.metrics().lock().ops.len();
     for _ in 0..50 {
-        sim.read(&handle, methods::get_page("index.html"))
+        sim.handle(handle)
+            .read(methods::get_page("index.html"))
             .expect("read");
     }
     let metrics = sim.metrics();

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use globe_bench::{fmt_duration, fmt_f64, Table};
 use globe_coherence::StoreClass;
-use globe_core::{BindOptions, GlobeSim, ReplicationPolicy, StoreScope};
+use globe_core::{BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, ReplicationPolicy, StoreScope};
 use globe_net::{NodeId, RegionId, Topology};
 use globe_web::{methods, WebSemantics};
 use globe_workload::{staleness, Arrival, LatencySummary};
@@ -38,17 +38,13 @@ fn run_layer(read_from: StoreClass) -> LayerResult {
     let mirror = sim.add_node_in(RegionId::new(1));
     let cache = sim.add_node_in(RegionId::new(1));
     let reader_node = sim.add_node_in(RegionId::new(1));
-    let object = sim
-        .create_object(
-            "/fig2/object",
-            policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (mirror, StoreClass::ObjectInitiated),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/fig2/object")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -68,14 +64,15 @@ fn run_layer(read_from: StoreClass) -> LayerResult {
     let _ = &mut rng_writes;
     let before_ops = sim.metrics().lock().ops.len();
     for round in 0..30 {
-        sim.write(
-            &master,
-            methods::patch_page("news.html", format!("item {round}; ").as_bytes()),
-        )
-        .expect("write");
+        sim.handle(master)
+            .write(methods::patch_page(
+                "news.html",
+                format!("item {round}; ").as_bytes(),
+            ))
+            .expect("write");
         for _ in 0..3 {
             sim.run_for(Duration::from_millis(600));
-            let _ = sim.read(&reader, methods::get_page("news.html"));
+            let _ = sim.handle(reader).read(methods::get_page("news.html"));
         }
         sim.run_for(Duration::from_millis(200));
     }
@@ -112,7 +109,13 @@ fn main() {
     );
     let mut table = Table::new(
         "Read characteristics per store layer (coherence scope = permanent)",
-        &["layer", "read p50", "read p99", "stale reads", "mean staleness"],
+        &[
+            "layer",
+            "read p50",
+            "read p99",
+            "stale reads",
+            "mean staleness",
+        ],
     );
     for class in [
         StoreClass::Permanent,

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use globe_bench::{fmt_bytes, Table};
 use globe_coherence::StoreClass;
-use globe_core::{BindOptions, GlobeSim, OutdateReaction, ReplicationPolicy};
+use globe_core::{BindOptions, GlobeSim, ObjectSpec, OutdateReaction, ReplicationPolicy};
 use globe_net::{LinkConfig, Topology};
 use globe_web::{methods, WebSemantics};
 
@@ -40,17 +40,13 @@ fn run(loss: f64, reaction: OutdateReaction, seed: u64) -> RunResult {
     let mut sim = GlobeSim::new(Topology::uniform(link), seed);
     let server = sim.add_node();
     let caches = [sim.add_node(), sim.add_node()];
-    let object = sim
-        .create_object(
-            "/udp/object",
-            policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (caches[0], StoreClass::ClientInitiated),
-                (caches[1], StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/udp/object")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(caches[0], StoreClass::ClientInitiated)
+        .store(caches[1], StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -93,7 +89,14 @@ fn main() {
     );
     let mut table = Table::new(
         "PRAM over lossy links: outdate reaction wait vs demand",
-        &["loss", "reaction", "converged", "missing writes", "msgs", "bytes"],
+        &[
+            "loss",
+            "reaction",
+            "converged",
+            "missing writes",
+            "msgs",
+            "bytes",
+        ],
     );
     for loss in [0.0, 0.05, 0.10, 0.20, 0.30] {
         for reaction in [OutdateReaction::Wait, OutdateReaction::Demand] {

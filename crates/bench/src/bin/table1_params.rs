@@ -8,8 +8,8 @@ use std::time::Duration;
 use globe_bench::{compare, Config, Table};
 use globe_coherence::ObjectModel;
 use globe_core::{
-    AccessTransfer, CoherenceTransfer, OutdateReaction, Propagation, ReplicationPolicy,
-    StoreScope, TransferInitiative, WriteSet,
+    AccessTransfer, CoherenceTransfer, OutdateReaction, Propagation, ReplicationPolicy, StoreScope,
+    TransferInitiative, WriteSet,
 };
 use globe_workload::Arrival;
 
@@ -74,9 +74,10 @@ fn store_scope_table() -> Table {
 
 fn write_set_table() -> Table {
     let mut variants = Vec::new();
-    for (label, write_set, writers) in
-        [("single", WriteSet::Single, 1usize), ("multiple", WriteSet::Multiple, 4)]
-    {
+    for (label, write_set, writers) in [
+        ("single", WriteSet::Single, 1usize),
+        ("multiple", WriteSet::Multiple, 4),
+    ] {
         let policy = ReplicationPolicy {
             write_set,
             ..base_policy()
@@ -160,8 +161,16 @@ fn access_transfer_table() -> Table {
 fn coherence_transfer_table() -> Table {
     let mut variants = Vec::new();
     for (label, transfer, outdate) in [
-        ("notification/wait", CoherenceTransfer::Notification, OutdateReaction::Wait),
-        ("notification/demand", CoherenceTransfer::Notification, OutdateReaction::Demand),
+        (
+            "notification/wait",
+            CoherenceTransfer::Notification,
+            OutdateReaction::Wait,
+        ),
+        (
+            "notification/demand",
+            CoherenceTransfer::Notification,
+            OutdateReaction::Demand,
+        ),
         ("partial", CoherenceTransfer::Partial, OutdateReaction::Wait),
         ("full", CoherenceTransfer::Full, OutdateReaction::Wait),
     ] {

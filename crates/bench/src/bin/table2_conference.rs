@@ -46,7 +46,10 @@ fn main() {
     println!("{table2}\n");
 
     let alternatives = vec![
-        ("Table 2 (lazy push, partial)".to_string(), conference_config(table2.clone())),
+        (
+            "Table 2 (lazy push, partial)".to_string(),
+            conference_config(table2.clone()),
+        ),
         (
             "immediate push".to_string(),
             conference_config(ReplicationPolicy {

@@ -21,8 +21,8 @@ pub use object::{
     check_read_integrity_lww, check_sequential,
 };
 pub use session::{
-    check_monotonic_reads, check_monotonic_writes, check_read_your_writes,
-    check_session, check_writes_follow_reads,
+    check_monotonic_reads, check_monotonic_writes, check_read_your_writes, check_session,
+    check_writes_follow_reads,
 };
 
 use crate::{ClientId, ClientModel, ObjectModel, PageKey, StoreId, WriteId};
@@ -213,10 +213,7 @@ impl std::error::Error for Violation {}
 /// # Errors
 ///
 /// Returns the first [`Violation`] of the model found in the history.
-pub fn check_object_model(
-    history: &crate::History,
-    model: ObjectModel,
-) -> Result<(), Violation> {
+pub fn check_object_model(history: &crate::History, model: ObjectModel) -> Result<(), Violation> {
     match model {
         ObjectModel::Sequential => check_sequential(history),
         ObjectModel::Pram => check_pram(history),

@@ -3,9 +3,7 @@
 
 use std::collections::HashMap;
 
-use crate::{
-    ClientId, ClientModel, History, OpKind, StoreId, VersionVector, Violation, WriteId,
-};
+use crate::{ClientId, ClientModel, History, OpKind, StoreId, VersionVector, Violation, WriteId};
 
 /// Checks Read-Your-Writes for `client`: at every read, the serving
 /// store's applied vector covers all of the client's earlier writes.

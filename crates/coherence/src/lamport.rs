@@ -136,7 +136,10 @@ mod tests {
         let mut clock = LamportClock::new(0);
         clock.tick();
         clock.tick();
-        clock.witness(LamportStamp { counter: 1, node: 9 });
+        clock.witness(LamportStamp {
+            counter: 1,
+            node: 9,
+        });
         assert_eq!(clock.current(), 2);
     }
 

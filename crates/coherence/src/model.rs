@@ -248,9 +248,7 @@ mod tests {
 
     #[test]
     fn strength_ranks_are_ordered() {
-        assert!(
-            ObjectModel::Sequential.strength_rank() < ObjectModel::Causal.strength_rank()
-        );
+        assert!(ObjectModel::Sequential.strength_rank() < ObjectModel::Causal.strength_rank());
         assert!(ObjectModel::Causal.strength_rank() < ObjectModel::Pram.strength_rank());
         assert!(ObjectModel::Pram.strength_rank() < ObjectModel::Eventual.strength_rank());
     }

@@ -146,7 +146,10 @@ fn bayou_monotonic_reads_litmus() {
     let mut h2 = History::new();
     h2.record_read(t(1), c(1), s(1), "page", Some(w(9, 5)), vv(&[(9, 5)]));
     h2.record_read(t(2), c(1), s(2), "page", Some(w(9, 7)), vv(&[(9, 7)]));
-    assert!(check_monotonic_reads(&h2, c(1)).is_ok(), "updated version ok");
+    assert!(
+        check_monotonic_reads(&h2, c(1)).is_ok(),
+        "updated version ok"
+    );
 }
 
 /// Bayou's Writes-Follow-Reads: the paper's electronic-newspaper

@@ -184,10 +184,7 @@ mod tests {
     fn starts_cold_and_heats_up_on_bursts() {
         let mut c = controller();
         assert_eq!(c.regime(), Regime::Cold);
-        assert_eq!(
-            c.active_policy().instant,
-            crate::TransferInstant::Immediate
-        );
+        assert_eq!(c.active_policy().instant, crate::TransferInstant::Immediate);
         // 15 writes in 3 seconds: 1.5 w/s > 1.0.
         for i in 0..15 {
             c.record_write(t(i * 2));
@@ -195,10 +192,7 @@ mod tests {
         let switched = c.evaluate(t(30));
         assert!(switched.is_some());
         assert_eq!(c.regime(), Regime::Hot);
-        assert_eq!(
-            c.active_policy().instant,
-            crate::TransferInstant::Lazy
-        );
+        assert_eq!(c.active_policy().instant, crate::TransferInstant::Lazy);
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! The runtime-agnostic client API: [`GlobeRuntime`], [`ObjectSpec`],
+//! and [`ObjectHandle`].
+//!
+//! The paper's central claim is that a Web object "fully encapsulates
+//! its own state, methods, and policies" while the framework hides
+//! *where* and *how* it runs. This module is that claim's API surface:
+//! one trait captures the contract shared by every runtime (the
+//! deterministic simulator [`crate::GlobeSim`] and the real-socket
+//! [`crate::GlobeTcp`]), one builder describes an object independently
+//! of any runtime, and one handle type lets client code invoke a bound
+//! object without knowing which runtime serves it.
+//!
+//! # Examples
+//!
+//! A scenario written once against the trait runs verbatim on both
+//! runtimes:
+//!
+//! ```
+//! use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec,
+//!                  RegisterDoc, ReplicationPolicy};
+//! use globe_coherence::StoreClass;
+//! use globe_net::Topology;
+//!
+//! fn roundtrip<R: GlobeRuntime>(rt: &mut R) -> Result<(), Box<dyn std::error::Error>> {
+//!     let server = rt.add_node()?;
+//!     let browser = rt.add_node()?;
+//!     let object = ObjectSpec::new("/home/alice")
+//!         .policy(ReplicationPolicy::personal_home_page())
+//!         .semantics(RegisterDoc::new)
+//!         .store(server, StoreClass::Permanent)
+//!         .create(rt)?;
+//!     let alice = rt.bind(object, browser, BindOptions::new())?;
+//!     rt.start(&[browser]);
+//!     rt.handle(alice).write(registers::put("index.html", b"<h1>hi</h1>"))?;
+//!     let page = rt.handle(alice).read(registers::get("index.html"))?;
+//!     assert_eq!(&page[..], b"<h1>hi</h1>");
+//!     rt.shutdown();
+//!     Ok(())
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! roundtrip(&mut GlobeSim::new(Topology::lan(), 42))
+//! # }
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+use globe_coherence::StoreClass;
+use globe_naming::ObjectId;
+use globe_net::NodeId;
+
+use crate::{
+    BindOptions, CallError, ClientHandle, InvocationMessage, RegisterDoc, ReplicationPolicy,
+    RequestId, RuntimeError, Semantics, SharedHistory, SharedMetrics,
+};
+
+/// Runtime-independent construction parameters, so [`crate::GlobeSim`]
+/// and [`crate::GlobeTcp`] build symmetrically.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{GlobeTcp, RuntimeConfig};
+///
+/// let tcp = GlobeTcp::with_config(RuntimeConfig::new().seed(42));
+/// assert_eq!(tcp.seed(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeConfig {
+    /// Seed for any randomized behavior (link jitter in the simulator,
+    /// future retry jitter over sockets). The same seed must yield the
+    /// same decisions.
+    pub seed: u64,
+    /// Maximum time a synchronous call may take; `None` selects a
+    /// runtime-appropriate default (virtual time is free in the
+    /// simulator, wall-clock time is not over sockets).
+    pub call_timeout: Option<Duration>,
+}
+
+impl RuntimeConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        RuntimeConfig::default()
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the synchronous-call timeout.
+    pub fn call_timeout(mut self, timeout: Duration) -> Self {
+        self.call_timeout = Some(timeout);
+        self
+    }
+}
+
+/// A factory producing one fresh semantics instance per replica.
+pub type SemanticsFactory = Box<dyn FnMut() -> Box<dyn Semantics>>;
+
+/// A runtime-independent description of a distributed Web object: its
+/// name, replication policy, semantics, and replica placement.
+///
+/// Built fluently and handed to any [`GlobeRuntime`]; the first
+/// `Permanent` store becomes the home (sequencing) store, exactly as in
+/// the paper's Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{GlobeSim, ObjectSpec, RegisterDoc, ReplicationPolicy};
+/// use globe_coherence::StoreClass;
+/// use globe_net::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = GlobeSim::new(Topology::lan(), 1);
+/// let server = sim.add_node();
+/// let cache = sim.add_node();
+/// let object = ObjectSpec::new("/conf/icdcs98")
+///     .policy(ReplicationPolicy::conference_page())
+///     .semantics(RegisterDoc::new)
+///     .store(server, StoreClass::Permanent)
+///     .store(cache, StoreClass::ClientInitiated)
+///     .create(&mut sim)?;
+/// # let _ = object;
+/// # Ok(())
+/// # }
+/// ```
+pub struct ObjectSpec {
+    path: String,
+    policy: ReplicationPolicy,
+    placement: Vec<(NodeId, StoreClass)>,
+    factory: SemanticsFactory,
+}
+
+impl ObjectSpec {
+    /// Starts a spec for the object named `path`.
+    ///
+    /// Defaults: the paper's personal-home-page policy and
+    /// [`RegisterDoc`] semantics; override with [`ObjectSpec::policy`]
+    /// and [`ObjectSpec::semantics`].
+    pub fn new(path: impl Into<String>) -> Self {
+        ObjectSpec {
+            path: path.into(),
+            policy: ReplicationPolicy::personal_home_page(),
+            placement: Vec::new(),
+            factory: Box::new(|| Box::new(RegisterDoc::new())),
+        }
+    }
+
+    /// Sets the per-object replication policy.
+    pub fn policy(mut self, policy: ReplicationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the semantics factory; each replica gets a fresh instance.
+    pub fn semantics<S, F>(mut self, mut factory: F) -> Self
+    where
+        S: Semantics + 'static,
+        F: FnMut() -> S + 'static,
+    {
+        self.factory = Box::new(move || Box::new(factory()));
+        self
+    }
+
+    /// Sets a factory returning already-boxed semantics.
+    pub fn semantics_boxed(
+        mut self,
+        factory: impl FnMut() -> Box<dyn Semantics> + 'static,
+    ) -> Self {
+        self.factory = Box::new(factory);
+        self
+    }
+
+    /// Adds a replica of class `class` on `node`.
+    pub fn store(mut self, node: NodeId, class: StoreClass) -> Self {
+        self.placement.push((node, class));
+        self
+    }
+
+    /// Adds the home store: shorthand for a `Permanent` replica.
+    pub fn home(self, node: NodeId) -> Self {
+        self.store(node, StoreClass::Permanent)
+    }
+
+    /// Adds several replicas at once.
+    pub fn stores(mut self, placement: &[(NodeId, StoreClass)]) -> Self {
+        self.placement.extend_from_slice(placement);
+        self
+    }
+
+    /// Creates the object in `rt` (sugar for
+    /// [`GlobeRuntime::create_object`], reading naturally at the end of
+    /// a builder chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the name is taken or malformed, a
+    /// node is unknown, no permanent store is listed, or the policy is
+    /// invalid.
+    pub fn create<R: GlobeRuntime + ?Sized>(self, rt: &mut R) -> Result<ObjectId, RuntimeError> {
+        rt.create_object(self)
+    }
+
+    /// The object's path name.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The placement list as given so far.
+    pub fn placement(&self) -> &[(NodeId, StoreClass)] {
+        &self.placement
+    }
+
+    /// Decomposes the spec for a runtime's internal creation routine.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        String,
+        ReplicationPolicy,
+        SemanticsFactory,
+        Vec<(NodeId, StoreClass)>,
+    ) {
+        (self.path, self.policy, self.factory, self.placement)
+    }
+}
+
+impl fmt::Debug for ObjectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectSpec")
+            .field("path", &self.path)
+            .field("policy", &self.policy.model)
+            .field("placement", &self.placement)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The contract shared by every Globe runtime: create nodes and
+/// objects, bind clients, invoke methods, and manage policies — without
+/// client code knowing whether the transport is a simulated network or
+/// real sockets.
+///
+/// Synchronous [`read`](GlobeRuntime::read) / [`write`](GlobeRuntime::write)
+/// drive the runtime until the reply arrives (virtual time in the
+/// simulator, wall-clock polling over sockets). The
+/// [`issue_read`](GlobeRuntime::issue_read) /
+/// [`issue_write`](GlobeRuntime::issue_write) /
+/// [`result`](GlobeRuntime::result) split exposes the same calls
+/// asynchronously.
+pub trait GlobeRuntime {
+    /// Adds an address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the runtime cannot host another
+    /// node (e.g. a socket endpoint cannot be created).
+    fn add_node(&mut self) -> Result<NodeId, RuntimeError>;
+
+    /// Creates a distributed Web object from its spec.
+    ///
+    /// Prefer the builder-terminal spelling `spec.create(rt)`: on the
+    /// concrete runtimes a deprecated positional `create_object` still
+    /// shadows this method at `rt.create_object(..)` call sites during
+    /// the migration window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the name is taken or malformed, a
+    /// node is unknown, no permanent store is listed, or the policy is
+    /// invalid.
+    fn create_object(&mut self, spec: ObjectSpec) -> Result<ObjectId, RuntimeError>;
+
+    /// Binds a client in `node`'s address space to `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node is unknown or the
+    /// requested replica does not exist.
+    fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError>;
+
+    /// Issues an asynchronous read; poll with [`GlobeRuntime::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    fn issue_read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError>;
+
+    /// Issues an asynchronous write; poll with [`GlobeRuntime::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    fn issue_write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError>;
+
+    /// Takes the result of an asynchronous call, if it completed.
+    ///
+    /// Polling makes progress: each call lets the runtime advance a
+    /// little (one simulation step, or a drain of pending socket
+    /// events), so a plain issue/poll loop terminates on every runtime.
+    fn result(&mut self, handle: &ClientHandle, req: RequestId)
+        -> Option<Result<Bytes, CallError>>;
+
+    /// Executes a read synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    fn read(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError>;
+
+    /// Executes a write synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    fn write(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError>;
+
+    /// Changes an object's replication policy at run time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for unknown objects, invalid
+    /// policies, or runtimes in a state that cannot deliver the change.
+    fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError>;
+
+    /// The shared execution history (for coherence checking).
+    fn history(&self) -> SharedHistory;
+
+    /// The shared metrics store.
+    fn metrics(&self) -> SharedMetrics;
+
+    /// Starts background machinery, keeping `client_nodes` caller-driven.
+    ///
+    /// A no-op in runtimes that need none (the simulator); the TCP
+    /// runtime spawns store event loops here.
+    fn start(&mut self, client_nodes: &[NodeId]) {
+        let _ = client_nodes;
+    }
+
+    /// Stops background machinery; further calls may fail.
+    fn shutdown(&mut self) {}
+
+    /// Lets `d` of runtime time pass so propagation can settle:
+    /// virtual time in the simulator, wall-clock time over sockets.
+    fn settle(&mut self, d: Duration);
+
+    /// An object-centric view over a bound client, so call sites read
+    /// `handle.write(..)` instead of threading `&mut runtime` around.
+    fn handle(&mut self, client: ClientHandle) -> ObjectHandle<'_, Self>
+    where
+        Self: Sized,
+    {
+        ObjectHandle {
+            runtime: self,
+            client,
+        }
+    }
+
+    /// Binds and immediately wraps the binding in an [`ObjectHandle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node is unknown or the
+    /// requested replica does not exist.
+    fn bind_handle(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ObjectHandle<'_, Self>, RuntimeError>
+    where
+        Self: Sized,
+    {
+        let client = self.bind(object, node, opts)?;
+        Ok(self.handle(client))
+    }
+}
+
+/// An owning view of one bound client on one runtime: invocation calls
+/// hang off the handle, not the runtime.
+///
+/// Obtained from [`GlobeRuntime::handle`] or
+/// [`GlobeRuntime::bind_handle`]; it borrows the runtime mutably, so
+/// scope it to one client's burst of calls and re-acquire (cheaply) to
+/// speak for another client.
+pub struct ObjectHandle<'r, R: GlobeRuntime + ?Sized> {
+    runtime: &'r mut R,
+    client: ClientHandle,
+}
+
+impl<R: GlobeRuntime> ObjectHandle<'_, R> {
+    /// The underlying client binding.
+    pub fn client(&self) -> ClientHandle {
+        self.client
+    }
+
+    /// The bound object.
+    pub fn object(&self) -> ObjectId {
+        self.client.object
+    }
+
+    /// The node this client runs in.
+    pub fn node(&self) -> NodeId {
+        self.client.node
+    }
+
+    /// The runtime behind the handle.
+    pub fn runtime(&mut self) -> &mut R {
+        self.runtime
+    }
+
+    /// Executes a read synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    pub fn read(&mut self, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.runtime.read(&self.client, inv)
+    }
+
+    /// Executes a write synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    pub fn write(&mut self, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.runtime.write(&self.client, inv)
+    }
+
+    /// Issues an asynchronous read; poll with [`ObjectHandle::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    pub fn issue_read(&mut self, inv: InvocationMessage) -> Result<RequestId, CallError> {
+        self.runtime.issue_read(&self.client, inv)
+    }
+
+    /// Issues an asynchronous write; poll with [`ObjectHandle::result`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    pub fn issue_write(&mut self, inv: InvocationMessage) -> Result<RequestId, CallError> {
+        self.runtime.issue_write(&self.client, inv)
+    }
+
+    /// Takes the result of an asynchronous call, if it completed.
+    pub fn result(&mut self, req: RequestId) -> Option<Result<Bytes, CallError>> {
+        self.runtime.result(&self.client, req)
+    }
+}
+
+impl<R: GlobeRuntime> fmt::Debug for ObjectHandle<'_, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectHandle")
+            .field("client", &self.client)
+            .finish_non_exhaustive()
+    }
+}

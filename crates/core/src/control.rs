@@ -108,10 +108,7 @@ impl ControlObject {
         inv: InvocationMessage,
         ctx: &mut dyn NetCtx,
     ) -> Result<RequestId, CallError> {
-        let session = self
-            .sessions
-            .get_mut(&client)
-            .ok_or(CallError::NotBound)?;
+        let session = self.sessions.get_mut(&client).ok_or(CallError::NotBound)?;
         let req = session.issue_read(inv, ctx);
         self.req_owner.insert(req, client);
         Ok(req)
@@ -128,10 +125,7 @@ impl ControlObject {
         inv: InvocationMessage,
         ctx: &mut dyn NetCtx,
     ) -> Result<RequestId, CallError> {
-        let session = self
-            .sessions
-            .get_mut(&client)
-            .ok_or(CallError::NotBound)?;
+        let session = self.sessions.get_mut(&client).ok_or(CallError::NotBound)?;
         let req = session.issue_write(inv, ctx);
         self.req_owner.insert(req, client);
         if !self.session_retry_armed {

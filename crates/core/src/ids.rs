@@ -89,10 +89,16 @@ mod tests {
     #[test]
     fn roundtrips_and_display() {
         let m = MethodId::new(3);
-        assert_eq!(globe_wire::from_bytes::<MethodId>(&globe_wire::to_bytes(&m)).unwrap(), m);
+        assert_eq!(
+            globe_wire::from_bytes::<MethodId>(&globe_wire::to_bytes(&m)).unwrap(),
+            m
+        );
         assert_eq!(m.to_string(), "m3");
         let r = RequestId::new(9);
-        assert_eq!(globe_wire::from_bytes::<RequestId>(&globe_wire::to_bytes(&r)).unwrap(), r);
+        assert_eq!(
+            globe_wire::from_bytes::<RequestId>(&globe_wire::to_bytes(&r)).unwrap(),
+            r
+        );
         assert_eq!(r.to_string(), "req9");
     }
 }

@@ -20,9 +20,13 @@
 //! Stores come in the paper's three classes (permanent, object-initiated,
 //! client-initiated); clients bind through the naming and location
 //! services and may impose *client-based* coherence (Bayou session
-//! guarantees) on top of the object's model. The [`GlobeSim`] runtime
-//! hosts all of this on a deterministic simulated network; the protocols
-//! are sans-IO and run identically over real TCP (see `globe-net`).
+//! guarantees) on top of the object's model. All of this is reachable
+//! through one runtime-agnostic surface — the [`GlobeRuntime`] trait,
+//! the [`ObjectSpec`] builder, and the [`ObjectHandle`] call handle —
+//! implemented by both the deterministic simulator ([`GlobeSim`]) and
+//! the real-socket runtime ([`GlobeTcp`]): the same scenario code runs
+//! verbatim on either, which is the paper's location-transparency claim
+//! made concrete.
 //!
 //! # Examples
 //!
@@ -30,25 +34,26 @@
 //!
 //! ```
 //! use globe_coherence::{ClientModel, StoreClass};
-//! use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+//! use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec,
+//!                  RegisterDoc, ReplicationPolicy};
 //! use globe_net::Topology;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut sim = GlobeSim::new(Topology::lan(), 7);
 //! let server = sim.add_node();
 //! let cache = sim.add_node();
-//! let object = sim.create_object(
-//!     "/conf/icdcs98",
-//!     ReplicationPolicy::conference_page(),
-//!     &mut || Box::new(RegisterDoc::new()),
-//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
-//! )?;
+//! let object = ObjectSpec::new("/conf/icdcs98")
+//!     .policy(ReplicationPolicy::conference_page())
+//!     .semantics(RegisterDoc::new)
+//!     .store(server, StoreClass::Permanent)
+//!     .store(cache, StoreClass::ClientInitiated)
+//!     .create(&mut sim)?;
 //! // The Web master reads through the cache but demands Read-Your-Writes.
 //! let master = sim.bind(object, cache, BindOptions::new()
 //!     .read_node(cache)
 //!     .guard(ClientModel::ReadYourWrites))?;
-//! sim.write(&master, registers::put("program.html", b"TBA"))?;
-//! let page = sim.read(&master, registers::get("program.html"))?;
+//! sim.handle(master).write(registers::put("program.html", b"TBA"))?;
+//! let page = sim.handle(master).read(registers::get("program.html"))?;
 //! assert_eq!(&page[..], b"TBA");
 //! # Ok(())
 //! # }
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod api;
 mod comm;
 mod control;
 mod error;
@@ -74,6 +80,7 @@ mod store_engine;
 mod tcp_runtime;
 
 pub use adaptive::{AdaptiveController, Regime};
+pub use api::{GlobeRuntime, ObjectHandle, ObjectSpec, RuntimeConfig, SemanticsFactory};
 pub use comm::CommObject;
 pub use control::ControlObject;
 pub use error::{CallError, PolicyError, SemanticsError};
@@ -81,8 +88,7 @@ pub use ids::{MethodId, RequestId};
 pub use invocation::{InvocationMessage, MethodKind};
 pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg};
 pub use metrics::{
-    shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory,
-    SharedMetrics,
+    shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory, SharedMetrics,
 };
 pub use policy::{
     AccessTransfer, CoherenceTransfer, OutdateReaction, PolicyBuilder, Propagation,

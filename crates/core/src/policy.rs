@@ -589,10 +589,7 @@ mod tests {
     fn wire_roundtrip() {
         let p = ReplicationPolicy::conference_page();
         let b = globe_wire::to_bytes(&p);
-        assert_eq!(
-            globe_wire::from_bytes::<ReplicationPolicy>(&b).unwrap(),
-            p
-        );
+        assert_eq!(globe_wire::from_bytes::<ReplicationPolicy>(&b).unwrap(), p);
     }
 
     #[test]

@@ -78,8 +78,14 @@ mod tests {
         let extra = BTreeSet::new();
         let a = write_with_deps(1, 1, &[]);
         let b = write_with_deps(2, 1, &[]);
-        assert_eq!(repl.readiness(&view(&applied, &extra, 0), &a), Readiness::Ready);
-        assert_eq!(repl.readiness(&view(&applied, &extra, 0), &b), Readiness::Ready);
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &a),
+            Readiness::Ready
+        );
+        assert_eq!(
+            repl.readiness(&view(&applied, &extra, 0), &b),
+            Readiness::Ready
+        );
     }
 
     #[test]

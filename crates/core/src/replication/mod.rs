@@ -165,10 +165,7 @@ pub(crate) mod testutil {
 
     pub fn write_with_deps(client: u32, seq: u64, deps: &[(u32, u64)]) -> LoggedWrite {
         let mut w = write(client, seq);
-        w.deps = deps
-            .iter()
-            .map(|&(c, s)| (ClientId::new(c), s))
-            .collect();
+        w.deps = deps.iter().map(|&(c, s)| (ClientId::new(c), s)).collect();
         w
     }
 

@@ -45,9 +45,7 @@ impl ReplicationObject for SequentialReplication {
             None => {
                 if view.has_seen(write.wid) {
                     Readiness::Stale
-                } else if view.applied.is_next(write.wid)
-                    && view.applied.dominates(&write.deps)
-                {
+                } else if view.applied.is_next(write.wid) && view.applied.dominates(&write.deps) {
                     Readiness::Ready
                 } else {
                     Readiness::Buffer

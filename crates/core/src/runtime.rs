@@ -17,9 +17,9 @@ use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectNa
 use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
 
 use crate::{
-    shared_history, shared_metrics, AddressSpace, CallError, ControlObject, InvocationMessage,
-    PeerStore, ReplicationPolicy, RequestId, Semantics, Session, SessionConfig, SharedHistory,
-    SharedMetrics, StoreConfig, StoreReplica,
+    shared_history, shared_metrics, AddressSpace, CallError, ControlObject, GlobeRuntime,
+    InvocationMessage, ObjectSpec, PeerStore, ReplicationPolicy, RequestId, RuntimeConfig,
+    Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
 };
 
 /// Error creating or binding an object in the runtime.
@@ -39,6 +39,8 @@ pub enum RuntimeError {
     NoSuchReplica,
     /// The replication policy failed validation.
     BadPolicy(String),
+    /// The runtime cannot perform the operation in its current state.
+    Unsupported(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -53,6 +55,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BadName(why) => write!(f, "bad object name: {why}"),
             RuntimeError::NoSuchReplica => write!(f, "no replica matches the binding request"),
             RuntimeError::BadPolicy(why) => write!(f, "bad replication policy: {why}"),
+            RuntimeError::Unsupported(why) => write!(f, "unsupported operation: {why}"),
         }
     }
 }
@@ -153,7 +156,8 @@ struct ObjectRecord {
 /// # Examples
 ///
 /// ```
-/// use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+/// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec,
+///                  RegisterDoc, ReplicationPolicy};
 /// use globe_coherence::StoreClass;
 /// use globe_net::Topology;
 ///
@@ -161,15 +165,14 @@ struct ObjectRecord {
 /// let mut sim = GlobeSim::new(Topology::lan(), 42);
 /// let server = sim.add_node();
 /// let browser = sim.add_node();
-/// let obj = sim.create_object(
-///     "/home/alice",
-///     ReplicationPolicy::personal_home_page(),
-///     &mut || Box::new(RegisterDoc::new()),
-///     &[(server, StoreClass::Permanent)],
-/// )?;
+/// let obj = ObjectSpec::new("/home/alice")
+///     .policy(ReplicationPolicy::personal_home_page())
+///     .semantics(RegisterDoc::new)
+///     .store(server, StoreClass::Permanent)
+///     .create(&mut sim)?;
 /// let alice = sim.bind(obj, browser, BindOptions::new())?;
-/// sim.write(&alice, registers::put("index.html", b"<h1>hi</h1>"))?;
-/// let page = sim.read(&alice, registers::get("index.html"))?;
+/// sim.handle(alice).write(registers::put("index.html", b"<h1>hi</h1>"))?;
+/// let page = sim.handle(alice).read(registers::get("index.html"))?;
 /// assert_eq!(&page[..], b"<h1>hi</h1>");
 /// # Ok(())
 /// # }
@@ -190,8 +193,14 @@ pub struct GlobeSim {
 impl GlobeSim {
     /// Creates a runtime over `topology` with a deterministic seed.
     pub fn new(topology: Topology, seed: u64) -> Self {
+        GlobeSim::with_config(topology, RuntimeConfig::new().seed(seed))
+    }
+
+    /// Creates a runtime over `topology` from a [`RuntimeConfig`] — the
+    /// construction path symmetric with [`crate::GlobeTcp::with_config`].
+    pub fn with_config(topology: Topology, config: RuntimeConfig) -> Self {
         GlobeSim {
-            net: SimNet::new(topology, seed),
+            net: SimNet::new(topology, config.seed),
             spaces: HashMap::new(),
             names: NameSpace::new(),
             locations: LocationService::new(),
@@ -200,7 +209,8 @@ impl GlobeSim {
             metrics: shared_metrics(),
             next_client: 0,
             next_store: 0,
-            call_timeout: Duration::from_secs(300),
+            // Virtual time is free, so the default deadline is generous.
+            call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(300)),
         }
     }
 
@@ -227,18 +237,36 @@ impl GlobeSim {
         self.call_timeout = timeout;
     }
 
-    /// Creates a distributed Web object with its own replication policy.
+    /// Creates a distributed Web object from positional arguments.
     ///
-    /// `placement` lists the stores holding replicas; the first
-    /// `Permanent` entry becomes the home (sequencing) store. Each store
-    /// gets a fresh semantics instance from `semantics_factory`.
+    /// Superseded by the typed [`ObjectSpec`] builder; this shim stays
+    /// for one release to guide migration.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the name is taken or malformed, a
     /// node is unknown, no permanent store is listed, or the policy is
     /// invalid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an ObjectSpec and call `spec.create(&mut sim)` instead; note that \
+                `.create_object(spec)` still resolves to this positional method"
+    )]
     pub fn create_object(
+        &mut self,
+        name: &str,
+        policy: ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        placement: &[(NodeId, StoreClass)],
+    ) -> Result<ObjectId, RuntimeError> {
+        self.create_object_impl(name, policy, semantics_factory, placement)
+    }
+
+    /// Shared creation routine behind [`ObjectSpec`] and the deprecated
+    /// positional API. `placement` lists the stores holding replicas;
+    /// the first `Permanent` entry becomes the home (sequencing) store;
+    /// each store gets a fresh semantics instance from the factory.
+    fn create_object_impl(
         &mut self,
         name: &str,
         policy: ReplicationPolicy,
@@ -289,7 +317,10 @@ impl GlobeSim {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != home_index)
-                    .map(|(_, (n, _, c))| PeerStore { node: *n, class: *c })
+                    .map(|(_, (n, _, c))| PeerStore {
+                        node: *n,
+                        class: *c,
+                    })
                     .collect()
             } else {
                 Vec::new()
@@ -431,16 +462,18 @@ impl GlobeSim {
             .ok_or(RuntimeError::UnknownObject(object))?;
         let region = self.net.topology().region_of(node);
         let read_node = match opts.read_from {
-            ReadChoice::Nearest => self
-                .locations
-                .nearest_any_layer(object, region)
-                .map_err(|_| RuntimeError::NoSuchReplica)?
-                .node,
-            ReadChoice::Class(class) => self
-                .locations
-                .nearest(object, region, Some(class))
-                .map_err(|_| RuntimeError::NoSuchReplica)?
-                .node,
+            ReadChoice::Nearest => {
+                self.locations
+                    .nearest_any_layer(object, region)
+                    .map_err(|_| RuntimeError::NoSuchReplica)?
+                    .node
+            }
+            ReadChoice::Class(class) => {
+                self.locations
+                    .nearest(object, region, Some(class))
+                    .map_err(|_| RuntimeError::NoSuchReplica)?
+                    .node
+            }
             ReadChoice::Node(n) => n,
         };
         let read_store = record
@@ -457,8 +490,8 @@ impl GlobeSim {
             .into_iter()
             .filter(|g| !record.policy.model.subsumes(*g))
             .collect();
-        let local_ok = crate::replication::replication_for(record.policy.model)
-            .accepts_local_writes();
+        let local_ok =
+            crate::replication::replication_for(record.policy.model).accepts_local_writes();
         let (write_node, write_store) = match opts.write_via {
             WriteChoice::Bound if local_ok => (read_node, read_store),
             _ => (record.home_node, record.home_store),
@@ -682,10 +715,40 @@ impl GlobeSim {
     /// Executes a read synchronously, driving the simulation until the
     /// reply arrives.
     ///
+    /// Superseded by [`ObjectHandle::read`](crate::ObjectHandle::read)
+    /// (`sim.handle(client).read(..)`), which does not thread the
+    /// runtime through every call site.
+    ///
     /// # Errors
     ///
     /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    #[deprecated(since = "0.1.0", note = "use `sim.handle(client).read(..)` instead")]
     pub fn read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<Bytes, CallError> {
+        self.read_impl(handle, inv)
+    }
+
+    /// Executes a write synchronously.
+    ///
+    /// Superseded by [`ObjectHandle::write`](crate::ObjectHandle::write)
+    /// (`sim.handle(client).write(..)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CallError`] if the call fails, stalls, or times out.
+    #[deprecated(since = "0.1.0", note = "use `sim.handle(client).write(..)` instead")]
+    pub fn write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<Bytes, CallError> {
+        self.write_impl(handle, inv)
+    }
+
+    fn read_impl(
         &mut self,
         handle: &ClientHandle,
         inv: InvocationMessage,
@@ -694,12 +757,7 @@ impl GlobeSim {
         self.pump(handle, req)
     }
 
-    /// Executes a write synchronously.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CallError`] if the call fails, stalls, or times out.
-    pub fn write(
+    fn write_impl(
         &mut self,
         handle: &ClientHandle,
         inv: InvocationMessage,
@@ -827,6 +885,85 @@ impl GlobeSim {
     /// The home (primary permanent) store's node.
     pub fn home_of(&self, object: ObjectId) -> Option<NodeId> {
         self.objects.get(&object).map(|r| r.home_node)
+    }
+}
+
+impl GlobeRuntime for GlobeSim {
+    fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
+        Ok(GlobeSim::add_node(self))
+    }
+
+    fn create_object(&mut self, spec: ObjectSpec) -> Result<ObjectId, RuntimeError> {
+        let (path, policy, mut factory, placement) = spec.into_parts();
+        self.create_object_impl(&path, policy, &mut *factory, &placement)
+    }
+
+    fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        GlobeSim::bind(self, object, node, opts)
+    }
+
+    fn issue_read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        GlobeSim::issue_read(self, handle, inv)
+    }
+
+    fn issue_write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        GlobeSim::issue_write(self, handle, inv)
+    }
+
+    fn result(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        if let Some(result) = GlobeSim::result(self, handle, req) {
+            return Some(result);
+        }
+        // The trait contract promises that polling makes progress; step
+        // the simulation once so a generic issue/poll loop terminates
+        // here just as it does over real sockets.
+        self.net.step();
+        GlobeSim::result(self, handle, req)
+    }
+
+    fn read(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.read_impl(handle, inv)
+    }
+
+    fn write(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.write_impl(handle, inv)
+    }
+
+    fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        GlobeSim::set_policy(self, object, policy)
+    }
+
+    fn history(&self) -> SharedHistory {
+        GlobeSim::history(self)
+    }
+
+    fn metrics(&self) -> SharedMetrics {
+        GlobeSim::metrics(self)
+    }
+
+    fn settle(&mut self, d: Duration) {
+        self.run_for(d);
     }
 }
 

@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(doc.method_kind(registers::GET), MethodKind::Read);
         assert_eq!(doc.method_kind(registers::LIST), MethodKind::Read);
         assert_eq!(doc.part_of(&registers::get("x")).as_deref(), Some("x"));
-        assert_eq!(doc.part_of(&registers::put("y", b"v")).as_deref(), Some("y"));
+        assert_eq!(
+            doc.part_of(&registers::put("y", b"v")).as_deref(),
+            Some("y")
+        );
         assert_eq!(doc.part_of(&registers::list()), None);
     }
 

@@ -194,15 +194,14 @@ impl Session {
         // Program order: always depend on our own previous write under
         // models that order via dependencies; harmless elsewhere because
         // stores enforce per-client order anyway.
-        if (self.model == ObjectModel::Causal || self.guards.contains(&ClientModel::MonotonicWrites))
-            && self.issued_writes > 0 {
-                deps.set(self.client, self.issued_writes);
-            }
+        if (self.model == ObjectModel::Causal
+            || self.guards.contains(&ClientModel::MonotonicWrites))
+            && self.issued_writes > 0
+        {
+            deps.set(self.client, self.issued_writes);
+        }
         // Our own entry must never exceed the write being issued.
-        deps.set(
-            self.client,
-            deps.get(self.client).min(self.issued_writes),
-        );
+        deps.set(self.client, deps.get(self.client).min(self.issued_writes));
         deps
     }
 

@@ -19,10 +19,7 @@ pub(crate) fn timer_token(object: ObjectId, kind: TimerKind) -> TimerToken {
 
 /// Decodes a timer token back into `(object, timer kind)`.
 pub(crate) fn decode_timer(token: TimerToken) -> (ObjectId, Option<TimerKind>) {
-    (
-        ObjectId::new(token.0 / 8),
-        TimerKind::from_raw(token.0 % 8),
-    )
+    (ObjectId::new(token.0 / 8), TimerKind::from_raw(token.0 % 8))
 }
 
 /// One process/node participating in the Globe runtime.
@@ -104,7 +101,11 @@ mod tests {
     fn timer_tokens_roundtrip() {
         for raw in [0u64, 1, 7, 100] {
             let object = ObjectId::new(raw);
-            for kind in [TimerKind::LazyPush, TimerKind::PullPoll, TimerKind::DemandRetry] {
+            for kind in [
+                TimerKind::LazyPush,
+                TimerKind::PullPoll,
+                TimerKind::DemandRetry,
+            ] {
                 let token = timer_token(object, kind);
                 let (obj, decoded) = decode_timer(token);
                 assert_eq!(obj, object);

@@ -423,7 +423,10 @@ impl StoreReplica {
             let mut progressed = false;
             let mut index = 0;
             while index < self.buffered.len() {
-                match self.repl.readiness(&self.view(), &self.buffered[index].write) {
+                match self
+                    .repl
+                    .readiness(&self.view(), &self.buffered[index].write)
+                {
                     Readiness::Ready => {
                         let entry = self.buffered.remove(index);
                         let from_client = entry.reply_to.is_some();
@@ -664,10 +667,7 @@ impl StoreReplica {
             version: self.applied.clone(),
             state: self.semantics.snapshot(),
             writers,
-            order_high: self
-                .repl
-                .orders_writes()
-                .then_some(self.order_assigned),
+            order_high: self.repl.orders_writes().then_some(self.order_assigned),
         }
     }
 
@@ -687,8 +687,8 @@ impl StoreReplica {
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
             let in_scope = self.policy.in_scope(peer.class);
-            let nothing_new = sent >= log_len
-                || (in_scope && self.policy.instant == TransferInstant::Immediate);
+            let nothing_new =
+                sent >= log_len || (in_scope && self.policy.instant == TransferInstant::Immediate);
             if nothing_new {
                 self.peer_sent.insert(peer.node, log_len);
                 if self.policy.object_outdate == OutdateReaction::Demand && log_len > 0 {

@@ -21,9 +21,9 @@ use parking_lot::Mutex;
 
 use crate::{
     shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    ControlObject, InvocationMessage, PeerStore, ReplicationPolicy, RequestId, RuntimeError,
-    Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
-    WriteChoice,
+    ControlObject, GlobeRuntime, InvocationMessage, ObjectSpec, PeerStore, ReplicationPolicy,
+    RequestId, RuntimeConfig, RuntimeError, Semantics, Session, SessionConfig, SharedHistory,
+    SharedMetrics, StoreConfig, StoreReplica, WriteChoice,
 };
 
 struct ObjectRecord {
@@ -52,11 +52,21 @@ pub struct GlobeTcp {
     next_client: u32,
     next_store: u32,
     started: bool,
+    seed: u64,
+    call_timeout: Duration,
 }
 
 impl GlobeTcp {
-    /// Creates an empty TCP runtime.
+    /// Creates an empty TCP runtime with the default configuration.
     pub fn new() -> Self {
+        GlobeTcp::with_config(RuntimeConfig::new())
+    }
+
+    /// Creates a TCP runtime from a [`RuntimeConfig`] — the construction
+    /// path symmetric with [`crate::GlobeSim::with_config`]. The seed is
+    /// recorded for any future randomized behavior (retry jitter, replica
+    /// choice ties) so both runtimes construct identically.
+    pub fn with_config(config: RuntimeConfig) -> Self {
         GlobeTcp {
             mesh: TcpMesh::new(),
             endpoints: HashMap::new(),
@@ -70,7 +80,21 @@ impl GlobeTcp {
             next_client: 0,
             next_store: 0,
             started: false,
+            seed: config.seed,
+            // Wall-clock time is real here, so the default deadline is
+            // much tighter than the simulator's virtual-time budget.
+            call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
         }
+    }
+
+    /// The determinism seed this runtime was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum wall-clock time a synchronous trait-level call may take.
+    pub fn set_call_timeout(&mut self, timeout: Duration) {
+        self.call_timeout = timeout;
     }
 
     /// Adds an address space backed by a real socket endpoint.
@@ -90,12 +114,32 @@ impl GlobeTcp {
         Ok(node)
     }
 
-    /// Creates a distributed object, mirroring [`crate::GlobeSim::create_object`].
+    /// Creates a distributed object from positional arguments.
+    ///
+    /// Superseded by the typed [`ObjectSpec`] builder; this shim stays
+    /// for one release to guide migration.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] on invalid names, policies, or placement.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an ObjectSpec and call `spec.create(&mut tcp)` instead; note that \
+                `.create_object(spec)` still resolves to this positional method"
+    )]
     pub fn create_object(
+        &mut self,
+        name: &str,
+        policy: ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        placement: &[(NodeId, StoreClass)],
+    ) -> Result<ObjectId, RuntimeError> {
+        self.create_object_impl(name, policy, semantics_factory, placement)
+    }
+
+    /// Shared creation routine behind [`ObjectSpec`] and the deprecated
+    /// positional API.
+    fn create_object_impl(
         &mut self,
         name: &str,
         policy: ReplicationPolicy,
@@ -145,7 +189,10 @@ impl GlobeTcp {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != home_index)
-                    .map(|(_, (n, _, c))| PeerStore { node: *n, class: *c })
+                    .map(|(_, (n, _, c))| PeerStore {
+                        node: *n,
+                        class: *c,
+                    })
                     .collect()
             } else {
                 Vec::new()
@@ -211,16 +258,18 @@ impl GlobeTcp {
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let read_node = match opts.read_from {
-            crate::ReadChoice::Nearest => self
-                .locations
-                .nearest_any_layer(object, RegionId::new(0))
-                .map_err(|_| RuntimeError::NoSuchReplica)?
-                .node,
-            crate::ReadChoice::Class(class) => self
-                .locations
-                .nearest(object, RegionId::new(0), Some(class))
-                .map_err(|_| RuntimeError::NoSuchReplica)?
-                .node,
+            crate::ReadChoice::Nearest => {
+                self.locations
+                    .nearest_any_layer(object, RegionId::new(0))
+                    .map_err(|_| RuntimeError::NoSuchReplica)?
+                    .node
+            }
+            crate::ReadChoice::Class(class) => {
+                self.locations
+                    .nearest(object, RegionId::new(0), Some(class))
+                    .map_err(|_| RuntimeError::NoSuchReplica)?
+                    .node
+            }
             crate::ReadChoice::Node(n) => n,
         };
         let read_store = record
@@ -320,61 +369,113 @@ impl GlobeTcp {
                 .ok_or(CallError::NotBound)?;
             if let Some(event) = endpoint.recv_timeout(Duration::from_millis(20)) {
                 let mut ctx = endpoint.ctx();
-                self.spaces[&handle.node].lock().handle_event(event, &mut ctx);
+                self.spaces[&handle.node]
+                    .lock()
+                    .handle_event(event, &mut ctx);
             }
         }
     }
 
-    /// Executes a read over real sockets, blocking up to `timeout`.
+    /// Executes a read over real sockets, blocking up to an explicit
+    /// `timeout` (the trait-level [`GlobeRuntime::read`] uses the
+    /// configured default instead).
     ///
     /// # Errors
     ///
     /// Returns a [`CallError`] on failure or timeout.
-    pub fn read(
+    pub fn read_timeout(
         &mut self,
         handle: &ClientHandle,
         inv: InvocationMessage,
         timeout: Duration,
     ) -> Result<Bytes, CallError> {
-        let req = {
-            let endpoint = self
-                .endpoints
-                .get_mut(&handle.node)
-                .ok_or(CallError::NotBound)?;
-            let mut ctx = endpoint.ctx();
-            self.spaces[&handle.node]
-                .lock()
-                .control_mut(handle.object)
-                .ok_or(CallError::NotBound)?
-                .client_read(handle.client, inv, &mut ctx)?
-        };
+        let req = self.issue_call(handle, inv, true)?;
         self.pump_client(handle, req, timeout)
     }
 
-    /// Executes a write over real sockets, blocking up to `timeout`.
+    /// Issues one client call on the caller-driven node, returning its
+    /// request id without waiting for the reply.
+    fn issue_call(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        is_read: bool,
+    ) -> Result<RequestId, CallError> {
+        let endpoint = self
+            .endpoints
+            .get_mut(&handle.node)
+            .ok_or(CallError::NotBound)?;
+        let mut ctx = endpoint.ctx();
+        let mut space = self.spaces[&handle.node].lock();
+        let control = space
+            .control_mut(handle.object)
+            .ok_or(CallError::NotBound)?;
+        if is_read {
+            control.client_read(handle.client, inv, &mut ctx)
+        } else {
+            control.client_write(handle.client, inv, &mut ctx)
+        }
+    }
+
+    /// Executes a write over real sockets, blocking up to an explicit
+    /// `timeout` (the trait-level [`GlobeRuntime::write`] uses the
+    /// configured default instead).
     ///
     /// # Errors
     ///
     /// Returns a [`CallError`] on failure or timeout.
-    pub fn write(
+    pub fn write_timeout(
         &mut self,
         handle: &ClientHandle,
         inv: InvocationMessage,
         timeout: Duration,
     ) -> Result<Bytes, CallError> {
-        let req = {
-            let endpoint = self
-                .endpoints
-                .get_mut(&handle.node)
-                .ok_or(CallError::NotBound)?;
-            let mut ctx = endpoint.ctx();
-            self.spaces[&handle.node]
-                .lock()
-                .control_mut(handle.object)
-                .ok_or(CallError::NotBound)?
-                .client_write(handle.client, inv, &mut ctx)?
-        };
+        let req = self.issue_call(handle, inv, false)?;
         self.pump_client(handle, req, timeout)
+    }
+
+    /// Changes an object's replication policy at run time, mirroring
+    /// [`crate::GlobeSim::set_policy`]. The home store broadcasts the
+    /// new policy to every replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for unknown objects or invalid
+    /// policies, and [`RuntimeError::Unsupported`] once the home node's
+    /// event loop has been spawned (its endpoint now lives on that
+    /// thread; change policies before `start()` or keep the home node
+    /// caller-driven).
+    pub fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        policy
+            .validate()
+            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let home = record.home_node;
+        // Resolve the fallible endpoint lookup before committing the new
+        // policy, so a refused change leaves the record untouched.
+        let endpoint = self.endpoints.get_mut(&home).ok_or_else(|| {
+            RuntimeError::Unsupported(
+                "set_policy after start(): the home node's endpoint is owned by its event loop"
+                    .to_string(),
+            )
+        })?;
+        record.policy = policy.clone();
+        let mut ctx = endpoint.ctx();
+        if let Some(store) = self.spaces[&home]
+            .lock()
+            .control_mut(object)
+            .and_then(|c| c.store_mut())
+        {
+            store.set_policy(policy, &mut ctx);
+        }
+        Ok(())
     }
 
     /// The shared execution history.
@@ -392,6 +493,120 @@ impl GlobeTcp {
         self.mesh.shutdown();
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+    }
+}
+
+impl GlobeRuntime for GlobeTcp {
+    fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
+        GlobeTcp::add_node(self)
+    }
+
+    fn create_object(&mut self, spec: ObjectSpec) -> Result<ObjectId, RuntimeError> {
+        let (path, policy, mut factory, placement) = spec.into_parts();
+        self.create_object_impl(&path, policy, &mut *factory, &placement)
+    }
+
+    fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        GlobeTcp::bind(self, object, node, opts)
+    }
+
+    fn issue_read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        self.issue_call(handle, inv, true)
+    }
+
+    fn issue_write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        self.issue_call(handle, inv, false)
+    }
+
+    fn result(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        // Pump any already-arrived events for the caller-driven node
+        // before checking, so polling makes progress.
+        if let Some(endpoint) = self.endpoints.get_mut(&handle.node) {
+            while let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
+                let mut ctx = endpoint.ctx();
+                self.spaces[&handle.node]
+                    .lock()
+                    .handle_event(event, &mut ctx);
+            }
+        }
+        let mut space = self.spaces.get(&handle.node)?.lock();
+        space
+            .control_mut(handle.object)?
+            .take_result(handle.client, req)
+    }
+
+    fn read(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.read_timeout(handle, inv, self.call_timeout)
+    }
+
+    fn write(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        self.write_timeout(handle, inv, self.call_timeout)
+    }
+
+    fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        GlobeTcp::set_policy(self, object, policy)
+    }
+
+    fn history(&self) -> SharedHistory {
+        GlobeTcp::history(self)
+    }
+
+    fn metrics(&self) -> SharedMetrics {
+        GlobeTcp::metrics(self)
+    }
+
+    fn start(&mut self, client_nodes: &[NodeId]) {
+        GlobeTcp::start(self, client_nodes);
+    }
+
+    fn shutdown(&mut self) {
+        GlobeTcp::shutdown(self);
+    }
+
+    fn settle(&mut self, d: Duration) {
+        // Store threads run in real time; pump the caller-driven client
+        // nodes while the wall clock advances.
+        let deadline = Instant::now() + d;
+        let nodes: Vec<NodeId> = self.endpoints.keys().copied().collect();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let mut handled = false;
+            for &node in &nodes {
+                let endpoint = self.endpoints.get_mut(&node).expect("endpoint listed");
+                if let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
+                    let mut ctx = endpoint.ctx();
+                    self.spaces[&node].lock().handle_event(event, &mut ctx);
+                    handled = true;
+                }
+            }
+            if !handled {
+                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+            }
         }
     }
 }

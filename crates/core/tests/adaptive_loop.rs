@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
-    registers, AdaptiveController, BindOptions, GlobeSim, Regime, RegisterDoc, ReplicationPolicy,
-    TransferInstant,
+    registers, AdaptiveController, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, Regime,
+    RegisterDoc, ReplicationPolicy, TransferInstant,
 };
 use globe_net::Topology;
 
@@ -21,34 +21,26 @@ fn controller_retunes_the_object_as_the_workload_changes() {
         .lazy(Duration::from_secs(2))
         .build()
         .unwrap();
-    let mut controller = AdaptiveController::new(
-        cold.clone(),
-        hot,
-        1.0,
-        0.1,
-        Duration::from_secs(10),
-    );
+    let mut controller =
+        AdaptiveController::new(cold.clone(), hot, 1.0, 0.1, Duration::from_secs(10));
 
     let mut sim = GlobeSim::new(Topology::wan(), 80);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/adaptive/loop",
-            cold,
-            &mut || Box::new(RegisterDoc::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/adaptive/loop")
+        .policy(cold)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
 
     let write = |sim: &mut GlobeSim, controller: &mut AdaptiveController, i: usize| {
-        sim.write(&master, registers::put("page", format!("v{i}").as_bytes()))
+        sim.handle(master)
+            .write(registers::put("page", format!("v{i}").as_bytes()))
             .unwrap();
         controller.record_write(sim.now());
         if let Some(policy) = controller.evaluate(sim.now()) {

@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use globe_coherence::{check, ClientModel, ObjectModel, StoreClass};
-use globe_core::{registers, BindOptions, GlobeSim, RegisterDoc, ReplicationPolicy};
+use globe_core::{
+    registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, RegisterDoc, ReplicationPolicy,
+};
 use globe_net::Topology;
 
 fn doc() -> Box<dyn globe_core::Semantics> {
@@ -20,29 +22,33 @@ fn guard_added_at_runtime_is_enforced() {
     let mut sim = GlobeSim::new(Topology::lan(), 70);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/dynamic/guard",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/dynamic/guard")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
     let master = sim
         .bind(object, cache, BindOptions::new().read_node(cache))
         .unwrap();
 
-    sim.write(&master, registers::put("p", b"v1")).unwrap();
-    let stale = sim.read(&master, registers::get("p")).unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"v1"))
+        .unwrap();
+    let stale = sim.handle(master).read(registers::get("p")).unwrap();
     assert!(stale.is_empty(), "without the guard the cache is stale");
 
     sim.add_guard(&master, ClientModel::ReadYourWrites).unwrap();
-    sim.write(&master, registers::put("p", b"v2")).unwrap();
-    let fresh = sim.read(&master, registers::get("p")).unwrap();
-    assert_eq!(&fresh[..], b"v2", "guard added at run time must enforce RYW");
+    sim.handle(master)
+        .write(registers::put("p", b"v2"))
+        .unwrap();
+    let fresh = sim.handle(master).read(registers::get("p")).unwrap();
+    assert_eq!(
+        &fresh[..],
+        b"v2",
+        "guard added at run time must enforce RYW"
+    );
 
     let history = sim.history();
     let history = history.lock();
@@ -53,21 +59,19 @@ fn guard_added_at_runtime_is_enforced() {
 fn subsumed_guard_added_at_runtime_is_ignored() {
     let mut sim = GlobeSim::new(Topology::lan(), 71);
     let server = sim.add_node();
-    let object = sim
-        .create_object(
-            "/dynamic/subsumed",
-            ReplicationPolicy::whiteboard(), // sequential
-            &mut doc,
-            &[(server, StoreClass::Permanent)],
-        )
+    let object = ObjectSpec::new("/dynamic/subsumed")
+        .policy(ReplicationPolicy::whiteboard()) // sequential
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
         .unwrap();
     let handle = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
     // Sequential subsumes RYW; adding it must be a harmless no-op.
     sim.add_guard(&handle, ClientModel::ReadYourWrites).unwrap();
-    sim.write(&handle, registers::put("p", b"x")).unwrap();
-    let got = sim.read(&handle, registers::get("p")).unwrap();
+    sim.handle(handle).write(registers::put("p", b"x")).unwrap();
+    let got = sim.handle(handle).read(registers::get("p")).unwrap();
     assert_eq!(&got[..], b"x");
 }
 
@@ -80,22 +84,19 @@ fn crashed_cache_recovers_from_the_permanent_store() {
     let mut sim = GlobeSim::new(Topology::wan(), 72);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/dynamic/crash",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/dynamic/crash")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
     for i in 0..5 {
-        sim.write(&master, registers::put(&format!("p{i}"), b"live"))
+        sim.handle(master)
+            .write(registers::put(&format!("p{i}"), b"live"))
             .unwrap();
     }
     sim.run_for(Duration::from_secs(1));
@@ -113,7 +114,8 @@ fn crashed_cache_recovers_from_the_permanent_store() {
     );
 
     // And it keeps receiving pushes afterwards.
-    sim.write(&master, registers::put("after", b"restart"))
+    sim.handle(master)
+        .write(registers::put("after", b"restart"))
         .unwrap();
     sim.run_for(Duration::from_secs(1));
     assert_eq!(
@@ -126,13 +128,11 @@ fn crashed_cache_recovers_from_the_permanent_store() {
 fn home_store_refuses_restart() {
     let mut sim = GlobeSim::new(Topology::lan(), 73);
     let server = sim.add_node();
-    let object = sim
-        .create_object(
-            "/dynamic/home",
-            ReplicationPolicy::personal_home_page(),
-            &mut doc,
-            &[(server, StoreClass::Permanent)],
-        )
+    let object = ObjectSpec::new("/dynamic/home")
+        .policy(ReplicationPolicy::personal_home_page())
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
         .unwrap();
     assert!(sim.restart_store(object, server, doc()).is_err());
 }
@@ -148,16 +148,12 @@ fn policy_switch_reaches_every_replica() {
     let mut sim = GlobeSim::new(Topology::lan(), 74);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/dynamic/policy",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/dynamic/policy")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
     let immediate = ReplicationPolicy::builder(ObjectModel::Fifo)
         .immediate()

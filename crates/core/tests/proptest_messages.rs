@@ -90,12 +90,14 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
             proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
             proptest::option::of(any::<u64>()),
         )
-            .prop_map(|(version, state, writers, order_high)| CoherenceMsg::FullState {
-                version,
-                state: Bytes::from(state),
-                writers,
-                order_high,
-            }),
+            .prop_map(
+                |(version, state, writers, order_high)| CoherenceMsg::FullState {
+                    version,
+                    state: Bytes::from(state),
+                    writers,
+                    order_high,
+                }
+            ),
         (
             proptest::collection::vec(proptest::option::of("[a-z]{1,8}"), 0..4),
             arb_vv()

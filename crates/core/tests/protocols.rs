@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use globe_coherence::{check, ClientModel, ObjectModel, StoreClass};
 use globe_core::{
-    registers, BindOptions, CoherenceTransfer, GlobeSim, OutdateReaction, Propagation,
-    RegisterDoc, ReplicationPolicy, TransferInitiative,
+    registers, BindOptions, CoherenceTransfer, GlobeRuntime, GlobeSim, ObjectSpec, OutdateReaction,
+    Propagation, RegisterDoc, ReplicationPolicy, TransferInitiative,
 };
 use globe_net::{LinkConfig, NodeId, Topology};
 
@@ -30,8 +30,11 @@ fn setup(
     for &cache in &cache_nodes {
         placement.push((cache, StoreClass::ClientInitiated));
     }
-    let object = sim
-        .create_object("/test/object", policy, &mut doc_factory, &placement)
+    let object = ObjectSpec::new("/test/object")
+        .policy(policy)
+        .semantics_boxed(doc_factory)
+        .stores(&placement)
+        .create(&mut sim)
         .expect("create object");
     (sim, object, server, cache_nodes)
 }
@@ -47,11 +50,12 @@ fn pram_incremental_updates_respect_order_everywhere() {
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
     for i in 0..10 {
-        sim.write(
-            &master,
-            registers::put(&format!("page{}", i % 3), format!("v{i}").as_bytes()),
-        )
-        .unwrap();
+        sim.handle(master)
+            .write(registers::put(
+                &format!("page{}", i % 3),
+                format!("v{i}").as_bytes(),
+            ))
+            .unwrap();
     }
     sim.run_for(Duration::from_secs(5));
     sim.finalize_digests();
@@ -114,7 +118,8 @@ fn fifo_drops_overwritten_updates() {
     // Burst of overwrites within one lazy period: caches should see the
     // latest value; earlier ones may be skipped entirely.
     for i in 0..10 {
-        sim.write(&master, registers::put("front", format!("v{i}").as_bytes()))
+        sim.handle(master)
+            .write(registers::put("front", format!("v{i}").as_bytes()))
             .unwrap();
     }
     sim.run_for(Duration::from_secs(3));
@@ -126,7 +131,7 @@ fn fifo_drops_overwritten_updates() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    let value = sim.read(&reader, registers::get("front")).unwrap();
+    let value = sim.handle(reader).read(registers::get("front")).unwrap();
     assert_eq!(&value[..], b"v9");
 }
 
@@ -141,13 +146,15 @@ fn causal_orders_article_before_reaction() {
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
 
-    sim.write(&author, registers::put("article", b"globe ships"))
+    sim.handle(author)
+        .write(registers::put("article", b"globe ships"))
         .unwrap();
     // Reactor reads the article (possibly after propagation), then reacts.
     sim.run_for(Duration::from_secs(2));
-    let got = sim.read(&reactor, registers::get("article")).unwrap();
+    let got = sim.handle(reactor).read(registers::get("article")).unwrap();
     assert_eq!(&got[..], b"globe ships");
-    sim.write(&reactor, registers::put("reaction", b"nice!"))
+    sim.handle(reactor)
+        .write(registers::put("reaction", b"nice!"))
         .unwrap();
     sim.run_for(Duration::from_secs(5));
     sim.finalize_digests();
@@ -179,11 +186,13 @@ fn causal_with_reordering_network() {
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
     for round in 0..5 {
-        sim.write(&a, registers::put("thread", format!("msg{round}").as_bytes()))
+        sim.handle(a)
+            .write(registers::put("thread", format!("msg{round}").as_bytes()))
             .unwrap();
         sim.run_for(Duration::from_millis(300));
-        let _ = sim.read(&b, registers::get("thread")).unwrap();
-        sim.write(&b, registers::put("thread", format!("re{round}").as_bytes()))
+        let _ = sim.handle(b).read(registers::get("thread")).unwrap();
+        sim.handle(b)
+            .write(registers::put("thread", format!("re{round}").as_bytes()))
             .unwrap();
         sim.run_for(Duration::from_millis(300));
     }
@@ -207,9 +216,11 @@ fn sequential_multi_writer_agrees_on_total_order() {
         .unwrap();
     let _ = server;
     for i in 0..8 {
-        sim.write(&alice, registers::put("board", format!("a{i}").as_bytes()))
+        sim.handle(alice)
+            .write(registers::put("board", format!("a{i}").as_bytes()))
             .unwrap();
-        sim.write(&bob, registers::put("board", format!("b{i}").as_bytes()))
+        sim.handle(bob)
+            .write(registers::put("board", format!("b{i}").as_bytes()))
             .unwrap();
     }
     sim.run_for(Duration::from_secs(5));
@@ -235,8 +246,11 @@ fn eventual_converges_despite_loss() {
         .unwrap();
     // Async writes: some WriteReqs may be lost; only acked ones count.
     for i in 0..15 {
-        sim.issue_write(&writer, registers::put(&format!("p{}", i % 4), format!("v{i}").as_bytes()))
-            .unwrap();
+        sim.issue_write(
+            &writer,
+            registers::put(&format!("p{}", i % 4), format!("v{i}").as_bytes()),
+        )
+        .unwrap();
         sim.run_for(Duration::from_millis(50));
     }
     sim.run_for(Duration::from_secs(30));
@@ -273,11 +287,15 @@ fn read_your_writes_enforced_through_stale_cache() {
                 .guard(ClientModel::ReadYourWrites),
         )
         .unwrap();
-    sim.write(&master, registers::put("program.html", b"v1"))
+    sim.handle(master)
+        .write(registers::put("program.html", b"v1"))
         .unwrap();
     // Read immediately: the cache cannot have been pushed to yet (2 s
     // period), so RYW must trigger a demand.
-    let got = sim.read(&master, registers::get("program.html")).unwrap();
+    let got = sim
+        .handle(master)
+        .read(registers::get("program.html"))
+        .unwrap();
     assert_eq!(&got[..], b"v1", "read-your-writes violated");
 
     let history = sim.history();
@@ -304,9 +322,13 @@ fn without_ryw_guard_stale_cache_is_visible() {
     let master = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("program.html", b"v1"))
+    sim.handle(master)
+        .write(registers::put("program.html", b"v1"))
         .unwrap();
-    let got = sim.read(&master, registers::get("program.html")).unwrap();
+    let got = sim
+        .handle(master)
+        .read(registers::get("program.html"))
+        .unwrap();
     assert!(
         got.is_empty(),
         "expected stale (empty) read from unpushed cache, got {:?}",
@@ -314,7 +336,10 @@ fn without_ryw_guard_stale_cache_is_visible() {
     );
     // After the lazy push the cache catches up.
     sim.run_for(Duration::from_secs(3));
-    let got = sim.read(&master, registers::get("program.html")).unwrap();
+    let got = sim
+        .handle(master)
+        .read(registers::get("program.html"))
+        .unwrap();
     assert_eq!(&got[..], b"v1");
 }
 
@@ -337,13 +362,15 @@ fn monotonic_reads_survives_store_switch() {
                 .guard(ClientModel::MonotonicReads),
         )
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     sim.run_for(Duration::from_secs(3)); // cache 0 gets the push
-    let first = sim.read(&reader, registers::get("page")).unwrap();
+    let first = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&first[..], b"v1");
     // Switch reads to cache 1, which may be staler. MR must not regress.
     sim.rebind_reads(&reader, caches[1]).unwrap();
-    let second = sim.read(&reader, registers::get("page")).unwrap();
+    let second = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&second[..], b"v1", "monotonic reads regressed");
     let history = sim.history();
     let history = history.lock();
@@ -372,12 +399,14 @@ fn writes_follow_reads_orders_reaction_everywhere() {
                 .guard(ClientModel::WritesFollowReads),
         )
         .unwrap();
-    sim.write(&author, registers::put("article", b"original"))
+    sim.handle(author)
+        .write(registers::put("article", b"original"))
         .unwrap();
     sim.run_for(Duration::from_secs(1));
-    let read = sim.read(&reactor, registers::get("article")).unwrap();
+    let read = sim.handle(reactor).read(registers::get("article")).unwrap();
     assert_eq!(&read[..], b"original");
-    sim.write(&reactor, registers::put("reaction", b"reply"))
+    sim.handle(reactor)
+        .write(registers::put("reaction", b"reply"))
         .unwrap();
     sim.run_for(Duration::from_secs(5));
     sim.finalize_digests();
@@ -402,9 +431,11 @@ fn invalidation_mode_refetches_on_read() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     sim.run_for(Duration::from_secs(1));
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"v1");
     let metrics = sim.metrics();
     let metrics = metrics.lock();
@@ -426,10 +457,12 @@ fn notification_mode_with_wait_serves_stale() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     sim.run_for(Duration::from_secs(1));
     // Notification carries no data and wait never demands: stale read.
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert!(got.is_empty(), "notification+wait should leave cache stale");
     let metrics = sim.metrics();
     let metrics = metrics.lock();
@@ -452,9 +485,11 @@ fn notification_mode_with_demand_fetches() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     sim.run_for(Duration::from_secs(1));
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"v1", "demand reaction should have fetched data");
 }
 
@@ -472,9 +507,11 @@ fn pull_initiative_polls_the_home_store() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     sim.run_for(Duration::from_secs(2)); // several poll rounds
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"v1");
     let metrics = sim.metrics();
     let metrics = metrics.lock();
@@ -500,15 +537,17 @@ fn full_coherence_transfer_ships_snapshots() {
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
     for i in 0..3 {
-        sim.write(&master, registers::put("a", format!("v{i}").as_bytes()))
+        sim.handle(master)
+            .write(registers::put("a", format!("v{i}").as_bytes()))
             .unwrap();
-        sim.write(&master, registers::put("b", format!("w{i}").as_bytes()))
+        sim.handle(master)
+            .write(registers::put("b", format!("w{i}").as_bytes()))
             .unwrap();
     }
     sim.run_for(Duration::from_secs(2));
-    let got = sim.read(&reader, registers::get("a")).unwrap();
+    let got = sim.handle(reader).read(registers::get("a")).unwrap();
     assert_eq!(&got[..], b"v2");
-    let got = sim.read(&reader, registers::get("b")).unwrap();
+    let got = sim.handle(reader).read(registers::get("b")).unwrap();
     assert_eq!(&got[..], b"w2");
     let metrics = sim.metrics();
     let metrics = metrics.lock();
@@ -611,9 +650,11 @@ fn dynamic_policy_switch_takes_effect() {
     let reader = sim
         .bind(object, caches[0], BindOptions::new().read_node(caches[0]))
         .unwrap();
-    sim.write(&master, registers::put("page", b"lazy")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"lazy"))
+        .unwrap();
     sim.run_for(Duration::from_secs(2));
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert!(got.is_empty(), "30s lazy period: cache must still be stale");
 
     let immediate = ReplicationPolicy::builder(ObjectModel::Pram)
@@ -621,9 +662,11 @@ fn dynamic_policy_switch_takes_effect() {
         .build()
         .unwrap();
     sim.set_policy(object, immediate).unwrap();
-    sim.write(&master, registers::put("page", b"fast")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"fast"))
+        .unwrap();
     sim.run_for(Duration::from_secs(1));
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"fast", "immediate policy should have pushed");
 }
 
@@ -637,7 +680,8 @@ fn dynamic_mirror_installation_syncs_state() {
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
-    sim.write(&master, registers::put("page", b"before-mirror"))
+    sim.handle(master)
+        .write(registers::put("page", b"before-mirror"))
         .unwrap();
 
     // Install an object-initiated store (mirror) at run time.
@@ -652,16 +696,21 @@ fn dynamic_mirror_installation_syncs_state() {
     sim.run_for(Duration::from_secs(2)); // initial sync
 
     let reader = sim
-        .bind(object, mirror_node, BindOptions::new().read_node(mirror_node))
+        .bind(
+            object,
+            mirror_node,
+            BindOptions::new().read_node(mirror_node),
+        )
         .unwrap();
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"before-mirror", "mirror missed initial sync");
 
     // And it receives subsequent pushes.
-    sim.write(&master, registers::put("page", b"after-mirror"))
+    sim.handle(master)
+        .write(registers::put("page", b"after-mirror"))
         .unwrap();
     sim.run_for(Duration::from_secs(2));
-    let got = sim.read(&reader, registers::get("page")).unwrap();
+    let got = sim.handle(reader).read(registers::get("page")).unwrap();
     assert_eq!(&got[..], b"after-mirror");
 }
 
@@ -676,7 +725,8 @@ fn partition_heals_and_replicas_catch_up() {
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
     sim.topology_mut().partition(server, caches[0]);
-    sim.write(&master, registers::put("page", b"during-partition"))
+    sim.handle(master)
+        .write(registers::put("page", b"during-partition"))
         .unwrap();
     sim.run_for(Duration::from_secs(3));
     assert_ne!(
@@ -707,38 +757,42 @@ fn store_scope_limits_which_layers_get_strong_coherence() {
     let server = sim.add_node();
     let second_permanent = sim.add_node();
     let mirror = sim.add_node();
-    let object = sim
-        .create_object(
-            "/scoped",
-            policy,
-            &mut doc_factory,
-            &[
-                (server, StoreClass::Permanent),
-                (second_permanent, StoreClass::Permanent),
-                (mirror, StoreClass::ObjectInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/scoped")
+        .policy(policy)
+        .semantics_boxed(doc_factory)
+        .store(server, StoreClass::Permanent)
+        .store(second_permanent, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)
         .unwrap();
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
-    sim.write(&master, registers::put("page", b"v1")).unwrap();
+    sim.handle(master)
+        .write(registers::put("page", b"v1"))
+        .unwrap();
     // Immediately after the write: the in-scope permanent store has it...
     sim.run_for(Duration::from_millis(100));
     assert_eq!(
-        sim.store_version(object, second_permanent).unwrap().get(master.client),
+        sim.store_version(object, second_permanent)
+            .unwrap()
+            .get(master.client),
         1,
         "in-scope permanent store should get immediate push"
     );
     // ...the out-of-scope mirror does not yet.
     assert_eq!(
-        sim.store_version(object, mirror).unwrap().get(master.client),
+        sim.store_version(object, mirror)
+            .unwrap()
+            .get(master.client),
         0,
         "out-of-scope mirror must wait for the lazy flush"
     );
     sim.run_for(Duration::from_secs(2));
     assert_eq!(
-        sim.store_version(object, mirror).unwrap().get(master.client),
+        sim.store_version(object, mirror)
+            .unwrap()
+            .get(master.client),
         1,
         "lazy flush should eventually serve the mirror"
     );

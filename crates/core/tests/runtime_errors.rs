@@ -3,8 +3,8 @@
 
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
-    registers, BindOptions, CallError, GlobeSim, ReadChoice, RegisterDoc, ReplicationPolicy,
-    RuntimeError,
+    registers, BindOptions, CallError, GlobeRuntime, GlobeSim, ObjectSpec, ReadChoice, RegisterDoc,
+    ReplicationPolicy, RuntimeError,
 };
 use globe_net::{NodeId, Topology};
 
@@ -25,33 +25,44 @@ fn create_object_rejects_bad_input() {
     let node = sim.add_node();
 
     // No permanent store in the placement.
-    let err = sim
-        .create_object("/x", policy(), &mut doc, &[(node, StoreClass::ClientInitiated)])
+    let err = ObjectSpec::new("/x")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .store(node, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap_err();
     assert_eq!(err, RuntimeError::NoPermanentStore);
 
     // Unknown node.
-    let err = sim
-        .create_object(
-            "/x",
-            policy(),
-            &mut doc,
-            &[(NodeId::new(99), StoreClass::Permanent)],
-        )
+    let err = ObjectSpec::new("/x")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .store(NodeId::new(99), StoreClass::Permanent)
+        .create(&mut sim)
         .unwrap_err();
     assert_eq!(err, RuntimeError::UnknownNode(NodeId::new(99)));
 
     // Malformed name.
-    let err = sim
-        .create_object("not-absolute", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+    let err = ObjectSpec::new("not-absolute")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .store(node, StoreClass::Permanent)
+        .create(&mut sim)
         .unwrap_err();
     assert!(matches!(err, RuntimeError::BadName(_)));
 
     // Duplicate name.
-    sim.create_object("/x", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+    ObjectSpec::new("/x")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .home(node)
+        .create(&mut sim)
         .unwrap();
-    let err = sim
-        .create_object("/x", policy(), &mut doc, &[(node, StoreClass::Permanent)])
+    let err = ObjectSpec::new("/x")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .home(node)
+        .create(&mut sim)
         .unwrap_err();
     assert!(matches!(err, RuntimeError::NameTaken(_)));
 
@@ -61,8 +72,11 @@ fn create_object_rejects_bad_input() {
         instant: globe_core::TransferInstant::Lazy,
         ..policy()
     };
-    let err = sim
-        .create_object("/y", bad, &mut doc, &[(node, StoreClass::Permanent)])
+    let err = ObjectSpec::new("/y")
+        .policy(bad)
+        .semantics_boxed(doc)
+        .home(node)
+        .create(&mut sim)
         .unwrap_err();
     assert!(matches!(err, RuntimeError::BadPolicy(_)));
 }
@@ -72,8 +86,11 @@ fn bind_rejects_missing_replicas_and_nodes() {
     let mut sim = GlobeSim::new(Topology::lan(), 1);
     let server = sim.add_node();
     let other = sim.add_node();
-    let object = sim
-        .create_object("/b", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+    let object = ObjectSpec::new("/b")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .home(server)
+        .create(&mut sim)
         .unwrap();
 
     // Binding reads to a node without a replica.
@@ -112,8 +129,11 @@ fn bind_rejects_missing_replicas_and_nodes() {
 fn calls_on_unbound_handles_fail_cleanly() {
     let mut sim = GlobeSim::new(Topology::lan(), 2);
     let server = sim.add_node();
-    let object = sim
-        .create_object("/c", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+    let object = ObjectSpec::new("/c")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .home(server)
+        .create(&mut sim)
         .unwrap();
     let real = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -125,33 +145,36 @@ fn calls_on_unbound_handles_fail_cleanly() {
         client: globe_coherence::ClientId::new(4242),
     };
     assert_eq!(
-        sim.read(&fake, registers::get("p")).unwrap_err(),
+        sim.handle(fake).read(registers::get("p")).unwrap_err(),
         CallError::NotBound
     );
     assert_eq!(
-        sim.write(&fake, registers::put("p", b"x")).unwrap_err(),
+        sim.handle(fake)
+            .write(registers::put("p", b"x"))
+            .unwrap_err(),
         CallError::NotBound
     );
     // The real handle still works.
-    sim.write(&real, registers::put("p", b"x")).unwrap();
+    sim.handle(real).write(registers::put("p", b"x")).unwrap();
 }
 
 #[test]
 fn semantics_errors_travel_back_to_the_caller() {
     let mut sim = GlobeSim::new(Topology::lan(), 3);
     let server = sim.add_node();
-    let object = sim
-        .create_object("/d", policy(), &mut doc, &[(server, StoreClass::Permanent)])
+    let object = ObjectSpec::new("/d")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .home(server)
+        .create(&mut sim)
         .unwrap();
     let handle = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .unwrap();
     // Method 99 does not exist on RegisterDoc.
-    let bogus = globe_core::InvocationMessage::new(
-        globe_core::MethodId::new(99),
-        bytes::Bytes::new(),
-    );
-    match sim.read(&handle, bogus).unwrap_err() {
+    let bogus =
+        globe_core::InvocationMessage::new(globe_core::MethodId::new(99), bytes::Bytes::new());
+    match sim.handle(handle).read(bogus).unwrap_err() {
         CallError::Semantics(msg) => assert!(msg.contains("m99"), "{msg}"),
         other => panic!("expected a semantics error, got {other:?}"),
     }
@@ -172,16 +195,12 @@ fn stalled_calls_report_instead_of_hanging() {
     let mut sim = GlobeSim::new(Topology::lan(), 4);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/e",
-            lazy_forever,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/e")
+        .policy(lazy_forever)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
     let master = sim
         .bind(
@@ -192,14 +211,36 @@ fn stalled_calls_report_instead_of_hanging() {
                 .guard(globe_coherence::ClientModel::ReadYourWrites),
         )
         .unwrap();
-    sim.write(&master, registers::put("p", b"v")).unwrap();
+    sim.handle(master).write(registers::put("p", b"v")).unwrap();
     // RYW read through the un-pushed cache with `wait` everywhere: the
     // read queues until the far-future lazy push. With a short timeout
     // the call reports rather than spinning.
     sim.set_call_timeout(std::time::Duration::from_secs(30));
-    let err = sim.read(&master, registers::get("p")).unwrap_err();
+    let err = sim.handle(master).read(registers::get("p")).unwrap_err();
     assert!(
         matches!(err, CallError::TimedOut | CallError::Stalled),
         "got {err:?}"
     );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_positional_shims_still_work() {
+    // The pre-ObjectSpec surface must keep functioning for one release.
+    let mut sim = GlobeSim::new(Topology::lan(), 5);
+    let server = sim.add_node();
+    let object = sim
+        .create_object(
+            "/legacy",
+            policy(),
+            &mut doc,
+            &[(server, StoreClass::Permanent)],
+        )
+        .unwrap();
+    let handle = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    sim.write(&handle, registers::put("p", b"old-api")).unwrap();
+    let got = sim.read(&handle, registers::get("p")).unwrap();
+    assert_eq!(&got[..], b"old-api");
 }

@@ -104,9 +104,17 @@ fn duplicate_write_req_is_acked_idempotently() {
     let mut r = rig(policy, true);
     let (store, client_node) = (&mut r.store, r.client_node);
     r.net.with_ctx(r.home_node, |ctx| {
-        store.accept_write(Some((client_node, RequestId::new(1), ClientId::new(9))), client_write(1), ctx);
+        store.accept_write(
+            Some((client_node, RequestId::new(1), ClientId::new(9))),
+            client_write(1),
+            ctx,
+        );
         // The proxy retransmits the same WiD.
-        store.accept_write(Some((client_node, RequestId::new(1), ClientId::new(9))), client_write(1), ctx);
+        store.accept_write(
+            Some((client_node, RequestId::new(1), ClientId::new(9))),
+            client_write(1),
+            ctx,
+        );
     });
     r.net.run_until_quiescent();
     // Exactly one semantic application…
@@ -246,9 +254,19 @@ fn stale_full_state_is_ignored() {
     let state = old_doc.snapshot();
     let store = &mut r.store;
     r.net.with_ctx(r.peer_node, |ctx| {
-        store.handle_full_state(stale_version, state, vec![("page".into(), wid(9, 2))], None, ctx);
+        store.handle_full_state(
+            stale_version,
+            state,
+            vec![("page".into(), wid(9, 2))],
+            None,
+            ctx,
+        );
     });
-    assert_eq!(r.store.final_digest(), digest_before, "stale snapshot must not regress state");
+    assert_eq!(
+        r.store.final_digest(),
+        digest_before,
+        "stale snapshot must not regress state"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 use std::time::Duration;
 
 use globe_coherence::{ClientModel, StoreClass};
-use globe_core::{registers, BindOptions, GlobeTcp, RegisterDoc, ReplicationPolicy};
+use globe_core::{registers, BindOptions, GlobeTcp, ObjectSpec, RegisterDoc, ReplicationPolicy};
 
 const CALL_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -20,16 +20,12 @@ fn conference_page_over_real_sockets() {
 
     let mut policy = ReplicationPolicy::conference_page();
     policy.lazy_period = Duration::from_millis(300); // faster for a test
-    let object = globe
-        .create_object(
-            "/conf/icdcs98",
-            policy,
-            &mut || Box::new(RegisterDoc::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/conf/icdcs98")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut globe)
         .expect("create object");
 
     let master = globe
@@ -50,10 +46,10 @@ fn conference_page_over_real_sockets() {
     // The master writes to the server and immediately reads through the
     // cache: RYW must force the cache to demand the update.
     globe
-        .write(&master, registers::put("program.html", b"v1"), CALL_TIMEOUT)
+        .write_timeout(&master, registers::put("program.html", b"v1"), CALL_TIMEOUT)
         .expect("master write");
     let got = globe
-        .read(&master, registers::get("program.html"), CALL_TIMEOUT)
+        .read_timeout(&master, registers::get("program.html"), CALL_TIMEOUT)
         .expect("master read");
     assert_eq!(&got[..], b"v1", "read-your-writes over TCP");
 
@@ -61,7 +57,7 @@ fn conference_page_over_real_sockets() {
     let mut user_saw = Vec::new();
     for _ in 0..50 {
         user_saw = globe
-            .read(&user, registers::get("program.html"), CALL_TIMEOUT)
+            .read_timeout(&user, registers::get("program.html"), CALL_TIMEOUT)
             .expect("user read")
             .to_vec();
         if user_saw == b"v1" {
@@ -93,16 +89,12 @@ fn incremental_updates_over_sockets_stay_ordered() {
         .immediate()
         .build()
         .expect("valid");
-    let object = globe
-        .create_object(
-            "/tcp/stream",
-            policy,
-            &mut || Box::new(RegisterDoc::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/tcp/stream")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut globe)
         .expect("create");
     let writer = globe
         .bind(object, writer_node, BindOptions::new().read_node(server))
@@ -111,7 +103,7 @@ fn incremental_updates_over_sockets_stay_ordered() {
 
     for i in 0..10 {
         globe
-            .write(
+            .write_timeout(
                 &writer,
                 registers::put("page", format!("v{i}").as_bytes()),
                 CALL_TIMEOUT,
@@ -119,7 +111,7 @@ fn incremental_updates_over_sockets_stay_ordered() {
             .expect("write");
     }
     let got = globe
-        .read(&writer, registers::get("page"), CALL_TIMEOUT)
+        .read_timeout(&writer, registers::get("page"), CALL_TIMEOUT)
         .expect("read");
     assert_eq!(&got[..], b"v9");
 

@@ -20,8 +20,12 @@ impl fmt::Display for ParseNameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseNameError::NotAbsolute => write!(f, "object names must start with '/'"),
-            ParseNameError::EmptyComponent => write!(f, "object names may not have empty components"),
-            ParseNameError::BadCharacter(c) => write!(f, "character {c:?} not allowed in object names"),
+            ParseNameError::EmptyComponent => {
+                write!(f, "object names may not have empty components")
+            }
+            ParseNameError::BadCharacter(c) => {
+                write!(f, "character {c:?} not allowed in object names")
+            }
         }
     }
 }

@@ -86,8 +86,15 @@ impl Ord for Scheduled {
 }
 
 enum Action {
-    Send { to: NodeId, payload: Bytes },
-    SetTimer { delay: Duration, token: TimerToken, id: TimerId },
+    Send {
+        to: NodeId,
+        payload: Bytes,
+    },
+    SetTimer {
+        delay: Duration,
+        token: TimerToken,
+        id: TimerId,
+    },
     CancelTimer(TimerId),
 }
 

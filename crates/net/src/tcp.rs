@@ -297,9 +297,8 @@ fn accept_loop(listener: TcpListener, inbox: Sender<Event>, shared: Arc<MeshShar
                 if hello.len() != 4 {
                     return;
                 }
-                let from = NodeId::new(u32::from_be_bytes([
-                    hello[0], hello[1], hello[2], hello[3],
-                ]));
+                let from =
+                    NodeId::new(u32::from_be_bytes([hello[0], hello[1], hello[2], hello[3]]));
                 while let Ok(frame) = read_frame(&mut stream) {
                     if inbox
                         .send(Event::Message {
@@ -366,7 +365,9 @@ impl TcpEndpoint {
                 return;
             }
             if let Some(event) = self.recv_timeout(poll) {
-                let mut ctx = TcpCtx { endpoint: &mut self };
+                let mut ctx = TcpCtx {
+                    endpoint: &mut self,
+                };
                 handler(event, &mut ctx);
             }
         }
@@ -391,7 +392,9 @@ impl TcpEndpoint {
 
 impl std::fmt::Debug for TcpEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpEndpoint").field("node", &self.node).finish()
+        f.debug_struct("TcpEndpoint")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -448,7 +451,9 @@ impl TcpSender {
 
 impl std::fmt::Debug for TcpSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpSender").field("node", &self.node).finish()
+        f.debug_struct("TcpSender")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -485,7 +490,9 @@ impl NetCtx for TcpCtx<'_> {
 
 impl std::fmt::Debug for TcpCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpCtx").field("node", &self.node()).finish()
+        f.debug_struct("TcpCtx")
+            .field("node", &self.node())
+            .finish()
     }
 }
 
@@ -566,7 +573,9 @@ mod tests {
         let sender = a.sender();
         let bn = b.node();
         for i in 0..200u32 {
-            sender.send(bn, Bytes::from(i.to_be_bytes().to_vec())).unwrap();
+            sender
+                .send(bn, Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
         }
         let mut got = Vec::new();
         while got.len() < 200 {

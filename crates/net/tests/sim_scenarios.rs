@@ -130,11 +130,15 @@ fn timers_and_messages_interleave_deterministically() {
         let log_b = Rc::clone(&log);
         net.set_handler(b, move |event, ctx| match event {
             Event::Message { payload, .. } => {
-                log_b.borrow_mut().push(format!("msg:{:?}@{}", payload, ctx.now()));
+                log_b
+                    .borrow_mut()
+                    .push(format!("msg:{:?}@{}", payload, ctx.now()));
                 ctx.set_timer(Duration::from_millis(3), TimerToken(1));
             }
             Event::Timer { token } => {
-                log_b.borrow_mut().push(format!("timer:{}@{}", token.0, ctx.now()));
+                log_b
+                    .borrow_mut()
+                    .push(format!("timer:{}@{}", token.0, ctx.now()));
             }
         });
         net.with_ctx(a, |ctx| {

@@ -1,51 +1,78 @@
 //! A typed client over a bound Web object.
 
-use globe_core::{CallError, ClientHandle, GlobeSim};
+use globe_core::{BindOptions, CallError, ClientHandle, GlobeRuntime, ObjectHandle, RuntimeError};
+use globe_naming::ObjectId;
+use globe_net::NodeId;
 
 use crate::{methods, Page, WebDocument};
 
 /// Typed wrapper translating Web-document method calls into marshalled
-/// invocations on a [`ClientHandle`] — the "browser side" of the object.
+/// invocations on an [`ObjectHandle`] — the "browser side" of the
+/// object, independent of which runtime (simulated or real sockets)
+/// serves it.
 ///
 /// # Examples
 ///
 /// ```
 /// use globe_coherence::StoreClass;
-/// use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+/// use globe_core::{BindOptions, GlobeSim, ObjectSpec, ReplicationPolicy};
 /// use globe_net::Topology;
 /// use globe_web::{Page, WebClient, WebSemantics};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut sim = GlobeSim::new(Topology::lan(), 1);
 /// let server = sim.add_node();
-/// let object = sim.create_object(
-///     "/home/page",
-///     ReplicationPolicy::personal_home_page(),
-///     &mut || Box::new(WebSemantics::new()),
-///     &[(server, StoreClass::Permanent)],
-/// )?;
-/// let handle = sim.bind(object, server, BindOptions::new())?;
-/// let client = WebClient::new(handle);
-/// client.put_page(&mut sim, "index.html", Page::html("<h1>hi</h1>"))?;
-/// let page = client.get_page(&mut sim, "index.html")?.unwrap();
+/// let object = ObjectSpec::new("/home/page")
+///     .policy(ReplicationPolicy::personal_home_page())
+///     .semantics(WebSemantics::new)
+///     .store(server, StoreClass::Permanent)
+///     .create(&mut sim)?;
+/// let mut client = WebClient::bind(&mut sim, object, server, BindOptions::new())?;
+/// client.put_page("index.html", Page::html("<h1>hi</h1>"))?;
+/// let page = client.get_page("index.html")?.unwrap();
 /// assert_eq!(page.body, bytes::Bytes::from("<h1>hi</h1>"));
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct WebClient {
-    handle: ClientHandle,
+#[derive(Debug)]
+pub struct WebClient<'r, R: GlobeRuntime> {
+    handle: ObjectHandle<'r, R>,
 }
 
-impl WebClient {
-    /// Wraps a bound handle.
-    pub fn new(handle: ClientHandle) -> Self {
+impl<'r, R: GlobeRuntime> WebClient<'r, R> {
+    /// Wraps an already-acquired object handle.
+    pub fn new(handle: ObjectHandle<'r, R>) -> Self {
         WebClient { handle }
     }
 
-    /// The underlying handle.
-    pub fn handle(&self) -> ClientHandle {
-        self.handle
+    /// Binds a fresh client session in `node` and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node is unknown or the
+    /// requested replica does not exist.
+    pub fn bind(
+        rt: &'r mut R,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<Self, RuntimeError> {
+        Ok(WebClient {
+            handle: rt.bind_handle(object, node, opts)?,
+        })
+    }
+
+    /// Re-wraps an existing binding (no new session is created) — the
+    /// way to speak for one of several clients in turn.
+    pub fn attach(rt: &'r mut R, client: ClientHandle) -> Self {
+        WebClient {
+            handle: rt.handle(client),
+        }
+    }
+
+    /// The underlying client binding.
+    pub fn client(&self) -> ClientHandle {
+        self.handle.client()
     }
 
     /// Fetches one page.
@@ -54,8 +81,8 @@ impl WebClient {
     ///
     /// Returns a [`CallError`] if the call fails or the reply cannot be
     /// decoded.
-    pub fn get_page(&self, sim: &mut GlobeSim, path: &str) -> Result<Option<Page>, CallError> {
-        let reply = sim.read(&self.handle, methods::get_page(path))?;
+    pub fn get_page(&mut self, path: &str) -> Result<Option<Page>, CallError> {
+        let reply = self.handle.read(methods::get_page(path))?;
         globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
     }
 
@@ -64,8 +91,8 @@ impl WebClient {
     /// # Errors
     ///
     /// Returns a [`CallError`] if the call fails.
-    pub fn put_page(&self, sim: &mut GlobeSim, path: &str, page: Page) -> Result<(), CallError> {
-        sim.write(&self.handle, methods::put_page(path, &page))?;
+    pub fn put_page(&mut self, path: &str, page: Page) -> Result<(), CallError> {
+        self.handle.write(methods::put_page(path, &page))?;
         Ok(())
     }
 
@@ -75,8 +102,8 @@ impl WebClient {
     /// # Errors
     ///
     /// Returns a [`CallError`] if the call fails.
-    pub fn patch_page(&self, sim: &mut GlobeSim, path: &str, extra: &[u8]) -> Result<(), CallError> {
-        sim.write(&self.handle, methods::patch_page(path, extra))?;
+    pub fn patch_page(&mut self, path: &str, extra: &[u8]) -> Result<(), CallError> {
+        self.handle.write(methods::patch_page(path, extra))?;
         Ok(())
     }
 
@@ -85,8 +112,8 @@ impl WebClient {
     /// # Errors
     ///
     /// Returns a [`CallError`] if the call fails.
-    pub fn remove_page(&self, sim: &mut GlobeSim, path: &str) -> Result<(), CallError> {
-        sim.write(&self.handle, methods::remove_page(path))?;
+    pub fn remove_page(&mut self, path: &str) -> Result<(), CallError> {
+        self.handle.write(methods::remove_page(path))?;
         Ok(())
     }
 
@@ -96,8 +123,8 @@ impl WebClient {
     ///
     /// Returns a [`CallError`] if the call fails or the reply cannot be
     /// decoded.
-    pub fn list_pages(&self, sim: &mut GlobeSim) -> Result<Vec<String>, CallError> {
-        let reply = sim.read(&self.handle, methods::list_pages())?;
+    pub fn list_pages(&mut self) -> Result<Vec<String>, CallError> {
+        let reply = self.handle.read(methods::list_pages())?;
         globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
     }
 
@@ -107,8 +134,8 @@ impl WebClient {
     ///
     /// Returns a [`CallError`] if the call fails or the reply cannot be
     /// decoded.
-    pub fn get_document(&self, sim: &mut GlobeSim) -> Result<WebDocument, CallError> {
-        let reply = sim.read(&self.handle, methods::get_document())?;
+    pub fn get_document(&mut self) -> Result<WebDocument, CallError> {
+        let reply = self.handle.read(methods::get_document())?;
         globe_wire::from_bytes(&reply).map_err(|e| CallError::Semantics(e.to_string()))
     }
 }

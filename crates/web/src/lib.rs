@@ -7,11 +7,16 @@
 //! ([`WebClient`]) for bound handles, and a small HTTP/1.0 gateway so
 //! "existing Web browsers" can front a replica, as in the prototype.
 //!
+//! The client surface is runtime-agnostic: [`WebClient`] wraps a
+//! `globe_core::ObjectHandle`, so the same code drives a simulated or a
+//! real-socket deployment without threading `&mut runtime` through each
+//! call.
+//!
 //! # Examples
 //!
 //! ```
 //! use globe_coherence::StoreClass;
-//! use globe_core::{BindOptions, GlobeSim, ReplicationPolicy};
+//! use globe_core::{BindOptions, GlobeSim, ObjectSpec, ReplicationPolicy};
 //! use globe_net::Topology;
 //! use globe_web::{Page, WebClient, WebSemantics};
 //!
@@ -19,15 +24,16 @@
 //! let mut sim = GlobeSim::new(Topology::wan(), 3);
 //! let server = sim.add_node();
 //! let cache = sim.add_node();
-//! let object = sim.create_object(
-//!     "/conf/icdcs98",
-//!     ReplicationPolicy::conference_page(),
-//!     &mut || Box::new(WebSemantics::new()),
-//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
-//! )?;
-//! let master = WebClient::new(sim.bind(object, server, BindOptions::new().read_node(server))?);
-//! master.put_page(&mut sim, "cfp.html", Page::html("<h1>Call for papers</h1>"))?;
-//! assert_eq!(master.list_pages(&mut sim)?, vec!["cfp.html".to_string()]);
+//! let object = ObjectSpec::new("/conf/icdcs98")
+//!     .policy(ReplicationPolicy::conference_page())
+//!     .semantics(WebSemantics::new)
+//!     .store(server, StoreClass::Permanent)
+//!     .store(cache, StoreClass::ClientInitiated)
+//!     .create(&mut sim)?;
+//! let mut master = WebClient::bind(&mut sim, object, server,
+//!     BindOptions::new().read_node(server))?;
+//! master.put_page("cfp.html", Page::html("<h1>Call for papers</h1>"))?;
+//! assert_eq!(master.list_pages()?, vec!["cfp.html".to_string()]);
 //! # Ok(())
 //! # }
 //! ```

@@ -8,6 +8,10 @@ use crate::{methods, Page, WebDocument};
 
 /// [`Semantics`] implementation wrapping a [`WebDocument`].
 ///
+/// Install it on any runtime through the object builder:
+/// `ObjectSpec::new(path).semantics(WebSemantics::new)` hands each
+/// replica its own fresh instance.
+///
 /// # Examples
 ///
 /// ```
@@ -50,8 +54,7 @@ impl Semantics for WebSemantics {
     fn dispatch(&mut self, inv: &InvocationMessage) -> Result<Bytes, SemanticsError> {
         match inv.method {
             methods::GET_PAGE => {
-                let path: String =
-                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                let path: String = globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
                 let page = self.doc.page(&path).cloned();
                 Ok(globe_wire::to_bytes(&page))
             }
@@ -68,8 +71,7 @@ impl Semantics for WebSemantics {
                 Ok(Bytes::new())
             }
             methods::REMOVE_PAGE => {
-                let path: String =
-                    globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
+                let path: String = globe_wire::from_bytes(&inv.args).map_err(Self::bad_args)?;
                 self.doc.remove(&path);
                 Ok(Bytes::new())
             }
@@ -109,8 +111,8 @@ impl Semantics for WebSemantics {
     }
 
     fn restore(&mut self, snapshot: &[u8]) -> Result<(), SemanticsError> {
-        self.doc =
-            globe_wire::from_bytes(snapshot).map_err(|e| SemanticsError::BadState(e.to_string()))?;
+        self.doc = globe_wire::from_bytes(snapshot)
+            .map_err(|e| SemanticsError::BadState(e.to_string()))?;
         Ok(())
     }
 
@@ -128,7 +130,8 @@ mod tests {
         let mut sem = WebSemantics::new();
         sem.dispatch(&methods::put_page("a.html", &Page::html("alpha")))
             .unwrap();
-        sem.dispatch(&methods::patch_page("a.html", b" beta")).unwrap();
+        sem.dispatch(&methods::patch_page("a.html", b" beta"))
+            .unwrap();
         let page: Option<Page> =
             globe_wire::from_bytes(&sem.dispatch(&methods::get_page("a.html")).unwrap()).unwrap();
         assert_eq!(page.unwrap().body, Bytes::from("alpha beta"));
@@ -169,7 +172,8 @@ mod tests {
     #[test]
     fn snapshot_restore_digest_stability() {
         let mut a = WebSemantics::new();
-        a.dispatch(&methods::put_page("p", &Page::html("v"))).unwrap();
+        a.dispatch(&methods::put_page("p", &Page::html("v")))
+            .unwrap();
         let mut b = WebSemantics::new();
         b.restore(&a.snapshot()).unwrap();
         assert_eq!(a.digest(), b.digest());

@@ -7,118 +7,121 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use globe_coherence::StoreClass;
-use globe_core::{BindOptions, CallError, GlobeSim, ReplicationPolicy};
+use globe_core::{BindOptions, CallError, ClientHandle, GlobeSim, ObjectSpec, ReplicationPolicy};
 use globe_net::Topology;
 use globe_web::{DocumentProvider, Gateway, Page, WebClient, WebDocument, WebSemantics};
 
-fn setup() -> (GlobeSim, WebClient, WebClient) {
+fn setup() -> (GlobeSim, ClientHandle, ClientHandle) {
     let mut sim = GlobeSim::new(Topology::lan(), 7);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/web/test",
+    let object = ObjectSpec::new("/web/test")
+        .policy(
             ReplicationPolicy::builder(globe_coherence::ObjectModel::Pram)
                 .immediate()
                 .build()
                 .unwrap(),
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
         )
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .unwrap();
-    let writer = WebClient::new(
-        sim.bind(object, server, BindOptions::new().read_node(server))
-            .unwrap(),
-    );
-    let reader = WebClient::new(
-        sim.bind(object, cache, BindOptions::new().read_node(cache))
-            .unwrap(),
-    );
+    let writer = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    let reader = sim
+        .bind(object, cache, BindOptions::new().read_node(cache))
+        .unwrap();
     (sim, writer, reader)
 }
 
 #[test]
 fn full_document_lifecycle_through_the_typed_client() {
     let (mut sim, writer, reader) = setup();
-    writer
-        .put_page(&mut sim, "index.html", Page::html("<h1>home</h1>"))
-        .unwrap();
-    writer
-        .put_page(
-            &mut sim,
-            "logo.png",
-            Page::with_type("image/png", vec![1u8, 2, 3]),
-        )
-        .unwrap();
-    writer.patch_page(&mut sim, "news.html", b"day 1; ").unwrap();
-    writer.patch_page(&mut sim, "news.html", b"day 2;").unwrap();
+    {
+        let mut w = WebClient::attach(&mut sim, writer);
+        w.put_page("index.html", Page::html("<h1>home</h1>"))
+            .unwrap();
+        w.put_page("logo.png", Page::with_type("image/png", vec![1u8, 2, 3]))
+            .unwrap();
+        w.patch_page("news.html", b"day 1; ").unwrap();
+        w.patch_page("news.html", b"day 2;").unwrap();
+    }
     sim.run_for(Duration::from_secs(1));
 
-    assert_eq!(
-        reader.list_pages(&mut sim).unwrap(),
-        vec!["index.html", "logo.png", "news.html"]
-    );
-    let news = reader.get_page(&mut sim, "news.html").unwrap().unwrap();
-    assert_eq!(&news.body[..], b"day 1; day 2;");
-    let logo = reader.get_page(&mut sim, "logo.png").unwrap().unwrap();
-    assert_eq!(logo.content_type, "image/png");
+    {
+        let mut r = WebClient::attach(&mut sim, reader);
+        assert_eq!(
+            r.list_pages().unwrap(),
+            vec!["index.html", "logo.png", "news.html"]
+        );
+        let news = r.get_page("news.html").unwrap().unwrap();
+        assert_eq!(&news.body[..], b"day 1; day 2;");
+        let logo = r.get_page("logo.png").unwrap().unwrap();
+        assert_eq!(logo.content_type, "image/png");
 
-    let doc: WebDocument = reader.get_document(&mut sim).unwrap();
-    assert_eq!(doc.len(), 3);
-    assert_eq!(doc.total_bytes(), 13 + 3 + 13);
+        let doc: WebDocument = r.get_document().unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.total_bytes(), 13 + 3 + 13);
+    }
 
-    writer.remove_page(&mut sim, "logo.png").unwrap();
+    WebClient::attach(&mut sim, writer)
+        .remove_page("logo.png")
+        .unwrap();
     sim.run_for(Duration::from_secs(1));
-    assert!(reader.get_page(&mut sim, "logo.png").unwrap().is_none());
-    assert_eq!(reader.list_pages(&mut sim).unwrap().len(), 2);
+    let mut r = WebClient::attach(&mut sim, reader);
+    assert!(r.get_page("logo.png").unwrap().is_none());
+    assert_eq!(r.list_pages().unwrap().len(), 2);
 }
 
 #[test]
 fn typed_client_surfaces_call_errors_across_partitions() {
     let (mut sim, writer, _) = setup();
     sim.set_call_timeout(Duration::from_secs(2));
-    let stores: Vec<_> = sim.stores_of(writer.handle().object);
+    let stores: Vec<_> = sim.stores_of(writer.object);
     let (server_node, _, _) = stores[0];
     let (cache_node, _, _) = stores[1];
     sim.topology_mut().partition(server_node, cache_node);
 
     // The writer is co-located with the server: unaffected.
-    writer
-        .put_page(&mut sim, "p", Page::html("ok"))
+    WebClient::attach(&mut sim, writer)
+        .put_page("p", Page::html("ok"))
         .expect("server-side write unaffected by the partition");
 
     // A client at the cache node reads locally (stale but served)…
-    let cache_client = WebClient::new(
-        sim.bind(
-            writer.handle().object,
+    let cache_client = sim
+        .bind(
+            writer.object,
             cache_node,
             BindOptions::new().read_node(cache_node),
         )
-        .unwrap(),
-    );
-    assert!(
-        cache_client.get_page(&mut sim, "p").unwrap().is_none(),
-        "cache serves its (stale) local state during the partition"
-    );
-    // …but its writes must cross the partition to the home store: the
-    // typed client surfaces the timeout instead of hanging.
-    match cache_client.put_page(&mut sim, "mine", Page::html("x")) {
-        Err(CallError::TimedOut) | Err(CallError::Stalled) => {}
-        other => panic!("expected a stall across the partition, got {other:?}"),
+        .unwrap();
+    {
+        let mut c = WebClient::attach(&mut sim, cache_client);
+        assert!(
+            c.get_page("p").unwrap().is_none(),
+            "cache serves its (stale) local state during the partition"
+        );
+        // …but its writes must cross the partition to the home store: the
+        // typed client surfaces the timeout instead of hanging.
+        match c.put_page("mine", Page::html("x")) {
+            Err(CallError::TimedOut) | Err(CallError::Stalled) => {}
+            other => panic!("expected a stall across the partition, got {other:?}"),
+        }
     }
 
     // After healing, the session's retransmission delivers the stuck
     // write and new operations flow again.
     sim.topology_mut().heal(server_node, cache_node);
     sim.run_for(Duration::from_secs(3));
-    cache_client
-        .put_page(&mut sim, "mine2", Page::html("y"))
+    WebClient::attach(&mut sim, cache_client)
+        .put_page("mine2", Page::html("y"))
         .expect("healed network: writes complete");
     sim.run_for(Duration::from_secs(1));
-    let page = writer.get_page(&mut sim, "mine").unwrap();
+    let page = WebClient::attach(&mut sim, writer)
+        .get_page("mine")
+        .unwrap();
     assert!(
         page.is_some(),
         "the write stuck during the partition must be retransmitted"

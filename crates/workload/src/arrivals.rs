@@ -77,10 +77,10 @@ mod tests {
 
     #[test]
     fn poisson_is_deterministic_per_seed() {
-        let a = Arrival::Poisson(10.0)
-            .schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
-        let b = Arrival::Poisson(10.0)
-            .schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
+        let a =
+            Arrival::Poisson(10.0).schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
+        let b =
+            Arrival::Poisson(10.0).schedule(&mut StdRng::seed_from_u64(3), Duration::from_secs(10));
         assert_eq!(a, b);
     }
 }

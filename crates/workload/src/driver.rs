@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use globe_core::{CallError, ClientHandle, GlobeSim, MethodKind, RequestId};
+use globe_core::{CallError, ClientHandle, GlobeRuntime, GlobeSim, MethodKind, RequestId};
 use globe_web::{methods, Page};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,7 +168,10 @@ pub fn run_workload(
         }
         let _ = rng.random::<u32>(); // decorrelate successive choices
     }
-    sim.run_for(spec.duration.saturating_sub(sim.now().saturating_since(start)));
+    sim.run_for(
+        spec.duration
+            .saturating_sub(sim.now().saturating_since(start)),
+    );
     sim.run_for(spec.drain);
     sim.finalize_digests();
 
@@ -235,16 +238,16 @@ pub fn run_workload(
     }
 }
 
-/// Convenience: drives `n` sequential synchronous reads and returns the
-/// failures (used by smoke tests).
-pub fn smoke_reads(
-    sim: &mut GlobeSim,
+/// Convenience: drives `n` sequential synchronous reads on any runtime
+/// and returns the failures (used by smoke tests).
+pub fn smoke_reads<R: GlobeRuntime>(
+    rt: &mut R,
     handle: &ClientHandle,
     pages: &[String],
 ) -> Vec<(String, CallError)> {
     let mut failures = Vec::new();
     for page in pages {
-        if let Err(e) = sim.read(handle, methods::get_page(page)) {
+        if let Err(e) = rt.handle(*handle).read(methods::get_page(page)) {
             failures.push((page.clone(), e));
         }
     }
@@ -254,7 +257,7 @@ pub fn smoke_reads(
 #[cfg(test)]
 mod tests {
     use globe_coherence::StoreClass;
-    use globe_core::{BindOptions, ReplicationPolicy};
+    use globe_core::{BindOptions, ObjectSpec, ReplicationPolicy};
     use globe_net::Topology;
     use globe_web::WebSemantics;
 
@@ -265,16 +268,12 @@ mod tests {
         let mut sim = GlobeSim::new(Topology::lan(), 5);
         let server = sim.add_node();
         let cache = sim.add_node();
-        let object = sim
-            .create_object(
-                "/w",
-                ReplicationPolicy::magazine(),
-                &mut || Box::new(WebSemantics::new()),
-                &[
-                    (server, StoreClass::Permanent),
-                    (cache, StoreClass::ObjectInitiated),
-                ],
-            )
+        let object = ObjectSpec::new("/w")
+            .policy(ReplicationPolicy::magazine())
+            .semantics(WebSemantics::new)
+            .store(server, StoreClass::Permanent)
+            .store(cache, StoreClass::ObjectInitiated)
+            .create(&mut sim)
             .unwrap();
         let writer = sim
             .bind(object, server, BindOptions::new().read_node(server))
@@ -307,16 +306,12 @@ mod tests {
             let mut sim = GlobeSim::new(Topology::wan(), 9);
             let server = sim.add_node();
             let cache = sim.add_node();
-            let object = sim
-                .create_object(
-                    "/w",
-                    ReplicationPolicy::magazine(),
-                    &mut || Box::new(WebSemantics::new()),
-                    &[
-                        (server, StoreClass::Permanent),
-                        (cache, StoreClass::ObjectInitiated),
-                    ],
-                )
+            let object = ObjectSpec::new("/w")
+                .policy(ReplicationPolicy::magazine())
+                .semantics(WebSemantics::new)
+                .store(server, StoreClass::Permanent)
+                .store(cache, StoreClass::ObjectInitiated)
+                .create(&mut sim)
                 .unwrap();
             let writer = sim
                 .bind(object, server, BindOptions::new().read_node(server))

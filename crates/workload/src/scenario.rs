@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use globe_coherence::{ClientModel, StoreClass};
-use globe_core::{BindOptions, ClientHandle, GlobeSim, ReplicationPolicy, RuntimeError};
+use globe_core::{
+    BindOptions, ClientHandle, GlobeSim, ObjectSpec, ReplicationPolicy, RuntimeError,
+};
 use globe_naming::ObjectId;
 use globe_net::{NodeId, RegionId, Topology};
 use globe_web::WebSemantics;
@@ -111,12 +113,11 @@ pub fn build(spec: &SetupSpec) -> Result<ScenarioInstance, RuntimeError> {
     let mut placement = vec![(server, StoreClass::Permanent)];
     placement.extend(mirrors.iter().map(|&n| (n, StoreClass::ObjectInitiated)));
     placement.extend(caches.iter().map(|&n| (n, StoreClass::ClientInitiated)));
-    let object = sim.create_object(
-        &spec.name,
-        spec.policy.clone(),
-        &mut || Box::new(WebSemantics::new()),
-        &placement,
-    )?;
+    let object = ObjectSpec::new(&spec.name)
+        .policy(spec.policy.clone())
+        .semantics(WebSemantics::new)
+        .stores(&placement)
+        .create(&mut sim)?;
 
     // Readers bind round-robin across the non-permanent replicas (or the
     // server if there are none).

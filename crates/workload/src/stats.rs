@@ -187,7 +187,7 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.stale_fraction, 0.5);
         assert_eq!(s.mean_missing_writes, 1.0); // 2 missing over 2 reads
-        // Oldest missing was write 2 issued at t=2, read at t=4 → 2 s.
+                                                // Oldest missing was write 2 issued at t=2, read at t=4 → 2 s.
         assert_eq!(s.mean_staleness, Duration::from_secs(2));
         assert_eq!(s.max_staleness, Duration::from_secs(2));
     }

@@ -35,8 +35,7 @@ fn run_and_check(
     );
     let history = instance.sim.history();
     let history = history.lock();
-    check::check_object_model(&history, model)
-        .unwrap_or_else(|v| panic!("{}: {v}", instance.name));
+    check::check_object_model(&history, model).unwrap_or_else(|v| panic!("{}: {v}", instance.name));
     outcome
 }
 

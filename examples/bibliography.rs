@@ -31,53 +31,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = ReplicationPolicy::builder(ObjectModel::Pram)
         .immediate()
         .build()?;
-    let object = sim.create_object(
-        "/db/bibliography",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (server, StoreClass::Permanent),
-            (library_site, StoreClass::ClientInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/db/bibliography")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(library_site, StoreClass::ClientInitiated)
+        .create(&mut sim)?;
 
-    let librarian = WebClient::new(sim.bind(
-        object,
-        librarian_site,
-        BindOptions::new().read_node(server),
-    )?);
-    let library = WebClient::new(sim.bind(
+    let librarian = sim.bind(object, librarian_site, BindOptions::new().read_node(server))?;
+    let library = sim.bind(
         object,
         library_site,
         BindOptions::new().read_node(library_site),
-    )?);
+    )?;
 
     // Two pipelined writes: add the record, then update its year field.
-    let w1 = sim.issue_write(
-        &librarian.handle(),
-        methods::put_page(
+    let (w1, w2) = {
+        let mut l = sim.handle(librarian);
+        let w1 = l.issue_write(methods::put_page(
             "kermarrec98",
             &Page::html("title: Consistent Replicated Web Objects; year: ????"),
-        ),
-    )?;
-    let w2 = sim.issue_write(
-        &librarian.handle(),
-        methods::put_page(
+        ))?;
+        let w2 = l.issue_write(methods::put_page(
             "kermarrec98",
             &Page::html("title: Consistent Replicated Web Objects; year: 1998"),
-        ),
-    )?;
+        ))?;
+        (w1, w2)
+    };
     println!("librarian pipelined: add record (w1), update year (w2)");
 
     sim.run_for(Duration::from_secs(5));
-    assert!(sim.result(&librarian.handle(), w1).is_some());
-    assert!(sim.result(&librarian.handle(), w2).is_some());
+    assert!(sim.handle(librarian).result(w1).is_some());
+    assert!(sim.handle(librarian).result(w2).is_some());
 
     // Whatever the arrival order at the library's replica, PRAM buffering
     // guarantees the final state includes the year update, never the
     // reverse order.
-    let record = library
-        .get_page(&mut sim, "kermarrec98")?
+    let record = WebClient::attach(&mut sim, library)
+        .get_page("kermarrec98")?
         .expect("record replicated");
     println!(
         "library replica serves: {:?}",

@@ -29,7 +29,11 @@ impl PageProvider for GlobeBackedProvider {
         let reply = self
             .globe
             .lock()
-            .read(&self.handle, methods::get_page(path), Duration::from_secs(5))
+            .read_timeout(
+                &self.handle,
+                methods::get_page(path),
+                Duration::from_secs(5),
+            )
             .ok()?;
         globe_wire::from_bytes::<Option<Page>>(&reply).ok()?
     }
@@ -37,7 +41,7 @@ impl PageProvider for GlobeBackedProvider {
     fn store(&mut self, path: &str, page: Page) -> bool {
         self.globe
             .lock()
-            .write(
+            .write_timeout(
                 &self.handle,
                 methods::put_page(path, &page),
                 Duration::from_secs(5),
@@ -63,15 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut policy = ReplicationPolicy::conference_page();
     policy.lazy_period = Duration::from_millis(300);
-    let object = globe.create_object(
-        "/conf/icdcs98",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (server, StoreClass::Permanent),
-            (cache, StoreClass::ClientInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/conf/icdcs98")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut globe)?;
 
     // The gateway acts as a client bound through the cache, with RYW so
     // a browser that PUTs a page immediately GETs its own update.

@@ -24,45 +24,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     policy.lazy_period = Duration::from_secs(5); // periodic push, 5 s
     println!("The conference page's replication strategy (Table 2):\n{policy}\n");
 
-    let object = sim.create_object(
-        "/conf/icdcs98/home",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (web_server, StoreClass::Permanent),
-            (cache_m, StoreClass::ClientInitiated),
-            (cache_u, StoreClass::ClientInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/conf/icdcs98/home")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(web_server, StoreClass::Permanent)
+        .store(cache_m, StoreClass::ClientInitiated)
+        .store(cache_u, StoreClass::ClientInitiated)
+        .create(&mut sim)?;
 
     // Client M: the Web master. Writes go directly to the Web server;
     // reads come from cache M; RYW is enforced on top of PRAM.
-    let master = WebClient::new(sim.bind(
+    let master = sim.bind(
         object,
         cache_m,
         BindOptions::new()
             .read_node(cache_m)
             .guard(ClientModel::ReadYourWrites),
-    )?);
+    )?;
     // Client U: an interested participant reading through cache U.
-    let participant = WebClient::new(sim.bind(
-        object,
-        cache_u,
-        BindOptions::new().read_node(cache_u),
-    )?);
+    let participant = sim.bind(object, cache_u, BindOptions::new().read_node(cache_u))?;
 
     // The master incrementally updates the page as information arrives.
-    println!("[{}] master: create program.html", sim.now());
-    master.put_page(&mut sim, "program.html", Page::html("<h2>Program</h2>"))?;
-    println!("[{}] master: append keynote announcement", sim.now());
-    master.patch_page(&mut sim, "program.html", b"<p>Keynote: scaling the Web</p>")?;
+    let seen = {
+        let mut m = WebClient::attach(&mut sim, master);
+        println!("master: create program.html");
+        m.put_page("program.html", Page::html("<h2>Program</h2>"))?;
+        println!("master: append keynote announcement");
+        m.patch_page("program.html", b"<p>Keynote: scaling the Web</p>")?;
 
-    // The master immediately checks the update — through cache M, which
-    // has NOT yet received the periodic push. RYW makes the cache demand
-    // the missing writes from the server (client-outdate = demand).
-    let seen = master
-        .get_page(&mut sim, "program.html")?
-        .expect("page exists");
+        // The master immediately checks the update — through cache M,
+        // which has NOT yet received the periodic push. RYW makes the
+        // cache demand the missing writes from the server
+        // (client-outdate = demand).
+        m.get_page("program.html")?.expect("page exists")
+    };
     println!(
         "[{}] master: read own page through cache M -> {} bytes (RYW satisfied)",
         sim.now(),
@@ -73,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A participant reads right away: cache U is still stale (PRAM makes
     // no recency promise), so the page may be missing — that is the
     // paper's point about weak models at caches.
-    match participant.get_page(&mut sim, "program.html")? {
+    match WebClient::attach(&mut sim, participant).get_page("program.html")? {
         Some(page) => println!(
             "[{}] participant: read {} bytes (already pushed)",
             sim.now(),
@@ -87,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // After the periodic push, everyone converges.
     sim.run_for(Duration::from_secs(6));
-    let page = participant
-        .get_page(&mut sim, "program.html")?
+    let page = WebClient::attach(&mut sim, participant)
+        .get_page("program.html")?
         .expect("pushed by now");
     println!(
         "[{}] participant: after the periodic push -> {:?}",
@@ -101,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let history = sim.history();
     let history = history.lock();
     globe_coherence::check::check_pram(&history)?;
-    globe_coherence::check::check_read_your_writes(&history, master.handle().client)?;
+    globe_coherence::check::check_read_your_writes(&history, master.client)?;
     globe_coherence::check::check_eventual(&history)?;
     drop(history);
 
@@ -110,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = metrics.lock();
     println!("\nCoherence traffic (Fig. 4 message kinds):");
     for (kind, count) in &metrics.traffic {
-        println!("  {kind:<14} {:>4} msgs {:>8} bytes", count.count, count.bytes);
+        println!(
+            "  {kind:<14} {:>4} msgs {:>8} bytes",
+            count.count, count.bytes
+        );
     }
     Ok(())
 }

@@ -16,27 +16,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server_us = sim.add_node_in(RegionId::new(0));
     let reader_eu_site = sim.add_node_in(RegionId::new(1));
 
-    let policy = ReplicationPolicy::magazine(); // FIFO, lazy push
-    let object = sim.create_object(
-        "/events/worldcup",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[(server_us, StoreClass::Permanent)],
-    )?;
+    let object = ObjectSpec::new("/events/worldcup")
+        .policy(ReplicationPolicy::magazine()) // FIFO, lazy push
+        .semantics(WebSemantics::new)
+        .store(server_us, StoreClass::Permanent)
+        .create(&mut sim)?;
 
-    let editor = WebClient::new(sim.bind(object, server_us, BindOptions::new().read_node(server_us))?);
-    let eu_reader = WebClient::new(sim.bind(
+    let editor = sim.bind(object, server_us, BindOptions::new().read_node(server_us))?;
+    let eu_reader = sim.bind(
         object,
         reader_eu_site,
         BindOptions::new().read_node(server_us), // nothing closer yet
-    )?);
+    )?;
 
-    editor.put_page(&mut sim, "scores.html", Page::html("0 - 0"))?;
+    WebClient::attach(&mut sim, editor).put_page("scores.html", Page::html("0 - 0"))?;
     sim.run_for(Duration::from_secs(1));
 
     // Phase 1: the EU reader crosses the ocean for every read.
-    for _ in 0..10 {
-        eu_reader.get_page(&mut sim, "scores.html")?;
+    {
+        let mut reader = WebClient::attach(&mut sim, eu_reader);
+        for _ in 0..10 {
+            reader.get_page("scores.html")?;
+        }
     }
     let metrics = sim.metrics();
     let trans_atlantic = metrics.lock().mean_latency(MethodKind::Read).unwrap();
@@ -52,11 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(WebSemantics::new()),
     )?;
     sim.run_for(Duration::from_secs(2)); // initial sync
-    sim.rebind_reads(&eu_reader.handle(), mirror_eu)?;
+    sim.rebind_reads(&eu_reader, mirror_eu)?;
 
     let ops_before = sim.metrics().lock().ops.len();
-    for _ in 0..10 {
-        eu_reader.get_page(&mut sim, "scores.html")?;
+    {
+        let mut reader = WebClient::attach(&mut sim, eu_reader);
+        for _ in 0..10 {
+            reader.get_page("scores.html")?;
+        }
     }
     let metrics = sim.metrics();
     let metrics = metrics.lock();
@@ -73,10 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Updates keep flowing to the mirror via the object's push policy.
-    editor.put_page(&mut sim, "scores.html", Page::html("1 - 0 (89')"))?;
+    WebClient::attach(&mut sim, editor).put_page("scores.html", Page::html("1 - 0 (89')"))?;
     sim.run_for(Duration::from_secs(6)); // one lazy period
-    let latest = eu_reader
-        .get_page(&mut sim, "scores.html")?
+    let latest = WebClient::attach(&mut sim, eu_reader)
+        .get_page("scores.html")?
         .expect("scores page");
     println!(
         "after the push, the EU mirror serves: {:?}",

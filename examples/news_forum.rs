@@ -21,51 +21,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let policy = ReplicationPolicy::news_forum();
     println!("Forum policy:\n{policy}\n");
-    let object = sim.create_object(
-        "/forum/comp.dist",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (server, StoreClass::Permanent),
-            (mirror_eu, StoreClass::ObjectInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/forum/comp.dist")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror_eu, StoreClass::ObjectInitiated)
+        .create(&mut sim)?;
 
-    let author = WebClient::new(sim.bind(object, poster_site, BindOptions::new().read_node(server))?);
+    let author = sim.bind(object, poster_site, BindOptions::new().read_node(server))?;
     // The reactor reads the EU mirror and additionally demands
     // Writes-Follow-Reads, so their replies can never appear before the
     // article anywhere.
-    let reactor = WebClient::new(sim.bind(
+    let reactor = sim.bind(
         object,
         reactor_site,
         BindOptions::new()
             .read_node(mirror_eu)
             .guard(ClientModel::WritesFollowReads),
-    )?);
+    )?;
 
-    author.put_page(
-        &mut sim,
+    WebClient::attach(&mut sim, author).put_page(
         "thread-42",
         Page::html("<article>Globe objects announced</article>"),
     )?;
     println!("[{}] author posted the article", sim.now());
 
     sim.run_for(Duration::from_millis(500));
-    let article = reactor
-        .get_page(&mut sim, "thread-42")?
-        .expect("article propagated");
-    println!(
-        "[{}] reactor read the article from the EU mirror ({} bytes)",
-        sim.now(),
-        article.body.len()
-    );
+    {
+        let mut r = WebClient::attach(&mut sim, reactor);
+        let article = r.get_page("thread-42")?.expect("article propagated");
+        println!(
+            "reactor read the article from the EU mirror ({} bytes)",
+            article.body.len()
+        );
 
-    reactor.patch_page(&mut sim, "thread-42", b"<reply>Congratulations!</reply>")?;
+        r.patch_page("thread-42", b"<reply>Congratulations!</reply>")?;
+    }
     println!("[{}] reactor replied", sim.now());
 
     sim.run_for(Duration::from_secs(2));
-    let thread = author
-        .get_page(&mut sim, "thread-42")?
+    let thread = WebClient::attach(&mut sim, author)
+        .get_page("thread-42")?
         .expect("thread exists");
     println!(
         "[{}] author sees the full thread: {:?}",
@@ -79,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let history = sim.history();
     let history = history.lock();
     globe_coherence::check::check_causal(&history)?;
-    globe_coherence::check::check_writes_follow_reads(&history, reactor.handle().client)?;
+    globe_coherence::check::check_writes_follow_reads(&history, reactor.client)?;
     println!("\nCausal and Writes-Follow-Reads checkers passed.");
     Ok(())
 }

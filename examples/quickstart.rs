@@ -26,24 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .immediate()
         .build()?;
     println!("Creating /home/globe with policy:\n{policy}\n");
-    let object = sim.create_object(
-        "/home/globe",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (server, StoreClass::Permanent),
-            (mirror, StoreClass::ObjectInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/home/globe")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)?;
 
     // Binding installs a local object in each client's address space;
     // Alice's reads go to the nearby mirror, Bob's to the server.
-    let alice = WebClient::new(sim.bind(object, alice_machine, BindOptions::new().read_node(mirror))?);
-    let bob = WebClient::new(sim.bind(object, bob_machine, BindOptions::new().read_node(server))?);
+    let alice = sim.bind(object, alice_machine, BindOptions::new().read_node(mirror))?;
+    let bob = sim.bind(object, bob_machine, BindOptions::new().read_node(server))?;
 
     // Bob (the owner) publishes a page.
-    bob.put_page(
-        &mut sim,
+    WebClient::attach(&mut sim, bob).put_page(
         "index.html",
         Page::html("<h1>Globe: worldwide scalable Web objects</h1>"),
     )?;
@@ -52,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Give the push a moment to cross the WAN, then Alice reads from the
     // mirror in her own region — fast and fresh.
     sim.run_for(Duration::from_millis(500));
-    let page = alice
-        .get_page(&mut sim, "index.html")?
+    let page = WebClient::attach(&mut sim, alice)
+        .get_page("index.html")?
         .expect("page must exist");
     println!(
         "Alice read {} bytes from the mirror at {}: {:?}",

@@ -19,30 +19,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let policy = ReplicationPolicy::whiteboard();
     println!("White-board policy:\n{policy}\n");
-    let object = sim.create_object(
-        "/apps/whiteboard",
-        policy,
-        &mut || Box::new(WebSemantics::new()),
-        &[
-            (server, StoreClass::Permanent),
-            (alice_site, StoreClass::ClientInitiated),
-            (bob_site, StoreClass::ClientInitiated),
-        ],
-    )?;
+    let object = ObjectSpec::new("/apps/whiteboard")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(alice_site, StoreClass::ClientInitiated)
+        .store(bob_site, StoreClass::ClientInitiated)
+        .create(&mut sim)?;
 
-    let alice = WebClient::new(sim.bind(object, alice_site, BindOptions::new().read_node(alice_site))?);
-    let bob = WebClient::new(sim.bind(object, bob_site, BindOptions::new().read_node(bob_site))?);
+    let alice = sim.bind(object, alice_site, BindOptions::new().read_node(alice_site))?;
+    let bob = sim.bind(object, bob_site, BindOptions::new().read_node(bob_site))?;
 
     // Alice and Bob scribble concurrently on the same stroke list.
     for round in 0..5 {
-        alice.patch_page(&mut sim, "board", format!("A{round} ").as_bytes())?;
-        bob.patch_page(&mut sim, "board", format!("B{round} ").as_bytes())?;
+        WebClient::attach(&mut sim, alice).patch_page("board", format!("A{round} ").as_bytes())?;
+        WebClient::attach(&mut sim, bob).patch_page("board", format!("B{round} ").as_bytes())?;
     }
     sim.run_for(Duration::from_secs(2));
 
     // Sequential coherence: both replicas show the SAME interleaving.
-    let at_alice = alice.get_page(&mut sim, "board")?.expect("board exists");
-    let at_bob = bob.get_page(&mut sim, "board")?.expect("board exists");
+    let at_alice = WebClient::attach(&mut sim, alice)
+        .get_page("board")?
+        .expect("board exists");
+    let at_bob = WebClient::attach(&mut sim, bob)
+        .get_page("board")?
+        .expect("board exists");
     println!("Alice sees: {}", std::str::from_utf8(&at_alice.body)?);
     println!("Bob sees:   {}", std::str::from_utf8(&at_bob.body)?);
     assert_eq!(at_alice.body, at_bob.body, "sequential coherence violated");

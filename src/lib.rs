@@ -30,20 +30,21 @@
 //! let mut sim = GlobeSim::new(Topology::wan(), 42);
 //! let server = sim.add_node_in(RegionId::new(0));
 //! let cache = sim.add_node_in(RegionId::new(1));
-//! let object = sim.create_object(
-//!     "/conf/icdcs98",
-//!     ReplicationPolicy::conference_page(),
-//!     &mut || Box::new(WebSemantics::new()),
-//!     &[(server, StoreClass::Permanent), (cache, StoreClass::ClientInitiated)],
-//! )?;
-//! let master = WebClient::new(sim.bind(
+//! let object = ObjectSpec::new("/conf/icdcs98")
+//!     .policy(ReplicationPolicy::conference_page())
+//!     .semantics(WebSemantics::new)
+//!     .store(server, StoreClass::Permanent)
+//!     .store(cache, StoreClass::ClientInitiated)
+//!     .create(&mut sim)?;
+//! let mut master = WebClient::bind(
+//!     &mut sim,
 //!     object,
 //!     cache,
 //!     BindOptions::new().read_node(cache).guard(ClientModel::ReadYourWrites),
-//! )?);
-//! master.put_page(&mut sim, "program.html", Page::html("<h2>Program</h2>"))?;
+//! )?;
+//! master.put_page("program.html", Page::html("<h2>Program</h2>"))?;
 //! // Read-Your-Writes holds even though the cache has not been pushed yet.
-//! let page = master.get_page(&mut sim, "program.html")?.unwrap();
+//! let page = master.get_page("program.html")?.unwrap();
 //! assert_eq!(&page.body[..], b"<h2>Program</h2>");
 //! # Ok(())
 //! # }
@@ -63,9 +64,10 @@ pub mod prelude {
         ClientModel, History, ModelCombination, ObjectModel, StoreClass, VersionVector, WriteId,
     };
     pub use globe_core::{
-        AccessTransfer, BindOptions, CallError, ClientHandle, CoherenceTransfer, GlobeSim,
-        GlobeTcp, MethodKind, OutdateReaction, Propagation, ReplicationPolicy, Semantics,
-        StoreScope, TransferInitiative, TransferInstant, WriteChoice, WriteSet,
+        AccessTransfer, BindOptions, CallError, ClientHandle, CoherenceTransfer, GlobeRuntime,
+        GlobeSim, GlobeTcp, MethodKind, ObjectHandle, ObjectSpec, OutdateReaction, Propagation,
+        ReplicationPolicy, RuntimeConfig, Semantics, StoreScope, TransferInitiative,
+        TransferInstant, WriteChoice, WriteSet,
     };
     pub use globe_naming::{ObjectId, ObjectName};
     pub use globe_net::{LinkConfig, NodeId, RegionId, SimTime, Topology};

@@ -133,10 +133,14 @@ fn every_guard_holds_on_weak_base_models() {
         let history = instance.sim.history();
         let history = history.lock();
         for handle in instance.readers.iter().chain(&instance.writers) {
-            globe::coherence::check::check_session(&history, handle.client, guard)
-                .unwrap_or_else(|violation| {
-                    panic!("{guard} on {model} violated for {}: {violation}", handle.client)
-                });
+            globe::coherence::check::check_session(&history, handle.client, guard).unwrap_or_else(
+                |violation| {
+                    panic!(
+                        "{guard} on {model} violated for {}: {violation}",
+                        handle.client
+                    )
+                },
+            );
         }
     }
 }
@@ -147,13 +151,11 @@ fn subsumption_matrix_matches_enforcement() {
     let policy = ReplicationPolicy::whiteboard();
     let mut sim = GlobeSim::new(Topology::lan(), 40);
     let server = sim.add_node();
-    let object = sim
-        .create_object(
-            "/subsume",
-            policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[(server, StoreClass::Permanent)],
-        )
+    let object = ObjectSpec::new("/subsume")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
         .expect("create");
     let handle = sim
         .bind(
@@ -169,9 +171,13 @@ fn subsumption_matrix_matches_enforcement() {
         .expect("bind");
     // All four guarantees hold without any guard machinery, because the
     // object model provides them.
-    sim.write(&handle, methods::put_page("p", &Page::html("v")))
+    sim.handle(handle)
+        .write(methods::put_page("p", &Page::html("v")))
         .expect("write");
-    let _ = sim.read(&handle, methods::get_page("p")).expect("read");
+    let _ = sim
+        .handle(handle)
+        .read(methods::get_page("p"))
+        .expect("read");
     let history = sim.history();
     let history = history.lock();
     for &guard in ClientModel::ALL {

@@ -14,17 +14,13 @@ fn build() -> (GlobeSim, ObjectId, NodeId, NodeId, NodeId) {
     let cache_u = sim.add_node_in(RegionId::new(1));
     let mut policy = ReplicationPolicy::conference_page();
     policy.lazy_period = Duration::from_secs(5);
-    let object = sim
-        .create_object(
-            "/conf/icdcs98/home",
-            policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (web_server, StoreClass::Permanent),
-                (cache_m, StoreClass::ClientInitiated),
-                (cache_u, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/conf/icdcs98/home")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(web_server, StoreClass::Permanent)
+        .store(cache_m, StoreClass::ClientInitiated)
+        .store(cache_u, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create conference object");
     (sim, object, web_server, cache_m, cache_u)
 }
@@ -47,15 +43,13 @@ fn fig4_message_flow() {
 
     // Master writes twice (incremental updates with WiDs), then reads
     // through cache M before any push has happened.
-    sim.write(&master, methods::put_page("program.html", &Page::html("v1")))
+    let mut m = sim.handle(master);
+    m.write(methods::put_page("program.html", &Page::html("v1")))
         .expect("write 1");
-    sim.write(
-        &master,
-        methods::patch_page("program.html", b" + keynote"),
-    )
-    .expect("write 2");
-    let seen = sim
-        .read(&master, methods::get_page("program.html"))
+    m.write(methods::patch_page("program.html", b" + keynote"))
+        .expect("write 2");
+    let seen = m
+        .read(methods::get_page("program.html"))
         .expect("master read");
     let page: Option<Page> = globe_wire::from_bytes(&seen).expect("decode page");
     assert_eq!(
@@ -66,7 +60,8 @@ fn fig4_message_flow() {
 
     // The user's early read sees nothing (lazy push still pending).
     let early = sim
-        .read(&user, methods::get_page("program.html"))
+        .handle(user)
+        .read(methods::get_page("program.html"))
         .expect("user read");
     let page: Option<Page> = globe_wire::from_bytes(&early).expect("decode");
     assert!(page.is_none(), "cache U must still be stale");
@@ -74,15 +69,25 @@ fn fig4_message_flow() {
     // After the periodic push, the user converges.
     sim.run_for(Duration::from_secs(6));
     let late = sim
-        .read(&user, methods::get_page("program.html"))
+        .handle(user)
+        .read(methods::get_page("program.html"))
         .expect("user read 2");
     let page: Option<Page> = globe_wire::from_bytes(&late).expect("decode");
-    assert_eq!(page.expect("pushed").body, bytes::Bytes::from("v1 + keynote"));
+    assert_eq!(
+        page.expect("pushed").body,
+        bytes::Bytes::from("v1 + keynote")
+    );
 
     // The exact Fig. 4 message kinds must all have been exercised.
     let metrics = sim.metrics();
     let metrics = metrics.lock();
-    for kind in ["WriteReq", "ReadReq", "Reply", "UpdateBatch", "DemandUpdate"] {
+    for kind in [
+        "WriteReq",
+        "ReadReq",
+        "Reply",
+        "UpdateBatch",
+        "DemandUpdate",
+    ] {
         assert!(
             metrics.traffic.contains_key(kind),
             "expected {kind} in the flow; saw {:?}",
@@ -112,11 +117,12 @@ fn table2_wait_reaction_keeps_server_passive() {
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind");
     for i in 0..5 {
-        sim.write(
-            &master,
-            methods::patch_page("news.html", format!("item{i};").as_bytes()),
-        )
-        .expect("write");
+        sim.handle(master)
+            .write(methods::patch_page(
+                "news.html",
+                format!("item{i};").as_bytes(),
+            ))
+            .expect("write");
     }
     sim.run_for(Duration::from_secs(12));
     let metrics = sim.metrics();
@@ -134,18 +140,17 @@ fn user_cache_applies_pushes_in_wid_order() {
         .bind(object, cache_m, BindOptions::new().read_node(cache_m))
         .expect("bind");
     for i in 0..12 {
-        sim.write(
-            &master,
-            methods::patch_page("program.html", format!("s{i};").as_bytes()),
-        )
-        .expect("write");
+        sim.handle(master)
+            .write(methods::patch_page(
+                "program.html",
+                format!("s{i};").as_bytes(),
+            ))
+            .expect("write");
         sim.run_for(Duration::from_millis(700));
     }
     sim.run_for(Duration::from_secs(8));
     // Cache U applied every write, in sequence-number order.
-    let version = sim
-        .store_version(object, cache_u)
-        .expect("cache U version");
+    let version = sim.store_version(object, cache_u).expect("cache U version");
     assert_eq!(version.get(master.client), 12);
     let history = sim.history();
     let history = history.lock();

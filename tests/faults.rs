@@ -19,16 +19,12 @@ fn partitioned_mirror_catches_up_after_heal() {
     let mut sim = GlobeSim::new(Topology::lan(), 50);
     let server = sim.add_node();
     let mirror = sim.add_node();
-    let object = sim
-        .create_object(
-            "/faults/partition",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (mirror, StoreClass::ObjectInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/faults/partition")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)
         .expect("create");
     let writer = sim
         .bind(object, server, BindOptions::new().read_node(server))
@@ -36,11 +32,9 @@ fn partitioned_mirror_catches_up_after_heal() {
 
     sim.topology_mut().partition(server, mirror);
     for i in 0..5 {
-        sim.write(
-            &writer,
-            methods::put_page(&format!("p{i}"), &Page::html("cut off")),
-        )
-        .expect("write during partition");
+        sim.handle(writer)
+            .write(methods::put_page(&format!("p{i}"), &Page::html("cut off")))
+            .expect("write during partition");
     }
     sim.run_for(Duration::from_secs(5));
     assert_ne!(
@@ -67,27 +61,24 @@ fn repeated_partition_cycles_still_converge() {
     let mut sim = GlobeSim::new(Topology::lan(), 51);
     let server = sim.add_node();
     let mirror = sim.add_node();
-    let object = sim
-        .create_object(
-            "/faults/flap",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (mirror, StoreClass::ObjectInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/faults/flap")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)
         .expect("create");
     let writer = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind");
     for cycle in 0..4 {
         sim.topology_mut().partition(server, mirror);
-        sim.write(
-            &writer,
-            methods::put_page("flapping", &Page::html(format!("cycle {cycle}"))),
-        )
-        .expect("write");
+        sim.handle(writer)
+            .write(methods::put_page(
+                "flapping",
+                &Page::html(format!("cycle {cycle}")),
+            ))
+            .expect("write");
         sim.run_for(Duration::from_secs(1));
         sim.topology_mut().heal(server, mirror);
         sim.run_for(Duration::from_secs(1));
@@ -115,25 +106,20 @@ fn lossy_reordering_network_preserves_pram_and_converges() {
     let mut sim = GlobeSim::new(Topology::uniform(link), 52);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/faults/udp",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/faults/udp")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let writer = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind");
     for i in 0..25 {
-        let _ = sim.issue_write(
-            &writer,
-            methods::patch_page("log", format!("e{i};").as_bytes()),
-        );
+        let _ = sim
+            .handle(writer)
+            .issue_write(methods::patch_page("log", format!("e{i};").as_bytes()));
         sim.run_for(Duration::from_millis(60));
     }
     sim.run_for(Duration::from_secs(60));
@@ -169,16 +155,12 @@ fn loss_on_read_path_is_survivable() {
     let mut sim = GlobeSim::new(Topology::uniform(link), 53);
     let server = sim.add_node();
     let cache = sim.add_node();
-    let object = sim
-        .create_object(
-            "/faults/lossy-reads",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/faults/lossy-reads")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let reader = sim
         .bind(object, cache, BindOptions::new().read_node(cache))
@@ -186,7 +168,7 @@ fn loss_on_read_path_is_survivable() {
     sim.set_call_timeout(Duration::from_secs(5));
     let mut successes = 0;
     for _ in 0..20 {
-        if sim.read(&reader, methods::get_page("x")).is_ok() {
+        if sim.handle(reader).read(methods::get_page("x")).is_ok() {
             successes += 1;
         }
     }

@@ -66,17 +66,13 @@ fn execute(run: &RandomRun) -> (GlobeSim, Vec<ClientHandle>, ObjectId) {
     let mut sim = GlobeSim::new(Topology::uniform(link), run.seed);
     let server = sim.add_node();
     let caches = [sim.add_node(), sim.add_node()];
-    let object = sim
-        .create_object(
-            "/prop/object",
-            policy,
-            &mut doc,
-            &[
-                (server, StoreClass::Permanent),
-                (caches[0], StoreClass::ClientInitiated),
-                (caches[1], StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/prop/object")
+        .policy(policy)
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(caches[0], StoreClass::ClientInitiated)
+        .store(caches[1], StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     let nodes = [server, caches[0], caches[1]];
     let handles: Vec<ClientHandle> = (0..3)
@@ -100,9 +96,9 @@ fn execute(run: &RandomRun) -> (GlobeSim, Vec<ClientHandle>, ObjectId) {
             } else {
                 methods::patch_page(&page_name, format!("w{client};").as_bytes())
             };
-            let _ = sim.write(&handle, inv);
+            let _ = sim.handle(handle).write(inv);
         } else {
-            let _ = sim.read(&handle, methods::get_page(&page_name));
+            let _ = sim.handle(handle).read(methods::get_page(&page_name));
         }
         sim.run_for(Duration::from_millis(20));
     }

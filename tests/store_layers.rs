@@ -20,25 +20,20 @@ fn build(scope: StoreScope, seed: u64) -> (GlobeSim, ObjectId, NodeId, NodeId, N
     let mirror = sim.add_node_in(RegionId::new(1));
     let cache = sim.add_node_in(RegionId::new(1));
     let client_site = sim.add_node_in(RegionId::new(1));
-    let object = sim
-        .create_object(
-            "/layers/object",
-            policy,
-            &mut || Box::new(WebSemantics::new()),
-            &[
-                (server, StoreClass::Permanent),
-                (mirror, StoreClass::ObjectInitiated),
-                (cache, StoreClass::ClientInitiated),
-            ],
-        )
+    let object = ObjectSpec::new("/layers/object")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
         .expect("create");
     (sim, object, server, mirror, cache, client_site)
 }
 
 #[test]
 fn deeper_layers_are_faster_but_staler_out_of_scope() {
-    let (mut sim, object, server, mirror, _cache, client_site) =
-        build(StoreScope::Permanent, 60);
+    let (mut sim, object, server, mirror, _cache, client_site) = build(StoreScope::Permanent, 60);
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind master");
@@ -49,20 +44,23 @@ fn deeper_layers_are_faster_but_staler_out_of_scope() {
         .bind(object, client_site, BindOptions::new().read_node(mirror))
         .expect("bind near");
 
-    sim.write(&master, methods::put_page("page", &Page::html("v1")))
+    sim.handle(master)
+        .write(methods::put_page("page", &Page::html("v1")))
         .expect("write");
 
     // Immediately after the write: reading the server is slow but fresh.
     let ops_before = sim.metrics().lock().ops.len();
     let fresh = sim
-        .read(&far_reader, methods::get_page("page"))
+        .handle(far_reader)
+        .read(methods::get_page("page"))
         .expect("far read");
     let page: Option<Page> = globe_wire::from_bytes(&fresh).expect("decode");
     assert!(page.is_some(), "permanent store must be fresh");
 
     // Reading the nearby mirror is fast but stale (out of scope).
     let stale = sim
-        .read(&near_reader, methods::get_page("page"))
+        .handle(near_reader)
+        .read(methods::get_page("page"))
         .expect("near read");
     let page: Option<Page> = globe_wire::from_bytes(&stale).expect("decode");
     assert!(page.is_none(), "out-of-scope mirror lags the lazy flush");
@@ -84,7 +82,8 @@ fn deeper_layers_are_faster_but_staler_out_of_scope() {
     // After the lazy flush the mirror converges.
     sim.run_for(Duration::from_secs(4));
     let caught_up = sim
-        .read(&near_reader, methods::get_page("page"))
+        .handle(near_reader)
+        .read(methods::get_page("page"))
         .expect("near read 2");
     let page: Option<Page> = globe_wire::from_bytes(&caught_up).expect("decode");
     assert!(page.is_some(), "mirror must catch up after the flush");
@@ -99,17 +98,16 @@ fn widening_scope_to_all_removes_the_staleness() {
     let near_reader = sim
         .bind(object, client_site, BindOptions::new().read_node(mirror))
         .expect("bind near");
-    sim.write(&master, methods::put_page("page", &Page::html("v1")))
+    sim.handle(master)
+        .write(methods::put_page("page", &Page::html("v1")))
         .expect("write");
     sim.run_for(Duration::from_millis(400)); // just the WAN hop
     let got = sim
-        .read(&near_reader, methods::get_page("page"))
+        .handle(near_reader)
+        .read(methods::get_page("page"))
         .expect("read");
     let page: Option<Page> = globe_wire::from_bytes(&got).expect("decode");
-    assert!(
-        page.is_some(),
-        "in-scope mirror receives immediate pushes"
-    );
+    assert!(page.is_some(), "in-scope mirror receives immediate pushes");
     // The cache layer too.
     let cache_version = sim.store_version(object, cache).expect("cache");
     assert_eq!(cache_version.get(master.client), 1);
@@ -117,8 +115,7 @@ fn widening_scope_to_all_removes_the_staleness() {
 
 #[test]
 fn location_service_prefers_deeper_nearby_layers() {
-    let (mut sim, object, server, mirror, _cache, client_site) =
-        build(StoreScope::All, 62);
+    let (mut sim, object, server, mirror, _cache, client_site) = build(StoreScope::All, 62);
     let _ = (server, mirror);
     // Nearest-any-layer binding from region 1 must pick a region-1
     // replica, not the faraway server.
@@ -128,11 +125,14 @@ fn location_service_prefers_deeper_nearby_layers() {
     let master = sim
         .bind(object, server, BindOptions::new().read_node(server))
         .expect("bind master");
-    sim.write(&master, methods::put_page("p", &Page::html("x")))
+    sim.handle(master)
+        .write(methods::put_page("p", &Page::html("x")))
         .expect("write");
     sim.run_for(Duration::from_secs(1));
     let ops_before = sim.metrics().lock().ops.len();
-    sim.read(&handle, methods::get_page("p")).expect("read");
+    sim.handle(handle)
+        .read(methods::get_page("p"))
+        .expect("read");
     let metrics = sim.metrics();
     let metrics = metrics.lock();
     let latency = metrics.ops[ops_before..]

@@ -1,0 +1,145 @@
+//! Minimal vendored stand-in for `criterion` (offline build).
+//!
+//! Benchmarks compile and run with the same source as upstream
+//! criterion, but the harness is a simple timed loop printing
+//! nanoseconds per iteration. Under `cargo test` (which passes
+//! `--test` to `harness = false` bench binaries) each benchmark runs a
+//! single iteration as a smoke check.
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+/// How setup cost is amortized in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iters: u64,
+    nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the reported figure.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.nanos = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// The benchmark manager: registers and runs benchmark functions.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench binaries are run with `--test`:
+        // keep to a single iteration so the suite stays fast.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iters: if smoke { 1 } else { 50 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its ns/iter.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.iters,
+            nanos: 0.0,
+        };
+        f(&mut bencher);
+        println!("bench {id:<40} {:>12.1} ns/iter", bencher.nanos);
+        self
+    }
+
+    /// Opens a named group; its benchmarks print as `group/id`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the stub harness keeps its
+    /// own fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(id, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

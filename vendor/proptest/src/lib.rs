@@ -1,0 +1,158 @@
+//! Minimal vendored stand-in for `proptest` (offline build).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! range and string-pattern strategies, tuples, `Just`, unions
+//! (`prop_oneof!`), collections, `sample::select` / `sample::Index`,
+//! `option::of`, and the `proptest!` / `prop_assert*` macros. Cases are
+//! generated from a deterministic per-test seed; there is no shrinking —
+//! a failure reports the generated inputs via `Debug` instead.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod sample;
+
+pub mod collection;
+
+pub mod option;
+
+pub mod string;
+
+/// The glob import used by every property test.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Drives one property test: `cases` iterations of generate + run.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Deterministic seed per test name so failures reproduce.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = TestRng::new(seed);
+        for case_index in 0..config.cases {
+            if let Err(e) = case(&mut rng) {
+                panic!("property '{name}' failed at case {case_index}: {e}");
+            }
+        }
+    }
+
+    /// Generates one value, also used by the `proptest!` expansion.
+    pub fn generate<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+        strategy.generate(rng)
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the standard forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u32..10, ref_name in ".{0,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($config:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($config:expr) } => {};
+    { ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::__rt::run_cases(stringify!($name), &config, |rng| {
+                $(let $argpat = $crate::__rt::generate(&($strat), rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                result
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*))));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Uniformly chooses among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! Sampling helpers: `select` and `Index`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An opaque index resolvable against any non-empty length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    pub(crate) fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves against a collection of `len` elements (`len` > 0).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        self.raw % len
+    }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len())].clone()
+    }
+}
+
+/// Uniformly picks one of `choices` (must be non-empty).
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select over no choices");
+    Select { choices }
+}

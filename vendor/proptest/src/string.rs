@@ -1,0 +1,134 @@
+//! String-pattern strategies: `&'static str` as a strategy.
+//!
+//! Supports the pattern subset this workspace uses — a single `.` or
+//! `[character class]` unit followed by a `{min,max}` repetition, e.g.
+//! `".{0,64}"` or `"[a-zA-Z0-9._-]{1,12}"`. Unrecognized patterns are
+//! generated as their literal text.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A sprinkle of multi-byte characters so `.` exercises UTF-8 paths.
+const WIDE_CHARS: &[char] = &['é', 'ß', 'Ω', '☃', '語', '𝔊'];
+
+/// A printable-biased arbitrary character.
+pub(crate) fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        0 => WIDE_CHARS[rng.below(WIDE_CHARS.len())],
+        _ => (b' ' + (rng.next_u64() % 95) as u8) as char,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Unit {
+    /// `.` — any printable char (plus occasional multi-byte ones).
+    AnyChar,
+    /// `[...]` — one of an explicit set.
+    Class(Vec<char>),
+    /// A pattern we do not understand, reproduced literally.
+    Literal(String),
+}
+
+fn parse_class(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            let mut c = lo;
+            while c <= hi {
+                set.push(c);
+                c = char::from_u32(c as u32 + 1).unwrap_or(hi);
+                if c as u32 == hi as u32 + 1 {
+                    break;
+                }
+            }
+            // Make sure `hi` itself landed in the set.
+            if set.last() != Some(&hi) {
+                set.push(hi);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+fn parse_pattern(pattern: &str) -> (Unit, usize, usize) {
+    let (unit, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (Unit::AnyChar, rest)
+    } else if let Some(after) = pattern.strip_prefix('[') {
+        match after.find(']') {
+            Some(end) => (Unit::Class(parse_class(&after[..end])), &after[end + 1..]),
+            None => return (Unit::Literal(pattern.to_string()), 1, 1),
+        }
+    } else {
+        return (Unit::Literal(pattern.to_string()), 1, 1);
+    };
+    let Some(spec) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        // A bare unit means exactly one repetition.
+        return if rest.is_empty() {
+            (unit, 1, 1)
+        } else {
+            (Unit::Literal(pattern.to_string()), 1, 1)
+        };
+    };
+    let (min, max) = match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or(0),
+            hi.trim().parse().unwrap_or(8),
+        ),
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    };
+    (unit, min, max)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (unit, min, max) = parse_pattern(self);
+        match unit {
+            Unit::Literal(text) => text,
+            Unit::AnyChar => {
+                let len = rng.in_range(min, max + 1);
+                (0..len).map(|_| arbitrary_char(rng)).collect()
+            }
+            Unit::Class(set) => {
+                let len = rng.in_range(min, max + 1);
+                (0..len).map(|_| set[rng.below(set.len())]).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let set = parse_class("a-zA-Z0-9._-");
+        assert!(set.contains(&'a') && set.contains(&'z'));
+        assert!(set.contains(&'A') && set.contains(&'9'));
+        assert!(set.contains(&'.') && set.contains(&'_') && set.contains(&'-'));
+        assert!(!set.contains(&'['));
+    }
+
+    #[test]
+    fn generated_lengths_respect_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            let t = ".{0,4}".generate(&mut rng);
+            assert!(t.chars().count() <= 4, "{t:?}");
+        }
+    }
+}
