@@ -1,0 +1,132 @@
+//! SHARD — Throughput scaling of the in-process sharded runtime.
+//!
+//! Many independent objects, each with a home store pushing immediately
+//! to several mirrors, all written and read through one client thread
+//! issuing asynchronously. The caller only issues and polls; every
+//! store-side event (invoke, replicate to each mirror, ack) is handled
+//! by a shard worker, so wall-clock time for the whole batch drops as
+//! the object space spreads over more shard lanes. This is the
+//! Harmonia-style claim on our stack: the replication machinery is
+//! untouched, only the number of lanes varies.
+
+use std::time::{Duration, Instant};
+
+use globe_bench::{fmt_duration, fmt_f64, Table};
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, BindOptions, ClientHandle, GlobeRuntime, GlobeShard, ObjectSpec, RegisterDoc,
+    ReplicationPolicy, RequestId, RuntimeConfig,
+};
+
+const OBJECTS: usize = 64;
+const WRITES_PER_OBJECT: usize = 16;
+const MIRRORS: usize = 6;
+
+/// Builds a runtime with `shards` lanes, then drives
+/// `OBJECTS * WRITES_PER_OBJECT` asynchronous writes followed by one
+/// read-back per object; returns the wall-clock time of the driven
+/// phase.
+fn measure(shards: usize) -> Duration {
+    let mut rt = GlobeShard::with_shards(shards, RuntimeConfig::new().seed(7));
+    let server = rt.add_node().expect("server node");
+    let mirrors: Vec<_> = (0..MIRRORS)
+        .map(|_| rt.add_node().expect("mirror node"))
+        .collect();
+    let client_node = rt.add_node().expect("client node");
+
+    // Immediate push to every mirror: each write makes the home store
+    // fan updates out, so the measured work lives on the shard lanes.
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let handles: Vec<ClientHandle> = (0..OBJECTS)
+        .map(|i| {
+            let mut spec = ObjectSpec::new(format!("/scale/obj{i:03}"))
+                .policy(policy.clone())
+                .semantics(RegisterDoc::new)
+                .store(server, StoreClass::Permanent);
+            for &mirror in &mirrors {
+                spec = spec.store(mirror, StoreClass::ObjectInitiated);
+            }
+            let object = spec.create(&mut rt).expect("create object");
+            rt.bind(object, client_node, BindOptions::new().read_node(server))
+                .expect("bind client")
+        })
+        .collect();
+
+    rt.start(&[client_node]);
+
+    let begin = Instant::now();
+    for round in 0..WRITES_PER_OBJECT {
+        // Fan the round out across every object before collecting any
+        // ack, so all shard lanes hold work at once.
+        let pending: Vec<(ClientHandle, RequestId)> = handles
+            .iter()
+            .map(|handle| {
+                let body = format!("round-{round}");
+                let req = rt
+                    .handle(*handle)
+                    .issue_write(registers::put("page.html", body.as_bytes()))
+                    .expect("issue write");
+                (*handle, req)
+            })
+            .collect();
+        for (handle, req) in pending {
+            loop {
+                if let Some(result) = rt.handle(handle).result(req) {
+                    result.expect("write acked");
+                    break;
+                }
+            }
+        }
+    }
+    for handle in &handles {
+        let got = rt
+            .handle(*handle)
+            .read(registers::get("page.html"))
+            .expect("read back");
+        assert_eq!(
+            &got[..],
+            format!("round-{}", WRITES_PER_OBJECT - 1).as_bytes()
+        );
+    }
+    let elapsed = begin.elapsed();
+    rt.shutdown();
+    elapsed
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Shard-count scaling: {OBJECTS} objects x {WRITES_PER_OBJECT} async writes \
+         (plus one read-back each), one issuing thread, store work on shard lanes.\n\
+         Detected parallelism: {cores} core(s) — lanes beyond that cannot speed up\n\
+         the batch, so read the speedup column against this ceiling.\n"
+    );
+    let mut table = Table::new(
+        "Batch wall-clock by shard count",
+        &["shards", "elapsed", "ops/s", "speedup vs 1"],
+    );
+    let mut baseline: Option<Duration> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let elapsed = measure(shards);
+        let ops = (OBJECTS * (WRITES_PER_OBJECT + 1)) as f64;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(elapsed);
+                1.0
+            }
+            Some(base) => base.as_secs_f64() / elapsed.as_secs_f64().max(f64::EPSILON),
+        };
+        table.row(vec![
+            shards.to_string(),
+            fmt_duration(elapsed),
+            fmt_f64(ops / elapsed.as_secs_f64().max(f64::EPSILON)),
+            fmt_f64(speedup),
+        ]);
+    }
+    println!("{table}");
+}

@@ -5,15 +5,18 @@
 //! its own state, methods, and policies" while the framework hides
 //! *where* and *how* it runs. This module is that claim's API surface:
 //! one trait captures the contract shared by every runtime (the
-//! deterministic simulator [`crate::GlobeSim`] and the real-socket
-//! [`crate::GlobeTcp`]), one builder describes an object independently
+//! deterministic simulator [`crate::GlobeSim`], the real-socket
+//! [`crate::GlobeTcp`], and the in-process sharded
+//! [`crate::GlobeShard`]), one builder describes an object independently
 //! of any runtime, and one handle type lets client code invoke a bound
-//! object without knowing which runtime serves it.
+//! object without knowing which runtime serves it. The [`crate::matrix`]
+//! harness replays one scenario across all three and asserts the
+//! outcomes agree.
 //!
 //! # Examples
 //!
-//! A scenario written once against the trait runs verbatim on both
-//! runtimes:
+//! A scenario written once against the trait runs verbatim on every
+//! runtime:
 //!
 //! ```
 //! use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec,
@@ -56,8 +59,8 @@ use crate::{
     RequestId, RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
 
-/// Runtime-independent construction parameters, so [`crate::GlobeSim`]
-/// and [`crate::GlobeTcp`] build symmetrically.
+/// Runtime-independent construction parameters, so [`crate::GlobeSim`],
+/// [`crate::GlobeTcp`], and [`crate::GlobeShard`] build symmetrically.
 ///
 /// # Examples
 ///
@@ -246,11 +249,48 @@ impl fmt::Debug for ObjectSpec {
 ///
 /// Synchronous [`read`](GlobeRuntime::read) / [`write`](GlobeRuntime::write)
 /// drive the runtime until the reply arrives (virtual time in the
-/// simulator, wall-clock polling over sockets). The
+/// simulator, wall-clock polling over sockets and shard channels). The
 /// [`issue_read`](GlobeRuntime::issue_read) /
 /// [`issue_write`](GlobeRuntime::issue_write) /
 /// [`result`](GlobeRuntime::result) split exposes the same calls
 /// asynchronously.
+///
+/// # Examples
+///
+/// Code written against the trait cannot tell which runtime serves it;
+/// here the asynchronous issue/poll split acknowledges a write on the
+/// simulator, and would do the same on [`crate::GlobeTcp`] or
+/// [`crate::GlobeShard`]:
+///
+/// ```
+/// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec};
+/// use globe_coherence::StoreClass;
+/// use globe_net::Topology;
+///
+/// fn publish<R: GlobeRuntime>(rt: &mut R) -> Result<(), Box<dyn std::error::Error>> {
+///     let server = rt.add_node()?;
+///     let object = ObjectSpec::new("/news/today")
+///         .store(server, StoreClass::Permanent)
+///         .create(rt)?;
+///     let editor = rt.bind(object, server, BindOptions::new())?;
+///     rt.start(&[server]);
+///     let req = rt.handle(editor).issue_write(registers::put("lead", b"scoop"))?;
+///     let ack = loop {
+///         // The polling contract: every poll lets the runtime advance,
+///         // so this loop terminates on all backends.
+///         if let Some(result) = rt.handle(editor).result(req) {
+///             break result;
+///         }
+///     };
+///     ack?;
+///     rt.shutdown();
+///     Ok(())
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// publish(&mut GlobeSim::new(Topology::lan(), 1))
+/// # }
+/// ```
 pub trait GlobeRuntime {
     /// Adds an address space.
     ///
@@ -403,6 +443,27 @@ pub trait GlobeRuntime {
 /// [`GlobeRuntime::bind_handle`]; it borrows the runtime mutably, so
 /// scope it to one client's burst of calls and re-acquire (cheaply) to
 /// speak for another client.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec};
+/// use globe_coherence::StoreClass;
+/// use globe_net::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = GlobeSim::new(Topology::lan(), 9);
+/// let server = sim.add_node();
+/// let object = ObjectSpec::new("/home/bob")
+///     .store(server, StoreClass::Permanent)
+///     .create(&mut sim)?;
+/// let mut bob = sim.bind_handle(object, server, BindOptions::new())?;
+/// bob.write(registers::put("bio.html", b"hello"))?;
+/// assert_eq!(&bob.read(registers::get("bio.html"))?[..], b"hello");
+/// assert_eq!(bob.object(), object);
+/// # Ok(())
+/// # }
+/// ```
 pub struct ObjectHandle<'r, R: GlobeRuntime + ?Sized> {
     runtime: &'r mut R,
     client: ClientHandle,

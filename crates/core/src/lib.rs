@@ -23,10 +23,13 @@
 //! guarantees) on top of the object's model. All of this is reachable
 //! through one runtime-agnostic surface — the [`GlobeRuntime`] trait,
 //! the [`ObjectSpec`] builder, and the [`ObjectHandle`] call handle —
-//! implemented by both the deterministic simulator ([`GlobeSim`]) and
-//! the real-socket runtime ([`GlobeTcp`]): the same scenario code runs
-//! verbatim on either, which is the paper's location-transparency claim
-//! made concrete.
+//! implemented by three backends: the deterministic simulator
+//! ([`GlobeSim`]), the real-socket runtime ([`GlobeTcp`]), and the
+//! in-process sharded runtime ([`GlobeShard`]). The same scenario code
+//! runs verbatim on any of them — the paper's location-transparency
+//! claim made concrete — and the [`matrix`] harness asserts it, by
+//! replaying one scenario across all backends and comparing what the
+//! clients observed.
 //!
 //! # Examples
 //!
@@ -68,13 +71,16 @@ mod control;
 mod error;
 mod ids;
 mod invocation;
+pub mod matrix;
 mod messages;
 mod metrics;
+mod plan;
 mod policy;
 pub mod replication;
 mod runtime;
 mod semantics;
 mod session;
+mod shard_runtime;
 mod space;
 mod store_engine;
 mod tcp_runtime;
@@ -97,6 +103,7 @@ pub use policy::{
 pub use runtime::{BindOptions, ClientHandle, GlobeSim, ReadChoice, RuntimeError, WriteChoice};
 pub use semantics::{registers, RegisterDoc, Semantics};
 pub use session::{Session, SessionConfig};
+pub use shard_runtime::{GlobeShard, DEFAULT_SHARDS};
 pub use space::AddressSpace;
 pub use store_engine::{PeerStore, StoreConfig, StoreReplica, TimerKind, WHOLE_DOC};
 pub use tcp_runtime::GlobeTcp;

@@ -1,0 +1,251 @@
+//! The scenario matrix: one scenario body, every backend, identical
+//! logical outcomes.
+//!
+//! The paper's location-transparency claim is only honest if scenario
+//! code really is oblivious to the distribution mechanism underneath it.
+//! This module turns that claim into a harness: implement [`Scenario`]
+//! once against [`GlobeRuntime`], record what the clients logically
+//! observe into an [`Observations`] log, and [`run_matrix`] replays the
+//! scenario verbatim on the deterministic simulator ([`crate::GlobeSim`]),
+//! real sockets ([`crate::GlobeTcp`]), and the in-process sharded
+//! backend ([`crate::GlobeShard`]), failing loudly if any backend's
+//! observations diverge.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use globe_core::matrix::{self, Backend, Observations, Scenario};
+//! use globe_core::{registers, BindOptions, GlobeRuntime, ObjectSpec, RuntimeConfig};
+//! use globe_coherence::StoreClass;
+//!
+//! struct HomePage;
+//!
+//! impl Scenario for HomePage {
+//!     fn name(&self) -> &'static str {
+//!         "home-page"
+//!     }
+//!
+//!     fn run<R: GlobeRuntime>(
+//!         &self,
+//!         rt: &mut R,
+//!     ) -> Result<Observations, Box<dyn std::error::Error>> {
+//!         let server = rt.add_node()?;
+//!         let browser = rt.add_node()?;
+//!         let object = ObjectSpec::new("/home/alice")
+//!             .store(server, StoreClass::Permanent)
+//!             .create(rt)?;
+//!         let alice = rt.bind(object, browser, BindOptions::new())?;
+//!         rt.start(&[browser]);
+//!         rt.handle(alice).write(registers::put("index.html", b"hi"))?;
+//!         let mut obs = Observations::new();
+//!         obs.record("read-back", rt.handle(alice).read(registers::get("index.html"))?);
+//!         rt.shutdown();
+//!         Ok(obs)
+//!     }
+//! }
+//!
+//! let outcomes = matrix::run_matrix(&HomePage, &Backend::ALL, RuntimeConfig::new().seed(42))
+//!     .expect("identical outcomes on sim, tcp, and shard");
+//! assert_eq!(outcomes.len(), 3);
+//! ```
+
+use std::fmt;
+
+use globe_net::Topology;
+
+use crate::{GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, RuntimeConfig};
+
+/// The runtimes a scenario can be replayed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// [`crate::GlobeSim`]: deterministic discrete-event simulation.
+    Sim,
+    /// [`crate::GlobeTcp`]: real TCP sockets on loopback.
+    Tcp,
+    /// [`crate::GlobeShard`]: in-process sharded worker threads.
+    Shard,
+}
+
+impl Backend {
+    /// Every backend, in the order results are reported.
+    pub const ALL: [Backend; 3] = [Backend::Sim, Backend::Tcp, Backend::Shard];
+
+    /// A short stable name for reports and assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Tcp => "tcp",
+            Backend::Shard => "shard",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ordered log of what a scenario's clients logically observed:
+/// labeled byte values, equal across backends iff the scenario behaved
+/// identically everywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Observations {
+    items: Vec<(String, Vec<u8>)>,
+}
+
+impl Observations {
+    /// An empty log.
+    pub fn new() -> Self {
+        Observations::default()
+    }
+
+    /// Appends one labeled observation.
+    pub fn record(&mut self, label: impl Into<String>, value: impl AsRef<[u8]>) {
+        self.items.push((label.into(), value.as_ref().to_vec()));
+    }
+
+    /// The observations in recording order.
+    pub fn items(&self) -> &[(String, Vec<u8>)] {
+        &self.items
+    }
+}
+
+impl fmt::Display for Observations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, value) in &self.items {
+            writeln!(f, "  {label} = {:?}", String::from_utf8_lossy(value))?;
+        }
+        Ok(())
+    }
+}
+
+/// One scenario written once against the [`GlobeRuntime`] trait.
+///
+/// The body must go through the trait for every create/bind/invoke call
+/// and report client-visible results via [`Observations`]; internal
+/// assertions (coherence checks, convergence) are welcome too.
+pub trait Scenario {
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario body on one runtime.
+    ///
+    /// # Errors
+    ///
+    /// Any error fails the whole matrix for that backend.
+    fn run<R: GlobeRuntime>(&self, rt: &mut R) -> Result<Observations, Box<dyn std::error::Error>>;
+}
+
+/// A scenario's outcome on one backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixOutcome {
+    /// The backend the scenario ran on.
+    pub backend: Backend,
+    /// What its clients observed there.
+    pub observations: Observations,
+}
+
+/// Why a matrix run failed.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// The scenario body itself failed on one backend.
+    ScenarioFailed {
+        /// The failing backend.
+        backend: Backend,
+        /// The scenario's name.
+        scenario: String,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// Two backends disagreed on the logical outcome.
+    Diverged {
+        /// The scenario's name.
+        scenario: String,
+        /// The reference backend (first in the run order).
+        reference: Backend,
+        /// The disagreeing backend.
+        divergent: Backend,
+        /// The reference backend's observations.
+        expected: Observations,
+        /// The disagreeing backend's observations.
+        actual: Observations,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ScenarioFailed {
+                backend,
+                scenario,
+                error,
+            } => write!(f, "scenario {scenario} failed on {backend}: {error}"),
+            MatrixError::Diverged {
+                scenario,
+                reference,
+                divergent,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "scenario {scenario} diverged: {divergent} disagrees with {reference}\n\
+                 {reference} observed:\n{expected}{divergent} observed:\n{actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+fn run_on(
+    scenario: &impl Scenario,
+    backend: Backend,
+    config: RuntimeConfig,
+) -> Result<Observations, MatrixError> {
+    let result = match backend {
+        Backend::Sim => scenario.run(&mut GlobeSim::with_config(Topology::lan(), config)),
+        Backend::Tcp => scenario.run(&mut GlobeTcp::with_config(config)),
+        Backend::Shard => scenario.run(&mut GlobeShard::with_config(config)),
+    };
+    result.map_err(|e| MatrixError::ScenarioFailed {
+        backend,
+        scenario: scenario.name().to_string(),
+        error: e.to_string(),
+    })
+}
+
+/// Runs `scenario` on every backend in `backends` with the same
+/// configuration and checks that all logical outcomes agree with the
+/// first backend's.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ScenarioFailed`] if any run errors, or
+/// [`MatrixError::Diverged`] if the observations differ.
+pub fn run_matrix(
+    scenario: &impl Scenario,
+    backends: &[Backend],
+    config: RuntimeConfig,
+) -> Result<Vec<MatrixOutcome>, MatrixError> {
+    let mut outcomes: Vec<MatrixOutcome> = Vec::with_capacity(backends.len());
+    for &backend in backends {
+        let observations = run_on(scenario, backend, config)?;
+        if let Some(reference) = outcomes.first() {
+            if reference.observations != observations {
+                return Err(MatrixError::Diverged {
+                    scenario: scenario.name().to_string(),
+                    reference: reference.backend,
+                    divergent: backend,
+                    expected: reference.observations.clone(),
+                    actual: observations,
+                });
+            }
+        }
+        outcomes.push(MatrixOutcome {
+            backend,
+            observations,
+        });
+    }
+    Ok(outcomes)
+}

@@ -1,0 +1,270 @@
+//! Backend-independent planning for object creation and client binding.
+//!
+//! All three runtimes (`GlobeSim`, `GlobeTcp`, `GlobeShard`) implement
+//! the same creation and binding semantics: validate the policy and
+//! name, pick the home store, allocate store ids, wire the home store's
+//! peer list, resolve a client's read replica through the location
+//! service, route its writes, and filter subsumed session guards. This
+//! module holds that shared logic once, so a change to the semantics
+//! cannot land in one backend and silently diverge the others (the
+//! scenario matrix would catch it, but it should not have to). Each
+//! runtime supplies only the backend-specific steps: where replicas are
+//! installed and how their protocol machinery is started.
+
+use globe_coherence::{ClientId, ClientModel, ObjectModel, StoreClass, StoreId};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
+use globe_net::{NodeId, RegionId};
+
+use crate::{
+    AddressSpace, BindOptions, ControlObject, PeerStore, ReplicationPolicy, RuntimeError,
+    Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
+    WriteChoice,
+};
+
+/// What every backend records about one created object.
+pub(crate) struct ObjectRecord {
+    pub(crate) policy: ReplicationPolicy,
+    pub(crate) home_node: NodeId,
+    pub(crate) home_store: StoreId,
+    pub(crate) stores: Vec<(NodeId, StoreId, StoreClass)>,
+}
+
+/// The validated, id-allocated shape of one object about to be created.
+pub(crate) struct CreationPlan {
+    pub(crate) object: ObjectId,
+    home_index: usize,
+    pub(crate) home_node: NodeId,
+    home_store: StoreId,
+    stores: Vec<(NodeId, StoreId, StoreClass)>,
+}
+
+/// Validates `name`, `policy`, and `placement`, registers the name, and
+/// allocates store ids. The first `Permanent` entry becomes the home
+/// (sequencing) store, as in the paper's Fig. 3.
+pub(crate) fn plan_creation(
+    name: &str,
+    policy: &ReplicationPolicy,
+    placement: &[(NodeId, StoreClass)],
+    names: &mut NameSpace,
+    node_exists: impl Fn(NodeId) -> bool,
+    next_store: &mut u32,
+) -> Result<CreationPlan, RuntimeError> {
+    policy
+        .validate()
+        .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+    let parsed: ObjectName = name
+        .parse()
+        .map_err(|e: globe_naming::ParseNameError| RuntimeError::BadName(e.to_string()))?;
+    for (node, _) in placement {
+        if !node_exists(*node) {
+            return Err(RuntimeError::UnknownNode(*node));
+        }
+    }
+    let home_index = placement
+        .iter()
+        .position(|(_, class)| *class == StoreClass::Permanent)
+        .ok_or(RuntimeError::NoPermanentStore)?;
+    let object = names
+        .register(parsed)
+        .map_err(|_| RuntimeError::NameTaken(name.to_string()))?;
+    let mut stores = Vec::with_capacity(placement.len());
+    for (node, class) in placement {
+        let store_id = StoreId::new(*next_store);
+        *next_store += 1;
+        stores.push((*node, store_id, *class));
+    }
+    Ok(CreationPlan {
+        object,
+        home_index,
+        home_node: placement[home_index].0,
+        home_store: stores[home_index].1,
+        stores,
+    })
+}
+
+impl CreationPlan {
+    /// Registers every replica's contact record, with the backend
+    /// deciding each node's region (region 0 everywhere except the
+    /// simulator's topology).
+    pub(crate) fn register_locations(
+        &self,
+        locations: &mut LocationService,
+        region_of: impl Fn(NodeId) -> RegionId,
+    ) {
+        for (node, _, class) in &self.stores {
+            locations.register(
+                self.object,
+                ContactRecord {
+                    node: *node,
+                    class: *class,
+                    region: region_of(*node),
+                },
+            );
+        }
+    }
+
+    /// Builds one [`StoreReplica`] per planned store — the home store
+    /// carrying the full peer list — and hands each to `install` for
+    /// backend-specific placement and protocol start-up.
+    pub(crate) fn build_replicas(
+        &self,
+        policy: &ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        history: &SharedHistory,
+        metrics: &SharedMetrics,
+        mut install: impl FnMut(NodeId, StoreReplica),
+    ) {
+        for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
+            let is_home = index == self.home_index;
+            let peers = if is_home {
+                self.stores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != self.home_index)
+                    .map(|(_, (n, _, c))| PeerStore {
+                        node: *n,
+                        class: *c,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            install(
+                *node,
+                StoreReplica::new(StoreConfig {
+                    object: self.object,
+                    store_id: *store_id,
+                    class: *class,
+                    policy: policy.clone(),
+                    home_node: self.home_node,
+                    is_home,
+                    peers,
+                    semantics: semantics_factory(),
+                    history: history.clone(),
+                    metrics: metrics.clone(),
+                }),
+            );
+        }
+    }
+
+    /// The record the runtime keeps once every replica is installed.
+    pub(crate) fn into_record(self, policy: ReplicationPolicy) -> ObjectRecord {
+        ObjectRecord {
+            policy,
+            home_node: self.home_node,
+            home_store: self.home_store,
+            stores: self.stores,
+        }
+    }
+}
+
+/// The resolved shape of one client binding: where reads and writes go
+/// and which session guards remain after subsumption filtering.
+pub(crate) struct SessionPlan {
+    model: ObjectModel,
+    guards: Vec<ClientModel>,
+    read_node: NodeId,
+    read_store: StoreId,
+    write_node: NodeId,
+    write_store: StoreId,
+}
+
+/// Resolves a bind request against an object's record: the read replica
+/// via the location service (nearest, by class, or pinned), the write
+/// store (the bound replica when the coherence model accepts local
+/// writes and the client asked for it, the home store otherwise), and
+/// the surviving guards.
+pub(crate) fn plan_session(
+    object: ObjectId,
+    record: &ObjectRecord,
+    opts: BindOptions,
+    locations: &LocationService,
+    region: RegionId,
+) -> Result<SessionPlan, RuntimeError> {
+    let read_node = match opts.read_from {
+        crate::ReadChoice::Nearest => {
+            locations
+                .nearest_any_layer(object, region)
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node
+        }
+        crate::ReadChoice::Class(class) => {
+            locations
+                .nearest(object, region, Some(class))
+                .map_err(|_| RuntimeError::NoSuchReplica)?
+                .node
+        }
+        crate::ReadChoice::Node(n) => n,
+    };
+    let read_store = record
+        .stores
+        .iter()
+        .find(|(n, _, _)| *n == read_node)
+        .map(|(_, id, _)| *id)
+        .ok_or(RuntimeError::NoSuchReplica)?;
+    let local_ok = crate::replication::replication_for(record.policy.model).accepts_local_writes();
+    let (write_node, write_store) = match opts.write_via {
+        WriteChoice::Bound if local_ok => (read_node, read_store),
+        _ => (record.home_node, record.home_store),
+    };
+    let guards = opts
+        .guards
+        .into_iter()
+        .filter(|g| !record.policy.model.subsumes(*g))
+        .collect();
+    Ok(SessionPlan {
+        model: record.policy.model,
+        guards,
+        read_node,
+        read_store,
+        write_node,
+        write_store,
+    })
+}
+
+impl SessionPlan {
+    /// Materializes the session once the runtime has allocated the
+    /// client id.
+    pub(crate) fn into_session(
+        self,
+        client: ClientId,
+        object: ObjectId,
+        history: SharedHistory,
+        metrics: SharedMetrics,
+    ) -> Session {
+        Session::new(SessionConfig {
+            client,
+            object,
+            model: self.model,
+            guards: self.guards,
+            read_node: self.read_node,
+            read_store: self.read_store,
+            write_node: self.write_node,
+            write_store: self.write_store,
+            history,
+            metrics,
+        })
+    }
+}
+
+/// Installs a store replica into a space, reusing the object's control
+/// object if one is already present (e.g. a proxy from an earlier bind).
+pub(crate) fn install_store(space: &mut AddressSpace, object: ObjectId, replica: StoreReplica) {
+    match space.control_mut(object) {
+        Some(control) => control.set_store(replica),
+        None => space.install(ControlObject::with_store(object, replica)),
+    }
+}
+
+/// Installs a client session into a space, creating a proxy-only control
+/// object if the node hosts no replica.
+pub(crate) fn install_session(space: &mut AddressSpace, object: ObjectId, session: Session) {
+    match space.control_mut(object) {
+        Some(control) => control.add_session(session),
+        None => {
+            let mut control = ControlObject::proxy_only(object);
+            control.add_session(session);
+            space.install(control);
+        }
+    }
+}

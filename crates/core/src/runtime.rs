@@ -13,13 +13,14 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use globe_coherence::{ClientId, ClientModel, StoreClass, StoreId, VersionVector};
-use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId};
 use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
 
+use crate::plan::{self, ObjectRecord};
 use crate::{
-    shared_history, shared_metrics, AddressSpace, CallError, ControlObject, GlobeRuntime,
-    InvocationMessage, ObjectSpec, PeerStore, ReplicationPolicy, RequestId, RuntimeConfig,
-    Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
+    shared_history, shared_metrics, AddressSpace, CallError, GlobeRuntime, InvocationMessage,
+    ObjectSpec, PeerStore, ReplicationPolicy, RequestId, RuntimeConfig, Semantics, SharedHistory,
+    SharedMetrics, StoreConfig, StoreReplica,
 };
 
 /// Error creating or binding an object in the runtime.
@@ -144,13 +145,6 @@ impl BindOptions {
     }
 }
 
-struct ObjectRecord {
-    policy: ReplicationPolicy,
-    home_node: NodeId,
-    home_store: StoreId,
-    stores: Vec<(NodeId, StoreId, StoreClass)>,
-}
-
 /// The simulated Globe middleware runtime.
 ///
 /// # Examples
@@ -273,96 +267,38 @@ impl GlobeSim {
         semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
         placement: &[(NodeId, StoreClass)],
     ) -> Result<ObjectId, RuntimeError> {
-        policy
-            .validate()
-            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
-        let parsed: ObjectName = name
-            .parse()
-            .map_err(|e: globe_naming::ParseNameError| RuntimeError::BadName(e.to_string()))?;
-        for (node, _) in placement {
-            if !self.spaces.contains_key(node) {
-                return Err(RuntimeError::UnknownNode(*node));
-            }
-        }
-        let home_index = placement
-            .iter()
-            .position(|(_, class)| *class == StoreClass::Permanent)
-            .ok_or(RuntimeError::NoPermanentStore)?;
-        let object = self
-            .names
-            .register(parsed)
-            .map_err(|_| RuntimeError::NameTaken(name.to_string()))?;
-        let home_node = placement[home_index].0;
-
-        let mut stores = Vec::new();
-        for (node, class) in placement {
-            let store_id = StoreId::new(self.next_store);
-            self.next_store += 1;
-            stores.push((*node, store_id, *class));
-            self.locations.register(
-                object,
-                ContactRecord {
-                    node: *node,
-                    class: *class,
-                    region: self.net.topology().region_of(*node),
-                },
-            );
-        }
-        let home_store = stores[home_index].1;
-
-        for (index, (node, store_id, class)) in stores.iter().enumerate() {
-            let is_home = index == home_index;
-            let peers = if is_home {
-                stores
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != home_index)
-                    .map(|(_, (n, _, c))| PeerStore {
-                        node: *n,
-                        class: *c,
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let replica = StoreReplica::new(StoreConfig {
-                object,
-                store_id: *store_id,
-                class: *class,
-                policy: policy.clone(),
-                home_node,
-                is_home,
-                peers,
-                semantics: semantics_factory(),
-                history: self.history.clone(),
-                metrics: self.metrics.clone(),
-            });
-            let space = Rc::clone(&self.spaces[node]);
-            {
-                let mut space = space.borrow_mut();
-                match space.control_mut(object) {
-                    Some(control) => control.set_store(replica),
-                    None => space.install(ControlObject::with_store(object, replica)),
-                }
-            }
-            self.net.with_ctx(*node, |ctx| {
-                space
-                    .borrow_mut()
-                    .control_mut(object)
-                    .expect("control installed above")
-                    .start(ctx);
-            });
-        }
-
-        self.objects.insert(
-            object,
-            ObjectRecord {
-                policy,
-                home_node,
-                home_store,
-                stores,
+        let creation = plan::plan_creation(
+            name,
+            &policy,
+            placement,
+            &mut self.names,
+            |node| self.spaces.contains_key(&node),
+            &mut self.next_store,
+        )?;
+        let object = creation.object;
+        creation.register_locations(&mut self.locations, |node| {
+            self.net.topology().region_of(node)
+        });
+        let spaces = &self.spaces;
+        let net = &mut self.net;
+        creation.build_replicas(
+            &policy,
+            semantics_factory,
+            &self.history,
+            &self.metrics,
+            |node, replica| {
+                let space = Rc::clone(&spaces[&node]);
+                plan::install_store(&mut space.borrow_mut(), object, replica);
+                net.with_ctx(node, |ctx| {
+                    space
+                        .borrow_mut()
+                        .control_mut(object)
+                        .expect("control installed above")
+                        .start(ctx);
+                });
             },
         );
+        self.objects.insert(object, creation.into_record(policy));
         Ok(object)
     }
 
@@ -413,13 +349,7 @@ impl GlobeSim {
             metrics: self.metrics.clone(),
         });
         let space = Rc::clone(&self.spaces[&node]);
-        {
-            let mut space = space.borrow_mut();
-            match space.control_mut(object) {
-                Some(control) => control.set_store(replica),
-                None => space.install(ControlObject::with_store(object, replica)),
-            }
-        }
+        plan::install_store(&mut space.borrow_mut(), object, replica);
         // Tell the home store about its new peer, then let the replica
         // arm its timers and fetch the current state.
         let home_space = Rc::clone(&self.spaces[&home_node]);
@@ -461,63 +391,13 @@ impl GlobeSim {
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let region = self.net.topology().region_of(node);
-        let read_node = match opts.read_from {
-            ReadChoice::Nearest => {
-                self.locations
-                    .nearest_any_layer(object, region)
-                    .map_err(|_| RuntimeError::NoSuchReplica)?
-                    .node
-            }
-            ReadChoice::Class(class) => {
-                self.locations
-                    .nearest(object, region, Some(class))
-                    .map_err(|_| RuntimeError::NoSuchReplica)?
-                    .node
-            }
-            ReadChoice::Node(n) => n,
-        };
-        let read_store = record
-            .stores
-            .iter()
-            .find(|(n, _, _)| *n == read_node)
-            .map(|(_, id, _)| *id)
-            .ok_or(RuntimeError::NoSuchReplica)?;
-
+        let session = plan::plan_session(object, record, opts, &self.locations, region)?;
         let client = ClientId::new(self.next_client);
         self.next_client += 1;
-        let guards: Vec<ClientModel> = opts
-            .guards
-            .into_iter()
-            .filter(|g| !record.policy.model.subsumes(*g))
-            .collect();
-        let local_ok =
-            crate::replication::replication_for(record.policy.model).accepts_local_writes();
-        let (write_node, write_store) = match opts.write_via {
-            WriteChoice::Bound if local_ok => (read_node, read_store),
-            _ => (record.home_node, record.home_store),
-        };
-        let session = Session::new(SessionConfig {
-            client,
-            object,
-            model: record.policy.model,
-            guards,
-            read_node,
-            read_store,
-            write_node,
-            write_store,
-            history: self.history.clone(),
-            metrics: self.metrics.clone(),
-        });
+        let session =
+            session.into_session(client, object, self.history.clone(), self.metrics.clone());
         let space = Rc::clone(&self.spaces[&node]);
-        let mut space_ref = space.borrow_mut();
-        match space_ref.control_mut(object) {
-            Some(control) => control.add_session(session),
-            None => {
-                let mut control = ControlObject::proxy_only(object);
-                control.add_session(session);
-                space_ref.install(control);
-            }
-        }
+        plan::install_session(&mut space.borrow_mut(), object, session);
         Ok(ClientHandle {
             object,
             node,

@@ -1,0 +1,632 @@
+//! The in-process sharded Globe runtime.
+//!
+//! [`GlobeShard`] is the third backend behind [`GlobeRuntime`], built for
+//! throughput on one machine: objects hash-partition across N shard
+//! workers — real threads fed by channels — and each shard owns every
+//! replica (control object, store, sessions) of the objects in its slice
+//! of the object space. Within a shard the full replication/semantics
+//! machinery of the simulator runs unchanged; across shards, independent
+//! objects make progress in parallel, so a multi-object workload scales
+//! with the shard count instead of being serialized through one event
+//! loop.
+//!
+//! Routing is by *object*, not by node: a message addressed to node X
+//! about object O is delivered to the worker owning O, which handles it
+//! inside its own copy of X's address space. That keeps each object's
+//! protocol single-threaded (no per-object races to reason about) while
+//! letting the set of objects exploit every core. Timers come from the
+//! shared wall-clock [`globe_net::timer::WallTimer`] service, exactly as
+//! in the TCP runtime.
+//!
+//! Unlike [`crate::GlobeTcp`], no node is caller-driven: every event is
+//! handled by a shard worker, and the caller's thread only issues calls
+//! and polls results. [`GlobeShard::set_policy`] therefore works on a
+//! live deployment — the home store's state sits behind the shard lock,
+//! not captive on a remote event-loop thread.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use globe_coherence::{ClientId, StoreClass};
+use globe_naming::{LocationService, NameSpace, ObjectId};
+use globe_net::timer::WallTimer;
+use globe_net::{Event, NetCtx, NodeId, RegionId, SimTime, TimerId, TimerToken};
+use globe_wire::WireDecode;
+use parking_lot::Mutex;
+
+use crate::plan::{self, ObjectRecord};
+use crate::{
+    shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
+    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
+    RuntimeError, Semantics, SharedHistory, SharedMetrics,
+};
+
+/// Default number of shard workers when none is requested.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// How long the caller sleeps between result polls, so a tight poll loop
+/// cannot starve the shard workers of their space locks.
+const POLL_BACKOFF: Duration = Duration::from_micros(200);
+
+/// An event en route to a shard worker: which node's address space must
+/// handle it, and the event itself.
+type ShardEvent = (NodeId, Event);
+
+/// The per-object state a shard worker owns: one [`AddressSpace`] per
+/// node, holding only the control objects of this shard's objects.
+type ShardSpaces = Arc<Mutex<HashMap<NodeId, AddressSpace>>>;
+
+/// Shared routing fabric: one inbox per shard plus the timer service.
+struct ShardRouter {
+    inboxes: Vec<Sender<ShardEvent>>,
+    timer: Arc<WallTimer>,
+    epoch: Instant,
+}
+
+impl ShardRouter {
+    fn shard_of(&self, object: ObjectId) -> usize {
+        (object.raw() % self.inboxes.len() as u64) as usize
+    }
+
+    fn deliver(&self, object: ObjectId, node: NodeId, event: Event) {
+        // A send can only fail after shutdown, when the receivers are
+        // gone; dropping the event then is correct.
+        let _ = self.inboxes[self.shard_of(object)].send((node, event));
+    }
+}
+
+/// [`NetCtx`] for protocol code running on behalf of one node inside a
+/// shard (or on the caller's thread while issuing a call).
+struct ShardCtx<'a> {
+    node: NodeId,
+    router: &'a Arc<ShardRouter>,
+}
+
+impl NetCtx for ShardCtx<'_> {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.router.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&mut self, to: NodeId, payload: Bytes) {
+        // The wire envelope leads with the object id; peeking it is
+        // enough to pick the owning shard without decoding the message.
+        let mut cursor: &[u8] = &payload;
+        let Ok(object) = ObjectId::decode(&mut cursor) else {
+            return; // corrupt frame: drop, like a bad datagram
+        };
+        self.router.deliver(
+            object,
+            to,
+            Event::Message {
+                from: self.node,
+                payload,
+            },
+        );
+    }
+
+    fn set_timer(&mut self, delay: Duration, token: TimerToken) -> TimerId {
+        let (object, _) = crate::space::decode_timer(token);
+        let node = self.node;
+        let router = Arc::clone(self.router);
+        self.router.timer.arm(delay, move || {
+            router.deliver(object, node, Event::Timer { token })
+        })
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.router.timer.cancel(id);
+    }
+}
+
+fn shard_loop(
+    inbox: Receiver<ShardEvent>,
+    spaces: ShardSpaces,
+    router: Arc<ShardRouter>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match inbox.recv_timeout(Duration::from_millis(20)) {
+            Ok((node, event)) => {
+                let mut spaces = spaces.lock();
+                if let Some(space) = spaces.get_mut(&node) {
+                    let mut ctx = ShardCtx {
+                        node,
+                        router: &router,
+                    };
+                    space.handle_event(event, &mut ctx);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The Globe middleware sharded across in-process worker threads.
+///
+/// Build phase is identical to the other runtimes: add nodes, create
+/// objects, bind clients. [`GlobeShard::start`] spawns the shard
+/// workers (issuing a call starts them implicitly, so the polling
+/// contract of [`GlobeRuntime::result`] holds regardless); the caller's
+/// thread drives client calls and the workers do everything else.
+///
+/// # Examples
+///
+/// ```
+/// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeShard, ObjectSpec,
+///                  RegisterDoc, ReplicationPolicy};
+/// use globe_coherence::StoreClass;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut shard = GlobeShard::new(2);
+/// let server = shard.add_node()?;
+/// let browser = shard.add_node()?;
+/// let object = ObjectSpec::new("/home/alice")
+///     .policy(ReplicationPolicy::personal_home_page())
+///     .semantics(RegisterDoc::new)
+///     .store(server, StoreClass::Permanent)
+///     .create(&mut shard)?;
+/// let alice = shard.bind(object, browser, BindOptions::new())?;
+/// shard.start(&[]);
+/// shard.handle(alice).write(registers::put("index.html", b"<h1>hi</h1>"))?;
+/// let page = shard.handle(alice).read(registers::get("index.html"))?;
+/// assert_eq!(&page[..], b"<h1>hi</h1>");
+/// shard.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct GlobeShard {
+    router: Arc<ShardRouter>,
+    shards: Vec<ShardSpaces>,
+    receivers: Vec<Option<Receiver<ShardEvent>>>,
+    threads: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    nodes: HashSet<NodeId>,
+    names: NameSpace,
+    locations: LocationService,
+    objects: HashMap<ObjectId, ObjectRecord>,
+    history: SharedHistory,
+    metrics: SharedMetrics,
+    next_node: u32,
+    next_client: u32,
+    next_store: u32,
+    started: bool,
+    seed: u64,
+    call_timeout: Duration,
+}
+
+impl GlobeShard {
+    /// Creates a runtime with `shards` worker lanes (at least one) and
+    /// the default configuration.
+    pub fn new(shards: usize) -> Self {
+        GlobeShard::with_shards(shards, RuntimeConfig::new())
+    }
+
+    /// Creates a runtime with [`DEFAULT_SHARDS`] worker lanes — the
+    /// construction path symmetric with [`crate::GlobeSim::with_config`]
+    /// and [`crate::GlobeTcp::with_config`].
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        GlobeShard::with_shards(DEFAULT_SHARDS, config)
+    }
+
+    /// Creates a runtime with an explicit shard count and configuration.
+    pub fn with_shards(shards: usize, config: RuntimeConfig) -> Self {
+        let shards = shards.max(1);
+        let mut inboxes = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        let mut spaces = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(Some(rx));
+            spaces.push(Arc::new(Mutex::new(HashMap::new())));
+        }
+        GlobeShard {
+            router: Arc::new(ShardRouter {
+                inboxes,
+                timer: WallTimer::spawn(),
+                epoch: Instant::now(),
+            }),
+            shards: spaces,
+            receivers,
+            threads: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            nodes: HashSet::new(),
+            names: NameSpace::new(),
+            locations: LocationService::new(),
+            objects: HashMap::new(),
+            history: shared_history(),
+            metrics: shared_metrics(),
+            next_node: 0,
+            next_client: 0,
+            next_store: 0,
+            started: false,
+            seed: config.seed,
+            // Wall-clock time, as in the TCP runtime; loopback channels
+            // are fast, so the default deadline is tight.
+            call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
+        }
+    }
+
+    /// The number of shard worker lanes.
+    pub fn num_shards(&self) -> usize {
+        self.router.inboxes.len()
+    }
+
+    /// The determinism seed this runtime was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum wall-clock time a synchronous trait-level call may take.
+    pub fn set_call_timeout(&mut self, timeout: Duration) {
+        self.call_timeout = timeout;
+    }
+
+    /// Adds an address space. Its per-object state materializes lazily
+    /// in whichever shards come to own objects it participates in.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; the `Result` mirrors the trait contract.
+    pub fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
+        let node = NodeId::new(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(node);
+        Ok(node)
+    }
+
+    fn shard_of(&self, object: ObjectId) -> usize {
+        self.router.shard_of(object)
+    }
+
+    /// Shared creation routine behind [`ObjectSpec`]; every replica of
+    /// the object lands in the shard owning the object's hash slice.
+    fn create_object_impl(
+        &mut self,
+        name: &str,
+        policy: ReplicationPolicy,
+        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
+        placement: &[(NodeId, StoreClass)],
+    ) -> Result<ObjectId, RuntimeError> {
+        let creation = plan::plan_creation(
+            name,
+            &policy,
+            placement,
+            &mut self.names,
+            |node| self.nodes.contains(&node),
+            &mut self.next_store,
+        )?;
+        let object = creation.object;
+        creation.register_locations(&mut self.locations, |_| RegionId::new(0));
+        let shard = Arc::clone(&self.shards[self.router.shard_of(object)]);
+        let router = &self.router;
+        creation.build_replicas(
+            &policy,
+            semantics_factory,
+            &self.history,
+            &self.metrics,
+            |node, replica| {
+                let mut spaces = shard.lock();
+                let space = spaces
+                    .entry(node)
+                    .or_insert_with(|| AddressSpace::new(node));
+                plan::install_store(space, object, replica);
+                let mut ctx = ShardCtx { node, router };
+                space
+                    .control_mut(object)
+                    .expect("control installed above")
+                    .start(&mut ctx);
+            },
+        );
+        self.objects.insert(object, creation.into_record(policy));
+        Ok(object)
+    }
+
+    /// Binds a client in `node`'s address space, mirroring
+    /// [`crate::GlobeSim::bind`]. The session lives in the shard owning
+    /// the object, inside that shard's copy of the client node's space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object/node/replica is unknown.
+    pub fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        if !self.nodes.contains(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let session = plan::plan_session(object, record, opts, &self.locations, RegionId::new(0))?;
+        let client = ClientId::new(self.next_client);
+        self.next_client += 1;
+        let session =
+            session.into_session(client, object, self.history.clone(), self.metrics.clone());
+        let mut spaces = self.shards[self.shard_of(object)].lock();
+        let space = spaces
+            .entry(node)
+            .or_insert_with(|| AddressSpace::new(node));
+        plan::install_session(space, object, session);
+        Ok(ClientHandle {
+            object,
+            node,
+            client,
+        })
+    }
+
+    /// Spawns the shard workers. `client_nodes` is accepted for
+    /// signature parity with the other runtimes but ignored: no node is
+    /// caller-driven here — every event is handled by a shard worker.
+    pub fn start(&mut self, _client_nodes: &[NodeId]) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for (index, slot) in self.receivers.iter_mut().enumerate() {
+            let Some(inbox) = slot.take() else { continue };
+            let spaces = Arc::clone(&self.shards[index]);
+            let router = Arc::clone(&self.router);
+            let stop = Arc::clone(&self.stop);
+            let handle = std::thread::Builder::new()
+                .name(format!("globe-shard-{index}"))
+                .spawn(move || shard_loop(inbox, spaces, router, stop))
+                .expect("failed to spawn shard worker");
+            self.threads.push(handle);
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.start(&[]);
+        }
+    }
+
+    /// Issues one client call from the caller's thread, returning its
+    /// request id without waiting for the reply.
+    fn issue_call(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        is_read: bool,
+    ) -> Result<RequestId, CallError> {
+        // The polling contract promises progress; the workers are the
+        // only source of progress here, so make sure they run.
+        self.ensure_started();
+        let shard = Arc::clone(&self.shards[self.shard_of(handle.object)]);
+        let mut spaces = shard.lock();
+        let control = spaces
+            .get_mut(&handle.node)
+            .and_then(|space| space.control_mut(handle.object))
+            .ok_or(CallError::NotBound)?;
+        let mut ctx = ShardCtx {
+            node: handle.node,
+            router: &self.router,
+        };
+        if is_read {
+            control.client_read(handle.client, inv, &mut ctx)
+        } else {
+            control.client_write(handle.client, inv, &mut ctx)
+        }
+    }
+
+    fn pump_client(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+        timeout: Duration,
+    ) -> Result<Bytes, CallError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(result) = self.take_result(handle, req) {
+                return result;
+            }
+            if Instant::now() > deadline {
+                return Err(CallError::TimedOut);
+            }
+            std::thread::sleep(POLL_BACKOFF);
+        }
+    }
+
+    fn take_result(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        let mut spaces = self.shards[self.shard_of(handle.object)].lock();
+        spaces
+            .get_mut(&handle.node)?
+            .control_mut(handle.object)?
+            .take_result(handle.client, req)
+    }
+
+    /// Changes an object's replication policy at run time; the home
+    /// store broadcasts the new policy to every replica. Works on a live
+    /// deployment: the home store's state is behind the shard lock, so
+    /// no event-loop thread needs to be interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for unknown objects or invalid
+    /// policies.
+    pub fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        policy
+            .validate()
+            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        record.policy = policy.clone();
+        let home = record.home_node;
+        let mut spaces = self.shards[self.router.shard_of(object)].lock();
+        if let Some(store) = spaces
+            .get_mut(&home)
+            .and_then(|space| space.control_mut(object))
+            .and_then(|control| control.store_mut())
+        {
+            let mut ctx = ShardCtx {
+                node: home,
+                router: &self.router,
+            };
+            store.set_policy(policy, &mut ctx);
+        }
+        Ok(())
+    }
+
+    /// The shared execution history.
+    pub fn history(&self) -> SharedHistory {
+        self.history.clone()
+    }
+
+    /// The shared metrics.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.metrics.clone()
+    }
+
+    /// Stops the workers and the timer service. Idempotent; calls after
+    /// shutdown fail with [`CallError::TimedOut`].
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.router.timer.stop();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl GlobeRuntime for GlobeShard {
+    fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
+        GlobeShard::add_node(self)
+    }
+
+    fn create_object(&mut self, spec: ObjectSpec) -> Result<ObjectId, RuntimeError> {
+        let (path, policy, mut factory, placement) = spec.into_parts();
+        self.create_object_impl(&path, policy, &mut *factory, &placement)
+    }
+
+    fn bind(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        opts: BindOptions,
+    ) -> Result<ClientHandle, RuntimeError> {
+        GlobeShard::bind(self, object, node, opts)
+    }
+
+    fn issue_read(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        self.issue_call(handle, inv, true)
+    }
+
+    fn issue_write(
+        &mut self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+    ) -> Result<RequestId, CallError> {
+        self.issue_call(handle, inv, false)
+    }
+
+    fn result(
+        &mut self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        if let Some(result) = self.take_result(handle, req) {
+            return Some(result);
+        }
+        // Progress is autonomous (the shard workers run on their own
+        // threads); yield the space lock briefly so a tight poll loop
+        // cannot starve them, which keeps the contract's promise that a
+        // plain issue/poll loop terminates.
+        std::thread::sleep(POLL_BACKOFF);
+        self.take_result(handle, req)
+    }
+
+    fn read(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        let req = self.issue_call(handle, inv, true)?;
+        self.pump_client(handle, req, self.call_timeout)
+    }
+
+    fn write(&mut self, handle: &ClientHandle, inv: InvocationMessage) -> Result<Bytes, CallError> {
+        let req = self.issue_call(handle, inv, false)?;
+        self.pump_client(handle, req, self.call_timeout)
+    }
+
+    fn set_policy(
+        &mut self,
+        object: ObjectId,
+        policy: ReplicationPolicy,
+    ) -> Result<(), RuntimeError> {
+        GlobeShard::set_policy(self, object, policy)
+    }
+
+    fn history(&self) -> SharedHistory {
+        GlobeShard::history(self)
+    }
+
+    fn metrics(&self) -> SharedMetrics {
+        GlobeShard::metrics(self)
+    }
+
+    fn start(&mut self, client_nodes: &[NodeId]) {
+        GlobeShard::start(self, client_nodes);
+    }
+
+    fn shutdown(&mut self) {
+        GlobeShard::shutdown(self);
+    }
+
+    fn settle(&mut self, d: Duration) {
+        // The workers run in real time; let the wall clock advance.
+        self.ensure_started();
+        std::thread::sleep(d);
+    }
+}
+
+impl Default for GlobeShard {
+    fn default() -> Self {
+        GlobeShard::with_config(RuntimeConfig::new())
+    }
+}
+
+impl Drop for GlobeShard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for GlobeShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobeShard")
+            .field("shards", &self.num_shards())
+            .field("nodes", &self.nodes.len())
+            .field("objects", &self.objects.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}

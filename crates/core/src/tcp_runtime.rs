@@ -13,25 +13,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use globe_coherence::{ClientId, StoreClass, StoreId};
-use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
+use globe_coherence::{ClientId, StoreClass};
+use globe_naming::{LocationService, NameSpace, ObjectId};
 use globe_net::tcp::{TcpEndpoint, TcpMesh};
 use globe_net::{NodeId, RegionId};
 use parking_lot::Mutex;
 
+use crate::plan::{self, ObjectRecord};
 use crate::{
     shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    ControlObject, GlobeRuntime, InvocationMessage, ObjectSpec, PeerStore, ReplicationPolicy,
-    RequestId, RuntimeConfig, RuntimeError, Semantics, Session, SessionConfig, SharedHistory,
-    SharedMetrics, StoreConfig, StoreReplica, WriteChoice,
+    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
+    RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
-
-struct ObjectRecord {
-    policy: ReplicationPolicy,
-    home_node: NodeId,
-    home_store: StoreId,
-    stores: Vec<(NodeId, StoreId, StoreClass)>,
-}
 
 /// The Globe middleware over real TCP sockets on loopback.
 ///
@@ -147,95 +140,35 @@ impl GlobeTcp {
         placement: &[(NodeId, StoreClass)],
     ) -> Result<ObjectId, RuntimeError> {
         assert!(!self.started, "create objects before start()");
-        policy
-            .validate()
-            .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
-        let parsed: ObjectName = name
-            .parse()
-            .map_err(|e: globe_naming::ParseNameError| RuntimeError::BadName(e.to_string()))?;
-        let home_index = placement
-            .iter()
-            .position(|(_, class)| *class == StoreClass::Permanent)
-            .ok_or(RuntimeError::NoPermanentStore)?;
-        for (node, _) in placement {
-            if !self.spaces.contains_key(node) {
-                return Err(RuntimeError::UnknownNode(*node));
-            }
-        }
-        let object = self
-            .names
-            .register(parsed)
-            .map_err(|_| RuntimeError::NameTaken(name.to_string()))?;
-        let home_node = placement[home_index].0;
-        let mut stores = Vec::new();
-        for (node, class) in placement {
-            let store_id = StoreId::new(self.next_store);
-            self.next_store += 1;
-            stores.push((*node, store_id, *class));
-            self.locations.register(
-                object,
-                ContactRecord {
-                    node: *node,
-                    class: *class,
-                    region: RegionId::new(0),
-                },
-            );
-        }
-        let home_store = stores[home_index].1;
-        for (index, (node, store_id, class)) in stores.iter().enumerate() {
-            let is_home = index == home_index;
-            let peers = if is_home {
-                stores
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != home_index)
-                    .map(|(_, (n, _, c))| PeerStore {
-                        node: *n,
-                        class: *c,
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let replica = StoreReplica::new(StoreConfig {
-                object,
-                store_id: *store_id,
-                class: *class,
-                policy: policy.clone(),
-                home_node,
-                is_home,
-                peers,
-                semantics: semantics_factory(),
-                history: self.history.clone(),
-                metrics: self.metrics.clone(),
-            });
-            {
-                let mut space = self.spaces[node].lock();
-                match space.control_mut(object) {
-                    Some(control) => control.set_store(replica),
-                    None => space.install(ControlObject::with_store(object, replica)),
-                }
-            }
-            let endpoint = self
-                .endpoints
-                .get_mut(node)
-                .expect("endpoint exists for node");
-            let mut ctx = endpoint.ctx();
-            self.spaces[node]
-                .lock()
-                .control_mut(object)
-                .expect("control installed above")
-                .start(&mut ctx);
-        }
-        self.objects.insert(
-            object,
-            ObjectRecord {
-                policy,
-                home_node,
-                home_store,
-                stores,
+        let creation = plan::plan_creation(
+            name,
+            &policy,
+            placement,
+            &mut self.names,
+            |node| self.spaces.contains_key(&node),
+            &mut self.next_store,
+        )?;
+        let object = creation.object;
+        creation.register_locations(&mut self.locations, |_| RegionId::new(0));
+        let spaces = &self.spaces;
+        let endpoints = &mut self.endpoints;
+        creation.build_replicas(
+            &policy,
+            semantics_factory,
+            &self.history,
+            &self.metrics,
+            |node, replica| {
+                let mut space = spaces[&node].lock();
+                plan::install_store(&mut space, object, replica);
+                let endpoint = endpoints.get_mut(&node).expect("endpoint exists for node");
+                let mut ctx = endpoint.ctx();
+                space
+                    .control_mut(object)
+                    .expect("control installed above")
+                    .start(&mut ctx);
             },
         );
+        self.objects.insert(object, creation.into_record(policy));
         Ok(object)
     }
 
@@ -257,65 +190,17 @@ impl GlobeTcp {
             .objects
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let read_node = match opts.read_from {
-            crate::ReadChoice::Nearest => {
-                self.locations
-                    .nearest_any_layer(object, RegionId::new(0))
-                    .map_err(|_| RuntimeError::NoSuchReplica)?
-                    .node
-            }
-            crate::ReadChoice::Class(class) => {
-                self.locations
-                    .nearest(object, RegionId::new(0), Some(class))
-                    .map_err(|_| RuntimeError::NoSuchReplica)?
-                    .node
-            }
-            crate::ReadChoice::Node(n) => n,
-        };
-        let read_store = record
-            .stores
-            .iter()
-            .find(|(n, _, _)| *n == read_node)
-            .map(|(_, id, _)| *id)
-            .ok_or(RuntimeError::NoSuchReplica)?;
-        let local_ok =
-            crate::replication::replication_for(record.policy.model).accepts_local_writes();
-        let (write_node, write_store) = match opts.write_via {
-            WriteChoice::Bound if local_ok => (read_node, read_store),
-            _ => (record.home_node, record.home_store),
-        };
+        let session = plan::plan_session(object, record, opts, &self.locations, RegionId::new(0))?;
         let client = ClientId::new(self.next_client);
         self.next_client += 1;
-        let guards = opts
-            .guards
-            .into_iter()
-            .filter(|g| !record.policy.model.subsumes(*g))
-            .collect();
-        let session = Session::new(SessionConfig {
-            client,
-            object,
-            model: record.policy.model,
-            guards,
-            read_node,
-            read_store,
-            write_node,
-            write_store,
-            history: self.history.clone(),
-            metrics: self.metrics.clone(),
-        });
+        let session =
+            session.into_session(client, object, self.history.clone(), self.metrics.clone());
         let mut space = self
             .spaces
             .get(&node)
             .ok_or(RuntimeError::UnknownNode(node))?
             .lock();
-        match space.control_mut(object) {
-            Some(control) => control.add_session(session),
-            None => {
-                let mut control = ControlObject::proxy_only(object);
-                control.add_session(session);
-                space.install(control);
-            }
-        }
+        plan::install_session(&mut space, object, session);
         Ok(ClientHandle {
             object,
             node,

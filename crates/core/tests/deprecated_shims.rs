@@ -1,0 +1,104 @@
+//! Soak-period guards for the PR 1 deprecation shims. Each test pins
+//! one deprecated entry point's behavior until the planned removal, so
+//! the migration window is actually guarded: if a shim silently changes
+//! or disappears early, these fail before any downstream caller does.
+
+use globe_coherence::StoreClass;
+use globe_core::{
+    registers, BindOptions, GlobeRuntime, GlobeSim, GlobeTcp, RegisterDoc, ReplicationPolicy,
+    Semantics,
+};
+use globe_net::Topology;
+
+fn doc() -> Box<dyn Semantics> {
+    Box::new(RegisterDoc::new())
+}
+
+/// The positional `GlobeSim::create_object` still creates a working
+/// object, equivalent to the `ObjectSpec` path.
+#[test]
+#[allow(deprecated)]
+fn positional_create_object_still_works_on_the_simulator() {
+    let mut sim = GlobeSim::new(Topology::lan(), 3);
+    let server = sim.add_node();
+    let object = sim
+        .create_object(
+            "/shim/sim-create",
+            ReplicationPolicy::personal_home_page(),
+            &mut doc,
+            &[(server, StoreClass::Permanent)],
+        )
+        .expect("positional create_object");
+    let client = sim
+        .bind(object, server, BindOptions::new())
+        .expect("bind to positional object");
+    sim.handle(client)
+        .write(registers::put("p", b"legacy"))
+        .expect("write");
+    let got = sim.handle(client).read(registers::get("p")).expect("read");
+    assert_eq!(&got[..], b"legacy");
+}
+
+/// The positional `GlobeTcp::create_object` mirrors the simulator shim
+/// over real sockets.
+#[test]
+#[allow(deprecated)]
+fn positional_create_object_still_works_over_sockets() {
+    let mut tcp = GlobeTcp::new();
+    let server = tcp.add_node().expect("server node");
+    let client_node = tcp.add_node().expect("client node");
+    let object = tcp
+        .create_object(
+            "/shim/tcp-create",
+            ReplicationPolicy::personal_home_page(),
+            &mut doc,
+            &[(server, StoreClass::Permanent)],
+        )
+        .expect("positional create_object");
+    let client = tcp
+        .bind(object, client_node, BindOptions::new())
+        .expect("bind to positional object");
+    tcp.start(&[client_node]);
+    GlobeRuntime::write(&mut tcp, &client, registers::put("p", b"legacy")).expect("write");
+    let got = GlobeRuntime::read(&mut tcp, &client, registers::get("p")).expect("read");
+    assert_eq!(&got[..], b"legacy");
+    tcp.shutdown();
+}
+
+/// The free-threaded `GlobeSim::read` shim still resolves and returns
+/// the same bytes as the `ObjectHandle` path.
+#[test]
+#[allow(deprecated)]
+fn free_threaded_read_still_works() {
+    let mut sim = GlobeSim::new(Topology::lan(), 4);
+    let server = sim.add_node();
+    let object = globe_core::ObjectSpec::new("/shim/read")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
+        .expect("create");
+    let client = sim.bind(object, server, BindOptions::new()).expect("bind");
+    sim.handle(client)
+        .write(registers::put("p", b"via-handle"))
+        .expect("write");
+    let got = GlobeSim::read(&mut sim, &client, registers::get("p")).expect("deprecated read");
+    assert_eq!(&got[..], b"via-handle");
+}
+
+/// The free-threaded `GlobeSim::write` shim still commits, visible to a
+/// modern `ObjectHandle` read.
+#[test]
+#[allow(deprecated)]
+fn free_threaded_write_still_works() {
+    let mut sim = GlobeSim::new(Topology::lan(), 5);
+    let server = sim.add_node();
+    let object = globe_core::ObjectSpec::new("/shim/write")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
+        .expect("create");
+    let client = sim.bind(object, server, BindOptions::new()).expect("bind");
+    GlobeSim::write(&mut sim, &client, registers::put("p", b"via-shim")).expect("deprecated write");
+    let got = sim.handle(client).read(registers::get("p")).expect("read");
+    assert_eq!(&got[..], b"via-shim");
+}

@@ -1,13 +1,16 @@
 //! The `GlobeRuntime` abstraction is real: one generic scenario body —
 //! the paper's conference page in miniature — runs verbatim on the
-//! deterministic simulator and on real TCP sockets. Only construction
+//! deterministic simulator, on real TCP sockets, and on the in-process
+//! sharded runtime, through the `matrix` harness that also asserts the
+//! three backends report identical logical outcomes. Only construction
 //! differs; every create/bind/invoke call goes through the trait.
 
 use std::time::Duration;
 
 use globe_coherence::{ClientModel, StoreClass};
+use globe_core::matrix::{self, Backend, Observations, Scenario};
 use globe_core::{
-    registers, BindOptions, GlobeRuntime, GlobeSim, GlobeTcp, ObjectSpec, RegisterDoc,
+    registers, BindOptions, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec, RegisterDoc,
     ReplicationPolicy, RuntimeConfig,
 };
 use globe_net::Topology;
@@ -16,86 +19,99 @@ use globe_net::Topology;
 /// reads back through a cache under Read-Your-Writes, a reader
 /// eventually sees the pushed page, and the recorded history passes the
 /// PRAM and RYW checkers.
-fn conference_roundtrip<R: GlobeRuntime>(rt: &mut R) -> Result<(), Box<dyn std::error::Error>> {
-    let server = rt.add_node()?;
-    let cache = rt.add_node()?;
-    let master_node = rt.add_node()?;
-    let reader_node = rt.add_node()?;
+struct ConferencePage;
 
-    let mut policy = ReplicationPolicy::conference_page();
-    policy.lazy_period = Duration::from_millis(300);
-    let object = ObjectSpec::new("/conf/icdcs98")
-        .policy(policy)
-        .semantics(RegisterDoc::new)
-        .store(server, StoreClass::Permanent)
-        .store(cache, StoreClass::ClientInitiated)
-        .create(rt)?;
-
-    let master = rt.bind(
-        object,
-        master_node,
-        BindOptions::new()
-            .read_node(cache)
-            .guard(ClientModel::ReadYourWrites),
-    )?;
-    let reader = rt.bind(object, reader_node, BindOptions::new().read_node(cache))?;
-
-    rt.start(&[master_node, reader_node]);
-
-    // RYW through a cache that has not been pushed yet — written via
-    // the asynchronous issue/poll split, whose polling contract
-    // promises progress on every runtime.
-    let req = rt
-        .handle(master)
-        .issue_write(registers::put("program.html", b"TBA"))?;
-    let ack = loop {
-        if let Some(result) = rt.handle(master).result(req) {
-            break result;
-        }
-    };
-    ack?;
-    let seen = rt.handle(master).read(registers::get("program.html"))?;
-    assert_eq!(&seen[..], b"TBA", "read-your-writes");
-
-    // The reader converges once the periodic push lands.
-    let mut latest = Vec::new();
-    for _ in 0..40 {
-        latest = rt
-            .handle(reader)
-            .read(registers::get("program.html"))?
-            .to_vec();
-        if latest == b"TBA" {
-            break;
-        }
-        rt.settle(Duration::from_millis(100));
+impl Scenario for ConferencePage {
+    fn name(&self) -> &'static str {
+        "conference-page"
     }
-    assert_eq!(&latest[..], b"TBA", "push must reach the reader's cache");
 
-    // The same checkers pass on the same recorded history type.
-    let history = rt.history();
-    let history = history.lock();
-    globe_coherence::check::check_pram(&history)?;
-    globe_coherence::check::check_read_your_writes(&history, master.client)?;
-    drop(history);
+    fn run<R: GlobeRuntime>(&self, rt: &mut R) -> Result<Observations, Box<dyn std::error::Error>> {
+        let server = rt.add_node()?;
+        let cache = rt.add_node()?;
+        let master_node = rt.add_node()?;
+        let reader_node = rt.add_node()?;
 
-    rt.shutdown();
-    Ok(())
+        let mut policy = ReplicationPolicy::conference_page();
+        policy.lazy_period = Duration::from_millis(300);
+        let object = ObjectSpec::new("/conf/icdcs98")
+            .policy(policy)
+            .semantics(RegisterDoc::new)
+            .store(server, StoreClass::Permanent)
+            .store(cache, StoreClass::ClientInitiated)
+            .create(rt)?;
+
+        let master = rt.bind(
+            object,
+            master_node,
+            BindOptions::new()
+                .read_node(cache)
+                .guard(ClientModel::ReadYourWrites),
+        )?;
+        let reader = rt.bind(object, reader_node, BindOptions::new().read_node(cache))?;
+
+        rt.start(&[master_node, reader_node]);
+
+        // RYW through a cache that has not been pushed yet — written via
+        // the asynchronous issue/poll split, whose polling contract
+        // promises progress on every runtime.
+        let req = rt
+            .handle(master)
+            .issue_write(registers::put("program.html", b"TBA"))?;
+        let ack = loop {
+            if let Some(result) = rt.handle(master).result(req) {
+                break result;
+            }
+        };
+        ack?;
+        let mut obs = Observations::new();
+        let seen = rt.handle(master).read(registers::get("program.html"))?;
+        assert_eq!(&seen[..], b"TBA", "read-your-writes");
+        obs.record("master-ryw-read", &seen);
+
+        // The reader converges once the periodic push lands.
+        let mut latest = Vec::new();
+        for _ in 0..40 {
+            latest = rt
+                .handle(reader)
+                .read(registers::get("program.html"))?
+                .to_vec();
+            if latest == b"TBA" {
+                break;
+            }
+            rt.settle(Duration::from_millis(100));
+        }
+        assert_eq!(&latest[..], b"TBA", "push must reach the reader's cache");
+        obs.record("reader-converged", &latest);
+
+        // The same checkers pass on the same recorded history type.
+        let history = rt.history();
+        let history = history.lock();
+        globe_coherence::check::check_pram(&history)?;
+        globe_coherence::check::check_read_your_writes(&history, master.client)?;
+        drop(history);
+
+        rt.shutdown();
+        Ok(obs)
+    }
 }
 
 #[test]
-fn conference_roundtrip_on_the_simulator() {
-    let mut sim = GlobeSim::with_config(Topology::lan(), RuntimeConfig::new().seed(42));
-    conference_roundtrip(&mut sim).expect("scenario on GlobeSim");
-}
-
-#[test]
-fn conference_roundtrip_over_real_sockets() {
-    let mut tcp = GlobeTcp::with_config(
-        RuntimeConfig::new()
-            .seed(42)
-            .call_timeout(Duration::from_secs(10)),
-    );
-    conference_roundtrip(&mut tcp).expect("scenario on GlobeTcp");
+fn conference_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10));
+    let outcomes = matrix::run_matrix(&ConferencePage, &Backend::ALL, config)
+        .expect("identical logical outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.observations.items().len(),
+            2,
+            "{}: both observations recorded",
+            outcome.backend
+        );
+    }
 }
 
 #[test]
@@ -103,5 +119,8 @@ fn runtimes_construct_symmetrically() {
     let config = RuntimeConfig::new().seed(7);
     let _sim = GlobeSim::with_config(Topology::lan(), config);
     let tcp = GlobeTcp::with_config(config);
+    let shard = GlobeShard::with_config(config);
     assert_eq!(tcp.seed(), 7);
+    assert_eq!(shard.seed(), 7);
+    assert_eq!(shard.num_shards(), globe_core::DEFAULT_SHARDS);
 }

@@ -1,0 +1,190 @@
+//! Shard-runtime specifics the generic matrix cannot cover: many
+//! objects hash-partitioned across worker lanes making progress
+//! concurrently, and the live policy switch that the TCP backend still
+//! refuses after `start()`.
+
+use std::time::Duration;
+
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, BindOptions, GlobeRuntime, GlobeShard, ObjectSpec, RegisterDoc, ReplicationPolicy,
+    RuntimeConfig,
+};
+
+/// A fan-out across every shard lane: one object per slot, all writes
+/// issued asynchronously before any result is polled, so the shard
+/// workers replicate in parallel while the caller's thread only issues
+/// and collects.
+#[test]
+fn objects_fan_out_across_shards() {
+    let shards = 4;
+    let mut rt = GlobeShard::with_shards(shards, RuntimeConfig::new().seed(11));
+    let server = rt.add_node().expect("server node");
+    let cache = rt.add_node().expect("cache node");
+    let client_node = rt.add_node().expect("client node");
+
+    let objects: Vec<_> = (0..2 * shards)
+        .map(|i| {
+            ObjectSpec::new(format!("/fanout/obj{i}"))
+                .policy(ReplicationPolicy::personal_home_page())
+                .semantics(RegisterDoc::new)
+                .store(server, StoreClass::Permanent)
+                .store(cache, StoreClass::ClientInitiated)
+                .create(&mut rt)
+                .expect("create object")
+        })
+        .collect();
+    let handles: Vec<_> = objects
+        .iter()
+        .map(|&object| {
+            rt.bind(object, client_node, BindOptions::new().read_node(server))
+                .expect("bind client")
+        })
+        .collect();
+
+    rt.start(&[client_node]);
+
+    let pending: Vec<_> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let body = format!("body-{i}");
+            let req = rt
+                .handle(*handle)
+                .issue_write(registers::put("page.html", body.as_bytes()))
+                .expect("issue write");
+            (*handle, req, body)
+        })
+        .collect();
+
+    for (handle, req, _) in &pending {
+        loop {
+            if let Some(result) = rt.handle(*handle).result(*req) {
+                result.expect("write acked");
+                break;
+            }
+        }
+    }
+    for (handle, _, body) in &pending {
+        let got = rt
+            .handle(*handle)
+            .read(registers::get("page.html"))
+            .expect("read back");
+        assert_eq!(&got[..], body.as_bytes());
+    }
+
+    let history = rt.history();
+    let history = history.lock();
+    globe_coherence::check::check_pram(&history).expect("pram holds per object");
+    drop(history);
+
+    rt.shutdown();
+}
+
+/// `set_policy` works on a live deployment: the broadcast goes out even
+/// after the workers are running, which `GlobeTcp` cannot do yet.
+#[test]
+fn set_policy_works_while_running() {
+    let mut rt = GlobeShard::new(2);
+    let server = rt.add_node().expect("server node");
+    let cache = rt.add_node().expect("cache node");
+    let lazy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .lazy(Duration::from_secs(60))
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/live/policy")
+        .policy(lazy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut rt)
+        .expect("create object");
+    let client = rt
+        .bind(object, server, BindOptions::new().read_node(server))
+        .expect("bind client");
+
+    rt.start(&[]);
+    rt.handle(client)
+        .write(registers::put("page.html", b"v1"))
+        .expect("seed write");
+
+    let immediate = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    rt.set_policy(object, immediate)
+        .expect("live policy switch");
+    rt.settle(Duration::from_millis(200)); // broadcast in flight
+
+    let metrics = rt.metrics();
+    assert!(
+        metrics.lock().traffic.contains_key("PolicyUpdate"),
+        "policy broadcast must be visible on the wire"
+    );
+    rt.shutdown();
+}
+
+/// The polling contract holds even if the caller forgets `start()`:
+/// issuing a call spins the workers up implicitly.
+#[test]
+fn issue_poll_makes_progress_without_explicit_start() {
+    let mut rt = GlobeShard::new(1);
+    let server = rt.add_node().expect("server node");
+    let object = ObjectSpec::new("/implicit/start")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut rt)
+        .expect("create object");
+    let client = rt
+        .bind(object, server, BindOptions::new())
+        .expect("bind client");
+
+    let req = rt
+        .handle(client)
+        .issue_write(registers::put("p", b"x"))
+        .expect("issue");
+    let ack = loop {
+        if let Some(result) = rt.handle(client).result(req) {
+            break result;
+        }
+    };
+    ack.expect("write acked without an explicit start()");
+    rt.shutdown();
+}
+
+/// Unknown nodes and duplicate names fail the same way as on the other
+/// runtimes.
+#[test]
+fn creation_errors_match_the_other_backends() {
+    let mut rt = GlobeShard::new(2);
+    let server = rt.add_node().expect("server node");
+    let bogus = globe_net::NodeId::new(999);
+
+    let err = ObjectSpec::new("/errs/a")
+        .semantics(RegisterDoc::new)
+        .store(bogus, StoreClass::Permanent)
+        .create(&mut rt)
+        .expect_err("unknown node must fail");
+    assert!(matches!(err, globe_core::RuntimeError::UnknownNode(_)));
+
+    ObjectSpec::new("/errs/b")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut rt)
+        .expect("first create");
+    let err = ObjectSpec::new("/errs/b")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .create(&mut rt)
+        .expect_err("duplicate name must fail");
+    assert!(matches!(err, globe_core::RuntimeError::NameTaken(_)));
+
+    let err = ObjectSpec::new("/errs/c")
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::ClientInitiated)
+        .create(&mut rt)
+        .expect_err("placement without a permanent store must fail");
+    assert!(matches!(err, globe_core::RuntimeError::NoPermanentStore));
+
+    rt.shutdown();
+}

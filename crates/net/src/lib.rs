@@ -13,6 +13,10 @@
 //!   and the same handler signature, demonstrating the protocols are not
 //!   simulator artifacts.
 //!
+//! Threaded transports keep [`NetCtx`] timer semantics against the wall
+//! clock through the shared [`timer::WallTimer`] service; the TCP mesh
+//! and the in-process sharded runtime of `globe-core` both use it.
+//!
 //! Protocol code upstack (the replication objects of `globe-core`) is
 //! written sans-IO against [`NetCtx`] and cannot tell which substrate is
 //! driving it.
@@ -45,6 +49,7 @@ mod sim;
 mod stats;
 pub mod tcp;
 mod time;
+pub mod timer;
 mod topology;
 
 pub use event::{Event, NetCtx, TimerId, TimerToken};

@@ -6,7 +6,7 @@
 //! length-prefixed; the first frame on every connection carries the
 //! sender's [`NodeId`].
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,8 +16,9 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 
+use crate::timer::WallTimer;
 use crate::{Event, NetCtx, NodeId, SimTime, TimerId, TimerToken};
 
 /// Errors surfaced by the TCP mesh.
@@ -73,111 +74,9 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
-struct TimerEntry {
-    deadline: Instant,
-    id: TimerId,
-    token: TimerToken,
-    inbox: Sender<Event>,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.id == other.id
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
-        other
-            .deadline
-            .cmp(&self.deadline)
-            .then(other.id.0.cmp(&self.id.0))
-    }
-}
-
-struct TimerService {
-    heap: Mutex<BinaryHeap<TimerEntry>>,
-    cancelled: Mutex<HashSet<TimerId>>,
-    cond: Condvar,
-    next_id: AtomicU64,
-    shutdown: AtomicBool,
-}
-
-impl TimerService {
-    fn new() -> Arc<Self> {
-        let service = Arc::new(TimerService {
-            heap: Mutex::new(BinaryHeap::new()),
-            cancelled: Mutex::new(HashSet::new()),
-            cond: Condvar::new(),
-            next_id: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-        });
-        let worker = Arc::clone(&service);
-        std::thread::Builder::new()
-            .name("globe-timer".into())
-            .spawn(move || worker.run())
-            .expect("failed to spawn timer thread");
-        service
-    }
-
-    fn arm(&self, delay: Duration, token: TimerToken, inbox: Sender<Event>) -> TimerId {
-        let id = TimerId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let mut heap = self.heap.lock();
-        heap.push(TimerEntry {
-            deadline: Instant::now() + delay,
-            id,
-            token,
-            inbox,
-        });
-        drop(heap);
-        self.cond.notify_one();
-        id
-    }
-
-    fn cancel(&self, id: TimerId) {
-        self.cancelled.lock().insert(id);
-    }
-
-    fn stop(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.cond.notify_one();
-    }
-
-    fn run(&self) {
-        let mut heap = self.heap.lock();
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let now = Instant::now();
-            if let Some(head) = heap.peek() {
-                if head.deadline <= now {
-                    let entry = heap.pop().expect("peeked entry must pop");
-                    let skip = self.cancelled.lock().remove(&entry.id);
-                    if !skip {
-                        // Receiver may be gone during shutdown; ignore.
-                        let _ = entry.inbox.send(Event::Timer { token: entry.token });
-                    }
-                    continue;
-                }
-                let wait = head.deadline - now;
-                self.cond.wait_for(&mut heap, wait);
-            } else {
-                self.cond.wait_for(&mut heap, Duration::from_millis(100));
-            }
-        }
-    }
-}
-
 struct MeshShared {
     addrs: RwLock<HashMap<NodeId, SocketAddr>>,
-    timer: Arc<TimerService>,
+    timer: Arc<WallTimer>,
     epoch: Instant,
     shutdown: AtomicBool,
 }
@@ -218,7 +117,7 @@ impl TcpMesh {
         TcpMesh {
             shared: Arc::new(MeshShared {
                 addrs: RwLock::new(HashMap::new()),
-                timer: TimerService::new(),
+                timer: WallTimer::spawn(),
                 epoch: Instant::now(),
                 shutdown: AtomicBool::new(false),
             }),
@@ -477,10 +376,11 @@ impl NetCtx for TcpCtx<'_> {
     }
 
     fn set_timer(&mut self, delay: Duration, token: TimerToken) -> TimerId {
-        self.endpoint
-            .shared
-            .timer
-            .arm(delay, token, self.endpoint.inbox_tx.clone())
+        let inbox = self.endpoint.inbox_tx.clone();
+        self.endpoint.shared.timer.arm(delay, move || {
+            // Receiver may be gone during shutdown; ignore.
+            let _ = inbox.send(Event::Timer { token });
+        })
     }
 
     fn cancel_timer(&mut self, id: TimerId) {

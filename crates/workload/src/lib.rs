@@ -9,18 +9,41 @@
 //!
 //! # Examples
 //!
+//! Deployments are described with the [`ObjectSpec`] builder and clients
+//! are bound to [`ClientHandle`]s; [`run_workload`] then schedules their
+//! operations in virtual time. (It still drives a `GlobeSim` directly —
+//! making it generic over `GlobeRuntime` needs the planned clock
+//! abstraction over virtual vs wall time.)
+//!
 //! ```
-//! use globe_workload::{run_workload, scenario, WorkloadSpec};
+//! use globe_coherence::StoreClass;
+//! use globe_core::{BindOptions, GlobeSim, ObjectSpec, ReplicationPolicy};
+//! use globe_net::Topology;
+//! use globe_web::WebSemantics;
+//! use globe_workload::{run_workload, WorkloadSpec};
 //! use std::time::Duration;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let (mut instance, spec) = scenario::conference_page(42)?;
-//! let spec = WorkloadSpec { duration: Duration::from_secs(10), ..spec };
-//! let outcome = run_workload(&mut instance.sim, &instance.readers, &instance.writers, &spec);
+//! let mut sim = GlobeSim::new(Topology::wan(), 42);
+//! let server = sim.add_node();
+//! let cache = sim.add_node();
+//! let object = ObjectSpec::new("/conf/icdcs98")
+//!     .policy(ReplicationPolicy::conference_page())
+//!     .semantics(WebSemantics::new)
+//!     .store(server, StoreClass::Permanent)
+//!     .store(cache, StoreClass::ClientInitiated)
+//!     .create(&mut sim)?;
+//! let writer = sim.bind(object, server, BindOptions::new().read_node(server))?;
+//! let reader = sim.bind(object, cache, BindOptions::new().read_node(cache))?;
+//! let spec = WorkloadSpec { duration: Duration::from_secs(10), ..WorkloadSpec::default() };
+//! let outcome = run_workload(&mut sim, &[reader], &[writer], &spec);
 //! assert!(outcome.reads_issued > 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! [`ObjectSpec`]: globe_core::ObjectSpec
+//! [`ClientHandle`]: globe_core::ClientHandle
 
 #![warn(missing_docs)]
 

@@ -50,7 +50,7 @@ impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](function@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -1,7 +1,7 @@
 //! Minimal vendored stand-in for `proptest` (offline build).
 //!
 //! Implements the subset of the proptest API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_filter`,
 //! range and string-pattern strategies, tuples, `Just`, unions
 //! (`prop_oneof!`), collections, `sample::select` / `sample::Index`,
 //! `option::of`, and the `proptest!` / `prop_assert*` macros. Cases are
