@@ -1,0 +1,181 @@
+//! RECOVERY — Replica fault tolerance as a number: the time from
+//! killing a mirror to its first consistent read after recovery.
+//!
+//! The lifecycle subsystem recovers a crashed replica through a single
+//! home-store state transfer (snapshot + version vector + coherence
+//! log), so the window in which the replica serves nothing is the
+//! transfer round-trip, not a write-by-write replay. This bench drives
+//! kill/recover rounds on the deterministic simulator (virtual time)
+//! and on the sharded runtime (wall time), and emits the trajectory as
+//! `BENCH_recovery.json` for CI to track.
+//!
+//! Flags: `--smoke` (reduced CI configuration), `--out <path>`
+//! (JSON destination, default `BENCH_recovery.json`).
+
+use std::time::{Duration, Instant};
+
+use globe_bench::json::{write_json, Json};
+use globe_bench::{fmt_duration, Table};
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, BindOptions, GlobeRuntime, GlobeShard, GlobeSim, ObjectSpec, RegisterDoc,
+    ReplicationPolicy, RuntimeConfig,
+};
+use globe_net::Topology;
+
+/// Runs `rounds` kill/recover cycles against `rt`, measuring each
+/// kill → first-consistent-read window with the caller's clock.
+fn run_rounds<R: GlobeRuntime>(
+    rt: &mut R,
+    now: impl Fn(&mut R) -> Duration,
+    writes: usize,
+    rounds: usize,
+) -> Vec<Duration> {
+    let server = rt.add_node().expect("server node");
+    let mirror = rt.add_node().expect("mirror node");
+    let client_node = rt.add_node().expect("client node");
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/bench/recovery")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(rt)
+        .expect("create object");
+    let writer = rt
+        .bind(object, client_node, BindOptions::new().read_node(server))
+        .expect("bind writer");
+    let reader = rt
+        .bind(object, client_node, BindOptions::new().read_node(mirror))
+        .expect("bind reader");
+    rt.start(&[client_node]);
+
+    let mut samples = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let value = format!("round-{round}");
+        for i in 0..writes {
+            rt.handle(writer)
+                .write(registers::put(&format!("k{i}"), value.as_bytes()))
+                .expect("write");
+        }
+        // Converge the mirror before the fault so each round measures
+        // recovery, not propagation backlog.
+        wait_for(rt, reader, "k0", value.as_bytes());
+
+        let begin = now(rt);
+        rt.restart_store(object, mirror, Box::new(RegisterDoc::new()))
+            .expect("restart mirror");
+        wait_for(rt, reader, "k0", value.as_bytes());
+        samples.push(now(rt).saturating_sub(begin));
+    }
+    rt.shutdown();
+    samples
+}
+
+fn wait_for<R: GlobeRuntime>(
+    rt: &mut R,
+    reader: globe_core::ClientHandle,
+    page: &str,
+    want: &[u8],
+) {
+    for _ in 0..2000 {
+        let got = rt.handle(reader).read(registers::get(page)).expect("read");
+        if &got[..] == want {
+            return;
+        }
+        rt.settle(Duration::from_millis(2));
+    }
+    panic!(
+        "mirror never converged to {:?}",
+        String::from_utf8_lossy(want)
+    );
+}
+
+fn mean(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.iter().sum::<Duration>() / samples.len() as u32
+}
+
+fn sample_json(samples: &[Duration]) -> Json {
+    Json::array(samples.iter().map(|d| Json::Num(d.as_secs_f64() * 1e6)))
+}
+
+fn main() {
+    let smoke = globe_bench::smoke_mode();
+    let out = globe_bench::out_path_arg().unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let (writes, rounds) = if smoke { (8, 2) } else { (64, 5) };
+
+    println!(
+        "Recovery latency: kill a mirror mid-workload, recover it via the\n\
+         home store's state transfer, and measure kill -> first consistent\n\
+         read ({writes} pages, {rounds} rounds per backend).\n"
+    );
+
+    // Deterministic simulator: latency in virtual time.
+    let mut sim = GlobeSim::new(Topology::lan(), 17);
+    let sim_samples = run_rounds(
+        &mut sim,
+        |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
+        writes,
+        rounds,
+    );
+
+    // Sharded runtime: latency on the wall clock.
+    let epoch = Instant::now();
+    let mut shard = GlobeShard::with_config(RuntimeConfig::new().seed(17));
+    let shard_samples = run_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
+
+    let mut table = Table::new(
+        "Kill -> first consistent read",
+        &["backend", "clock", "mean", "min", "max"],
+    );
+    for (backend, clock, samples) in [
+        ("sim", "virtual", &sim_samples),
+        ("shard", "wall", &shard_samples),
+    ] {
+        table.row(vec![
+            backend.to_string(),
+            clock.to_string(),
+            fmt_duration(mean(samples)),
+            fmt_duration(samples.iter().min().copied().unwrap_or_default()),
+            fmt_duration(samples.iter().max().copied().unwrap_or_default()),
+        ]);
+    }
+    println!("{table}");
+
+    let doc = Json::obj([
+        ("bench", Json::str("recovery_latency")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("writes", Json::Int(writes as i64)),
+        ("rounds", Json::Int(rounds as i64)),
+        (
+            "results",
+            Json::array([
+                Json::obj([
+                    ("backend", Json::str("sim")),
+                    ("unit", Json::str("virtual_us")),
+                    ("samples", sample_json(&sim_samples)),
+                    ("mean_us", Json::Num(mean(&sim_samples).as_secs_f64() * 1e6)),
+                ]),
+                Json::obj([
+                    ("backend", Json::str("shard")),
+                    ("unit", Json::str("wall_us")),
+                    ("samples", sample_json(&shard_samples)),
+                    (
+                        "mean_us",
+                        Json::Num(mean(&shard_samples).as_secs_f64() * 1e6),
+                    ),
+                ]),
+            ]),
+        ),
+    ]);
+    match write_json(&out, &doc) {
+        Ok(_) => println!("wrote {out}"),
+        Err(e) => eprintln!("failed to write {out}: {e}"),
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::time::{Duration, Instant};
 
+use globe_bench::json::{write_json, Json};
 use globe_bench::{fmt_duration, fmt_f64, Table};
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
@@ -18,18 +19,23 @@ use globe_core::{
     ReplicationPolicy, RequestId, RuntimeConfig,
 };
 
-const OBJECTS: usize = 64;
-const WRITES_PER_OBJECT: usize = 16;
-const MIRRORS: usize = 6;
+/// The driven workload's shape, reduced under `--smoke` for CI.
+struct Load {
+    objects: usize,
+    writes_per_object: usize,
+    mirrors: usize,
+}
 
 /// Builds a runtime with `shards` lanes, then drives
-/// `OBJECTS * WRITES_PER_OBJECT` asynchronous writes followed by one
+/// `objects * writes_per_object` asynchronous writes followed by one
 /// read-back per object; returns the wall-clock time of the driven
 /// phase.
-fn measure(shards: usize) -> Duration {
+fn measure(shards: usize, load: &Load) -> Duration {
+    let (objects, writes_per_object, mirrors) =
+        (load.objects, load.writes_per_object, load.mirrors);
     let mut rt = GlobeShard::with_shards(shards, RuntimeConfig::new().seed(7));
     let server = rt.add_node().expect("server node");
-    let mirrors: Vec<_> = (0..MIRRORS)
+    let mirrors: Vec<_> = (0..mirrors)
         .map(|_| rt.add_node().expect("mirror node"))
         .collect();
     let client_node = rt.add_node().expect("client node");
@@ -40,7 +46,7 @@ fn measure(shards: usize) -> Duration {
         .immediate()
         .build()
         .expect("valid policy");
-    let handles: Vec<ClientHandle> = (0..OBJECTS)
+    let handles: Vec<ClientHandle> = (0..objects)
         .map(|i| {
             let mut spec = ObjectSpec::new(format!("/scale/obj{i:03}"))
                 .policy(policy.clone())
@@ -58,7 +64,7 @@ fn measure(shards: usize) -> Duration {
     rt.start(&[client_node]);
 
     let begin = Instant::now();
-    for round in 0..WRITES_PER_OBJECT {
+    for round in 0..writes_per_object {
         // Fan the round out across every object before collecting any
         // ack, so all shard lanes hold work at once.
         let pending: Vec<(ClientHandle, RequestId)> = handles
@@ -88,7 +94,7 @@ fn measure(shards: usize) -> Duration {
             .expect("read back");
         assert_eq!(
             &got[..],
-            format!("round-{}", WRITES_PER_OBJECT - 1).as_bytes()
+            format!("round-{}", writes_per_object - 1).as_bytes()
         );
     }
     let elapsed = begin.elapsed();
@@ -97,23 +103,41 @@ fn measure(shards: usize) -> Duration {
 }
 
 fn main() {
+    let smoke = globe_bench::smoke_mode();
+    let out = globe_bench::out_path_arg().unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let load = if smoke {
+        Load {
+            objects: 16,
+            writes_per_object: 4,
+            mirrors: 2,
+        }
+    } else {
+        Load {
+            objects: 64,
+            writes_per_object: 16,
+            mirrors: 6,
+        }
+    };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "Shard-count scaling: {OBJECTS} objects x {WRITES_PER_OBJECT} async writes \
+        "Shard-count scaling: {} objects x {} async writes \
          (plus one read-back each), one issuing thread, store work on shard lanes.\n\
          Detected parallelism: {cores} core(s) — lanes beyond that cannot speed up\n\
-         the batch, so read the speedup column against this ceiling.\n"
+         the batch, so read the speedup column against this ceiling.\n",
+        load.objects, load.writes_per_object
     );
     let mut table = Table::new(
         "Batch wall-clock by shard count",
         &["shards", "elapsed", "ops/s", "speedup vs 1"],
     );
     let mut baseline: Option<Duration> = None;
+    let mut results = Vec::new();
     for shards in [1usize, 2, 4, 8] {
-        let elapsed = measure(shards);
-        let ops = (OBJECTS * (WRITES_PER_OBJECT + 1)) as f64;
+        let elapsed = measure(shards, &load);
+        let ops = (load.objects * (load.writes_per_object + 1)) as f64;
+        let ops_per_s = ops / elapsed.as_secs_f64().max(f64::EPSILON);
         let speedup = match baseline {
             None => {
                 baseline = Some(elapsed);
@@ -124,9 +148,32 @@ fn main() {
         table.row(vec![
             shards.to_string(),
             fmt_duration(elapsed),
-            fmt_f64(ops / elapsed.as_secs_f64().max(f64::EPSILON)),
+            fmt_f64(ops_per_s),
             fmt_f64(speedup),
         ]);
+        results.push(Json::obj([
+            ("shards", Json::Int(shards as i64)),
+            ("elapsed_s", Json::Num(elapsed.as_secs_f64())),
+            ("ops_per_s", Json::Num(ops_per_s)),
+            ("speedup_vs_1", Json::Num(speedup)),
+        ]));
     }
     println!("{table}");
+
+    let doc = Json::obj([
+        ("bench", Json::str("shard_scaling")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("objects", Json::Int(load.objects as i64)),
+        (
+            "writes_per_object",
+            Json::Int(load.writes_per_object as i64),
+        ),
+        ("mirrors", Json::Int(load.mirrors as i64)),
+        ("cores", Json::Int(cores as i64)),
+        ("results", Json::Array(results)),
+    ]);
+    match write_json(&out, &doc) {
+        Ok(_) => println!("wrote {out}"),
+        Err(e) => eprintln!("failed to write {out}: {e}"),
+    }
 }

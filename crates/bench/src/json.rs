@@ -1,0 +1,132 @@
+//! A minimal JSON emitter for machine-readable bench artifacts.
+//!
+//! The bench bins print human-readable tables; CI additionally wants a
+//! stable machine-readable trajectory (`BENCH_*.json`) it can diff
+//! across commits. The offline build vendors no serde, so this module
+//! provides the few constructors the bins need: objects, arrays,
+//! numbers, and strings, rendered deterministically in insertion order.
+
+use std::fmt;
+
+/// A JSON value assembled by hand.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// A finite number, rendered with enough precision to round-trip.
+    Num(f64),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+}
+
+fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Str(s) => escape(s, f),
+            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(key, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes `value` to `path` (pretty enough for diffs: one trailing
+/// newline), returning the rendered string.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_json(path: &str, value: &Json) -> std::io::Result<String> {
+    let rendered = format!("{value}\n");
+    std::fs::write(path, &rendered)?;
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_deterministically() {
+        let v = Json::obj([
+            ("bench", Json::str("x")),
+            ("n", Json::Int(3)),
+            ("ok", Json::Bool(true)),
+            (
+                "results",
+                Json::array([Json::obj([("ms", Json::Num(1.5))])]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"bench":"x","n":3,"ok":true,"results":[{"ms":1.5}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\n").to_string(), r#""a\"b\\c\n""#);
+    }
+}

@@ -13,14 +13,40 @@
 //! | §3.2 model cost claims | `models_compare` |
 //! | §4.2 reliability-from-coherence | `reliability_pram` |
 //! | §5 self-adaptive policies (ablation) | `adaptive` |
+//! | shard backend scaling trajectory | `shard_scaling` |
+//! | replica kill → first consistent read | `recovery_latency` |
 //!
 //! Run any of them with `cargo run -p globe-bench --release --bin <name>`.
-//! Criterion micro-benchmarks live under `benches/`.
+//! Criterion micro-benchmarks live under `benches/`. `shard_scaling`
+//! and `recovery_latency` additionally emit machine-readable
+//! trajectories (`BENCH_shard.json`, `BENCH_recovery.json`; see
+//! [`json`]) and accept `--smoke` for the quick CI configuration.
 
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod json;
 mod table;
 
 pub use experiment::{compare, outcome_row, Config, OUTCOME_COLUMNS};
 pub use table::{fmt_bytes, fmt_duration, fmt_f64, Table};
+
+/// Whether `--smoke` was passed (or `BENCH_SMOKE=1` set): bench bins
+/// then run a reduced configuration suitable for CI.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// The `--out <path>` argument, if given.
+pub fn out_path_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            return args.next();
+        }
+    }
+    None
+}

@@ -54,6 +54,9 @@ use globe_coherence::StoreClass;
 use globe_naming::ObjectId;
 use globe_net::NodeId;
 
+use globe_coherence::StoreId;
+
+use crate::lifecycle::MembershipView;
 use crate::{
     BindOptions, CallError, ClientHandle, InvocationMessage, RegisterDoc, ReplicationPolicy,
     RequestId, RuntimeError, Semantics, SharedHistory, SharedMetrics,
@@ -80,6 +83,13 @@ pub struct RuntimeConfig {
     /// runtime-appropriate default (virtual time is free in the
     /// simulator, wall-clock time is not over sockets).
     pub call_timeout: Option<Duration>,
+    /// Heartbeat period of the replica failure detector; `None` (the
+    /// default) disables it. When set, every object's home store pings
+    /// its peers each period and marks replicas that miss
+    /// [`crate::lifecycle::SUSPECT_AFTER_MISSES`] consecutive periods
+    /// suspect, surfaced via [`GlobeRuntime::membership`] and the
+    /// metrics store's lifecycle events.
+    pub heartbeat: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -97,6 +107,14 @@ impl RuntimeConfig {
     /// Sets the synchronous-call timeout.
     pub fn call_timeout(mut self, timeout: Duration) -> Self {
         self.call_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the replica failure detector with the given heartbeat
+    /// period (see [`crate::lifecycle::DEFAULT_HEARTBEAT`] for a
+    /// reasonable choice).
+    pub fn heartbeat_period(mut self, period: Duration) -> Self {
+        self.heartbeat = Some(period);
         self
     }
 }
@@ -302,10 +320,8 @@ pub trait GlobeRuntime {
 
     /// Creates a distributed Web object from its spec.
     ///
-    /// Prefer the builder-terminal spelling `spec.create(rt)`: on the
-    /// concrete runtimes a deprecated positional `create_object` still
-    /// shadows this method at `rt.create_object(..)` call sites during
-    /// the migration window.
+    /// Prefer the builder-terminal spelling `spec.create(rt)`, which
+    /// reads naturally at the end of an [`ObjectSpec`] chain.
     ///
     /// # Errors
     ///
@@ -382,6 +398,141 @@ pub trait GlobeRuntime {
         object: ObjectId,
         policy: ReplicationPolicy,
     ) -> Result<(), RuntimeError>;
+
+    /// Installs an additional store (mirror or cache) at run time, on
+    /// any backend and on a live deployment. The new replica announces
+    /// itself to the home store, which ships back a state transfer
+    /// carrying the object's current state *and* its coherence
+    /// history/version vector, so reads served by the new replica are
+    /// indistinguishable from reads served by an original one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, RegisterDoc};
+    /// use globe_coherence::StoreClass;
+    /// use globe_net::Topology;
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut sim = GlobeSim::new(Topology::lan(), 11);
+    /// let server = sim.add_node();
+    /// let mirror = sim.add_node();
+    /// let object = ObjectSpec::new("/live/mirror")
+    ///     .store(server, StoreClass::Permanent)
+    ///     .create(&mut sim)?;
+    /// let master = sim.bind(object, server, BindOptions::new())?;
+    /// sim.handle(master).write(registers::put("p", b"v1"))?;
+    /// // Install a mirror mid-run; it catches up via state transfer.
+    /// GlobeRuntime::add_store(&mut sim, object, mirror, StoreClass::ObjectInitiated,
+    ///     Box::new(RegisterDoc::new()))?;
+    /// sim.settle(Duration::from_secs(1));
+    /// assert_eq!(sim.store_digest(object, mirror), sim.store_digest(object, server));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or node is unknown, or
+    /// the node already hosts a replica of this object.
+    fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError>;
+
+    /// Removes the replica at `node` gracefully: the home store stops
+    /// propagating and heartbeating to it, and the location service
+    /// forgets it. Clients bound to it for reads should rebind first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store (the home cannot remove itself;
+    /// permanent stores implement persistence, §3.1).
+    fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError>;
+
+    /// Crash-and-recovers the (non-home) replica at `node`: its
+    /// in-memory state is discarded and rebuilt from a home-store state
+    /// transfer that preserves the coherence history, so post-recovery
+    /// reads — and the recorded history — continue exactly where the
+    /// pre-failure replica left off.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use globe_core::{registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, RegisterDoc};
+    /// use globe_coherence::StoreClass;
+    /// use globe_net::Topology;
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut sim = GlobeSim::new(Topology::lan(), 12);
+    /// let server = sim.add_node();
+    /// let cache = sim.add_node();
+    /// let object = ObjectSpec::new("/live/restart")
+    ///     .store(server, StoreClass::Permanent)
+    ///     .store(cache, StoreClass::ClientInitiated)
+    ///     .create(&mut sim)?;
+    /// let master = sim.bind(object, server, BindOptions::new())?;
+    /// sim.handle(master).write(registers::put("p", b"pre-crash"))?;
+    /// sim.settle(Duration::from_secs(1));
+    /// // Crash the cache and recover it from the home store.
+    /// GlobeRuntime::restart_store(&mut sim, object, cache, Box::new(RegisterDoc::new()))?;
+    /// sim.settle(Duration::from_secs(1));
+    /// assert_eq!(sim.store_digest(object, cache), sim.store_digest(object, server));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError>;
+
+    /// A snapshot of the object's replica membership: every current
+    /// store, its class, and the home store's failure-detector verdict
+    /// for it (always `Alive` unless a heartbeat period was configured
+    /// via [`RuntimeConfig::heartbeat_period`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use globe_core::{GlobeRuntime, GlobeSim, ObjectSpec, RuntimeConfig};
+    /// use globe_core::lifecycle::StoreHealth;
+    /// use globe_coherence::StoreClass;
+    /// use globe_net::Topology;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut sim = GlobeSim::with_config(Topology::lan(), RuntimeConfig::new().seed(13));
+    /// let server = sim.add_node();
+    /// let cache = sim.add_node();
+    /// let object = ObjectSpec::new("/live/members")
+    ///     .store(server, StoreClass::Permanent)
+    ///     .store(cache, StoreClass::ClientInitiated)
+    ///     .create(&mut sim)?;
+    /// let view = sim.membership(object)?;
+    /// assert_eq!(view.members.len(), 2);
+    /// assert!(view.members[0].is_home);
+    /// assert!(view.all_alive());
+    /// assert_eq!(view.member(cache).unwrap().health, StoreHealth::Alive);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object is unknown.
+    fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError>;
 
     /// The shared execution history (for coherence checking).
     fn history(&self) -> SharedHistory;

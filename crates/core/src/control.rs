@@ -75,6 +75,12 @@ impl ControlObject {
         self.store = Some(store);
     }
 
+    /// Removes and returns the hosted store replica (graceful removal);
+    /// local sessions survive and keep proxying to remote stores.
+    pub fn take_store(&mut self) -> Option<StoreReplica> {
+        self.store.take()
+    }
+
     /// Registers a client session.
     pub fn add_session(&mut self, session: Session) {
         self.sessions.insert(session.client(), session);
@@ -237,6 +243,37 @@ impl ControlObject {
             CoherenceMsg::PolicyUpdate { policy } => {
                 if let Some(store) = self.store.as_mut() {
                     store.set_policy(policy, ctx);
+                }
+            }
+            CoherenceMsg::JoinRequest { node, class } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_join(node, class, ctx);
+                }
+            }
+            CoherenceMsg::StateTransfer {
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_state_transfer(version, state, writers, order_high, log, ctx);
+                }
+            }
+            CoherenceMsg::Leave { node } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_leave(node, ctx);
+                }
+            }
+            CoherenceMsg::Ping { seq } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_ping(from, seq, ctx);
+                }
+            }
+            CoherenceMsg::Pong { seq } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_pong(from, seq, ctx);
                 }
             }
         }

@@ -71,6 +71,7 @@ mod control;
 mod error;
 mod ids;
 mod invocation;
+pub mod lifecycle;
 pub mod matrix;
 mod messages;
 mod metrics;
@@ -92,6 +93,7 @@ pub use control::ControlObject;
 pub use error::{CallError, PolicyError, SemanticsError};
 pub use ids::{MethodId, RequestId};
 pub use invocation::{InvocationMessage, MethodKind};
+pub use lifecycle::{LifecycleEvent, LifecycleEventKind, MemberInfo, MembershipView, StoreHealth};
 pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg};
 pub use metrics::{
     shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory, SharedMetrics,

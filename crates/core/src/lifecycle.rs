@@ -1,0 +1,210 @@
+//! Replica lifecycle: membership views, store health, and the events
+//! the failure detector and the lifecycle control plane emit.
+//!
+//! The paper assumes replicas of a Web object can be installed, moved,
+//! and recovered per object at run time (§3.1's layered stores, §5's
+//! evolutionary flexibility). This module holds the runtime-agnostic
+//! vocabulary for that: every backend implements
+//! [`crate::GlobeRuntime::add_store`] /
+//! [`crate::GlobeRuntime::remove_store`] /
+//! [`crate::GlobeRuntime::restart_store`] in terms of the same
+//! join/state-transfer control messages, and surfaces the home store's
+//! heartbeat-based failure detector through the same
+//! [`MembershipView`]. Detector transitions are additionally recorded
+//! into the shared [`crate::MetricsStore`] as [`LifecycleEvent`]s, so a
+//! workload can audit when a replica joined, left, went suspect, or
+//! came back.
+
+use std::fmt;
+use std::time::Duration;
+
+use globe_coherence::{StoreClass, StoreId};
+use globe_naming::ObjectId;
+use globe_net::{NodeId, SimTime};
+
+/// How many heartbeat periods of silence the detector tolerates before
+/// marking a peer suspect.
+pub const SUSPECT_AFTER_MISSES: u32 = 3;
+
+/// Default heartbeat period used by
+/// [`crate::RuntimeConfig::heartbeat_period`] when callers enable the
+/// detector without choosing a period.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// The failure detector's opinion of one replica.
+///
+/// The detector is heartbeat-based and therefore only *suspects*: a
+/// suspect store may be dead, partitioned, or merely slow. A suspect
+/// store that answers a later heartbeat is moved back to `Alive` (and a
+/// [`LifecycleEventKind::Recovered`] event is recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreHealth {
+    /// Answering heartbeats (or the detector is disabled / has not yet
+    /// completed a round).
+    #[default]
+    Alive,
+    /// Missed [`SUSPECT_AFTER_MISSES`] consecutive heartbeat periods.
+    Suspect,
+}
+
+impl fmt::Display for StoreHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreHealth::Alive => "alive",
+            StoreHealth::Suspect => "suspect",
+        })
+    }
+}
+
+/// One replica as seen by [`crate::GlobeRuntime::membership`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The node hosting the replica.
+    pub node: NodeId,
+    /// The replica's store id.
+    pub store: StoreId,
+    /// The replica's store class.
+    pub class: StoreClass,
+    /// Whether this is the home (sequencing) store.
+    pub is_home: bool,
+    /// The failure detector's current opinion.
+    pub health: StoreHealth,
+    /// When the home store last heard a heartbeat acknowledgement from
+    /// this replica (`None` for the home itself, or before the first
+    /// detector round).
+    pub last_heard: Option<SimTime>,
+}
+
+/// A snapshot of one object's replica membership, assembled from the
+/// runtime's object record plus the home store's failure detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// The object whose membership this is.
+    pub object: ObjectId,
+    /// Every current replica, home first.
+    pub members: Vec<MemberInfo>,
+}
+
+impl MembershipView {
+    /// The member on `node`, if one exists.
+    pub fn member(&self, node: NodeId) -> Option<&MemberInfo> {
+        self.members.iter().find(|m| m.node == node)
+    }
+
+    /// Nodes currently marked suspect.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter(|m| m.health == StoreHealth::Suspect)
+            .map(|m| m.node)
+            .collect()
+    }
+
+    /// Whether every member is currently believed alive.
+    pub fn all_alive(&self) -> bool {
+        self.members.iter().all(|m| m.health == StoreHealth::Alive)
+    }
+}
+
+impl fmt::Display for MembershipView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "membership of {}:", self.object)?;
+        for m in &self.members {
+            writeln!(
+                f,
+                "  {} {} {}{}",
+                m.node,
+                m.class,
+                m.health,
+                if m.is_home { " (home)" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What happened to a replica, as recorded into the metrics store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEventKind {
+    /// A replica joined (or rejoined) and was shipped a state transfer.
+    Joined,
+    /// A replica left gracefully; the home store dropped it as a peer.
+    Left,
+    /// The failure detector marked a replica suspect.
+    Suspected,
+    /// A suspect replica answered a heartbeat again.
+    Recovered,
+}
+
+impl LifecycleEventKind {
+    /// Short stable name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleEventKind::Joined => "joined",
+            LifecycleEventKind::Left => "left",
+            LifecycleEventKind::Suspected => "suspected",
+            LifecycleEventKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// One lifecycle transition observed by a home store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// When the home store observed it.
+    pub at: SimTime,
+    /// The object whose membership changed.
+    pub object: ObjectId,
+    /// The replica the event concerns.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: LifecycleEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(node: u32, health: StoreHealth) -> MemberInfo {
+        MemberInfo {
+            node: NodeId::new(node),
+            store: StoreId::new(node),
+            class: StoreClass::ClientInitiated,
+            is_home: false,
+            health,
+            last_heard: None,
+        }
+    }
+
+    #[test]
+    fn view_reports_suspects() {
+        let view = MembershipView {
+            object: ObjectId::new(1),
+            members: vec![
+                member(0, StoreHealth::Alive),
+                member(1, StoreHealth::Suspect),
+            ],
+        };
+        assert!(!view.all_alive());
+        assert_eq!(view.suspects(), vec![NodeId::new(1)]);
+        assert_eq!(
+            view.member(NodeId::new(1)).unwrap().health,
+            StoreHealth::Suspect
+        );
+    }
+
+    #[test]
+    fn event_kinds_have_distinct_names() {
+        let kinds = [
+            LifecycleEventKind::Joined,
+            LifecycleEventKind::Left,
+            LifecycleEventKind::Suspected,
+            LifecycleEventKind::Recovered,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -249,3 +249,193 @@ pub fn run_matrix(
     }
     Ok(outcomes)
 }
+
+/// Fault-injection scenarios: the matrix exercising failure, not just
+/// happy paths.
+///
+/// Each scenario kills, restarts, adds, or removes replicas mid-workload
+/// through the trait-level lifecycle operations, then asserts the
+/// client-visible outcomes — which [`run_matrix`] requires to be
+/// identical on the simulator, real sockets, and the sharded runtime.
+pub mod fault {
+    use std::time::Duration;
+
+    use globe_coherence::{ObjectModel, StoreClass};
+
+    use super::{Observations, Scenario};
+    use crate::{registers, BindOptions, GlobeRuntime, ObjectSpec, RegisterDoc, ReplicationPolicy};
+
+    /// Polls `read` until it yields `want` (settling between attempts)
+    /// or a generous retry budget runs out; returns the final value.
+    fn converge<R: GlobeRuntime>(
+        rt: &mut R,
+        client: crate::ClientHandle,
+        page: &str,
+        want: &[u8],
+    ) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+        let mut latest = Vec::new();
+        for _ in 0..50 {
+            latest = rt.handle(client).read(registers::get(page))?.to_vec();
+            if latest == want {
+                break;
+            }
+            rt.settle(Duration::from_millis(100));
+        }
+        Ok(latest)
+    }
+
+    /// Kill a mirror mid-workload, recover it through the state-transfer
+    /// protocol, and require that (a) pre-failure writes are readable
+    /// from the recovered replica — the transfer preserved the state and
+    /// coherence history — and (b) post-failure writes keep flowing
+    /// to it.
+    pub struct KillRestart;
+
+    impl Scenario for KillRestart {
+        fn name(&self) -> &'static str {
+            "fault-kill-restart"
+        }
+
+        fn run<R: GlobeRuntime>(
+            &self,
+            rt: &mut R,
+        ) -> Result<Observations, Box<dyn std::error::Error>> {
+            let server = rt.add_node()?;
+            let mirror = rt.add_node()?;
+            let writer_node = rt.add_node()?;
+            let reader_node = rt.add_node()?;
+
+            let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()?;
+            let object = ObjectSpec::new("/fault/kill-restart")
+                .policy(policy)
+                .semantics(RegisterDoc::new)
+                .store(server, StoreClass::Permanent)
+                .store(mirror, StoreClass::ObjectInitiated)
+                .create(rt)?;
+            let writer = rt.bind(object, writer_node, BindOptions::new().read_node(server))?;
+            let reader = rt.bind(object, reader_node, BindOptions::new().read_node(mirror))?;
+            rt.start(&[writer_node, reader_node]);
+
+            for i in 0..5 {
+                rt.handle(writer).write(registers::put(
+                    &format!("k{i}"),
+                    format!("pre-{i}").as_bytes(),
+                ))?;
+            }
+            let mut obs = Observations::new();
+            let seen = converge(rt, reader, "k4", b"pre-4")?;
+            assert_eq!(&seen[..], b"pre-4", "mirror must converge before the fault");
+            obs.record("pre-fail", &seen);
+
+            // Kill the mirror (its in-memory state is gone) and recover
+            // it from the home store's state transfer.
+            rt.restart_store(object, mirror, Box::new(RegisterDoc::new()))?;
+
+            // A write from *before* the failure, served by the recovered
+            // replica: indistinguishable from a read before the failure.
+            let old = converge(rt, reader, "k0", b"pre-0")?;
+            assert_eq!(
+                &old[..],
+                b"pre-0",
+                "state transfer must restore pre-failure writes"
+            );
+            obs.record("post-recover-old", &old);
+
+            // And the recovered replica keeps receiving new writes.
+            rt.handle(writer)
+                .write(registers::put("k9", b"post-recover"))?;
+            let new = converge(rt, reader, "k9", b"post-recover")?;
+            assert_eq!(
+                &new[..],
+                b"post-recover",
+                "recovered mirror must rejoin propagation"
+            );
+            obs.record("post-recover-new", &new);
+
+            let members = rt.membership(object)?;
+            assert!(members.all_alive());
+            obs.record("member-count", members.members.len().to_string());
+
+            // The recorded history still satisfies the object's model.
+            let history = rt.history();
+            let history = history.lock();
+            globe_coherence::check::check_fifo(&history)?;
+            drop(history);
+
+            rt.shutdown();
+            Ok(obs)
+        }
+    }
+
+    /// Add a mirror to a live object, read through it, then remove it
+    /// gracefully while the workload continues.
+    pub struct MirrorChurn;
+
+    impl Scenario for MirrorChurn {
+        fn name(&self) -> &'static str {
+            "fault-mirror-churn"
+        }
+
+        fn run<R: GlobeRuntime>(
+            &self,
+            rt: &mut R,
+        ) -> Result<Observations, Box<dyn std::error::Error>> {
+            let server = rt.add_node()?;
+            let mirror = rt.add_node()?;
+            let client_node = rt.add_node()?;
+
+            let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()?;
+            let object = ObjectSpec::new("/fault/mirror-churn")
+                .policy(policy)
+                .semantics(RegisterDoc::new)
+                .store(server, StoreClass::Permanent)
+                .create(rt)?;
+            let writer = rt.bind(object, client_node, BindOptions::new().read_node(server))?;
+            rt.start(&[client_node]);
+
+            for i in 0..3 {
+                rt.handle(writer).write(registers::put(
+                    &format!("k{i}"),
+                    format!("pre-{i}").as_bytes(),
+                ))?;
+            }
+
+            // Install a mirror on the live deployment; it catches up via
+            // the join/state-transfer protocol.
+            rt.add_store(
+                object,
+                mirror,
+                StoreClass::ObjectInitiated,
+                Box::new(RegisterDoc::new()),
+            )?;
+            let reader = rt.bind(object, client_node, BindOptions::new().read_node(mirror))?;
+            let mut obs = Observations::new();
+            let caught_up = converge(rt, reader, "k2", b"pre-2")?;
+            assert_eq!(&caught_up[..], b"pre-2", "added mirror must catch up");
+            obs.record("mirror-caught-up", &caught_up);
+            obs.record(
+                "members-with-mirror",
+                rt.membership(object)?.members.len().to_string(),
+            );
+
+            // Retire it gracefully; the workload continues on the home.
+            rt.remove_store(object, mirror)?;
+            rt.handle(writer)
+                .write(registers::put("k9", b"post-remove"))?;
+            let after = converge(rt, writer, "k9", b"post-remove")?;
+            assert_eq!(&after[..], b"post-remove");
+            obs.record("post-remove", &after);
+            obs.record(
+                "members-after-remove",
+                rt.membership(object)?.members.len().to_string(),
+            );
+
+            rt.shutdown();
+            Ok(obs)
+        }
+    }
+}

@@ -6,8 +6,9 @@
 //! objects move these around without interpreting them (§2).
 
 use bytes::{Buf, BufMut, Bytes};
-use globe_coherence::{ClientId, PageKey, VersionVector, WriteId};
+use globe_coherence::{ClientId, PageKey, StoreClass, VersionVector, WriteId};
 use globe_naming::ObjectId;
+use globe_net::NodeId;
 use globe_wire::{WireDecode, WireEncode, WireError};
 
 use crate::{InvocationMessage, ReplicationPolicy, RequestId};
@@ -220,6 +221,53 @@ pub enum CoherenceMsg {
         /// The new policy.
         policy: ReplicationPolicy,
     },
+    /// Joining or recovering replica → home store: announce membership
+    /// and request a full state transfer (the replica lifecycle control
+    /// plane). May be relayed by a runtime's control endpoint, so the
+    /// reply target is carried explicitly rather than taken from the
+    /// transport's `from`.
+    JoinRequest {
+        /// The node hosting the joining replica (the reply target).
+        node: NodeId,
+        /// The joining replica's store class.
+        class: StoreClass,
+    },
+    /// Home store → joining replica: the object's complete state — the
+    /// semantics snapshot, the applied version vector, the per-page
+    /// writers, the sequencer height, and the coherence write log — so
+    /// reads after recovery are indistinguishable from reads before the
+    /// failure.
+    StateTransfer {
+        /// The home store's applied vector.
+        version: VersionVector,
+        /// Snapshot of the semantics object.
+        state: Bytes,
+        /// Last writer per page, so `sees` metadata survives recovery.
+        writers: Vec<(PageKey, WriteId)>,
+        /// Sequencer order height (sequential model).
+        order_high: Option<u64>,
+        /// The coherence write log, so the recovered replica carries the
+        /// object's full history rather than a bare snapshot.
+        log: Vec<LoggedWrite>,
+    },
+    /// Departing replica (or control endpoint) → home store: the named
+    /// node's replica is leaving; stop propagating and heartbeating
+    /// to it.
+    Leave {
+        /// The node whose replica is being removed.
+        node: NodeId,
+    },
+    /// Home store → replica: failure-detector heartbeat.
+    Ping {
+        /// Monotonic heartbeat round, echoed by the matching
+        /// [`CoherenceMsg::Pong`].
+        seq: u64,
+    },
+    /// Replica → home store: heartbeat acknowledgement.
+    Pong {
+        /// The round being acknowledged.
+        seq: u64,
+    },
 }
 
 impl CoherenceMsg {
@@ -237,6 +285,11 @@ impl CoherenceMsg {
             CoherenceMsg::DemandUpdate { .. } => "DemandUpdate",
             CoherenceMsg::DemandResend { .. } => "DemandResend",
             CoherenceMsg::PolicyUpdate { .. } => "PolicyUpdate",
+            CoherenceMsg::JoinRequest { .. } => "JoinRequest",
+            CoherenceMsg::StateTransfer { .. } => "StateTransfer",
+            CoherenceMsg::Leave { .. } => "Leave",
+            CoherenceMsg::Ping { .. } => "Ping",
+            CoherenceMsg::Pong { .. } => "Pong",
         }
     }
 }
@@ -320,6 +373,37 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(10);
                 policy.encode(buf);
             }
+            CoherenceMsg::JoinRequest { node, class } => {
+                buf.put_u8(11);
+                node.encode(buf);
+                class.encode(buf);
+            }
+            CoherenceMsg::StateTransfer {
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+            } => {
+                buf.put_u8(12);
+                version.encode(buf);
+                state.encode(buf);
+                writers.encode(buf);
+                order_high.encode(buf);
+                log.encode(buf);
+            }
+            CoherenceMsg::Leave { node } => {
+                buf.put_u8(13);
+                node.encode(buf);
+            }
+            CoherenceMsg::Ping { seq } => {
+                buf.put_u8(14);
+                seq.encode(buf);
+            }
+            CoherenceMsg::Pong { seq } => {
+                buf.put_u8(15);
+                seq.encode(buf);
+            }
         }
     }
 
@@ -378,6 +462,23 @@ impl WireEncode for CoherenceMsg {
                 client.encoded_len() + from_seq.encoded_len()
             }
             CoherenceMsg::PolicyUpdate { policy } => policy.encoded_len(),
+            CoherenceMsg::JoinRequest { node, class } => node.encoded_len() + class.encoded_len(),
+            CoherenceMsg::StateTransfer {
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+            } => {
+                version.encoded_len()
+                    + state.encoded_len()
+                    + writers.encoded_len()
+                    + order_high.encoded_len()
+                    + log.encoded_len()
+            }
+            CoherenceMsg::Leave { node } => node.encoded_len(),
+            CoherenceMsg::Ping { seq } => seq.encoded_len(),
+            CoherenceMsg::Pong { seq } => seq.encoded_len(),
         }
     }
 }
@@ -439,6 +540,26 @@ impl WireDecode for CoherenceMsg {
             }),
             10 => Ok(CoherenceMsg::PolicyUpdate {
                 policy: ReplicationPolicy::decode(buf)?,
+            }),
+            11 => Ok(CoherenceMsg::JoinRequest {
+                node: NodeId::decode(buf)?,
+                class: StoreClass::decode(buf)?,
+            }),
+            12 => Ok(CoherenceMsg::StateTransfer {
+                version: VersionVector::decode(buf)?,
+                state: Bytes::decode(buf)?,
+                writers: Vec::<(PageKey, WriteId)>::decode(buf)?,
+                order_high: Option::<u64>::decode(buf)?,
+                log: Vec::<LoggedWrite>::decode(buf)?,
+            }),
+            13 => Ok(CoherenceMsg::Leave {
+                node: NodeId::decode(buf)?,
+            }),
+            14 => Ok(CoherenceMsg::Ping {
+                seq: u64::decode(buf)?,
+            }),
+            15 => Ok(CoherenceMsg::Pong {
+                seq: u64::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "CoherenceMsg",
@@ -560,6 +681,22 @@ mod tests {
         roundtrip(CoherenceMsg::PolicyUpdate {
             policy: ReplicationPolicy::conference_page(),
         });
+        roundtrip(CoherenceMsg::JoinRequest {
+            node: globe_net::NodeId::new(3),
+            class: StoreClass::ClientInitiated,
+        });
+        roundtrip(CoherenceMsg::StateTransfer {
+            version: [(ClientId::new(1), 5u64)].into_iter().collect(),
+            state: Bytes::from_static(b"snapshot"),
+            writers: vec![("a".to_string(), WriteId::new(ClientId::new(1), 5))],
+            order_high: Some(6),
+            log: vec![sample_write(), sample_write()],
+        });
+        roundtrip(CoherenceMsg::Leave {
+            node: globe_net::NodeId::new(9),
+        });
+        roundtrip(CoherenceMsg::Ping { seq: 12 });
+        roundtrip(CoherenceMsg::Pong { seq: 12 });
     }
 
     #[test]

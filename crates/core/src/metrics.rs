@@ -7,6 +7,7 @@ use globe_coherence::{ClientId, History};
 use globe_net::SimTime;
 use parking_lot::Mutex;
 
+use crate::lifecycle::{LifecycleEvent, LifecycleEventKind};
 use crate::MethodKind;
 
 /// One completed client operation.
@@ -47,12 +48,28 @@ pub struct MetricsStore {
     pub ops: Vec<OpSample>,
     /// Coherence traffic by message kind.
     pub traffic: BTreeMap<&'static str, KindCount>,
+    /// Replica lifecycle transitions (joins, leaves, detector verdicts),
+    /// in observation order.
+    pub lifecycle: Vec<LifecycleEvent>,
 }
 
 impl MetricsStore {
     /// Records a completed operation.
     pub fn record_op(&mut self, sample: OpSample) {
         self.ops.push(sample);
+    }
+
+    /// Records a replica lifecycle transition.
+    pub fn record_lifecycle(&mut self, event: LifecycleEvent) {
+        self.lifecycle.push(event);
+    }
+
+    /// Lifecycle events of one kind, in observation order.
+    pub fn lifecycle_events(
+        &self,
+        kind: LifecycleEventKind,
+    ) -> impl Iterator<Item = &LifecycleEvent> + '_ {
+        self.lifecycle.iter().filter(move |e| e.kind == kind)
     }
 
     /// Accounts one protocol message of `kind` and `bytes` payload.

@@ -112,6 +112,7 @@ impl CreationPlan {
         semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
         history: &SharedHistory,
         metrics: &SharedMetrics,
+        heartbeat: Option<std::time::Duration>,
         mut install: impl FnMut(NodeId, StoreReplica),
     ) {
         for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
@@ -142,6 +143,7 @@ impl CreationPlan {
                     semantics: semantics_factory(),
                     history: history.clone(),
                     metrics: metrics.clone(),
+                    heartbeat,
                 }),
             );
         }
@@ -156,6 +158,135 @@ impl CreationPlan {
             stores: self.stores,
         }
     }
+}
+
+/// Everything shared handles need to build a non-home replica outside
+/// the creation path (dynamic add and crash-restart).
+pub(crate) struct ReplicaParts<'a> {
+    pub(crate) object: ObjectId,
+    pub(crate) semantics: Box<dyn Semantics>,
+    pub(crate) history: &'a SharedHistory,
+    pub(crate) metrics: &'a SharedMetrics,
+    pub(crate) heartbeat: Option<std::time::Duration>,
+}
+
+/// Validates a dynamic store installation against the object record,
+/// allocates its store id, records it, and builds the replica. The
+/// backend still installs it, starts its timers, and has it `join`.
+pub(crate) fn plan_add_store(
+    record: &mut ObjectRecord,
+    node: NodeId,
+    class: StoreClass,
+    next_store: &mut u32,
+    parts: ReplicaParts<'_>,
+) -> Result<(StoreId, StoreReplica), RuntimeError> {
+    if record.stores.iter().any(|(n, _, _)| *n == node) {
+        return Err(RuntimeError::BadPolicy(format!(
+            "node {node} already hosts a replica of this object"
+        )));
+    }
+    let store_id = StoreId::new(*next_store);
+    *next_store += 1;
+    record.stores.push((node, store_id, class));
+    let replica = replica_for(record, store_id, class, parts);
+    Ok((store_id, replica))
+}
+
+/// Validates a crash-restart against the object record and builds the
+/// fresh replica (same store id, empty state). The backend swaps it in,
+/// starts its timers, and has it `join` to receive the state transfer.
+pub(crate) fn plan_restart_store(
+    record: &ObjectRecord,
+    node: NodeId,
+    parts: ReplicaParts<'_>,
+) -> Result<StoreReplica, RuntimeError> {
+    let (_, store_id, class) = *record
+        .stores
+        .iter()
+        .find(|(n, _, _)| *n == node)
+        .ok_or(RuntimeError::NoSuchReplica)?;
+    if node == record.home_node {
+        return Err(RuntimeError::BadPolicy(
+            "the home store cannot be restarted from itself".to_string(),
+        ));
+    }
+    Ok(replica_for(record, store_id, class, parts))
+}
+
+/// Validates a graceful removal and drops the replica from the record.
+/// The backend still uninstalls it and tells the home store to forget
+/// the peer (a `Leave` control message).
+pub(crate) fn plan_remove_store(
+    record: &mut ObjectRecord,
+    node: NodeId,
+) -> Result<StoreId, RuntimeError> {
+    let (_, store_id, _) = *record
+        .stores
+        .iter()
+        .find(|(n, _, _)| *n == node)
+        .ok_or(RuntimeError::NoSuchReplica)?;
+    if node == record.home_node {
+        return Err(RuntimeError::BadPolicy(
+            "the home store cannot be removed; permanent stores implement persistence".to_string(),
+        ));
+    }
+    record.stores.retain(|(n, _, _)| *n != node);
+    Ok(store_id)
+}
+
+fn replica_for(
+    record: &ObjectRecord,
+    store_id: StoreId,
+    class: StoreClass,
+    parts: ReplicaParts<'_>,
+) -> StoreReplica {
+    StoreReplica::new(StoreConfig {
+        object: parts.object,
+        store_id,
+        class,
+        policy: record.policy.clone(),
+        home_node: record.home_node,
+        is_home: false,
+        peers: Vec::new(),
+        semantics: parts.semantics,
+        history: parts.history.clone(),
+        metrics: parts.metrics.clone(),
+        heartbeat: parts.heartbeat,
+    })
+}
+
+/// Assembles a [`crate::lifecycle::MembershipView`] from the object
+/// record plus the home store's failure detector (`None` when the home
+/// replica is unreachable: the view then carries no detector input).
+pub(crate) fn membership_view(
+    object: ObjectId,
+    record: &ObjectRecord,
+    home: Option<&StoreReplica>,
+) -> crate::lifecycle::MembershipView {
+    use crate::lifecycle::{MemberInfo, MembershipView, StoreHealth};
+    let mut members: Vec<MemberInfo> = record
+        .stores
+        .iter()
+        .map(|(node, store_id, class)| {
+            let is_home = *node == record.home_node;
+            MemberInfo {
+                node: *node,
+                store: *store_id,
+                class: *class,
+                is_home,
+                health: match home {
+                    Some(h) if !is_home => h.peer_health(*node),
+                    _ => StoreHealth::Alive,
+                },
+                last_heard: match home {
+                    Some(h) if !is_home => h.last_heard(*node),
+                    _ => None,
+                },
+            }
+        })
+        .collect();
+    members.sort_by_key(|m| !m.is_home);
+    MembershipView { object, members }
 }
 
 /// The resolved shape of one client binding: where reads and writes go

@@ -399,7 +399,7 @@ impl WireEncode for ReplicationPolicy {
         self.write_set.encode(buf);
         self.initiative.encode(buf);
         self.instant.encode(buf);
-        (self.lazy_period.as_nanos() as u64).encode(buf);
+        self.lazy_period.encode(buf);
         self.access_transfer.encode(buf);
         self.coherence_transfer.encode(buf);
         self.object_outdate.encode(buf);
@@ -412,7 +412,7 @@ impl WireEncode for ReplicationPolicy {
             + self.write_set.encoded_len()
             + self.initiative.encoded_len()
             + self.instant.encoded_len()
-            + (self.lazy_period.as_nanos() as u64).encoded_len()
+            + self.lazy_period.encoded_len()
             + self.access_transfer.encoded_len()
             + self.coherence_transfer.encoded_len()
             + self.object_outdate.encoded_len()
@@ -429,7 +429,7 @@ impl WireDecode for ReplicationPolicy {
             write_set: WriteSet::decode(buf)?,
             initiative: TransferInitiative::decode(buf)?,
             instant: TransferInstant::decode(buf)?,
-            lazy_period: Duration::from_nanos(u64::decode(buf)?),
+            lazy_period: Duration::decode(buf)?,
             access_transfer: AccessTransfer::decode(buf)?,
             coherence_transfer: CoherenceTransfer::decode(buf)?,
             object_outdate: OutdateReaction::decode(buf)?,

@@ -16,11 +16,12 @@ use globe_coherence::{ClientId, ClientModel, StoreClass, StoreId, VersionVector}
 use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId};
 use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
 
+use crate::lifecycle::MembershipView;
 use crate::plan::{self, ObjectRecord};
 use crate::{
-    shared_history, shared_metrics, AddressSpace, CallError, GlobeRuntime, InvocationMessage,
-    ObjectSpec, PeerStore, ReplicationPolicy, RequestId, RuntimeConfig, Semantics, SharedHistory,
-    SharedMetrics, StoreConfig, StoreReplica,
+    shared_history, shared_metrics, AddressSpace, CallError, CoherenceMsg, CommObject,
+    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
+    Semantics, SharedHistory, SharedMetrics,
 };
 
 /// Error creating or binding an object in the runtime.
@@ -182,6 +183,7 @@ pub struct GlobeSim {
     next_client: u32,
     next_store: u32,
     call_timeout: Duration,
+    heartbeat: Option<Duration>,
 }
 
 impl GlobeSim {
@@ -205,6 +207,7 @@ impl GlobeSim {
             next_store: 0,
             // Virtual time is free, so the default deadline is generous.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(300)),
+            heartbeat: config.heartbeat,
         }
     }
 
@@ -231,35 +234,10 @@ impl GlobeSim {
         self.call_timeout = timeout;
     }
 
-    /// Creates a distributed Web object from positional arguments.
-    ///
-    /// Superseded by the typed [`ObjectSpec`] builder; this shim stays
-    /// for one release to guide migration.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`RuntimeError`] if the name is taken or malformed, a
-    /// node is unknown, no permanent store is listed, or the policy is
-    /// invalid.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an ObjectSpec and call `spec.create(&mut sim)` instead; note that \
-                `.create_object(spec)` still resolves to this positional method"
-    )]
-    pub fn create_object(
-        &mut self,
-        name: &str,
-        policy: ReplicationPolicy,
-        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
-        placement: &[(NodeId, StoreClass)],
-    ) -> Result<ObjectId, RuntimeError> {
-        self.create_object_impl(name, policy, semantics_factory, placement)
-    }
-
-    /// Shared creation routine behind [`ObjectSpec`] and the deprecated
-    /// positional API. `placement` lists the stores holding replicas;
-    /// the first `Permanent` entry becomes the home (sequencing) store;
-    /// each store gets a fresh semantics instance from the factory.
+    /// Shared creation routine behind [`ObjectSpec`]. `placement` lists
+    /// the stores holding replicas; the first `Permanent` entry becomes
+    /// the home (sequencing) store; each store gets a fresh semantics
+    /// instance from the factory.
     fn create_object_impl(
         &mut self,
         name: &str,
@@ -286,6 +264,7 @@ impl GlobeSim {
             semantics_factory,
             &self.history,
             &self.metrics,
+            self.heartbeat,
             |node, replica| {
                 let space = Rc::clone(&spaces[&node]);
                 plan::install_store(&mut space.borrow_mut(), object, replica);
@@ -303,12 +282,15 @@ impl GlobeSim {
     }
 
     /// Installs an additional store (mirror or cache) at run time. The
-    /// new replica synchronizes itself by demanding missing updates from
-    /// the home store.
+    /// new replica announces itself to the home store with a
+    /// `JoinRequest`; the home registers the peer and ships back a
+    /// state transfer carrying the current state, version vector, and
+    /// coherence write log.
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] if the object or node is unknown.
+    /// Returns a [`RuntimeError`] if the object or node is unknown, or
+    /// the node already hosts a replica.
     pub fn add_store(
         &mut self,
         object: ObjectId,
@@ -319,15 +301,21 @@ impl GlobeSim {
         if !self.spaces.contains_key(&node) {
             return Err(RuntimeError::UnknownNode(node));
         }
-        let record = self
-            .objects
-            .get_mut(&object)
-            .ok_or(RuntimeError::UnknownObject(object))?;
-        let store_id = StoreId::new(self.next_store);
-        self.next_store += 1;
-        let home_node = record.home_node;
-        let policy = record.policy.clone();
-        record.stores.push((node, store_id, class));
+        let (store_id, replica) = plan::plan_add_store(
+            self.objects
+                .get_mut(&object)
+                .ok_or(RuntimeError::UnknownObject(object))?,
+            node,
+            class,
+            &mut self.next_store,
+            plan::ReplicaParts {
+                object,
+                semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
         self.locations.register(
             object,
             ContactRecord {
@@ -336,39 +324,44 @@ impl GlobeSim {
                 region: self.net.topology().region_of(node),
             },
         );
-        let replica = StoreReplica::new(StoreConfig {
-            object,
-            store_id,
-            class,
-            policy,
-            home_node,
-            is_home: false,
-            peers: Vec::new(),
-            semantics,
-            history: self.history.clone(),
-            metrics: self.metrics.clone(),
-        });
         let space = Rc::clone(&self.spaces[&node]);
         plan::install_store(&mut space.borrow_mut(), object, replica);
-        // Tell the home store about its new peer, then let the replica
-        // arm its timers and fetch the current state.
-        let home_space = Rc::clone(&self.spaces[&home_node]);
-        if let Some(store) = home_space
-            .borrow_mut()
-            .control_mut(object)
-            .and_then(|c| c.store_mut())
-        {
-            store.add_peer(PeerStore { node, class });
-        }
         self.net.with_ctx(node, |ctx| {
             let mut space = space.borrow_mut();
             let control = space.control_mut(object).expect("just installed");
             control.start(ctx);
             if let Some(store) = control.store_mut() {
-                store.initial_sync(ctx);
+                store.join(ctx);
             }
         });
         Ok(store_id)
+    }
+
+    /// Removes the (non-home) replica at `node` gracefully: the store
+    /// is dropped, the location service forgets it, and the home store
+    /// is told to stop propagating and heartbeating to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let home = record.home_node;
+        plan::plan_remove_store(record, node)?;
+        self.locations.unregister(object, node);
+        let space = Rc::clone(&self.spaces[&node]);
+        let comm = CommObject::new(object, self.metrics.clone());
+        self.net.with_ctx(node, |ctx| {
+            if let Some(control) = space.borrow_mut().control_mut(object) {
+                control.take_store();
+            }
+            comm.send(ctx, home, &CoherenceMsg::Leave { node });
+        });
+        Ok(())
     }
 
     /// Binds a client in `node`'s address space to `object`.
@@ -435,13 +428,16 @@ impl GlobeSim {
     }
 
     /// Simulates a crash-and-restart of the (non-home) replica at `node`:
-    /// its in-memory state is discarded and it resynchronizes from the
-    /// home store, the way a store recovers by re-binding to the object's
+    /// its in-memory state is discarded and it recovers through the
+    /// lifecycle state-transfer protocol — the home store ships the
+    /// current state together with the coherence history and version
+    /// vector, the way a store recovers by re-binding to the object's
     /// permanent stores (§3.1: permanent stores implement persistence).
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] if the object or replica is unknown.
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
     pub fn restart_store(
         &mut self,
         object: ObjectId,
@@ -452,28 +448,17 @@ impl GlobeSim {
             .objects
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let (_, store_id, class) = *record
-            .stores
-            .iter()
-            .find(|(n, _, _)| *n == node)
-            .ok_or(RuntimeError::NoSuchReplica)?;
-        if node == record.home_node {
-            return Err(RuntimeError::BadPolicy(
-                "the home store cannot be restarted from itself".to_string(),
-            ));
-        }
-        let replica = StoreReplica::new(StoreConfig {
-            object,
-            store_id,
-            class,
-            policy: record.policy.clone(),
-            home_node: record.home_node,
-            is_home: false,
-            peers: Vec::new(),
-            semantics: fresh_semantics,
-            history: self.history.clone(),
-            metrics: self.metrics.clone(),
-        });
+        let replica = plan::plan_restart_store(
+            record,
+            node,
+            plan::ReplicaParts {
+                object,
+                semantics: fresh_semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
         let space = Rc::clone(&self.spaces[&node]);
         {
             let mut space = space.borrow_mut();
@@ -487,10 +472,35 @@ impl GlobeSim {
             let control = space.control_mut(object).expect("control exists");
             control.start(ctx);
             if let Some(store) = control.store_mut() {
-                store.initial_sync(ctx);
+                store.join(ctx);
             }
         });
         Ok(())
+    }
+
+    /// A snapshot of the object's membership: every current store plus
+    /// the home store's failure-detector verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object is unknown.
+    pub fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let view = match self.spaces.get(&record.home_node) {
+            Some(space) => {
+                let space = space.borrow();
+                plan::membership_view(
+                    object,
+                    record,
+                    space.control(object).and_then(|c| c.store()),
+                )
+            }
+            None => plan::membership_view(object, record, None),
+        };
+        Ok(view)
     }
 
     /// Rebinds a client's reads to the replica on `store_node` (clients
@@ -590,42 +600,6 @@ impl GlobeSim {
                 return Err(CallError::Stalled);
             }
         }
-    }
-
-    /// Executes a read synchronously, driving the simulation until the
-    /// reply arrives.
-    ///
-    /// Superseded by [`ObjectHandle::read`](crate::ObjectHandle::read)
-    /// (`sim.handle(client).read(..)`), which does not thread the
-    /// runtime through every call site.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CallError`] if the call fails, stalls, or times out.
-    #[deprecated(since = "0.1.0", note = "use `sim.handle(client).read(..)` instead")]
-    pub fn read(
-        &mut self,
-        handle: &ClientHandle,
-        inv: InvocationMessage,
-    ) -> Result<Bytes, CallError> {
-        self.read_impl(handle, inv)
-    }
-
-    /// Executes a write synchronously.
-    ///
-    /// Superseded by [`ObjectHandle::write`](crate::ObjectHandle::write)
-    /// (`sim.handle(client).write(..)`).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CallError`] if the call fails, stalls, or times out.
-    #[deprecated(since = "0.1.0", note = "use `sim.handle(client).write(..)` instead")]
-    pub fn write(
-        &mut self,
-        handle: &ClientHandle,
-        inv: InvocationMessage,
-    ) -> Result<Bytes, CallError> {
-        self.write_impl(handle, inv)
     }
 
     fn read_impl(
@@ -832,6 +806,33 @@ impl GlobeRuntime for GlobeSim {
         policy: ReplicationPolicy,
     ) -> Result<(), RuntimeError> {
         GlobeSim::set_policy(self, object, policy)
+    }
+
+    fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        GlobeSim::add_store(self, object, node, class, semantics)
+    }
+
+    fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        GlobeSim::remove_store(self, object, node)
+    }
+
+    fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        GlobeSim::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        GlobeSim::membership(self, object)
     }
 
     fn history(&self) -> SharedHistory {

@@ -32,18 +32,19 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use globe_coherence::{ClientId, StoreClass};
-use globe_naming::{LocationService, NameSpace, ObjectId};
+use globe_coherence::{ClientId, StoreClass, StoreId};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId};
 use globe_net::timer::WallTimer;
 use globe_net::{Event, NetCtx, NodeId, RegionId, SimTime, TimerId, TimerToken};
 use globe_wire::WireDecode;
 use parking_lot::Mutex;
 
+use crate::lifecycle::MembershipView;
 use crate::plan::{self, ObjectRecord};
 use crate::{
     shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
-    RuntimeError, Semantics, SharedHistory, SharedMetrics,
+    CoherenceMsg, CommObject, GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy,
+    RequestId, RuntimeConfig, RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
 
 /// Default number of shard workers when none is requested.
@@ -205,6 +206,7 @@ pub struct GlobeShard {
     started: bool,
     seed: u64,
     call_timeout: Duration,
+    heartbeat: Option<Duration>,
 }
 
 impl GlobeShard {
@@ -257,6 +259,7 @@ impl GlobeShard {
             // Wall-clock time, as in the TCP runtime; loopback channels
             // are fast, so the default deadline is tight.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
+            heartbeat: config.heartbeat,
         }
     }
 
@@ -318,6 +321,7 @@ impl GlobeShard {
             semantics_factory,
             &self.history,
             &self.metrics,
+            self.heartbeat,
             |node, replica| {
                 let mut spaces = shard.lock();
                 let space = spaces
@@ -495,6 +499,159 @@ impl GlobeShard {
         Ok(())
     }
 
+    /// Installs an additional store at run time — live deployments
+    /// included, since every replica sits behind its shard's lock. The
+    /// new replica joins via the home store's state-transfer protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or node is unknown, or
+    /// the node already hosts a replica.
+    pub fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        if !self.nodes.contains(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        let (store_id, replica) = plan::plan_add_store(
+            self.objects
+                .get_mut(&object)
+                .ok_or(RuntimeError::UnknownObject(object))?,
+            node,
+            class,
+            &mut self.next_store,
+            plan::ReplicaParts {
+                object,
+                semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
+        self.locations.register(
+            object,
+            ContactRecord {
+                node,
+                class,
+                region: RegionId::new(0),
+            },
+        );
+        let mut spaces = self.shards[self.shard_of(object)].lock();
+        let space = spaces
+            .entry(node)
+            .or_insert_with(|| AddressSpace::new(node));
+        plan::install_store(space, object, replica);
+        let mut ctx = ShardCtx {
+            node,
+            router: &self.router,
+        };
+        let control = space.control_mut(object).expect("just installed");
+        control.start(&mut ctx);
+        if let Some(store) = control.store_mut() {
+            store.join(&mut ctx);
+        }
+        Ok(store_id)
+    }
+
+    /// Removes the (non-home) replica at `node` gracefully, telling the
+    /// home store to stop propagating and heartbeating to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let home = record.home_node;
+        plan::plan_remove_store(record, node)?;
+        self.locations.unregister(object, node);
+        let mut spaces = self.shards[self.shard_of(object)].lock();
+        if let Some(control) = spaces
+            .get_mut(&node)
+            .and_then(|space| space.control_mut(object))
+        {
+            control.take_store();
+        }
+        let comm = CommObject::new(object, self.metrics.clone());
+        let mut ctx = ShardCtx {
+            node,
+            router: &self.router,
+        };
+        comm.send(&mut ctx, home, &CoherenceMsg::Leave { node });
+        Ok(())
+    }
+
+    /// Crash-and-recovers the (non-home) replica at `node` through the
+    /// lifecycle state-transfer protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    pub fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let replica = plan::plan_restart_store(
+            record,
+            node,
+            plan::ReplicaParts {
+                object,
+                semantics: fresh_semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
+        let mut spaces = self.shards[self.shard_of(object)].lock();
+        let control = spaces
+            .get_mut(&node)
+            .and_then(|space| space.control_mut(object))
+            .ok_or(RuntimeError::NoSuchReplica)?;
+        control.set_store(replica);
+        let mut ctx = ShardCtx {
+            node,
+            router: &self.router,
+        };
+        control.start(&mut ctx);
+        if let Some(store) = control.store_mut() {
+            store.join(&mut ctx);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the object's membership plus the home store's
+    /// failure-detector verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object is unknown.
+    pub fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let spaces = self.shards[self.router.shard_of(object)].lock();
+        let home = spaces
+            .get(&record.home_node)
+            .and_then(|space| space.control(object))
+            .and_then(|control| control.store());
+        Ok(plan::membership_view(object, record, home))
+    }
+
     /// The shared execution history.
     pub fn history(&self) -> SharedHistory {
         self.history.clone()
@@ -583,6 +740,33 @@ impl GlobeRuntime for GlobeShard {
         policy: ReplicationPolicy,
     ) -> Result<(), RuntimeError> {
         GlobeShard::set_policy(self, object, policy)
+    }
+
+    fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        GlobeShard::add_store(self, object, node, class, semantics)
+    }
+
+    fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        GlobeShard::remove_store(self, object, node)
+    }
+
+    fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        GlobeShard::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        GlobeShard::membership(self, object)
     }
 
     fn history(&self) -> SharedHistory {

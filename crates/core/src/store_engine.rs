@@ -16,6 +16,7 @@ use globe_coherence::{ClientId, PageKey, StoreClass, StoreId, VersionVector, Wri
 use globe_naming::ObjectId;
 use globe_net::{NetCtx, NodeId};
 
+use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, StoreHealth, SUSPECT_AFTER_MISSES};
 use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
 use crate::{
     CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
@@ -40,6 +41,8 @@ pub enum TimerKind {
     DemandRetry = 2,
     /// Client-proxy retransmission of unacknowledged writes.
     SessionRetry = 3,
+    /// Failure-detector heartbeat round at the home store.
+    Heartbeat = 4,
 }
 
 impl TimerKind {
@@ -50,6 +53,7 @@ impl TimerKind {
             1 => Some(TimerKind::PullPoll),
             2 => Some(TimerKind::DemandRetry),
             3 => Some(TimerKind::SessionRetry),
+            4 => Some(TimerKind::Heartbeat),
             _ => None,
         }
     }
@@ -101,6 +105,9 @@ pub struct StoreConfig {
     pub history: SharedHistory,
     /// Shared metrics.
     pub metrics: SharedMetrics,
+    /// Heartbeat period of the failure detector; `None` disables it.
+    /// Only the home store runs the detector.
+    pub heartbeat: Option<Duration>,
 }
 
 /// One store's replica of a distributed shared object.
@@ -130,15 +137,22 @@ pub struct StoreReplica {
     home_node: NodeId,
     peers: Vec<PeerStore>,
     history: SharedHistory,
+    metrics: SharedMetrics,
+    heartbeat: Option<Duration>,
+    hb_seq: u64,
+    last_heard: HashMap<NodeId, globe_net::SimTime>,
+    suspects: HashSet<NodeId>,
     lazy_armed: bool,
     pull_armed: bool,
     retry_armed: bool,
+    hb_armed: bool,
 }
 
 impl StoreReplica {
     /// Builds a replica from its configuration.
     pub fn new(config: StoreConfig) -> Self {
         let comm = CommObject::new(config.object, config.metrics.clone());
+        let metrics = config.metrics;
         StoreReplica {
             object: config.object,
             store_id: config.store_id,
@@ -165,9 +179,15 @@ impl StoreReplica {
             home_node: config.home_node,
             peers: config.peers,
             history: config.history,
+            metrics,
+            heartbeat: config.heartbeat,
+            hb_seq: 0,
+            last_heard: HashMap::new(),
+            suspects: HashSet::new(),
             lazy_armed: false,
             pull_armed: false,
             retry_armed: false,
+            hb_armed: false,
         }
     }
 
@@ -218,6 +238,45 @@ impl StoreReplica {
         }
     }
 
+    /// Forgets a peer store (graceful removal): no more propagation or
+    /// heartbeats will be sent to it.
+    pub fn remove_peer(&mut self, node: NodeId) {
+        self.peers.retain(|p| p.node != node);
+        self.peer_sent.remove(&node);
+        self.last_heard.remove(&node);
+        self.suspects.remove(&node);
+    }
+
+    /// The peer stores this replica currently propagates to (the home
+    /// store's view of the membership, minus itself).
+    pub fn peers(&self) -> &[PeerStore] {
+        &self.peers
+    }
+
+    /// The failure detector's opinion of the peer on `node`.
+    pub fn peer_health(&self, node: NodeId) -> StoreHealth {
+        if self.suspects.contains(&node) {
+            StoreHealth::Suspect
+        } else {
+            StoreHealth::Alive
+        }
+    }
+
+    /// When a heartbeat acknowledgement (or join) was last heard from
+    /// the peer on `node`.
+    pub fn last_heard(&self, node: NodeId) -> Option<globe_net::SimTime> {
+        self.last_heard.get(&node).copied()
+    }
+
+    fn record_lifecycle(&self, node: NodeId, kind: LifecycleEventKind, now: globe_net::SimTime) {
+        self.metrics.lock().record_lifecycle(LifecycleEvent {
+            at: now,
+            object: self.object,
+            node,
+            kind,
+        });
+    }
+
     fn token(&self, kind: TimerKind) -> globe_net::TimerToken {
         crate::space::timer_token(self.object, kind)
     }
@@ -243,6 +302,12 @@ impl StoreReplica {
         if wants_pull && !self.pull_armed {
             ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
             self.pull_armed = true;
+        }
+        if let Some(period) = self.heartbeat {
+            if self.is_home && !self.hb_armed {
+                ctx.set_timer(period, self.token(TimerKind::Heartbeat));
+                self.hb_armed = true;
+            }
         }
     }
 
@@ -400,12 +465,126 @@ impl StoreReplica {
         self.ensure_retry(ctx);
     }
 
-    /// Fetches the object's current state from the home store. Called
-    /// once when a store is installed at run time (dynamic mirrors).
-    pub fn initial_sync(&mut self, ctx: &mut dyn NetCtx) {
+    /// Announces this replica to the home store and requests a full
+    /// state transfer. Called once when a store is installed or
+    /// restarted at run time: the home adds it as a peer and replies
+    /// with a [`CoherenceMsg::StateTransfer`] carrying the current
+    /// state, version vector, and coherence write log.
+    pub fn join(&mut self, ctx: &mut dyn NetCtx) {
         if !self.is_home {
-            self.demand_update(ctx);
+            let node = ctx.node();
+            self.comm.send(
+                ctx,
+                self.home_node,
+                &CoherenceMsg::JoinRequest {
+                    node,
+                    class: self.class,
+                },
+            );
         }
+    }
+
+    /// Home-store side of a join: register the peer, ship it the full
+    /// state (snapshot + version vector + write log), and reset the
+    /// failure detector's book-keeping for it.
+    pub fn handle_join(&mut self, node: NodeId, class: StoreClass, ctx: &mut dyn NetCtx) {
+        if !self.is_home {
+            return;
+        }
+        self.add_peer(PeerStore { node, class });
+        let msg = CoherenceMsg::StateTransfer {
+            version: self.applied.clone(),
+            state: self.semantics.snapshot(),
+            writers: self
+                .page_last_writer
+                .iter()
+                .map(|(p, w)| (p.clone(), *w))
+                .collect(),
+            order_high: self.repl.orders_writes().then_some(self.order_assigned),
+            log: self.write_log.clone(),
+        };
+        self.comm.send(ctx, node, &msg);
+        // The transfer covers the entire log; immediate propagation must
+        // not replay it.
+        self.peer_sent.insert(node, self.write_log.len());
+        self.last_heard.insert(node, ctx.now());
+        if self.suspects.remove(&node) {
+            self.record_lifecycle(node, LifecycleEventKind::Recovered, ctx.now());
+        }
+        self.record_lifecycle(node, LifecycleEventKind::Joined, ctx.now());
+    }
+
+    /// Home-store side of a graceful removal: stop propagating and
+    /// heartbeating to the departed replica.
+    pub fn handle_leave(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        if !self.is_home {
+            return;
+        }
+        self.remove_peer(node);
+        self.record_lifecycle(node, LifecycleEventKind::Left, ctx.now());
+    }
+
+    /// Installs a lifecycle state transfer: the semantics snapshot, the
+    /// version vector, the per-page writers, and the coherence write
+    /// log. After this, reads served here are indistinguishable from
+    /// reads served before the failure, and the replica's policy timers
+    /// are (re)armed.
+    pub fn handle_state_transfer(
+        &mut self,
+        version: VersionVector,
+        state: Bytes,
+        writers: Vec<(PageKey, WriteId)>,
+        order_high: Option<u64>,
+        log: Vec<LoggedWrite>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home {
+            return;
+        }
+        if !self.install_snapshot(version, state, writers, order_high, Some(&log), ctx) {
+            return;
+        }
+        self.write_log = log;
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+        self.start(ctx);
+    }
+
+    /// Answers a failure-detector heartbeat.
+    pub fn handle_ping(&mut self, from: NodeId, seq: u64, ctx: &mut dyn NetCtx) {
+        self.comm.send(ctx, from, &CoherenceMsg::Pong { seq });
+    }
+
+    /// Records a heartbeat acknowledgement, clearing suspicion.
+    pub fn handle_pong(&mut self, from: NodeId, _seq: u64, ctx: &mut dyn NetCtx) {
+        self.last_heard.insert(from, ctx.now());
+        if self.suspects.remove(&from) {
+            self.record_lifecycle(from, LifecycleEventKind::Recovered, ctx.now());
+        }
+    }
+
+    /// One failure-detector round: suspect peers whose acknowledgements
+    /// have lapsed, then ping every peer.
+    fn heartbeat_round(&mut self, period: Duration, ctx: &mut dyn NetCtx) {
+        let now = ctx.now();
+        let grace = period * SUSPECT_AFTER_MISSES;
+        let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
+        for node in &peers {
+            match self.last_heard.get(node) {
+                // First round for this peer: baseline, do not suspect.
+                None => {
+                    self.last_heard.insert(*node, now);
+                }
+                Some(&heard) => {
+                    if now.saturating_since(heard) > grace && self.suspects.insert(*node) {
+                        self.record_lifecycle(*node, LifecycleEventKind::Suspected, now);
+                    }
+                }
+            }
+        }
+        self.hb_seq += 1;
+        let seq = self.hb_seq;
+        self.comm.multicast(ctx, peers, &CoherenceMsg::Ping { seq });
     }
 
     fn demand_update(&mut self, ctx: &mut dyn NetCtx) {
@@ -762,25 +941,84 @@ impl StoreReplica {
         order_high: Option<u64>,
         ctx: &mut dyn NetCtx,
     ) {
-        if self.applied.dominates(&version) && !self.applied.is_empty() {
-            return; // stale snapshot
-        }
-        if self.semantics.restore(&state).is_err() {
+        if !self.install_snapshot(version, state, writers, order_high, None, ctx) {
             return;
         }
-        // Record synthetic applies for pages whose winner changed, in
-        // WiD order, so `sees` bookkeeping and read-integrity checking
-        // keep working across snapshot installs.
-        let mut changed: Vec<(PageKey, WriteId)> = writers
-            .iter()
-            .filter(|(p, w)| self.page_last_writer.get(p) != Some(w))
-            .cloned()
-            .collect();
-        changed.sort_by_key(|(_, w)| *w);
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+    }
+
+    /// Restores a snapshot (semantics state, per-page writers, version
+    /// vector, sequencer height) into this replica. Returns `false` if
+    /// the snapshot was stale or failed to restore.
+    ///
+    /// Synthetic apply records keep the shared history truthful across
+    /// the install, and the post-install history must read as a
+    /// *prefix-consistent continuation*: records this store already has
+    /// are never re-recorded (a replay would break the per-client apply
+    /// order the checkers verify). When the sender's coherence log is
+    /// available (a lifecycle state transfer), every not-yet-recorded
+    /// write is recorded in the home store's order, so dependency-based
+    /// checkers see each write's antecedents; without it (a policy-level
+    /// full transfer), only the changed page winners can be recorded.
+    fn install_snapshot(
+        &mut self,
+        version: VersionVector,
+        state: Bytes,
+        writers: Vec<(PageKey, WriteId)>,
+        order_high: Option<u64>,
+        log: Option<&[LoggedWrite]>,
+        ctx: &mut dyn NetCtx,
+    ) -> bool {
+        if self.applied.dominates(&version) && !self.applied.is_empty() {
+            return false; // stale snapshot
+        }
+        if self.semantics.restore(&state).is_err() {
+            return false;
+        }
         {
             let mut history = self.history.lock();
-            for (page, wid) in &changed {
-                history.record_apply(ctx.now(), self.store_id, *wid, page.clone());
+            // The dedup scan over this store's past applies is only
+            // needed when the in-memory replica is fresh (a restart or
+            // join): a live replica's own `applied`/`page_last_writer`
+            // already prevent replays, and scanning the global history
+            // on every steady-state full transfer would be quadratic
+            // over a long run.
+            let already: HashSet<WriteId> = if self.applied.is_empty() {
+                history
+                    .store_applies(self.store_id)
+                    .map(|a| a.wid)
+                    .collect()
+            } else {
+                HashSet::new()
+            };
+            match log {
+                Some(log) => {
+                    // Writes the live replica already applied are known
+                    // even without the history scan: skip both.
+                    for write in log
+                        .iter()
+                        .filter(|w| !self.applied.covers(w.wid) && !already.contains(&w.wid))
+                    {
+                        history.record_apply(
+                            ctx.now(),
+                            self.store_id,
+                            write.wid,
+                            write.page.clone().unwrap_or_else(|| WHOLE_DOC.to_string()),
+                        );
+                    }
+                }
+                None => {
+                    let mut changed: Vec<(PageKey, WriteId)> = writers
+                        .iter()
+                        .filter(|(p, w)| self.page_last_writer.get(p) != Some(w))
+                        .cloned()
+                        .collect();
+                    changed.sort_by_key(|(_, w)| *w);
+                    for (page, wid) in changed.iter().filter(|(_, w)| !already.contains(w)) {
+                        history.record_apply(ctx.now(), self.store_id, *wid, page.clone());
+                    }
+                }
             }
         }
         self.page_last_writer = writers.into_iter().collect();
@@ -791,8 +1029,7 @@ impl StoreReplica {
         }
         self.whole_invalid = false;
         self.invalid_pages.clear();
-        self.drain_buffered(ctx);
-        self.drain_queued_reads(ctx);
+        true
     }
 
     /// Handles an invalidation.
@@ -892,6 +1129,16 @@ impl StoreReplica {
                 if wants {
                     ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
                     self.pull_armed = true;
+                }
+            }
+            TimerKind::Heartbeat => {
+                self.hb_armed = false;
+                if let Some(period) = self.heartbeat {
+                    if self.is_home {
+                        self.heartbeat_round(period, ctx);
+                        ctx.set_timer(period, self.token(TimerKind::Heartbeat));
+                        self.hb_armed = true;
+                    }
                 }
             }
             TimerKind::DemandRetry => {

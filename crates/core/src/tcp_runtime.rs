@@ -13,18 +13,30 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use globe_coherence::{ClientId, StoreClass};
-use globe_naming::{LocationService, NameSpace, ObjectId};
+use globe_coherence::{ClientId, StoreClass, StoreId};
+use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId};
 use globe_net::tcp::{TcpEndpoint, TcpMesh};
 use globe_net::{NodeId, RegionId};
 use parking_lot::Mutex;
 
+use crate::lifecycle::MembershipView;
 use crate::plan::{self, ObjectRecord};
 use crate::{
     shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
-    RuntimeError, Semantics, SharedHistory, SharedMetrics,
+    CoherenceMsg, CommObject, GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy,
+    RequestId, RuntimeConfig, RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
+
+/// The error for live operations attempted without a control endpoint
+/// (i.e. before [`GlobeTcp::start`] on a node whose endpoint is gone —
+/// which cannot normally happen — or after a failed start).
+fn no_control_error() -> RuntimeError {
+    RuntimeError::Unsupported(
+        "the control endpoint exists only after start(); use the caller-driven \
+         endpoint before start()"
+            .to_string(),
+    )
+}
 
 /// The Globe middleware over real TCP sockets on loopback.
 ///
@@ -42,11 +54,18 @@ pub struct GlobeTcp {
     history: SharedHistory,
     metrics: SharedMetrics,
     threads: Vec<JoinHandle<()>>,
+    /// A mesh endpoint that never hosts stores or clients, created by
+    /// [`GlobeTcp::start`]: the caller's thread uses it to inject
+    /// control-plane messages (policy changes, joins, leaves) into a
+    /// live deployment whose node endpoints are owned by their event
+    /// loops.
+    control: Option<TcpEndpoint>,
     next_client: u32,
     next_store: u32,
     started: bool,
     seed: u64,
     call_timeout: Duration,
+    heartbeat: Option<Duration>,
 }
 
 impl GlobeTcp {
@@ -70,6 +89,7 @@ impl GlobeTcp {
             history: shared_history(),
             metrics: shared_metrics(),
             threads: Vec::new(),
+            control: None,
             next_client: 0,
             next_store: 0,
             started: false,
@@ -77,6 +97,7 @@ impl GlobeTcp {
             // Wall-clock time is real here, so the default deadline is
             // much tighter than the simulator's virtual-time budget.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
+            heartbeat: config.heartbeat,
         }
     }
 
@@ -107,31 +128,7 @@ impl GlobeTcp {
         Ok(node)
     }
 
-    /// Creates a distributed object from positional arguments.
-    ///
-    /// Superseded by the typed [`ObjectSpec`] builder; this shim stays
-    /// for one release to guide migration.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`RuntimeError`] on invalid names, policies, or placement.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an ObjectSpec and call `spec.create(&mut tcp)` instead; note that \
-                `.create_object(spec)` still resolves to this positional method"
-    )]
-    pub fn create_object(
-        &mut self,
-        name: &str,
-        policy: ReplicationPolicy,
-        semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
-        placement: &[(NodeId, StoreClass)],
-    ) -> Result<ObjectId, RuntimeError> {
-        self.create_object_impl(name, policy, semantics_factory, placement)
-    }
-
-    /// Shared creation routine behind [`ObjectSpec`] and the deprecated
-    /// positional API.
+    /// Shared creation routine behind [`ObjectSpec`].
     fn create_object_impl(
         &mut self,
         name: &str,
@@ -157,6 +154,7 @@ impl GlobeTcp {
             semantics_factory,
             &self.history,
             &self.metrics,
+            self.heartbeat,
             |node, replica| {
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
@@ -209,9 +207,22 @@ impl GlobeTcp {
     }
 
     /// Spawns the event loop of every node that hosts a store and is not
-    /// named in `client_nodes` (those stay caller-driven).
+    /// named in `client_nodes` (those stay caller-driven), plus the
+    /// control endpoint the caller's thread uses for live lifecycle and
+    /// policy operations.
     pub fn start(&mut self, client_nodes: &[NodeId]) {
         self.started = true;
+        if self.control.is_none() {
+            // Without a control endpoint every live lifecycle and policy
+            // operation is broken; fail loudly here (like the thread
+            // spawns below) instead of surfacing a misleading error from
+            // a later set_policy/add_store.
+            self.control = Some(
+                self.mesh
+                    .add_node()
+                    .expect("failed to create the control endpoint"),
+            );
+        }
         let to_spawn: Vec<NodeId> = self
             .endpoints
             .keys()
@@ -226,6 +237,220 @@ impl GlobeTcp {
             });
             self.threads.push(handle);
         }
+    }
+
+    /// Sends one control-plane message from the caller's thread into the
+    /// live mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unsupported`] when no control endpoint
+    /// exists (i.e. [`GlobeTcp::start`] has not run).
+    fn control_send(
+        &mut self,
+        object: ObjectId,
+        to: NodeId,
+        msg: &CoherenceMsg,
+    ) -> Result<(), RuntimeError> {
+        let endpoint = self.control.as_mut().ok_or_else(no_control_error)?;
+        let comm = CommObject::new(object, self.metrics.clone());
+        let mut ctx = endpoint.ctx();
+        comm.send(&mut ctx, to, msg);
+        Ok(())
+    }
+
+    /// Whether a lifecycle operation targeting `node` has a way to act:
+    /// either the node's endpoint is still caller-driven (direct path)
+    /// or the control endpoint exists (relay path). Checked *before*
+    /// mutating any record, so a refused operation leaves the runtime
+    /// untouched.
+    fn ensure_lifecycle_path(&self, node: NodeId) -> Result<(), RuntimeError> {
+        if self.endpoints.contains_key(&node) || self.control.is_some() {
+            Ok(())
+        } else {
+            Err(no_control_error())
+        }
+    }
+
+    /// Arms a freshly installed replica and has it join the object:
+    /// directly when the node is still caller-driven, or by relaying a
+    /// `JoinRequest` through the control endpoint when the node's event
+    /// loop owns its endpoint (the home's `StateTransfer` reply then
+    /// arms the replica's timers on its own thread).
+    fn activate_replica(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+    ) -> Result<(), RuntimeError> {
+        if let Some(endpoint) = self.endpoints.get_mut(&node) {
+            let mut ctx = endpoint.ctx();
+            let mut space = self.spaces[&node].lock();
+            let control = space
+                .control_mut(object)
+                .ok_or(RuntimeError::NoSuchReplica)?;
+            control.start(&mut ctx);
+            if let Some(store) = control.store_mut() {
+                store.join(&mut ctx);
+            }
+            Ok(())
+        } else {
+            let home = self
+                .objects
+                .get(&object)
+                .ok_or(RuntimeError::UnknownObject(object))?
+                .home_node;
+            self.control_send(object, home, &CoherenceMsg::JoinRequest { node, class })
+        }
+    }
+
+    /// Installs an additional store at run time — including on a live
+    /// deployment, where the join is relayed through the control
+    /// endpoint and the home store ships the state transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or node is unknown, or
+    /// the node already hosts a replica.
+    pub fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        if !self.spaces.contains_key(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        self.ensure_lifecycle_path(node)?;
+        let (store_id, replica) = plan::plan_add_store(
+            self.objects
+                .get_mut(&object)
+                .ok_or(RuntimeError::UnknownObject(object))?,
+            node,
+            class,
+            &mut self.next_store,
+            plan::ReplicaParts {
+                object,
+                semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
+        self.locations.register(
+            object,
+            ContactRecord {
+                node,
+                class,
+                region: RegionId::new(0),
+            },
+        );
+        plan::install_store(&mut self.spaces[&node].lock(), object, replica);
+        self.activate_replica(object, node, class)?;
+        Ok(store_id)
+    }
+
+    /// Removes the (non-home) replica at `node` gracefully, telling the
+    /// home store to stop propagating and heartbeating to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        self.ensure_lifecycle_path(node)?;
+        let record = self
+            .objects
+            .get_mut(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let home = record.home_node;
+        plan::plan_remove_store(record, node)?;
+        self.locations.unregister(object, node);
+        if let Some(control) = self
+            .spaces
+            .get(&node)
+            .ok_or(RuntimeError::UnknownNode(node))?
+            .lock()
+            .control_mut(object)
+        {
+            control.take_store();
+        }
+        if let Some(endpoint) = self.endpoints.get_mut(&node) {
+            let comm = CommObject::new(object, self.metrics.clone());
+            let mut ctx = endpoint.ctx();
+            comm.send(&mut ctx, home, &CoherenceMsg::Leave { node });
+            Ok(())
+        } else {
+            self.control_send(object, home, &CoherenceMsg::Leave { node })
+        }
+    }
+
+    /// Crash-and-recovers the (non-home) replica at `node` through the
+    /// lifecycle state-transfer protocol — live deployments included.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object or replica is unknown,
+    /// or the replica is the home store.
+    pub fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        self.ensure_lifecycle_path(node)?;
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let replica = plan::plan_restart_store(
+            record,
+            node,
+            plan::ReplicaParts {
+                object,
+                semantics: fresh_semantics,
+                history: &self.history,
+                metrics: &self.metrics,
+                heartbeat: self.heartbeat,
+            },
+        )?;
+        let class = replica.class();
+        self.spaces
+            .get(&node)
+            .ok_or(RuntimeError::UnknownNode(node))?
+            .lock()
+            .control_mut(object)
+            .ok_or(RuntimeError::NoSuchReplica)?
+            .set_store(replica);
+        self.activate_replica(object, node, class)
+    }
+
+    /// A snapshot of the object's membership plus the home store's
+    /// failure-detector verdicts (works on a live deployment: the home
+    /// replica's state sits behind the space lock, not captive on its
+    /// event-loop thread).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the object is unknown.
+    pub fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        let record = self
+            .objects
+            .get(&object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let view = match self.spaces.get(&record.home_node) {
+            Some(space) => {
+                let space = space.lock();
+                plan::membership_view(
+                    object,
+                    record,
+                    space.control(object).and_then(|c| c.store()),
+                )
+            }
+            None => plan::membership_view(object, record, None),
+        };
+        Ok(view)
     }
 
     fn pump_client(
@@ -321,15 +546,15 @@ impl GlobeTcp {
 
     /// Changes an object's replication policy at run time, mirroring
     /// [`crate::GlobeSim::set_policy`]. The home store broadcasts the
-    /// new policy to every replica.
+    /// new policy to every replica. On a live deployment (after
+    /// [`GlobeTcp::start`]) the change rides the control plane: a
+    /// `PolicyUpdate` control message is delivered to the home node's
+    /// event loop, which adopts and broadcasts it.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] for unknown objects or invalid
-    /// policies, and [`RuntimeError::Unsupported`] once the home node's
-    /// event loop has been spawned (its endpoint now lives on that
-    /// thread; change policies before `start()` or keep the home node
-    /// caller-driven).
+    /// policies.
     pub fn set_policy(
         &mut self,
         object: ObjectId,
@@ -343,24 +568,28 @@ impl GlobeTcp {
             .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let home = record.home_node;
-        // Resolve the fallible endpoint lookup before committing the new
-        // policy, so a refused change leaves the record untouched.
-        let endpoint = self.endpoints.get_mut(&home).ok_or_else(|| {
-            RuntimeError::Unsupported(
-                "set_policy after start(): the home node's endpoint is owned by its event loop"
-                    .to_string(),
-            )
-        })?;
-        record.policy = policy.clone();
-        let mut ctx = endpoint.ctx();
-        if let Some(store) = self.spaces[&home]
-            .lock()
-            .control_mut(object)
-            .and_then(|c| c.store_mut())
-        {
-            store.set_policy(policy, &mut ctx);
+        if self.endpoints.contains_key(&home) {
+            // Build phase: the home endpoint is still caller-driven, so
+            // apply the change directly.
+            record.policy = policy.clone();
+            let endpoint = self.endpoints.get_mut(&home).expect("checked above");
+            let mut ctx = endpoint.ctx();
+            if let Some(store) = self.spaces[&home]
+                .lock()
+                .control_mut(object)
+                .and_then(|c| c.store_mut())
+            {
+                store.set_policy(policy, &mut ctx);
+            }
+            Ok(())
+        } else if self.control.is_some() {
+            // Commit only once the delivery path is known good, so a
+            // refused change leaves the record untouched.
+            record.policy = policy.clone();
+            self.control_send(object, home, &CoherenceMsg::PolicyUpdate { policy })
+        } else {
+            Err(no_control_error())
         }
-        Ok(())
     }
 
     /// The shared execution history.
@@ -452,6 +681,33 @@ impl GlobeRuntime for GlobeTcp {
         policy: ReplicationPolicy,
     ) -> Result<(), RuntimeError> {
         GlobeTcp::set_policy(self, object, policy)
+    }
+
+    fn add_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        class: StoreClass,
+        semantics: Box<dyn Semantics>,
+    ) -> Result<StoreId, RuntimeError> {
+        GlobeTcp::add_store(self, object, node, class, semantics)
+    }
+
+    fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        GlobeTcp::remove_store(self, object, node)
+    }
+
+    fn restart_store(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        fresh_semantics: Box<dyn Semantics>,
+    ) -> Result<(), RuntimeError> {
+        GlobeTcp::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {
+        GlobeTcp::membership(self, object)
     }
 
     fn history(&self) -> SharedHistory {

@@ -5,8 +5,10 @@
 use std::time::Duration;
 
 use globe_coherence::{check, ClientModel, ObjectModel, StoreClass};
+use globe_core::lifecycle::{LifecycleEventKind, StoreHealth};
 use globe_core::{
     registers, BindOptions, GlobeRuntime, GlobeSim, ObjectSpec, RegisterDoc, ReplicationPolicy,
+    RuntimeConfig,
 };
 use globe_net::Topology;
 
@@ -135,6 +137,206 @@ fn home_store_refuses_restart() {
         .create(&mut sim)
         .unwrap();
     assert!(sim.restart_store(object, server, doc()).is_err());
+}
+
+#[test]
+fn failure_detector_suspects_partitioned_replica_and_clears_on_heal() {
+    // Heartbeats flow home → mirror → home. Partition the pair: after
+    // three missed periods the mirror goes suspect (visible in the
+    // membership view and the metrics); heal the link and the next pong
+    // clears the suspicion.
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new().seed(80).heartbeat_period(hb),
+    );
+    let server = sim.add_node();
+    let mirror = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/detector")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)
+        .unwrap();
+
+    sim.run_for(Duration::from_secs(3));
+    let view = sim.membership(object).unwrap();
+    assert!(view.all_alive(), "healthy mirror must not be suspected");
+    assert!(
+        view.member(mirror).unwrap().last_heard.is_some(),
+        "heartbeat acknowledgements must be recorded"
+    );
+    assert!(view.member(server).unwrap().is_home);
+
+    sim.topology_mut().partition(server, mirror);
+    sim.run_for(Duration::from_secs(5));
+    let view = sim.membership(object).unwrap();
+    assert_eq!(
+        view.member(mirror).unwrap().health,
+        StoreHealth::Suspect,
+        "a silent replica must be marked suspect"
+    );
+    assert_eq!(view.suspects(), vec![mirror]);
+    let metrics = sim.metrics();
+    assert!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Suspected)
+            .any(|e| e.node == mirror && e.object == object),
+        "suspicion must surface in the metrics"
+    );
+
+    sim.topology_mut().heal(server, mirror);
+    sim.run_for(Duration::from_secs(3));
+    let view = sim.membership(object).unwrap();
+    assert!(
+        view.all_alive(),
+        "an answering replica must be un-suspected"
+    );
+    assert!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Recovered)
+            .any(|e| e.node == mirror),
+        "recovery must surface in the metrics"
+    );
+}
+
+#[test]
+fn removed_store_leaves_membership_and_propagation() {
+    let mut sim = GlobeSim::new(Topology::lan(), 81);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/remove")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Pram)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"v1"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(sim.membership(object).unwrap().members.len(), 2);
+
+    sim.remove_store(object, cache).unwrap();
+    sim.run_for(Duration::from_secs(1));
+    assert!(
+        sim.store_digest(object, cache).is_none(),
+        "the removed replica must be gone from its space"
+    );
+    assert_eq!(
+        sim.membership(object).unwrap().members.len(),
+        1,
+        "membership must shrink to the home store"
+    );
+    let metrics = sim.metrics();
+    assert!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Left)
+            .any(|e| e.node == cache),
+        "the departure must surface in the metrics"
+    );
+    // The workload continues against the home store.
+    sim.handle(master)
+        .write(registers::put("p", b"v2"))
+        .unwrap();
+    let got = sim.handle(master).read(registers::get("p")).unwrap();
+    assert_eq!(&got[..], b"v2");
+}
+
+#[test]
+fn restart_preserves_prefailure_history() {
+    // The acceptance criterion in one test: after kill-and-recover, the
+    // shared history still contains every pre-failure record, and the
+    // recovered replica's apply sequence continues it without replays.
+    let mut sim = GlobeSim::new(Topology::lan(), 82);
+    let server = sim.add_node();
+    let cache = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/prefix")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, server, BindOptions::new().read_node(server))
+        .unwrap();
+    for i in 0..4 {
+        sim.handle(master)
+            .write(registers::put(&format!("p{i}"), b"pre"))
+            .unwrap();
+    }
+    sim.run_for(Duration::from_secs(1));
+    let cache_store = sim
+        .stores_of(object)
+        .iter()
+        .find(|(n, _, _)| *n == cache)
+        .map(|(_, id, _)| *id)
+        .unwrap();
+    let pre_applies: Vec<_> = {
+        let history = sim.history();
+        let h = history.lock();
+        h.store_applies(cache_store).cloned().collect()
+    };
+    assert_eq!(pre_applies.len(), 4, "cache applied the pre-failure writes");
+
+    sim.restart_store(object, cache, doc()).unwrap();
+    sim.run_for(Duration::from_secs(2));
+    sim.handle(master)
+        .write(registers::put("p9", b"post"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+
+    let history = sim.history();
+    let h = history.lock();
+    let post_applies: Vec<_> = h.store_applies(cache_store).cloned().collect();
+    assert!(
+        post_applies.len() > pre_applies.len(),
+        "recovery must continue the history"
+    );
+    assert_eq!(
+        &post_applies[..pre_applies.len()],
+        &pre_applies[..],
+        "the pre-failure history must survive recovery as an untouched prefix"
+    );
+    // Per-client apply order stays monotonic across the failure.
+    let mut last_seq = 0;
+    for apply in &post_applies {
+        assert!(
+            apply.wid.seq > last_seq,
+            "apply order must not replay across the restart"
+        );
+        last_seq = apply.wid.seq;
+    }
+    check::check_fifo(&h).unwrap();
+    drop(h);
+    assert_eq!(
+        sim.store_digest(object, cache).unwrap(),
+        sim.store_digest(object, server).unwrap()
+    );
 }
 
 #[test]

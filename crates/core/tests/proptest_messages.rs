@@ -9,6 +9,7 @@ use globe_core::{
     RequestId,
 };
 use globe_naming::ObjectId;
+use globe_net::NodeId;
 use proptest::prelude::*;
 
 fn arb_vv() -> impl Strategy<Value = VersionVector> {
@@ -113,7 +114,40 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
         Just(CoherenceMsg::PolicyUpdate {
             policy: ReplicationPolicy::conference_page(),
         }),
+        (0u32..8, arb_class()).prop_map(|(n, class)| CoherenceMsg::JoinRequest {
+            node: NodeId::new(n),
+            class,
+        }),
+        (
+            arb_vv(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
+            proptest::option::of(any::<u64>()),
+            proptest::collection::vec(arb_write(), 0..5),
+        )
+            .prop_map(|(version, state, writers, order_high, log)| {
+                CoherenceMsg::StateTransfer {
+                    version,
+                    state: Bytes::from(state),
+                    writers,
+                    order_high,
+                    log,
+                }
+            }),
+        (0u32..8).prop_map(|n| CoherenceMsg::Leave {
+            node: NodeId::new(n)
+        }),
+        any::<u64>().prop_map(|seq| CoherenceMsg::Ping { seq }),
+        any::<u64>().prop_map(|seq| CoherenceMsg::Pong { seq }),
     ]
+}
+
+fn arb_class() -> impl Strategy<Value = globe_coherence::StoreClass> {
+    proptest::sample::select(vec![
+        globe_coherence::StoreClass::Permanent,
+        globe_coherence::StoreClass::ObjectInitiated,
+        globe_coherence::StoreClass::ClientInitiated,
+    ])
 }
 
 proptest! {

@@ -224,23 +224,37 @@ fn stalled_calls_report_instead_of_hanging() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_positional_shims_still_work() {
-    // The pre-ObjectSpec surface must keep functioning for one release.
+fn lifecycle_rejects_unknown_targets() {
+    // The lifecycle surface reports precise errors instead of panicking.
     let mut sim = GlobeSim::new(Topology::lan(), 5);
     let server = sim.add_node();
-    let object = sim
-        .create_object(
-            "/legacy",
-            policy(),
-            &mut doc,
-            &[(server, StoreClass::Permanent)],
-        )
+    let stranger = sim.add_node();
+    let object = ObjectSpec::new("/legacy")
+        .policy(policy())
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
         .unwrap();
-    let handle = sim
-        .bind(object, server, BindOptions::new().read_node(server))
-        .unwrap();
-    sim.write(&handle, registers::put("p", b"old-api")).unwrap();
-    let got = sim.read(&handle, registers::get("p")).unwrap();
-    assert_eq!(&got[..], b"old-api");
+    // Unknown object.
+    let ghost = globe_naming::ObjectId::new(9999);
+    assert!(matches!(
+        sim.membership(ghost),
+        Err(RuntimeError::UnknownObject(_))
+    ));
+    // A node that hosts no replica cannot be removed or restarted.
+    assert!(matches!(
+        sim.remove_store(object, stranger),
+        Err(RuntimeError::NoSuchReplica)
+    ));
+    assert!(matches!(
+        sim.restart_store(object, stranger, doc()),
+        Err(RuntimeError::NoSuchReplica)
+    ));
+    // The home store can be neither removed nor restarted.
+    assert!(sim.remove_store(object, server).is_err());
+    assert!(sim.restart_store(object, server, doc()).is_err());
+    // A node cannot host two replicas of the same object.
+    assert!(sim
+        .add_store(object, server, StoreClass::ClientInitiated, doc())
+        .is_err());
 }

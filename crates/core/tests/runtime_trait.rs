@@ -114,6 +114,40 @@ fn conference_matrix_spans_sim_tcp_and_shard() {
     }
 }
 
+/// The fault matrix: kill a replica mid-workload, recover it through
+/// the state-transfer protocol, and require identical logical outcomes
+/// on the simulator, real sockets, and the sharded runtime.
+#[test]
+fn kill_restart_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10));
+    let outcomes = matrix::run_matrix(&matrix::fault::KillRestart, &Backend::ALL, config)
+        .expect("identical kill-and-recover outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.observations.items().len(),
+            4,
+            "{}: all fault observations recorded",
+            outcome.backend
+        );
+    }
+}
+
+/// Live membership churn (add a mirror, read through it, remove it)
+/// behaves identically everywhere — including on TCP after `start()`,
+/// where the operations ride the control plane.
+#[test]
+fn mirror_churn_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(7)
+        .call_timeout(Duration::from_secs(10));
+    let outcomes = matrix::run_matrix(&matrix::fault::MirrorChurn, &Backend::ALL, config)
+        .expect("identical churn outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+}
+
 #[test]
 fn runtimes_construct_symmetrically() {
     let config = RuntimeConfig::new().seed(7);

@@ -78,6 +78,77 @@ fn conference_page_over_real_sockets() {
     globe.shutdown();
 }
 
+/// The ROADMAP open item, closed: `set_policy` works on a live
+/// deployment — after `start()` has handed every store endpoint to its
+/// event-loop thread — by riding the control plane to the home store,
+/// which adopts the policy and broadcasts it to the replicas.
+#[test]
+fn set_policy_works_on_a_live_deployment() {
+    let mut globe = GlobeTcp::new();
+    let server = globe.add_node().expect("server");
+    let cache = globe.add_node().expect("cache");
+    let writer_node = globe.add_node().expect("writer");
+
+    // Start lazy with an hour-long period: pushes effectively off.
+    let lazy = ReplicationPolicy::builder(globe_coherence::ObjectModel::Fifo)
+        .lazy(Duration::from_secs(3600))
+        .build()
+        .expect("valid");
+    let object = ObjectSpec::new("/tcp/live-policy")
+        .policy(lazy)
+        .semantics(RegisterDoc::new)
+        .store(server, StoreClass::Permanent)
+        .store(cache, StoreClass::ClientInitiated)
+        .create(&mut globe)
+        .expect("create");
+    let writer = globe
+        .bind(object, writer_node, BindOptions::new().read_node(server))
+        .expect("bind writer");
+    let reader = globe
+        .bind(object, writer_node, BindOptions::new().read_node(cache))
+        .expect("bind reader");
+    // Every store node spawns its event loop; only the client node
+    // stays caller-driven. The old behavior here was a hard
+    // `Unsupported` error from set_policy.
+    globe.start(&[writer_node]);
+
+    globe
+        .write_timeout(&writer, registers::put("page", b"stale"), CALL_TIMEOUT)
+        .expect("write under lazy policy");
+
+    // Live switch to immediate pushes, delivered via the control plane.
+    let immediate = ReplicationPolicy::builder(globe_coherence::ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid");
+    globe
+        .set_policy(object, immediate)
+        .expect("set_policy must work after start()");
+
+    // Under the new policy a fresh write reaches the cache promptly
+    // (the switched home also flushes its backlog).
+    globe
+        .write_timeout(&writer, registers::put("page", b"fresh"), CALL_TIMEOUT)
+        .expect("write under immediate policy");
+    let mut seen = Vec::new();
+    for _ in 0..50 {
+        seen = globe
+            .read_timeout(&reader, registers::get("page"), CALL_TIMEOUT)
+            .expect("read via cache")
+            .to_vec();
+        if seen == b"fresh" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(
+        &seen[..],
+        b"fresh",
+        "live policy switch must reach the cache"
+    );
+    globe.shutdown();
+}
+
 #[test]
 fn incremental_updates_over_sockets_stay_ordered() {
     let mut globe = GlobeTcp::new();

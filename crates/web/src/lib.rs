@@ -45,8 +45,10 @@ mod document;
 pub mod gateway;
 pub mod methods;
 mod semantics;
+mod spec;
 
 pub use client::WebClient;
 pub use document::{Page, WebDocument};
 pub use gateway::{DocumentProvider, Gateway, PageProvider};
 pub use semantics::WebSemantics;
+pub use spec::WebSpec;

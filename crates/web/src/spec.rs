@@ -1,0 +1,54 @@
+//! The Web-flavored [`ObjectSpec`] constructor.
+//!
+//! `globe-core`'s [`ObjectSpec::new`] defaults to the core
+//! `RegisterDoc` semantics, which is convenient for protocol tests but
+//! a trap for Web callers: forgetting `.semantics(WebSemantics::new)`
+//! builds an object whose replicas reject every typed Web invocation —
+//! discovered only at the first call. [`WebSpec::web`] closes that hole
+//! without a breaking typestate rewrite: it is an `ObjectSpec`
+//! constructor that pre-sets [`WebSemantics`], so a Web object cannot
+//! silently inherit the wrong default.
+
+use globe_core::ObjectSpec;
+
+use crate::WebSemantics;
+
+/// Extension constructor pre-setting [`WebSemantics`] on an
+/// [`ObjectSpec`].
+///
+/// With this trait in scope, `ObjectSpec::web("/path")` reads exactly
+/// like `ObjectSpec::new("/path")` but every replica gets a fresh
+/// [`WebSemantics`] instance instead of the core default.
+///
+/// # Examples
+///
+/// ```
+/// use globe_coherence::StoreClass;
+/// use globe_core::{BindOptions, GlobeSim, ObjectSpec, ReplicationPolicy};
+/// use globe_net::Topology;
+/// use globe_web::{Page, WebClient, WebSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = GlobeSim::new(Topology::lan(), 21);
+/// let server = sim.add_node();
+/// let object = ObjectSpec::web("/home/carol")
+///     .policy(ReplicationPolicy::personal_home_page())
+///     .store(server, StoreClass::Permanent)
+///     .create(&mut sim)?;
+/// let mut carol = WebClient::bind(&mut sim, object, server, BindOptions::new())?;
+/// carol.put_page("index.html", Page::html("<h1>carol</h1>"))?;
+/// assert_eq!(carol.list_pages()?, vec!["index.html".to_string()]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait WebSpec {
+    /// Starts a spec for the Web object named `path`, with
+    /// [`WebSemantics`] already set.
+    fn web(path: impl Into<String>) -> ObjectSpec;
+}
+
+impl WebSpec for ObjectSpec {
+    fn web(path: impl Into<String>) -> ObjectSpec {
+        ObjectSpec::new(path).semantics(WebSemantics::new)
+    }
+}

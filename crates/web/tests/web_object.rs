@@ -7,9 +7,11 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use globe_coherence::StoreClass;
-use globe_core::{BindOptions, CallError, ClientHandle, GlobeSim, ObjectSpec, ReplicationPolicy};
+use globe_core::{
+    BindOptions, CallError, ClientHandle, GlobeRuntime, GlobeSim, ObjectSpec, ReplicationPolicy,
+};
 use globe_net::Topology;
-use globe_web::{DocumentProvider, Gateway, Page, WebClient, WebDocument, WebSemantics};
+use globe_web::{DocumentProvider, Gateway, Page, WebClient, WebDocument, WebSemantics, WebSpec};
 
 fn setup() -> (GlobeSim, ClientHandle, ClientHandle) {
     let mut sim = GlobeSim::new(Topology::lan(), 7);
@@ -34,6 +36,28 @@ fn setup() -> (GlobeSim, ClientHandle, ClientHandle) {
         .bind(object, cache, BindOptions::new().read_node(cache))
         .unwrap();
     (sim, writer, reader)
+}
+
+/// `ObjectSpec::web(..)` pre-sets `WebSemantics`, so a Web caller
+/// cannot silently inherit the core `RegisterDoc` default and find out
+/// at the first typed invocation.
+#[test]
+fn web_spec_constructor_presets_web_semantics() {
+    let mut sim = GlobeSim::new(Topology::lan(), 8);
+    let server = sim.add_node();
+    let object = ObjectSpec::web("/web/spec")
+        .policy(ReplicationPolicy::personal_home_page())
+        .store(server, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    let handle = sim.bind(object, server, BindOptions::new()).unwrap();
+    let mut client = WebClient::new(sim.handle(handle));
+    // A typed Web invocation succeeds immediately: the semantics are
+    // WebSemantics, not the core default.
+    client
+        .put_page("index.html", Page::html("<h1>typed</h1>"))
+        .unwrap();
+    assert_eq!(client.list_pages().unwrap(), vec!["index.html".to_string()]);
 }
 
 #[test]
