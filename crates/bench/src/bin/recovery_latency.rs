@@ -75,6 +75,64 @@ fn run_rounds<R: GlobeRuntime>(
     samples
 }
 
+/// Runs `rounds` home fail-over cycles against `rt`: kill the current
+/// home (sequencer) store, and measure until the elected successor
+/// accepts its first write. Elections ping-pong between the two
+/// permanent stores round by round, so every round exercises a real
+/// election plus the old home's rejoin.
+fn run_failover_rounds<R: GlobeRuntime>(
+    rt: &mut R,
+    now: impl Fn(&mut R) -> Duration,
+    writes: usize,
+    rounds: usize,
+) -> Vec<Duration> {
+    let first = rt.add_node().expect("first permanent node");
+    let second = rt.add_node().expect("second permanent node");
+    let client_node = rt.add_node().expect("client node");
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/bench/home-failover")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(rt)
+        .expect("create object");
+    let writer = rt
+        .bind(object, client_node, BindOptions::new().read_node(second))
+        .expect("bind writer");
+    rt.start(&[client_node]);
+
+    let mut home = first;
+    let mut samples = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let value = format!("round-{round}");
+        for i in 0..writes {
+            rt.handle(writer)
+                .write(registers::put(&format!("k{i}"), value.as_bytes()))
+                .expect("write");
+        }
+        rt.settle(Duration::from_millis(50));
+
+        let begin = now(rt);
+        rt.restart_store(object, home, Box::new(RegisterDoc::new()))
+            .expect("kill the home");
+        // First write accepted by the elected sequencer: the client's
+        // session was rerouted, so this write lands on the new home.
+        rt.handle(writer)
+            .write(registers::put("failover", value.as_bytes()))
+            .expect("write to the elected sequencer");
+        samples.push(now(rt).saturating_sub(begin));
+
+        home = if home == first { second } else { first };
+        rt.settle(Duration::from_millis(50));
+    }
+    rt.shutdown();
+    samples
+}
+
 fn wait_for<R: GlobeRuntime>(
     rt: &mut R,
     reader: globe_core::ClientHandle,
@@ -113,7 +171,9 @@ fn main() {
     println!(
         "Recovery latency: kill a mirror mid-workload, recover it via the\n\
          home store's state transfer, and measure kill -> first consistent\n\
-         read ({writes} pages, {rounds} rounds per backend).\n"
+         read; then kill the home (sequencer) itself and measure kill ->\n\
+         first write accepted by the elected successor\n\
+         ({writes} pages, {rounds} rounds per backend).\n"
     );
 
     // Deterministic simulator: latency in virtual time.
@@ -130,15 +190,31 @@ fn main() {
     let mut shard = GlobeShard::with_config(RuntimeConfig::new().seed(17));
     let shard_samples = run_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
 
-    let mut table = Table::new(
-        "Kill -> first consistent read",
-        &["backend", "clock", "mean", "min", "max"],
+    // Home fail-over: kill the sequencer itself, measure until the
+    // elected successor accepts its first write.
+    let mut sim = GlobeSim::new(Topology::lan(), 18);
+    let sim_failover = run_failover_rounds(
+        &mut sim,
+        |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
+        writes,
+        rounds,
     );
-    for (backend, clock, samples) in [
-        ("sim", "virtual", &sim_samples),
-        ("shard", "wall", &shard_samples),
+    let epoch = Instant::now();
+    let mut shard = GlobeShard::with_config(RuntimeConfig::new().seed(18));
+    let shard_failover = run_failover_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
+
+    let mut table = Table::new(
+        "Kill -> first consistent read / first accepted write",
+        &["scenario", "backend", "clock", "mean", "min", "max"],
+    );
+    for (scenario, backend, clock, samples) in [
+        ("mirror-recovery", "sim", "virtual", &sim_samples),
+        ("mirror-recovery", "shard", "wall", &shard_samples),
+        ("home-failover", "sim", "virtual", &sim_failover),
+        ("home-failover", "shard", "wall", &shard_failover),
     ] {
         table.row(vec![
+            scenario.to_string(),
             backend.to_string(),
             clock.to_string(),
             fmt_duration(mean(samples)),
@@ -157,18 +233,40 @@ fn main() {
             "results",
             Json::array([
                 Json::obj([
+                    ("scenario", Json::str("mirror-recovery")),
                     ("backend", Json::str("sim")),
                     ("unit", Json::str("virtual_us")),
                     ("samples", sample_json(&sim_samples)),
                     ("mean_us", Json::Num(mean(&sim_samples).as_secs_f64() * 1e6)),
                 ]),
                 Json::obj([
+                    ("scenario", Json::str("mirror-recovery")),
                     ("backend", Json::str("shard")),
                     ("unit", Json::str("wall_us")),
                     ("samples", sample_json(&shard_samples)),
                     (
                         "mean_us",
                         Json::Num(mean(&shard_samples).as_secs_f64() * 1e6),
+                    ),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("home-failover")),
+                    ("backend", Json::str("sim")),
+                    ("unit", Json::str("virtual_us")),
+                    ("samples", sample_json(&sim_failover)),
+                    (
+                        "mean_us",
+                        Json::Num(mean(&sim_failover).as_secs_f64() * 1e6),
+                    ),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("home-failover")),
+                    ("backend", Json::str("shard")),
+                    ("unit", Json::str("wall_us")),
+                    ("samples", sample_json(&shard_failover)),
+                    (
+                        "mean_us",
+                        Json::Num(mean(&shard_failover).as_secs_f64() * 1e6),
                     ),
                 ]),
             ]),

@@ -73,7 +73,7 @@ use crate::{
 /// let tcp = GlobeTcp::with_config(RuntimeConfig::new().seed(42));
 /// assert_eq!(tcp.seed(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Seed for any randomized behavior (link jitter in the simulator,
     /// future retry jitter over sockets). The same seed must yield the
@@ -86,10 +86,27 @@ pub struct RuntimeConfig {
     /// Heartbeat period of the replica failure detector; `None` (the
     /// default) disables it. When set, every object's home store pings
     /// its peers each period and marks replicas that miss
-    /// [`crate::lifecycle::SUSPECT_AFTER_MISSES`] consecutive periods
+    /// [`RuntimeConfig::suspect_after_misses`] consecutive periods
     /// suspect, surfaced via [`GlobeRuntime::membership`] and the
     /// metrics store's lifecycle events.
     pub heartbeat: Option<Duration>,
+    /// Consecutive missed heartbeat periods before the detector marks a
+    /// peer suspect (default
+    /// [`crate::lifecycle::SUSPECT_AFTER_MISSES`]). Lower values detect
+    /// failures faster at the cost of false suspicion under jitter;
+    /// values below 1 are treated as 1.
+    pub suspect_after_misses: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            seed: 0,
+            call_timeout: None,
+            heartbeat: None,
+            suspect_after_misses: crate::lifecycle::SUSPECT_AFTER_MISSES,
+        }
+    }
 }
 
 impl RuntimeConfig {
@@ -116,6 +133,22 @@ impl RuntimeConfig {
     pub fn heartbeat_period(mut self, period: Duration) -> Self {
         self.heartbeat = Some(period);
         self
+    }
+
+    /// Sets how many consecutive missed heartbeat periods the failure
+    /// detector tolerates before suspecting a peer (clamped to at
+    /// least 1).
+    pub fn suspect_after_misses(mut self, misses: u32) -> Self {
+        self.suspect_after_misses = misses.max(1);
+        self
+    }
+
+    /// The failure-detector tuning implied by this configuration.
+    pub(crate) fn detector(&self) -> crate::lifecycle::DetectorConfig {
+        crate::lifecycle::DetectorConfig {
+            period: self.heartbeat,
+            suspect_after: self.suspect_after_misses.max(1),
+        }
     }
 }
 
@@ -448,18 +481,32 @@ pub trait GlobeRuntime {
     /// propagating and heartbeating to it, and the location service
     /// forgets it. Clients bound to it for reads should rebind first.
     ///
+    /// Removing the *home* (sequencer) store triggers a fail-over: the
+    /// lowest-id surviving permanent store is elected the new sequencer
+    /// (suspects passed over via the failure detector's membership
+    /// view), the retiring home hands it the coherence write log and
+    /// version vector in a `SequencerHandoff`, and every client session
+    /// is rerouted — post-failover reads and
+    /// [`GlobeRuntime::history`] are a prefix-consistent continuation.
+    ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store (the home cannot remove itself;
-    /// permanent stores implement persistence, §3.1).
+    /// or the replica is the home store and no surviving permanent
+    /// store can be elected ([`RuntimeError::NoFailoverCandidate`]).
     fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError>;
 
-    /// Crash-and-recovers the (non-home) replica at `node`: its
-    /// in-memory state is discarded and rebuilt from a home-store state
-    /// transfer that preserves the coherence history, so post-recovery
-    /// reads — and the recorded history — continue exactly where the
-    /// pre-failure replica left off.
+    /// Crash-and-recovers the replica at `node`: its in-memory state is
+    /// discarded and rebuilt from a home-store state transfer that
+    /// preserves the coherence history, so post-recovery reads — and
+    /// the recorded history — continue exactly where the pre-failure
+    /// replica left off.
+    ///
+    /// Crash-restarting the *home* (sequencer) store triggers a
+    /// fail-over: the lowest-id surviving permanent store is elected
+    /// and promotes itself from its own replica of the write log (an
+    /// `ElectRequest`), client sessions are rerouted to it, and the old
+    /// home rejoins its own object as an ordinary permanent replica.
     ///
     /// # Examples
     ///
@@ -491,7 +538,8 @@ pub trait GlobeRuntime {
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent
+    /// store can be elected ([`RuntimeError::NoFailoverCandidate`]).
     fn restart_store(
         &mut self,
         object: ObjectId,

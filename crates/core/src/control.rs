@@ -96,6 +96,21 @@ impl ControlObject {
         self.sessions.get_mut(&client)
     }
 
+    /// Reroutes every local session away from a failed home store (see
+    /// [`Session::reroute_home`]): pending retransmissions and future
+    /// invocations then target the elected successor.
+    pub fn reroute_sessions(
+        &mut self,
+        old_home: NodeId,
+        new_home: NodeId,
+        new_store: globe_coherence::StoreId,
+        reroute_reads: bool,
+    ) {
+        for session in self.sessions.values_mut() {
+            session.reroute_home(old_home, new_home, new_store, reroute_reads);
+        }
+    }
+
     /// Arms whatever timers the hosted replica's policy needs.
     pub fn start(&mut self, ctx: &mut dyn NetCtx) {
         if let Some(store) = self.store.as_mut() {
@@ -274,6 +289,26 @@ impl ControlObject {
             CoherenceMsg::Pong { seq } => {
                 if let Some(store) = self.store.as_mut() {
                     store.handle_pong(from, seq, ctx);
+                }
+            }
+            CoherenceMsg::ElectRequest { peers } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_elect(peers, ctx);
+                }
+            }
+            CoherenceMsg::SequencerHandoff {
+                new_home,
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+                peers,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_sequencer_handoff(
+                        new_home, version, state, writers, order_high, log, peers, ctx,
+                    );
                 }
             }
         }

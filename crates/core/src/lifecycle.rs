@@ -22,14 +22,48 @@ use globe_coherence::{StoreClass, StoreId};
 use globe_naming::ObjectId;
 use globe_net::{NodeId, SimTime};
 
-/// How many heartbeat periods of silence the detector tolerates before
-/// marking a peer suspect.
+/// Default number of heartbeat periods of silence the detector tolerates
+/// before marking a peer suspect. Tunable per runtime via
+/// [`crate::RuntimeConfig::suspect_after_misses`]: fail-over tests want
+/// aggressive detection, WAN deployments want slack against jitter.
 pub const SUSPECT_AFTER_MISSES: u32 = 3;
 
 /// Default heartbeat period used by
 /// [`crate::RuntimeConfig::heartbeat_period`] when callers enable the
 /// detector without choosing a period.
 pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// The failure detector's tuning, threaded from
+/// [`crate::RuntimeConfig`] into every store replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Heartbeat period; `None` disables the detector.
+    pub period: Option<Duration>,
+    /// Consecutive missed periods before a peer is suspected (at
+    /// least 1; lower is more aggressive).
+    pub suspect_after: u32,
+}
+
+impl DetectorConfig {
+    /// A disabled detector with the default suspicion threshold.
+    pub fn disabled() -> Self {
+        DetectorConfig {
+            period: None,
+            suspect_after: SUSPECT_AFTER_MISSES,
+        }
+    }
+
+    /// How long a peer may stay silent before it is suspected.
+    pub fn grace(&self, period: Duration) -> Duration {
+        period * self.suspect_after.max(1)
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig::disabled()
+    }
+}
 
 /// The failure detector's opinion of one replica.
 ///
@@ -134,6 +168,9 @@ pub enum LifecycleEventKind {
     Suspected,
     /// A suspect replica answered a heartbeat again.
     Recovered,
+    /// A surviving permanent store was elected the object's new home
+    /// (sequencer) after the previous home was removed or died.
+    Elected,
 }
 
 impl LifecycleEventKind {
@@ -144,6 +181,7 @@ impl LifecycleEventKind {
             LifecycleEventKind::Left => "left",
             LifecycleEventKind::Suspected => "suspected",
             LifecycleEventKind::Recovered => "recovered",
+            LifecycleEventKind::Elected => "elected",
         }
     }
 }
@@ -200,6 +238,7 @@ mod tests {
             LifecycleEventKind::Left,
             LifecycleEventKind::Suspected,
             LifecycleEventKind::Recovered,
+            LifecycleEventKind::Elected,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

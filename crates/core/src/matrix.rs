@@ -258,9 +258,10 @@ pub fn run_matrix(
 /// client-visible outcomes — which [`run_matrix`] requires to be
 /// identical on the simulator, real sockets, and the sharded runtime.
 pub mod fault {
+    use std::collections::HashMap;
     use std::time::Duration;
 
-    use globe_coherence::{ObjectModel, StoreClass};
+    use globe_coherence::{ObjectModel, StoreClass, StoreId, WriteId};
 
     use super::{Observations, Scenario};
     use crate::{registers, BindOptions, GlobeRuntime, ObjectSpec, RegisterDoc, ReplicationPolicy};
@@ -359,6 +360,167 @@ pub mod fault {
             obs.record("member-count", members.members.len().to_string());
 
             // The recorded history still satisfies the object's model.
+            let history = rt.history();
+            let history = history.lock();
+            globe_coherence::check::check_fifo(&history)?;
+            drop(history);
+
+            rt.shutdown();
+            Ok(obs)
+        }
+    }
+
+    /// Kill the home (sequencer) store mid-workload and require that the
+    /// fault story completes: a surviving permanent store is elected the
+    /// new sequencer and accepts writes, the old home rejoins its own
+    /// object as an ordinary replica, a later *graceful* removal of the
+    /// elected home hands the sequencer back, and the history recorded
+    /// at every replica is a prefix-consistent continuation of its
+    /// pre-failure history.
+    pub struct HomeFailover;
+
+    impl HomeFailover {
+        /// Per-store snapshot of the recorded apply history.
+        fn applies_by_store<R: GlobeRuntime>(rt: &R) -> HashMap<StoreId, Vec<WriteId>> {
+            let history = rt.history();
+            let history = history.lock();
+            let mut by_store: HashMap<StoreId, Vec<WriteId>> = HashMap::new();
+            for apply in history.applies() {
+                by_store.entry(apply.store).or_default().push(apply.wid);
+            }
+            by_store
+        }
+
+        /// Asserts that `post` continues `pre` for every store: the
+        /// pre-failure records survive verbatim as a prefix, and no
+        /// store ever replays or reorders the single writer's sequence.
+        fn assert_prefix_consistent(
+            pre: &HashMap<StoreId, Vec<WriteId>>,
+            post: &HashMap<StoreId, Vec<WriteId>>,
+        ) {
+            for (store, pre_applies) in pre {
+                let post_applies = post.get(store).expect("store history must never vanish");
+                assert!(
+                    post_applies.len() >= pre_applies.len()
+                        && post_applies[..pre_applies.len()] == pre_applies[..],
+                    "store {store}: pre-failover history must survive as an untouched prefix"
+                );
+            }
+            for (store, applies) in post {
+                let mut last = 0;
+                for wid in applies {
+                    assert!(
+                        wid.seq > last,
+                        "store {store}: apply {wid:?} replays or reorders across the fail-over"
+                    );
+                    last = wid.seq;
+                }
+            }
+        }
+    }
+
+    impl Scenario for HomeFailover {
+        fn name(&self) -> &'static str {
+            "fault-home-failover"
+        }
+
+        fn run<R: GlobeRuntime>(
+            &self,
+            rt: &mut R,
+        ) -> Result<Observations, Box<dyn std::error::Error>> {
+            let home = rt.add_node()?;
+            let standby = rt.add_node()?;
+            let mirror = rt.add_node()?;
+            let writer_node = rt.add_node()?;
+            let reader_node = rt.add_node()?;
+
+            let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()?;
+            let object = ObjectSpec::new("/fault/home-failover")
+                .policy(policy)
+                .semantics(RegisterDoc::new)
+                .store(home, StoreClass::Permanent)
+                .store(standby, StoreClass::Permanent)
+                .store(mirror, StoreClass::ObjectInitiated)
+                .create(rt)?;
+            // The writer reads from the standby so its own converge loops
+            // survive the home's death; the reader watches the mirror.
+            let writer = rt.bind(object, writer_node, BindOptions::new().read_node(standby))?;
+            let reader = rt.bind(object, reader_node, BindOptions::new().read_node(mirror))?;
+            rt.start(&[writer_node, reader_node]);
+
+            for i in 0..5 {
+                rt.handle(writer).write(registers::put(
+                    &format!("k{i}"),
+                    format!("pre-{i}").as_bytes(),
+                ))?;
+            }
+            let mut obs = Observations::new();
+            let seen = converge(rt, reader, "k4", b"pre-4")?;
+            assert_eq!(&seen[..], b"pre-4", "mirror must converge before the fault");
+            obs.record("pre-fail", &seen);
+            let pre = Self::applies_by_store(rt);
+
+            // Kill the home. The lowest-id surviving permanent store (the
+            // standby) is elected sequencer; the old home rejoins its own
+            // object as an ordinary permanent replica.
+            rt.restart_store(object, home, Box::new(RegisterDoc::new()))?;
+            let view = rt.membership(object)?;
+            let new_home = view.members[0].clone();
+            assert!(new_home.is_home);
+            assert_eq!(
+                new_home.node, standby,
+                "the surviving permanent store must be elected"
+            );
+            // Node ids are allocation-ordered, hence identical across
+            // backends: the elected node itself is a checkable outcome.
+            obs.record("elected-home", new_home.node.to_string());
+
+            // The elected sequencer accepts writes; they reach every
+            // replica, including the recovered old home.
+            rt.handle(writer)
+                .write(registers::put("k5", b"post-failover"))?;
+            let k5 = converge(rt, reader, "k5", b"post-failover")?;
+            assert_eq!(
+                &k5[..],
+                b"post-failover",
+                "the elected sequencer must accept and propagate writes"
+            );
+            obs.record("post-failover", &k5);
+
+            let via_old_home = rt.bind(object, reader_node, BindOptions::new().read_node(home))?;
+            let old0 = converge(rt, via_old_home, "k0", b"pre-0")?;
+            assert_eq!(
+                &old0[..],
+                b"pre-0",
+                "the rejoined old home must recover the pre-failure state"
+            );
+            let old5 = converge(rt, via_old_home, "k5", b"post-failover")?;
+            assert_eq!(&old5[..], b"post-failover");
+            obs.record("old-home-rejoined", &old0);
+
+            // The graceful leg: retiring the *elected* home hands the
+            // sequencer back via a SequencerHandoff carrying the log.
+            rt.remove_store(object, standby)?;
+            let view = rt.membership(object)?;
+            assert!(view.members[0].is_home);
+            assert_eq!(
+                view.members[0].node, home,
+                "graceful removal must hand the sequencer to the remaining permanent store"
+            );
+            rt.handle(writer)
+                .write(registers::put("k6", b"post-handback"))?;
+            let k6 = converge(rt, reader, "k6", b"post-handback")?;
+            assert_eq!(&k6[..], b"post-handback");
+            obs.record("post-handback", &k6);
+            obs.record("final-members", view.members.len().to_string());
+
+            // Every replica's recorded history is a prefix-consistent
+            // continuation of its pre-failover history, and the whole
+            // run still satisfies the object's coherence model.
+            let post = Self::applies_by_store(rt);
+            Self::assert_prefix_consistent(&pre, &post);
             let history = rt.history();
             let history = history.lock();
             globe_coherence::check::check_fifo(&history)?;

@@ -268,6 +268,40 @@ pub enum CoherenceMsg {
         /// The round being acknowledged.
         seq: u64,
     },
+    /// Control plane → elected store: the home store died; you are the
+    /// deterministically elected successor (lowest-id surviving
+    /// permanent store). Promote yourself to sequencer from your own
+    /// replica of the write log and announce the takeover to `peers`
+    /// with a [`CoherenceMsg::SequencerHandoff`].
+    ElectRequest {
+        /// Every other surviving replica (and any replica rejoining in
+        /// the same operation), which the new home must adopt as peers.
+        peers: Vec<(NodeId, StoreClass)>,
+    },
+    /// The sequencer moved. Sent (a) by a gracefully retiring home store
+    /// to the elected successor, carrying the authoritative coherence
+    /// write log and version vector, and (b) by the freshly promoted
+    /// home to every peer as the takeover announcement (peers install
+    /// the state like a lifecycle transfer and reroute demands/pulls to
+    /// `new_home`).
+    SequencerHandoff {
+        /// The node of the newly elected home store.
+        new_home: NodeId,
+        /// The sender's applied vector.
+        version: VersionVector,
+        /// Snapshot of the semantics object.
+        state: Bytes,
+        /// Last writer per page, so `sees` metadata survives fail-over.
+        writers: Vec<(PageKey, WriteId)>,
+        /// Sequencer order height (sequential model), so the new home
+        /// continues the total order where the old one stopped.
+        order_high: Option<u64>,
+        /// The coherence write log — the object's authoritative history.
+        log: Vec<LoggedWrite>,
+        /// The new home's peer set (only meaningful on the old-home →
+        /// successor leg; empty on the announcement leg).
+        peers: Vec<(NodeId, StoreClass)>,
+    },
 }
 
 impl CoherenceMsg {
@@ -290,6 +324,8 @@ impl CoherenceMsg {
             CoherenceMsg::Leave { .. } => "Leave",
             CoherenceMsg::Ping { .. } => "Ping",
             CoherenceMsg::Pong { .. } => "Pong",
+            CoherenceMsg::ElectRequest { .. } => "ElectRequest",
+            CoherenceMsg::SequencerHandoff { .. } => "SequencerHandoff",
         }
     }
 }
@@ -404,6 +440,28 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(15);
                 seq.encode(buf);
             }
+            CoherenceMsg::ElectRequest { peers } => {
+                buf.put_u8(16);
+                peers.encode(buf);
+            }
+            CoherenceMsg::SequencerHandoff {
+                new_home,
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+                peers,
+            } => {
+                buf.put_u8(17);
+                new_home.encode(buf);
+                version.encode(buf);
+                state.encode(buf);
+                writers.encode(buf);
+                order_high.encode(buf);
+                log.encode(buf);
+                peers.encode(buf);
+            }
         }
     }
 
@@ -479,6 +537,24 @@ impl WireEncode for CoherenceMsg {
             CoherenceMsg::Leave { node } => node.encoded_len(),
             CoherenceMsg::Ping { seq } => seq.encoded_len(),
             CoherenceMsg::Pong { seq } => seq.encoded_len(),
+            CoherenceMsg::ElectRequest { peers } => peers.encoded_len(),
+            CoherenceMsg::SequencerHandoff {
+                new_home,
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+                peers,
+            } => {
+                new_home.encoded_len()
+                    + version.encoded_len()
+                    + state.encoded_len()
+                    + writers.encoded_len()
+                    + order_high.encoded_len()
+                    + log.encoded_len()
+                    + peers.encoded_len()
+            }
         }
     }
 }
@@ -560,6 +636,18 @@ impl WireDecode for CoherenceMsg {
             }),
             15 => Ok(CoherenceMsg::Pong {
                 seq: u64::decode(buf)?,
+            }),
+            16 => Ok(CoherenceMsg::ElectRequest {
+                peers: Vec::<(NodeId, StoreClass)>::decode(buf)?,
+            }),
+            17 => Ok(CoherenceMsg::SequencerHandoff {
+                new_home: NodeId::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+                state: Bytes::decode(buf)?,
+                writers: Vec::<(PageKey, WriteId)>::decode(buf)?,
+                order_high: Option::<u64>::decode(buf)?,
+                log: Vec::<LoggedWrite>::decode(buf)?,
+                peers: Vec::<(NodeId, StoreClass)>::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "CoherenceMsg",
@@ -697,6 +785,21 @@ mod tests {
         });
         roundtrip(CoherenceMsg::Ping { seq: 12 });
         roundtrip(CoherenceMsg::Pong { seq: 12 });
+        roundtrip(CoherenceMsg::ElectRequest {
+            peers: vec![
+                (globe_net::NodeId::new(2), StoreClass::Permanent),
+                (globe_net::NodeId::new(4), StoreClass::ObjectInitiated),
+            ],
+        });
+        roundtrip(CoherenceMsg::SequencerHandoff {
+            new_home: globe_net::NodeId::new(1),
+            version: [(ClientId::new(1), 5u64)].into_iter().collect(),
+            state: Bytes::from_static(b"snapshot"),
+            writers: vec![("a".to_string(), WriteId::new(ClientId::new(1), 5))],
+            order_high: Some(6),
+            log: vec![sample_write()],
+            peers: vec![(globe_net::NodeId::new(3), StoreClass::ClientInitiated)],
+        });
     }
 
     #[test]

@@ -41,6 +41,25 @@ pub struct KindCount {
     pub bytes: u64,
 }
 
+/// Cumulative transport-fault counters: what a deployment observes when
+/// the network misbehaves instead of a crash (malformed frames dropped
+/// on the receive path, failed sends, peer disconnects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportFaults {
+    /// Received frames that failed to decode and were dropped.
+    pub malformed_frames: u64,
+    /// Sends that failed at the transport (connect refused, broken
+    /// pipe); zero on the simulator, mirrored from the TCP mesh.
+    pub send_errors: u64,
+    /// Established connections that ended: the peer went away, or sent
+    /// a garbled/oversized frame after the hello.
+    pub disconnects: u64,
+    /// Inbound connections the transport rejected before entering
+    /// service (bad hello, reader spawn failure); mirrored from the TCP
+    /// mesh, zero elsewhere.
+    pub rejected_frames: u64,
+}
+
 /// Mutable metrics store shared by every local object in a runtime.
 #[derive(Debug, Default)]
 pub struct MetricsStore {
@@ -51,12 +70,29 @@ pub struct MetricsStore {
     /// Replica lifecycle transitions (joins, leaves, detector verdicts),
     /// in observation order.
     pub lifecycle: Vec<LifecycleEvent>,
+    /// Transport faults survived (and counted) instead of panicking.
+    pub transport: TransportFaults,
 }
 
 impl MetricsStore {
     /// Records a completed operation.
     pub fn record_op(&mut self, sample: OpSample) {
         self.ops.push(sample);
+    }
+
+    /// Counts one received frame that failed to decode and was dropped.
+    pub fn record_malformed_frame(&mut self) {
+        self.transport.malformed_frames += 1;
+    }
+
+    /// Mirrors the transport's cumulative send-error, disconnect, and
+    /// rejected-frame counters (the TCP mesh counts them with atomics
+    /// on its own threads; the runtime syncs them into the store on
+    /// read).
+    pub fn sync_transport(&mut self, send_errors: u64, disconnects: u64, rejected_frames: u64) {
+        self.transport.send_errors = send_errors;
+        self.transport.disconnects = disconnects;
+        self.transport.rejected_frames = rejected_frames;
     }
 
     /// Records a replica lifecycle transition.

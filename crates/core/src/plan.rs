@@ -15,6 +15,7 @@ use globe_coherence::{ClientId, ClientModel, ObjectModel, StoreClass, StoreId};
 use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
 use globe_net::{NodeId, RegionId};
 
+use crate::lifecycle::{DetectorConfig, MembershipView, StoreHealth};
 use crate::{
     AddressSpace, BindOptions, ControlObject, PeerStore, ReplicationPolicy, RuntimeError,
     Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
@@ -112,7 +113,7 @@ impl CreationPlan {
         semantics_factory: &mut dyn FnMut() -> Box<dyn Semantics>,
         history: &SharedHistory,
         metrics: &SharedMetrics,
-        heartbeat: Option<std::time::Duration>,
+        detector: DetectorConfig,
         mut install: impl FnMut(NodeId, StoreReplica),
     ) {
         for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
@@ -143,7 +144,7 @@ impl CreationPlan {
                     semantics: semantics_factory(),
                     history: history.clone(),
                     metrics: metrics.clone(),
-                    heartbeat,
+                    detector,
                 }),
             );
         }
@@ -167,7 +168,112 @@ pub(crate) struct ReplicaParts<'a> {
     pub(crate) semantics: Box<dyn Semantics>,
     pub(crate) history: &'a SharedHistory,
     pub(crate) metrics: &'a SharedMetrics,
-    pub(crate) heartbeat: Option<std::time::Duration>,
+    pub(crate) detector: DetectorConfig,
+}
+
+/// The resolved shape of a home-store fail-over: which surviving
+/// permanent store was elected the new sequencer, and the peer set it
+/// must adopt. Produced by [`plan_remove_store`] / [`plan_restart_store`]
+/// when the store being removed or crash-restarted is the home; the
+/// backend then moves the write log (a graceful `SequencerHandoff` from
+/// the retiring home, or an `ElectRequest` telling the winner to promote
+/// from its own replica of the log) and reroutes client sessions.
+pub(crate) struct FailoverPlan {
+    pub(crate) old_home: NodeId,
+    pub(crate) new_home: NodeId,
+    pub(crate) new_home_store: StoreId,
+    /// Every replica the new home must treat as a peer (for a
+    /// crash-restart this includes the failed home itself, which rejoins
+    /// as an ordinary permanent replica).
+    pub(crate) peers: Vec<(NodeId, StoreClass)>,
+}
+
+impl FailoverPlan {
+    /// The message that moves the sequencer to the winner: the retiring
+    /// home's full hand-off when its store is still reachable, or an
+    /// election request telling the winner to promote from its own
+    /// replica of the write log. One decision point for every backend,
+    /// so the protocol cannot diverge per runtime.
+    pub(crate) fn handoff_msg(&self, retiring: Option<&StoreReplica>) -> crate::CoherenceMsg {
+        match retiring {
+            Some(store) => store.sequencer_handoff_msg(self.new_home, self.peers.clone()),
+            None => self.elect_msg(),
+        }
+    }
+
+    /// The crash-path election request: the winner promotes itself from
+    /// its own copy of the write log.
+    pub(crate) fn elect_msg(&self) -> crate::CoherenceMsg {
+        crate::CoherenceMsg::ElectRequest {
+            peers: self.peers.clone(),
+        }
+    }
+}
+
+/// The deterministic election rule: among the surviving permanent
+/// stores, the lowest store id wins. The membership view (the failing
+/// home's failure detector, when reachable) arbitrates: suspects are
+/// passed over unless no candidate is believed alive.
+fn elect_new_home(
+    record: &ObjectRecord,
+    failed: NodeId,
+    view: Option<&MembershipView>,
+) -> Result<(NodeId, StoreId), RuntimeError> {
+    let candidates: Vec<(NodeId, StoreId)> = record
+        .stores
+        .iter()
+        .filter(|(node, _, class)| *node != failed && *class == StoreClass::Permanent)
+        .map(|(node, store, _)| (*node, *store))
+        .collect();
+    let alive: Vec<(NodeId, StoreId)> = candidates
+        .iter()
+        .filter(|(node, _)| {
+            view.and_then(|v| v.member(*node))
+                .map(|m| m.health == StoreHealth::Alive)
+                .unwrap_or(true)
+        })
+        .copied()
+        .collect();
+    let pool = if alive.is_empty() {
+        &candidates
+    } else {
+        &alive
+    };
+    pool.iter()
+        .min_by_key(|(_, store)| *store)
+        .copied()
+        .ok_or(RuntimeError::NoFailoverCandidate)
+}
+
+/// Elects a new home for a failing one and rewrites the record so every
+/// later plan (bindings, membership) sees the successor as the
+/// sequencer. `drop_failed` removes the failed node from the membership
+/// entirely (graceful removal); otherwise it stays and rejoins as an
+/// ordinary permanent replica (crash-restart).
+fn plan_failover(
+    record: &mut ObjectRecord,
+    failed: NodeId,
+    view: Option<&MembershipView>,
+    drop_failed: bool,
+) -> Result<FailoverPlan, RuntimeError> {
+    let (new_home, new_home_store) = elect_new_home(record, failed, view)?;
+    if drop_failed {
+        record.stores.retain(|(node, _, _)| *node != failed);
+    }
+    record.home_node = new_home;
+    record.home_store = new_home_store;
+    let peers = record
+        .stores
+        .iter()
+        .filter(|(node, _, _)| *node != new_home)
+        .map(|(node, _, class)| (*node, *class))
+        .collect();
+    Ok(FailoverPlan {
+        old_home: failed,
+        new_home,
+        new_home_store,
+        peers,
+    })
 }
 
 /// Validates a dynamic store installation against the object record,
@@ -195,43 +301,54 @@ pub(crate) fn plan_add_store(
 /// Validates a crash-restart against the object record and builds the
 /// fresh replica (same store id, empty state). The backend swaps it in,
 /// starts its timers, and has it `join` to receive the state transfer.
+///
+/// Crash-restarting the *home* store triggers a fail-over: a surviving
+/// permanent store is elected the new sequencer (returned as the
+/// [`FailoverPlan`]), the record is rewritten, and the fresh replica is
+/// built as an ordinary peer of the successor — the old home rejoins its
+/// own object as a mirror of the new sequencer.
 pub(crate) fn plan_restart_store(
-    record: &ObjectRecord,
+    record: &mut ObjectRecord,
     node: NodeId,
+    view: Option<&MembershipView>,
     parts: ReplicaParts<'_>,
-) -> Result<StoreReplica, RuntimeError> {
+) -> Result<(StoreReplica, Option<FailoverPlan>), RuntimeError> {
     let (_, store_id, class) = *record
         .stores
         .iter()
         .find(|(n, _, _)| *n == node)
         .ok_or(RuntimeError::NoSuchReplica)?;
-    if node == record.home_node {
-        return Err(RuntimeError::BadPolicy(
-            "the home store cannot be restarted from itself".to_string(),
-        ));
-    }
-    Ok(replica_for(record, store_id, class, parts))
+    let failover = if node == record.home_node {
+        Some(plan_failover(record, node, view, false)?)
+    } else {
+        None
+    };
+    Ok((replica_for(record, store_id, class, parts), failover))
 }
 
 /// Validates a graceful removal and drops the replica from the record.
 /// The backend still uninstalls it and tells the home store to forget
 /// the peer (a `Leave` control message).
+///
+/// Removing the *home* store triggers a fail-over (returned as the
+/// [`FailoverPlan`]): a surviving permanent store is elected the new
+/// sequencer and the backend hands it the retiring home's write log.
 pub(crate) fn plan_remove_store(
     record: &mut ObjectRecord,
     node: NodeId,
-) -> Result<StoreId, RuntimeError> {
+    view: Option<&MembershipView>,
+) -> Result<(StoreId, Option<FailoverPlan>), RuntimeError> {
     let (_, store_id, _) = *record
         .stores
         .iter()
         .find(|(n, _, _)| *n == node)
         .ok_or(RuntimeError::NoSuchReplica)?;
     if node == record.home_node {
-        return Err(RuntimeError::BadPolicy(
-            "the home store cannot be removed; permanent stores implement persistence".to_string(),
-        ));
+        let failover = plan_failover(record, node, view, true)?;
+        return Ok((store_id, Some(failover)));
     }
     record.stores.retain(|(n, _, _)| *n != node);
-    Ok(store_id)
+    Ok((store_id, None))
 }
 
 fn replica_for(
@@ -240,7 +357,7 @@ fn replica_for(
     class: StoreClass,
     parts: ReplicaParts<'_>,
 ) -> StoreReplica {
-    StoreReplica::new(StoreConfig {
+    let mut replica = StoreReplica::new(StoreConfig {
         object: parts.object,
         store_id,
         class,
@@ -251,8 +368,12 @@ fn replica_for(
         semantics: parts.semantics,
         history: parts.history.clone(),
         metrics: parts.metrics.clone(),
-        heartbeat: parts.heartbeat,
-    })
+        detector: parts.detector,
+    });
+    // Born empty outside the creation path: the first state transfer
+    // must land even if a newer write races ahead of it.
+    replica.mark_needs_bootstrap();
+    replica
 }
 
 /// Assembles a [`crate::lifecycle::MembershipView`] from the object

@@ -43,6 +43,9 @@ pub enum RuntimeError {
     BadPolicy(String),
     /// The runtime cannot perform the operation in its current state.
     Unsupported(String),
+    /// Removing or crash-restarting the home store requires a surviving
+    /// permanent store to elect as the new sequencer, and none exists.
+    NoFailoverCandidate,
 }
 
 impl fmt::Display for RuntimeError {
@@ -58,6 +61,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoSuchReplica => write!(f, "no replica matches the binding request"),
             RuntimeError::BadPolicy(why) => write!(f, "bad replication policy: {why}"),
             RuntimeError::Unsupported(why) => write!(f, "unsupported operation: {why}"),
+            RuntimeError::NoFailoverCandidate => write!(
+                f,
+                "no surviving permanent store can be elected as the new home"
+            ),
         }
     }
 }
@@ -183,7 +190,7 @@ pub struct GlobeSim {
     next_client: u32,
     next_store: u32,
     call_timeout: Duration,
-    heartbeat: Option<Duration>,
+    detector: crate::lifecycle::DetectorConfig,
 }
 
 impl GlobeSim {
@@ -207,7 +214,7 @@ impl GlobeSim {
             next_store: 0,
             // Virtual time is free, so the default deadline is generous.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(300)),
-            heartbeat: config.heartbeat,
+            detector: config.detector(),
         }
     }
 
@@ -219,7 +226,7 @@ impl GlobeSim {
     /// Adds an address space in `region`.
     pub fn add_node_in(&mut self, region: RegionId) -> NodeId {
         let node = self.net.add_node_in(region);
-        let space = Rc::new(RefCell::new(AddressSpace::new(node)));
+        let space = Rc::new(RefCell::new(AddressSpace::new(node, self.metrics.clone())));
         let handler_space = Rc::clone(&space);
         self.net.set_handler(node, move |event, ctx| {
             handler_space.borrow_mut().handle_event(event, ctx);
@@ -264,7 +271,7 @@ impl GlobeSim {
             semantics_factory,
             &self.history,
             &self.metrics,
-            self.heartbeat,
+            self.detector,
             |node, replica| {
                 let space = Rc::clone(&spaces[&node]);
                 plan::install_store(&mut space.borrow_mut(), object, replica);
@@ -313,7 +320,7 @@ impl GlobeSim {
                 semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
         self.locations.register(
@@ -337,31 +344,77 @@ impl GlobeSim {
         Ok(store_id)
     }
 
-    /// Removes the (non-home) replica at `node` gracefully: the store
-    /// is dropped, the location service forgets it, and the home store
-    /// is told to stop propagating and heartbeating to it.
+    /// Removes the replica at `node` gracefully: the store is dropped,
+    /// the location service forgets it, and the home store is told to
+    /// stop propagating and heartbeating to it. Removing the *home*
+    /// store elects a surviving permanent store as the new sequencer:
+    /// the retiring home hands its coherence write log and version
+    /// vector to the winner (`SequencerHandoff`), and every client
+    /// session is rerouted to the new home.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        // The detector's verdicts arbitrate the election; read them
+        // before the record changes.
+        let view = self.membership(object).ok();
         let record = self
             .objects
             .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let home = record.home_node;
-        plan::plan_remove_store(record, node)?;
+        let (_, failover) = plan::plan_remove_store(record, node, view.as_ref())?;
         self.locations.unregister(object, node);
         let space = Rc::clone(&self.spaces[&node]);
         let comm = CommObject::new(object, self.metrics.clone());
-        self.net.with_ctx(node, |ctx| {
-            if let Some(control) = space.borrow_mut().control_mut(object) {
-                control.take_store();
+        match failover {
+            None => {
+                self.net.with_ctx(node, |ctx| {
+                    if let Some(control) = space.borrow_mut().control_mut(object) {
+                        control.take_store();
+                    }
+                    comm.send(ctx, home, &CoherenceMsg::Leave { node });
+                });
             }
-            comm.send(ctx, home, &CoherenceMsg::Leave { node });
-        });
+            Some(f) => {
+                // Capture the retiring home's authoritative write log
+                // before its store is dropped, then ship it to the
+                // elected successor (or, if the store is already gone,
+                // tell the winner to promote from its own log).
+                let msg = f.handoff_msg(
+                    space
+                        .borrow_mut()
+                        .control_mut(object)
+                        .and_then(|c| c.take_store())
+                        .as_ref(),
+                );
+                self.net
+                    .with_ctx(node, |ctx| comm.send(ctx, f.new_home, &msg));
+                self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, true);
+            }
+        }
         Ok(())
+    }
+
+    /// Points every bound session of `object` away from a failed home:
+    /// pending retransmissions and future invocations then target the
+    /// elected successor.
+    fn reroute_sessions(
+        &mut self,
+        object: ObjectId,
+        old_home: NodeId,
+        new_home: NodeId,
+        new_store: StoreId,
+        reroute_reads: bool,
+    ) {
+        for space in self.spaces.values() {
+            if let Some(control) = space.borrow_mut().control_mut(object) {
+                control.reroute_sessions(old_home, new_home, new_store, reroute_reads);
+            }
+        }
     }
 
     /// Binds a client in `node`'s address space to `object`.
@@ -427,36 +480,45 @@ impl GlobeSim {
         Ok(())
     }
 
-    /// Simulates a crash-and-restart of the (non-home) replica at `node`:
-    /// its in-memory state is discarded and it recovers through the
+    /// Simulates a crash-and-restart of the replica at `node`: its
+    /// in-memory state is discarded and it recovers through the
     /// lifecycle state-transfer protocol — the home store ships the
     /// current state together with the coherence history and version
     /// vector, the way a store recovers by re-binding to the object's
     /// permanent stores (§3.1: permanent stores implement persistence).
     ///
+    /// Crash-restarting the *home* store triggers a fail-over: the
+    /// lowest-id surviving permanent store is elected the new sequencer
+    /// and promotes itself from its own replica of the write log
+    /// (`ElectRequest`), client sessions are rerouted to it, and the old
+    /// home rejoins its own object as an ordinary permanent replica.
+    ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn restart_store(
         &mut self,
         object: ObjectId,
         node: NodeId,
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
+        let view = self.membership(object).ok();
         let record = self
             .objects
-            .get(&object)
+            .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let replica = plan::plan_restart_store(
+        let (replica, failover) = plan::plan_restart_store(
             record,
             node,
+            view.as_ref(),
             plan::ReplicaParts {
                 object,
                 semantics: fresh_semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
         let space = Rc::clone(&self.spaces[&node]);
@@ -466,6 +528,16 @@ impl GlobeSim {
                 .control_mut(object)
                 .ok_or(RuntimeError::NoSuchReplica)?;
             control.set_store(replica);
+        }
+        if let Some(f) = &failover {
+            // Tell the winner to promote from its own copy of the write
+            // log before the fresh replica's join reaches it (same
+            // source, same destination: FIFO delivery).
+            let comm = CommObject::new(object, self.metrics.clone());
+            let msg = f.elect_msg();
+            self.net
+                .with_ctx(node, |ctx| comm.send(ctx, f.new_home, &msg));
+            self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, false);
         }
         self.net.with_ctx(node, |ctx| {
             let mut space = space.borrow_mut();

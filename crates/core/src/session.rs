@@ -128,6 +128,29 @@ impl Session {
         self.read_store = store;
     }
 
+    /// Reroutes this session after a home-store fail-over: writes bound
+    /// to the failed home now target the elected successor, so the
+    /// periodic retransmission of unacknowledged writes — and every
+    /// future invocation — reaches a live sequencer. Reads are rebound
+    /// too when the failed replica is gone for good (`reroute_reads`);
+    /// after a crash-restart the replica recovers in place and keeps
+    /// serving this session's reads.
+    pub fn reroute_home(
+        &mut self,
+        old_home: NodeId,
+        new_home: NodeId,
+        new_store: StoreId,
+        reroute_reads: bool,
+    ) {
+        if self.write_node == old_home {
+            self.write_node = new_home;
+            self.write_store = new_store;
+        }
+        if reroute_reads && self.read_node == old_home {
+            self.rebind_reads(new_home, new_store);
+        }
+    }
+
     /// Active session guards.
     pub fn guards(&self) -> &[ClientModel] {
         &self.guards

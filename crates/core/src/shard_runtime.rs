@@ -67,6 +67,7 @@ struct ShardRouter {
     inboxes: Vec<Sender<ShardEvent>>,
     timer: Arc<WallTimer>,
     epoch: Instant,
+    metrics: SharedMetrics,
 }
 
 impl ShardRouter {
@@ -102,7 +103,9 @@ impl NetCtx for ShardCtx<'_> {
         // enough to pick the owning shard without decoding the message.
         let mut cursor: &[u8] = &payload;
         let Ok(object) = ObjectId::decode(&mut cursor) else {
-            return; // corrupt frame: drop, like a bad datagram
+            // Corrupt frame: drop, like a bad datagram, but observably.
+            self.router.metrics.lock().record_malformed_frame();
+            return;
         };
         self.router.deliver(
             object,
@@ -206,7 +209,7 @@ pub struct GlobeShard {
     started: bool,
     seed: u64,
     call_timeout: Duration,
-    heartbeat: Option<Duration>,
+    detector: crate::lifecycle::DetectorConfig,
 }
 
 impl GlobeShard {
@@ -235,11 +238,13 @@ impl GlobeShard {
             receivers.push(Some(rx));
             spaces.push(Arc::new(Mutex::new(HashMap::new())));
         }
+        let metrics = shared_metrics();
         GlobeShard {
             router: Arc::new(ShardRouter {
                 inboxes,
                 timer: WallTimer::spawn(),
                 epoch: Instant::now(),
+                metrics: metrics.clone(),
             }),
             shards: spaces,
             receivers,
@@ -250,7 +255,7 @@ impl GlobeShard {
             locations: LocationService::new(),
             objects: HashMap::new(),
             history: shared_history(),
-            metrics: shared_metrics(),
+            metrics,
             next_node: 0,
             next_client: 0,
             next_store: 0,
@@ -259,7 +264,7 @@ impl GlobeShard {
             // Wall-clock time, as in the TCP runtime; loopback channels
             // are fast, so the default deadline is tight.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
-            heartbeat: config.heartbeat,
+            detector: config.detector(),
         }
     }
 
@@ -316,17 +321,18 @@ impl GlobeShard {
         creation.register_locations(&mut self.locations, |_| RegionId::new(0));
         let shard = Arc::clone(&self.shards[self.router.shard_of(object)]);
         let router = &self.router;
+        let metrics = self.metrics.clone();
         creation.build_replicas(
             &policy,
             semantics_factory,
             &self.history,
             &self.metrics,
-            self.heartbeat,
+            self.detector,
             |node, replica| {
                 let mut spaces = shard.lock();
                 let space = spaces
                     .entry(node)
-                    .or_insert_with(|| AddressSpace::new(node));
+                    .or_insert_with(|| AddressSpace::new(node, metrics.clone()));
                 plan::install_store(space, object, replica);
                 let mut ctx = ShardCtx { node, router };
                 space
@@ -367,7 +373,7 @@ impl GlobeShard {
         let mut spaces = self.shards[self.shard_of(object)].lock();
         let space = spaces
             .entry(node)
-            .or_insert_with(|| AddressSpace::new(node));
+            .or_insert_with(|| AddressSpace::new(node, self.metrics.clone()));
         plan::install_session(space, object, session);
         Ok(ClientHandle {
             object,
@@ -529,7 +535,7 @@ impl GlobeShard {
                 semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
         self.locations.register(
@@ -543,7 +549,7 @@ impl GlobeShard {
         let mut spaces = self.shards[self.shard_of(object)].lock();
         let space = spaces
             .entry(node)
-            .or_insert_with(|| AddressSpace::new(node));
+            .or_insert_with(|| AddressSpace::new(node, self.metrics.clone()));
         plan::install_store(space, object, replica);
         let mut ctx = ShardCtx {
             node,
@@ -557,71 +563,122 @@ impl GlobeShard {
         Ok(store_id)
     }
 
-    /// Removes the (non-home) replica at `node` gracefully, telling the
-    /// home store to stop propagating and heartbeating to it.
+    /// Points every bound session of `object` away from a failed home.
+    fn reroute_sessions(
+        &mut self,
+        object: ObjectId,
+        old_home: NodeId,
+        new_home: NodeId,
+        new_store: StoreId,
+        reroute_reads: bool,
+    ) {
+        let mut spaces = self.shards[self.shard_of(object)].lock();
+        for space in spaces.values_mut() {
+            if let Some(control) = space.control_mut(object) {
+                control.reroute_sessions(old_home, new_home, new_store, reroute_reads);
+            }
+        }
+    }
+
+    /// Removes the replica at `node` gracefully, telling the home store
+    /// to stop propagating and heartbeating to it. Removing the *home*
+    /// store elects a surviving permanent store as the new sequencer and
+    /// hands it the retiring home's write log.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        let view = self.membership(object).ok();
         let record = self
             .objects
             .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let home = record.home_node;
-        plan::plan_remove_store(record, node)?;
+        let (_, failover) = plan::plan_remove_store(record, node, view.as_ref())?;
         self.locations.unregister(object, node);
-        let mut spaces = self.shards[self.shard_of(object)].lock();
-        if let Some(control) = spaces
-            .get_mut(&node)
-            .and_then(|space| space.control_mut(object))
-        {
-            control.take_store();
-        }
+        let store = {
+            let mut spaces = self.shards[self.shard_of(object)].lock();
+            spaces
+                .get_mut(&node)
+                .and_then(|space| space.control_mut(object))
+                .and_then(|control| control.take_store())
+        };
         let comm = CommObject::new(object, self.metrics.clone());
         let mut ctx = ShardCtx {
             node,
             router: &self.router,
         };
-        comm.send(&mut ctx, home, &CoherenceMsg::Leave { node });
+        match failover {
+            None => comm.send(&mut ctx, home, &CoherenceMsg::Leave { node }),
+            Some(f) => {
+                let msg = f.handoff_msg(store.as_ref());
+                comm.send(&mut ctx, f.new_home, &msg);
+                self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, true);
+            }
+        }
         Ok(())
     }
 
-    /// Crash-and-recovers the (non-home) replica at `node` through the
-    /// lifecycle state-transfer protocol.
+    /// Crash-and-recovers the replica at `node` through the lifecycle
+    /// state-transfer protocol. Restarting the *home* store triggers a
+    /// fail-over: the elected permanent store promotes itself from its
+    /// own write log and the old home rejoins as an ordinary replica.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn restart_store(
         &mut self,
         object: ObjectId,
         node: NodeId,
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
+        let view = self.membership(object).ok();
         let record = self
             .objects
-            .get(&object)
+            .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let replica = plan::plan_restart_store(
+        let (replica, failover) = plan::plan_restart_store(
             record,
             node,
+            view.as_ref(),
             plan::ReplicaParts {
                 object,
                 semantics: fresh_semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
+        {
+            let mut spaces = self.shards[self.shard_of(object)].lock();
+            let control = spaces
+                .get_mut(&node)
+                .and_then(|space| space.control_mut(object))
+                .ok_or(RuntimeError::NoSuchReplica)?;
+            control.set_store(replica);
+        }
+        if let Some(f) = &failover {
+            // Promote the winner before the fresh replica's join reaches
+            // it (same shard inbox, so ordering holds).
+            let comm = CommObject::new(object, self.metrics.clone());
+            let mut ctx = ShardCtx {
+                node,
+                router: &self.router,
+            };
+            comm.send(&mut ctx, f.new_home, &f.elect_msg());
+            self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, false);
+        }
         let mut spaces = self.shards[self.shard_of(object)].lock();
         let control = spaces
             .get_mut(&node)
             .and_then(|space| space.control_mut(object))
             .ok_or(RuntimeError::NoSuchReplica)?;
-        control.set_store(replica);
         let mut ctx = ShardCtx {
             node,
             router: &self.router,
@@ -650,6 +707,18 @@ impl GlobeShard {
             .and_then(|space| space.control(object))
             .and_then(|control| control.store());
         Ok(plan::membership_view(object, record, home))
+    }
+
+    /// Injects one raw frame into the routing fabric as if `node` had
+    /// sent it — the fault-injection hook the transport-hardening tests
+    /// use to exercise the malformed-frame drop path.
+    #[doc(hidden)]
+    pub fn inject_frame(&mut self, node: NodeId, to: NodeId, payload: Bytes) {
+        let mut ctx = ShardCtx {
+            node,
+            router: &self.router,
+        };
+        ctx.send(to, payload);
     }
 
     /// The shared execution history.

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use globe_naming::ObjectId;
 use globe_net::{Event, NetCtx, NodeId, TimerToken};
 
-use crate::{ControlObject, NetMsg, TimerKind};
+use crate::{ControlObject, NetMsg, SharedMetrics, TimerKind};
 
 /// Encodes `(object, timer kind)` into a network timer token.
 pub(crate) fn timer_token(object: ObjectId, kind: TimerKind) -> TimerToken {
@@ -26,14 +26,17 @@ pub(crate) fn decode_timer(token: TimerToken) -> (ObjectId, Option<TimerKind>) {
 pub struct AddressSpace {
     node: NodeId,
     objects: HashMap<ObjectId, ControlObject>,
+    metrics: SharedMetrics,
 }
 
 impl AddressSpace {
-    /// Creates an empty address space for `node`.
-    pub fn new(node: NodeId) -> Self {
+    /// Creates an empty address space for `node`. Malformed frames
+    /// dropped on the receive path are counted into `metrics`.
+    pub fn new(node: NodeId, metrics: SharedMetrics) -> Self {
         AddressSpace {
             node,
             objects: HashMap::new(),
+            metrics,
         }
     }
 
@@ -67,7 +70,10 @@ impl AddressSpace {
         match event {
             Event::Message { from, payload } => {
                 let Ok(env) = globe_wire::from_bytes::<NetMsg>(&payload) else {
-                    return; // corrupt frame: drop, like a bad datagram
+                    // Corrupt frame: drop, like a bad datagram — but make
+                    // the drop observable instead of silent.
+                    self.metrics.lock().record_malformed_frame();
+                    return;
                 };
                 if let Some(control) = self.objects.get_mut(&env.object) {
                     control.handle_message(from, env.msg, ctx);

@@ -16,7 +16,7 @@ use globe_coherence::{ClientId, PageKey, StoreClass, StoreId, VersionVector, Wri
 use globe_naming::ObjectId;
 use globe_net::{NetCtx, NodeId};
 
-use crate::lifecycle::{LifecycleEvent, LifecycleEventKind, StoreHealth, SUSPECT_AFTER_MISSES};
+use crate::lifecycle::{DetectorConfig, LifecycleEvent, LifecycleEventKind, StoreHealth};
 use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
 use crate::{
     CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
@@ -105,9 +105,9 @@ pub struct StoreConfig {
     pub history: SharedHistory,
     /// Shared metrics.
     pub metrics: SharedMetrics,
-    /// Heartbeat period of the failure detector; `None` disables it.
-    /// Only the home store runs the detector.
-    pub heartbeat: Option<Duration>,
+    /// Failure-detector tuning (period and suspicion threshold); a
+    /// `None` period disables it. Only the home store runs the detector.
+    pub detector: DetectorConfig,
 }
 
 /// One store's replica of a distributed shared object.
@@ -136,9 +136,10 @@ pub struct StoreReplica {
     is_home: bool,
     home_node: NodeId,
     peers: Vec<PeerStore>,
+    needs_bootstrap: bool,
     history: SharedHistory,
     metrics: SharedMetrics,
-    heartbeat: Option<Duration>,
+    detector: DetectorConfig,
     hb_seq: u64,
     last_heard: HashMap<NodeId, globe_net::SimTime>,
     suspects: HashSet<NodeId>,
@@ -178,9 +179,10 @@ impl StoreReplica {
             is_home: config.is_home,
             home_node: config.home_node,
             peers: config.peers,
+            needs_bootstrap: false,
             history: config.history,
             metrics,
-            heartbeat: config.heartbeat,
+            detector: config.detector,
             hb_seq: 0,
             last_heard: HashMap::new(),
             suspects: HashSet::new(),
@@ -229,6 +231,17 @@ impl StoreReplica {
     /// Direct read-only access to the semantics object (tests, gateways).
     pub fn semantics(&self) -> &dyn Semantics {
         self.semantics.as_ref()
+    }
+
+    /// Marks this replica as born empty and awaiting its first state
+    /// transfer. Under jump-ahead models (FIFO, eventual) a fresh
+    /// replica can apply a *newer* write before the transfer arrives,
+    /// after which its version vector dominates the snapshot's — the
+    /// staleness check alone would then reject the very transfer the
+    /// replica needs. The flag forces the first install through; the
+    /// locally-newer writes the snapshot lacks are re-imposed on top.
+    pub(crate) fn mark_needs_bootstrap(&mut self) {
+        self.needs_bootstrap = true;
     }
 
     /// Registers an additional peer store (dynamic mirror installation).
@@ -303,7 +316,7 @@ impl StoreReplica {
             ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
             self.pull_armed = true;
         }
-        if let Some(period) = self.heartbeat {
+        if let Some(period) = self.detector.period {
             if self.is_home && !self.hb_armed {
                 ctx.set_timer(period, self.token(TimerKind::Heartbeat));
                 self.hb_armed = true;
@@ -541,10 +554,122 @@ impl StoreReplica {
         if self.is_home {
             return;
         }
-        if !self.install_snapshot(version, state, writers, order_high, Some(&log), ctx) {
+        self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+        self.start(ctx);
+    }
+
+    /// Builds the graceful hand-off a retiring home store sends to its
+    /// elected successor: the authoritative coherence write log, version
+    /// vector, semantics snapshot, per-page writers, sequencer height,
+    /// and the successor's future peer set. Pure state capture — the
+    /// caller decides how the message travels (directly from the old
+    /// home's context, or relayed through a control endpoint).
+    pub fn sequencer_handoff_msg(
+        &self,
+        new_home: NodeId,
+        peers: Vec<(NodeId, StoreClass)>,
+    ) -> CoherenceMsg {
+        CoherenceMsg::SequencerHandoff {
+            new_home,
+            version: self.applied.clone(),
+            state: self.semantics.snapshot(),
+            writers: self
+                .page_last_writer
+                .iter()
+                .map(|(p, w)| (p.clone(), *w))
+                .collect(),
+            order_high: self.repl.orders_writes().then_some(self.order_assigned),
+            log: self.write_log.clone(),
+            peers,
+        }
+    }
+
+    /// Takes over as the object's home (sequencing) store: adopt `peers`,
+    /// continue the sequencer's total order where it stopped, announce
+    /// the takeover to every peer with a full-state
+    /// [`CoherenceMsg::SequencerHandoff`] (so they reroute their demands
+    /// and converge on this replica's log), and arm the home-side timers
+    /// (lazy propagation, failure detector). Idempotent.
+    pub fn promote_to_home(&mut self, peers: Vec<(NodeId, StoreClass)>, ctx: &mut dyn NetCtx) {
+        let me = ctx.node();
+        if self.is_home && self.home_node == me {
             return;
         }
-        self.write_log = log;
+        self.is_home = true;
+        self.home_node = me;
+        self.peers = peers
+            .iter()
+            .filter(|(node, _)| *node != me)
+            .map(|(node, class)| PeerStore {
+                node: *node,
+                class: *class,
+            })
+            .collect();
+        // The old sequencer's height survives in `next_order` (every
+        // replica tracks it); continue the total order there.
+        self.order_assigned = self.order_assigned.max(self.next_order);
+        self.suspects.clear();
+        self.last_heard.clear();
+        let announce = self.sequencer_handoff_msg(me, Vec::new());
+        let peer_nodes: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
+        let now = ctx.now();
+        for &node in &peer_nodes {
+            // The announcement carries the full log; propagation resumes
+            // from there, and the detector baselines afresh.
+            self.peer_sent.insert(node, self.write_log.len());
+            self.last_heard.insert(node, now);
+        }
+        self.comm.multicast(ctx, peer_nodes, &announce);
+        self.record_lifecycle(me, LifecycleEventKind::Elected, now);
+        self.start(ctx);
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+    }
+
+    /// Control-plane side of a crash fail-over: this replica was elected
+    /// (lowest-id surviving permanent store) and must promote itself
+    /// from its own copy of the write log.
+    pub fn handle_elect(&mut self, peers: Vec<(NodeId, StoreClass)>, ctx: &mut dyn NetCtx) {
+        self.promote_to_home(peers, ctx);
+    }
+
+    /// Handles a [`CoherenceMsg::SequencerHandoff`]. Two legs share it:
+    /// the elected successor receives the retiring home's authoritative
+    /// state and takes over; every other replica receives the takeover
+    /// announcement, reroutes to the new home, and converges on its log
+    /// (a prefix-consistent install, exactly like a lifecycle state
+    /// transfer).
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_sequencer_handoff(
+        &mut self,
+        new_home: NodeId,
+        version: VersionVector,
+        state: Bytes,
+        writers: Vec<(PageKey, WriteId)>,
+        order_high: Option<u64>,
+        log: Vec<LoggedWrite>,
+        peers: Vec<(NodeId, StoreClass)>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        let me = ctx.node();
+        self.home_node = new_home;
+        if me == new_home {
+            self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
+            self.promote_to_home(peers, ctx);
+            return;
+        }
+        if self.is_home {
+            // Defensive demotion: a stale ex-home hearing a newer
+            // takeover steps down rather than split-brain the object.
+            self.is_home = false;
+            self.peers.clear();
+            self.peer_sent.clear();
+            self.suspects.clear();
+            self.last_heard.clear();
+        }
+        self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
         self.drain_buffered(ctx);
         self.drain_queued_reads(ctx);
         self.start(ctx);
@@ -567,7 +692,7 @@ impl StoreReplica {
     /// have lapsed, then ping every peer.
     fn heartbeat_round(&mut self, period: Duration, ctx: &mut dyn NetCtx) {
         let now = ctx.now();
-        let grace = period * SUSPECT_AFTER_MISSES;
+        let grace = self.detector.grace(period);
         let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
         for node in &peers {
             match self.last_heard.get(node) {
@@ -576,6 +701,10 @@ impl StoreReplica {
                     self.last_heard.insert(*node, now);
                 }
                 Some(&heard) => {
+                    // `saturating_since`, never `-`: a pong recorded by a
+                    // reordered/late event could carry a timestamp past
+                    // this round's `now`, and staleness arithmetic must
+                    // degrade to zero, not panic.
                     if now.saturating_since(heard) > grace && self.suspects.insert(*node) {
                         self.record_lifecycle(*node, LifecycleEventKind::Suspected, now);
                     }
@@ -950,7 +1079,8 @@ impl StoreReplica {
 
     /// Restores a snapshot (semantics state, per-page writers, version
     /// vector, sequencer height) into this replica. Returns `false` if
-    /// the snapshot was stale or failed to restore.
+    /// the snapshot was stale or failed to restore. When the sender's
+    /// coherence log is attached, it *replaces* this replica's log.
     ///
     /// Synthetic apply records keep the shared history truthful across
     /// the install, and the post-install history must read as a
@@ -961,18 +1091,33 @@ impl StoreReplica {
     /// write is recorded in the home store's order, so dependency-based
     /// checkers see each write's antecedents; without it (a policy-level
     /// full transfer), only the changed page winners can be recorded.
+    ///
+    /// A replica awaiting bootstrap (fresh install or crash-restart) may
+    /// have jumped ahead of the snapshot under a weak model — a write
+    /// newer than the transfer raced in first. Those locally-applied
+    /// writes are re-imposed on the restored state (and appended to the
+    /// adopted log) rather than lost; they are *not* re-recorded in the
+    /// history, which already has them.
     fn install_snapshot(
         &mut self,
         version: VersionVector,
         state: Bytes,
         writers: Vec<(PageKey, WriteId)>,
         order_high: Option<u64>,
-        log: Option<&[LoggedWrite]>,
+        log: Option<Vec<LoggedWrite>>,
         ctx: &mut dyn NetCtx,
     ) -> bool {
-        if self.applied.dominates(&version) && !self.applied.is_empty() {
+        if !self.needs_bootstrap && self.applied.dominates(&version) && !self.applied.is_empty() {
             return false; // stale snapshot
         }
+        // Writes this replica already applied that the snapshot does not
+        // cover: their effects must survive the restore.
+        let retained: Vec<LoggedWrite> = self
+            .write_log
+            .iter()
+            .filter(|w| self.applied.covers(w.wid) && !version.covers(w.wid))
+            .cloned()
+            .collect();
         if self.semantics.restore(&state).is_err() {
             return false;
         }
@@ -992,7 +1137,7 @@ impl StoreReplica {
             } else {
                 HashSet::new()
             };
-            match log {
+            match &log {
                 Some(log) => {
                     // Writes the live replica already applied are known
                     // even without the history scan: skip both.
@@ -1027,6 +1172,30 @@ impl StoreReplica {
         if let Some(high) = order_high {
             self.next_order = self.next_order.max(high);
         }
+        if let Some(log) = log {
+            self.write_log = log;
+        }
+        // Re-impose the locally-newer writes the snapshot lacked, in
+        // their original apply order, respecting the model's per-page
+        // arbitration. Already recorded in the history; not re-recorded.
+        for write in retained {
+            let dispatch = match &write.page {
+                Some(p) => self
+                    .repl
+                    .should_dispatch(self.page_last_writer.get(p).copied(), write.wid),
+                None => true,
+            };
+            if dispatch {
+                let _ = self.semantics.dispatch(&write.inv);
+                if let Some(page) = &write.page {
+                    self.page_last_writer.insert(page.clone(), write.wid);
+                }
+            }
+            if !self.write_log.iter().any(|w| w.wid == write.wid) {
+                self.write_log.push(write);
+            }
+        }
+        self.needs_bootstrap = false;
         self.whole_invalid = false;
         self.invalid_pages.clear();
         true
@@ -1133,7 +1302,7 @@ impl StoreReplica {
             }
             TimerKind::Heartbeat => {
                 self.hb_armed = false;
-                if let Some(period) = self.heartbeat {
+                if let Some(period) = self.detector.period {
                     if self.is_home {
                         self.heartbeat_round(period, ctx);
                         ctx.set_timer(period, self.token(TimerKind::Heartbeat));

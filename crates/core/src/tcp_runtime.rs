@@ -65,7 +65,7 @@ pub struct GlobeTcp {
     started: bool,
     seed: u64,
     call_timeout: Duration,
-    heartbeat: Option<Duration>,
+    detector: crate::lifecycle::DetectorConfig,
 }
 
 impl GlobeTcp {
@@ -97,7 +97,7 @@ impl GlobeTcp {
             // Wall-clock time is real here, so the default deadline is
             // much tighter than the simulator's virtual-time budget.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
-            heartbeat: config.heartbeat,
+            detector: config.detector(),
         }
     }
 
@@ -123,8 +123,10 @@ impl GlobeTcp {
             .map_err(|e| RuntimeError::BadName(e.to_string()))?;
         let node = endpoint.node();
         self.endpoints.insert(node, endpoint);
-        self.spaces
-            .insert(node, Arc::new(Mutex::new(AddressSpace::new(node))));
+        self.spaces.insert(
+            node,
+            Arc::new(Mutex::new(AddressSpace::new(node, self.metrics.clone()))),
+        );
         Ok(node)
     }
 
@@ -154,7 +156,7 @@ impl GlobeTcp {
             semantics_factory,
             &self.history,
             &self.metrics,
-            self.heartbeat,
+            self.detector,
             |node, replica| {
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
@@ -335,7 +337,7 @@ impl GlobeTcp {
                 semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
         self.locations.register(
@@ -351,48 +353,98 @@ impl GlobeTcp {
         Ok(store_id)
     }
 
-    /// Removes the (non-home) replica at `node` gracefully, telling the
-    /// home store to stop propagating and heartbeating to it.
+    /// Sends one coherence message to `to`, preferring `from`'s own
+    /// still-caller-driven endpoint and falling back to the control
+    /// endpoint on a live deployment.
+    fn send_from_or_control(
+        &mut self,
+        object: ObjectId,
+        from: NodeId,
+        to: NodeId,
+        msg: &CoherenceMsg,
+    ) -> Result<(), RuntimeError> {
+        if let Some(endpoint) = self.endpoints.get_mut(&from) {
+            let comm = CommObject::new(object, self.metrics.clone());
+            let mut ctx = endpoint.ctx();
+            comm.send(&mut ctx, to, msg);
+            Ok(())
+        } else {
+            self.control_send(object, to, msg)
+        }
+    }
+
+    /// Points every bound session of `object` away from a failed home.
+    /// Sessions sit behind the space locks, so this works on a live
+    /// deployment too.
+    fn reroute_sessions(
+        &mut self,
+        object: ObjectId,
+        old_home: NodeId,
+        new_home: NodeId,
+        new_store: StoreId,
+        reroute_reads: bool,
+    ) {
+        for space in self.spaces.values() {
+            if let Some(control) = space.lock().control_mut(object) {
+                control.reroute_sessions(old_home, new_home, new_store, reroute_reads);
+            }
+        }
+    }
+
+    /// Removes the replica at `node` gracefully, telling the home store
+    /// to stop propagating and heartbeating to it. Removing the *home*
+    /// store elects a surviving permanent store as the new sequencer and
+    /// hands it the retiring home's write log — on a live deployment the
+    /// hand-off travels through the control endpoint.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
         self.ensure_lifecycle_path(node)?;
+        let view = self.membership(object).ok();
         let record = self
             .objects
             .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let home = record.home_node;
-        plan::plan_remove_store(record, node)?;
+        let (_, failover) = plan::plan_remove_store(record, node, view.as_ref())?;
         self.locations.unregister(object, node);
-        if let Some(control) = self
+        let store = self
             .spaces
             .get(&node)
             .ok_or(RuntimeError::UnknownNode(node))?
             .lock()
             .control_mut(object)
-        {
-            control.take_store();
-        }
-        if let Some(endpoint) = self.endpoints.get_mut(&node) {
-            let comm = CommObject::new(object, self.metrics.clone());
-            let mut ctx = endpoint.ctx();
-            comm.send(&mut ctx, home, &CoherenceMsg::Leave { node });
-            Ok(())
-        } else {
-            self.control_send(object, home, &CoherenceMsg::Leave { node })
+            .and_then(|control| control.take_store());
+        match failover {
+            None => self.send_from_or_control(object, node, home, &CoherenceMsg::Leave { node }),
+            Some(f) => {
+                // The store's state sits behind the space lock even on a
+                // live deployment, so the retiring home's write log is
+                // captured directly and shipped to the winner.
+                let msg = f.handoff_msg(store.as_ref());
+                self.send_from_or_control(object, node, f.new_home, &msg)?;
+                self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, true);
+                Ok(())
+            }
         }
     }
 
-    /// Crash-and-recovers the (non-home) replica at `node` through the
-    /// lifecycle state-transfer protocol — live deployments included.
+    /// Crash-and-recovers the replica at `node` through the lifecycle
+    /// state-transfer protocol — live deployments included. Restarting
+    /// the *home* store triggers a fail-over: the elected permanent
+    /// store promotes itself from its own write log (`ElectRequest`, via
+    /// the control endpoint on a live deployment) and the old home
+    /// rejoins as an ordinary replica.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the object or replica is unknown,
-    /// or the replica is the home store.
+    /// or the replica is the home store and no surviving permanent store
+    /// can take over.
     pub fn restart_store(
         &mut self,
         object: ObjectId,
@@ -400,19 +452,21 @@ impl GlobeTcp {
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
         self.ensure_lifecycle_path(node)?;
+        let view = self.membership(object).ok();
         let record = self
             .objects
-            .get(&object)
+            .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let replica = plan::plan_restart_store(
+        let (replica, failover) = plan::plan_restart_store(
             record,
             node,
+            view.as_ref(),
             plan::ReplicaParts {
                 object,
                 semantics: fresh_semantics,
                 history: &self.history,
                 metrics: &self.metrics,
-                heartbeat: self.heartbeat,
+                detector: self.detector,
             },
         )?;
         let class = replica.class();
@@ -423,6 +477,12 @@ impl GlobeTcp {
             .control_mut(object)
             .ok_or(RuntimeError::NoSuchReplica)?
             .set_store(replica);
+        if let Some(f) = &failover {
+            // Promote the winner before the fresh replica's join reaches
+            // it (both ride the same connection, so ordering holds).
+            self.send_from_or_control(object, node, f.new_home, &f.elect_msg())?;
+            self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, false);
+        }
         self.activate_replica(object, node, class)
     }
 
@@ -597,8 +657,17 @@ impl GlobeTcp {
         self.history.clone()
     }
 
-    /// The shared metrics.
+    /// The shared metrics. Transport faults counted by the mesh on its
+    /// own threads (failed sends, peer disconnects) are mirrored into
+    /// the store here, so deployments observe them alongside the
+    /// malformed frames dropped on the receive path.
     pub fn metrics(&self) -> SharedMetrics {
+        let faults = self.mesh.fault_stats();
+        self.metrics.lock().sync_transport(
+            faults.send_errors,
+            faults.disconnects,
+            faults.rejected_frames,
+        );
         self.metrics.clone()
     }
 

@@ -128,6 +128,8 @@ fn crashed_cache_recovers_from_the_permanent_store() {
 
 #[test]
 fn home_store_refuses_restart() {
+    // With no second permanent store there is nothing to elect, so the
+    // fail-over is refused and the runtime is left untouched.
     let mut sim = GlobeSim::new(Topology::lan(), 73);
     let server = sim.add_node();
     let object = ObjectSpec::new("/dynamic/home")
@@ -136,7 +138,113 @@ fn home_store_refuses_restart() {
         .store(server, StoreClass::Permanent)
         .create(&mut sim)
         .unwrap();
-    assert!(sim.restart_store(object, server, doc()).is_err());
+    assert_eq!(
+        sim.restart_store(object, server, doc()),
+        Err(globe_core::RuntimeError::NoFailoverCandidate)
+    );
+    assert_eq!(
+        sim.remove_store(object, server),
+        Err(globe_core::RuntimeError::NoFailoverCandidate)
+    );
+    assert_eq!(sim.home_of(object), Some(server));
+}
+
+#[test]
+fn home_failover_elects_survivor_and_records_the_election() {
+    // Kill the home of a two-permanent-store object: the survivor is
+    // elected (visible in the membership view) and the election lands in
+    // the metrics store's lifecycle events.
+    let mut sim = GlobeSim::new(Topology::lan(), 74);
+    let first = sim.add_node();
+    let second = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/elect")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, first, BindOptions::new().read_node(first))
+        .unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"before"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+
+    sim.restart_store(object, first, doc()).unwrap();
+    sim.run_for(Duration::from_secs(2));
+
+    assert_eq!(sim.home_of(object), Some(second));
+    let view = sim.membership(object).unwrap();
+    assert!(view.members[0].is_home);
+    assert_eq!(view.members[0].node, second);
+    let metrics = sim.metrics();
+    assert!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Elected)
+            .any(|e| e.node == second && e.object == object),
+        "the election must surface in the metrics"
+    );
+    // The elected sequencer accepts writes and the old home recovers.
+    sim.handle(master)
+        .write(registers::put("p", b"after"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(
+        sim.store_digest(object, first),
+        sim.store_digest(object, second),
+        "the rejoined old home must converge on the new sequencer"
+    );
+}
+
+#[test]
+fn suspect_after_misses_tunes_detection_speed() {
+    // Same partition, laxer threshold: with `suspect_after_misses(8)`
+    // the detector tolerates a silence that the default (3) would flag.
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(82)
+            .heartbeat_period(hb)
+            .suspect_after_misses(8),
+    );
+    let server = sim.add_node();
+    let mirror = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/tuned-detector")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::ObjectInitiated)
+        .create(&mut sim)
+        .unwrap();
+
+    sim.run_for(Duration::from_secs(2));
+    sim.topology_mut().partition(server, mirror);
+    // Three seconds of silence: six missed periods — past the default
+    // grace of 3 × 500ms, still inside the configured 8 × 500ms.
+    sim.run_for(Duration::from_secs(3));
+    let view = sim.membership(object).unwrap();
+    assert!(
+        view.all_alive(),
+        "a laxer threshold must tolerate the silence the default would flag"
+    );
+    // Two more seconds pass the configured grace too.
+    sim.run_for(Duration::from_secs(3));
+    let view = sim.membership(object).unwrap();
+    assert_eq!(view.member(mirror).unwrap().health, StoreHealth::Suspect);
 }
 
 #[test]

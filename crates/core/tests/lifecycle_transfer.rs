@@ -49,6 +49,130 @@ fn arb_model() -> impl Strategy<Value = ObjectModel> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Home-store fail-over round-trips: kill(home) → elect → write →
+    /// restart(old home), repeated under random writes for every
+    /// `ObjectModel`. Each kill elects the surviving permanent store as
+    /// the new sequencer; each subsequent kill fails back. Afterwards
+    /// every store's history must be a prefix-consistent continuation
+    /// (no shrink, no replay), all replicas must reconverge, and the
+    /// model checker must still pass over the whole run.
+    #[test]
+    fn home_failover_roundtrips_stay_prefix_consistent(
+        model in arb_model(),
+        seed in 0u64..1024,
+        rounds in 1usize..4,
+        writes_per_round in 1usize..5,
+    ) {
+        let policy = ReplicationPolicy::builder(model)
+            .immediate()
+            .build()
+            .expect("immediate policies are valid for every model");
+        let mut sim = GlobeSim::new(Topology::lan(), seed);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let object = ObjectSpec::new("/prop/home-failover")
+            .policy(policy)
+            .semantics_boxed(doc)
+            .store(a, StoreClass::Permanent)
+            .store(b, StoreClass::Permanent)
+            .create(&mut sim)
+            .expect("create object");
+        let master = sim
+            .bind(object, a, BindOptions::new().read_node(a))
+            .expect("bind master");
+
+        let mut seq = 0u32;
+        for _ in 0..rounds {
+            for _ in 0..writes_per_round {
+                sim.handle(master)
+                    .write(registers::put(&format!("p{}", seq % 4), &[seq as u8]))
+                    .expect("write");
+                seq += 1;
+            }
+            sim.run_for(Duration::from_secs(1));
+
+            // Snapshot every store's history at the moment of the crash.
+            let home = sim.home_of(object).expect("object has a home");
+            let stores = sim.stores_of(object);
+            let pre: Vec<(globe_coherence::StoreId, Vec<_>)> = {
+                let history = sim.history();
+                let h = history.lock();
+                stores
+                    .iter()
+                    .map(|(_, id, _)| (*id, h.store_applies(*id).cloned().collect()))
+                    .collect()
+            };
+
+            // Kill the home: the other permanent store is elected and
+            // the old home rejoins as an ordinary replica.
+            sim.restart_store(object, home, doc()).expect("kill home");
+            let new_home = sim.home_of(object).expect("object still has a home");
+            prop_assert_ne!(new_home, home, "a survivor must be elected");
+
+            // The elected sequencer accepts a write mid-recovery.
+            sim.handle(master)
+                .write(registers::put("elected", &[seq as u8]))
+                .expect("write to the elected sequencer");
+            seq += 1;
+            sim.run_for(Duration::from_secs(2));
+
+            // Prefix consistency across the fail-over, per store.
+            {
+                let history = sim.history();
+                let h = history.lock();
+                for (store, pre_applies) in &pre {
+                    let post: Vec<_> = h.store_applies(*store).cloned().collect();
+                    prop_assert!(
+                        post.len() >= pre_applies.len(),
+                        "history must never shrink across a fail-over"
+                    );
+                    prop_assert_eq!(
+                        &post[..pre_applies.len()],
+                        &pre_applies[..],
+                        "pre-failover history must survive as an untouched prefix"
+                    );
+                }
+            }
+        }
+        sim.run_for(Duration::from_secs(3));
+
+        // All replicas reconverge on the final sequencer's state.
+        prop_assert_eq!(
+            sim.store_digest(object, a),
+            sim.store_digest(object, b),
+            "replicas must reconverge after the fail-over round-trips (model {:?}, seed {}, rounds {}, writes {})",
+            model, seed, rounds, writes_per_round
+        );
+
+        {
+            let history = sim.history();
+            let h = history.lock();
+            if let Err(violation) = check::check_object_model(&h, model) {
+                return Err(TestCaseError::fail(format!(
+                    "model {model:?} violated across home fail-overs: {violation}"
+                )));
+            }
+            // The single client's applies at each store must stay
+            // strictly increasing: fail-over never replays history.
+            if model != ObjectModel::Eventual {
+                for (_, store, _) in sim.stores_of(object) {
+                    let mut last = 0;
+                    for apply in h.store_applies(store) {
+                        prop_assert!(
+                            apply.wid.seq > last,
+                            "apply {:?} replays or reorders across a fail-over",
+                            apply.wid
+                        );
+                        last = apply.wid.seq;
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
     fn recovery_is_a_prefix_consistent_continuation(

@@ -139,6 +139,39 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
         }),
         any::<u64>().prop_map(|seq| CoherenceMsg::Ping { seq }),
         any::<u64>().prop_map(|seq| CoherenceMsg::Pong { seq }),
+        proptest::collection::vec((0u32..8, arb_class()), 0..4).prop_map(|peers| {
+            CoherenceMsg::ElectRequest {
+                peers: peers
+                    .into_iter()
+                    .map(|(n, c)| (NodeId::new(n), c))
+                    .collect(),
+            }
+        }),
+        (
+            0u32..8,
+            arb_vv(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
+            proptest::option::of(any::<u64>()),
+            proptest::collection::vec(arb_write(), 0..5),
+            proptest::collection::vec((0u32..8, arb_class()), 0..4),
+        )
+            .prop_map(
+                |(new_home, version, state, writers, order_high, log, peers)| {
+                    CoherenceMsg::SequencerHandoff {
+                        new_home: NodeId::new(new_home),
+                        version,
+                        state: Bytes::from(state),
+                        writers,
+                        order_high,
+                        log,
+                        peers: peers
+                            .into_iter()
+                            .map(|(n, c)| (NodeId::new(n), c))
+                            .collect(),
+                    }
+                },
+            ),
     ]
 }
 
@@ -179,6 +212,27 @@ proptest! {
             let cut = 1 + cut.index(bytes.len() - 1);
             if cut < bytes.len() {
                 prop_assert!(globe_wire::from_bytes::<NetMsg>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Arbitrary garbage must never panic the invocation decoder either
+    /// — invocations ride inside writes, so a hostile payload reaches
+    /// this decoder on every store.
+    #[test]
+    fn garbage_invocations_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = globe_wire::from_bytes::<InvocationMessage>(&bytes);
+    }
+
+    /// Truncating a valid invocation at any boundary yields an error,
+    /// never a panic.
+    #[test]
+    fn truncated_invocations_error_cleanly(inv in arb_inv(), cut in any::<prop::sample::Index>()) {
+        let bytes = globe_wire::to_bytes(&inv);
+        if bytes.len() > 1 {
+            let cut = 1 + cut.index(bytes.len() - 1);
+            if cut < bytes.len() {
+                prop_assert!(globe_wire::from_bytes::<InvocationMessage>(&bytes[..cut]).is_err());
             }
         }
     }

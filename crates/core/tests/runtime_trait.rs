@@ -135,6 +135,29 @@ fn kill_restart_matrix_spans_sim_tcp_and_shard() {
     }
 }
 
+/// The tentpole fault scenario: kill the home (sequencer) store, let a
+/// surviving permanent store win the deterministic election and accept
+/// writes, rejoin the old home, then hand the sequencer back with a
+/// graceful removal — with identical logical outcomes everywhere and a
+/// prefix-consistent history on every replica.
+#[test]
+fn home_failover_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10));
+    let outcomes = matrix::run_matrix(&matrix::fault::HomeFailover, &Backend::ALL, config)
+        .expect("identical fail-over outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.observations.items().len(),
+            6,
+            "{}: all fail-over observations recorded",
+            outcome.backend
+        );
+    }
+}
+
 /// Live membership churn (add a mirror, read through it, remove it)
 /// behaves identically everywhere — including on TCP after `start()`,
 /// where the operations ride the control plane.

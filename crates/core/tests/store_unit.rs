@@ -71,7 +71,7 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
         semantics: Box::new(RegisterDoc::new()),
         history: shared_history(),
         metrics: shared_metrics(),
-        heartbeat: None,
+        detector: globe_core::lifecycle::DetectorConfig::disabled(),
     });
     Rig {
         net,

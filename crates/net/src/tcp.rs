@@ -74,11 +74,39 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Cumulative transport-fault counters for one mesh, so a deployment can
+/// observe disconnects and rejected frames instead of crashing on them.
+#[derive(Debug, Default)]
+struct MeshFaults {
+    /// Sends that failed (connect refused, broken pipe, shut-down mesh).
+    send_errors: AtomicU64,
+    /// Established connections whose reader loop ended: the peer went
+    /// away, or sent a garbled/oversized frame after the hello.
+    disconnects: AtomicU64,
+    /// Inbound connections rejected before entering service (unreadable
+    /// or malformed hello, reader spawn failure).
+    rejected_frames: AtomicU64,
+}
+
+/// A point-in-time snapshot of a mesh's transport-fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshFaultStats {
+    /// Sends that failed (connect refused, broken pipe, shut-down mesh).
+    pub send_errors: u64,
+    /// Established connections that ended: peer gone, or a
+    /// garbled/oversized frame after the hello.
+    pub disconnects: u64,
+    /// Inbound connections rejected before entering service (bad hello,
+    /// reader spawn failure).
+    pub rejected_frames: u64,
+}
+
 struct MeshShared {
     addrs: RwLock<HashMap<NodeId, SocketAddr>>,
     timer: Arc<WallTimer>,
     epoch: Instant,
     shutdown: AtomicBool,
+    faults: MeshFaults,
 }
 
 /// A mesh of real TCP endpoints on the loopback interface.
@@ -120,6 +148,7 @@ impl TcpMesh {
                 timer: WallTimer::spawn(),
                 epoch: Instant::now(),
                 shutdown: AtomicBool::new(false),
+                faults: MeshFaults::default(),
             }),
             next_node: AtomicU64::new(0),
         }
@@ -147,8 +176,13 @@ impl TcpMesh {
         std::thread::Builder::new()
             .name(format!("globe-accept-{node}"))
             .spawn(move || accept_loop(listener, inbox_tx, shared))
-            .expect("failed to spawn accept thread");
+            .map_err(MeshError::Io)?;
         Ok(endpoint)
+    }
+
+    /// A snapshot of the mesh's cumulative transport-fault counters.
+    pub fn fault_stats(&self) -> MeshFaultStats {
+        self.shared.fault_stats()
     }
 
     /// Stops the timer service and marks the mesh as shut down. Endpoint
@@ -179,6 +213,16 @@ impl std::fmt::Debug for TcpMesh {
     }
 }
 
+impl MeshShared {
+    fn fault_stats(&self) -> MeshFaultStats {
+        MeshFaultStats {
+            send_errors: self.faults.send_errors.load(Ordering::Relaxed),
+            disconnects: self.faults.disconnects.load(Ordering::Relaxed),
+            rejected_frames: self.faults.rejected_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
 fn accept_loop(listener: TcpListener, inbox: Sender<Event>, shared: Arc<MeshShared>) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -186,14 +230,24 @@ fn accept_loop(listener: TcpListener, inbox: Sender<Event>, shared: Arc<MeshShar
         }
         let Ok(mut stream) = conn else { continue };
         let inbox = inbox.clone();
-        std::thread::Builder::new()
+        let reader_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
             .name("globe-reader".into())
             .spawn(move || {
-                // First frame identifies the peer.
+                // First frame identifies the peer; a connection that
+                // cannot even say hello is rejected, not crashed on.
                 let Ok(hello) = read_frame(&mut stream) else {
+                    reader_shared
+                        .faults
+                        .rejected_frames
+                        .fetch_add(1, Ordering::Relaxed);
                     return;
                 };
                 if hello.len() != 4 {
+                    reader_shared
+                        .faults
+                        .rejected_frames
+                        .fetch_add(1, Ordering::Relaxed);
                     return;
                 }
                 let from =
@@ -209,8 +263,21 @@ fn accept_loop(listener: TcpListener, inbox: Sender<Event>, shared: Arc<MeshShar
                         return;
                     }
                 }
-            })
-            .expect("failed to spawn reader thread");
+                // The peer hung up (or sent an oversized/garbled length):
+                // an observable disconnect, not a panic.
+                reader_shared
+                    .faults
+                    .disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+            });
+        if spawned.is_err() {
+            // Out of threads: drop the connection rather than crash the
+            // accept loop; the peer's sends surface as its own errors.
+            shared
+                .faults
+                .rejected_frames
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -304,24 +371,45 @@ fn send_via(
     to: NodeId,
     payload: &Bytes,
 ) -> Result<(), MeshError> {
+    let result = send_via_inner(shared, from, conns, to, payload);
+    if result.is_err() {
+        shared.faults.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+fn send_via_inner(
+    shared: &MeshShared,
+    from: NodeId,
+    conns: &Mutex<HashMap<NodeId, TcpStream>>,
+    to: NodeId,
+    payload: &Bytes,
+) -> Result<(), MeshError> {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err(MeshError::ShutDown);
     }
     let mut conns = conns.lock();
-    if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(to) {
-        let addr = *shared
-            .addrs
-            .read()
-            .get(&to)
-            .ok_or(MeshError::UnknownPeer(to))?;
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        write_frame(&mut stream, &from.raw().to_be_bytes())?;
-        e.insert(stream);
-    }
-    let stream = conns.get_mut(&to).expect("connection just inserted");
+    // Entry-based connect-or-reuse: the stream handle flows straight out
+    // of the entry, so there is no second lookup that could panic if the
+    // peer vanished between insert and use.
+    let stream = match conns.entry(to) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let addr = *shared
+                .addrs
+                .read()
+                .get(&to)
+                .ok_or(MeshError::UnknownPeer(to))?;
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            write_frame(&mut stream, &from.raw().to_be_bytes())?;
+            e.insert(stream)
+        }
+    };
     if let Err(e) = write_frame(stream, payload) {
-        // Drop the broken connection so a later send can re-establish it.
+        // Drop the broken connection so a later send can re-establish
+        // it. Counted once, as a send error by the caller wrapper (the
+        // peer's reader side accounts the disconnect itself).
         conns.remove(&to);
         return Err(MeshError::Io(e));
     }
@@ -462,6 +550,51 @@ mod tests {
             .send(NodeId::new(99), Bytes::from_static(b"x"))
             .unwrap_err();
         assert!(matches!(err, MeshError::UnknownPeer(_)));
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn send_failures_are_counted_not_fatal() {
+        let mesh = TcpMesh::new();
+        let a = mesh.add_node().unwrap();
+        assert_eq!(mesh.fault_stats().send_errors, 0);
+        // Unknown peer: an error result plus a counted fault.
+        let _ = a.sender().send(NodeId::new(99), Bytes::from_static(b"x"));
+        assert_eq!(mesh.fault_stats().send_errors, 1);
+        // After shutdown every send fails observably.
+        mesh.shutdown();
+        let _ = a.sender().send(NodeId::new(99), Bytes::from_static(b"y"));
+        assert_eq!(mesh.fault_stats().send_errors, 2);
+    }
+
+    #[test]
+    fn peer_disconnect_is_counted_and_survivable() {
+        let mesh = TcpMesh::new();
+        let a = mesh.add_node().unwrap();
+        let b = mesh.add_node().unwrap();
+        let bn = b.node();
+        // Establish a live connection a -> b.
+        a.sender().send(bn, Bytes::from_static(b"hello")).unwrap();
+        assert!(matches!(
+            b.recv_timeout(Duration::from_secs(5)),
+            Some(Event::Message { .. })
+        ));
+        // b goes away: its inbox (and reader ends) drop with it.
+        drop(b);
+        // The next sends hit the broken pipe eventually; the connection
+        // is dropped and the failure counted instead of panicking at
+        // "connection just inserted". (The OS may buffer a write or two
+        // before surfacing the broken pipe, so retry a few times.)
+        let mut failed = false;
+        for _ in 0..500 {
+            if a.sender().send(bn, Bytes::from_static(b"late")).is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(failed, "a send to a dead peer must eventually error");
+        assert!(mesh.fault_stats().send_errors >= 1);
         mesh.shutdown();
     }
 

@@ -145,6 +145,13 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*))));
+        }
+    }};
 }
 
 /// Uniformly chooses among several strategies with the same value type.
