@@ -133,6 +133,71 @@ fn run_failover_rounds<R: GlobeRuntime>(
     samples
 }
 
+/// Runs `rounds` *unattended* fail-over cycles against `rt`: partition
+/// the current home — no driver lifecycle call — and measure until the
+/// detector-triggered election yields a sequencer that accepts the
+/// client's next write (suspicion, confirmation, self-promotion, and
+/// session reroute all included in the window). The healed old home
+/// rejoins between rounds, so elections ping-pong between the two
+/// permanent stores.
+fn run_auto_failover_rounds<R: GlobeRuntime>(
+    rt: &mut R,
+    now: impl Fn(&mut R) -> Duration,
+    writes: usize,
+    rounds: usize,
+) -> Vec<Duration> {
+    let first = rt.add_node().expect("first permanent node");
+    let second = rt.add_node().expect("second permanent node");
+    let client_node = rt.add_node().expect("client node");
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/bench/auto-failover")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(rt)
+        .expect("create object");
+    let writer = rt
+        .bind(object, client_node, BindOptions::new().read_node(second))
+        .expect("bind writer");
+    rt.start(&[client_node]);
+
+    let mut home = first;
+    let mut samples = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let value = format!("round-{round}");
+        for i in 0..writes {
+            rt.handle(writer)
+                .write(registers::put(&format!("k{i}"), value.as_bytes()))
+                .expect("write");
+        }
+        // A read teaches the standby where the writer's session lives,
+        // so the takeover announcement can reroute it.
+        rt.handle(writer)
+            .read(registers::get("k0"))
+            .expect("warm the standby's serve path");
+        rt.settle(Duration::from_millis(200));
+
+        let begin = now(rt);
+        rt.partition_node(home, true).expect("isolate the home");
+        // First write accepted by the self-elected sequencer: the
+        // session's retransmission lands once the announcement arrives.
+        rt.handle(writer)
+            .write(registers::put("failover", value.as_bytes()))
+            .expect("write to the self-elected sequencer");
+        samples.push(now(rt).saturating_sub(begin));
+
+        rt.partition_node(home, false).expect("heal the partition");
+        rt.settle(Duration::from_millis(600));
+        home = if home == first { second } else { first };
+    }
+    rt.shutdown();
+    samples
+}
+
 fn wait_for<R: GlobeRuntime>(
     rt: &mut R,
     reader: globe_core::ClientHandle,
@@ -203,6 +268,25 @@ fn main() {
     let mut shard = GlobeShard::with_config(RuntimeConfig::new().seed(18));
     let shard_failover = run_failover_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
 
+    // Unattended fail-over: partition the sequencer (no driver call)
+    // and measure suspicion -> confirmation -> election -> first
+    // accepted write. An aggressive detector keeps the window tight.
+    let auto_config = RuntimeConfig::new()
+        .heartbeat_period(Duration::from_millis(100))
+        .suspect_after_misses(2)
+        .auto_failover(true)
+        .failover_confirm_periods(1);
+    let mut sim = GlobeSim::with_config(Topology::lan(), auto_config.seed(19));
+    let sim_auto = run_auto_failover_rounds(
+        &mut sim,
+        |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
+        writes,
+        rounds,
+    );
+    let epoch = Instant::now();
+    let mut shard = GlobeShard::with_config(auto_config.seed(19));
+    let shard_auto = run_auto_failover_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
+
     let mut table = Table::new(
         "Kill -> first consistent read / first accepted write",
         &["scenario", "backend", "clock", "mean", "min", "max"],
@@ -212,6 +296,8 @@ fn main() {
         ("mirror-recovery", "shard", "wall", &shard_samples),
         ("home-failover", "sim", "virtual", &sim_failover),
         ("home-failover", "shard", "wall", &shard_failover),
+        ("auto-failover", "sim", "virtual", &sim_auto),
+        ("auto-failover", "shard", "wall", &shard_auto),
     ] {
         table.row(vec![
             scenario.to_string(),
@@ -268,6 +354,20 @@ fn main() {
                         "mean_us",
                         Json::Num(mean(&shard_failover).as_secs_f64() * 1e6),
                     ),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("auto-failover")),
+                    ("backend", Json::str("sim")),
+                    ("unit", Json::str("virtual_us")),
+                    ("samples", sample_json(&sim_auto)),
+                    ("mean_us", Json::Num(mean(&sim_auto).as_secs_f64() * 1e6)),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("auto-failover")),
+                    ("backend", Json::str("shard")),
+                    ("unit", Json::str("wall_us")),
+                    ("samples", sample_json(&shard_auto)),
+                    ("mean_us", Json::Num(mean(&shard_auto).as_secs_f64() * 1e6)),
                 ]),
             ]),
         ),

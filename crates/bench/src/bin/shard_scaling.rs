@@ -26,14 +26,23 @@ struct Load {
     mirrors: usize,
 }
 
+/// Heartbeat period used to surface the detector's traffic shape in
+/// the emitted JSON: one ping stream per node pair *per lane*, however
+/// many objects the pair co-hosts (the node-level detector
+/// consolidation).
+const HEARTBEAT: Duration = Duration::from_millis(200);
+
 /// Builds a runtime with `shards` lanes, then drives
 /// `objects * writes_per_object` asynchronous writes followed by one
 /// read-back per object; returns the wall-clock time of the driven
-/// phase.
-fn measure(shards: usize, load: &Load) -> Duration {
+/// phase plus the number of heartbeat pings the detector sent.
+fn measure(shards: usize, load: &Load) -> (Duration, u64) {
     let (objects, writes_per_object, mirrors) =
         (load.objects, load.writes_per_object, load.mirrors);
-    let mut rt = GlobeShard::with_shards(shards, RuntimeConfig::new().seed(7));
+    let mut rt = GlobeShard::with_shards(
+        shards,
+        RuntimeConfig::new().seed(7).heartbeat_period(HEARTBEAT),
+    );
     let server = rt.add_node().expect("server node");
     let mirrors: Vec<_> = (0..mirrors)
         .map(|_| rt.add_node().expect("mirror node"))
@@ -98,8 +107,20 @@ fn measure(shards: usize, load: &Load) -> Duration {
         );
     }
     let elapsed = begin.elapsed();
+    // Outside the timed window: let a couple of heartbeat rounds fire
+    // so the emitted ping count reflects the detector's steady state.
+    rt.settle(HEARTBEAT * 2 + Duration::from_millis(50));
+    let pings = {
+        let metrics = rt.metrics();
+        let metrics = metrics.lock();
+        metrics
+            .traffic
+            .get("NodePing")
+            .map(|k| k.count)
+            .unwrap_or(0)
+    };
     rt.shutdown();
-    elapsed
+    (elapsed, pings)
 }
 
 fn main() {
@@ -130,12 +151,12 @@ fn main() {
     );
     let mut table = Table::new(
         "Batch wall-clock by shard count",
-        &["shards", "elapsed", "ops/s", "speedup vs 1"],
+        &["shards", "elapsed", "ops/s", "speedup vs 1", "hb pings"],
     );
     let mut baseline: Option<Duration> = None;
     let mut results = Vec::new();
     for shards in [1usize, 2, 4, 8] {
-        let elapsed = measure(shards, &load);
+        let (elapsed, pings) = measure(shards, &load);
         let ops = (load.objects * (load.writes_per_object + 1)) as f64;
         let ops_per_s = ops / elapsed.as_secs_f64().max(f64::EPSILON);
         let speedup = match baseline {
@@ -145,17 +166,29 @@ fn main() {
             }
             Some(base) => base.as_secs_f64() / elapsed.as_secs_f64().max(f64::EPSILON),
         };
+        // The node-level detector sends one ping stream per node pair
+        // per lane: at most `shards * 2 * mirrors` frames per heartbeat
+        // period, independent of the object count. The per-object
+        // design this replaced would have sent `objects * mirrors`.
+        let streams_bound = (shards * 2 * load.mirrors) as i64;
         table.row(vec![
             shards.to_string(),
             fmt_duration(elapsed),
             fmt_f64(ops_per_s),
             fmt_f64(speedup),
+            pings.to_string(),
         ]);
         results.push(Json::obj([
             ("shards", Json::Int(shards as i64)),
             ("elapsed_s", Json::Num(elapsed.as_secs_f64())),
             ("ops_per_s", Json::Num(ops_per_s)),
             ("speedup_vs_1", Json::Num(speedup)),
+            ("heartbeat_pings", Json::Int(pings as i64)),
+            ("heartbeat_streams_bound", Json::Int(streams_bound)),
+            (
+                "heartbeat_per_object_would_be",
+                Json::Int((load.objects * load.mirrors) as i64),
+            ),
         ]));
     }
     println!("{table}");
@@ -163,6 +196,10 @@ fn main() {
     let doc = Json::obj([
         ("bench", Json::str("shard_scaling")),
         ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        (
+            "heartbeat_period_ms",
+            Json::Int(HEARTBEAT.as_millis() as i64),
+        ),
         ("objects", Json::Int(load.objects as i64)),
         (
             "writes_per_object",

@@ -96,6 +96,19 @@ pub struct RuntimeConfig {
     /// failures faster at the cost of false suspicion under jitter;
     /// values below 1 are treated as 1.
     pub suspect_after_misses: u32,
+    /// Unattended fail-over: when the node-level failure detector keeps
+    /// the current home suspect past
+    /// [`RuntimeConfig::failover_confirm_periods`] additional heartbeat
+    /// periods, the surviving permanent stores run the election and the
+    /// winner self-promotes — no `remove_store`/`restart_store` call.
+    /// Requires the detector ([`RuntimeConfig::heartbeat_period`]).
+    pub auto_failover: bool,
+    /// Additional heartbeat periods a suspect home must stay silent
+    /// before unattended fail-over confirms it down and elects (default
+    /// [`crate::lifecycle::CONFIRM_PERIODS`]). The window bounds the
+    /// client-visible outage and gives a flapping home time to answer
+    /// before the sequencer moves.
+    pub failover_confirm_periods: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +118,8 @@ impl Default for RuntimeConfig {
             call_timeout: None,
             heartbeat: None,
             suspect_after_misses: crate::lifecycle::SUSPECT_AFTER_MISSES,
+            auto_failover: false,
+            failover_confirm_periods: crate::lifecycle::CONFIRM_PERIODS,
         }
     }
 }
@@ -143,11 +158,29 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables (or disables) unattended fail-over: a home the detector
+    /// confirms down is replaced by an elected survivor without any
+    /// driver lifecycle call. Only meaningful with
+    /// [`RuntimeConfig::heartbeat_period`] set.
+    pub fn auto_failover(mut self, enabled: bool) -> Self {
+        self.auto_failover = enabled;
+        self
+    }
+
+    /// Sets how many *additional* heartbeat periods a suspect home must
+    /// stay silent before unattended fail-over elects a successor.
+    pub fn failover_confirm_periods(mut self, periods: u32) -> Self {
+        self.failover_confirm_periods = periods;
+        self
+    }
+
     /// The failure-detector tuning implied by this configuration.
     pub(crate) fn detector(&self) -> crate::lifecycle::DetectorConfig {
         crate::lifecycle::DetectorConfig {
             period: self.heartbeat,
             suspect_after: self.suspect_after_misses.max(1),
+            auto_failover: self.auto_failover,
+            confirm_after: self.failover_confirm_periods,
         }
     }
 }
@@ -546,6 +579,22 @@ pub trait GlobeRuntime {
         node: NodeId,
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError>;
+
+    /// Fault injection: isolates (`true`) or heals (`false`) the node's
+    /// address space. While isolated, every inbound message is dropped
+    /// and every outbound send is muted — a symmetric partition of one
+    /// node, uniform across backends — but local timers keep firing, so
+    /// the node's protocol machinery survives and can rejoin when
+    /// healed. With the failure detector and
+    /// [`RuntimeConfig::auto_failover`] enabled, isolating an object's
+    /// home is exactly the unattended fail-over drill: the survivors
+    /// elect a new sequencer with no lifecycle call, and healing lets
+    /// the deposed home rejoin as an ordinary replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the node is unknown.
+    fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError>;
 
     /// A snapshot of the object's replica membership: every current
     /// store, its class, and the home store's failure-detector verdict

@@ -30,6 +30,12 @@ pub struct ControlObject {
     sessions: HashMap<ClientId, Session>,
     req_owner: HashMap<RequestId, ClientId>,
     session_retry_armed: bool,
+    /// The strongest takeover claim this control object has applied to
+    /// its sessions, as `(epoch, winning store id)`: a late or replayed
+    /// announcement from an older election — or a same-epoch claim by a
+    /// higher store id, the conflict the store layer resolves the same
+    /// way — must not reroute sessions to a deposed sequencer.
+    handoff_claim: Option<(u64, globe_coherence::StoreId)>,
 }
 
 impl ControlObject {
@@ -41,6 +47,7 @@ impl ControlObject {
             sessions: HashMap::new(),
             req_owner: HashMap::new(),
             session_retry_armed: false,
+            handoff_claim: None,
         }
     }
 
@@ -52,6 +59,7 @@ impl ControlObject {
             sessions: HashMap::new(),
             req_owner: HashMap::new(),
             session_retry_armed: false,
+            handoff_claim: None,
         }
     }
 
@@ -260,9 +268,9 @@ impl ControlObject {
                     store.set_policy(policy, ctx);
                 }
             }
-            CoherenceMsg::JoinRequest { node, class } => {
-                if let Some(store) = self.store.as_mut() {
-                    store.handle_join(node, class, ctx);
+            CoherenceMsg::JoinRequest { node, store, class } => {
+                if let Some(replica) = self.store.as_mut() {
+                    replica.handle_join(node, store, class, ctx);
                 }
             }
             CoherenceMsg::StateTransfer {
@@ -271,9 +279,12 @@ impl ControlObject {
                 writers,
                 order_high,
                 log,
+                peers,
             } => {
                 if let Some(store) = self.store.as_mut() {
-                    store.handle_state_transfer(version, state, writers, order_high, log, ctx);
+                    store.handle_state_transfer(
+                        version, state, writers, order_high, log, peers, ctx,
+                    );
                 }
             }
             CoherenceMsg::Leave { node } => {
@@ -281,23 +292,25 @@ impl ControlObject {
                     store.handle_leave(node, ctx);
                 }
             }
-            CoherenceMsg::Ping { seq } => {
+            CoherenceMsg::Membership { peers } => {
                 if let Some(store) = self.store.as_mut() {
-                    store.handle_ping(from, seq, ctx);
+                    store.handle_membership(from, peers, ctx);
                 }
             }
-            CoherenceMsg::Pong { seq } => {
+            // Node-scoped heartbeats are handled by the address space's
+            // node-level detector; one that somehow arrives under an
+            // object envelope is dropped like any other stray frame.
+            CoherenceMsg::NodePing { .. } | CoherenceMsg::NodePong { .. } => {}
+            CoherenceMsg::ElectRequest { peers, epoch } => {
                 if let Some(store) = self.store.as_mut() {
-                    store.handle_pong(from, seq, ctx);
-                }
-            }
-            CoherenceMsg::ElectRequest { peers } => {
-                if let Some(store) = self.store.as_mut() {
-                    store.handle_elect(peers, ctx);
+                    store.handle_elect(peers, epoch, ctx);
                 }
             }
             CoherenceMsg::SequencerHandoff {
+                old_home,
                 new_home,
+                new_home_store,
+                epoch,
                 version,
                 state,
                 writers,
@@ -307,10 +320,74 @@ impl ControlObject {
             } => {
                 if let Some(store) = self.store.as_mut() {
                     store.handle_sequencer_handoff(
-                        new_home, version, state, writers, order_high, log, peers, ctx,
+                        old_home,
+                        new_home,
+                        new_home_store,
+                        epoch,
+                        version,
+                        state,
+                        writers,
+                        order_high,
+                        log,
+                        peers,
+                        ctx,
                     );
                 }
+                // Sessions reroute on the same (unsolicited) takeover
+                // announcement, whether or not a store lives here: the
+                // new sequencer — or a deposed ex-home relaying on its
+                // clients' behalf — names the node writes must leave.
+                // The claim guard rejects stale announcements (older
+                // epoch, or a same-epoch claim by a higher store id —
+                // the conflict the store layer resolves identically),
+                // so a detector flap cannot bounce sessions back to a
+                // deposed sequencer.
+                let claim = (epoch, new_home_store);
+                let wins = match self.handoff_claim {
+                    None => true,
+                    Some((e, s)) => epoch > e || (epoch == e && new_home_store <= s),
+                };
+                if wins {
+                    self.handoff_claim = Some(claim);
+                    self.reroute_sessions(old_home, new_home, new_home_store, false);
+                }
             }
+        }
+    }
+
+    /// Adds this object's failure-detection interest (see
+    /// [`StoreReplica::heartbeat_targets`]) to the space-wide set.
+    pub fn heartbeat_targets(&self, out: &mut std::collections::BTreeSet<globe_net::NodeId>) {
+        if let Some(store) = self.store.as_ref() {
+            store.heartbeat_targets(out);
+        }
+    }
+
+    /// Fan-in from the node-level detector: `node` went suspect.
+    pub fn on_node_suspect(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        if let Some(store) = self.store.as_mut() {
+            store.on_node_suspect(node, ctx);
+        }
+    }
+
+    /// Fan-in from the node-level detector: `node` answered again.
+    pub fn on_node_recovered(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        if let Some(store) = self.store.as_mut() {
+            store.on_node_recovered(node, ctx);
+        }
+    }
+
+    /// Fan-in from the node-level detector: `node` is confirmed down;
+    /// with unattended fail-over enabled, a hosted replica whose home
+    /// died may self-elect.
+    pub fn on_node_down(
+        &mut self,
+        node: NodeId,
+        alive: &dyn Fn(NodeId) -> bool,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if let Some(store) = self.store.as_mut() {
+            store.on_node_down(node, alive, ctx);
         }
     }
 

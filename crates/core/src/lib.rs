@@ -94,7 +94,7 @@ pub use error::{CallError, PolicyError, SemanticsError};
 pub use ids::{MethodId, RequestId};
 pub use invocation::{InvocationMessage, MethodKind};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, MemberInfo, MembershipView, StoreHealth};
-pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg};
+pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg, WireMember};
 pub use metrics::{
     shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory, SharedMetrics,
 };

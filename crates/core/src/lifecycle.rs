@@ -15,6 +15,7 @@
 //! workload can audit when a replica joined, left, went suspect, or
 //! came back.
 
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::Duration;
 
@@ -28,13 +29,21 @@ use globe_net::{NodeId, SimTime};
 /// aggressive detection, WAN deployments want slack against jitter.
 pub const SUSPECT_AFTER_MISSES: u32 = 3;
 
+/// Default number of *additional* heartbeat periods a store must stay
+/// suspect before unattended fail-over treats it as down and runs the
+/// election. Tunable via
+/// [`crate::RuntimeConfig::failover_confirm_periods`]; the window gives
+/// a flapping store time to answer again before a sequencer moves.
+pub const CONFIRM_PERIODS: u32 = 2;
+
 /// Default heartbeat period used by
 /// [`crate::RuntimeConfig::heartbeat_period`] when callers enable the
 /// detector without choosing a period.
 pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
 
 /// The failure detector's tuning, threaded from
-/// [`crate::RuntimeConfig`] into every store replica.
+/// [`crate::RuntimeConfig`] into every store replica and every node's
+/// [`NodeDetector`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Heartbeat period; `None` disables the detector.
@@ -42,6 +51,13 @@ pub struct DetectorConfig {
     /// Consecutive missed periods before a peer is suspected (at
     /// least 1; lower is more aggressive).
     pub suspect_after: u32,
+    /// Whether a confirmed-down *home* store triggers an unattended
+    /// election (the winner self-promotes without any driver call).
+    pub auto_failover: bool,
+    /// Additional periods a store must stay suspect before the detector
+    /// confirms it down and (with `auto_failover`) triggers the
+    /// election.
+    pub confirm_after: u32,
 }
 
 impl DetectorConfig {
@@ -50,6 +66,8 @@ impl DetectorConfig {
         DetectorConfig {
             period: None,
             suspect_after: SUSPECT_AFTER_MISSES,
+            auto_failover: false,
+            confirm_after: CONFIRM_PERIODS,
         }
     }
 
@@ -62,6 +80,152 @@ impl DetectorConfig {
 impl Default for DetectorConfig {
     fn default() -> Self {
         DetectorConfig::disabled()
+    }
+}
+
+/// What one failure-detector round decided, for the address space to
+/// act on: whom to ping, and which health transitions to fan out to the
+/// local objects.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct DetectorRound {
+    /// Every monitored node, pinged once this round (one stream per
+    /// node pair, however many objects the pair shares).
+    pub ping: Vec<NodeId>,
+    /// Nodes that crossed the suspicion threshold this round.
+    pub newly_suspect: Vec<NodeId>,
+    /// Suspect nodes that stayed silent for the additional confirmation
+    /// periods: with auto-fail-over on, their objects elect now.
+    pub confirmed_down: Vec<NodeId>,
+}
+
+/// The node-level failure detector: one per address space, shared by
+/// every object homed or replicated there.
+///
+/// PR 3/4 ran one detector per *object* (each home store heartbeated
+/// its own peers), so co-homed objects multiplied heartbeat traffic:
+/// O(objects × peers) pings per round. This detector consolidates them:
+/// the address space collects each local store's monitoring interest
+/// (a home store watches its peer nodes, a replica watches its home
+/// node), dedupes it into a set of *nodes*, and runs one
+/// [`CoherenceMsg::NodePing`](crate::CoherenceMsg::NodePing) /
+/// [`CoherenceMsg::NodePong`](crate::CoherenceMsg::NodePong) stream per
+/// pair — O(peers) per round — fanning each verdict out to every local
+/// object that cares. Any node-scoped frame from a peer counts as proof
+/// of life, pings included, so a one-way partition still clears
+/// suspicion in both directions when it heals.
+///
+/// All staleness arithmetic goes through
+/// [`SimTime::saturating_since`]: a late or reordered event can hand
+/// the detector a timestamp past "now", and that must degrade to a zero
+/// age, never abort the runtime.
+#[derive(Debug)]
+pub struct NodeDetector {
+    config: DetectorConfig,
+    hb_seq: u64,
+    last_heard: HashMap<NodeId, SimTime>,
+    /// Rounds each suspect has stayed silent past the suspicion
+    /// threshold.
+    suspects: HashMap<NodeId, u32>,
+    /// Suspects already fanned out as confirmed down (one election
+    /// trigger per outage, not one per round).
+    confirmed: BTreeSet<NodeId>,
+}
+
+impl NodeDetector {
+    /// A detector with the given tuning (inert until the owning space
+    /// arms its heartbeat timer).
+    pub fn new(config: DetectorConfig) -> Self {
+        NodeDetector {
+            config,
+            hb_seq: 0,
+            last_heard: HashMap::new(),
+            suspects: HashMap::new(),
+            confirmed: BTreeSet::new(),
+        }
+    }
+
+    /// The detector's tuning.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The next heartbeat sequence number (monotonic per node).
+    pub fn next_seq(&mut self) -> u64 {
+        self.hb_seq += 1;
+        self.hb_seq
+    }
+
+    /// Records proof of life from `node` (a pong, or any node-scoped
+    /// frame it sent). Returns `true` when this clears an active
+    /// suspicion — the caller then fans the recovery out to the local
+    /// objects.
+    pub fn observe(&mut self, node: NodeId, now: SimTime) -> bool {
+        self.last_heard.insert(node, now);
+        self.confirmed.remove(&node);
+        self.suspects.remove(&node).is_some()
+    }
+
+    /// One detector round over the currently monitored nodes: advance
+    /// suspicion/confirmation state and decide whom to ping. Nodes no
+    /// longer monitored are forgotten.
+    pub fn round(&mut self, monitored: &BTreeSet<NodeId>, now: SimTime) -> DetectorRound {
+        let Some(period) = self.config.period else {
+            return DetectorRound::default();
+        };
+        self.last_heard.retain(|node, _| monitored.contains(node));
+        self.suspects.retain(|node, _| monitored.contains(node));
+        self.confirmed.retain(|node| monitored.contains(node));
+        let grace = self.config.grace(period);
+        let mut outcome = DetectorRound::default();
+        for &node in monitored {
+            match self.last_heard.get(&node) {
+                // First round for this node: baseline, do not suspect.
+                None => {
+                    self.last_heard.insert(node, now);
+                }
+                Some(&heard) => {
+                    // `saturating_since`, never `-`: `heard` may be a
+                    // timestamp a reordered or late event recorded past
+                    // this round's `now`.
+                    if now.saturating_since(heard) > grace {
+                        match self.suspects.get_mut(&node) {
+                            None => {
+                                self.suspects.insert(node, 0);
+                                outcome.newly_suspect.push(node);
+                                if self.config.confirm_after == 0 && self.confirmed.insert(node) {
+                                    outcome.confirmed_down.push(node);
+                                }
+                            }
+                            Some(rounds) => {
+                                *rounds += 1;
+                                if *rounds >= self.config.confirm_after
+                                    && self.confirmed.insert(node)
+                                {
+                                    outcome.confirmed_down.push(node);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome.ping = monitored.iter().copied().collect();
+        outcome
+    }
+
+    /// The detector's current opinion of `node`.
+    pub fn health(&self, node: NodeId) -> StoreHealth {
+        if self.suspects.contains_key(&node) {
+            StoreHealth::Suspect
+        } else {
+            StoreHealth::Alive
+        }
+    }
+
+    /// When `node` last proved it was alive (`None` before the first
+    /// baseline round).
+    pub fn last_heard(&self, node: NodeId) -> Option<SimTime> {
+        self.last_heard.get(&node).copied()
     }
 }
 
@@ -229,6 +393,87 @@ mod tests {
             view.member(NodeId::new(1)).unwrap().health,
             StoreHealth::Suspect
         );
+    }
+
+    fn detector(suspect_after: u32, confirm_after: u32) -> NodeDetector {
+        NodeDetector::new(DetectorConfig {
+            period: Some(Duration::from_millis(100)),
+            suspect_after,
+            auto_failover: true,
+            confirm_after,
+        })
+    }
+
+    #[test]
+    fn detector_suspects_then_confirms_after_the_window() {
+        let mut d = detector(2, 2);
+        let peer = NodeId::new(1);
+        let monitored: BTreeSet<NodeId> = [peer].into_iter().collect();
+        // Round 1 baselines; silence then crosses suspicion at +300ms
+        // (grace = 2 × 100ms), confirmation two rounds later.
+        let r = d.round(&monitored, SimTime::from_millis(0));
+        assert!(r.newly_suspect.is_empty());
+        let r = d.round(&monitored, SimTime::from_millis(400));
+        assert_eq!(r.newly_suspect, vec![peer]);
+        assert!(r.confirmed_down.is_empty());
+        assert_eq!(d.health(peer), StoreHealth::Suspect);
+        let r = d.round(&monitored, SimTime::from_millis(500));
+        assert!(r.confirmed_down.is_empty());
+        let r = d.round(&monitored, SimTime::from_millis(600));
+        assert_eq!(r.confirmed_down, vec![peer]);
+        // Confirmation fires once per outage, not once per round.
+        let r = d.round(&monitored, SimTime::from_millis(700));
+        assert!(r.confirmed_down.is_empty());
+    }
+
+    #[test]
+    fn detector_flap_resets_the_confirmation_window() {
+        let mut d = detector(2, 2);
+        let peer = NodeId::new(1);
+        let monitored: BTreeSet<NodeId> = [peer].into_iter().collect();
+        d.round(&monitored, SimTime::from_millis(0));
+        let r = d.round(&monitored, SimTime::from_millis(400));
+        assert_eq!(r.newly_suspect, vec![peer]);
+        // The peer answers inside the confirmation window: suspicion
+        // clears, and the next silence starts the whole ladder over.
+        assert!(d.observe(peer, SimTime::from_millis(450)));
+        assert_eq!(d.health(peer), StoreHealth::Alive);
+        let r = d.round(&monitored, SimTime::from_millis(500));
+        assert!(r.newly_suspect.is_empty() && r.confirmed_down.is_empty());
+        let r = d.round(&monitored, SimTime::from_millis(800));
+        assert_eq!(r.newly_suspect, vec![peer]);
+        assert!(r.confirmed_down.is_empty(), "confirmation must restart");
+    }
+
+    #[test]
+    fn stale_timestamp_never_panics_the_detector() {
+        // Regression for the SimTime-subtraction audit: a reordered or
+        // late event can record a proof-of-life timestamp *past* the
+        // round's `now`; staleness arithmetic must degrade to zero age
+        // — the node stays alive — instead of aborting the runtime.
+        let mut d = detector(1, 0);
+        let peer = NodeId::new(1);
+        let monitored: BTreeSet<NodeId> = [peer].into_iter().collect();
+        d.observe(peer, SimTime::from_secs(10));
+        let r = d.round(&monitored, SimTime::from_millis(1));
+        assert!(r.newly_suspect.is_empty());
+        assert_eq!(d.health(peer), StoreHealth::Alive);
+    }
+
+    #[test]
+    fn forgotten_nodes_are_dropped_from_detector_state() {
+        let mut d = detector(1, 0);
+        let peer = NodeId::new(1);
+        let monitored: BTreeSet<NodeId> = [peer].into_iter().collect();
+        d.round(&monitored, SimTime::from_millis(0));
+        let r = d.round(&monitored, SimTime::from_millis(500));
+        assert_eq!(r.newly_suspect, vec![peer]);
+        // The last object watching the peer leaves: state evaporates.
+        let none = BTreeSet::new();
+        let r = d.round(&none, SimTime::from_millis(600));
+        assert!(r.ping.is_empty());
+        assert_eq!(d.health(peer), StoreHealth::Alive);
+        assert_eq!(d.last_heard(peer), None);
     }
 
     #[test]

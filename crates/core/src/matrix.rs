@@ -531,6 +531,145 @@ pub mod fault {
         }
     }
 
+    /// The unattended fail-over drill: partition the home (sequencer)
+    /// store mid-workload — **no** `remove_store`/`restart_store` call —
+    /// and require that the node-level failure detector confirms it
+    /// down, the surviving permanent store self-elects and accepts
+    /// writes, client sessions reroute on the unsolicited takeover
+    /// announcement, the deposed home rejoins as an ordinary replica
+    /// when the partition heals, and every store's recorded history is
+    /// a prefix-consistent continuation.
+    ///
+    /// Requires a [`crate::RuntimeConfig`] with a heartbeat period and
+    /// `auto_failover(true)`; keep the period short (tens of
+    /// milliseconds) so detection fits a test budget on the wall-clock
+    /// backends.
+    pub struct AutoFailover;
+
+    impl Scenario for AutoFailover {
+        fn name(&self) -> &'static str {
+            "fault-auto-failover"
+        }
+
+        fn run<R: GlobeRuntime>(
+            &self,
+            rt: &mut R,
+        ) -> Result<Observations, Box<dyn std::error::Error>> {
+            let home = rt.add_node()?;
+            let standby = rt.add_node()?;
+            let mirror = rt.add_node()?;
+            let writer_node = rt.add_node()?;
+            let reader_node = rt.add_node()?;
+
+            let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()?;
+            let object = ObjectSpec::new("/fault/auto-failover")
+                .policy(policy)
+                .semantics(RegisterDoc::new)
+                .store(home, StoreClass::Permanent)
+                .store(standby, StoreClass::Permanent)
+                .store(mirror, StoreClass::ObjectInitiated)
+                .create(rt)?;
+            // The writer reads through the standby: its reads teach the
+            // future sequencer where the writer's sessions live, so the
+            // takeover announcement reaches them.
+            let writer = rt.bind(object, writer_node, BindOptions::new().read_node(standby))?;
+            let reader = rt.bind(object, reader_node, BindOptions::new().read_node(mirror))?;
+            rt.start(&[writer_node, reader_node]);
+
+            for i in 0..5 {
+                rt.handle(writer).write(registers::put(
+                    &format!("k{i}"),
+                    format!("pre-{i}").as_bytes(),
+                ))?;
+            }
+            let mut obs = Observations::new();
+            let seen = converge(rt, reader, "k4", b"pre-4")?;
+            assert_eq!(&seen[..], b"pre-4", "mirror must converge before the fault");
+            obs.record("pre-fail", &seen);
+            let warm = converge(rt, writer, "k4", b"pre-4")?;
+            assert_eq!(&warm[..], b"pre-4", "writer reads through the standby");
+            let pre = HomeFailover::applies_by_store(rt);
+
+            // Partition the home. Nobody calls a lifecycle operation:
+            // the detector must confirm the silence and the standby
+            // must elect itself.
+            rt.partition_node(home, true)?;
+            let mut elected = false;
+            for _ in 0..200 {
+                let view = rt.membership(object)?;
+                if view.members[0].is_home && view.members[0].node == standby {
+                    elected = true;
+                    break;
+                }
+                rt.settle(Duration::from_millis(50));
+            }
+            assert!(
+                elected,
+                "the surviving permanent store must self-elect with no driver call"
+            );
+            obs.record(
+                "elected-home",
+                rt.membership(object)?.members[0].node.to_string(),
+            );
+
+            // The elected sequencer accepts writes: the writer's session
+            // was rerouted by the takeover announcement (its pending
+            // retransmissions land on the standby), no rebind needed.
+            rt.handle(writer)
+                .write(registers::put("k5", b"post-auto"))?;
+            let k5 = converge(rt, reader, "k5", b"post-auto")?;
+            assert_eq!(
+                &k5[..],
+                b"post-auto",
+                "the self-elected sequencer must accept and propagate writes"
+            );
+            obs.record("post-auto-failover", &k5);
+
+            // Heal the partition: the deposed home hears the takeover
+            // re-announcement, steps down, and converges on the elected
+            // sequencer's log as an ordinary replica.
+            rt.partition_node(home, false)?;
+            let via_old_home = rt.bind(object, reader_node, BindOptions::new().read_node(home))?;
+            let old0 = converge(rt, via_old_home, "k0", b"pre-0")?;
+            assert_eq!(
+                &old0[..],
+                b"pre-0",
+                "the rejoined old home must keep its pre-partition state"
+            );
+            let old5 = converge(rt, via_old_home, "k5", b"post-auto")?;
+            assert_eq!(
+                &old5[..],
+                b"post-auto",
+                "the rejoined old home must converge on the elected sequencer's log"
+            );
+            obs.record("old-home-rejoined", &old5);
+
+            let view = rt.membership(object)?;
+            assert!(view.members[0].is_home);
+            assert_eq!(
+                view.members[0].node, standby,
+                "healing must not move the sequencer back"
+            );
+            obs.record("final-home", view.members[0].node.to_string());
+            obs.record("final-members", view.members.len().to_string());
+
+            // Every replica's recorded history is a prefix-consistent
+            // continuation of its pre-partition history, and the whole
+            // run still satisfies the object's coherence model.
+            let post = HomeFailover::applies_by_store(rt);
+            HomeFailover::assert_prefix_consistent(&pre, &post);
+            let history = rt.history();
+            let history = history.lock();
+            globe_coherence::check::check_fifo(&history)?;
+            drop(history);
+
+            rt.shutdown();
+            Ok(obs)
+        }
+    }
+
     /// Add a mirror to a live object, read through it, then remove it
     /// gracefully while the workload continues.
     pub struct MirrorChurn;

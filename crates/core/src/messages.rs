@@ -6,12 +6,17 @@
 //! objects move these around without interpreting them (§2).
 
 use bytes::{Buf, BufMut, Bytes};
-use globe_coherence::{ClientId, PageKey, StoreClass, VersionVector, WriteId};
+use globe_coherence::{ClientId, PageKey, StoreClass, StoreId, VersionVector, WriteId};
 use globe_naming::ObjectId;
 use globe_net::NodeId;
 use globe_wire::{WireDecode, WireEncode, WireError};
 
 use crate::{InvocationMessage, ReplicationPolicy, RequestId};
+
+/// One replica in a wire-carried membership list: the hosting node, the
+/// replica's store id (the election key), and its store class (the
+/// eligibility criterion — only permanent stores can be elected home).
+pub type WireMember = (NodeId, StoreId, StoreClass);
 
 /// One write travelling through the system: the marshalled invocation
 /// plus the coherence metadata every store needs to order it.
@@ -229,6 +234,9 @@ pub enum CoherenceMsg {
     JoinRequest {
         /// The node hosting the joining replica (the reply target).
         node: NodeId,
+        /// The joining replica's store id, so the home can record a
+        /// complete membership entry (elections key on store ids).
+        store: StoreId,
         /// The joining replica's store class.
         class: StoreClass,
     },
@@ -249,6 +257,10 @@ pub enum CoherenceMsg {
         /// The coherence write log, so the recovered replica carries the
         /// object's full history rather than a bare snapshot.
         log: Vec<LoggedWrite>,
+        /// The object's full replica membership (sender and receiver
+        /// included), so the joining replica can run a future
+        /// unattended election from its own copy of the view.
+        peers: Vec<WireMember>,
     },
     /// Departing replica (or control endpoint) → home store: the named
     /// node's replica is leaving; stop propagating and heartbeating
@@ -257,36 +269,57 @@ pub enum CoherenceMsg {
         /// The node whose replica is being removed.
         node: NodeId,
     },
-    /// Home store → replica: failure-detector heartbeat.
-    Ping {
+    /// Node → node: node-level failure-detector heartbeat. Unlike every
+    /// other variant these are *node-scoped*: they travel under the
+    /// reserved node-scope envelope id, one stream per node pair, and
+    /// are answered by the receiving address space's [`crate::lifecycle::NodeDetector`]
+    /// — not by any object's store.
+    NodePing {
         /// Monotonic heartbeat round, echoed by the matching
-        /// [`CoherenceMsg::Pong`].
+        /// [`CoherenceMsg::NodePong`].
         seq: u64,
     },
-    /// Replica → home store: heartbeat acknowledgement.
-    Pong {
+    /// Node → node: node-level heartbeat acknowledgement (node-scoped,
+    /// like [`CoherenceMsg::NodePing`]).
+    NodePong {
         /// The round being acknowledged.
         seq: u64,
     },
     /// Control plane → elected store: the home store died; you are the
     /// deterministically elected successor (lowest-id surviving
     /// permanent store). Promote yourself to sequencer from your own
-    /// replica of the write log and announce the takeover to `peers`
-    /// with a [`CoherenceMsg::SequencerHandoff`].
+    /// replica of the write log and announce the takeover with a
+    /// [`CoherenceMsg::SequencerHandoff`].
     ElectRequest {
-        /// Every other surviving replica (and any replica rejoining in
-        /// the same operation), which the new home must adopt as peers.
-        peers: Vec<(NodeId, StoreClass)>,
+        /// The object's full replica membership (failed home included —
+        /// it rejoins as an ordinary replica).
+        peers: Vec<WireMember>,
+        /// The election epoch: each sequencer move increments it, and
+        /// stale elections/announcements are rejected, so a detector
+        /// flap cannot yield two accepting sequencers for one epoch.
+        epoch: u64,
     },
     /// The sequencer moved. Sent (a) by a gracefully retiring home store
     /// to the elected successor, carrying the authoritative coherence
-    /// write log and version vector, and (b) by the freshly promoted
-    /// home to every peer as the takeover announcement (peers install
-    /// the state like a lifecycle transfer and reroute demands/pulls to
-    /// `new_home`).
+    /// write log and version vector, and (b) by the promoted home to
+    /// every peer *and every known client node* as the takeover
+    /// announcement: peer stores install the state like a lifecycle
+    /// transfer and reroute demands/pulls to `new_home`; client
+    /// sessions reroute their pending and future writes.
     SequencerHandoff {
+        /// The node the sequencer moved away from (sessions bound to it
+        /// for writes reroute to `new_home`).
+        old_home: NodeId,
         /// The node of the newly elected home store.
         new_home: NodeId,
+        /// The elected store's id: the election key (lowest id wins
+        /// equal-epoch conflicts) and the rerouted sessions' new write
+        /// store.
+        new_home_store: StoreId,
+        /// The election epoch this takeover belongs to; receivers
+        /// reject stale announcements (see
+        /// [`CoherenceMsg::ElectRequest`]).
+        epoch: u64,
         /// The sender's applied vector.
         version: VersionVector,
         /// Snapshot of the semantics object.
@@ -298,9 +331,17 @@ pub enum CoherenceMsg {
         order_high: Option<u64>,
         /// The coherence write log — the object's authoritative history.
         log: Vec<LoggedWrite>,
-        /// The new home's peer set (only meaningful on the old-home →
-        /// successor leg; empty on the announcement leg).
-        peers: Vec<(NodeId, StoreClass)>,
+        /// The object's full replica membership; each receiver derives
+        /// its own peer set by dropping itself.
+        peers: Vec<WireMember>,
+    },
+    /// Home store → replicas: the object's membership changed (a
+    /// replica joined or left). Every replica keeps a full copy of the
+    /// membership so it can run the unattended election locally; this
+    /// frame keeps those copies current without shipping state.
+    Membership {
+        /// The object's full replica membership (sender included).
+        peers: Vec<WireMember>,
     },
 }
 
@@ -322,10 +363,11 @@ impl CoherenceMsg {
             CoherenceMsg::JoinRequest { .. } => "JoinRequest",
             CoherenceMsg::StateTransfer { .. } => "StateTransfer",
             CoherenceMsg::Leave { .. } => "Leave",
-            CoherenceMsg::Ping { .. } => "Ping",
-            CoherenceMsg::Pong { .. } => "Pong",
+            CoherenceMsg::NodePing { .. } => "NodePing",
+            CoherenceMsg::NodePong { .. } => "NodePong",
             CoherenceMsg::ElectRequest { .. } => "ElectRequest",
             CoherenceMsg::SequencerHandoff { .. } => "SequencerHandoff",
+            CoherenceMsg::Membership { .. } => "Membership",
         }
     }
 }
@@ -409,9 +451,10 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(10);
                 policy.encode(buf);
             }
-            CoherenceMsg::JoinRequest { node, class } => {
+            CoherenceMsg::JoinRequest { node, store, class } => {
                 buf.put_u8(11);
                 node.encode(buf);
+                store.encode(buf);
                 class.encode(buf);
             }
             CoherenceMsg::StateTransfer {
@@ -420,6 +463,7 @@ impl WireEncode for CoherenceMsg {
                 writers,
                 order_high,
                 log,
+                peers,
             } => {
                 buf.put_u8(12);
                 version.encode(buf);
@@ -427,25 +471,30 @@ impl WireEncode for CoherenceMsg {
                 writers.encode(buf);
                 order_high.encode(buf);
                 log.encode(buf);
+                peers.encode(buf);
             }
             CoherenceMsg::Leave { node } => {
                 buf.put_u8(13);
                 node.encode(buf);
             }
-            CoherenceMsg::Ping { seq } => {
+            CoherenceMsg::NodePing { seq } => {
                 buf.put_u8(14);
                 seq.encode(buf);
             }
-            CoherenceMsg::Pong { seq } => {
+            CoherenceMsg::NodePong { seq } => {
                 buf.put_u8(15);
                 seq.encode(buf);
             }
-            CoherenceMsg::ElectRequest { peers } => {
+            CoherenceMsg::ElectRequest { peers, epoch } => {
                 buf.put_u8(16);
                 peers.encode(buf);
+                epoch.encode(buf);
             }
             CoherenceMsg::SequencerHandoff {
+                old_home,
                 new_home,
+                new_home_store,
+                epoch,
                 version,
                 state,
                 writers,
@@ -454,12 +503,19 @@ impl WireEncode for CoherenceMsg {
                 peers,
             } => {
                 buf.put_u8(17);
+                old_home.encode(buf);
                 new_home.encode(buf);
+                new_home_store.encode(buf);
+                epoch.encode(buf);
                 version.encode(buf);
                 state.encode(buf);
                 writers.encode(buf);
                 order_high.encode(buf);
                 log.encode(buf);
+                peers.encode(buf);
+            }
+            CoherenceMsg::Membership { peers } => {
+                buf.put_u8(18);
                 peers.encode(buf);
             }
         }
@@ -520,26 +576,10 @@ impl WireEncode for CoherenceMsg {
                 client.encoded_len() + from_seq.encoded_len()
             }
             CoherenceMsg::PolicyUpdate { policy } => policy.encoded_len(),
-            CoherenceMsg::JoinRequest { node, class } => node.encoded_len() + class.encoded_len(),
-            CoherenceMsg::StateTransfer {
-                version,
-                state,
-                writers,
-                order_high,
-                log,
-            } => {
-                version.encoded_len()
-                    + state.encoded_len()
-                    + writers.encoded_len()
-                    + order_high.encoded_len()
-                    + log.encoded_len()
+            CoherenceMsg::JoinRequest { node, store, class } => {
+                node.encoded_len() + store.encoded_len() + class.encoded_len()
             }
-            CoherenceMsg::Leave { node } => node.encoded_len(),
-            CoherenceMsg::Ping { seq } => seq.encoded_len(),
-            CoherenceMsg::Pong { seq } => seq.encoded_len(),
-            CoherenceMsg::ElectRequest { peers } => peers.encoded_len(),
-            CoherenceMsg::SequencerHandoff {
-                new_home,
+            CoherenceMsg::StateTransfer {
                 version,
                 state,
                 writers,
@@ -547,7 +587,35 @@ impl WireEncode for CoherenceMsg {
                 log,
                 peers,
             } => {
-                new_home.encoded_len()
+                version.encoded_len()
+                    + state.encoded_len()
+                    + writers.encoded_len()
+                    + order_high.encoded_len()
+                    + log.encoded_len()
+                    + peers.encoded_len()
+            }
+            CoherenceMsg::Leave { node } => node.encoded_len(),
+            CoherenceMsg::NodePing { seq } => seq.encoded_len(),
+            CoherenceMsg::NodePong { seq } => seq.encoded_len(),
+            CoherenceMsg::ElectRequest { peers, epoch } => {
+                peers.encoded_len() + epoch.encoded_len()
+            }
+            CoherenceMsg::SequencerHandoff {
+                old_home,
+                new_home,
+                new_home_store,
+                epoch,
+                version,
+                state,
+                writers,
+                order_high,
+                log,
+                peers,
+            } => {
+                old_home.encoded_len()
+                    + new_home.encoded_len()
+                    + new_home_store.encoded_len()
+                    + epoch.encoded_len()
                     + version.encoded_len()
                     + state.encoded_len()
                     + writers.encoded_len()
@@ -555,6 +623,7 @@ impl WireEncode for CoherenceMsg {
                     + log.encoded_len()
                     + peers.encoded_len()
             }
+            CoherenceMsg::Membership { peers } => peers.encoded_len(),
         }
     }
 }
@@ -619,6 +688,7 @@ impl WireDecode for CoherenceMsg {
             }),
             11 => Ok(CoherenceMsg::JoinRequest {
                 node: NodeId::decode(buf)?,
+                store: StoreId::decode(buf)?,
                 class: StoreClass::decode(buf)?,
             }),
             12 => Ok(CoherenceMsg::StateTransfer {
@@ -627,27 +697,35 @@ impl WireDecode for CoherenceMsg {
                 writers: Vec::<(PageKey, WriteId)>::decode(buf)?,
                 order_high: Option::<u64>::decode(buf)?,
                 log: Vec::<LoggedWrite>::decode(buf)?,
+                peers: Vec::<WireMember>::decode(buf)?,
             }),
             13 => Ok(CoherenceMsg::Leave {
                 node: NodeId::decode(buf)?,
             }),
-            14 => Ok(CoherenceMsg::Ping {
+            14 => Ok(CoherenceMsg::NodePing {
                 seq: u64::decode(buf)?,
             }),
-            15 => Ok(CoherenceMsg::Pong {
+            15 => Ok(CoherenceMsg::NodePong {
                 seq: u64::decode(buf)?,
             }),
             16 => Ok(CoherenceMsg::ElectRequest {
-                peers: Vec::<(NodeId, StoreClass)>::decode(buf)?,
+                peers: Vec::<WireMember>::decode(buf)?,
+                epoch: u64::decode(buf)?,
             }),
             17 => Ok(CoherenceMsg::SequencerHandoff {
+                old_home: NodeId::decode(buf)?,
                 new_home: NodeId::decode(buf)?,
+                new_home_store: StoreId::decode(buf)?,
+                epoch: u64::decode(buf)?,
                 version: VersionVector::decode(buf)?,
                 state: Bytes::decode(buf)?,
                 writers: Vec::<(PageKey, WriteId)>::decode(buf)?,
                 order_high: Option::<u64>::decode(buf)?,
                 log: Vec::<LoggedWrite>::decode(buf)?,
-                peers: Vec::<(NodeId, StoreClass)>::decode(buf)?,
+                peers: Vec::<WireMember>::decode(buf)?,
+            }),
+            18 => Ok(CoherenceMsg::Membership {
+                peers: Vec::<WireMember>::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "CoherenceMsg",
@@ -771,6 +849,7 @@ mod tests {
         });
         roundtrip(CoherenceMsg::JoinRequest {
             node: globe_net::NodeId::new(3),
+            store: StoreId::new(7),
             class: StoreClass::ClientInitiated,
         });
         roundtrip(CoherenceMsg::StateTransfer {
@@ -779,26 +858,61 @@ mod tests {
             writers: vec![("a".to_string(), WriteId::new(ClientId::new(1), 5))],
             order_high: Some(6),
             log: vec![sample_write(), sample_write()],
+            peers: vec![(
+                globe_net::NodeId::new(2),
+                StoreId::new(1),
+                StoreClass::Permanent,
+            )],
         });
         roundtrip(CoherenceMsg::Leave {
             node: globe_net::NodeId::new(9),
         });
-        roundtrip(CoherenceMsg::Ping { seq: 12 });
-        roundtrip(CoherenceMsg::Pong { seq: 12 });
+        roundtrip(CoherenceMsg::NodePing { seq: 12 });
+        roundtrip(CoherenceMsg::NodePong { seq: 12 });
         roundtrip(CoherenceMsg::ElectRequest {
             peers: vec![
-                (globe_net::NodeId::new(2), StoreClass::Permanent),
-                (globe_net::NodeId::new(4), StoreClass::ObjectInitiated),
+                (
+                    globe_net::NodeId::new(2),
+                    StoreId::new(0),
+                    StoreClass::Permanent,
+                ),
+                (
+                    globe_net::NodeId::new(4),
+                    StoreId::new(2),
+                    StoreClass::ObjectInitiated,
+                ),
             ],
+            epoch: 3,
         });
         roundtrip(CoherenceMsg::SequencerHandoff {
+            old_home: globe_net::NodeId::new(0),
             new_home: globe_net::NodeId::new(1),
+            new_home_store: StoreId::new(1),
+            epoch: 2,
             version: [(ClientId::new(1), 5u64)].into_iter().collect(),
             state: Bytes::from_static(b"snapshot"),
             writers: vec![("a".to_string(), WriteId::new(ClientId::new(1), 5))],
             order_high: Some(6),
             log: vec![sample_write()],
-            peers: vec![(globe_net::NodeId::new(3), StoreClass::ClientInitiated)],
+            peers: vec![(
+                globe_net::NodeId::new(3),
+                StoreId::new(2),
+                StoreClass::ClientInitiated,
+            )],
+        });
+        roundtrip(CoherenceMsg::Membership {
+            peers: vec![
+                (
+                    globe_net::NodeId::new(0),
+                    StoreId::new(0),
+                    StoreClass::Permanent,
+                ),
+                (
+                    globe_net::NodeId::new(5),
+                    StoreId::new(3),
+                    StoreClass::ObjectInitiated,
+                ),
+            ],
         });
     }
 

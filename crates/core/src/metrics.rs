@@ -58,6 +58,10 @@ pub struct TransportFaults {
     /// service (bad hello, reader spawn failure); mirrored from the TCP
     /// mesh, zero elsewhere.
     pub rejected_frames: u64,
+    /// Service threads the OS refused to spawn (node event loops, shard
+    /// workers, the timer thread): the runtime degrades observably
+    /// instead of panicking.
+    pub spawn_failures: u64,
 }
 
 /// Mutable metrics store shared by every local object in a runtime.
@@ -85,14 +89,28 @@ impl MetricsStore {
         self.transport.malformed_frames += 1;
     }
 
-    /// Mirrors the transport's cumulative send-error, disconnect, and
-    /// rejected-frame counters (the TCP mesh counts them with atomics
-    /// on its own threads; the runtime syncs them into the store on
-    /// read).
-    pub fn sync_transport(&mut self, send_errors: u64, disconnects: u64, rejected_frames: u64) {
+    /// Mirrors the transport's cumulative send-error, disconnect,
+    /// rejected-frame, and spawn-failure counters (the TCP mesh counts
+    /// them with atomics on its own threads; the runtime syncs them
+    /// into the store on read).
+    pub fn sync_transport(
+        &mut self,
+        send_errors: u64,
+        disconnects: u64,
+        rejected_frames: u64,
+        spawn_failures: u64,
+    ) {
         self.transport.send_errors = send_errors;
         self.transport.disconnects = disconnects;
         self.transport.rejected_frames = rejected_frames;
+        self.transport.spawn_failures = spawn_failures;
+    }
+
+    /// Counts one service thread the OS refused to spawn (used by
+    /// runtimes that degrade in place rather than mirror a transport's
+    /// counters).
+    pub fn record_spawn_failure(&mut self) {
+        self.transport.spawn_failures += 1;
     }
 
     /// Records a replica lifecycle transition.

@@ -13,13 +13,13 @@
 
 use globe_coherence::{ClientId, ClientModel, ObjectModel, StoreClass, StoreId};
 use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectName};
-use globe_net::{NodeId, RegionId};
+use globe_net::{NodeId, RegionId, SimTime};
 
 use crate::lifecycle::{DetectorConfig, MembershipView, StoreHealth};
 use crate::{
     AddressSpace, BindOptions, ControlObject, PeerStore, ReplicationPolicy, RuntimeError,
     Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
-    WriteChoice,
+    WireMember, WriteChoice,
 };
 
 /// What every backend records about one created object.
@@ -27,7 +27,55 @@ pub(crate) struct ObjectRecord {
     pub(crate) policy: ReplicationPolicy,
     pub(crate) home_node: NodeId,
     pub(crate) home_store: StoreId,
+    /// The election epoch of the recorded home: bumped by every
+    /// driver-planned fail-over, and refreshed from the live replicas
+    /// (see [`sync_record`]) so driver decisions made after an
+    /// *unattended* election build on it instead of racing it.
+    pub(crate) epoch: u64,
     pub(crate) stores: Vec<(NodeId, StoreId, StoreClass)>,
+}
+
+impl ObjectRecord {
+    /// The object's full membership in the wire form every election and
+    /// state-transfer message carries.
+    pub(crate) fn membership(&self) -> Vec<WireMember> {
+        self.stores.clone()
+    }
+
+    /// Adopts an [`effective_home`] probe result into the record.
+    pub(crate) fn adopt_home(&mut self, home: (NodeId, StoreId, u64)) {
+        let (node, store, epoch) = home;
+        self.home_node = node;
+        self.home_store = store;
+        self.epoch = epoch;
+    }
+}
+
+/// The live home of an object as the replicas themselves see it: driver
+/// records go stale when an unattended election moves the sequencer, so
+/// backends re-derive the home by probing each recorded replica for its
+/// `(is_home, epoch)` claim and following the highest epoch (ties to
+/// the lowest store id — the election rule).
+pub(crate) fn effective_home(
+    record: &ObjectRecord,
+    probe: impl Fn(NodeId) -> Option<(bool, u64)>,
+) -> (NodeId, StoreId, u64) {
+    let mut best = (record.home_node, record.home_store, record.epoch);
+    let mut best_claim: Option<(u64, StoreId)> = None;
+    for &(node, store, _) in &record.stores {
+        if let Some((true, epoch)) = probe(node) {
+            let claim = (epoch, store);
+            let wins = match best_claim {
+                None => true,
+                Some((e, s)) => epoch > e || (epoch == e && store < s),
+            };
+            if wins && epoch >= record.epoch {
+                best_claim = Some(claim);
+                best = (node, store, epoch);
+            }
+        }
+    }
+    best
 }
 
 /// The validated, id-allocated shape of one object about to be created.
@@ -104,9 +152,11 @@ impl CreationPlan {
         }
     }
 
-    /// Builds one [`StoreReplica`] per planned store — the home store
-    /// carrying the full peer list — and hands each to `install` for
-    /// backend-specific placement and protocol start-up.
+    /// Builds one [`StoreReplica`] per planned store — every replica
+    /// carrying the full peer list, so any surviving permanent store
+    /// can run the unattended election from its own copy of the
+    /// membership — and hands each to `install` for backend-specific
+    /// placement and protocol start-up.
     pub(crate) fn build_replicas(
         &self,
         policy: &ReplicationPolicy,
@@ -118,19 +168,17 @@ impl CreationPlan {
     ) {
         for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
             let is_home = index == self.home_index;
-            let peers = if is_home {
-                self.stores
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != self.home_index)
-                    .map(|(_, (n, _, c))| PeerStore {
-                        node: *n,
-                        class: *c,
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
+            let peers = self
+                .stores
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != index)
+                .map(|(_, (n, s, c))| PeerStore {
+                    node: *n,
+                    store: *s,
+                    class: *c,
+                })
+                .collect();
             install(
                 *node,
                 StoreReplica::new(StoreConfig {
@@ -139,6 +187,7 @@ impl CreationPlan {
                     class: *class,
                     policy: policy.clone(),
                     home_node: self.home_node,
+                    home_store: self.home_store,
                     is_home,
                     peers,
                     semantics: semantics_factory(),
@@ -156,6 +205,7 @@ impl CreationPlan {
             policy,
             home_node: self.home_node,
             home_store: self.home_store,
+            epoch: 0,
             stores: self.stores,
         }
     }
@@ -172,20 +222,24 @@ pub(crate) struct ReplicaParts<'a> {
 }
 
 /// The resolved shape of a home-store fail-over: which surviving
-/// permanent store was elected the new sequencer, and the peer set it
-/// must adopt. Produced by [`plan_remove_store`] / [`plan_restart_store`]
-/// when the store being removed or crash-restarted is the home; the
-/// backend then moves the write log (a graceful `SequencerHandoff` from
-/// the retiring home, or an `ElectRequest` telling the winner to promote
-/// from its own replica of the log) and reroutes client sessions.
+/// permanent store was elected the new sequencer, the election epoch,
+/// and the full membership it must adopt. Produced by
+/// [`plan_remove_store`] / [`plan_restart_store`] when the store being
+/// removed or crash-restarted is the home; the backend then moves the
+/// write log (a graceful `SequencerHandoff` from the retiring home, or
+/// an `ElectRequest` telling the winner to promote from its own replica
+/// of the log) and reroutes client sessions.
 pub(crate) struct FailoverPlan {
     pub(crate) old_home: NodeId,
     pub(crate) new_home: NodeId,
     pub(crate) new_home_store: StoreId,
-    /// Every replica the new home must treat as a peer (for a
+    /// The election epoch of this fail-over (stale elections are
+    /// rejected by the stores).
+    pub(crate) epoch: u64,
+    /// The object's full membership after the fail-over (for a
     /// crash-restart this includes the failed home itself, which rejoins
     /// as an ordinary permanent replica).
-    pub(crate) peers: Vec<(NodeId, StoreClass)>,
+    pub(crate) members: Vec<WireMember>,
 }
 
 impl FailoverPlan {
@@ -196,7 +250,13 @@ impl FailoverPlan {
     /// so the protocol cannot diverge per runtime.
     pub(crate) fn handoff_msg(&self, retiring: Option<&StoreReplica>) -> crate::CoherenceMsg {
         match retiring {
-            Some(store) => store.sequencer_handoff_msg(self.new_home, self.peers.clone()),
+            Some(store) => store.sequencer_handoff_msg(
+                self.old_home,
+                self.new_home,
+                self.new_home_store,
+                self.epoch,
+                self.members.clone(),
+            ),
             None => self.elect_msg(),
         }
     }
@@ -205,7 +265,8 @@ impl FailoverPlan {
     /// its own copy of the write log.
     pub(crate) fn elect_msg(&self) -> crate::CoherenceMsg {
         crate::CoherenceMsg::ElectRequest {
-            peers: self.peers.clone(),
+            peers: self.members.clone(),
+            epoch: self.epoch,
         }
     }
 }
@@ -262,17 +323,13 @@ fn plan_failover(
     }
     record.home_node = new_home;
     record.home_store = new_home_store;
-    let peers = record
-        .stores
-        .iter()
-        .filter(|(node, _, _)| *node != new_home)
-        .map(|(node, _, class)| (*node, *class))
-        .collect();
+    record.epoch += 1;
     Ok(FailoverPlan {
         old_home: failed,
         new_home,
         new_home_store,
-        peers,
+        epoch: record.epoch,
+        members: record.membership(),
     })
 }
 
@@ -357,14 +414,21 @@ fn replica_for(
     class: StoreClass,
     parts: ReplicaParts<'_>,
 ) -> StoreReplica {
+    let peers = record
+        .stores
+        .iter()
+        .filter(|(_, id, _)| *id != store_id)
+        .map(|&(node, store, class)| PeerStore { node, store, class })
+        .collect();
     let mut replica = StoreReplica::new(StoreConfig {
         object: parts.object,
         store_id,
         class,
         policy: record.policy.clone(),
         home_node: record.home_node,
+        home_store: record.home_store,
         is_home: false,
-        peers: Vec::new(),
+        peers,
         semantics: parts.semantics,
         history: parts.history.clone(),
         metrics: parts.metrics.clone(),
@@ -377,32 +441,34 @@ fn replica_for(
 }
 
 /// Assembles a [`crate::lifecycle::MembershipView`] from the object
-/// record plus the home store's failure detector (`None` when the home
-/// replica is unreachable: the view then carries no detector input).
+/// record, the effective home, and the home node's node-level failure
+/// detector (queried through `health`; backends pass a closure over the
+/// home space's [`crate::AddressSpace::node_health`], or one returning
+/// `Alive` when the home space is unreachable).
 pub(crate) fn membership_view(
     object: ObjectId,
     record: &ObjectRecord,
-    home: Option<&StoreReplica>,
+    home_node: NodeId,
+    health: impl Fn(NodeId) -> (StoreHealth, Option<SimTime>),
 ) -> crate::lifecycle::MembershipView {
-    use crate::lifecycle::{MemberInfo, MembershipView, StoreHealth};
+    use crate::lifecycle::MemberInfo;
     let mut members: Vec<MemberInfo> = record
         .stores
         .iter()
         .map(|(node, store_id, class)| {
-            let is_home = *node == record.home_node;
+            let is_home = *node == home_node;
+            let (health, last_heard) = if is_home {
+                (StoreHealth::Alive, None)
+            } else {
+                health(*node)
+            };
             MemberInfo {
                 node: *node,
                 store: *store_id,
                 class: *class,
                 is_home,
-                health: match home {
-                    Some(h) if !is_home => h.peer_health(*node),
-                    _ => StoreHealth::Alive,
-                },
-                last_heard: match home {
-                    Some(h) if !is_home => h.last_heard(*node),
-                    _ => None,
-                },
+                health,
+                last_heard,
             }
         })
         .collect();

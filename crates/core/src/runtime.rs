@@ -16,7 +16,7 @@ use globe_coherence::{ClientId, ClientModel, StoreClass, StoreId, VersionVector}
 use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId};
 use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
 
-use crate::lifecycle::MembershipView;
+use crate::lifecycle::{MembershipView, StoreHealth};
 use crate::plan::{self, ObjectRecord};
 use crate::{
     shared_history, shared_metrics, AddressSpace, CallError, CoherenceMsg, CommObject,
@@ -226,7 +226,12 @@ impl GlobeSim {
     /// Adds an address space in `region`.
     pub fn add_node_in(&mut self, region: RegionId) -> NodeId {
         let node = self.net.add_node_in(region);
-        let space = Rc::new(RefCell::new(AddressSpace::new(node, self.metrics.clone())));
+        let space = Rc::new(RefCell::new(AddressSpace::with_scope(
+            node,
+            self.metrics.clone(),
+            self.detector,
+            0,
+        )));
         let handler_space = Rc::clone(&space);
         self.net.set_handler(node, move |event, ctx| {
             handler_space.borrow_mut().handle_event(event, ctx);
@@ -276,16 +281,36 @@ impl GlobeSim {
                 let space = Rc::clone(&spaces[&node]);
                 plan::install_store(&mut space.borrow_mut(), object, replica);
                 net.with_ctx(node, |ctx| {
-                    space
-                        .borrow_mut()
-                        .control_mut(object)
-                        .expect("control installed above")
-                        .start(ctx);
+                    space.borrow_mut().start_object(object, ctx);
                 });
             },
         );
         self.objects.insert(object, creation.into_record(policy));
         Ok(object)
+    }
+
+    /// The live `(is_home, epoch)` claim of the replica at `node`, if
+    /// one is installed — the probe [`plan::effective_home`] uses to see
+    /// past a driver record an unattended election has outdated.
+    fn replica_claim(&self, object: ObjectId, node: NodeId) -> Option<(bool, u64)> {
+        let space = self.spaces.get(&node)?;
+        let space = space.borrow();
+        let store = space.control(object)?.store()?;
+        Some((store.is_home(), store.home_epoch()))
+    }
+
+    /// Refreshes the driver record from the replicas' own view of the
+    /// sequencer, so lifecycle operations and bindings planned after an
+    /// unattended fail-over target the elected home.
+    fn sync_home(&mut self, object: ObjectId) {
+        let Some(record) = self.objects.get(&object) else {
+            return;
+        };
+        let home = plan::effective_home(record, |n| self.replica_claim(object, n));
+        self.objects
+            .get_mut(&object)
+            .expect("checked above")
+            .adopt_home(home);
     }
 
     /// Installs an additional store (mirror or cache) at run time. The
@@ -308,6 +333,7 @@ impl GlobeSim {
         if !self.spaces.contains_key(&node) {
             return Err(RuntimeError::UnknownNode(node));
         }
+        self.sync_home(object);
         let (store_id, replica) = plan::plan_add_store(
             self.objects
                 .get_mut(&object)
@@ -335,9 +361,8 @@ impl GlobeSim {
         plan::install_store(&mut space.borrow_mut(), object, replica);
         self.net.with_ctx(node, |ctx| {
             let mut space = space.borrow_mut();
-            let control = space.control_mut(object).expect("just installed");
-            control.start(ctx);
-            if let Some(store) = control.store_mut() {
+            space.start_object(object, ctx);
+            if let Some(store) = space.control_mut(object).and_then(|c| c.store_mut()) {
                 store.join(ctx);
             }
         });
@@ -358,8 +383,11 @@ impl GlobeSim {
     /// or the replica is the home store and no surviving permanent store
     /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
-        // The detector's verdicts arbitrate the election; read them
-        // before the record changes.
+        // An unattended election may have moved the sequencer since the
+        // record was written; plan against the live view. The
+        // detector's verdicts arbitrate the election; read them before
+        // the record changes.
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -432,6 +460,7 @@ impl GlobeSim {
         if !self.spaces.contains_key(&node) {
             return Err(RuntimeError::UnknownNode(node));
         }
+        self.sync_home(object);
         let record = self
             .objects
             .get(&object)
@@ -504,6 +533,7 @@ impl GlobeSim {
         node: NodeId,
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -541,12 +571,26 @@ impl GlobeSim {
         }
         self.net.with_ctx(node, |ctx| {
             let mut space = space.borrow_mut();
-            let control = space.control_mut(object).expect("control exists");
-            control.start(ctx);
-            if let Some(store) = control.store_mut() {
+            space.start_object(object, ctx);
+            if let Some(store) = space.control_mut(object).and_then(|c| c.store_mut()) {
                 store.join(ctx);
             }
         });
+        Ok(())
+    }
+
+    /// Fault injection: isolates (or heals) the node's address space —
+    /// see [`GlobeRuntime::partition_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the node is unknown.
+    pub fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        self.spaces
+            .get(&node)
+            .ok_or(RuntimeError::UnknownNode(node))?
+            .borrow_mut()
+            .set_partitioned(isolated);
         Ok(())
     }
 
@@ -561,18 +605,15 @@ impl GlobeSim {
             .objects
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let view = match self.spaces.get(&record.home_node) {
-            Some(space) => {
-                let space = space.borrow();
-                plan::membership_view(
-                    object,
-                    record,
-                    space.control(object).and_then(|c| c.store()),
-                )
-            }
-            None => plan::membership_view(object, record, None),
-        };
-        Ok(view)
+        // The record may predate an unattended election: follow the
+        // replicas' own claim of where the sequencer lives.
+        let (home_node, _, _) = plan::effective_home(record, |n| self.replica_claim(object, n));
+        let home_space = self.spaces.get(&home_node);
+        Ok(plan::membership_view(object, record, home_node, |peer| {
+            home_space
+                .map(|s| s.borrow().node_health(peer))
+                .unwrap_or((StoreHealth::Alive, None))
+        }))
     }
 
     /// Rebinds a client's reads to the replica on `store_node` (clients
@@ -706,6 +747,7 @@ impl GlobeSim {
         policy
             .validate()
             .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        self.sync_home(object);
         let record = self
             .objects
             .get_mut(&object)
@@ -808,9 +850,12 @@ impl GlobeSim {
             .unwrap_or_default()
     }
 
-    /// The home (primary permanent) store's node.
+    /// The home (primary permanent) store's node, as the live replicas
+    /// see it (an unattended election moves it without any driver call).
     pub fn home_of(&self, object: ObjectId) -> Option<NodeId> {
-        self.objects.get(&object).map(|r| r.home_node)
+        self.objects
+            .get(&object)
+            .map(|r| plan::effective_home(r, |n| self.replica_claim(object, n)).0)
     }
 }
 
@@ -901,6 +946,10 @@ impl GlobeRuntime for GlobeSim {
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
         GlobeSim::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        GlobeSim::partition_node(self, node, isolated)
     }
 
     fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {

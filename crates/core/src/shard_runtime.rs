@@ -72,6 +72,13 @@ struct ShardRouter {
 
 impl ShardRouter {
     fn shard_of(&self, object: ObjectId) -> usize {
+        // Node-scoped detector frames carry their sending lane's scope
+        // in the envelope id, so replies route back to the copy of the
+        // space whose detector sent the ping.
+        if object.raw() >= crate::space::NODE_SCOPE_BASE {
+            return ((object.raw() - crate::space::NODE_SCOPE_BASE) % self.inboxes.len() as u64)
+                as usize;
+        }
         (object.raw() % self.inboxes.len() as u64) as usize
     }
 
@@ -198,6 +205,10 @@ pub struct GlobeShard {
     threads: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     nodes: HashSet<NodeId>,
+    /// Nodes currently isolated by [`GlobeShard::partition_node`]: a
+    /// lane that materializes its first copy of such a node's space
+    /// *after* the partition must still create it isolated.
+    partitioned: HashSet<NodeId>,
     names: NameSpace,
     locations: LocationService,
     objects: HashMap<ObjectId, ObjectRecord>,
@@ -239,10 +250,17 @@ impl GlobeShard {
             spaces.push(Arc::new(Mutex::new(HashMap::new())));
         }
         let metrics = shared_metrics();
+        // A refused timer thread degrades the runtime (timers inert)
+        // instead of panicking; the failure is counted like any other
+        // transport fault.
+        let timer = WallTimer::spawn();
+        if timer.is_stopped() {
+            metrics.lock().record_spawn_failure();
+        }
         GlobeShard {
             router: Arc::new(ShardRouter {
                 inboxes,
-                timer: WallTimer::spawn(),
+                timer,
                 epoch: Instant::now(),
                 metrics: metrics.clone(),
             }),
@@ -251,6 +269,7 @@ impl GlobeShard {
             threads: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
             nodes: HashSet::new(),
+            partitioned: HashSet::new(),
             names: NameSpace::new(),
             locations: LocationService::new(),
             objects: HashMap::new(),
@@ -319,9 +338,12 @@ impl GlobeShard {
         )?;
         let object = creation.object;
         creation.register_locations(&mut self.locations, |_| RegionId::new(0));
-        let shard = Arc::clone(&self.shards[self.router.shard_of(object)]);
+        let lane = self.router.shard_of(object);
+        let shard = Arc::clone(&self.shards[lane]);
         let router = &self.router;
         let metrics = self.metrics.clone();
+        let detector = self.detector;
+        let partitioned = &self.partitioned;
         creation.build_replicas(
             &policy,
             semantics_factory,
@@ -330,19 +352,41 @@ impl GlobeShard {
             self.detector,
             |node, replica| {
                 let mut spaces = shard.lock();
-                let space = spaces
-                    .entry(node)
-                    .or_insert_with(|| AddressSpace::new(node, metrics.clone()));
+                let space = spaces.entry(node).or_insert_with(|| {
+                    let mut space =
+                        AddressSpace::with_scope(node, metrics.clone(), detector, lane as u64);
+                    space.set_partitioned(partitioned.contains(&node));
+                    space
+                });
                 plan::install_store(space, object, replica);
                 let mut ctx = ShardCtx { node, router };
-                space
-                    .control_mut(object)
-                    .expect("control installed above")
-                    .start(&mut ctx);
+                space.start_object(object, &mut ctx);
             },
         );
         self.objects.insert(object, creation.into_record(policy));
         Ok(object)
+    }
+
+    /// The live `(is_home, epoch)` claim of the replica at `node` in the
+    /// object's lane.
+    fn replica_claim(&self, object: ObjectId, node: NodeId) -> Option<(bool, u64)> {
+        let spaces = self.shards[self.router.shard_of(object)].lock();
+        let store = spaces.get(&node)?.control(object)?.store()?;
+        Some((store.is_home(), store.home_epoch()))
+    }
+
+    /// Refreshes the driver record from the replicas' own view of the
+    /// sequencer, so operations planned after an unattended fail-over
+    /// target the elected home.
+    fn sync_home(&mut self, object: ObjectId) {
+        let Some(record) = self.objects.get(&object) else {
+            return;
+        };
+        let home = plan::effective_home(record, |n| self.replica_claim(object, n));
+        self.objects
+            .get_mut(&object)
+            .expect("checked above")
+            .adopt_home(home);
     }
 
     /// Binds a client in `node`'s address space, mirroring
@@ -361,6 +405,7 @@ impl GlobeShard {
         if !self.nodes.contains(&node) {
             return Err(RuntimeError::UnknownNode(node));
         }
+        self.sync_home(object);
         let record = self
             .objects
             .get(&object)
@@ -370,10 +415,14 @@ impl GlobeShard {
         self.next_client += 1;
         let session =
             session.into_session(client, object, self.history.clone(), self.metrics.clone());
-        let mut spaces = self.shards[self.shard_of(object)].lock();
-        let space = spaces
-            .entry(node)
-            .or_insert_with(|| AddressSpace::new(node, self.metrics.clone()));
+        let lane = self.shard_of(object);
+        let mut spaces = self.shards[lane].lock();
+        let space = spaces.entry(node).or_insert_with(|| {
+            let mut space =
+                AddressSpace::with_scope(node, self.metrics.clone(), self.detector, lane as u64);
+            space.set_partitioned(self.partitioned.contains(&node));
+            space
+        });
         plan::install_session(space, object, session);
         Ok(ClientHandle {
             object,
@@ -395,11 +444,17 @@ impl GlobeShard {
             let spaces = Arc::clone(&self.shards[index]);
             let router = Arc::clone(&self.router);
             let stop = Arc::clone(&self.stop);
-            let handle = std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name(format!("globe-shard-{index}"))
                 .spawn(move || shard_loop(inbox, spaces, router, stop))
-                .expect("failed to spawn shard worker");
-            self.threads.push(handle);
+            {
+                Ok(handle) => self.threads.push(handle),
+                Err(_) => {
+                    // Degrade observably: the lane stays dark, the
+                    // failure is counted, and the process survives.
+                    self.metrics.lock().record_spawn_failure();
+                }
+            }
         }
     }
 
@@ -484,6 +539,7 @@ impl GlobeShard {
         policy
             .validate()
             .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        self.sync_home(object);
         let record = self
             .objects
             .get_mut(&object)
@@ -523,6 +579,7 @@ impl GlobeShard {
         if !self.nodes.contains(&node) {
             return Err(RuntimeError::UnknownNode(node));
         }
+        self.sync_home(object);
         let (store_id, replica) = plan::plan_add_store(
             self.objects
                 .get_mut(&object)
@@ -546,18 +603,21 @@ impl GlobeShard {
                 region: RegionId::new(0),
             },
         );
-        let mut spaces = self.shards[self.shard_of(object)].lock();
-        let space = spaces
-            .entry(node)
-            .or_insert_with(|| AddressSpace::new(node, self.metrics.clone()));
+        let lane = self.shard_of(object);
+        let mut spaces = self.shards[lane].lock();
+        let space = spaces.entry(node).or_insert_with(|| {
+            let mut space =
+                AddressSpace::with_scope(node, self.metrics.clone(), self.detector, lane as u64);
+            space.set_partitioned(self.partitioned.contains(&node));
+            space
+        });
         plan::install_store(space, object, replica);
         let mut ctx = ShardCtx {
             node,
             router: &self.router,
         };
-        let control = space.control_mut(object).expect("just installed");
-        control.start(&mut ctx);
-        if let Some(store) = control.store_mut() {
+        space.start_object(object, &mut ctx);
+        if let Some(store) = space.control_mut(object).and_then(|c| c.store_mut()) {
             store.join(&mut ctx);
         }
         Ok(store_id)
@@ -591,6 +651,7 @@ impl GlobeShard {
     /// or the replica is the home store and no surviving permanent store
     /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -638,6 +699,7 @@ impl GlobeShard {
         node: NodeId,
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -675,17 +737,39 @@ impl GlobeShard {
             self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, false);
         }
         let mut spaces = self.shards[self.shard_of(object)].lock();
-        let control = spaces
-            .get_mut(&node)
-            .and_then(|space| space.control_mut(object))
-            .ok_or(RuntimeError::NoSuchReplica)?;
+        let space = spaces.get_mut(&node).ok_or(RuntimeError::NoSuchReplica)?;
         let mut ctx = ShardCtx {
             node,
             router: &self.router,
         };
-        control.start(&mut ctx);
-        if let Some(store) = control.store_mut() {
+        space.start_object(object, &mut ctx);
+        if let Some(store) = space.control_mut(object).and_then(|c| c.store_mut()) {
             store.join(&mut ctx);
+        }
+        Ok(())
+    }
+
+    /// Fault injection: isolates (or heals) the node's address space in
+    /// every lane that materialized a copy of it — and any copy a lane
+    /// materializes later starts with the same flag — see
+    /// [`GlobeRuntime::partition_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the node is unknown.
+    pub fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        if !self.nodes.contains(&node) {
+            return Err(RuntimeError::UnknownNode(node));
+        }
+        if isolated {
+            self.partitioned.insert(node);
+        } else {
+            self.partitioned.remove(&node);
+        }
+        for shard in &self.shards {
+            if let Some(space) = shard.lock().get_mut(&node) {
+                space.set_partitioned(isolated);
+            }
         }
         Ok(())
     }
@@ -701,12 +785,16 @@ impl GlobeShard {
             .objects
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
+        // The record may predate an unattended election: follow the
+        // replicas' own claim of where the sequencer lives.
+        let (home_node, _, _) = plan::effective_home(record, |n| self.replica_claim(object, n));
         let spaces = self.shards[self.router.shard_of(object)].lock();
-        let home = spaces
-            .get(&record.home_node)
-            .and_then(|space| space.control(object))
-            .and_then(|control| control.store());
-        Ok(plan::membership_view(object, record, home))
+        let home_space = spaces.get(&home_node);
+        Ok(plan::membership_view(object, record, home_node, |peer| {
+            home_space
+                .map(|s| s.node_health(peer))
+                .unwrap_or((crate::lifecycle::StoreHealth::Alive, None))
+        }))
     }
 
     /// Injects one raw frame into the routing fabric as if `node` had
@@ -832,6 +920,10 @@ impl GlobeRuntime for GlobeShard {
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
         GlobeShard::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        GlobeShard::partition_node(self, node, isolated)
     }
 
     fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {

@@ -16,7 +16,7 @@ use globe_coherence::{ClientId, PageKey, StoreClass, StoreId, VersionVector, Wri
 use globe_naming::ObjectId;
 use globe_net::{NetCtx, NodeId};
 
-use crate::lifecycle::{DetectorConfig, LifecycleEvent, LifecycleEventKind, StoreHealth};
+use crate::lifecycle::{DetectorConfig, LifecycleEvent, LifecycleEventKind};
 use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
 use crate::{
     CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
@@ -41,7 +41,8 @@ pub enum TimerKind {
     DemandRetry = 2,
     /// Client-proxy retransmission of unacknowledged writes.
     SessionRetry = 3,
-    /// Failure-detector heartbeat round at the home store.
+    /// Node-level failure-detector heartbeat round (armed under the
+    /// node-scope token by the address space, not by any one replica).
     Heartbeat = 4,
 }
 
@@ -64,6 +65,9 @@ impl TimerKind {
 pub struct PeerStore {
     /// The peer's node.
     pub node: NodeId,
+    /// The peer's store id — the election key: when the home dies, the
+    /// lowest-id surviving permanent store wins.
+    pub store: StoreId,
     /// The peer's store class.
     pub class: StoreClass,
 }
@@ -95,9 +99,14 @@ pub struct StoreConfig {
     pub policy: ReplicationPolicy,
     /// The node of the home (primary permanent) store.
     pub home_node: NodeId,
+    /// The store id of the home store (the election tie-break key; when
+    /// this replica *is* the home it equals `store_id`).
+    pub home_store: StoreId,
     /// Whether this replica is the home store.
     pub is_home: bool,
-    /// Peer stores (only the home store needs the full list).
+    /// Every other replica of the object. The home uses the list to
+    /// propagate; every permanent replica additionally needs it to run
+    /// the unattended election from its own copy of the membership.
     pub peers: Vec<PeerStore>,
     /// The semantics object instance for this replica.
     pub semantics: Box<dyn Semantics>,
@@ -135,18 +144,24 @@ pub struct StoreReplica {
     client_nodes: HashMap<ClientId, NodeId>,
     is_home: bool,
     home_node: NodeId,
+    home_store: StoreId,
+    /// The node the sequencer most recently moved away from (equals
+    /// `home_node` until a takeover happens): re-announcements name it
+    /// so late-arriving sessions still reroute off the dead home.
+    prev_home: NodeId,
+    /// The election epoch of the sequencer this replica follows: 0 for
+    /// the object's original home, incremented by every fail-over. A
+    /// handoff or election carrying a stale epoch is rejected, so a
+    /// detector flap cannot install two sequencers for one epoch.
+    home_epoch: u64,
     peers: Vec<PeerStore>,
     needs_bootstrap: bool,
     history: SharedHistory,
     metrics: SharedMetrics,
     detector: DetectorConfig,
-    hb_seq: u64,
-    last_heard: HashMap<NodeId, globe_net::SimTime>,
-    suspects: HashSet<NodeId>,
     lazy_armed: bool,
     pull_armed: bool,
     retry_armed: bool,
-    hb_armed: bool,
 }
 
 impl StoreReplica {
@@ -178,18 +193,17 @@ impl StoreReplica {
             client_nodes: HashMap::new(),
             is_home: config.is_home,
             home_node: config.home_node,
+            home_store: config.home_store,
+            prev_home: config.home_node,
+            home_epoch: 0,
             peers: config.peers,
             needs_bootstrap: false,
             history: config.history,
             metrics,
             detector: config.detector,
-            hb_seq: 0,
-            last_heard: HashMap::new(),
-            suspects: HashSet::new(),
             lazy_armed: false,
             pull_armed: false,
             retry_armed: false,
-            hb_armed: false,
         }
     }
 
@@ -256,8 +270,6 @@ impl StoreReplica {
     pub fn remove_peer(&mut self, node: NodeId) {
         self.peers.retain(|p| p.node != node);
         self.peer_sent.remove(&node);
-        self.last_heard.remove(&node);
-        self.suspects.remove(&node);
     }
 
     /// The peer stores this replica currently propagates to (the home
@@ -266,19 +278,40 @@ impl StoreReplica {
         &self.peers
     }
 
-    /// The failure detector's opinion of the peer on `node`.
-    pub fn peer_health(&self, node: NodeId) -> StoreHealth {
-        if self.suspects.contains(&node) {
-            StoreHealth::Suspect
-        } else {
-            StoreHealth::Alive
-        }
+    /// The election epoch of the sequencer this replica follows.
+    pub fn home_epoch(&self) -> u64 {
+        self.home_epoch
     }
 
-    /// When a heartbeat acknowledgement (or join) was last heard from
-    /// the peer on `node`.
-    pub fn last_heard(&self, node: NodeId) -> Option<globe_net::SimTime> {
-        self.last_heard.get(&node).copied()
+    /// The node this replica believes is the object's home.
+    pub fn home_node(&self) -> NodeId {
+        self.home_node
+    }
+
+    /// Adds this replica's failure-detection interest to the node-level
+    /// detector's monitored set: the home store watches its peer nodes;
+    /// a permanent replica watches the home *and* every other permanent
+    /// replica (so the election's liveness filter has real verdicts for
+    /// the candidates); other replicas watch only the home. One entry
+    /// per node — the address space dedupes across objects, which is
+    /// exactly the O(objects × peers) → O(peers) consolidation.
+    pub fn heartbeat_targets(&self, out: &mut std::collections::BTreeSet<NodeId>) {
+        if self.detector.period.is_none() {
+            return;
+        }
+        if self.is_home {
+            out.extend(self.peers.iter().map(|p| p.node));
+        } else {
+            out.insert(self.home_node);
+            if self.class == StoreClass::Permanent {
+                out.extend(
+                    self.peers
+                        .iter()
+                        .filter(|p| p.class == StoreClass::Permanent)
+                        .map(|p| p.node),
+                );
+            }
+        }
     }
 
     fn record_lifecycle(&self, node: NodeId, kind: LifecycleEventKind, now: globe_net::SimTime) {
@@ -316,12 +349,9 @@ impl StoreReplica {
             ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
             self.pull_armed = true;
         }
-        if let Some(period) = self.detector.period {
-            if self.is_home && !self.hb_armed {
-                ctx.set_timer(period, self.token(TimerKind::Heartbeat));
-                self.hb_armed = true;
-            }
-        }
+        // Heartbeats are node-level since the detector consolidation:
+        // the owning address space arms one heartbeat timer per node,
+        // not one per replica.
     }
 
     fn ensure_retry(&mut self, ctx: &mut dyn NetCtx) {
@@ -491,20 +521,56 @@ impl StoreReplica {
                 self.home_node,
                 &CoherenceMsg::JoinRequest {
                     node,
+                    store: self.store_id,
                     class: self.class,
                 },
             );
         }
     }
 
-    /// Home-store side of a join: register the peer, ship it the full
-    /// state (snapshot + version vector + write log), and reset the
-    /// failure detector's book-keeping for it.
-    pub fn handle_join(&mut self, node: NodeId, class: StoreClass, ctx: &mut dyn NetCtx) {
+    /// The object's full replica membership as this store sees it:
+    /// itself plus every peer, as wire members. `me` is this store's
+    /// node (stores do not know their own placement; the caller's
+    /// context does).
+    fn membership(&self, me: NodeId) -> Vec<crate::WireMember> {
+        std::iter::once((me, self.store_id, self.class))
+            .chain(self.peers.iter().map(|p| (p.node, p.store, p.class)))
+            .collect()
+    }
+
+    /// Replaces this replica's peer list with `membership` minus itself
+    /// (the form every state transfer and takeover announcement
+    /// carries), and refreshes the home store id from it when present.
+    fn adopt_membership(&mut self, membership: &[crate::WireMember], me: NodeId) {
+        if membership.is_empty() {
+            return;
+        }
+        self.peers = membership
+            .iter()
+            .filter(|(node, _, _)| *node != me)
+            .map(|&(node, store, class)| PeerStore { node, store, class })
+            .collect();
+        if let Some(&(_, store, _)) = membership
+            .iter()
+            .find(|(node, _, _)| *node == self.home_node)
+        {
+            self.home_store = store;
+        }
+    }
+
+    /// Home-store side of a join: register the peer and ship it the full
+    /// state (snapshot + version vector + write log + membership).
+    pub fn handle_join(
+        &mut self,
+        node: NodeId,
+        store: StoreId,
+        class: StoreClass,
+        ctx: &mut dyn NetCtx,
+    ) {
         if !self.is_home {
             return;
         }
-        self.add_peer(PeerStore { node, class });
+        self.add_peer(PeerStore { node, store, class });
         let msg = CoherenceMsg::StateTransfer {
             version: self.applied.clone(),
             state: self.semantics.snapshot(),
@@ -515,16 +581,46 @@ impl StoreReplica {
                 .collect(),
             order_high: self.repl.orders_writes().then_some(self.order_assigned),
             log: self.write_log.clone(),
+            peers: self.membership(ctx.node()),
         };
         self.comm.send(ctx, node, &msg);
         // The transfer covers the entire log; immediate propagation must
         // not replay it.
         self.peer_sent.insert(node, self.write_log.len());
-        self.last_heard.insert(node, ctx.now());
-        if self.suspects.remove(&node) {
-            self.record_lifecycle(node, LifecycleEventKind::Recovered, ctx.now());
-        }
         self.record_lifecycle(node, LifecycleEventKind::Joined, ctx.now());
+        self.broadcast_membership(Some(node), ctx);
+    }
+
+    /// Tells every peer (minus `except`, who just got the same list in
+    /// a full transfer) the object's current membership, so the copies
+    /// a future unattended election runs over stay current across
+    /// joins and leaves.
+    fn broadcast_membership(&mut self, except: Option<NodeId>, ctx: &mut dyn NetCtx) {
+        let msg = CoherenceMsg::Membership {
+            peers: self.membership(ctx.node()),
+        };
+        let others: Vec<NodeId> = self
+            .peers
+            .iter()
+            .map(|p| p.node)
+            .filter(|n| Some(*n) != except)
+            .collect();
+        self.comm.multicast(ctx, others, &msg);
+    }
+
+    /// Replica side of a [`CoherenceMsg::Membership`] refresh. Only the
+    /// current home curates the membership, so anything else — a stale
+    /// ex-home, a mis-routed frame — is ignored.
+    pub fn handle_membership(
+        &mut self,
+        from: NodeId,
+        peers: Vec<crate::WireMember>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home || from != self.home_node {
+            return;
+        }
+        self.adopt_membership(&peers, ctx.node());
     }
 
     /// Home-store side of a graceful removal: stop propagating and
@@ -535,6 +631,7 @@ impl StoreReplica {
         }
         self.remove_peer(node);
         self.record_lifecycle(node, LifecycleEventKind::Left, ctx.now());
+        self.broadcast_membership(None, ctx);
     }
 
     /// Installs a lifecycle state transfer: the semantics snapshot, the
@@ -542,6 +639,7 @@ impl StoreReplica {
     /// log. After this, reads served here are indistinguishable from
     /// reads served before the failure, and the replica's policy timers
     /// are (re)armed.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_state_transfer(
         &mut self,
         version: VersionVector,
@@ -549,30 +647,38 @@ impl StoreReplica {
         writers: Vec<(PageKey, WriteId)>,
         order_high: Option<u64>,
         log: Vec<LoggedWrite>,
+        peers: Vec<crate::WireMember>,
         ctx: &mut dyn NetCtx,
     ) {
         if self.is_home {
             return;
         }
+        self.adopt_membership(&peers, ctx.node());
         self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
         self.drain_buffered(ctx);
         self.drain_queued_reads(ctx);
         self.start(ctx);
     }
 
-    /// Builds the graceful hand-off a retiring home store sends to its
-    /// elected successor: the authoritative coherence write log, version
-    /// vector, semantics snapshot, per-page writers, sequencer height,
-    /// and the successor's future peer set. Pure state capture — the
-    /// caller decides how the message travels (directly from the old
-    /// home's context, or relayed through a control endpoint).
+    /// Builds the hand-off/takeover message for a sequencer move: the
+    /// authoritative coherence write log, version vector, semantics
+    /// snapshot, per-page writers, sequencer height, the election
+    /// epoch, and the object's full membership. Pure state capture —
+    /// the caller decides how the message travels (directly from the
+    /// old home's context, or relayed through a control endpoint).
     pub fn sequencer_handoff_msg(
         &self,
+        old_home: NodeId,
         new_home: NodeId,
-        peers: Vec<(NodeId, StoreClass)>,
+        new_home_store: StoreId,
+        epoch: u64,
+        peers: Vec<crate::WireMember>,
     ) -> CoherenceMsg {
         CoherenceMsg::SequencerHandoff {
+            old_home,
             new_home,
+            new_home_store,
+            epoch,
             version: self.applied.clone(),
             state: self.semantics.snapshot(),
             writers: self
@@ -586,42 +692,54 @@ impl StoreReplica {
         }
     }
 
-    /// Takes over as the object's home (sequencing) store: adopt `peers`,
-    /// continue the sequencer's total order where it stopped, announce
-    /// the takeover to every peer with a full-state
-    /// [`CoherenceMsg::SequencerHandoff`] (so they reroute their demands
-    /// and converge on this replica's log), and arm the home-side timers
-    /// (lazy propagation, failure detector). Idempotent.
-    pub fn promote_to_home(&mut self, peers: Vec<(NodeId, StoreClass)>, ctx: &mut dyn NetCtx) {
+    /// Takes over as the object's home (sequencing) store at election
+    /// `epoch`: adopt the membership, continue the sequencer's total
+    /// order where it stopped, announce the takeover to every peer and
+    /// every known client node with a full-state
+    /// [`CoherenceMsg::SequencerHandoff`] (so stores converge on this
+    /// replica's log and sessions reroute their writes), and arm the
+    /// home-side timers. Idempotent per epoch.
+    pub fn promote_to_home(
+        &mut self,
+        membership: Vec<crate::WireMember>,
+        epoch: u64,
+        ctx: &mut dyn NetCtx,
+    ) {
         let me = ctx.node();
-        if self.is_home && self.home_node == me {
+        if self.is_home && self.home_node == me && epoch <= self.home_epoch {
             return;
         }
+        let old_home = self.home_node;
+        self.prev_home = old_home;
         self.is_home = true;
         self.home_node = me;
-        self.peers = peers
-            .iter()
-            .filter(|(node, _)| *node != me)
-            .map(|(node, class)| PeerStore {
-                node: *node,
-                class: *class,
-            })
-            .collect();
+        self.home_store = self.store_id;
+        self.home_epoch = self.home_epoch.max(epoch);
+        self.adopt_membership(&membership, me);
         // The old sequencer's height survives in `next_order` (every
         // replica tracks it); continue the total order there.
         self.order_assigned = self.order_assigned.max(self.next_order);
-        self.suspects.clear();
-        self.last_heard.clear();
-        let announce = self.sequencer_handoff_msg(me, Vec::new());
+        let announce = self.sequencer_handoff_msg(
+            old_home,
+            me,
+            self.store_id,
+            self.home_epoch,
+            self.membership(me),
+        );
         let peer_nodes: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
         let now = ctx.now();
         for &node in &peer_nodes {
             // The announcement carries the full log; propagation resumes
-            // from there, and the detector baselines afresh.
+            // from there.
             self.peer_sent.insert(node, self.write_log.len());
-            self.last_heard.insert(node, now);
         }
-        self.comm.multicast(ctx, peer_nodes, &announce);
+        // Sessions reroute on the same announcement: every client node
+        // this replica has served knows the sequencer moved, so pending
+        // retransmissions and future writes target a live home.
+        let mut targets: BTreeSet<NodeId> = peer_nodes.into_iter().collect();
+        targets.extend(self.client_nodes.values().copied());
+        targets.remove(&me);
+        self.comm.multicast(ctx, targets, &announce);
         self.record_lifecycle(me, LifecycleEventKind::Elected, now);
         self.start(ctx);
         self.drain_buffered(ctx);
@@ -630,9 +748,38 @@ impl StoreReplica {
 
     /// Control-plane side of a crash fail-over: this replica was elected
     /// (lowest-id surviving permanent store) and must promote itself
-    /// from its own copy of the write log.
-    pub fn handle_elect(&mut self, peers: Vec<(NodeId, StoreClass)>, ctx: &mut dyn NetCtx) {
-        self.promote_to_home(peers, ctx);
+    /// from its own copy of the write log. Elections carrying a stale
+    /// epoch — a driver decision that lost a race against an unattended
+    /// election — are ignored.
+    pub fn handle_elect(
+        &mut self,
+        peers: Vec<crate::WireMember>,
+        epoch: u64,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if epoch < self.home_epoch || (epoch == self.home_epoch && self.home_epoch > 0) {
+            return;
+        }
+        self.promote_to_home(peers, epoch.max(self.home_epoch + 1), ctx);
+    }
+
+    /// Whether a takeover claiming `epoch` by the store `new_home_store`
+    /// on `new_home` supersedes the sequencer this replica currently
+    /// follows. Newer epochs always win; a conflicting claim at the
+    /// *same* epoch (two survivors with divergent detector views both
+    /// promoted) resolves deterministically to the lowest store id, so
+    /// every replica converges on one sequencer per epoch.
+    fn accepts_handoff(&self, new_home: NodeId, new_home_store: StoreId, epoch: u64) -> bool {
+        if epoch != self.home_epoch {
+            return epoch > self.home_epoch;
+        }
+        new_home == self.home_node || new_home_store < self.home_store
+    }
+
+    /// Whether this replica's applied vector strictly dominates
+    /// `version`: it has applied everything the sender has, plus more.
+    fn strictly_ahead_of(&self, version: &VersionVector) -> bool {
+        self.applied.dominates(version) && self.applied != *version
     }
 
     /// Handles a [`CoherenceMsg::SequencerHandoff`]. Two legs share it:
@@ -640,80 +787,154 @@ impl StoreReplica {
     /// state and takes over; every other replica receives the takeover
     /// announcement, reroutes to the new home, and converges on its log
     /// (a prefix-consistent install, exactly like a lifecycle state
-    /// transfer).
+    /// transfer). Stale announcements — an older epoch, or a same-epoch
+    /// claim by a higher store id — are rejected: that is the flap
+    /// guard that keeps one accepting sequencer per epoch.
     #[allow(clippy::too_many_arguments)]
     pub fn handle_sequencer_handoff(
         &mut self,
+        old_home: NodeId,
         new_home: NodeId,
+        new_home_store: StoreId,
+        epoch: u64,
         version: VersionVector,
         state: Bytes,
         writers: Vec<(PageKey, WriteId)>,
         order_high: Option<u64>,
         log: Vec<LoggedWrite>,
-        peers: Vec<(NodeId, StoreClass)>,
+        peers: Vec<crate::WireMember>,
         ctx: &mut dyn NetCtx,
     ) {
         let me = ctx.node();
-        self.home_node = new_home;
+        if !self.accepts_handoff(new_home, new_home_store, epoch) {
+            return;
+        }
+        if self.is_home && me != new_home && self.strictly_ahead_of(&version) {
+            // Arbitration on heal: the claimant elected itself while
+            // *it* was the partitioned minority — this incumbent's log
+            // strictly dominates the claimant's, so accepting the
+            // takeover would roll acknowledged writes out of the
+            // authoritative log. Counter-claim at a higher epoch
+            // instead; the usurper demotes and converges on this log.
+            let membership = self.membership(me);
+            self.promote_to_home(membership, epoch + 1, ctx);
+            return;
+        }
         if me == new_home {
+            // `home_node` still names the retiring home here; promotion
+            // reads it as the takeover's old_home, so the announcement
+            // tells sessions which node their writes must leave.
             self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
-            self.promote_to_home(peers, ctx);
+            self.promote_to_home(peers, epoch, ctx);
             return;
         }
         if self.is_home {
-            // Defensive demotion: a stale ex-home hearing a newer
-            // takeover steps down rather than split-brain the object.
+            // Defensive demotion: an ex-home hearing a newer takeover
+            // steps down rather than split-brain the object — and
+            // relays the announcement to every client node it served,
+            // the only party that knows where those sessions live.
             self.is_home = false;
-            self.peers.clear();
             self.peer_sent.clear();
-            self.suspects.clear();
-            self.last_heard.clear();
+            let relay = CoherenceMsg::SequencerHandoff {
+                old_home,
+                new_home,
+                new_home_store,
+                epoch,
+                version: version.clone(),
+                state: state.clone(),
+                writers: writers.clone(),
+                order_high,
+                log: log.clone(),
+                peers: peers.clone(),
+            };
+            let mut targets: BTreeSet<NodeId> = self.client_nodes.values().copied().collect();
+            targets.remove(&me);
+            targets.remove(&new_home);
+            self.comm.multicast(ctx, targets, &relay);
         }
+        self.home_node = new_home;
+        self.home_store = new_home_store;
+        self.prev_home = old_home;
+        self.home_epoch = epoch;
+        self.adopt_membership(&peers, me);
         self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
         self.drain_buffered(ctx);
         self.drain_queued_reads(ctx);
         self.start(ctx);
     }
 
-    /// Answers a failure-detector heartbeat.
-    pub fn handle_ping(&mut self, from: NodeId, seq: u64, ctx: &mut dyn NetCtx) {
-        self.comm.send(ctx, from, &CoherenceMsg::Pong { seq });
-    }
-
-    /// Records a heartbeat acknowledgement, clearing suspicion.
-    pub fn handle_pong(&mut self, from: NodeId, _seq: u64, ctx: &mut dyn NetCtx) {
-        self.last_heard.insert(from, ctx.now());
-        if self.suspects.remove(&from) {
-            self.record_lifecycle(from, LifecycleEventKind::Recovered, ctx.now());
+    /// Fan-in from the node-level failure detector: `node` crossed the
+    /// suspicion threshold. Recorded per object, so a workload can
+    /// audit which memberships the silence touched.
+    pub fn on_node_suspect(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        if node == self.home_node || self.peers.iter().any(|p| p.node == node) {
+            self.record_lifecycle(node, LifecycleEventKind::Suspected, ctx.now());
         }
     }
 
-    /// One failure-detector round: suspect peers whose acknowledgements
-    /// have lapsed, then ping every peer.
-    fn heartbeat_round(&mut self, period: Duration, ctx: &mut dyn NetCtx) {
-        let now = ctx.now();
-        let grace = self.detector.grace(period);
-        let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
-        for node in &peers {
-            match self.last_heard.get(node) {
-                // First round for this peer: baseline, do not suspect.
-                None => {
-                    self.last_heard.insert(*node, now);
-                }
-                Some(&heard) => {
-                    // `saturating_since`, never `-`: a pong recorded by a
-                    // reordered/late event could carry a timestamp past
-                    // this round's `now`, and staleness arithmetic must
-                    // degrade to zero, not panic.
-                    if now.saturating_since(heard) > grace && self.suspects.insert(*node) {
-                        self.record_lifecycle(*node, LifecycleEventKind::Suspected, now);
-                    }
-                }
-            }
+    /// Fan-in from the node-level failure detector: a suspect `node`
+    /// proved it is alive again. A home store that was *elected*
+    /// (epoch above 0) additionally re-announces its takeover to the
+    /// recovered node: a deposed ex-home rejoining after a partition
+    /// learns it was superseded and converges on the new sequencer's
+    /// log.
+    pub fn on_node_recovered(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        let relevant = node == self.home_node || self.peers.iter().any(|p| p.node == node);
+        if !relevant {
+            return;
         }
-        self.hb_seq += 1;
-        let seq = self.hb_seq;
-        self.comm.multicast(ctx, peers, &CoherenceMsg::Ping { seq });
+        self.record_lifecycle(node, LifecycleEventKind::Recovered, ctx.now());
+        if self.is_home && self.home_epoch > 0 && self.peers.iter().any(|p| p.node == node) {
+            let me = ctx.node();
+            let announce = self.sequencer_handoff_msg(
+                self.prev_home,
+                me,
+                self.store_id,
+                self.home_epoch,
+                self.membership(me),
+            );
+            // The announcement carries the full log; propagation to the
+            // recovered peer resumes from there.
+            self.peer_sent.insert(node, self.write_log.len());
+            self.comm.send(ctx, node, &announce);
+        }
+    }
+
+    /// Fan-in from the node-level failure detector: `node` stayed
+    /// suspect past the confirmation threshold. With unattended
+    /// fail-over enabled, a surviving permanent replica whose *home*
+    /// died runs the PR 4 election from its own copy of the membership
+    /// — no driver call — and self-promotes if it is the winner
+    /// (lowest store id among the candidates its detector believes
+    /// alive). Everyone else waits for the winner's announcement.
+    pub fn on_node_down(
+        &mut self,
+        node: NodeId,
+        alive: &dyn Fn(NodeId) -> bool,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if !self.detector.auto_failover
+            || self.is_home
+            || node != self.home_node
+            || self.class != StoreClass::Permanent
+        {
+            return;
+        }
+        let me = ctx.node();
+        let better_candidate = self
+            .peers
+            .iter()
+            .filter(|p| p.node != node && p.node != me && p.class == StoreClass::Permanent)
+            .filter(|p| alive(p.node))
+            .any(|p| p.store < self.store_id);
+        if better_candidate {
+            return;
+        }
+        // The failed home stays in the membership: it rejoins as an
+        // ordinary permanent replica when it comes back (the recovery
+        // fan-in above re-announces the takeover to it).
+        let membership = self.membership(me);
+        self.promote_to_home(membership, self.home_epoch + 1, ctx);
     }
 
     fn demand_update(&mut self, ctx: &mut dyn NetCtx) {
@@ -1300,16 +1521,9 @@ impl StoreReplica {
                     self.pull_armed = true;
                 }
             }
-            TimerKind::Heartbeat => {
-                self.hb_armed = false;
-                if let Some(period) = self.detector.period {
-                    if self.is_home {
-                        self.heartbeat_round(period, ctx);
-                        ctx.set_timer(period, self.token(TimerKind::Heartbeat));
-                        self.hb_armed = true;
-                    }
-                }
-            }
+            // Heartbeats are node-scoped: the address space's node-level
+            // detector handles them before any replica sees the timer.
+            TimerKind::Heartbeat => {}
             TimerKind::DemandRetry => {
                 self.retry_armed = false;
                 let gaps = !self.buffered.is_empty()

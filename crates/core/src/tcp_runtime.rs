@@ -19,7 +19,7 @@ use globe_net::tcp::{TcpEndpoint, TcpMesh};
 use globe_net::{NodeId, RegionId};
 use parking_lot::Mutex;
 
-use crate::lifecycle::MembershipView;
+use crate::lifecycle::{MembershipView, StoreHealth};
 use crate::plan::{self, ObjectRecord};
 use crate::{
     shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
@@ -125,9 +125,37 @@ impl GlobeTcp {
         self.endpoints.insert(node, endpoint);
         self.spaces.insert(
             node,
-            Arc::new(Mutex::new(AddressSpace::new(node, self.metrics.clone()))),
+            Arc::new(Mutex::new(AddressSpace::with_scope(
+                node,
+                self.metrics.clone(),
+                self.detector,
+                0,
+            ))),
         );
         Ok(node)
+    }
+
+    /// The live `(is_home, epoch)` claim of the replica at `node`
+    /// (spaces sit behind locks, so this works on a live deployment).
+    fn replica_claim(&self, object: ObjectId, node: NodeId) -> Option<(bool, u64)> {
+        let space = self.spaces.get(&node)?;
+        let space = space.lock();
+        let store = space.control(object)?.store()?;
+        Some((store.is_home(), store.home_epoch()))
+    }
+
+    /// Refreshes the driver record from the replicas' own view of the
+    /// sequencer, so operations planned after an unattended fail-over
+    /// target the elected home.
+    fn sync_home(&mut self, object: ObjectId) {
+        let Some(record) = self.objects.get(&object) else {
+            return;
+        };
+        let home = plan::effective_home(record, |n| self.replica_claim(object, n));
+        self.objects
+            .get_mut(&object)
+            .expect("checked above")
+            .adopt_home(home);
     }
 
     /// Shared creation routine behind [`ObjectSpec`].
@@ -162,10 +190,7 @@ impl GlobeTcp {
                 plan::install_store(&mut space, object, replica);
                 let endpoint = endpoints.get_mut(&node).expect("endpoint exists for node");
                 let mut ctx = endpoint.ctx();
-                space
-                    .control_mut(object)
-                    .expect("control installed above")
-                    .start(&mut ctx);
+                space.start_object(object, &mut ctx);
             },
         );
         self.objects.insert(object, creation.into_record(policy));
@@ -186,6 +211,7 @@ impl GlobeTcp {
         node: NodeId,
         opts: BindOptions,
     ) -> Result<ClientHandle, RuntimeError> {
+        self.sync_home(object);
         let record = self
             .objects
             .get(&object)
@@ -234,10 +260,15 @@ impl GlobeTcp {
         for node in to_spawn {
             let endpoint = self.endpoints.remove(&node).expect("endpoint present");
             let space = Arc::clone(&self.spaces[&node]);
-            let handle = endpoint.spawn_loop(move |event, ctx| {
+            // A refused thread leaves the node dark instead of crashing
+            // the deployment; the mesh counts it (`fault_stats`) and the
+            // failure surfaces through the shared metrics.
+            match endpoint.spawn_loop(move |event, ctx| {
                 space.lock().handle_event(event, ctx);
-            });
-            self.threads.push(handle);
+            }) {
+                Ok(handle) => self.threads.push(handle),
+                Err(_) => continue,
+            }
         }
     }
 
@@ -283,16 +314,14 @@ impl GlobeTcp {
         &mut self,
         object: ObjectId,
         node: NodeId,
+        store_id: StoreId,
         class: StoreClass,
     ) -> Result<(), RuntimeError> {
         if let Some(endpoint) = self.endpoints.get_mut(&node) {
             let mut ctx = endpoint.ctx();
             let mut space = self.spaces[&node].lock();
-            let control = space
-                .control_mut(object)
-                .ok_or(RuntimeError::NoSuchReplica)?;
-            control.start(&mut ctx);
-            if let Some(store) = control.store_mut() {
+            space.start_object(object, &mut ctx);
+            if let Some(store) = space.control_mut(object).and_then(|c| c.store_mut()) {
                 store.join(&mut ctx);
             }
             Ok(())
@@ -302,7 +331,15 @@ impl GlobeTcp {
                 .get(&object)
                 .ok_or(RuntimeError::UnknownObject(object))?
                 .home_node;
-            self.control_send(object, home, &CoherenceMsg::JoinRequest { node, class })
+            self.control_send(
+                object,
+                home,
+                &CoherenceMsg::JoinRequest {
+                    node,
+                    store: store_id,
+                    class,
+                },
+            )
         }
     }
 
@@ -325,6 +362,7 @@ impl GlobeTcp {
             return Err(RuntimeError::UnknownNode(node));
         }
         self.ensure_lifecycle_path(node)?;
+        self.sync_home(object);
         let (store_id, replica) = plan::plan_add_store(
             self.objects
                 .get_mut(&object)
@@ -349,7 +387,7 @@ impl GlobeTcp {
             },
         );
         plan::install_store(&mut self.spaces[&node].lock(), object, replica);
-        self.activate_replica(object, node, class)?;
+        self.activate_replica(object, node, store_id, class)?;
         Ok(store_id)
     }
 
@@ -404,6 +442,7 @@ impl GlobeTcp {
     /// can take over.
     pub fn remove_store(&mut self, object: ObjectId, node: NodeId) -> Result<(), RuntimeError> {
         self.ensure_lifecycle_path(node)?;
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -452,6 +491,7 @@ impl GlobeTcp {
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
         self.ensure_lifecycle_path(node)?;
+        self.sync_home(object);
         let view = self.membership(object).ok();
         let record = self
             .objects
@@ -470,6 +510,7 @@ impl GlobeTcp {
             },
         )?;
         let class = replica.class();
+        let store_id = replica.store_id();
         self.spaces
             .get(&node)
             .ok_or(RuntimeError::UnknownNode(node))?
@@ -483,7 +524,7 @@ impl GlobeTcp {
             self.send_from_or_control(object, node, f.new_home, &f.elect_msg())?;
             self.reroute_sessions(object, f.old_home, f.new_home, f.new_home_store, false);
         }
-        self.activate_replica(object, node, class)
+        self.activate_replica(object, node, store_id, class)
     }
 
     /// A snapshot of the object's membership plus the home store's
@@ -499,18 +540,32 @@ impl GlobeTcp {
             .objects
             .get(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
-        let view = match self.spaces.get(&record.home_node) {
-            Some(space) => {
-                let space = space.lock();
-                plan::membership_view(
-                    object,
-                    record,
-                    space.control(object).and_then(|c| c.store()),
-                )
-            }
-            None => plan::membership_view(object, record, None),
-        };
-        Ok(view)
+        // The record may predate an unattended election: follow the
+        // replicas' own claim of where the sequencer lives.
+        let (home_node, _, _) = plan::effective_home(record, |n| self.replica_claim(object, n));
+        let home_space = self.spaces.get(&home_node);
+        Ok(plan::membership_view(object, record, home_node, |peer| {
+            home_space
+                .map(|s| s.lock().node_health(peer))
+                .unwrap_or((StoreHealth::Alive, None))
+        }))
+    }
+
+    /// Fault injection: isolates (or heals) the node's address space —
+    /// see [`GlobeRuntime::partition_node`]. Works on a live deployment:
+    /// the flag sits behind the space lock the event loop takes for
+    /// every event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the node is unknown.
+    pub fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        self.spaces
+            .get(&node)
+            .ok_or(RuntimeError::UnknownNode(node))?
+            .lock()
+            .set_partitioned(isolated);
+        Ok(())
     }
 
     fn pump_client(
@@ -623,6 +678,7 @@ impl GlobeTcp {
         policy
             .validate()
             .map_err(|e| RuntimeError::BadPolicy(e.to_string()))?;
+        self.sync_home(object);
         let record = self
             .objects
             .get_mut(&object)
@@ -667,6 +723,7 @@ impl GlobeTcp {
             faults.send_errors,
             faults.disconnects,
             faults.rejected_frames,
+            faults.spawn_failures,
         );
         self.metrics.clone()
     }
@@ -773,6 +830,10 @@ impl GlobeRuntime for GlobeTcp {
         fresh_semantics: Box<dyn Semantics>,
     ) -> Result<(), RuntimeError> {
         GlobeTcp::restart_store(self, object, node, fresh_semantics)
+    }
+
+    fn partition_node(&mut self, node: NodeId, isolated: bool) -> Result<(), RuntimeError> {
+        GlobeTcp::partition_node(self, node, isolated)
     }
 
     fn membership(&self, object: ObjectId) -> Result<MembershipView, RuntimeError> {

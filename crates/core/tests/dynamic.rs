@@ -317,6 +317,303 @@ fn failure_detector_suspects_partitioned_replica_and_clears_on_heal() {
 }
 
 #[test]
+fn auto_failover_elects_without_any_driver_call() {
+    // Partition the home with the detector + auto_failover on: the
+    // surviving permanent store must confirm the silence, self-elect,
+    // accept writes, and the healed old home must rejoin demoted.
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(90)
+            .heartbeat_period(hb)
+            .suspect_after_misses(2)
+            .auto_failover(true)
+            .failover_confirm_periods(1),
+    );
+    let first = sim.add_node();
+    let second = sim.add_node();
+    let client_node = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/auto-elect")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    // Reads via the survivor: its serve path learns the client's node,
+    // so the takeover announcement reroutes the session.
+    let master = sim
+        .bind(object, client_node, BindOptions::new().read_node(second))
+        .unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"before"))
+        .unwrap();
+    let warm = sim.handle(master).read(registers::get("p")).unwrap();
+    assert_eq!(&warm[..], b"before");
+    sim.run_for(Duration::from_secs(2));
+
+    sim.partition_node(first, true).unwrap();
+    sim.run_for(Duration::from_secs(4));
+    assert_eq!(
+        sim.home_of(object),
+        Some(second),
+        "the survivor must self-elect with no lifecycle call"
+    );
+    let metrics = sim.metrics();
+    assert_eq!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Elected)
+            .filter(|e| e.object == object)
+            .count(),
+        1,
+        "exactly one election"
+    );
+    // The elected sequencer accepts the rerouted session's writes.
+    sim.handle(master)
+        .write(registers::put("p", b"after"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+
+    sim.partition_node(first, false).unwrap();
+    sim.run_for(Duration::from_secs(4));
+    assert_eq!(
+        sim.home_of(object),
+        Some(second),
+        "healing must not move the sequencer back"
+    );
+    assert_eq!(
+        sim.store_digest(object, first),
+        sim.store_digest(object, second),
+        "the deposed home must converge on the elected sequencer's log"
+    );
+    let history = sim.history();
+    let h = history.lock();
+    check::check_fifo(&h).unwrap();
+}
+
+#[test]
+fn detector_flap_during_confirmation_never_elects_two_sequencers() {
+    // The flap guard: silence long enough to suspect the home but not
+    // long enough to confirm it must elect nobody; a full outage after
+    // the flap elects exactly once, and the epoch check keeps the old
+    // home from accepting once it is back.
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(91)
+            .heartbeat_period(hb)
+            .suspect_after_misses(2)
+            .auto_failover(true)
+            .failover_confirm_periods(4),
+    );
+    let first = sim.add_node();
+    let second = sim.add_node();
+    let client_node = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/flap")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, client_node, BindOptions::new().read_node(second))
+        .unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"v1"))
+        .unwrap();
+    let warm = sim.handle(master).read(registers::get("p")).unwrap();
+    assert_eq!(&warm[..], b"v1");
+    sim.run_for(Duration::from_secs(2));
+
+    // Flap: past suspicion (2 periods), well short of confirmation
+    // (4 more periods).
+    sim.partition_node(first, true).unwrap();
+    sim.run_for(Duration::from_millis(1700));
+    sim.partition_node(first, false).unwrap();
+    sim.run_for(Duration::from_secs(3));
+    let metrics = sim.metrics();
+    assert_eq!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Elected)
+            .count(),
+        0,
+        "a flap inside the confirmation window must not elect"
+    );
+    assert_eq!(sim.home_of(object), Some(first));
+
+    // Now a real outage: the survivor elects exactly once, and the
+    // flapping old home — silent, then briefly back, then gone again —
+    // cannot win a second election for the same epoch.
+    sim.partition_node(first, true).unwrap();
+    sim.run_for(Duration::from_secs(6));
+    assert_eq!(sim.home_of(object), Some(second));
+    sim.partition_node(first, false).unwrap();
+    sim.run_for(Duration::from_millis(700));
+    sim.partition_node(first, true).unwrap();
+    sim.run_for(Duration::from_secs(2));
+    sim.partition_node(first, false).unwrap();
+    sim.run_for(Duration::from_secs(4));
+    assert_eq!(
+        metrics
+            .lock()
+            .lifecycle_events(LifecycleEventKind::Elected)
+            .count(),
+        1,
+        "one outage, one election: a flap must never yield two accepting sequencers"
+    );
+    assert_eq!(
+        sim.home_of(object),
+        Some(second),
+        "the epoch check must keep the sequencer with the elected store"
+    );
+    sim.handle(master)
+        .write(registers::put("p", b"v2"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(
+        sim.store_digest(object, first),
+        sim.store_digest(object, second),
+        "both permanent stores converge on the single sequencer's log"
+    );
+    let history = sim.history();
+    let h = history.lock();
+    check::check_fifo(&h).unwrap();
+}
+
+#[test]
+fn partitioned_standby_cannot_usurp_a_live_sequencer() {
+    // The minority side of a partition: the *standby* is isolated, its
+    // detector wrongly concludes the home died, and it self-elects in
+    // the dark. Meanwhile the real home keeps sequencing acknowledged
+    // writes. On heal the incumbent's strictly-ahead log must win —
+    // counter-claimed at a higher epoch — so no acknowledged write
+    // ever leaves the authoritative log.
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(93)
+            .heartbeat_period(hb)
+            .suspect_after_misses(2)
+            .auto_failover(true)
+            .failover_confirm_periods(1),
+    );
+    let home = sim.add_node();
+    let standby = sim.add_node();
+    let client_node = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/usurper")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(home, StoreClass::Permanent)
+        .store(standby, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, client_node, BindOptions::new().read_node(home))
+        .unwrap();
+    sim.handle(master)
+        .write(registers::put("p", b"v1"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(2));
+
+    // Isolate the standby; the home keeps accepting writes the clients
+    // see acknowledged.
+    sim.partition_node(standby, true).unwrap();
+    sim.run_for(Duration::from_secs(4));
+    sim.handle(master)
+        .write(registers::put("p", b"acknowledged-during-partition"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+
+    // Heal: the standby re-announces its dark-room election, the
+    // incumbent counter-claims, and the sequencer stays (or returns)
+    // where the authoritative log lives.
+    sim.partition_node(standby, false).unwrap();
+    sim.run_for(Duration::from_secs(5));
+    assert_eq!(
+        sim.home_of(object),
+        Some(home),
+        "a partitioned standby must not keep the sequencer it granted itself"
+    );
+    // The acknowledged write survives and both replicas converge on it.
+    let seen = sim.handle(master).read(registers::get("p")).unwrap();
+    assert_eq!(&seen[..], b"acknowledged-during-partition");
+    assert_eq!(
+        sim.store_digest(object, home),
+        sim.store_digest(object, standby),
+        "the usurper must converge on the incumbent's log"
+    );
+    let history = sim.history();
+    let h = history.lock();
+    check::check_fifo(&h).unwrap();
+}
+
+#[test]
+fn node_level_detector_sends_one_stream_per_pair_not_per_object() {
+    // Eight objects co-homed on one node pair: heartbeat traffic must
+    // stay O(peers) per round (one ping each way), not O(objects).
+    let hb = Duration::from_millis(500);
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new().seed(92).heartbeat_period(hb),
+    );
+    let server = sim.add_node();
+    let mirror = sim.add_node();
+    let objects = 8;
+    for i in 0..objects {
+        ObjectSpec::new(format!("/dynamic/pair{i}"))
+            .policy(
+                ReplicationPolicy::builder(ObjectModel::Fifo)
+                    .immediate()
+                    .build()
+                    .unwrap(),
+            )
+            .semantics_boxed(doc)
+            .store(server, StoreClass::Permanent)
+            .store(mirror, StoreClass::ObjectInitiated)
+            .create(&mut sim)
+            .unwrap();
+    }
+    let rounds = 10u64;
+    sim.run_for(Duration::from_millis(500 * rounds));
+    let metrics = sim.metrics();
+    let metrics = metrics.lock();
+    let pings = metrics
+        .traffic
+        .get("NodePing")
+        .map(|k| k.count)
+        .unwrap_or(0);
+    // Two directed streams (server→mirror, mirror→server), one ping
+    // each per round — regardless of how many objects share the pair.
+    assert!(pings >= rounds, "the detector must actually run: {pings}");
+    assert!(
+        pings <= 2 * (rounds + 2),
+        "heartbeats must be per node pair, not per object: {pings} pings \
+         for {objects} objects over ~{rounds} rounds"
+    );
+}
+
+#[test]
 fn removed_store_leaves_membership_and_propagation() {
     let mut sim = GlobeSim::new(Topology::lan(), 81);
     let server = sim.add_node();

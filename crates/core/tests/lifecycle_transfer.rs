@@ -173,6 +173,116 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Unattended fail-over under every `ObjectModel`: random writes,
+    /// then a partition of the home with **no** lifecycle call — the
+    /// detector must confirm the outage and the survivor must
+    /// self-elect, accept a write, and re-absorb the healed old home,
+    /// with every store's history a prefix-consistent continuation and
+    /// the model checker still green over the whole run.
+    #[test]
+    fn auto_failover_stays_prefix_consistent_across_models(
+        model in arb_model(),
+        seed in 0u64..1024,
+        writes in 1usize..6,
+    ) {
+        let hb = std::time::Duration::from_millis(500);
+        let policy = ReplicationPolicy::builder(model)
+            .immediate()
+            .build()
+            .expect("immediate policies are valid for every model");
+        let mut sim = GlobeSim::with_config(
+            Topology::lan(),
+            globe_core::RuntimeConfig::new()
+                .seed(seed)
+                .heartbeat_period(hb)
+                .suspect_after_misses(2)
+                .auto_failover(true)
+                .failover_confirm_periods(1),
+        );
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let client_node = sim.add_node();
+        let object = ObjectSpec::new("/prop/auto-failover")
+            .policy(policy)
+            .semantics_boxed(doc)
+            .store(a, StoreClass::Permanent)
+            .store(b, StoreClass::Permanent)
+            .create(&mut sim)
+            .expect("create object");
+        // Reads via the survivor teach it the client's node, so the
+        // takeover announcement reroutes the session.
+        let master = sim
+            .bind(object, client_node, BindOptions::new().read_node(b))
+            .expect("bind master");
+        for i in 0..writes {
+            sim.handle(master)
+                .write(registers::put(&format!("p{}", i % 3), &[i as u8]))
+                .expect("write");
+        }
+        sim.handle(master)
+            .read(registers::get("p0"))
+            .expect("warm the survivor's serve path");
+        sim.run_for(Duration::from_secs(2));
+
+        let pre: Vec<(globe_coherence::StoreId, Vec<_>)> = {
+            let history = sim.history();
+            let h = history.lock();
+            sim.stores_of(object)
+                .iter()
+                .map(|(_, id, _)| (*id, h.store_applies(*id).cloned().collect()))
+                .collect()
+        };
+
+        // Partition the home; nobody calls remove/restart.
+        sim.partition_node(a, true).expect("isolate the home");
+        sim.run_for(Duration::from_secs(4));
+        prop_assert_eq!(
+            sim.home_of(object),
+            Some(b),
+            "the survivor must self-elect (model {:?}, seed {})",
+            model,
+            seed
+        );
+        // The elected sequencer accepts the rerouted session's write.
+        sim.handle(master)
+            .write(registers::put("elected", &[0xEE]))
+            .expect("write to the self-elected sequencer");
+        sim.run_for(Duration::from_secs(1));
+
+        // Heal: the deposed home rejoins as an ordinary replica.
+        sim.partition_node(a, false).expect("heal the partition");
+        sim.run_for(Duration::from_secs(5));
+        prop_assert_eq!(sim.home_of(object), Some(b));
+        prop_assert_eq!(
+            sim.store_digest(object, a),
+            sim.store_digest(object, b),
+            "the deposed home must converge on the elected sequencer's log"
+        );
+
+        // Prefix consistency per store, and the model still holds.
+        {
+            let history = sim.history();
+            let h = history.lock();
+            for (store, pre_applies) in &pre {
+                let post: Vec<_> = h.store_applies(*store).cloned().collect();
+                prop_assert!(post.len() >= pre_applies.len());
+                prop_assert_eq!(
+                    &post[..pre_applies.len()],
+                    &pre_applies[..],
+                    "pre-partition history must survive as an untouched prefix"
+                );
+            }
+            if let Err(violation) = check::check_object_model(&h, model) {
+                return Err(TestCaseError::fail(format!(
+                    "model {model:?} violated across unattended fail-over: {violation}"
+                )));
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
     fn recovery_is_a_prefix_consistent_continuation(

@@ -3,7 +3,7 @@
 //! replica must survive any datagram the network hands it.
 
 use bytes::Bytes;
-use globe_coherence::{ClientId, VersionVector, WriteId};
+use globe_coherence::{ClientId, StoreId, VersionVector, WriteId};
 use globe_core::{
     CallOutcome, CoherenceMsg, InvocationMessage, LoggedWrite, MethodId, NetMsg, ReplicationPolicy,
     RequestId,
@@ -114,8 +114,9 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
         Just(CoherenceMsg::PolicyUpdate {
             policy: ReplicationPolicy::conference_page(),
         }),
-        (0u32..8, arb_class()).prop_map(|(n, class)| CoherenceMsg::JoinRequest {
+        (0u32..8, 0u32..16, arb_class()).prop_map(|(n, s, class)| CoherenceMsg::JoinRequest {
             node: NodeId::new(n),
+            store: StoreId::new(s),
             class,
         }),
         (
@@ -124,55 +125,73 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
             proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
             proptest::option::of(any::<u64>()),
             proptest::collection::vec(arb_write(), 0..5),
+            arb_members(),
         )
-            .prop_map(|(version, state, writers, order_high, log)| {
+            .prop_map(|(version, state, writers, order_high, log, peers)| {
                 CoherenceMsg::StateTransfer {
                     version,
                     state: Bytes::from(state),
                     writers,
                     order_high,
                     log,
+                    peers,
                 }
             }),
         (0u32..8).prop_map(|n| CoherenceMsg::Leave {
             node: NodeId::new(n)
         }),
-        any::<u64>().prop_map(|seq| CoherenceMsg::Ping { seq }),
-        any::<u64>().prop_map(|seq| CoherenceMsg::Pong { seq }),
-        proptest::collection::vec((0u32..8, arb_class()), 0..4).prop_map(|peers| {
-            CoherenceMsg::ElectRequest {
-                peers: peers
-                    .into_iter()
-                    .map(|(n, c)| (NodeId::new(n), c))
-                    .collect(),
-            }
-        }),
+        // The node-scoped detector frames: any byte-level mangling of
+        // these must fail cleanly too (covered by the garbage and
+        // truncation properties below, which draw from this strategy).
+        any::<u64>().prop_map(|seq| CoherenceMsg::NodePing { seq }),
+        any::<u64>().prop_map(|seq| CoherenceMsg::NodePong { seq }),
+        (arb_members(), any::<u64>())
+            .prop_map(|(peers, epoch)| CoherenceMsg::ElectRequest { peers, epoch }),
         (
-            0u32..8,
+            (0u32..8, 0u32..8, 0u32..16, any::<u64>()),
             arb_vv(),
             proptest::collection::vec(any::<u8>(), 0..64),
             proptest::collection::vec(("[a-z]{1,8}", arb_wid()), 0..4),
             proptest::option::of(any::<u64>()),
             proptest::collection::vec(arb_write(), 0..5),
-            proptest::collection::vec((0u32..8, arb_class()), 0..4),
+            arb_members(),
         )
             .prop_map(
-                |(new_home, version, state, writers, order_high, log, peers)| {
+                |(
+                    (old_home, new_home, new_home_store, epoch),
+                    version,
+                    state,
+                    writers,
+                    order_high,
+                    log,
+                    peers,
+                )| {
                     CoherenceMsg::SequencerHandoff {
+                        old_home: NodeId::new(old_home),
                         new_home: NodeId::new(new_home),
+                        new_home_store: StoreId::new(new_home_store),
+                        epoch,
                         version,
                         state: Bytes::from(state),
                         writers,
                         order_high,
                         log,
-                        peers: peers
-                            .into_iter()
-                            .map(|(n, c)| (NodeId::new(n), c))
-                            .collect(),
+                        peers,
                     }
                 },
             ),
+        arb_members().prop_map(|peers| CoherenceMsg::Membership { peers }),
     ]
+}
+
+/// A wire-carried membership list: `(node, store id, class)` triples.
+fn arb_members() -> impl Strategy<Value = Vec<globe_core::WireMember>> {
+    proptest::collection::vec((0u32..8, 0u32..16, arb_class()), 0..4).prop_map(|members| {
+        members
+            .into_iter()
+            .map(|(n, s, c)| (NodeId::new(n), globe_coherence::StoreId::new(s), c))
+            .collect()
+    })
 }
 
 fn arb_class() -> impl Strategy<Value = globe_coherence::StoreClass> {

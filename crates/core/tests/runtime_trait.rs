@@ -158,6 +158,33 @@ fn home_failover_matrix_spans_sim_tcp_and_shard() {
     }
 }
 
+/// The unattended fail-over drill, identical on every backend: with
+/// the detector and `auto_failover` on, partitioning the home yields a
+/// self-elected sequencer that accepts writes with **no** lifecycle
+/// call, sessions reroute on the unsolicited takeover announcement,
+/// and the deposed home rejoins as an ordinary replica when healed.
+#[test]
+fn auto_failover_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(20))
+        .heartbeat_period(Duration::from_millis(60))
+        .suspect_after_misses(2)
+        .auto_failover(true)
+        .failover_confirm_periods(1);
+    let outcomes = matrix::run_matrix(&matrix::fault::AutoFailover, &Backend::ALL, config)
+        .expect("identical unattended fail-over outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.observations.items().len(),
+            6,
+            "{}: all auto-fail-over observations recorded",
+            outcome.backend
+        );
+    }
+}
+
 /// Live membership churn (add a mirror, read through it, remove it)
 /// behaves identically everywhere — including on TCP after `start()`,
 /// where the operations ride the control plane.

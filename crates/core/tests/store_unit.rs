@@ -59,10 +59,12 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
         },
         policy,
         home_node,
+        home_store: StoreId::new(0),
         is_home,
         peers: if is_home {
             vec![PeerStore {
                 node: peer_node,
+                store: StoreId::new(1),
                 class: StoreClass::ClientInitiated,
             }]
         } else {

@@ -86,6 +86,9 @@ struct MeshFaults {
     /// Inbound connections rejected before entering service (unreadable
     /// or malformed hello, reader spawn failure).
     rejected_frames: AtomicU64,
+    /// Service threads the OS refused to spawn (node event loops, the
+    /// timer thread): the mesh degrades observably instead of panicking.
+    spawn_failures: AtomicU64,
 }
 
 /// A point-in-time snapshot of a mesh's transport-fault counters.
@@ -99,6 +102,9 @@ pub struct MeshFaultStats {
     /// Inbound connections rejected before entering service (bad hello,
     /// reader spawn failure).
     pub rejected_frames: u64,
+    /// Service threads the OS refused to spawn (node event loops, the
+    /// timer thread).
+    pub spawn_failures: u64,
 }
 
 struct MeshShared {
@@ -140,18 +146,30 @@ pub struct TcpMesh {
 }
 
 impl TcpMesh {
-    /// Creates an empty mesh (and its timer service thread).
+    /// Creates an empty mesh (and its timer service thread). If the
+    /// timer thread cannot be spawned the mesh still constructs —
+    /// degraded, with timers inert — and the failure is counted in
+    /// [`TcpMesh::fault_stats`] instead of panicking.
     pub fn new() -> Self {
-        TcpMesh {
+        let timer = WallTimer::spawn();
+        let timer_failed = timer.is_stopped();
+        let mesh = TcpMesh {
             shared: Arc::new(MeshShared {
                 addrs: RwLock::new(HashMap::new()),
-                timer: WallTimer::spawn(),
+                timer,
                 epoch: Instant::now(),
                 shutdown: AtomicBool::new(false),
                 faults: MeshFaults::default(),
             }),
             next_node: AtomicU64::new(0),
+        };
+        if timer_failed {
+            mesh.shared
+                .faults
+                .spawn_failures
+                .fetch_add(1, Ordering::Relaxed);
         }
+        mesh
     }
 
     /// Binds a listener for a new node and returns its endpoint.
@@ -219,6 +237,7 @@ impl MeshShared {
             send_errors: self.faults.send_errors.load(Ordering::Relaxed),
             disconnects: self.faults.disconnects.load(Ordering::Relaxed),
             rejected_frames: self.faults.rejected_frames.load(Ordering::Relaxed),
+            spawn_failures: self.faults.spawn_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -340,15 +359,24 @@ impl TcpEndpoint {
     }
 
     /// Spawns [`TcpEndpoint::run_loop`] on a named thread.
-    pub fn spawn_loop<F>(self, handler: F) -> JoinHandle<()>
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the thread cannot be spawned; the failure
+    /// is also counted in the mesh's [`TcpMesh::fault_stats`] so a live
+    /// deployment observes the degraded node instead of crashing.
+    pub fn spawn_loop<F>(self, handler: F) -> std::io::Result<JoinHandle<()>>
     where
         F: FnMut(Event, &mut dyn NetCtx) + Send + 'static,
     {
         let name = format!("globe-node-{}", self.node);
+        let shared = Arc::clone(&self.shared);
         std::thread::Builder::new()
             .name(name)
             .spawn(move || self.run_loop(Duration::from_millis(20), handler))
-            .expect("failed to spawn node thread")
+            .inspect_err(|_| {
+                shared.faults.spawn_failures.fetch_add(1, Ordering::Relaxed);
+            })
     }
 
     fn send_inner(&self, to: NodeId, payload: &Bytes) -> Result<(), MeshError> {
@@ -495,12 +523,14 @@ mod tests {
         let b = mesh.add_node().unwrap();
         let (an, bn) = (a.node(), b.node());
 
-        let b_handle = b.spawn_loop(move |event, ctx| {
-            if let Event::Message { from, payload } = event {
-                assert_eq!(from, an);
-                ctx.send(from, payload);
-            }
-        });
+        let b_handle = b
+            .spawn_loop(move |event, ctx| {
+                if let Event::Message { from, payload } = event {
+                    assert_eq!(from, an);
+                    ctx.send(from, payload);
+                }
+            })
+            .expect("test host can spawn a node thread");
 
         a.sender().send(bn, Bytes::from_static(b"ping")).unwrap();
         match a.recv_timeout(Duration::from_secs(5)) {

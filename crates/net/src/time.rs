@@ -92,6 +92,14 @@ impl AddAssign<Duration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = Duration;
 
+    /// Exact difference between two instants whose order is statically
+    /// known — **test and bench arithmetic only**. Runtime code that
+    /// compares instants whose order is data-dependent (detector
+    /// staleness, latency accounting, anything fed by timestamps a
+    /// reordered or late event may have recorded) must use
+    /// [`SimTime::saturating_since`], which degrades to zero instead of
+    /// aborting the process.
+    ///
     /// # Panics
     ///
     /// Panics if `rhs` is later than `self`; use

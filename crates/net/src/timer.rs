@@ -76,20 +76,49 @@ pub struct WallTimer {
 
 impl WallTimer {
     /// Creates the service and spawns its timer thread.
+    ///
+    /// If the OS refuses the thread (resource exhaustion), the returned
+    /// service is *degraded* rather than the process panicking: it is
+    /// born shut down, so armed timers never fire and their closures are
+    /// dropped immediately. Callers that need to distinguish the two
+    /// outcomes use [`WallTimer::try_spawn`] and count the failure.
     pub fn spawn() -> Arc<Self> {
-        let service = Arc::new(WallTimer {
+        WallTimer::try_spawn().unwrap_or_else(|_| {
+            let service = WallTimer::service();
+            service.stop();
+            service
+        })
+    }
+
+    /// Creates the service and spawns its timer thread, surfacing the
+    /// spawn failure as an [`std::io::Error`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the timer thread cannot be spawned.
+    pub fn try_spawn() -> std::io::Result<Arc<Self>> {
+        let service = WallTimer::service();
+        let worker = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("globe-timer".into())
+            .spawn(move || worker.run())?;
+        Ok(service)
+    }
+
+    fn service() -> Arc<Self> {
+        Arc::new(WallTimer {
             heap: Mutex::new(BinaryHeap::new()),
             cancelled: Mutex::new(HashSet::new()),
             cond: Condvar::new(),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-        });
-        let worker = Arc::clone(&service);
-        std::thread::Builder::new()
-            .name("globe-timer".into())
-            .spawn(move || worker.run())
-            .expect("failed to spawn timer thread");
-        service
+        })
+    }
+
+    /// Whether the service has been stopped (or was born degraded because
+    /// its thread failed to spawn): armed timers will never fire.
+    pub fn is_stopped(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Arms a timer: after `delay`, `deliver` runs on the timer thread.

@@ -388,6 +388,23 @@ impl<A: WireDecode, B2: WireDecode> WireDecode for (A, B2) {
     }
 }
 
+impl<A: WireEncode, B2: WireEncode, C: WireEncode> WireEncode for (A, B2, C) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
+}
+
+impl<A: WireDecode, B2: WireDecode, C: WireDecode> WireDecode for (A, B2, C) {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B2::decode(buf)?, C::decode(buf)?))
+    }
+}
+
 /// Implements [`WireEncode`]/[`WireDecode`] for a fieldless enum with a
 /// one-byte discriminant.
 ///
