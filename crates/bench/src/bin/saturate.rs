@@ -1,0 +1,240 @@
+//! SATURATE — per-backend throughput ceiling of the load engine.
+//!
+//! Sweeps the number of concurrent writer handles on each backend and
+//! lets the engine drive them open-loop at a fixed per-writer offered
+//! rate: operations are issued at their scheduled instants whether or
+//! not earlier ones completed, so total offered load grows with the
+//! writer count and the backend's ceiling shows up as the knee where
+//! the completed rate stops tracking it (the generator never silently
+//! slows down to hide it). Each writer gets its own object (on the
+//! shard backend sequential object ids hash to distinct lanes), so
+//! adding writers adds both client threads and store-side parallelism.
+//!
+//! The simulator has no [`globe_core::EnginePort`]; the engine falls
+//! back to its interleaved virtual-time schedule there, and the row is
+//! reported in virtual ops/sec — a determinism baseline rather than a
+//! saturation point.
+//!
+//! Emits `BENCH_saturate.json` (override with `--out`); `--smoke` or
+//! `BENCH_SMOKE=1` selects the reduced CI configuration. CI checks the
+//! headline claim: shard throughput scales at least 2x from 1 to 4
+//! writers.
+
+use std::time::Duration;
+
+use globe_bench::json::{write_json, Json};
+use globe_bench::{fmt_duration, fmt_f64, Table};
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    BindOptions, ClientHandle, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec,
+    ReplicationPolicy,
+};
+use globe_net::Topology;
+use globe_web::WebSemantics;
+use globe_workload::{run_engine, Arrival, EngineMode, EngineReport, WorkloadSpec};
+
+/// Shard lanes are held constant across the sweep (more than the widest
+/// writer count) so only the offered load varies, never the runtime.
+const LANES: usize = 8;
+
+/// Open-loop arrival gap on the shard backend: a fixed per-writer
+/// offered rate (10k ops/s), so the sweep raises total offered load
+/// with the writer count and saturation shows up as the knee where the
+/// speedup column flattens below the writer count.
+const SHARD_GAP: Duration = Duration::from_micros(100);
+
+/// Open-loop gap on the TCP backend: still well above what loopback
+/// round trips sustain, but bounded so kernel socket buffers don't
+/// absorb an unbounded queue.
+const TCP_GAP: Duration = Duration::from_micros(100);
+
+/// Spec for the wall-clock (concurrent open-loop) backends.
+fn wall_spec(smoke: bool, gap: Duration) -> WorkloadSpec {
+    WorkloadSpec {
+        duration: if smoke {
+            Duration::from_millis(250)
+        } else {
+            Duration::from_secs(2)
+        },
+        drain: if smoke {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_secs(1)
+        },
+        pages: 4,
+        zipf_theta: 0.8,
+        page_bytes: 128,
+        incremental: true,
+        reader_arrival: Arrival::Poisson(1.0), // no readers in this sweep
+        writer_arrival: Arrival::Fixed(gap),
+        seed: 17,
+    }
+}
+
+/// Spec for the simulator's interleaved virtual-time baseline: a
+/// precomputed schedule, so a moderate Poisson rate instead of a
+/// near-zero gap.
+fn sim_spec(smoke: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        duration: if smoke {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_secs(10)
+        },
+        drain: Duration::from_secs(1),
+        pages: 4,
+        zipf_theta: 0.8,
+        page_bytes: 128,
+        incremental: true,
+        reader_arrival: Arrival::Poisson(1.0),
+        writer_arrival: Arrival::Poisson(200.0),
+        seed: 17,
+    }
+}
+
+/// Builds `writers` single-store objects (one writer handle each, all
+/// on one client node) and runs the engine against them.
+fn measure<R: GlobeRuntime>(rt: &mut R, writers: usize, spec: &WorkloadSpec) -> EngineReport {
+    let client = rt.add_node().expect("client node");
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let handles: Vec<ClientHandle> = (0..writers)
+        .map(|i| {
+            let store = rt.add_node().expect("store node");
+            let object = ObjectSpec::new(format!("/saturate/obj{i:02}"))
+                .policy(policy.clone())
+                .semantics(WebSemantics::new)
+                .store(store, StoreClass::Permanent)
+                .create(rt)
+                .expect("create object");
+            rt.bind(object, client, BindOptions::new().read_node(store))
+                .expect("bind writer")
+        })
+        .collect();
+    rt.start(&[client]);
+    let report = run_engine(rt, &[], &handles, spec);
+    rt.shutdown();
+    report
+}
+
+fn mode_name(mode: EngineMode) -> &'static str {
+    match mode {
+        EngineMode::Interleaved => "interleaved",
+        EngineMode::Concurrent { .. } => "concurrent",
+    }
+}
+
+fn main() {
+    let smoke = globe_bench::smoke_mode();
+    let out = globe_bench::out_path_arg().unwrap_or_else(|| "BENCH_saturate.json".to_string());
+    let counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Engine saturation sweep: {counts:?} open-loop writers, one object each,\n\
+         fixed per-writer offered rates on the wall-clock backends ({LANES} shard\n\
+         lanes, {cores} core(s) detected). Sim rows are the interleaved\n\
+         virtual-time baseline, not a saturation point.\n"
+    );
+
+    let mut table = Table::new(
+        "Completed throughput by backend and writer count",
+        &[
+            "backend", "writers", "mode", "ops/s", "p50", "p99", "p999", "speedup",
+        ],
+    );
+    let mut backends = Vec::new();
+    let mut shard_speedup_1_to_4 = 0.0f64;
+    for backend in ["sim", "tcp", "shard"] {
+        let mut baseline: Option<f64> = None;
+        let mut rows = Vec::new();
+        for &writers in counts {
+            let report = match backend {
+                "sim" => {
+                    let mut rt = GlobeSim::new(Topology::lan(), 17);
+                    measure(&mut rt, writers, &sim_spec(smoke))
+                }
+                "tcp" => {
+                    let mut rt = GlobeTcp::new();
+                    measure(&mut rt, writers, &wall_spec(smoke, TCP_GAP))
+                }
+                _ => {
+                    let mut rt = GlobeShard::new(LANES);
+                    measure(&mut rt, writers, &wall_spec(smoke, SHARD_GAP))
+                }
+            };
+            let ops = report.ops_per_sec();
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(ops);
+                    1.0
+                }
+                Some(base) => ops / base.max(f64::EPSILON),
+            };
+            if backend == "shard" && writers == 4 {
+                shard_speedup_1_to_4 = speedup;
+            }
+            let lat = &report.write_latency;
+            table.row(vec![
+                backend.to_string(),
+                writers.to_string(),
+                mode_name(report.mode).to_string(),
+                fmt_f64(ops),
+                fmt_duration(lat.p50),
+                fmt_duration(lat.p99),
+                fmt_duration(lat.p999),
+                fmt_f64(speedup),
+            ]);
+            rows.push(Json::obj([
+                ("writers", Json::Int(writers as i64)),
+                ("mode", Json::str(mode_name(report.mode))),
+                ("ops_per_s", Json::Num(ops)),
+                ("writes_issued", Json::Int(report.writes_issued as i64)),
+                (
+                    "writes_completed",
+                    Json::Int(report.writes_completed as i64),
+                ),
+                ("issue_errors", Json::Int(report.issue_errors as i64)),
+                ("abandoned", Json::Int(report.abandoned as i64)),
+                ("p50_us", Json::Num(lat.p50.as_secs_f64() * 1e6)),
+                ("p99_us", Json::Num(lat.p99.as_secs_f64() * 1e6)),
+                ("p999_us", Json::Num(lat.p999.as_secs_f64() * 1e6)),
+                ("elapsed_s", Json::Num(report.elapsed.as_secs_f64())),
+                ("speedup_vs_1", Json::Num(speedup)),
+            ]));
+        }
+        backends.push(Json::obj([
+            ("backend", Json::str(backend)),
+            ("results", Json::Array(rows)),
+        ]));
+    }
+    println!("{table}");
+    println!(
+        "shard speedup 1 -> 4 writers: {} ({})",
+        fmt_f64(shard_speedup_1_to_4),
+        if shard_speedup_1_to_4 >= 2.0 {
+            "meets the >= 2x scaling claim"
+        } else {
+            "BELOW the >= 2x scaling claim"
+        }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::str("saturate")),
+        ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+        ("lanes", Json::Int(LANES as i64)),
+        ("cores", Json::Int(cores as i64)),
+        ("shard_gap_us", Json::Num(SHARD_GAP.as_secs_f64() * 1e6)),
+        ("tcp_gap_us", Json::Num(TCP_GAP.as_secs_f64() * 1e6)),
+        ("shard_speedup_1_to_4", Json::Num(shard_speedup_1_to_4)),
+        ("shard_scaling_ok", Json::Bool(shard_speedup_1_to_4 >= 2.0)),
+        ("backends", Json::Array(backends)),
+    ]);
+    match write_json(&out, &doc) {
+        Ok(_) => println!("wrote {out}"),
+        Err(e) => eprintln!("failed to write {out}: {e}"),
+    }
+}

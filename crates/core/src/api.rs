@@ -652,6 +652,18 @@ pub trait GlobeRuntime {
     /// virtual time in the simulator, wall-clock time over sockets.
     fn settle(&mut self, d: Duration);
 
+    /// A thread-safe issuing surface over this runtime's client plane,
+    /// or `None` when the runtime is single-threaded (the simulator,
+    /// whose address spaces are `Rc`-shared and advance only in virtual
+    /// time). Backends whose protocol machinery runs on its own threads
+    /// (TCP, shard) return a port that N load-generator threads can
+    /// issue and poll through concurrently — the surface the workload
+    /// engine's open-loop drivers saturate. Call [`GlobeRuntime::start`]
+    /// first: the port issues into live machinery.
+    fn engine_port(&mut self) -> Option<std::sync::Arc<dyn EnginePort>> {
+        None
+    }
+
     /// An object-centric view over a bound client, so call sites read
     /// `handle.write(..)` instead of threading `&mut runtime` around.
     fn handle(&mut self, client: ClientHandle) -> ObjectHandle<'_, Self>
@@ -682,6 +694,36 @@ pub trait GlobeRuntime {
         let client = self.bind(object, node, opts)?;
         Ok(self.handle(client))
     }
+}
+
+/// A thread-safe, object-safe slice of a runtime's client plane: issue
+/// an asynchronous call, poll for its result. Obtained from
+/// [`GlobeRuntime::engine_port`]; cloneable via `Arc`, so one port fans
+/// out to N concurrent load-generator threads while the runtime's own
+/// machinery (shard workers, store event loops) makes the progress.
+///
+/// The contract mirrors the trait's issue/result split, minus the
+/// pumping duties: `try_result` never blocks and never sleeps — the
+/// caller owns its poll cadence (an open-loop driver polls between
+/// issues; a closed-loop one spins with its own backoff).
+pub trait EnginePort: Send + Sync {
+    /// Issues an asynchronous call for `handle`; a read when `is_read`,
+    /// a write otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CallError::NotBound`] for an unknown handle.
+    fn issue(
+        &self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        is_read: bool,
+    ) -> Result<RequestId, CallError>;
+
+    /// Takes the result of an asynchronous call if it has completed;
+    /// returns immediately either way.
+    fn try_result(&self, handle: &ClientHandle, req: RequestId)
+        -> Option<Result<Bytes, CallError>>;
 }
 
 /// An owning view of one bound client on one runtime: invocation calls

@@ -87,7 +87,9 @@ mod store_engine;
 mod tcp_runtime;
 
 pub use adaptive::{AdaptiveController, Regime};
-pub use api::{GlobeRuntime, ObjectHandle, ObjectSpec, RuntimeConfig, SemanticsFactory};
+pub use api::{
+    EnginePort, GlobeRuntime, ObjectHandle, ObjectSpec, RuntimeConfig, SemanticsFactory,
+};
 pub use comm::CommObject;
 pub use control::ControlObject;
 pub use error::{CallError, PolicyError, SemanticsError};

@@ -842,6 +842,16 @@ impl GlobeSim {
         Some(store.applied().clone())
     }
 
+    /// The peer nodes the replica at `node` currently knows about — its
+    /// copy of the object's membership, minus itself. Tests use this to
+    /// assert membership refreshes actually reached a replica.
+    pub fn store_peers(&self, object: ObjectId, node: NodeId) -> Option<Vec<NodeId>> {
+        let space = self.spaces.get(&node)?;
+        let space = space.borrow();
+        let store = space.control(object)?.store()?;
+        Some(store.peers().iter().map(|p| p.node).collect())
+    }
+
     /// All stores of an object, as `(node, store id, class)` triples.
     pub fn stores_of(&self, object: ObjectId) -> Vec<(NodeId, StoreId, StoreClass)> {
         self.objects

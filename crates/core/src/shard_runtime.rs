@@ -830,6 +830,57 @@ impl GlobeShard {
     }
 }
 
+/// The shard runtime's [`EnginePort`]: issuing and polling both go
+/// through the owning lane's space lock, exactly like the trait-level
+/// path, so N engine threads contend only when their objects share a
+/// lane — objects on different lanes issue fully in parallel.
+struct ShardPort {
+    shards: Vec<ShardSpaces>,
+    router: Arc<ShardRouter>,
+}
+
+impl ShardPort {
+    fn lane(&self, object: ObjectId) -> &ShardSpaces {
+        &self.shards[self.router.shard_of(object)]
+    }
+}
+
+impl crate::EnginePort for ShardPort {
+    fn issue(
+        &self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        is_read: bool,
+    ) -> Result<RequestId, CallError> {
+        let mut spaces = self.lane(handle.object).lock();
+        let control = spaces
+            .get_mut(&handle.node)
+            .and_then(|space| space.control_mut(handle.object))
+            .ok_or(CallError::NotBound)?;
+        let mut ctx = ShardCtx {
+            node: handle.node,
+            router: &self.router,
+        };
+        if is_read {
+            control.client_read(handle.client, inv, &mut ctx)
+        } else {
+            control.client_write(handle.client, inv, &mut ctx)
+        }
+    }
+
+    fn try_result(
+        &self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        let mut spaces = self.lane(handle.object).lock();
+        spaces
+            .get_mut(&handle.node)?
+            .control_mut(handle.object)?
+            .take_result(handle.client, req)
+    }
+}
+
 impl GlobeRuntime for GlobeShard {
     fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
         GlobeShard::add_node(self)
@@ -950,6 +1001,16 @@ impl GlobeRuntime for GlobeShard {
         // The workers run in real time; let the wall clock advance.
         self.ensure_started();
         std::thread::sleep(d);
+    }
+
+    fn engine_port(&mut self) -> Option<Arc<dyn crate::EnginePort>> {
+        // The port issues into live machinery; make sure the workers
+        // that provide progress are running.
+        self.ensure_started();
+        Some(Arc::new(ShardPort {
+            shards: self.shards.clone(),
+            router: Arc::clone(&self.router),
+        }))
     }
 }
 

@@ -560,6 +560,13 @@ impl StoreReplica {
 
     /// Home-store side of a join: register the peer and ship it the full
     /// state (snapshot + version vector + write log + membership).
+    ///
+    /// A join can land on a non-home replica when the joiner's record of
+    /// the sequencer is stale (an election completed between planning the
+    /// install and the frame arriving). Joins are one-shot — the joiner
+    /// does not retry — so dropping the frame would strand it without a
+    /// state transfer. Forward it to the sequencer this replica follows
+    /// instead; the frame keeps hopping until it reaches the current home.
     pub fn handle_join(
         &mut self,
         node: NodeId,
@@ -568,6 +575,13 @@ impl StoreReplica {
         ctx: &mut dyn NetCtx,
     ) {
         if !self.is_home {
+            if self.home_node != ctx.node() && self.home_node != node {
+                self.comm.send(
+                    ctx,
+                    self.home_node,
+                    &CoherenceMsg::JoinRequest { node, store, class },
+                );
+            }
             return;
         }
         self.add_peer(PeerStore { node, store, class });
@@ -1586,5 +1600,65 @@ impl std::fmt::Debug for StoreReplica {
             .field("buffered", &self.buffered.len())
             .field("queued_reads", &self.queued_reads.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use globe_net::{Event, SimNet, Topology};
+
+    use crate::{shared_history, shared_metrics, NetMsg, RegisterDoc, ReplicationPolicy};
+
+    use super::*;
+
+    /// A join that lands on a deposed ex-home (stale joiner record) must
+    /// be forwarded to the sequencer the replica follows, not dropped —
+    /// joins are one-shot and the joiner would otherwise never receive
+    /// its state transfer.
+    #[test]
+    fn non_home_forwards_misrouted_join_to_its_home() {
+        let mut net = SimNet::new(Topology::lan(), 0);
+        let ex_home = net.add_node();
+        let home = net.add_node();
+        let joiner = net.add_node();
+        let mut replica = StoreReplica::new(StoreConfig {
+            object: ObjectId::new(7),
+            store_id: StoreId::new(1),
+            class: StoreClass::Permanent,
+            policy: ReplicationPolicy::whiteboard(),
+            home_node: home,
+            home_store: StoreId::new(0),
+            is_home: false,
+            peers: vec![PeerStore {
+                node: home,
+                store: StoreId::new(0),
+                class: StoreClass::Permanent,
+            }],
+            semantics: Box::new(RegisterDoc::new()),
+            history: shared_history(),
+            metrics: shared_metrics(),
+            detector: DetectorConfig::default(),
+        });
+
+        let forwarded = std::rc::Rc::new(std::cell::Cell::new(false));
+        {
+            let forwarded = forwarded.clone();
+            net.set_handler(home, move |event, _ctx| {
+                if let Event::Message { payload, .. } = event {
+                    let env: NetMsg = globe_wire::from_bytes(&payload).unwrap();
+                    if let CoherenceMsg::JoinRequest { node, .. } = env.msg {
+                        assert_eq!(node, joiner);
+                        forwarded.set(true);
+                    }
+                }
+            });
+        }
+        net.with_ctx(ex_home, |ctx| {
+            replica.handle_join(joiner, StoreId::new(9), StoreClass::Permanent, ctx);
+        });
+        net.run_until_quiescent();
+        assert!(forwarded.get(), "misrouted join must reach the real home");
+        // The deposed replica itself must not have adopted the joiner.
+        assert!(replica.peers().iter().all(|p| p.node != joiner));
     }
 }

@@ -46,7 +46,11 @@ fn no_control_error() -> RuntimeError {
 /// thread. Shut down with [`GlobeTcp::shutdown`].
 pub struct GlobeTcp {
     mesh: TcpMesh,
-    endpoints: HashMap<NodeId, TcpEndpoint>,
+    /// Caller-driven endpoints (client nodes, plus every node before
+    /// `start()`), shared so the engine port can pump them from N
+    /// load-generator threads. Store nodes leave this map at `start()`
+    /// when their event loops take ownership.
+    endpoints: HashMap<NodeId, Arc<Mutex<TcpEndpoint>>>,
     spaces: HashMap<NodeId, Arc<Mutex<AddressSpace>>>,
     names: NameSpace,
     locations: LocationService,
@@ -122,7 +126,7 @@ impl GlobeTcp {
             .add_node()
             .map_err(|e| RuntimeError::BadName(e.to_string()))?;
         let node = endpoint.node();
-        self.endpoints.insert(node, endpoint);
+        self.endpoints.insert(node, Arc::new(Mutex::new(endpoint)));
         self.spaces.insert(
             node,
             Arc::new(Mutex::new(AddressSpace::with_scope(
@@ -178,7 +182,7 @@ impl GlobeTcp {
         let object = creation.object;
         creation.register_locations(&mut self.locations, |_| RegionId::new(0));
         let spaces = &self.spaces;
-        let endpoints = &mut self.endpoints;
+        let endpoints = &self.endpoints;
         creation.build_replicas(
             &policy,
             semantics_factory,
@@ -188,7 +192,10 @@ impl GlobeTcp {
             |node, replica| {
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
-                let endpoint = endpoints.get_mut(&node).expect("endpoint exists for node");
+                let mut endpoint = endpoints
+                    .get(&node)
+                    .expect("endpoint exists for node")
+                    .lock();
                 let mut ctx = endpoint.ctx();
                 space.start_object(object, &mut ctx);
             },
@@ -258,7 +265,16 @@ impl GlobeTcp {
             .filter(|n| !client_nodes.contains(n))
             .collect();
         for node in to_spawn {
-            let endpoint = self.endpoints.remove(&node).expect("endpoint present");
+            let shared = self.endpoints.remove(&node).expect("endpoint present");
+            // Nothing else can hold a reference before start(); if an
+            // engine port somehow does, the node stays caller-driven.
+            let endpoint = match Arc::try_unwrap(shared) {
+                Ok(mutex) => mutex.into_inner(),
+                Err(shared) => {
+                    self.endpoints.insert(node, shared);
+                    continue;
+                }
+            };
             let space = Arc::clone(&self.spaces[&node]);
             // A refused thread leaves the node dark instead of crashing
             // the deployment; the mesh counts it (`fault_stats`) and the
@@ -317,7 +333,8 @@ impl GlobeTcp {
         store_id: StoreId,
         class: StoreClass,
     ) -> Result<(), RuntimeError> {
-        if let Some(endpoint) = self.endpoints.get_mut(&node) {
+        if let Some(endpoint) = self.endpoints.get(&node) {
+            let mut endpoint = endpoint.lock();
             let mut ctx = endpoint.ctx();
             let mut space = self.spaces[&node].lock();
             space.start_object(object, &mut ctx);
@@ -401,7 +418,8 @@ impl GlobeTcp {
         to: NodeId,
         msg: &CoherenceMsg,
     ) -> Result<(), RuntimeError> {
-        if let Some(endpoint) = self.endpoints.get_mut(&from) {
+        if let Some(endpoint) = self.endpoints.get(&from) {
+            let mut endpoint = endpoint.lock();
             let comm = CommObject::new(object, self.metrics.clone());
             let mut ctx = endpoint.ctx();
             comm.send(&mut ctx, to, msg);
@@ -590,8 +608,9 @@ impl GlobeTcp {
             }
             let endpoint = self
                 .endpoints
-                .get_mut(&handle.node)
+                .get(&handle.node)
                 .ok_or(CallError::NotBound)?;
+            let mut endpoint = endpoint.lock();
             if let Some(event) = endpoint.recv_timeout(Duration::from_millis(20)) {
                 let mut ctx = endpoint.ctx();
                 self.spaces[&handle.node]
@@ -628,8 +647,9 @@ impl GlobeTcp {
     ) -> Result<RequestId, CallError> {
         let endpoint = self
             .endpoints
-            .get_mut(&handle.node)
+            .get(&handle.node)
             .ok_or(CallError::NotBound)?;
+        let mut endpoint = endpoint.lock();
         let mut ctx = endpoint.ctx();
         let mut space = self.spaces[&handle.node].lock();
         let control = space
@@ -688,7 +708,7 @@ impl GlobeTcp {
             // Build phase: the home endpoint is still caller-driven, so
             // apply the change directly.
             record.policy = policy.clone();
-            let endpoint = self.endpoints.get_mut(&home).expect("checked above");
+            let mut endpoint = self.endpoints.get(&home).expect("checked above").lock();
             let mut ctx = endpoint.ctx();
             if let Some(store) = self.spaces[&home]
                 .lock()
@@ -737,6 +757,67 @@ impl GlobeTcp {
     }
 }
 
+/// The TCP runtime's [`crate::EnginePort`]: each caller-driven client
+/// endpoint sits behind its own mutex, so engine threads driving
+/// *different* client nodes issue and pump fully in parallel — the
+/// lock order (endpoint, then space) matches every trait-level path.
+struct TcpPort {
+    endpoints: HashMap<NodeId, Arc<Mutex<TcpEndpoint>>>,
+    spaces: HashMap<NodeId, Arc<Mutex<AddressSpace>>>,
+}
+
+impl crate::EnginePort for TcpPort {
+    fn issue(
+        &self,
+        handle: &ClientHandle,
+        inv: InvocationMessage,
+        is_read: bool,
+    ) -> Result<RequestId, CallError> {
+        let endpoint = self
+            .endpoints
+            .get(&handle.node)
+            .ok_or(CallError::NotBound)?;
+        let mut endpoint = endpoint.lock();
+        let mut ctx = endpoint.ctx();
+        let mut space = self
+            .spaces
+            .get(&handle.node)
+            .ok_or(CallError::NotBound)?
+            .lock();
+        let control = space
+            .control_mut(handle.object)
+            .ok_or(CallError::NotBound)?;
+        if is_read {
+            control.client_read(handle.client, inv, &mut ctx)
+        } else {
+            control.client_write(handle.client, inv, &mut ctx)
+        }
+    }
+
+    fn try_result(
+        &self,
+        handle: &ClientHandle,
+        req: RequestId,
+    ) -> Option<Result<Bytes, CallError>> {
+        // Client nodes are caller-driven: progress requires draining any
+        // events the mesh has delivered to this node's endpoint.
+        let endpoint = self.endpoints.get(&handle.node)?;
+        let mut endpoint = endpoint.lock();
+        while let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
+            let mut ctx = endpoint.ctx();
+            self.spaces
+                .get(&handle.node)?
+                .lock()
+                .handle_event(event, &mut ctx);
+        }
+        drop(endpoint);
+        let mut space = self.spaces.get(&handle.node)?.lock();
+        space
+            .control_mut(handle.object)?
+            .take_result(handle.client, req)
+    }
+}
+
 impl GlobeRuntime for GlobeTcp {
     fn add_node(&mut self) -> Result<NodeId, RuntimeError> {
         GlobeTcp::add_node(self)
@@ -779,7 +860,8 @@ impl GlobeRuntime for GlobeTcp {
     ) -> Option<Result<Bytes, CallError>> {
         // Pump any already-arrived events for the caller-driven node
         // before checking, so polling makes progress.
-        if let Some(endpoint) = self.endpoints.get_mut(&handle.node) {
+        if let Some(endpoint) = self.endpoints.get(&handle.node) {
+            let mut endpoint = endpoint.lock();
             while let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
                 let mut ctx = endpoint.ctx();
                 self.spaces[&handle.node]
@@ -868,7 +950,7 @@ impl GlobeRuntime for GlobeTcp {
             }
             let mut handled = false;
             for &node in &nodes {
-                let endpoint = self.endpoints.get_mut(&node).expect("endpoint listed");
+                let mut endpoint = self.endpoints.get(&node).expect("endpoint listed").lock();
                 if let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
                     let mut ctx = endpoint.ctx();
                     self.spaces[&node].lock().handle_event(event, &mut ctx);
@@ -879,6 +961,17 @@ impl GlobeRuntime for GlobeTcp {
                 std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
             }
         }
+    }
+
+    fn engine_port(&mut self) -> Option<Arc<dyn crate::EnginePort>> {
+        // Only caller-driven endpoints remain in the map after start();
+        // those are exactly the client nodes the engine may drive. The
+        // store event loops (the source of progress) must already be
+        // running for the port to be useful.
+        Some(Arc::new(TcpPort {
+            endpoints: self.endpoints.clone(),
+            spaces: self.spaces.clone(),
+        }))
     }
 }
 

@@ -774,3 +774,38 @@ fn policy_switch_reaches_every_replica() {
         "policy broadcast must be visible on the wire"
     );
 }
+
+#[test]
+fn plain_add_store_join_refreshes_every_replica() {
+    // PROBE: every pre-existing replica must learn about a replica that
+    // joins via plain add_store, or a later unattended election runs
+    // over a stale candidate list.
+    let mut sim = GlobeSim::new(Topology::lan(), 93);
+    let home = sim.add_node();
+    let mirror_a = sim.add_node();
+    let mirror_b = sim.add_node();
+    let joiner = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/join-refresh")
+        .policy(ReplicationPolicy::whiteboard())
+        .semantics_boxed(doc)
+        .store(home, StoreClass::Permanent)
+        .store(mirror_a, StoreClass::Permanent)
+        .store(mirror_b, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    sim.add_store(object, joiner, StoreClass::Permanent, doc())
+        .unwrap();
+    sim.run_for(Duration::from_secs(2));
+    for node in [home, mirror_a, mirror_b] {
+        let peers = sim.store_peers(object, node).unwrap();
+        assert!(
+            peers.contains(&joiner),
+            "replica at {node} missed the membership refresh for {joiner}: {peers:?}"
+        );
+    }
+    // And the joiner knows the full membership too.
+    let peers = sim.store_peers(object, joiner).unwrap();
+    for node in [home, mirror_a, mirror_b] {
+        assert!(peers.contains(&node), "joiner missing {node}: {peers:?}");
+    }
+}

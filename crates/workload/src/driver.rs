@@ -5,12 +5,10 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use globe_core::{CallError, ClientHandle, GlobeRuntime, GlobeSim, MethodKind, RequestId};
-use globe_web::{methods, Page};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use globe_core::{CallError, ClientHandle, GlobeRuntime, GlobeSim};
+use globe_web::methods;
 
-use crate::{staleness, Arrival, LatencySummary, StalenessSummary, Zipf};
+use crate::{Arrival, LatencySummary, StalenessSummary};
 
 /// Parameters of one workload run.
 #[derive(Debug, Clone)]
@@ -92,150 +90,29 @@ impl WorkloadOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpClass {
-    Read,
-    Write,
-}
-
 /// Runs `spec` against an already-built simulation with bound reader and
 /// writer handles, and analyses the outcome.
+///
+/// A thin sim-backed wrapper over the backend-generic engine: the
+/// schedule replays through [`crate::engine`]'s interleaved virtual-time
+/// path (a [`crate::WorkloadClock::Virtual`] clock over
+/// [`GlobeRuntime::settle`]), then the store digests are finalized for
+/// the coherence checkers that typically follow a run.
 pub fn run_workload(
     sim: &mut GlobeSim,
     readers: &[ClientHandle],
     writers: &[ClientHandle],
     spec: &WorkloadSpec,
 ) -> WorkloadOutcome {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let zipf = Zipf::new(spec.pages.max(1), spec.zipf_theta);
-    let start = sim.now();
-    let metrics_before = {
-        let m = sim.metrics();
-        let m = m.lock();
-        (m.ops.len(), m.traffic.clone())
-    };
-
-    // Build the merged operation schedule.
-    let mut schedule: Vec<(Duration, usize, OpClass)> = Vec::new();
-    for (index, _) in readers.iter().enumerate() {
-        for at in spec.reader_arrival.schedule(&mut rng, spec.duration) {
-            schedule.push((at, index, OpClass::Read));
-        }
-    }
-    for (index, _) in writers.iter().enumerate() {
-        for at in spec.writer_arrival.schedule(&mut rng, spec.duration) {
-            schedule.push((at, index, OpClass::Write));
-        }
-    }
-    schedule.sort_by_key(|(at, index, class)| (*at, *index, *class == OpClass::Read));
-
-    let mut pending: Vec<(ClientHandle, RequestId)> = Vec::new();
-    let mut reads_issued = 0usize;
-    let mut writes_issued = 0usize;
-    let mut write_counter = 0u64;
-    for (at, index, class) in schedule {
-        let target = start + at;
-        if target > sim.now() {
-            sim.run_for(target.saturating_since(sim.now()));
-        }
-        match class {
-            OpClass::Read => {
-                let handle = readers[index];
-                let page = format!("page{:03}", zipf.sample(&mut rng));
-                if let Ok(req) = sim.issue_read(&handle, methods::get_page(&page)) {
-                    pending.push((handle, req));
-                    reads_issued += 1;
-                }
-            }
-            OpClass::Write => {
-                let handle = writers[index];
-                let page = format!("page{:03}", zipf.sample(&mut rng));
-                write_counter += 1;
-                let inv = if spec.incremental {
-                    let mut body = format!("[w{write_counter}]").into_bytes();
-                    body.resize(spec.page_bytes.max(body.len()), b'x');
-                    methods::patch_page(&page, &body)
-                } else {
-                    let mut body = format!("[w{write_counter}]").into_bytes();
-                    body.resize(spec.page_bytes.max(body.len()), b'x');
-                    methods::put_page(&page, &Page::html(body))
-                };
-                if let Ok(req) = sim.issue_write(&handle, inv) {
-                    pending.push((handle, req));
-                    writes_issued += 1;
-                }
-            }
-        }
-        let _ = rng.random::<u32>(); // decorrelate successive choices
-    }
-    sim.run_for(
-        spec.duration
-            .saturating_sub(sim.now().saturating_since(start)),
+    let outcome = crate::engine::interleaved_outcome(
+        sim,
+        readers,
+        writers,
+        spec,
+        crate::WorkloadClock::virtual_clock(),
     );
-    sim.run_for(spec.drain);
     sim.finalize_digests();
-
-    // Collect completions.
-    let mut reads_completed = 0usize;
-    let mut writes_completed = 0usize;
-    for (handle, req) in pending {
-        if let Some(Ok(_)) = sim.result(&handle, req) {
-            // Completed op kind is tracked in metrics; classify below.
-            let _ = (&mut reads_completed, &mut writes_completed);
-        }
-    }
-
-    // Latency and completion counts from metrics samples.
-    let metrics = sim.metrics();
-    let metrics = metrics.lock();
-    let new_ops = &metrics.ops[metrics_before.0..];
-    let mut read_samples = Vec::new();
-    let mut write_samples = Vec::new();
-    for op in new_ops {
-        match op.kind {
-            MethodKind::Read => {
-                reads_completed += 1;
-                read_samples.push(op.latency());
-            }
-            MethodKind::Write => {
-                writes_completed += 1;
-                write_samples.push(op.latency());
-            }
-        }
-    }
-    let mut traffic: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-    let mut messages = 0u64;
-    let mut bytes = 0u64;
-    for (kind, count) in &metrics.traffic {
-        let before = metrics_before.1.get(kind).copied().unwrap_or_default();
-        let delta_count = count.count - before.count;
-        let delta_bytes = count.bytes - before.bytes;
-        if delta_count > 0 {
-            traffic.insert(kind, (delta_count, delta_bytes));
-            messages += delta_count;
-            bytes += delta_bytes;
-        }
-    }
-    drop(metrics);
-
-    let history = sim.history();
-    let history = history.lock();
-    let staleness_summary: StalenessSummary = staleness(&history);
-    drop(history);
-
-    WorkloadOutcome {
-        reads_issued,
-        reads_completed,
-        writes_issued,
-        writes_completed,
-        read_latency: LatencySummary::of(read_samples),
-        write_latency: LatencySummary::of(write_samples),
-        staleness: staleness_summary,
-        messages,
-        bytes,
-        traffic,
-        elapsed: sim.now().saturating_since(start),
-    }
+    outcome
 }
 
 /// Convenience: drives `n` sequential synchronous reads on any runtime

@@ -19,6 +19,8 @@ pub struct LatencySummary {
     pub p95: Duration,
     /// 99th percentile.
     pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
     /// Maximum.
     pub max: Duration,
 }
@@ -32,17 +34,23 @@ impl LatencySummary {
         samples.sort_unstable();
         let count = samples.len();
         let total: Duration = samples.iter().sum();
-        // Nearest-rank percentile: ceil(q·N) - 1.
-        let pick = |q: f64| {
-            let rank = (q * count as f64).ceil() as usize;
+        // Nearest-rank percentile, rank = ceil(q·N), in exact integer
+        // arithmetic: float rounding (0.95 × 20 = 19.000000000000004)
+        // would otherwise bump a rank past its bucket, so a quantile is
+        // a ratio in parts per thousand. For counts below 1/(1-q) the
+        // rank saturates at N (e.g. p999 of 10 samples is the max) —
+        // never a panic, never an off-by-one.
+        let pick = |permille: usize| {
+            let rank = (permille * count).div_ceil(1000);
             samples[rank.clamp(1, count) - 1]
         };
         LatencySummary {
             count,
             mean: total / count as u32,
-            p50: pick(0.50),
-            p95: pick(0.95),
-            p99: pick(0.99),
+            p50: pick(500),
+            p95: pick(950),
+            p99: pick(990),
+            p999: pick(999),
             max: samples[count - 1],
         }
     }
@@ -156,6 +164,47 @@ mod tests {
     #[test]
     fn empty_summary_is_zero() {
         assert_eq!(LatencySummary::of(Vec::new()).count, 0);
+    }
+
+    #[test]
+    fn p999_nearest_rank() {
+        let samples: Vec<Duration> = (1..=2000).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(samples);
+        // ceil(0.999 · 2000) = 1998.
+        assert_eq!(s.p999, Duration::from_millis(1998));
+        assert_eq!(s.p99, Duration::from_millis(1980));
+        assert_eq!(s.max, Duration::from_millis(2000));
+    }
+
+    #[test]
+    fn tiny_sample_counts_saturate_without_panicking() {
+        // One sample: every percentile is that sample.
+        let s = LatencySummary::of(vec![Duration::from_millis(7)]);
+        for p in [s.p50, s.p95, s.p99, s.p999, s.max] {
+            assert_eq!(p, Duration::from_millis(7));
+        }
+        // Two samples: the median is the lower one (nearest rank
+        // ceil(0.5 · 2) = 1), everything above saturates at the max.
+        let s = LatencySummary::of(vec![Duration::from_millis(1), Duration::from_millis(9)]);
+        assert_eq!(s.p50, Duration::from_millis(1));
+        for p in [s.p95, s.p99, s.p999, s.max] {
+            assert_eq!(p, Duration::from_millis(9));
+        }
+    }
+
+    #[test]
+    fn integer_ranking_is_immune_to_float_rounding() {
+        // 0.95 × 20 is 19.000000000000004 in f64; ceil would bump the
+        // rank to 20 and report the max as p95. Integer nearest-rank
+        // must report the 19th sample.
+        let samples: Vec<Duration> = (1..=20).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(samples);
+        assert_eq!(s.p95, Duration::from_millis(19));
+        // Same shape at other scales: 0.999 × 1000 = 999 exactly.
+        let samples: Vec<Duration> = (1..=1000).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(samples);
+        assert_eq!(s.p999, Duration::from_millis(999));
+        assert_eq!(s.p50, Duration::from_millis(500));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Engine matrix smoke: one small engine workload on every backend,
+//! asserting nonzero completed operations and settle-consistent final
+//! reads — the engine's cross-backend contract.
+
+use std::time::Duration;
+
+use globe_coherence::StoreClass;
+use globe_core::{
+    BindOptions, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec, ReplicationPolicy,
+};
+use globe_net::Topology;
+use globe_web::{methods, WebSemantics};
+use globe_workload::{run_engine, Arrival, EngineMode, EngineReport, WorkloadSpec};
+
+fn smoke_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        duration: Duration::from_millis(400),
+        drain: Duration::from_millis(400),
+        pages: 2,
+        zipf_theta: 0.9,
+        page_bytes: 64,
+        incremental: true,
+        reader_arrival: Arrival::Poisson(60.0),
+        writer_arrival: Arrival::Poisson(30.0),
+        seed: 11,
+    }
+}
+
+/// Builds a two-store deployment, runs the engine, settles, and reads
+/// the hottest page from both a writer-side and a reader-side client.
+fn engine_smoke<R: GlobeRuntime>(rt: &mut R) -> (EngineReport, Vec<u8>, Vec<u8>) {
+    let server = rt.add_node().unwrap();
+    let mirror = rt.add_node().unwrap();
+    let writer_node = rt.add_node().unwrap();
+    let reader_node = rt.add_node().unwrap();
+    let object = ObjectSpec::new("/engine/smoke")
+        .policy(ReplicationPolicy::whiteboard())
+        .semantics(WebSemantics::new)
+        .store(server, StoreClass::Permanent)
+        .store(mirror, StoreClass::Permanent)
+        .create(rt)
+        .unwrap();
+    let writers = [
+        rt.bind(object, writer_node, BindOptions::new().read_node(server))
+            .unwrap(),
+        rt.bind(object, writer_node, BindOptions::new().read_node(server))
+            .unwrap(),
+    ];
+    let readers = [rt
+        .bind(object, reader_node, BindOptions::new().read_node(mirror))
+        .unwrap()];
+    rt.start(&[writer_node, reader_node]);
+
+    let report = run_engine(rt, &readers, &writers, &smoke_spec());
+    rt.settle(Duration::from_millis(300));
+
+    // The Zipf head page is all but certain to have been written; what
+    // matters is that writer-side and reader-side replicas agree.
+    let from_writer = rt
+        .handle(writers[0])
+        .read(methods::get_page("page000"))
+        .unwrap();
+    let from_reader = rt
+        .handle(readers[0])
+        .read(methods::get_page("page000"))
+        .unwrap();
+    (report, from_writer.to_vec(), from_reader.to_vec())
+}
+
+fn assert_smoke(report: &EngineReport, from_writer: &[u8], from_reader: &[u8]) {
+    assert!(report.reads_completed > 0, "no reads completed: {report:?}");
+    assert!(
+        report.writes_completed > 0,
+        "no writes completed: {report:?}"
+    );
+    assert!(report.read_latency.count > 0);
+    assert!(report.write_latency.count > 0);
+    assert!(report.ops_per_sec() > 0.0);
+    assert_eq!(
+        from_writer, from_reader,
+        "settled replicas must serve the same final page"
+    );
+}
+
+#[test]
+fn engine_runs_on_sim() {
+    let mut sim = GlobeSim::new(Topology::lan(), 31);
+    let (report, w, r) = engine_smoke(&mut sim);
+    assert_eq!(report.mode, EngineMode::Interleaved);
+    assert_smoke(&report, &w, &r);
+}
+
+#[test]
+fn engine_runs_on_tcp() {
+    let mut tcp = GlobeTcp::new();
+    let (report, w, r) = engine_smoke(&mut tcp);
+    assert_eq!(report.mode, EngineMode::Concurrent { threads: 3 });
+    assert_smoke(&report, &w, &r);
+    tcp.shutdown();
+}
+
+#[test]
+fn engine_runs_on_shard() {
+    let mut shard = GlobeShard::new(2);
+    let (report, w, r) = engine_smoke(&mut shard);
+    assert_eq!(report.mode, EngineMode::Concurrent { threads: 3 });
+    assert_smoke(&report, &w, &r);
+    shard.shutdown();
+}
