@@ -27,7 +27,7 @@ use globe_bench::{fmt_duration, fmt_f64, Table};
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
     BindOptions, ClientHandle, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec,
-    ReplicationPolicy,
+    ReplicationPolicy, RuntimeConfig,
 };
 use globe_net::Topology;
 use globe_web::WebSemantics;
@@ -117,6 +117,141 @@ fn measure<R: GlobeRuntime>(rt: &mut R, writers: usize, spec: &WorkloadSpec) -> 
     let report = run_engine(rt, &[], &handles, spec);
     rt.shutdown();
     report
+}
+
+/// Open-loop gap for the group-commit leg: a moderate per-writer rate
+/// (5k ops/s each, 20k total into ONE sequencer) chosen so the home
+/// lane's per-write fan-out work — not the client generator threads —
+/// is the bottleneck. The unbatched variant saturates below the
+/// offered rate; the batched variant, which pays the fan-out once per
+/// batch, keeps up.
+const GROUP_GAP: Duration = Duration::from_micros(200);
+
+/// Open-loop gap for the read-lease leg: the reader rate is pushed
+/// high (40k ops/s each) because a mirror-local read is cheap — only
+/// this deep into saturation does the forwarded variant's doubled
+/// message count show up as a completed-rate gap.
+const LEASE_GAP: Duration = Duration::from_micros(25);
+
+/// How many writes the sequencer may fold into one ordering decision
+/// and one fan-out frame in the batched variant.
+const BATCH_MAX: usize = 8;
+
+/// Permanent mirrors behind the shared sequencer in the group-commit
+/// leg: each write costs the home one fan-out frame per mirror, so the
+/// batched saving (one frame per mirror per *batch*) scales with this.
+const GROUP_MIRRORS: usize = 6;
+
+/// Spec for the shared-object group-commit runs: writers only.
+fn group_spec(smoke: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        reader_arrival: Arrival::Poisson(1.0), // no readers in this leg
+        writer_arrival: Arrival::Fixed(GROUP_GAP),
+        ..wall_spec(smoke, GROUP_GAP)
+    }
+}
+
+/// Spec for the read-lease runs: reader-heavy against the mirror, with
+/// a trickle of writes so leased reads must track a moving version.
+fn lease_spec(smoke: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        reader_arrival: Arrival::Fixed(LEASE_GAP),
+        writer_arrival: Arrival::Poisson(50.0),
+        ..wall_spec(smoke, LEASE_GAP)
+    }
+}
+
+/// Builds ONE sequenced object — a home store plus one permanent
+/// mirror — with every writer handle aimed at the home and every
+/// reader handle aimed at the mirror, then runs the engine. This is
+/// the configuration where group commit (fan-out frames per batch,
+/// not per write) and read leases (mirror-local reads instead of
+/// home-validated forwards) actually change the message economy.
+fn measure_shared<R: GlobeRuntime>(
+    rt: &mut R,
+    writers: usize,
+    readers: usize,
+    mirrors: usize,
+    spec: &WorkloadSpec,
+) -> EngineReport {
+    let client = rt.add_node().expect("client node");
+    let home = rt.add_node().expect("home node");
+    let mirror_nodes: Vec<_> = (0..mirrors.max(1))
+        .map(|_| rt.add_node().expect("mirror node"))
+        .collect();
+    let mirror = mirror_nodes[0];
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let mut spec_builder = ObjectSpec::new("/saturate/shared")
+        .policy(policy)
+        .semantics(WebSemantics::new)
+        .store(home, StoreClass::Permanent);
+    for &node in &mirror_nodes {
+        spec_builder = spec_builder.store(node, StoreClass::Permanent);
+    }
+    let object = spec_builder.create(rt).expect("create object");
+    let writer_handles: Vec<ClientHandle> = (0..writers)
+        .map(|_| {
+            rt.bind(object, client, BindOptions::new().read_node(home))
+                .expect("bind writer")
+        })
+        .collect();
+    let reader_handles: Vec<ClientHandle> = (0..readers)
+        .map(|_| {
+            rt.bind(object, client, BindOptions::new().read_node(mirror))
+                .expect("bind reader")
+        })
+        .collect();
+    rt.start(&[client]);
+    let report = run_engine(rt, &reader_handles, &writer_handles, spec);
+    rt.shutdown();
+    report
+}
+
+/// Runs a measurement twice and keeps the trial with the higher score
+/// — the less scheduler-perturbed of the two.
+fn best_of_two(
+    mut run: impl FnMut() -> EngineReport,
+    score: impl Fn(&EngineReport) -> f64,
+) -> EngineReport {
+    let first = run();
+    let second = run();
+    if score(&second) > score(&first) {
+        second
+    } else {
+        first
+    }
+}
+
+/// Completed-operations rate over the report's elapsed window.
+fn rate(completed: usize, report: &EngineReport) -> f64 {
+    let secs = report.elapsed.as_secs_f64();
+    if secs > 0.0 {
+        completed as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// JSON for one shared-object run, keyed on the latency class that
+/// matters for the leg (writes for group commit, reads for leases).
+fn shared_run_json(report: &EngineReport, lat: &globe_workload::LatencySummary) -> Json {
+    Json::obj([
+        ("ops_per_s", Json::Num(report.ops_per_sec())),
+        ("reads_completed", Json::Int(report.reads_completed as i64)),
+        (
+            "writes_completed",
+            Json::Int(report.writes_completed as i64),
+        ),
+        ("issue_errors", Json::Int(report.issue_errors as i64)),
+        ("abandoned", Json::Int(report.abandoned as i64)),
+        ("p50_us", Json::Num(lat.p50.as_secs_f64() * 1e6)),
+        ("p99_us", Json::Num(lat.p99.as_secs_f64() * 1e6)),
+        ("p999_us", Json::Num(lat.p999.as_secs_f64() * 1e6)),
+        ("elapsed_s", Json::Num(report.elapsed.as_secs_f64())),
+    ])
 }
 
 fn mode_name(mode: EngineMode) -> &'static str {
@@ -212,6 +347,109 @@ fn main() {
         ]));
     }
     println!("{table}");
+
+    // ---- Group commit: 4 writers through ONE sequencer, batch_max 1
+    // vs BATCH_MAX, on the shard backend. The unbatched run is today's
+    // protocol bit-for-bit (batch_max = 1 is the config default).
+    let base_config = RuntimeConfig::new().seed(17);
+    let batched_config = base_config
+        .batch_max(BATCH_MAX)
+        .batch_window(Duration::from_millis(1));
+    let group = group_spec(smoke);
+    // Two trials per variant, best completed rate kept: on a shared,
+    // deliberately oversaturated sequencer a single short trial is at
+    // the mercy of the host scheduler.
+    let unbatched = best_of_two(
+        || {
+            let mut rt = GlobeShard::with_config(base_config);
+            measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
+        },
+        |r| rate(r.writes_completed, r),
+    );
+    let batched = best_of_two(
+        || {
+            let mut rt = GlobeShard::with_config(batched_config);
+            measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
+        },
+        |r| rate(r.writes_completed, r),
+    );
+    let unbatched_rate = rate(unbatched.writes_completed, &unbatched);
+    let batched_rate = rate(batched.writes_completed, &batched);
+    let batched_speedup = batched_rate / unbatched_rate.max(f64::EPSILON);
+    let mut group_table = Table::new(
+        "Group commit: 4 writers, one shared sequencer (shard backend)",
+        &["variant", "writes/s", "p50", "p99", "p999", "speedup"],
+    );
+    for (name, report, speedup) in [
+        ("batch_max=1", &unbatched, 1.0),
+        ("batched", &batched, batched_speedup),
+    ] {
+        let lat = &report.write_latency;
+        group_table.row(vec![
+            name.to_string(),
+            fmt_f64(rate(report.writes_completed, report)),
+            fmt_duration(lat.p50),
+            fmt_duration(lat.p99),
+            fmt_duration(lat.p999),
+            fmt_f64(speedup),
+        ]);
+    }
+    println!("{group_table}");
+
+    // ---- Read leases: 4 readers on the permanent mirror. Without a
+    // lease every read is forwarded to the home for validation
+    // (lease_duration 0 never grants); with leases the mirror serves
+    // locally while its vector covers the grant.
+    let forwarded_config = base_config.read_leases(true).lease_duration(Duration::ZERO);
+    let leased_config = base_config
+        .read_leases(true)
+        .lease_duration(Duration::from_secs(2));
+    let lease = lease_spec(smoke);
+    let forwarded = best_of_two(
+        || {
+            let mut rt = GlobeShard::with_config(forwarded_config);
+            measure_shared(&mut rt, 1, 4, 1, &lease)
+        },
+        |r| rate(r.reads_completed, r),
+    );
+    let leased = best_of_two(
+        || {
+            let mut rt = GlobeShard::with_config(leased_config);
+            measure_shared(&mut rt, 1, 4, 1, &lease)
+        },
+        |r| rate(r.reads_completed, r),
+    );
+    let forwarded_rate = rate(forwarded.reads_completed, &forwarded);
+    let leased_rate = rate(leased.reads_completed, &leased);
+    let leased_speedup = leased_rate / forwarded_rate.max(f64::EPSILON);
+    let mut lease_table = Table::new(
+        "Read leases: 4 readers on the mirror (shard backend)",
+        &["variant", "reads/s", "p50", "p99", "p999", "speedup"],
+    );
+    for (name, report, speedup) in [
+        ("forwarded", &forwarded, 1.0),
+        ("leased", &leased, leased_speedup),
+    ] {
+        let lat = &report.read_latency;
+        lease_table.row(vec![
+            name.to_string(),
+            fmt_f64(rate(report.reads_completed, report)),
+            fmt_duration(lat.p50),
+            fmt_duration(lat.p99),
+            fmt_duration(lat.p999),
+            fmt_f64(speedup),
+        ]);
+    }
+    println!("{lease_table}");
+
+    println!(
+        "group commit speedup (batch_max {BATCH_MAX} vs 1): {}",
+        fmt_f64(batched_speedup)
+    );
+    println!(
+        "read lease speedup (leased vs forwarded): {}",
+        fmt_f64(leased_speedup)
+    );
     println!(
         "shard speedup 1 -> 4 writers: {} ({})",
         fmt_f64(shard_speedup_1_to_4),
@@ -232,6 +470,35 @@ fn main() {
         ("shard_speedup_1_to_4", Json::Num(shard_speedup_1_to_4)),
         ("shard_scaling_ok", Json::Bool(shard_speedup_1_to_4 >= 2.0)),
         ("backends", Json::Array(backends)),
+        (
+            "group_commit",
+            Json::obj([
+                ("backend", Json::str("shard")),
+                ("writers", Json::Int(4)),
+                ("batch_max", Json::Int(BATCH_MAX as i64)),
+                ("shared_gap_us", Json::Num(GROUP_GAP.as_secs_f64() * 1e6)),
+                ("mirrors", Json::Int(GROUP_MIRRORS as i64)),
+                (
+                    "unbatched",
+                    shared_run_json(&unbatched, &unbatched.write_latency),
+                ),
+                ("batched", shared_run_json(&batched, &batched.write_latency)),
+                ("batched_speedup", Json::Num(batched_speedup)),
+            ]),
+        ),
+        (
+            "read_leases",
+            Json::obj([
+                ("backend", Json::str("shard")),
+                ("readers", Json::Int(4)),
+                (
+                    "forwarded",
+                    shared_run_json(&forwarded, &forwarded.read_latency),
+                ),
+                ("leased", shared_run_json(&leased, &leased.read_latency)),
+                ("leased_speedup", Json::Num(leased_speedup)),
+            ]),
+        ),
     ]);
     match write_json(&out, &doc) {
         Ok(_) => println!("wrote {out}"),

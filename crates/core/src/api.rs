@@ -109,6 +109,28 @@ pub struct RuntimeConfig {
     /// client-visible outage and gives a flapping home time to answer
     /// before the sequencer moves.
     pub failover_confirm_periods: u32,
+    /// Group-commit size at the home sequencer: pending writes
+    /// accumulate per object until this many are staged (or
+    /// [`RuntimeConfig::batch_window`] elapses), then one ordering
+    /// decision covers the whole run and one `WriteBatch` frame fans it
+    /// out. The default `1` disables batching entirely — every write
+    /// takes exactly today's per-write path, bit for bit.
+    pub batch_max: usize,
+    /// Longest a staged write may wait for the batch to fill before the
+    /// sequencer flushes anyway (only meaningful with
+    /// [`RuntimeConfig::batch_max`] above 1).
+    pub batch_window: Duration,
+    /// Read leases: the home grants epoch-stamped leases to up-to-date
+    /// permanent replicas, which then serve reads locally — without a
+    /// round trip to the sequencer — while the lease is valid. Off by
+    /// default; when on, a non-home replica *without* a valid lease
+    /// forwards reads to the home instead of serving possibly-stale
+    /// state.
+    pub read_leases: bool,
+    /// Validity window of a read lease, measured at the grantee; leases
+    /// renew at half this period. A fail-over or policy change
+    /// invalidates outstanding leases regardless of time left.
+    pub lease_duration: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -120,6 +142,10 @@ impl Default for RuntimeConfig {
             suspect_after_misses: crate::lifecycle::SUSPECT_AFTER_MISSES,
             auto_failover: false,
             failover_confirm_periods: crate::lifecycle::CONFIRM_PERIODS,
+            batch_max: 1,
+            batch_window: crate::store_engine::DEFAULT_BATCH_WINDOW,
+            read_leases: false,
+            lease_duration: crate::store_engine::DEFAULT_LEASE_DURATION,
         }
     }
 }
@@ -174,6 +200,32 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the group-commit size (clamped to at least 1; `1` keeps
+    /// today's per-write protocol exactly).
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.batch_max = max.max(1);
+        self
+    }
+
+    /// Sets how long a staged write may wait for its batch to fill.
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Enables (or disables) the read-lease fast path at permanent
+    /// replicas.
+    pub fn read_leases(mut self, enabled: bool) -> Self {
+        self.read_leases = enabled;
+        self
+    }
+
+    /// Sets the read-lease validity window.
+    pub fn lease_duration(mut self, duration: Duration) -> Self {
+        self.lease_duration = duration;
+        self
+    }
+
     /// The failure-detector tuning implied by this configuration.
     pub(crate) fn detector(&self) -> crate::lifecycle::DetectorConfig {
         crate::lifecycle::DetectorConfig {
@@ -181,6 +233,17 @@ impl RuntimeConfig {
             suspect_after: self.suspect_after_misses.max(1),
             auto_failover: self.auto_failover,
             confirm_after: self.failover_confirm_periods,
+        }
+    }
+
+    /// The store-engine tuning (group commit + read leases) implied by
+    /// this configuration.
+    pub(crate) fn tuning(&self) -> crate::store_engine::StoreTuning {
+        crate::store_engine::StoreTuning {
+            batch_max: self.batch_max.max(1),
+            batch_window: self.batch_window,
+            read_leases: self.read_leases,
+            lease_duration: self.lease_duration,
         }
     }
 }

@@ -208,6 +208,12 @@ impl ControlObject {
                     if let Some(session) = self.sessions.get_mut(&client) {
                         session.on_reply(req, outcome, version, sees, full_state, ctx);
                     }
+                    // A leaseless replica may have forwarded this very
+                    // request for a co-located client; the reply was
+                    // consumed here, so drop the forwarding record.
+                    if let Some(store) = self.store.as_mut() {
+                        store.forget_forwarded(req);
+                    }
                 } else if let Some(store) = self.store.as_mut() {
                     // A reply for a write this store forwarded home.
                     let relayed = store.relay_reply(
@@ -295,6 +301,34 @@ impl ControlObject {
             CoherenceMsg::Membership { peers } => {
                 if let Some(store) = self.store.as_mut() {
                     store.handle_membership(from, peers, ctx);
+                }
+            }
+            CoherenceMsg::WriteBatch {
+                first_order,
+                writes,
+                version,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_write_batch(first_order, writes, version, ctx);
+                }
+            }
+            CoherenceMsg::LeaseRequest { node, store } => {
+                if let Some(replica) = self.store.as_mut() {
+                    replica.handle_lease_request(node, store, ctx);
+                }
+            }
+            CoherenceMsg::LeaseGrant {
+                epoch,
+                version,
+                duration,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_lease_grant(from, epoch, version, duration, ctx);
+                }
+            }
+            CoherenceMsg::LeaseRevoke { epoch } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_lease_revoke(from, epoch);
                 }
             }
             // Node-scoped heartbeats are handled by the address space's

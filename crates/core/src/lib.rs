@@ -109,5 +109,8 @@ pub use semantics::{registers, RegisterDoc, Semantics};
 pub use session::{Session, SessionConfig};
 pub use shard_runtime::{GlobeShard, DEFAULT_SHARDS};
 pub use space::AddressSpace;
-pub use store_engine::{PeerStore, StoreConfig, StoreReplica, TimerKind, WHOLE_DOC};
+pub use store_engine::{
+    PeerStore, StoreConfig, StoreReplica, StoreTuning, TimerKind, DEFAULT_BATCH_WINDOW,
+    DEFAULT_LEASE_DURATION, WHOLE_DOC,
+};
 pub use tcp_runtime::GlobeTcp;

@@ -343,6 +343,48 @@ pub enum CoherenceMsg {
         /// The object's full replica membership (sender included).
         peers: Vec<WireMember>,
     },
+    /// Sequencer → stores: one group-committed batch. The home
+    /// accumulated the writes under `RuntimeConfig::batch_max` /
+    /// `batch_window`, made one ordering decision for the whole run, and
+    /// fans it out as one frame; receivers apply the writes atomically
+    /// within one handler invocation, in order.
+    WriteBatch {
+        /// Sequence number of the first write: the batch covers the
+        /// contiguous run `first_order .. first_order + writes.len()`.
+        first_order: u64,
+        /// The batched writes, in sequencer order.
+        writes: Vec<LoggedWrite>,
+        /// The sequencer's applied vector after the batch.
+        version: VersionVector,
+    },
+    /// Replica → home store: grant (or renew) a read lease so reads can
+    /// be served locally without a round trip to the sequencer.
+    LeaseRequest {
+        /// The node hosting the requesting replica (the reply target —
+        /// the frame may be relayed).
+        node: NodeId,
+        /// The requesting replica's store id.
+        store: StoreId,
+    },
+    /// Home store → replica: an epoch-stamped read lease. Valid until
+    /// `duration` elapses at the grantee, as long as the epoch still
+    /// matches (a fail-over invalidates every outstanding lease) and the
+    /// grantee's applied vector covers `version` (the grant point).
+    LeaseGrant {
+        /// The sequencer epoch the lease is pinned to.
+        epoch: u64,
+        /// The grant point: the home's applied vector at grant time.
+        version: VersionVector,
+        /// How long the lease is valid, measured at the grantee.
+        duration: std::time::Duration,
+    },
+    /// Home store → replica: drop your lease now (policy change or
+    /// explicit invalidation); reads go back through the sequencer until
+    /// a new lease is granted.
+    LeaseRevoke {
+        /// The epoch the revoked lease belonged to.
+        epoch: u64,
+    },
 }
 
 impl CoherenceMsg {
@@ -368,6 +410,10 @@ impl CoherenceMsg {
             CoherenceMsg::ElectRequest { .. } => "ElectRequest",
             CoherenceMsg::SequencerHandoff { .. } => "SequencerHandoff",
             CoherenceMsg::Membership { .. } => "Membership",
+            CoherenceMsg::WriteBatch { .. } => "WriteBatch",
+            CoherenceMsg::LeaseRequest { .. } => "LeaseRequest",
+            CoherenceMsg::LeaseGrant { .. } => "LeaseGrant",
+            CoherenceMsg::LeaseRevoke { .. } => "LeaseRevoke",
         }
     }
 }
@@ -518,6 +564,35 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(18);
                 peers.encode(buf);
             }
+            CoherenceMsg::WriteBatch {
+                first_order,
+                writes,
+                version,
+            } => {
+                buf.put_u8(19);
+                first_order.encode(buf);
+                writes.encode(buf);
+                version.encode(buf);
+            }
+            CoherenceMsg::LeaseRequest { node, store } => {
+                buf.put_u8(20);
+                node.encode(buf);
+                store.encode(buf);
+            }
+            CoherenceMsg::LeaseGrant {
+                epoch,
+                version,
+                duration,
+            } => {
+                buf.put_u8(21);
+                epoch.encode(buf);
+                version.encode(buf);
+                duration.encode(buf);
+            }
+            CoherenceMsg::LeaseRevoke { epoch } => {
+                buf.put_u8(22);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -624,6 +699,18 @@ impl WireEncode for CoherenceMsg {
                     + peers.encoded_len()
             }
             CoherenceMsg::Membership { peers } => peers.encoded_len(),
+            CoherenceMsg::WriteBatch {
+                first_order,
+                writes,
+                version,
+            } => first_order.encoded_len() + writes.encoded_len() + version.encoded_len(),
+            CoherenceMsg::LeaseRequest { node, store } => node.encoded_len() + store.encoded_len(),
+            CoherenceMsg::LeaseGrant {
+                epoch,
+                version,
+                duration,
+            } => epoch.encoded_len() + version.encoded_len() + duration.encoded_len(),
+            CoherenceMsg::LeaseRevoke { epoch } => epoch.encoded_len(),
         }
     }
 }
@@ -726,6 +813,23 @@ impl WireDecode for CoherenceMsg {
             }),
             18 => Ok(CoherenceMsg::Membership {
                 peers: Vec::<WireMember>::decode(buf)?,
+            }),
+            19 => Ok(CoherenceMsg::WriteBatch {
+                first_order: u64::decode(buf)?,
+                writes: Vec::<LoggedWrite>::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+            }),
+            20 => Ok(CoherenceMsg::LeaseRequest {
+                node: NodeId::decode(buf)?,
+                store: StoreId::decode(buf)?,
+            }),
+            21 => Ok(CoherenceMsg::LeaseGrant {
+                epoch: u64::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+                duration: std::time::Duration::decode(buf)?,
+            }),
+            22 => Ok(CoherenceMsg::LeaseRevoke {
+                epoch: u64::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "CoherenceMsg",
@@ -914,6 +1018,21 @@ mod tests {
                 ),
             ],
         });
+        roundtrip(CoherenceMsg::WriteBatch {
+            first_order: 17,
+            writes: vec![sample_write(), sample_write()],
+            version: [(ClientId::new(1), 4u64)].into_iter().collect(),
+        });
+        roundtrip(CoherenceMsg::LeaseRequest {
+            node: globe_net::NodeId::new(4),
+            store: StoreId::new(2),
+        });
+        roundtrip(CoherenceMsg::LeaseGrant {
+            epoch: 3,
+            version: [(ClientId::new(2), 7u64)].into_iter().collect(),
+            duration: std::time::Duration::from_millis(1500),
+        });
+        roundtrip(CoherenceMsg::LeaseRevoke { epoch: 3 });
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::lifecycle::{DetectorConfig, MembershipView, StoreHealth};
 use crate::{
     AddressSpace, BindOptions, ControlObject, PeerStore, ReplicationPolicy, RuntimeError,
     Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
-    WireMember, WriteChoice,
+    StoreTuning, WireMember, WriteChoice,
 };
 
 /// What every backend records about one created object.
@@ -157,6 +157,7 @@ impl CreationPlan {
     /// can run the unattended election from its own copy of the
     /// membership — and hands each to `install` for backend-specific
     /// placement and protocol start-up.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build_replicas(
         &self,
         policy: &ReplicationPolicy,
@@ -164,6 +165,7 @@ impl CreationPlan {
         history: &SharedHistory,
         metrics: &SharedMetrics,
         detector: DetectorConfig,
+        tuning: StoreTuning,
         mut install: impl FnMut(NodeId, StoreReplica),
     ) {
         for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
@@ -194,6 +196,7 @@ impl CreationPlan {
                     history: history.clone(),
                     metrics: metrics.clone(),
                     detector,
+                    tuning,
                 }),
             );
         }
@@ -219,6 +222,7 @@ pub(crate) struct ReplicaParts<'a> {
     pub(crate) history: &'a SharedHistory,
     pub(crate) metrics: &'a SharedMetrics,
     pub(crate) detector: DetectorConfig,
+    pub(crate) tuning: StoreTuning,
 }
 
 /// The resolved shape of a home-store fail-over: which surviving
@@ -433,6 +437,7 @@ fn replica_for(
         history: parts.history.clone(),
         metrics: parts.metrics.clone(),
         detector: parts.detector,
+        tuning: parts.tuning,
     });
     // Born empty outside the creation path: the first state transfer
     // must land even if a newer write races ahead of it.

@@ -191,6 +191,7 @@ pub struct GlobeSim {
     next_store: u32,
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
+    tuning: crate::StoreTuning,
 }
 
 impl GlobeSim {
@@ -215,6 +216,7 @@ impl GlobeSim {
             // Virtual time is free, so the default deadline is generous.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(300)),
             detector: config.detector(),
+            tuning: config.tuning(),
         }
     }
 
@@ -277,6 +279,7 @@ impl GlobeSim {
             &self.history,
             &self.metrics,
             self.detector,
+            self.tuning,
             |node, replica| {
                 let space = Rc::clone(&spaces[&node]);
                 plan::install_store(&mut space.borrow_mut(), object, replica);
@@ -347,6 +350,7 @@ impl GlobeSim {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         self.locations.register(
@@ -549,6 +553,7 @@ impl GlobeSim {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         let space = Rc::clone(&self.spaces[&node]);

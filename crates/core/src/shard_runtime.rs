@@ -221,6 +221,7 @@ pub struct GlobeShard {
     seed: u64,
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
+    tuning: crate::StoreTuning,
 }
 
 impl GlobeShard {
@@ -284,6 +285,7 @@ impl GlobeShard {
             // are fast, so the default deadline is tight.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
             detector: config.detector(),
+            tuning: config.tuning(),
         }
     }
 
@@ -350,6 +352,7 @@ impl GlobeShard {
             &self.history,
             &self.metrics,
             self.detector,
+            self.tuning,
             |node, replica| {
                 let mut spaces = shard.lock();
                 let space = spaces.entry(node).or_insert_with(|| {
@@ -593,6 +596,7 @@ impl GlobeShard {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         self.locations.register(
@@ -715,6 +719,7 @@ impl GlobeShard {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         {

@@ -333,6 +333,8 @@ mod tests {
                 TimerKind::PullPoll,
                 TimerKind::DemandRetry,
                 TimerKind::Heartbeat,
+                TimerKind::BatchFlush,
+                TimerKind::LeaseRenew,
             ] {
                 let token = timer_token(object, kind);
                 let (obj, decoded) = decode_timer(token);

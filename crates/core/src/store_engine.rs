@@ -30,6 +30,12 @@ pub const WHOLE_DOC: &str = "*";
 /// Interval at which unmet demands are re-issued (loss recovery).
 const RETRY_PERIOD: Duration = Duration::from_millis(200);
 
+/// Default longest wait before a partially filled batch flushes anyway.
+pub const DEFAULT_BATCH_WINDOW: Duration = Duration::from_millis(5);
+
+/// Default validity window of a read lease.
+pub const DEFAULT_LEASE_DURATION: Duration = Duration::from_secs(2);
+
 /// Logical timers a replica arms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimerKind {
@@ -44,6 +50,11 @@ pub enum TimerKind {
     /// Node-level failure-detector heartbeat round (armed under the
     /// node-scope token by the address space, not by any one replica).
     Heartbeat = 4,
+    /// Group-commit window expiry at the home sequencer: flush the
+    /// partially filled batch.
+    BatchFlush = 5,
+    /// Periodic read-lease renewal at a leased permanent replica.
+    LeaseRenew = 6,
 }
 
 impl TimerKind {
@@ -55,9 +66,49 @@ impl TimerKind {
             2 => Some(TimerKind::DemandRetry),
             3 => Some(TimerKind::SessionRetry),
             4 => Some(TimerKind::Heartbeat),
+            5 => Some(TimerKind::BatchFlush),
+            6 => Some(TimerKind::LeaseRenew),
             _ => None,
         }
     }
+}
+
+/// Store-engine tuning shared by every replica of a deployment: the
+/// sequencer's group-commit parameters and the read-lease fast path.
+/// Built from [`crate::RuntimeConfig`]; the defaults (`batch_max = 1`,
+/// leases off) reproduce the per-write protocol exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreTuning {
+    /// Writes staged at the sequencer before a forced flush; `1`
+    /// disables group commit.
+    pub batch_max: usize,
+    /// Longest a staged write waits for the batch to fill.
+    pub batch_window: Duration,
+    /// Whether the home grants read leases to permanent replicas.
+    pub read_leases: bool,
+    /// Validity window of a granted lease (renewed at half-period).
+    pub lease_duration: Duration,
+}
+
+impl Default for StoreTuning {
+    fn default() -> Self {
+        StoreTuning {
+            batch_max: 1,
+            batch_window: DEFAULT_BATCH_WINDOW,
+            read_leases: false,
+            lease_duration: DEFAULT_LEASE_DURATION,
+        }
+    }
+}
+
+/// A replica-side read lease: local reads are allowed while the epoch
+/// still names the sequencer that granted it, the validity window has
+/// not elapsed, and the replica has caught up to the grant point.
+#[derive(Debug, Clone)]
+struct ReadLease {
+    epoch: u64,
+    version: VersionVector,
+    expires: globe_net::SimTime,
 }
 
 /// Another store holding a replica of the same object.
@@ -117,6 +168,8 @@ pub struct StoreConfig {
     /// Failure-detector tuning (period and suspicion threshold); a
     /// `None` period disables it. Only the home store runs the detector.
     pub detector: DetectorConfig,
+    /// Store-engine tuning: sequencer group commit and read leases.
+    pub tuning: StoreTuning,
 }
 
 /// One store's replica of a distributed shared object.
@@ -159,9 +212,20 @@ pub struct StoreReplica {
     history: SharedHistory,
     metrics: SharedMetrics,
     detector: DetectorConfig,
+    tuning: StoreTuning,
+    /// Writes staged for the next group commit (home sequencer only,
+    /// `tuning.batch_max > 1`): acknowledged only when the flush applies
+    /// them, so an ack never precedes application.
+    pending_batch: Vec<BufferedWrite>,
+    /// Read leases the home has granted, per grantee node, with expiry.
+    granted_leases: HashMap<NodeId, globe_net::SimTime>,
+    /// This replica's own read lease, when one is held.
+    lease: Option<ReadLease>,
     lazy_armed: bool,
     pull_armed: bool,
     retry_armed: bool,
+    batch_armed: bool,
+    lease_renew_armed: bool,
 }
 
 impl StoreReplica {
@@ -201,9 +265,15 @@ impl StoreReplica {
             history: config.history,
             metrics,
             detector: config.detector,
+            tuning: config.tuning,
+            pending_batch: Vec::new(),
+            granted_leases: HashMap::new(),
+            lease: None,
             lazy_armed: false,
             pull_armed: false,
             retry_armed: false,
+            batch_armed: false,
+            lease_renew_armed: false,
         }
     }
 
@@ -349,6 +419,21 @@ impl StoreReplica {
             ctx.set_timer(self.policy.lazy_period, self.token(TimerKind::PullPoll));
             self.pull_armed = true;
         }
+        // A permanent non-home replica under the lease fast path keeps
+        // a renewal loop running: request now, renew at half-period so
+        // an unbroken lease never lapses between grants.
+        let wants_lease = self.tuning.read_leases
+            && !self.is_home
+            && self.class == StoreClass::Permanent
+            && self.tuning.lease_duration > Duration::ZERO;
+        if wants_lease && !self.lease_renew_armed {
+            self.request_lease(ctx);
+            ctx.set_timer(
+                self.tuning.lease_duration / 2,
+                self.token(TimerKind::LeaseRenew),
+            );
+            self.lease_renew_armed = true;
+        }
         // Heartbeats are node-level since the detector consolidation:
         // the owning address space arms one heartbeat timer per node,
         // not one per replica.
@@ -440,12 +525,50 @@ impl StoreReplica {
         (write, outcome)
     }
 
+    /// Whether this replica is a sequencer that group-commits: writes
+    /// are staged and flushed together instead of ordered one by one.
+    fn batching_active(&self) -> bool {
+        self.is_home && self.tuning.batch_max > 1
+    }
+
     /// Accepts a write from a client proxy (`reply_to` set) or a peer
     /// store (`reply_to` empty), per the replication object's verdict.
+    /// A group-committing sequencer stages the write instead; the batch
+    /// flush runs the same admission logic with propagation coalesced
+    /// into one fan-out frame per peer.
     pub fn accept_write(
         &mut self,
         reply_to: Option<(NodeId, RequestId, ClientId)>,
         write: LoggedWrite,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.batching_active() {
+            if let Some((node, _, client)) = reply_to {
+                self.client_nodes.insert(client, node);
+            }
+            // Duplicates (client retransmissions) are staged too and
+            // resolve to `Stale` at flush time, after the original has
+            // been applied — an ack never precedes application.
+            self.pending_batch.push(BufferedWrite { write, reply_to });
+            if self.pending_batch.len() >= self.tuning.batch_max {
+                self.flush_batch(ctx);
+            } else if !self.batch_armed {
+                ctx.set_timer(self.tuning.batch_window, self.token(TimerKind::BatchFlush));
+                self.batch_armed = true;
+            }
+            return;
+        }
+        self.admit_write(reply_to, write, true, ctx);
+    }
+
+    /// The per-write admission path: readiness verdict, application,
+    /// acknowledgement. `propagate_now` is false during a batch flush,
+    /// which coalesces propagation afterwards.
+    fn admit_write(
+        &mut self,
+        reply_to: Option<(NodeId, RequestId, ClientId)>,
+        write: LoggedWrite,
+        propagate_now: bool,
         ctx: &mut dyn NetCtx,
     ) {
         if let Some((node, _, client)) = reply_to {
@@ -472,7 +595,9 @@ impl StoreReplica {
             Readiness::Ready => {
                 let from_client = reply_to.is_some();
                 let (finalized, outcome) = self.apply_now(write, ctx);
-                self.propagate(&finalized, from_client, ctx);
+                if propagate_now {
+                    self.propagate(&finalized, from_client, ctx);
+                }
                 if let Some((node, req, _)) = reply_to {
                     self.send_reply(ctx, node, req, outcome, None);
                 }
@@ -480,6 +605,85 @@ impl StoreReplica {
                 self.drain_queued_reads(ctx);
             }
         }
+    }
+
+    /// Flushes the staged batch: one admission pass over the staged
+    /// writes (one ordering decision each, assigned contiguously since
+    /// nothing interleaves within the flush), then one coalesced
+    /// fan-out frame per in-scope peer covering the whole run.
+    fn flush_batch(&mut self, ctx: &mut dyn NetCtx) {
+        if self.pending_batch.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.pending_batch);
+        for entry in staged {
+            self.admit_write(entry.reply_to, entry.write, false, ctx);
+        }
+        self.propagate_flushed(ctx);
+    }
+
+    /// Coalesced propagation after a batch flush: each in-scope peer
+    /// gets everything it has not been sent, as a single
+    /// [`CoherenceMsg::WriteBatch`] when the run is an ordered multi-write
+    /// sequence under partial update propagation, or the policy's usual
+    /// transfer message otherwise.
+    fn propagate_flushed(&mut self, ctx: &mut dyn NetCtx) {
+        if !self.is_home
+            || self.policy.instant != TransferInstant::Immediate
+            || self.policy.initiative != TransferInitiative::Push
+        {
+            return;
+        }
+        let peers: Vec<PeerStore> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| self.policy.in_scope(p.class))
+            .collect();
+        let log_len = self.write_log.len();
+        for peer in peers {
+            let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
+            if sent >= log_len {
+                continue;
+            }
+            let pending = &self.write_log[sent..];
+            let batched_run = pending.len() > 1
+                && self.policy.propagation == Propagation::Update
+                && self.policy.coherence_transfer == CoherenceTransfer::Partial
+                && pending.iter().all(|w| w.order.is_some());
+            let msg = if batched_run {
+                CoherenceMsg::WriteBatch {
+                    first_order: pending[0].order.unwrap_or(0),
+                    writes: pending.to_vec(),
+                    version: self.applied.clone(),
+                }
+            } else {
+                self.transfer_msg(pending)
+            };
+            self.comm.send(ctx, peer.node, &msg);
+            self.peer_sent.insert(peer.node, log_len);
+        }
+    }
+
+    /// Receiver side of a group commit: the batch is applied atomically
+    /// within this single handler invocation, in sequencer order —
+    /// no read can observe a prefix of the batch across invocations.
+    pub fn handle_write_batch(
+        &mut self,
+        first_order: u64,
+        writes: Vec<LoggedWrite>,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        // The frame promises a contiguous run; writes past a hole in the
+        // numbering still land correctly (readiness buffers them), so
+        // the promise is advisory, not trusted.
+        let _ = first_order;
+        for write in writes {
+            self.accept_write(None, write, ctx);
+        }
+        self.known_version.merge_max(&version);
+        self.maybe_demand_on_known(ctx);
     }
 
     /// The paper's outdate reaction: wait passively, or demand the
@@ -643,6 +847,7 @@ impl StoreReplica {
         if !self.is_home {
             return;
         }
+        self.granted_leases.remove(&node);
         self.remove_peer(node);
         self.record_lifecycle(node, LifecycleEventKind::Left, ctx.now());
         self.broadcast_membership(None, ctx);
@@ -726,6 +931,8 @@ impl StoreReplica {
         let old_home = self.home_node;
         self.prev_home = old_home;
         self.is_home = true;
+        // A sequencer holds no lease; readers it leases come to it.
+        self.lease = None;
         self.home_node = me;
         self.home_store = self.store_id;
         self.home_epoch = self.home_epoch.max(epoch);
@@ -847,6 +1054,11 @@ impl StoreReplica {
             // steps down rather than split-brain the object — and
             // relays the announcement to every client node it served,
             // the only party that knows where those sessions live.
+            // Staged-but-unflushed batch writes were never acknowledged;
+            // dropping them here is safe because the owning sessions
+            // retransmit them to the successor.
+            self.pending_batch.clear();
+            self.granted_leases.clear();
             self.is_home = false;
             self.peer_sent.clear();
             let relay = CoherenceMsg::SequencerHandoff {
@@ -870,6 +1082,8 @@ impl StoreReplica {
         self.home_store = new_home_store;
         self.prev_home = old_home;
         self.home_epoch = epoch;
+        // The sequencer moved: any lease the old one granted is void.
+        self.lease = None;
         self.adopt_membership(&peers, me);
         self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
         self.drain_buffered(ctx);
@@ -881,6 +1095,11 @@ impl StoreReplica {
     /// suspicion threshold. Recorded per object, so a workload can
     /// audit which memberships the silence touched.
     pub fn on_node_suspect(&mut self, node: NodeId, ctx: &mut dyn NetCtx) {
+        if node == self.home_node && !self.is_home {
+            // A suspect sequencer may already have been replaced; the
+            // lease it granted must not authorize local reads anymore.
+            self.lease = None;
+        }
         if node == self.home_node || self.peers.iter().any(|p| p.node == node) {
             self.record_lifecycle(node, LifecycleEventKind::Suspected, ctx.now());
         }
@@ -996,8 +1215,103 @@ impl StoreReplica {
         }
     }
 
+    /// Whether this replica's read lease currently authorizes local
+    /// reads: the granting sequencer's epoch must still be current, the
+    /// validity window must not have elapsed, and the replica must have
+    /// caught up to the grant point.
+    fn lease_valid(&self, now: globe_net::SimTime) -> bool {
+        self.lease.as_ref().is_some_and(|l| {
+            l.epoch == self.home_epoch && now < l.expires && self.applied.dominates(&l.version)
+        })
+    }
+
+    /// Asks the home for a (fresh or renewed) read lease.
+    fn request_lease(&mut self, ctx: &mut dyn NetCtx) {
+        let node = ctx.node();
+        self.comm.send(
+            ctx,
+            self.home_node,
+            &CoherenceMsg::LeaseRequest {
+                node,
+                store: self.store_id,
+            },
+        );
+    }
+
+    /// Home side of a lease request: grant an epoch-stamped lease to a
+    /// permanent replica. Requests landing anywhere else are dropped —
+    /// the requester's renewal timer retries against its current home.
+    pub fn handle_lease_request(&mut self, node: NodeId, store: StoreId, ctx: &mut dyn NetCtx) {
+        let _ = store;
+        if !self.is_home || !self.tuning.read_leases {
+            return;
+        }
+        let permanent_peer = self
+            .peers
+            .iter()
+            .any(|p| p.node == node && p.class == StoreClass::Permanent);
+        if !permanent_peer {
+            return;
+        }
+        self.granted_leases
+            .insert(node, ctx.now() + self.tuning.lease_duration);
+        let grant = CoherenceMsg::LeaseGrant {
+            epoch: self.home_epoch,
+            version: self.applied.clone(),
+            duration: self.tuning.lease_duration,
+        };
+        self.comm.send(ctx, node, &grant);
+    }
+
+    /// Replica side of a lease grant. Only the sequencer this replica
+    /// follows can grant; a stale ex-home's grant is ignored.
+    pub fn handle_lease_grant(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        version: VersionVector,
+        duration: Duration,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home || from != self.home_node || epoch < self.home_epoch {
+            return;
+        }
+        self.lease = Some(ReadLease {
+            epoch,
+            version,
+            expires: ctx.now() + duration,
+        });
+    }
+
+    /// Replica side of a lease revocation.
+    pub fn handle_lease_revoke(&mut self, from: NodeId, epoch: u64) {
+        let _ = epoch;
+        if from == self.home_node {
+            self.lease = None;
+        }
+    }
+
+    /// Home side: revoke every outstanding lease (policy change,
+    /// demotion). Grantees fall back to forwarding reads immediately.
+    fn revoke_all_leases(&mut self, ctx: &mut dyn NetCtx) {
+        if self.granted_leases.is_empty() {
+            return;
+        }
+        let grantees: Vec<NodeId> = self.granted_leases.drain().map(|(n, _)| n).collect();
+        let revoke = CoherenceMsg::LeaseRevoke {
+            epoch: self.home_epoch,
+        };
+        self.comm.multicast(ctx, grantees, &revoke);
+    }
+
     /// Serves a read request, enforcing session-guard minimum versions
     /// and invalidation state, with the configured outdate reaction.
+    ///
+    /// With read leases enabled, a non-home replica serves locally only
+    /// under a valid lease; otherwise the read is forwarded to the
+    /// sequencer, whose reply is relayed back through this store. A
+    /// group-committing sequencer flushes its staged batch first, so a
+    /// client always reads its own acknowledged-or-staged writes.
     pub fn serve_read(
         &mut self,
         from: NodeId,
@@ -1007,6 +1321,26 @@ impl StoreReplica {
         min_version: VersionVector,
         ctx: &mut dyn NetCtx,
     ) {
+        if self.batching_active() && !self.pending_batch.is_empty() {
+            self.flush_batch(ctx);
+        }
+        if !self.is_home && self.tuning.read_leases && !self.lease_valid(ctx.now()) {
+            // No valid lease: the sequencer serves the read. The reply
+            // comes back through this store's `forwarded` table (or
+            // straight to a co-located session).
+            self.forwarded.insert(req, from);
+            self.comm.send(
+                ctx,
+                self.home_node,
+                &CoherenceMsg::ReadReq {
+                    req,
+                    client,
+                    inv,
+                    min_version,
+                },
+            );
+            return;
+        }
         self.client_nodes.insert(client, from);
         let page = self.semantics.part_of(&inv);
         let invalid = self.whole_invalid
@@ -1256,6 +1590,11 @@ impl StoreReplica {
         order_since: Option<u64>,
         ctx: &mut dyn NetCtx,
     ) {
+        if self.batching_active() && !self.pending_batch.is_empty() {
+            // A peer is pulling: answer with the staged writes ordered,
+            // not a view that excludes them.
+            self.flush_batch(ctx);
+        }
         if self.policy.coherence_transfer == CoherenceTransfer::Full {
             let msg = self.full_state_msg();
             self.comm.send(ctx, from, &msg);
@@ -1499,6 +1838,13 @@ impl StoreReplica {
         }
     }
 
+    /// Drops the forwarding record for a request whose reply reached a
+    /// co-located session directly (the control object consumed it by
+    /// `req_owner`), so the table does not accumulate dead entries.
+    pub fn forget_forwarded(&mut self, req: RequestId) {
+        self.forwarded.remove(&req);
+    }
+
     /// Relays a reply for a write this store forwarded to the home store.
     /// Returns `false` if the request is unknown here.
     pub fn relay_reply(&mut self, msg: &CoherenceMsg, ctx: &mut dyn NetCtx) -> bool {
@@ -1538,6 +1884,27 @@ impl StoreReplica {
             // Heartbeats are node-scoped: the address space's node-level
             // detector handles them before any replica sees the timer.
             TimerKind::Heartbeat => {}
+            TimerKind::BatchFlush => {
+                self.batch_armed = false;
+                if self.batching_active() {
+                    self.flush_batch(ctx);
+                }
+            }
+            TimerKind::LeaseRenew => {
+                self.lease_renew_armed = false;
+                let wants = self.tuning.read_leases
+                    && !self.is_home
+                    && self.class == StoreClass::Permanent
+                    && self.tuning.lease_duration > Duration::ZERO;
+                if wants {
+                    self.request_lease(ctx);
+                    ctx.set_timer(
+                        self.tuning.lease_duration / 2,
+                        self.token(TimerKind::LeaseRenew),
+                    );
+                    self.lease_renew_armed = true;
+                }
+            }
             TimerKind::DemandRetry => {
                 self.retry_armed = false;
                 let gaps = !self.buffered.is_empty()
@@ -1568,6 +1935,15 @@ impl StoreReplica {
     /// broadcasts the change to every peer (§5: dynamically adaptable
     /// implementation parameters).
     pub fn set_policy(&mut self, policy: ReplicationPolicy, ctx: &mut dyn NetCtx) {
+        if self.batching_active() {
+            // Order every staged write under the outgoing policy before
+            // the switch, and pull leased readers back through the
+            // sequencer until they re-lease under the new policy.
+            self.flush_batch(ctx);
+        }
+        if self.is_home {
+            self.revoke_all_leases(ctx);
+        }
         if policy.model != self.policy.model {
             self.repl = replication_for(policy.model);
         }
@@ -1638,6 +2014,7 @@ mod tests {
             history: shared_history(),
             metrics: shared_metrics(),
             detector: DetectorConfig::default(),
+            tuning: StoreTuning::default(),
         });
 
         let forwarded = std::rc::Rc::new(std::cell::Cell::new(false));

@@ -70,6 +70,7 @@ pub struct GlobeTcp {
     seed: u64,
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
+    tuning: crate::StoreTuning,
 }
 
 impl GlobeTcp {
@@ -102,6 +103,7 @@ impl GlobeTcp {
             // much tighter than the simulator's virtual-time budget.
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
             detector: config.detector(),
+            tuning: config.tuning(),
         }
     }
 
@@ -189,6 +191,7 @@ impl GlobeTcp {
             &self.history,
             &self.metrics,
             self.detector,
+            self.tuning,
             |node, replica| {
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
@@ -393,6 +396,7 @@ impl GlobeTcp {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         self.locations.register(
@@ -525,6 +529,7 @@ impl GlobeTcp {
                 history: &self.history,
                 metrics: &self.metrics,
                 detector: self.detector,
+                tuning: self.tuning,
             },
         )?;
         let class = replica.class();

@@ -745,6 +745,88 @@ fn restart_preserves_prefailure_history() {
 }
 
 #[test]
+fn partitioned_leased_replica_refuses_reads_after_expiry() {
+    // The lease-staleness regression: a leased replica cut off from the
+    // home may keep serving locally only until its lease expires; after
+    // that it must refuse (forward) rather than return possibly-stale
+    // state, and a heal must restore local serving via a fresh grant.
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(95)
+            .call_timeout(Duration::from_secs(2))
+            .read_leases(true)
+            .lease_duration(Duration::from_secs(2)),
+    );
+    let home = sim.add_node();
+    let mirror = sim.add_node();
+    let client_node = sim.add_node();
+    let object = ObjectSpec::new("/dynamic/lease")
+        .policy(
+            ReplicationPolicy::builder(ObjectModel::Fifo)
+                .immediate()
+                .build()
+                .unwrap(),
+        )
+        .semantics_boxed(doc)
+        .store(home, StoreClass::Permanent)
+        .store(mirror, StoreClass::Permanent)
+        .create(&mut sim)
+        .unwrap();
+    let master = sim
+        .bind(object, client_node, BindOptions::new().read_node(home))
+        .unwrap();
+    let reader = sim
+        .bind(object, client_node, BindOptions::new().read_node(mirror))
+        .unwrap();
+
+    sim.handle(master)
+        .write(registers::put("p", b"v1"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+    let metrics = sim.metrics();
+    assert!(
+        metrics.lock().traffic.contains_key("LeaseGrant"),
+        "the permanent mirror must have requested and received a lease"
+    );
+
+    // Cut the home–mirror link only: the client still reaches the
+    // mirror, but renewals (and forwards) die on the floor.
+    sim.topology_mut().partition(home, mirror);
+    let local = sim.handle(reader).read(registers::get("p")).unwrap();
+    assert_eq!(
+        &local[..],
+        b"v1",
+        "inside the lease the mirror serves locally — the home is unreachable"
+    );
+
+    // Run past the lease without any renewal getting through: the
+    // mirror must now refuse to serve locally and forward into the
+    // dead link, so the read times out instead of returning stale data.
+    sim.run_for(Duration::from_secs(3));
+    let refused = sim.handle(reader).read(registers::get("p"));
+    assert!(
+        refused.is_err(),
+        "an expired lease must never serve a possibly-stale local read: {refused:?}"
+    );
+
+    // Heal: the next renewal wins a fresh grant and local reads resume,
+    // including a write the mirror missed while partitioned.
+    sim.topology_mut().heal(home, mirror);
+    sim.handle(master)
+        .write(registers::put("p", b"v2"))
+        .unwrap();
+    sim.run_for(Duration::from_secs(3));
+    sim.topology_mut().partition(home, mirror);
+    let fresh = sim.handle(reader).read(registers::get("p")).unwrap();
+    assert_eq!(
+        &fresh[..],
+        b"v2",
+        "a fresh grant must restore local serving with the converged state"
+    );
+}
+
+#[test]
 fn policy_switch_reaches_every_replica() {
     // set_policy broadcasts PolicyUpdate; verify a replica actually
     // adopts it (its store reports the new instant).

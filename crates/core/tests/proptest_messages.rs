@@ -181,7 +181,35 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
                 },
             ),
         arb_members().prop_map(|peers| CoherenceMsg::Membership { peers }),
+        // The group-commit and read-lease frames (PR 7): batched write
+        // fan-out plus the lease handshake triple.
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_write(), 0..5),
+            arb_vv()
+        )
+            .prop_map(|(first_order, writes, version)| CoherenceMsg::WriteBatch {
+                first_order,
+                writes,
+                version,
+            }),
+        (0u32..8, 0u32..16).prop_map(|(n, s)| CoherenceMsg::LeaseRequest {
+            node: NodeId::new(n),
+            store: StoreId::new(s),
+        }),
+        (any::<u64>(), arb_vv(), arb_duration()).prop_map(|(epoch, version, duration)| {
+            CoherenceMsg::LeaseGrant {
+                epoch,
+                version,
+                duration,
+            }
+        }),
+        any::<u64>().prop_map(|epoch| CoherenceMsg::LeaseRevoke { epoch }),
     ]
+}
+
+fn arb_duration() -> impl Strategy<Value = std::time::Duration> {
+    (0u64..10_000_000).prop_map(std::time::Duration::from_micros)
 }
 
 /// A wire-carried membership list: `(node, store id, class)` triples.

@@ -185,6 +185,179 @@ fn auto_failover_matrix_spans_sim_tcp_and_shard() {
     }
 }
 
+/// The same fail-over drill with group commit enabled: every write
+/// rides a sequencer batch (window-flushed), the handoff and election
+/// paths must preserve the batched log, and the three backends must
+/// still agree observation-for-observation.
+#[test]
+fn home_failover_matrix_with_batching() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .batch_max(4)
+        .batch_window(Duration::from_millis(10));
+    let outcomes = matrix::run_matrix(&matrix::fault::HomeFailover, &Backend::ALL, config)
+        .expect("identical batched fail-over outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+}
+
+/// Unattended fail-over with group commit enabled: the detector fires
+/// while the sequencer is accumulating batches, and the self-elected
+/// standby must carry on without losing an acknowledged write.
+#[test]
+fn auto_failover_matrix_with_batching() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(20))
+        .heartbeat_period(Duration::from_millis(60))
+        .suspect_after_misses(2)
+        .auto_failover(true)
+        .failover_confirm_periods(1)
+        .batch_max(4)
+        .batch_window(Duration::from_millis(10));
+    let outcomes = matrix::run_matrix(&matrix::fault::AutoFailover, &Backend::ALL, config)
+        .expect("identical batched unattended fail-over outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+}
+
+/// The partial-batch fault: writes are *staged but unflushed* at the
+/// sequencer when it dies, and again when the elected sequencer is
+/// gracefully retired. Unacknowledged writes must never be lost — the
+/// session retransmits them to whichever store holds the sequencer
+/// next — and no write may be acknowledged unless it survives.
+struct PartialBatchFailover;
+
+impl Scenario for PartialBatchFailover {
+    fn name(&self) -> &'static str {
+        "fault-partial-batch-failover"
+    }
+
+    fn run<R: GlobeRuntime>(&self, rt: &mut R) -> Result<Observations, Box<dyn std::error::Error>> {
+        let home = rt.add_node()?;
+        let standby = rt.add_node()?;
+        let writer_node = rt.add_node()?;
+
+        let policy = globe_core::ReplicationPolicy::builder(globe_coherence::ObjectModel::Fifo)
+            .immediate()
+            .build()?;
+        let object = ObjectSpec::new("/fault/partial-batch")
+            .policy(policy)
+            .semantics(RegisterDoc::new)
+            .store(home, StoreClass::Permanent)
+            .store(standby, StoreClass::Permanent)
+            .create(rt)?;
+        let writer = rt.bind(object, writer_node, BindOptions::new().read_node(standby))?;
+        rt.start(&[writer_node]);
+
+        // Warm the session (the standby learns where it lives, so the
+        // takeover announcement can reroute it later).
+        rt.handle(writer).write(registers::put("warm", b"w"))?;
+        let warm = rt.handle(writer).read(registers::get("warm"))?;
+        assert_eq!(&warm[..], b"w");
+
+        // Stage three writes into the sequencer's open batch — the
+        // window is far longer than the time to the kill below, so they
+        // are in flight (unflushed, unacknowledged) when the home dies.
+        let reqs = [
+            rt.handle(writer).issue_write(registers::put("k0", b"v0"))?,
+            rt.handle(writer).issue_write(registers::put("k1", b"v1"))?,
+            rt.handle(writer).issue_write(registers::put("k2", b"v2"))?,
+        ];
+        rt.restart_store(object, home, Box::new(RegisterDoc::new()))?;
+
+        // Every staged write must still complete: the session retries
+        // it against the elected sequencer (the standby).
+        for req in reqs {
+            let ack = loop {
+                if let Some(result) = rt.handle(writer).result(req) {
+                    break result;
+                }
+                rt.settle(Duration::from_millis(20));
+            };
+            ack?;
+        }
+        let view = rt.membership(object)?;
+        let mut obs = Observations::new();
+        assert!(view.members[0].is_home);
+        assert_eq!(view.members[0].node, standby, "the standby must be elected");
+        obs.record("elected-home", view.members[0].node.to_string());
+
+        // The graceful leg: stage writes at the *elected* sequencer and
+        // retire it mid-batch. Demotion drops the pending batch without
+        // acknowledging; the handback must re-admit the retried writes.
+        let reqs = [
+            rt.handle(writer).issue_write(registers::put("k3", b"v3"))?,
+            rt.handle(writer).issue_write(registers::put("k4", b"v4"))?,
+        ];
+        rt.remove_store(object, standby)?;
+        for req in reqs {
+            let ack = loop {
+                if let Some(result) = rt.handle(writer).result(req) {
+                    break result;
+                }
+                rt.settle(Duration::from_millis(20));
+            };
+            ack?;
+        }
+        let view = rt.membership(object)?;
+        assert!(view.members[0].is_home);
+        assert_eq!(
+            view.members[0].node, home,
+            "the handback must reach the home"
+        );
+        obs.record("post-handback-home", view.members[0].node.to_string());
+
+        // Every acknowledged write is durable and readable.
+        let reader = rt.bind(object, writer_node, BindOptions::new().read_node(home))?;
+        for (page, want) in [
+            ("k0", b"v0" as &[u8]),
+            ("k1", b"v1"),
+            ("k2", b"v2"),
+            ("k3", b"v3"),
+            ("k4", b"v4"),
+        ] {
+            let mut latest = Vec::new();
+            for _ in 0..50 {
+                latest = rt.handle(reader).read(registers::get(page))?.to_vec();
+                if latest == want {
+                    break;
+                }
+                rt.settle(Duration::from_millis(100));
+            }
+            assert_eq!(
+                &latest[..],
+                want,
+                "acked write {page} must survive the faults"
+            );
+            obs.record(page, &latest);
+        }
+
+        // The single writer's sequence is never replayed or reordered.
+        let history = rt.history();
+        let history = history.lock();
+        globe_coherence::check::check_fifo(&history)?;
+        drop(history);
+
+        rt.shutdown();
+        Ok(obs)
+    }
+}
+
+/// The partial-batch drill must agree on all three backends: a batch
+/// window much longer than the fault gap guarantees the staged writes
+/// are unflushed when the sequencer goes down.
+#[test]
+fn partial_batch_failover_matrix_spans_sim_tcp_and_shard() {
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .batch_max(8)
+        .batch_window(Duration::from_millis(150));
+    let outcomes = matrix::run_matrix(&PartialBatchFailover, &Backend::ALL, config)
+        .expect("identical partial-batch outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+}
+
 /// Live membership churn (add a mirror, read through it, remove it)
 /// behaves identically everywhere — including on TCP after `start()`,
 /// where the operations ride the control plane.

@@ -74,6 +74,7 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
         history: shared_history(),
         metrics: shared_metrics(),
         detector: globe_core::lifecycle::DetectorConfig::disabled(),
+        tuning: globe_core::StoreTuning::default(),
     });
     Rig {
         net,

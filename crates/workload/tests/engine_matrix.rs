@@ -7,6 +7,7 @@ use std::time::Duration;
 use globe_coherence::StoreClass;
 use globe_core::{
     BindOptions, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec, ReplicationPolicy,
+    RuntimeConfig,
 };
 use globe_net::Topology;
 use globe_web::{methods, WebSemantics};
@@ -88,6 +89,51 @@ fn engine_runs_on_sim() {
     let (report, w, r) = engine_smoke(&mut sim);
     assert_eq!(report.mode, EngineMode::Interleaved);
     assert_smoke(&report, &w, &r);
+}
+
+/// Group commit plus read leases must be a pure scheduling change: on
+/// the deterministic simulator (fixed-latency LAN links, open-loop
+/// arrivals), the batched-and-leased run assigns the same total order
+/// as the unbatched run, so both end on bit-identical final pages.
+#[test]
+fn engine_batched_with_leases_matches_unbatched_on_sim() {
+    let mut plain = GlobeSim::new(Topology::lan(), 31);
+    let (_, plain_w, plain_r) = engine_smoke(&mut plain);
+
+    let config = RuntimeConfig::new()
+        .seed(31)
+        .batch_max(8)
+        .batch_window(Duration::from_millis(5))
+        .read_leases(true)
+        .lease_duration(Duration::from_secs(2));
+    let mut batched = GlobeSim::with_config(Topology::lan(), config);
+    let (report, batched_w, batched_r) = engine_smoke(&mut batched);
+
+    assert_smoke(&report, &batched_w, &batched_r);
+    assert_eq!(
+        batched_w, plain_w,
+        "group commit must not change the sequenced outcome"
+    );
+    assert_eq!(
+        batched_r, plain_r,
+        "leased reads must serve the same converged state"
+    );
+}
+
+/// The batched engine also completes on the wall-clock backends, where
+/// we can only demand internal agreement, not cross-run determinism.
+#[test]
+fn engine_batched_with_leases_runs_on_shard() {
+    let config = RuntimeConfig::new()
+        .seed(31)
+        .batch_max(8)
+        .batch_window(Duration::from_millis(2))
+        .read_leases(true)
+        .lease_duration(Duration::from_secs(2));
+    let mut shard = GlobeShard::with_config(config);
+    let (report, w, r) = engine_smoke(&mut shard);
+    assert_smoke(&report, &w, &r);
+    shard.shutdown();
 }
 
 #[test]
