@@ -198,6 +198,62 @@ fn run_auto_failover_rounds<R: GlobeRuntime>(
     samples
 }
 
+/// One trace-enabled unattended fail-over on the simulator: the flight
+/// recorder journals suspicion, election, takeover, and the first
+/// accepted write, and the derived [`FailoverTimeline`] becomes the
+/// phase breakdown in the JSON artifact. Kept separate from the timed
+/// legs above, which run with `trace_capacity(0)` so their numbers
+/// stay comparable to earlier commits.
+///
+/// [`FailoverTimeline`]: globe_core::trace::FailoverTimeline
+fn traced_auto_failover(auto_config: RuntimeConfig, writes: usize) -> globe_core::TraceSnapshot {
+    let mut rt = GlobeSim::with_config(Topology::lan(), auto_config.trace_capacity(16_384));
+    let first = rt.add_node();
+    let second = rt.add_node();
+    let client_node = rt.add_node();
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/bench/auto-failover-trace")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(first, StoreClass::Permanent)
+        .store(second, StoreClass::Permanent)
+        .create(&mut rt)
+        .expect("create object");
+    let writer = rt
+        .bind(object, client_node, BindOptions::new().read_node(second))
+        .expect("bind writer");
+    rt.start(&[client_node]);
+
+    for i in 0..writes {
+        rt.handle(writer)
+            .write(registers::put(&format!("k{i}"), b"pre"))
+            .expect("write");
+    }
+    rt.handle(writer)
+        .read(registers::get("k0"))
+        .expect("warm the standby's serve path");
+    rt.settle(Duration::from_millis(200));
+
+    rt.partition_node(first, true).expect("isolate the home");
+    rt.handle(writer)
+        .write(registers::put("failover", b"post"))
+        .expect("write to the self-elected sequencer");
+    rt.settle(Duration::from_millis(200));
+
+    let snap = rt.trace();
+    rt.shutdown();
+    snap
+}
+
+/// An optional virtual-time instant / duration as microseconds;
+/// `Json::Num(NaN)` renders as JSON `null` for the absent case.
+fn opt_us(micros: Option<f64>) -> Json {
+    Json::Num(micros.unwrap_or(f64::NAN))
+}
+
 fn wait_for<R: GlobeRuntime>(
     rt: &mut R,
     reader: globe_core::ClientHandle,
@@ -287,6 +343,27 @@ fn main() {
     let mut shard = GlobeShard::with_config(auto_config.seed(19));
     let shard_auto = run_auto_failover_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
 
+    // One more unattended fail-over, this time with the flight recorder
+    // on: the journal yields the per-phase breakdown (suspicion ->
+    // takeover -> first accepted write) that the aggregate samples
+    // above cannot separate.
+    let trace_snap = traced_auto_failover(auto_config.seed(19), writes);
+    let timeline = trace_snap.failover_timeline();
+    let violations = globe_core::TraceChecker::check(&trace_snap);
+    assert!(
+        violations.is_empty(),
+        "trace invariant violations during the benched fail-over: {violations:?}"
+    );
+    println!(
+        "auto-failover phases (virtual time): detection -> takeover {}, takeover -> first write {}\n",
+        timeline
+            .detection_to_takeover()
+            .map_or("n/a".to_string(), fmt_duration),
+        timeline
+            .takeover_to_first_write()
+            .map_or("n/a".to_string(), fmt_duration),
+    );
+
     let mut table = Table::new(
         "Kill -> first consistent read / first accepted write",
         &["scenario", "backend", "clock", "mean", "min", "max"],
@@ -369,6 +446,51 @@ fn main() {
                     ("samples", sample_json(&shard_auto)),
                     ("mean_us", Json::Num(mean(&shard_auto).as_secs_f64() * 1e6)),
                 ]),
+            ]),
+        ),
+        (
+            "auto_failover_trace",
+            Json::obj([
+                ("backend", Json::str("sim")),
+                ("unit", Json::str("virtual_us")),
+                ("trace_events", Json::Int(trace_snap.len() as i64)),
+                ("trace_violations", Json::Int(violations.len() as i64)),
+                (
+                    "suspected_us",
+                    opt_us(timeline.suspected.map(|t| t.as_nanos() as f64 / 1e3)),
+                ),
+                (
+                    "election_us",
+                    opt_us(timeline.election.map(|t| t.as_nanos() as f64 / 1e3)),
+                ),
+                (
+                    "takeover_us",
+                    opt_us(timeline.takeover.map(|t| t.as_nanos() as f64 / 1e3)),
+                ),
+                (
+                    "first_write_us",
+                    opt_us(
+                        timeline
+                            .first_write_after
+                            .map(|t| t.as_nanos() as f64 / 1e3),
+                    ),
+                ),
+                (
+                    "detection_to_takeover_us",
+                    opt_us(
+                        timeline
+                            .detection_to_takeover()
+                            .map(|d| d.as_secs_f64() * 1e6),
+                    ),
+                ),
+                (
+                    "takeover_to_first_write_us",
+                    opt_us(
+                        timeline
+                            .takeover_to_first_write()
+                            .map(|d| d.as_secs_f64() * 1e6),
+                    ),
+                ),
             ]),
         ),
     ]);

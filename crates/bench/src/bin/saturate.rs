@@ -27,7 +27,7 @@ use globe_bench::{fmt_duration, fmt_f64, Table};
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
     BindOptions, ClientHandle, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec,
-    ReplicationPolicy, RuntimeConfig,
+    ProtocolCounters, ReplicationPolicy, RuntimeConfig, TransportFaults,
 };
 use globe_net::Topology;
 use globe_web::WebSemantics;
@@ -92,9 +92,83 @@ fn sim_spec(smoke: bool) -> WorkloadSpec {
     }
 }
 
+/// Runtime-side counters captured just before shutdown: what the leg
+/// observed beyond the engine's own report — transport faults survived,
+/// detector heartbeat traffic, and the always-on protocol counters.
+#[derive(Clone, Copy, Default)]
+struct RuntimeCounters {
+    protocol: ProtocolCounters,
+    transport: TransportFaults,
+    heartbeat_pings: u64,
+}
+
+fn capture_counters<R: GlobeRuntime>(rt: &R) -> RuntimeCounters {
+    let metrics = rt.metrics();
+    let m = metrics.lock();
+    RuntimeCounters {
+        protocol: m.protocol,
+        transport: m.transport,
+        heartbeat_pings: m.traffic.get("NodePing").map_or(0, |k| k.count),
+    }
+}
+
+/// JSON for the transport-fault and heartbeat counters of one leg.
+fn transport_json(c: &RuntimeCounters) -> Json {
+    Json::obj([
+        (
+            "malformed_frames",
+            Json::Int(c.transport.malformed_frames as i64),
+        ),
+        ("send_errors", Json::Int(c.transport.send_errors as i64)),
+        ("disconnects", Json::Int(c.transport.disconnects as i64)),
+        (
+            "rejected_frames",
+            Json::Int(c.transport.rejected_frames as i64),
+        ),
+        (
+            "spawn_failures",
+            Json::Int(c.transport.spawn_failures as i64),
+        ),
+    ])
+}
+
+/// JSON for the group-commit counters: flush-reason histogram and
+/// batch occupancy.
+fn flush_json(p: &ProtocolCounters) -> Json {
+    Json::obj([
+        (
+            "flush_reasons",
+            Json::obj(
+                globe_core::FlushReason::ALL
+                    .iter()
+                    .map(|&r| (r.name(), Json::Int(p.flush_count(r) as i64))),
+            ),
+        ),
+        ("flushes", Json::Int(p.flushes() as i64)),
+        ("batch_writes", Json::Int(p.batch_writes as i64)),
+        ("batch_max_size", Json::Int(p.batch_max_size as i64)),
+        ("mean_batch_occupancy", Json::Num(p.mean_batch_occupancy())),
+    ])
+}
+
+/// JSON for the read-lease counters: the served/forwarded/refused mix
+/// and the derived hit ratio.
+fn lease_json(p: &ProtocolCounters) -> Json {
+    Json::obj([
+        ("served", Json::Int(p.lease_served as i64)),
+        ("forwarded", Json::Int(p.lease_forwarded as i64)),
+        ("refused", Json::Int(p.lease_refused as i64)),
+        ("hit_ratio", Json::Num(p.lease_hit_ratio())),
+    ])
+}
+
 /// Builds `writers` single-store objects (one writer handle each, all
 /// on one client node) and runs the engine against them.
-fn measure<R: GlobeRuntime>(rt: &mut R, writers: usize, spec: &WorkloadSpec) -> EngineReport {
+fn measure<R: GlobeRuntime>(
+    rt: &mut R,
+    writers: usize,
+    spec: &WorkloadSpec,
+) -> (EngineReport, RuntimeCounters) {
     let client = rt.add_node().expect("client node");
     let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
         .immediate()
@@ -115,8 +189,9 @@ fn measure<R: GlobeRuntime>(rt: &mut R, writers: usize, spec: &WorkloadSpec) -> 
         .collect();
     rt.start(&[client]);
     let report = run_engine(rt, &[], &handles, spec);
+    let counters = capture_counters(rt);
     rt.shutdown();
-    report
+    (report, counters)
 }
 
 /// Open-loop gap for the group-commit leg: a moderate per-writer rate
@@ -173,7 +248,7 @@ fn measure_shared<R: GlobeRuntime>(
     readers: usize,
     mirrors: usize,
     spec: &WorkloadSpec,
-) -> EngineReport {
+) -> (EngineReport, RuntimeCounters) {
     let client = rt.add_node().expect("client node");
     let home = rt.add_node().expect("home node");
     let mirror_nodes: Vec<_> = (0..mirrors.max(1))
@@ -206,19 +281,20 @@ fn measure_shared<R: GlobeRuntime>(
         .collect();
     rt.start(&[client]);
     let report = run_engine(rt, &reader_handles, &writer_handles, spec);
+    let counters = capture_counters(rt);
     rt.shutdown();
-    report
+    (report, counters)
 }
 
 /// Runs a measurement twice and keeps the trial with the higher score
 /// — the less scheduler-perturbed of the two.
 fn best_of_two(
-    mut run: impl FnMut() -> EngineReport,
+    mut run: impl FnMut() -> (EngineReport, RuntimeCounters),
     score: impl Fn(&EngineReport) -> f64,
-) -> EngineReport {
+) -> (EngineReport, RuntimeCounters) {
     let first = run();
     let second = run();
-    if score(&second) > score(&first) {
+    if score(&second.0) > score(&first.0) {
         second
     } else {
         first
@@ -287,7 +363,7 @@ fn main() {
         let mut baseline: Option<f64> = None;
         let mut rows = Vec::new();
         for &writers in counts {
-            let report = match backend {
+            let (report, counters) = match backend {
                 "sim" => {
                     let mut rt = GlobeSim::new(Topology::lan(), 17);
                     measure(&mut rt, writers, &sim_spec(smoke))
@@ -339,6 +415,11 @@ fn main() {
                 ("p999_us", Json::Num(lat.p999.as_secs_f64() * 1e6)),
                 ("elapsed_s", Json::Num(report.elapsed.as_secs_f64())),
                 ("speedup_vs_1", Json::Num(speedup)),
+                ("transport_faults", transport_json(&counters)),
+                (
+                    "heartbeat_pings",
+                    Json::Int(counters.heartbeat_pings as i64),
+                ),
             ]));
         }
         backends.push(Json::obj([
@@ -359,14 +440,14 @@ fn main() {
     // Two trials per variant, best completed rate kept: on a shared,
     // deliberately oversaturated sequencer a single short trial is at
     // the mercy of the host scheduler.
-    let unbatched = best_of_two(
+    let (unbatched, unbatched_counters) = best_of_two(
         || {
             let mut rt = GlobeShard::with_config(base_config);
             measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
         },
         |r| rate(r.writes_completed, r),
     );
-    let batched = best_of_two(
+    let (batched, batched_counters) = best_of_two(
         || {
             let mut rt = GlobeShard::with_config(batched_config);
             measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
@@ -405,14 +486,14 @@ fn main() {
         .read_leases(true)
         .lease_duration(Duration::from_secs(2));
     let lease = lease_spec(smoke);
-    let forwarded = best_of_two(
+    let (forwarded, forwarded_counters) = best_of_two(
         || {
             let mut rt = GlobeShard::with_config(forwarded_config);
             measure_shared(&mut rt, 1, 4, 1, &lease)
         },
         |r| rate(r.reads_completed, r),
     );
-    let leased = best_of_two(
+    let (leased, leased_counters) = best_of_two(
         || {
             let mut rt = GlobeShard::with_config(leased_config);
             measure_shared(&mut rt, 1, 4, 1, &lease)
@@ -484,6 +565,16 @@ fn main() {
                 ),
                 ("batched", shared_run_json(&batched, &batched.write_latency)),
                 ("batched_speedup", Json::Num(batched_speedup)),
+                (
+                    "unbatched_flushes",
+                    flush_json(&unbatched_counters.protocol),
+                ),
+                ("batched_flushes", flush_json(&batched_counters.protocol)),
+                ("transport_faults", transport_json(&batched_counters)),
+                (
+                    "heartbeat_pings",
+                    Json::Int(batched_counters.heartbeat_pings as i64),
+                ),
             ]),
         ),
         (
@@ -497,6 +588,16 @@ fn main() {
                 ),
                 ("leased", shared_run_json(&leased, &leased.read_latency)),
                 ("leased_speedup", Json::Num(leased_speedup)),
+                (
+                    "forwarded_lease_mix",
+                    lease_json(&forwarded_counters.protocol),
+                ),
+                ("leased_lease_mix", lease_json(&leased_counters.protocol)),
+                ("transport_faults", transport_json(&leased_counters)),
+                (
+                    "heartbeat_pings",
+                    Json::Int(leased_counters.heartbeat_pings as i64),
+                ),
             ]),
         ),
     ]);

@@ -1,0 +1,149 @@
+//! TRACE SMOKE — the flight recorder exercised end to end in CI.
+//!
+//! Runs one batched-and-leased fail-over scenario (group commit on,
+//! read leases on, `trace_capacity` set) on all three backends, demands
+//! a non-empty trace from each, runs [`globe_core::TraceChecker`] on
+//! every snapshot, and writes the deterministic simulator's snapshot as
+//! a JSON artifact (`TRACE_snapshot.json`, override with `--out`). Any
+//! checker violation fails the process — this is the CI gate that the
+//! journal's story stays coherent on every backend.
+
+use std::time::Duration;
+
+use globe_coherence::{ObjectModel, StoreClass};
+use globe_core::{
+    registers, BindOptions, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec, RegisterDoc,
+    ReplicationPolicy, RuntimeConfig, TraceChecker, TraceSnapshot,
+};
+use globe_net::Topology;
+
+/// Polls `read` until it yields `want` or a retry budget runs out.
+fn converge<R: GlobeRuntime>(
+    rt: &mut R,
+    client: globe_core::ClientHandle,
+    page: &str,
+    want: &[u8],
+) -> Vec<u8> {
+    let mut latest = Vec::new();
+    for _ in 0..50 {
+        latest = rt
+            .handle(client)
+            .read(registers::get(page))
+            .expect("read")
+            .to_vec();
+        if latest == want {
+            break;
+        }
+        rt.settle(Duration::from_millis(100));
+    }
+    latest
+}
+
+/// The batched + leased fail-over drill: writes ride sequencer batches,
+/// reads go through a leased permanent mirror, the home dies
+/// mid-workload, and the elected successor carries on. Returns the
+/// flight-recorder snapshot taken just before shutdown.
+fn scenario<R: GlobeRuntime>(rt: &mut R) -> TraceSnapshot {
+    let home = rt.add_node().expect("home node");
+    let standby = rt.add_node().expect("standby node");
+    let client_node = rt.add_node().expect("client node");
+    let policy = ReplicationPolicy::builder(ObjectModel::Fifo)
+        .immediate()
+        .build()
+        .expect("valid policy");
+    let object = ObjectSpec::new("/trace/smoke")
+        .policy(policy)
+        .semantics(RegisterDoc::new)
+        .store(home, StoreClass::Permanent)
+        .store(standby, StoreClass::Permanent)
+        .create(rt)
+        .expect("create object");
+    let writer = rt
+        .bind(object, client_node, BindOptions::new().read_node(home))
+        .expect("bind writer");
+    let reader = rt
+        .bind(object, client_node, BindOptions::new().read_node(standby))
+        .expect("bind reader");
+    rt.start(&[client_node]);
+
+    // Batched pre-failure writes; leased reads converge on the mirror.
+    for i in 0..6 {
+        rt.handle(writer)
+            .write(registers::put(
+                &format!("k{i}"),
+                format!("pre-{i}").as_bytes(),
+            ))
+            .expect("pre-failure write");
+    }
+    let seen = converge(rt, reader, "k5", b"pre-5");
+    assert_eq!(&seen[..], b"pre-5", "leased mirror must converge");
+
+    // Kill the home; the standby is elected and keeps accepting writes.
+    rt.restart_store(object, home, Box::new(RegisterDoc::new()))
+        .expect("kill the home");
+    rt.handle(writer)
+        .write(registers::put("k9", b"post-failover"))
+        .expect("write to the elected sequencer");
+    let after = converge(rt, reader, "k9", b"post-failover");
+    assert_eq!(&after[..], b"post-failover", "fail-over must complete");
+
+    let snap = rt.trace();
+    rt.shutdown();
+    snap
+}
+
+fn main() {
+    let out = globe_bench::out_path_arg().unwrap_or_else(|| "TRACE_snapshot.json".to_string());
+    let config = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .batch_max(4)
+        .batch_window(Duration::from_millis(10))
+        .read_leases(true)
+        .lease_duration(Duration::from_secs(2))
+        .trace_capacity(8192);
+
+    let mut violations_total = 0usize;
+    let mut sim_snapshot: Option<TraceSnapshot> = None;
+    for backend in ["sim", "tcp", "shard"] {
+        let snap = match backend {
+            "sim" => scenario(&mut GlobeSim::with_config(Topology::lan(), config)),
+            "tcp" => scenario(&mut GlobeTcp::with_config(config)),
+            _ => scenario(&mut GlobeShard::with_config(config)),
+        };
+        assert!(
+            !snap.is_empty(),
+            "{backend}: tracing was on but the journal is empty"
+        );
+        let violations = TraceChecker::check(&snap);
+        println!(
+            "{backend}: {} events, {} dropped, {} flushes (mean occupancy {:.2}), lease hit ratio {:.2}, {} violation(s)",
+            snap.len(),
+            snap.dropped,
+            snap.counters.flushes(),
+            snap.counters.mean_batch_occupancy(),
+            snap.counters.lease_hit_ratio(),
+            violations.len(),
+        );
+        for v in &violations {
+            eprintln!("{backend}: TRACE VIOLATION: {v}");
+        }
+        violations_total += violations.len();
+        if backend == "sim" {
+            sim_snapshot = Some(snap);
+        }
+    }
+
+    let snap = sim_snapshot.expect("the sim leg always runs");
+    match std::fs::write(&out, snap.to_json()) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if violations_total > 0 {
+        eprintln!("{violations_total} trace invariant violation(s) — failing");
+        std::process::exit(1);
+    }
+}

@@ -131,6 +131,17 @@ pub struct RuntimeConfig {
     /// renew at half this period. A fail-over or policy change
     /// invalidates outstanding leases regardless of time left.
     pub lease_duration: Duration,
+    /// Per-node capacity of the protocol flight recorder's event rings
+    /// ([`crate::trace`]). `0` — the default — disables capture
+    /// entirely: the hot path pays exactly one branch per would-be
+    /// event. When set, [`GlobeRuntime::trace`] returns the captured
+    /// journal.
+    pub trace_capacity: usize,
+    /// Cap on retained per-operation latency samples in the metrics
+    /// store (`0` = unbounded, the historical default). Long open-loop
+    /// engine runs should set this so the sample vector stops growing
+    /// — and stops measuring allocator churn.
+    pub op_sample_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -146,6 +157,8 @@ impl Default for RuntimeConfig {
             batch_window: crate::store_engine::DEFAULT_BATCH_WINDOW,
             read_leases: false,
             lease_duration: crate::store_engine::DEFAULT_LEASE_DURATION,
+            trace_capacity: 0,
+            op_sample_capacity: 0,
         }
     }
 }
@@ -226,6 +239,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables the protocol flight recorder with the given per-node
+    /// ring capacity (`0` keeps it off).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Caps retained per-operation latency samples (`0` = unbounded).
+    pub fn op_sample_capacity(mut self, capacity: usize) -> Self {
+        self.op_sample_capacity = capacity;
+        self
+    }
+
     /// The failure-detector tuning implied by this configuration.
     pub(crate) fn detector(&self) -> crate::lifecycle::DetectorConfig {
         crate::lifecycle::DetectorConfig {
@@ -244,7 +270,21 @@ impl RuntimeConfig {
             batch_window: self.batch_window,
             read_leases: self.read_leases,
             lease_duration: self.lease_duration,
+            trace_capacity: self.trace_capacity,
         }
+    }
+
+    /// Builds the runtime's shared metrics store with this
+    /// configuration's capture capacities applied (flight-recorder ring
+    /// size and the op-sample cap).
+    pub(crate) fn build_metrics(&self) -> SharedMetrics {
+        let metrics = crate::shared_metrics();
+        {
+            let mut guard = metrics.lock();
+            guard.set_trace_capacity(self.trace_capacity);
+            guard.set_op_capacity(self.op_sample_capacity);
+        }
+        metrics
     }
 }
 
@@ -699,6 +739,14 @@ pub trait GlobeRuntime {
 
     /// The shared metrics store.
     fn metrics(&self) -> SharedMetrics;
+
+    /// A snapshot of the protocol flight recorder: the captured event
+    /// journal plus the always-on protocol counters. Empty (but still
+    /// carrying the counters) unless the runtime was built with
+    /// [`RuntimeConfig::trace_capacity`] above zero.
+    fn trace(&self) -> crate::trace::TraceSnapshot {
+        self.metrics().lock().trace_snapshot()
+    }
 
     /// Starts background machinery, keeping `client_nodes` caller-driven.
     ///

@@ -328,7 +328,7 @@ impl ControlObject {
             }
             CoherenceMsg::LeaseRevoke { epoch } => {
                 if let Some(store) = self.store.as_mut() {
-                    store.handle_lease_revoke(from, epoch);
+                    store.handle_lease_revoke(from, epoch, ctx);
                 }
             }
             // Node-scoped heartbeats are handled by the address space's

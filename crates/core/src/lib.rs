@@ -85,6 +85,7 @@ mod shard_runtime;
 mod space;
 mod store_engine;
 mod tcp_runtime;
+pub mod trace;
 
 pub use adaptive::{AdaptiveController, Regime};
 pub use api::{
@@ -98,7 +99,8 @@ pub use invocation::{InvocationMessage, MethodKind};
 pub use lifecycle::{LifecycleEvent, LifecycleEventKind, MemberInfo, MembershipView, StoreHealth};
 pub use messages::{CallOutcome, CoherenceMsg, LoggedWrite, NetMsg, WireMember};
 pub use metrics::{
-    shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory, SharedMetrics,
+    shared_history, shared_metrics, KindCount, MetricsStore, OpSample, SharedHistory,
+    SharedMetrics, TransportFaults,
 };
 pub use policy::{
     AccessTransfer, CoherenceTransfer, OutdateReaction, PolicyBuilder, Propagation,
@@ -114,3 +116,7 @@ pub use store_engine::{
     DEFAULT_LEASE_DURATION, WHOLE_DOC,
 };
 pub use tcp_runtime::GlobeTcp;
+pub use trace::{
+    FlushReason, ProtocolCounters, ProtocolEvent, ReadSource, TraceChecker, TraceEvent,
+    TraceSnapshot,
+};

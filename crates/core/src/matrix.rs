@@ -526,6 +526,16 @@ pub mod fault {
             globe_coherence::check::check_fifo(&history)?;
             drop(history);
 
+            // The flight recorder, when enabled, must tell a coherent
+            // story across the fail-over; with tracing off the snapshot
+            // is empty and the checker passes trivially. The observation
+            // is normalized to presence (0/1) because raw event counts
+            // legitimately differ across backends.
+            let snap = rt.trace();
+            let violations = crate::trace::TraceChecker::check(&snap);
+            assert!(violations.is_empty(), "trace violations: {violations:?}");
+            obs.record("trace-captured", snap.len().min(1).to_string());
+
             rt.shutdown();
             Ok(obs)
         }
@@ -664,6 +674,15 @@ pub mod fault {
             let history = history.lock();
             globe_coherence::check::check_fifo(&history)?;
             drop(history);
+
+            // The unattended drill is where the trace invariants earn
+            // their keep: suspicion, election, takeover, and the first
+            // post-takeover writes all land in the journal when tracing
+            // is on, and the checker must find no incoherence in it.
+            let snap = rt.trace();
+            let violations = crate::trace::TraceChecker::check(&snap);
+            assert!(violations.is_empty(), "trace violations: {violations:?}");
+            obs.record("trace-captured", snap.len().min(1).to_string());
 
             rt.shutdown();
             Ok(obs)

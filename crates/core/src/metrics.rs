@@ -8,6 +8,7 @@ use globe_net::SimTime;
 use parking_lot::Mutex;
 
 use crate::lifecycle::{LifecycleEvent, LifecycleEventKind};
+use crate::trace::{ProtocolCounters, TraceEvent, TraceLog, TraceSnapshot};
 use crate::MethodKind;
 
 /// One completed client operation.
@@ -67,7 +68,10 @@ pub struct TransportFaults {
 /// Mutable metrics store shared by every local object in a runtime.
 #[derive(Debug, Default)]
 pub struct MetricsStore {
-    /// Completed operations, in completion order.
+    /// Completed operations. In completion order while below
+    /// `op_capacity` (or when uncapped); once the cap is reached, new
+    /// samples overwrite the oldest ring-style, so position no longer
+    /// implies order — aggregate consumers are unaffected.
     pub ops: Vec<OpSample>,
     /// Coherence traffic by message kind.
     pub traffic: BTreeMap<&'static str, KindCount>,
@@ -76,12 +80,71 @@ pub struct MetricsStore {
     pub lifecycle: Vec<LifecycleEvent>,
     /// Transport faults survived (and counted) instead of panicking.
     pub transport: TransportFaults,
+    /// Always-on protocol counters (flush reasons, batch occupancy,
+    /// lease read mix).
+    pub protocol: ProtocolCounters,
+    /// The flight-recorder journal (off unless given capacity).
+    pub trace: TraceLog,
+    /// Cap on retained [`OpSample`]s; `0` (the default) keeps every
+    /// sample, preserving historical behavior for tests and short runs.
+    op_capacity: usize,
+    /// Ring write cursor, meaningful only once `ops` is at capacity.
+    op_cursor: usize,
+    /// Samples overwritten by the ring since the start of the run.
+    pub ops_dropped: u64,
 }
 
 impl MetricsStore {
-    /// Records a completed operation.
+    /// Records a completed operation. Uncapped stores grow without
+    /// bound (historical behavior); a capped store overwrites the
+    /// oldest sample once full, so long open-loop runs stop measuring
+    /// allocator churn.
     pub fn record_op(&mut self, sample: OpSample) {
-        self.ops.push(sample);
+        if self.op_capacity == 0 || self.ops.len() < self.op_capacity {
+            self.ops.push(sample);
+            return;
+        }
+        self.ops[self.op_cursor] = sample;
+        self.op_cursor = (self.op_cursor + 1) % self.op_capacity;
+        self.ops_dropped += 1;
+    }
+
+    /// Sets the retained-sample cap (`0` = unbounded). Shrinking an
+    /// over-full store truncates to the newest samples.
+    pub fn set_op_capacity(&mut self, capacity: usize) {
+        self.op_capacity = capacity;
+        if capacity > 0 && self.ops.len() > capacity {
+            let excess = self.ops.len() - capacity;
+            self.ops.drain(..excess);
+            self.ops_dropped += excess as u64;
+            self.op_cursor = 0;
+        }
+    }
+
+    /// The retained-sample cap (`0` = unbounded).
+    pub fn op_capacity(&self) -> usize {
+        self.op_capacity
+    }
+
+    /// Sets the flight recorder's per-node ring capacity (`0` = off).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Records one flight-recorder event (no-op while the trace is off).
+    pub fn record_trace(&mut self, event: TraceEvent) {
+        self.trace.record(event);
+    }
+
+    /// Snapshots the flight recorder: the merged journal plus a copy of
+    /// the always-on protocol counters.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            capacity: self.trace.capacity(),
+            dropped: self.trace.dropped(),
+            events: self.trace.snapshot(),
+            counters: self.protocol,
+        }
     }
 
     /// Counts one received frame that failed to decode and was dropped.
@@ -207,5 +270,35 @@ mod tests {
         assert_eq!(m.total_messages(), 3);
         assert_eq!(m.total_bytes(), 160);
         assert_eq!(m.traffic["Update"].count, 2);
+    }
+
+    #[test]
+    fn op_ring_caps_growth_and_counts_overwrites() {
+        let sample = |seq: u64| OpSample {
+            client: ClientId::new(1),
+            kind: MethodKind::Write,
+            issued: SimTime::from_millis(seq),
+            completed: SimTime::from_millis(seq + 1),
+            ok: true,
+        };
+        let mut m = MetricsStore::default();
+        m.set_op_capacity(3);
+        for seq in 0..7 {
+            m.record_op(sample(seq));
+        }
+        assert_eq!(m.ops.len(), 3);
+        assert_eq!(m.ops_dropped, 4);
+        // The three newest samples survive (in ring positions).
+        let mut issued: Vec<u64> = m.ops.iter().map(|s| s.issued.as_millis()).collect();
+        issued.sort_unstable();
+        assert_eq!(issued, vec![4, 5, 6]);
+
+        // Uncapped keeps everything — the historical default.
+        let mut unbounded = MetricsStore::default();
+        for seq in 0..7 {
+            unbounded.record_op(sample(seq));
+        }
+        assert_eq!(unbounded.ops.len(), 7);
+        assert_eq!(unbounded.ops_dropped, 0);
     }
 }

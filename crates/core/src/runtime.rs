@@ -19,9 +19,9 @@ use globe_net::{NetStats, NodeId, RegionId, SimNet, SimTime, Topology};
 use crate::lifecycle::{MembershipView, StoreHealth};
 use crate::plan::{self, ObjectRecord};
 use crate::{
-    shared_history, shared_metrics, AddressSpace, CallError, CoherenceMsg, CommObject,
-    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
-    Semantics, SharedHistory, SharedMetrics,
+    shared_history, AddressSpace, CallError, CoherenceMsg, CommObject, GlobeRuntime,
+    InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig, Semantics,
+    SharedHistory, SharedMetrics,
 };
 
 /// Error creating or binding an object in the runtime.
@@ -210,7 +210,7 @@ impl GlobeSim {
             locations: LocationService::new(),
             objects: HashMap::new(),
             history: shared_history(),
-            metrics: shared_metrics(),
+            metrics: config.build_metrics(),
             next_client: 0,
             next_store: 0,
             // Virtual time is free, so the default deadline is generous.

@@ -42,9 +42,9 @@ use parking_lot::Mutex;
 use crate::lifecycle::MembershipView;
 use crate::plan::{self, ObjectRecord};
 use crate::{
-    shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    CoherenceMsg, CommObject, GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy,
-    RequestId, RuntimeConfig, RuntimeError, Semantics, SharedHistory, SharedMetrics,
+    shared_history, AddressSpace, BindOptions, CallError, ClientHandle, CoherenceMsg, CommObject,
+    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
+    RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
 
 /// Default number of shard workers when none is requested.
@@ -250,7 +250,7 @@ impl GlobeShard {
             receivers.push(Some(rx));
             spaces.push(Arc::new(Mutex::new(HashMap::new())));
         }
-        let metrics = shared_metrics();
+        let metrics = config.build_metrics();
         // A refused timer thread degrades the runtime (timers inert)
         // instead of panicking; the failure is counted like any other
         // transport fault.

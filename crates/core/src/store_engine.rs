@@ -18,6 +18,7 @@ use globe_net::{NetCtx, NodeId};
 
 use crate::lifecycle::{DetectorConfig, LifecycleEvent, LifecycleEventKind};
 use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
+use crate::trace::{FlushReason, ProtocolEvent, ReadSource, TraceEvent};
 use crate::{
     CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
     OutdateReaction, Propagation, ReplicationPolicy, RequestId, Semantics, SharedHistory,
@@ -88,6 +89,10 @@ pub struct StoreTuning {
     pub read_leases: bool,
     /// Validity window of a granted lease (renewed at half-period).
     pub lease_duration: Duration,
+    /// Per-node capacity of the flight-recorder event rings; `0` (the
+    /// default) disables capture, leaving one branch per would-be
+    /// event on the hot path.
+    pub trace_capacity: usize,
 }
 
 impl Default for StoreTuning {
@@ -97,6 +102,7 @@ impl Default for StoreTuning {
             batch_window: DEFAULT_BATCH_WINDOW,
             read_leases: false,
             lease_duration: DEFAULT_LEASE_DURATION,
+            trace_capacity: 0,
         }
     }
 }
@@ -393,6 +399,21 @@ impl StoreReplica {
         });
     }
 
+    /// Records one flight-recorder event. The `trace_capacity == 0`
+    /// early return is the entire hot-path cost while capture is off.
+    fn trace_event(&self, ctx: &dyn NetCtx, event: ProtocolEvent) {
+        if self.tuning.trace_capacity == 0 {
+            return;
+        }
+        self.metrics.lock().record_trace(TraceEvent {
+            at: ctx.now(),
+            node: ctx.node(),
+            object: self.object,
+            store: self.store_id,
+            event,
+        });
+    }
+
     fn token(&self, kind: TimerKind) -> globe_net::TimerToken {
         crate::space::timer_token(self.object, kind)
     }
@@ -482,8 +503,17 @@ impl StoreReplica {
             write.page = self.semantics.part_of(&write.inv);
         }
         if self.is_home && self.repl.orders_writes() && write.order.is_none() {
-            write.order = Some(self.order_assigned);
+            let seq = self.order_assigned;
+            write.order = Some(seq);
             self.order_assigned += 1;
+            self.trace_event(
+                ctx,
+                ProtocolEvent::WriteOrdered {
+                    write: write.wid,
+                    seq,
+                    epoch: self.home_epoch,
+                },
+            );
         }
         let dispatch = match &write.page {
             Some(p) => self
@@ -522,6 +552,7 @@ impl StoreReplica {
             write.wid,
             write.page.clone().unwrap_or_else(|| WHOLE_DOC.to_string()),
         );
+        self.trace_event(ctx, ProtocolEvent::WriteApplied { write: write.wid });
         (write, outcome)
     }
 
@@ -549,9 +580,10 @@ impl StoreReplica {
             // Duplicates (client retransmissions) are staged too and
             // resolve to `Stale` at flush time, after the original has
             // been applied — an ack never precedes application.
+            self.trace_event(ctx, ProtocolEvent::WriteStaged { write: write.wid });
             self.pending_batch.push(BufferedWrite { write, reply_to });
             if self.pending_batch.len() >= self.tuning.batch_max {
-                self.flush_batch(ctx);
+                self.flush_batch(FlushReason::Max, ctx);
             } else if !self.batch_armed {
                 ctx.set_timer(self.tuning.batch_window, self.token(TimerKind::BatchFlush));
                 self.batch_armed = true;
@@ -579,6 +611,7 @@ impl StoreReplica {
                 // Duplicate or superseded: acknowledge idempotently.
                 if let Some((node, req, _)) = reply_to {
                     self.send_reply(ctx, node, req, CallOutcome::Ok(Bytes::new()), None);
+                    self.trace_event(ctx, ProtocolEvent::WriteAcked { write: write.wid });
                 }
             }
             Readiness::Buffer => {
@@ -600,6 +633,12 @@ impl StoreReplica {
                 }
                 if let Some((node, req, _)) = reply_to {
                     self.send_reply(ctx, node, req, outcome, None);
+                    self.trace_event(
+                        ctx,
+                        ProtocolEvent::WriteAcked {
+                            write: finalized.wid,
+                        },
+                    );
                 }
                 self.drain_buffered(ctx);
                 self.drain_queued_reads(ctx);
@@ -611,11 +650,14 @@ impl StoreReplica {
     /// writes (one ordering decision each, assigned contiguously since
     /// nothing interleaves within the flush), then one coalesced
     /// fan-out frame per in-scope peer covering the whole run.
-    fn flush_batch(&mut self, ctx: &mut dyn NetCtx) {
+    fn flush_batch(&mut self, reason: FlushReason, ctx: &mut dyn NetCtx) {
         if self.pending_batch.is_empty() {
             return;
         }
         let staged = std::mem::take(&mut self.pending_batch);
+        let size = staged.len();
+        self.metrics.lock().protocol.record_flush(reason, size);
+        self.trace_event(ctx, ProtocolEvent::BatchFlushed { reason, size });
         for entry in staged {
             self.admit_write(entry.reply_to, entry.write, false, ctx);
         }
@@ -641,6 +683,7 @@ impl StoreReplica {
             .filter(|p| self.policy.in_scope(p.class))
             .collect();
         let log_len = self.write_log.len();
+        let mut sent_to = 0usize;
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
             if sent >= log_len {
@@ -662,6 +705,10 @@ impl StoreReplica {
             };
             self.comm.send(ctx, peer.node, &msg);
             self.peer_sent.insert(peer.node, log_len);
+            sent_to += 1;
+        }
+        if sent_to > 0 {
+            self.trace_event(ctx, ProtocolEvent::FanoutSent { peers: sent_to });
         }
     }
 
@@ -802,6 +849,7 @@ impl StoreReplica {
             peers: self.membership(ctx.node()),
         };
         self.comm.send(ctx, node, &msg);
+        self.trace_event(ctx, ProtocolEvent::StateTransferSent { to: node });
         // The transfer covers the entire log; immediate propagation must
         // not replay it.
         self.peer_sent.insert(node, self.write_log.len());
@@ -873,7 +921,9 @@ impl StoreReplica {
             return;
         }
         self.adopt_membership(&peers, ctx.node());
-        self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
+        if self.install_snapshot(version, state, writers, order_high, Some(log), ctx) {
+            self.trace_event(ctx, ProtocolEvent::StateTransferInstalled);
+        }
         self.drain_buffered(ctx);
         self.drain_queued_reads(ctx);
         self.start(ctx);
@@ -932,7 +982,14 @@ impl StoreReplica {
         self.prev_home = old_home;
         self.is_home = true;
         // A sequencer holds no lease; readers it leases come to it.
-        self.lease = None;
+        if self.lease.take().is_some() {
+            self.trace_event(
+                ctx,
+                ProtocolEvent::LeaseRevoked {
+                    epoch: self.home_epoch,
+                },
+            );
+        }
         self.home_node = me;
         self.home_store = self.store_id;
         self.home_epoch = self.home_epoch.max(epoch);
@@ -962,6 +1019,12 @@ impl StoreReplica {
         targets.remove(&me);
         self.comm.multicast(ctx, targets, &announce);
         self.record_lifecycle(me, LifecycleEventKind::Elected, now);
+        self.trace_event(
+            ctx,
+            ProtocolEvent::TakeoverAnnounced {
+                epoch: self.home_epoch,
+            },
+        );
         self.start(ctx);
         self.drain_buffered(ctx);
         self.drain_queued_reads(ctx);
@@ -1083,7 +1146,9 @@ impl StoreReplica {
         self.prev_home = old_home;
         self.home_epoch = epoch;
         // The sequencer moved: any lease the old one granted is void.
-        self.lease = None;
+        if self.lease.take().is_some() {
+            self.trace_event(ctx, ProtocolEvent::LeaseRevoked { epoch });
+        }
         self.adopt_membership(&peers, me);
         self.install_snapshot(version, state, writers, order_high, Some(log), ctx);
         self.drain_buffered(ctx);
@@ -1098,10 +1163,18 @@ impl StoreReplica {
         if node == self.home_node && !self.is_home {
             // A suspect sequencer may already have been replaced; the
             // lease it granted must not authorize local reads anymore.
-            self.lease = None;
+            if self.lease.take().is_some() {
+                self.trace_event(
+                    ctx,
+                    ProtocolEvent::LeaseRevoked {
+                        epoch: self.home_epoch,
+                    },
+                );
+            }
         }
         if node == self.home_node || self.peers.iter().any(|p| p.node == node) {
             self.record_lifecycle(node, LifecycleEventKind::Suspected, ctx.now());
+            self.trace_event(ctx, ProtocolEvent::SuspicionRaised { peer: node });
         }
     }
 
@@ -1166,6 +1239,12 @@ impl StoreReplica {
         // The failed home stays in the membership: it rejoins as an
         // ordinary permanent replica when it comes back (the recovery
         // fan-in above re-announces the takeover to it).
+        self.trace_event(
+            ctx,
+            ProtocolEvent::ElectionStarted {
+                epoch: self.home_epoch + 1,
+            },
+        );
         let membership = self.membership(me);
         self.promote_to_home(membership, self.home_epoch + 1, ctx);
     }
@@ -1196,6 +1275,12 @@ impl StoreReplica {
                         self.propagate(&finalized, from_client, ctx);
                         if let Some((node, req, _)) = entry.reply_to {
                             self.send_reply(ctx, node, req, outcome, None);
+                            self.trace_event(
+                                ctx,
+                                ProtocolEvent::WriteAcked {
+                                    write: finalized.wid,
+                                },
+                            );
                         }
                         progressed = true;
                     }
@@ -1203,6 +1288,12 @@ impl StoreReplica {
                         let entry = self.buffered.remove(index);
                         if let Some((node, req, _)) = entry.reply_to {
                             self.send_reply(ctx, node, req, CallOutcome::Ok(Bytes::new()), None);
+                            self.trace_event(
+                                ctx,
+                                ProtocolEvent::WriteAcked {
+                                    write: entry.write.wid,
+                                },
+                            );
                         }
                         progressed = true;
                     }
@@ -1276,6 +1367,12 @@ impl StoreReplica {
         if self.is_home || from != self.home_node || epoch < self.home_epoch {
             return;
         }
+        let event = if self.lease.is_some() {
+            ProtocolEvent::LeaseRenewed { epoch }
+        } else {
+            ProtocolEvent::LeaseGranted { epoch }
+        };
+        self.trace_event(ctx, event);
         self.lease = Some(ReadLease {
             epoch,
             version,
@@ -1284,10 +1381,15 @@ impl StoreReplica {
     }
 
     /// Replica side of a lease revocation.
-    pub fn handle_lease_revoke(&mut self, from: NodeId, epoch: u64) {
+    pub fn handle_lease_revoke(&mut self, from: NodeId, epoch: u64, ctx: &mut dyn NetCtx) {
         let _ = epoch;
-        if from == self.home_node {
-            self.lease = None;
+        if from == self.home_node && self.lease.take().is_some() {
+            self.trace_event(
+                ctx,
+                ProtocolEvent::LeaseRevoked {
+                    epoch: self.home_epoch,
+                },
+            );
         }
     }
 
@@ -1322,9 +1424,22 @@ impl StoreReplica {
         ctx: &mut dyn NetCtx,
     ) {
         if self.batching_active() && !self.pending_batch.is_empty() {
-            self.flush_batch(ctx);
+            self.flush_batch(FlushReason::Read, ctx);
         }
         if !self.is_home && self.tuning.read_leases && !self.lease_valid(ctx.now()) {
+            // Count the miss: a held-but-lapsed lease refuses the read,
+            // no lease at all forwards it outright.
+            if self.lease.is_some() {
+                self.metrics.lock().protocol.lease_refused += 1;
+                self.trace_event(
+                    ctx,
+                    ProtocolEvent::LeaseExpired {
+                        epoch: self.home_epoch,
+                    },
+                );
+            } else {
+                self.metrics.lock().protocol.lease_forwarded += 1;
+            }
             // No valid lease: the sequencer serves the read. The reply
             // comes back through this store's `forwarded` table (or
             // straight to a co-located session).
@@ -1340,6 +1455,10 @@ impl StoreReplica {
                 },
             );
             return;
+        }
+        if !self.is_home && self.tuning.read_leases {
+            // Reaching here means the lease authorized a local read.
+            self.metrics.lock().protocol.lease_served += 1;
         }
         self.client_nodes.insert(client, from);
         let page = self.semantics.part_of(&inv);
@@ -1417,6 +1536,14 @@ impl StoreReplica {
             sees,
             self.applied.clone(),
         );
+        let source = if self.is_home {
+            ReadSource::Home
+        } else if self.tuning.read_leases {
+            ReadSource::Lease
+        } else {
+            ReadSource::LocalPolicy
+        };
+        self.trace_event(ctx, ProtocolEvent::ReadServed { source });
         self.send_reply(ctx, from, req, outcome, sees);
     }
 
@@ -1491,6 +1618,7 @@ impl StoreReplica {
             .filter(|p| self.policy.in_scope(p.class))
             .collect();
         let log_len = self.write_log.len();
+        let mut sent_to = 0usize;
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
             if sent >= log_len {
@@ -1499,6 +1627,10 @@ impl StoreReplica {
             let msg = self.transfer_msg(&self.write_log[sent..]);
             self.comm.send(ctx, peer.node, &msg);
             self.peer_sent.insert(peer.node, log_len);
+            sent_to += 1;
+        }
+        if sent_to > 0 {
+            self.trace_event(ctx, ProtocolEvent::FanoutSent { peers: sent_to });
         }
     }
 
@@ -1593,7 +1725,7 @@ impl StoreReplica {
         if self.batching_active() && !self.pending_batch.is_empty() {
             // A peer is pulling: answer with the staged writes ordered,
             // not a view that excludes them.
-            self.flush_batch(ctx);
+            self.flush_batch(FlushReason::Demand, ctx);
         }
         if self.policy.coherence_transfer == CoherenceTransfer::Full {
             let msg = self.full_state_msg();
@@ -1887,7 +2019,7 @@ impl StoreReplica {
             TimerKind::BatchFlush => {
                 self.batch_armed = false;
                 if self.batching_active() {
-                    self.flush_batch(ctx);
+                    self.flush_batch(FlushReason::Window, ctx);
                 }
             }
             TimerKind::LeaseRenew => {
@@ -1939,7 +2071,7 @@ impl StoreReplica {
             // Order every staged write under the outgoing policy before
             // the switch, and pull leased readers back through the
             // sequencer until they re-lease under the new policy.
-            self.flush_batch(ctx);
+            self.flush_batch(FlushReason::Policy, ctx);
         }
         if self.is_home {
             self.revoke_all_leases(ctx);
@@ -1953,6 +2085,13 @@ impl StoreReplica {
             let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
             self.comm
                 .multicast(ctx, peers, &CoherenceMsg::PolicyUpdate { policy });
+            // Ship the backlog under the incoming policy. Writes
+            // admitted while the old policy was lazy (or admitted
+            // concurrently with this switch — over TCP the policy frame
+            // and a client write ride different connections, so either
+            // order is possible) would otherwise sit unsent until the
+            // old lazy timer fires.
+            self.propagate_flushed(ctx);
         }
         self.start(ctx);
     }

@@ -22,9 +22,9 @@ use parking_lot::Mutex;
 use crate::lifecycle::{MembershipView, StoreHealth};
 use crate::plan::{self, ObjectRecord};
 use crate::{
-    shared_history, shared_metrics, AddressSpace, BindOptions, CallError, ClientHandle,
-    CoherenceMsg, CommObject, GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy,
-    RequestId, RuntimeConfig, RuntimeError, Semantics, SharedHistory, SharedMetrics,
+    shared_history, AddressSpace, BindOptions, CallError, ClientHandle, CoherenceMsg, CommObject,
+    GlobeRuntime, InvocationMessage, ObjectSpec, ReplicationPolicy, RequestId, RuntimeConfig,
+    RuntimeError, Semantics, SharedHistory, SharedMetrics,
 };
 
 /// The error for live operations attempted without a control endpoint
@@ -92,7 +92,7 @@ impl GlobeTcp {
             locations: LocationService::new(),
             objects: HashMap::new(),
             history: shared_history(),
-            metrics: shared_metrics(),
+            metrics: config.build_metrics(),
             threads: Vec::new(),
             control: None,
             next_client: 0,

@@ -799,6 +799,11 @@ fn partitioned_leased_replica_refuses_reads_after_expiry() {
         b"v1",
         "inside the lease the mirror serves locally — the home is unreachable"
     );
+    let served_inside_lease = metrics.lock().protocol.lease_served;
+    assert!(
+        served_inside_lease >= 1,
+        "a lease-authorized local read must count as served"
+    );
 
     // Run past the lease without any renewal getting through: the
     // mirror must now refuse to serve locally and forward into the
@@ -809,6 +814,18 @@ fn partitioned_leased_replica_refuses_reads_after_expiry() {
         refused.is_err(),
         "an expired lease must never serve a possibly-stale local read: {refused:?}"
     );
+    {
+        let m = metrics.lock();
+        assert!(
+            m.protocol.lease_refused >= 1,
+            "the expired-lease read must count as refused"
+        );
+        let ratio = m.protocol.lease_hit_ratio();
+        assert!(
+            ratio > 0.0 && ratio < 1.0,
+            "served and refused reads must both show in the hit ratio: {ratio}"
+        );
+    }
 
     // Heal: the next renewal wins a fresh grant and local reads resume,
     // including a write the mirror missed while partitioned.

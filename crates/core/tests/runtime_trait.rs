@@ -151,7 +151,7 @@ fn home_failover_matrix_spans_sim_tcp_and_shard() {
     for outcome in &outcomes {
         assert_eq!(
             outcome.observations.items().len(),
-            6,
+            7,
             "{}: all fail-over observations recorded",
             outcome.backend
         );
@@ -178,7 +178,7 @@ fn auto_failover_matrix_spans_sim_tcp_and_shard() {
     for outcome in &outcomes {
         assert_eq!(
             outcome.observations.items().len(),
-            6,
+            7,
             "{}: all auto-fail-over observations recorded",
             outcome.backend
         );
@@ -195,10 +195,32 @@ fn home_failover_matrix_with_batching() {
         .seed(42)
         .call_timeout(Duration::from_secs(10))
         .batch_max(4)
-        .batch_window(Duration::from_millis(10));
+        .batch_window(Duration::from_millis(10))
+        .trace_capacity(4096);
     let outcomes = matrix::run_matrix(&matrix::fault::HomeFailover, &Backend::ALL, config)
         .expect("identical batched fail-over outcomes on every backend");
     assert_eq!(outcomes.len(), 3);
+    assert_trace_captured(&outcomes);
+}
+
+/// With the flight recorder on, every backend must come back with a
+/// non-empty, checker-clean trace: the scenario body records a
+/// normalized `trace-captured = 1` observation only when `rt.trace()`
+/// returned events, and runs `TraceChecker` on the snapshot itself.
+fn assert_trace_captured(outcomes: &[matrix::MatrixOutcome]) {
+    for outcome in outcomes {
+        let (_, captured) = outcome
+            .observations
+            .items()
+            .iter()
+            .find(|(label, _)| label == "trace-captured")
+            .expect("fault scenarios record whether the trace was captured");
+        assert_eq!(
+            captured, b"1",
+            "{}: trace-enabled run must capture protocol events",
+            outcome.backend
+        );
+    }
 }
 
 /// Unattended fail-over with group commit enabled: the detector fires
@@ -214,10 +236,12 @@ fn auto_failover_matrix_with_batching() {
         .auto_failover(true)
         .failover_confirm_periods(1)
         .batch_max(4)
-        .batch_window(Duration::from_millis(10));
+        .batch_window(Duration::from_millis(10))
+        .trace_capacity(4096);
     let outcomes = matrix::run_matrix(&matrix::fault::AutoFailover, &Backend::ALL, config)
         .expect("identical batched unattended fail-over outcomes on every backend");
     assert_eq!(outcomes.len(), 3);
+    assert_trace_captured(&outcomes);
 }
 
 /// The partial-batch fault: writes are *staged but unflushed* at the
@@ -338,6 +362,13 @@ impl Scenario for PartialBatchFailover {
         globe_coherence::check::check_fifo(&history)?;
         drop(history);
 
+        // Partial batches are exactly where an ack could sneak out
+        // before its apply; the flight recorder must never see one.
+        let snap = rt.trace();
+        let violations = globe_core::TraceChecker::check(&snap);
+        assert!(violations.is_empty(), "trace violations: {violations:?}");
+        obs.record("trace-captured", snap.len().min(1).to_string());
+
         rt.shutdown();
         Ok(obs)
     }
@@ -352,10 +383,12 @@ fn partial_batch_failover_matrix_spans_sim_tcp_and_shard() {
         .seed(42)
         .call_timeout(Duration::from_secs(10))
         .batch_max(8)
-        .batch_window(Duration::from_millis(150));
+        .batch_window(Duration::from_millis(150))
+        .trace_capacity(4096);
     let outcomes = matrix::run_matrix(&PartialBatchFailover, &Backend::ALL, config)
         .expect("identical partial-batch outcomes on every backend");
     assert_eq!(outcomes.len(), 3);
+    assert_trace_captured(&outcomes);
 }
 
 /// Live membership churn (add a mirror, read through it, remove it)

@@ -37,15 +37,24 @@ struct Rig {
     client_node: NodeId,
     peer_log: Rc<RefCell<Vec<(NodeId, CoherenceMsg)>>>,
     client_log: Rc<RefCell<Vec<(NodeId, CoherenceMsg)>>>,
+    metrics: globe_core::SharedMetrics,
 }
 
 fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
+    rig_tuned(policy, is_home, globe_core::StoreTuning::default())
+}
+
+fn rig_tuned(policy: ReplicationPolicy, is_home: bool, tuning: globe_core::StoreTuning) -> Rig {
     let mut net = SimNet::new(Topology::lan(), 0);
     let home_node = net.add_node();
     let peer_node = net.add_node();
     let client_node = net.add_node();
     let peer_log = capture(&mut net, peer_node);
     let client_log = capture(&mut net, client_node);
+    let metrics = shared_metrics();
+    if tuning.trace_capacity > 0 {
+        metrics.lock().set_trace_capacity(tuning.trace_capacity);
+    }
     // When testing a replica (is_home = false), the "store under test"
     // lives on peer_node's id space conceptually, but we drive it by
     // hand, so node identity only matters for message routing.
@@ -72,9 +81,9 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
         },
         semantics: Box::new(RegisterDoc::new()),
         history: shared_history(),
-        metrics: shared_metrics(),
+        metrics: metrics.clone(),
         detector: globe_core::lifecycle::DetectorConfig::disabled(),
-        tuning: globe_core::StoreTuning::default(),
+        tuning,
     });
     Rig {
         net,
@@ -84,6 +93,7 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
         client_node,
         peer_log,
         client_log,
+        metrics,
     }
 }
 
@@ -311,6 +321,83 @@ fn invalidated_page_read_demands_from_home() {
         "invalid-page read must trigger a demand"
     );
     assert!(r.client_log.borrow().is_empty(), "read parked until data");
+}
+
+#[test]
+fn group_commit_counters_and_trace_capture_flushes() {
+    let policy = ReplicationPolicy::builder(ObjectModel::Pram)
+        .immediate()
+        .build()
+        .unwrap();
+    let tuning = globe_core::StoreTuning {
+        batch_max: 2,
+        trace_capacity: 64,
+        ..globe_core::StoreTuning::default()
+    };
+    let mut r = rig_tuned(policy, true, tuning);
+    let (store, client_node) = (&mut r.store, r.client_node);
+    r.net.with_ctx(r.home_node, |ctx| {
+        // Two writes fill the batch: one size-limit flush of size 2.
+        for seq in 1..=2 {
+            store.accept_write(
+                Some((client_node, RequestId::new(seq), ClientId::new(9))),
+                client_write(seq),
+                ctx,
+            );
+        }
+        // A third write stages alone; the local read forces it out as a
+        // read-triggered flush of size 1.
+        store.accept_write(
+            Some((client_node, RequestId::new(3), ClientId::new(9))),
+            client_write(3),
+            ctx,
+        );
+        store.serve_read(
+            client_node,
+            RequestId::new(4),
+            ClientId::new(5),
+            registers::get("page"),
+            VersionVector::new(),
+            ctx,
+        );
+    });
+    r.net.run_until_quiescent();
+
+    // The always-on counters see both flushes regardless of tracing.
+    let m = r.metrics.lock();
+    assert_eq!(m.protocol.flush_count(globe_core::FlushReason::Max), 1);
+    assert_eq!(m.protocol.flush_count(globe_core::FlushReason::Read), 1);
+    assert_eq!(m.protocol.flushes(), 2);
+    assert_eq!(m.protocol.batch_writes, 3);
+    assert_eq!(m.protocol.batch_max_size, 2);
+    assert!((m.protocol.mean_batch_occupancy() - 1.5).abs() < 1e-9);
+    let snap = m.trace_snapshot();
+    drop(m);
+
+    // The trace ring captured the same story, event by event, and the
+    // checker finds it coherent (acks after applies, contiguous orders).
+    assert!(snap.events.iter().any(|e| matches!(
+        e.event,
+        globe_core::ProtocolEvent::BatchFlushed {
+            reason: globe_core::FlushReason::Max,
+            size: 2
+        }
+    )));
+    assert!(snap.events.iter().any(|e| matches!(
+        e.event,
+        globe_core::ProtocolEvent::BatchFlushed {
+            reason: globe_core::FlushReason::Read,
+            size: 1
+        }
+    )));
+    let staged = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, globe_core::ProtocolEvent::WriteStaged { .. }))
+        .count();
+    assert_eq!(staged, 3, "every batched write is staged exactly once");
+    let violations = globe_core::TraceChecker::check(&snap);
+    assert!(violations.is_empty(), "trace violations: {violations:?}");
 }
 
 #[test]

@@ -118,6 +118,20 @@ fn engine_batched_with_leases_matches_unbatched_on_sim() {
         batched_r, plain_r,
         "leased reads must serve the same converged state"
     );
+
+    // The reader population goes through the leased mirror: the
+    // always-on protocol counters must show local lease serves, i.e. a
+    // nonzero hit ratio — that is the whole point of read leases.
+    let metrics = batched.metrics();
+    let m = metrics.lock();
+    assert!(
+        m.protocol.lease_served > 0,
+        "leased mirror reads must count as served locally"
+    );
+    assert!(
+        m.protocol.lease_hit_ratio() > 0.0,
+        "lease hit ratio must be positive with read_leases on"
+    );
 }
 
 /// The batched engine also completes on the wall-clock backends, where
