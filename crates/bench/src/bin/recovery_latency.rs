@@ -24,13 +24,16 @@ use globe_core::{
 use globe_net::Topology;
 
 /// Runs `rounds` kill/recover cycles against `rt`, measuring each
-/// kill → first-consistent-read window with the caller's clock.
+/// kill → first-consistent-read window with the caller's clock. Also
+/// returns the flight-recorder snapshot taken just before shutdown —
+/// empty unless the caller configured a `trace_capacity`, so the timed
+/// legs stay comparable to earlier commits.
 fn run_rounds<R: GlobeRuntime>(
     rt: &mut R,
     now: impl Fn(&mut R) -> Duration,
     writes: usize,
     rounds: usize,
-) -> Vec<Duration> {
+) -> (Vec<Duration>, globe_core::TraceSnapshot) {
     let server = rt.add_node().expect("server node");
     let mirror = rt.add_node().expect("mirror node");
     let client_node = rt.add_node().expect("client node");
@@ -71,8 +74,31 @@ fn run_rounds<R: GlobeRuntime>(
         wait_for(rt, reader, "k0", value.as_bytes());
         samples.push(now(rt).saturating_sub(begin));
     }
+    let snap = rt.trace();
     rt.shutdown();
-    samples
+    (samples, snap)
+}
+
+/// Sums the log entries shipped by every state transfer and every
+/// chunked delta in the trace — the wire cost of recovery that the
+/// incremental path exists to shrink.
+fn transfer_entries(snap: &globe_core::TraceSnapshot) -> (u64, u64, u64) {
+    let mut full = 0u64;
+    let mut delta = 0u64;
+    let mut delta_sends = 0u64;
+    for e in &snap.events {
+        match e.event {
+            globe_core::ProtocolEvent::StateTransferSent { entries, .. } => {
+                full += entries as u64;
+            }
+            globe_core::ProtocolEvent::DeltaTransferSent { entries, .. } => {
+                delta += entries as u64;
+                delta_sends += 1;
+            }
+            _ => {}
+        }
+    }
+    (full, delta, delta_sends)
 }
 
 /// Runs `rounds` home fail-over cycles against `rt`: kill the current
@@ -299,7 +325,7 @@ fn main() {
 
     // Deterministic simulator: latency in virtual time.
     let mut sim = GlobeSim::new(Topology::lan(), 17);
-    let sim_samples = run_rounds(
+    let (sim_samples, _) = run_rounds(
         &mut sim,
         |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
         writes,
@@ -309,7 +335,57 @@ fn main() {
     // Sharded runtime: latency on the wall clock.
     let epoch = Instant::now();
     let mut shard = GlobeShard::with_config(RuntimeConfig::new().seed(17));
-    let shard_samples = run_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
+    let (shard_samples, _) = run_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
+
+    // Incremental vs full state transfer (sim, virtual time): the same
+    // kill/recover drill, once on the default in-memory backend (every
+    // recovery ships the whole log) and once on the durable WAL backend
+    // with checkpointing (the restarted mirror recovers locally and
+    // receives only the suffix it missed). The traces count the log
+    // entries each path put on the wire.
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new().seed(21).trace_capacity(65_536),
+    );
+    let (full_samples, full_snap) = run_rounds(
+        &mut sim,
+        |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
+        writes,
+        rounds,
+    );
+    let (full_full, full_delta, _) = transfer_entries(&full_snap);
+    let full_entries = full_full + full_delta;
+
+    let durable = globe_core::TempDir::new("recovery_latency_incremental");
+    let mut sim = GlobeSim::with_config(
+        Topology::lan(),
+        RuntimeConfig::new()
+            .seed(21)
+            .trace_capacity(65_536)
+            .durable_dir(durable.path())
+            .checkpoint_every((writes / 4).max(1)),
+    );
+    let (incr_samples, incr_snap) = run_rounds(
+        &mut sim,
+        |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
+        writes,
+        rounds,
+    );
+    let (incr_full, incr_delta, incr_sends) = transfer_entries(&incr_snap);
+    let incr_entries = incr_full + incr_delta;
+    println!(
+        "transfer cost over {rounds} recoveries: full path {full_entries} log \
+         entries, incremental path {incr_entries} ({incr_sends} delta send(s))\n"
+    );
+    assert!(
+        incr_entries <= full_entries,
+        "incremental recovery must never ship more log entries than the \
+         full path ({incr_entries} > {full_entries})"
+    );
+    assert!(
+        incr_sends > 0,
+        "the durable leg must actually ride the delta path"
+    );
 
     // Home fail-over: kill the sequencer itself, measure until the
     // elected successor accepts its first write.
@@ -332,7 +408,7 @@ fn main() {
         .suspect_after_misses(2)
         .auto_failover(true)
         .failover_confirm_periods(1);
-    let mut sim = GlobeSim::with_config(Topology::lan(), auto_config.seed(19));
+    let mut sim = GlobeSim::with_config(Topology::lan(), auto_config.clone().seed(19));
     let sim_auto = run_auto_failover_rounds(
         &mut sim,
         |rt| rt.now().saturating_since(globe_net::SimTime::ZERO),
@@ -340,7 +416,7 @@ fn main() {
         rounds,
     );
     let epoch = Instant::now();
-    let mut shard = GlobeShard::with_config(auto_config.seed(19));
+    let mut shard = GlobeShard::with_config(auto_config.clone().seed(19));
     let shard_auto = run_auto_failover_rounds(&mut shard, |_| epoch.elapsed(), writes, rounds);
 
     // One more unattended fail-over, this time with the flight recorder
@@ -371,6 +447,8 @@ fn main() {
     for (scenario, backend, clock, samples) in [
         ("mirror-recovery", "sim", "virtual", &sim_samples),
         ("mirror-recovery", "shard", "wall", &shard_samples),
+        ("full-transfer", "sim", "virtual", &full_samples),
+        ("incremental-transfer", "sim", "virtual", &incr_samples),
         ("home-failover", "sim", "virtual", &sim_failover),
         ("home-failover", "shard", "wall", &shard_failover),
         ("auto-failover", "sim", "virtual", &sim_auto),
@@ -411,6 +489,29 @@ fn main() {
                         "mean_us",
                         Json::Num(mean(&shard_samples).as_secs_f64() * 1e6),
                     ),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("full-transfer")),
+                    ("backend", Json::str("sim")),
+                    ("unit", Json::str("virtual_us")),
+                    ("samples", sample_json(&full_samples)),
+                    (
+                        "mean_us",
+                        Json::Num(mean(&full_samples).as_secs_f64() * 1e6),
+                    ),
+                    ("entries_shipped", Json::Int(full_entries as i64)),
+                ]),
+                Json::obj([
+                    ("scenario", Json::str("incremental-transfer")),
+                    ("backend", Json::str("sim")),
+                    ("unit", Json::str("virtual_us")),
+                    ("samples", sample_json(&incr_samples)),
+                    (
+                        "mean_us",
+                        Json::Num(mean(&incr_samples).as_secs_f64() * 1e6),
+                    ),
+                    ("entries_shipped", Json::Int(incr_entries as i64)),
+                    ("delta_entries", Json::Int(incr_delta as i64)),
                 ]),
                 Json::obj([
                     ("scenario", Json::str("home-failover")),

@@ -434,6 +434,7 @@ fn main() {
     // protocol bit-for-bit (batch_max = 1 is the config default).
     let base_config = RuntimeConfig::new().seed(17);
     let batched_config = base_config
+        .clone()
         .batch_max(BATCH_MAX)
         .batch_window(Duration::from_millis(1));
     let group = group_spec(smoke);
@@ -442,14 +443,14 @@ fn main() {
     // the mercy of the host scheduler.
     let (unbatched, unbatched_counters) = best_of_two(
         || {
-            let mut rt = GlobeShard::with_config(base_config);
+            let mut rt = GlobeShard::with_config(base_config.clone());
             measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
         },
         |r| rate(r.writes_completed, r),
     );
     let (batched, batched_counters) = best_of_two(
         || {
-            let mut rt = GlobeShard::with_config(batched_config);
+            let mut rt = GlobeShard::with_config(batched_config.clone());
             measure_shared(&mut rt, 4, 0, GROUP_MIRRORS, &group)
         },
         |r| rate(r.writes_completed, r),
@@ -481,21 +482,24 @@ fn main() {
     // lease every read is forwarded to the home for validation
     // (lease_duration 0 never grants); with leases the mirror serves
     // locally while its vector covers the grant.
-    let forwarded_config = base_config.read_leases(true).lease_duration(Duration::ZERO);
+    let forwarded_config = base_config
+        .clone()
+        .read_leases(true)
+        .lease_duration(Duration::ZERO);
     let leased_config = base_config
         .read_leases(true)
         .lease_duration(Duration::from_secs(2));
     let lease = lease_spec(smoke);
     let (forwarded, forwarded_counters) = best_of_two(
         || {
-            let mut rt = GlobeShard::with_config(forwarded_config);
+            let mut rt = GlobeShard::with_config(forwarded_config.clone());
             measure_shared(&mut rt, 1, 4, 1, &lease)
         },
         |r| rate(r.reads_completed, r),
     );
     let (leased, leased_counters) = best_of_two(
         || {
-            let mut rt = GlobeShard::with_config(leased_config);
+            let mut rt = GlobeShard::with_config(leased_config.clone());
             measure_shared(&mut rt, 1, 4, 1, &lease)
         },
         |r| rate(r.reads_completed, r),

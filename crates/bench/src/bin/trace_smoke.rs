@@ -13,7 +13,7 @@ use std::time::Duration;
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
     registers, BindOptions, GlobeRuntime, GlobeShard, GlobeSim, GlobeTcp, ObjectSpec, RegisterDoc,
-    ReplicationPolicy, RuntimeConfig, TraceChecker, TraceSnapshot,
+    ReplicationPolicy, RuntimeConfig, TempDir, TraceChecker, TraceSnapshot,
 };
 use globe_net::Topology;
 
@@ -94,18 +94,24 @@ fn scenario<R: GlobeRuntime>(rt: &mut R) -> TraceSnapshot {
 
 fn main() {
     let out = globe_bench::out_path_arg().unwrap_or_else(|| "TRACE_snapshot.json".to_string());
-    let config = RuntimeConfig::new()
+    let base = RuntimeConfig::new()
         .seed(42)
         .call_timeout(Duration::from_secs(10))
         .batch_max(4)
         .batch_window(Duration::from_millis(10))
         .read_leases(true)
         .lease_duration(Duration::from_secs(2))
+        .checkpoint_every(4)
         .trace_capacity(8192);
 
     let mut violations_total = 0usize;
     let mut sim_snapshot: Option<TraceSnapshot> = None;
     for backend in ["sim", "tcp", "shard"] {
+        // One durable directory per backend: store ids repeat across
+        // backends, and two runtimes must never share a WAL tree. The
+        // dir is removed on drop, so reruns never see stale logs.
+        let durable = TempDir::new(&format!("trace_smoke_{backend}"));
+        let config = base.clone().durable_dir(durable.path());
         let snap = match backend {
             "sim" => scenario(&mut GlobeSim::with_config(Topology::lan(), config)),
             "tcp" => scenario(&mut GlobeTcp::with_config(config)),

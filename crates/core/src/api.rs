@@ -73,7 +73,7 @@ use crate::{
 /// let tcp = GlobeTcp::with_config(RuntimeConfig::new().seed(42));
 /// assert_eq!(tcp.seed(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Seed for any randomized behavior (link jitter in the simulator,
     /// future retry jitter over sockets). The same seed must yield the
@@ -142,6 +142,17 @@ pub struct RuntimeConfig {
     /// engine runs should set this so the sample vector stops growing
     /// — and stops measuring allocator churn.
     pub op_sample_capacity: usize,
+    /// Directory for durable replica storage (write-ahead logs +
+    /// checkpoint snapshots). `None` — the default — keeps every
+    /// replica on the RAM-only backend, bit-for-bit the historical
+    /// behavior. When set, a restarted store recovers from its local
+    /// files and fetches only the missing log suffix from the home.
+    pub durable_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence: the home store checkpoints (and starts the
+    /// compaction handshake that bounds every replica's write log)
+    /// every this many applied writes. `0` — the default — disables
+    /// checkpointing and compaction.
+    pub checkpoint_every: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -159,6 +170,8 @@ impl Default for RuntimeConfig {
             lease_duration: crate::store_engine::DEFAULT_LEASE_DURATION,
             trace_capacity: 0,
             op_sample_capacity: 0,
+            durable_dir: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -252,6 +265,21 @@ impl RuntimeConfig {
         self
     }
 
+    /// Puts every replica on the durable WAL + snapshot backend rooted
+    /// at `dir` (one file pair per replica; the directory is created on
+    /// demand).
+    pub fn durable_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the checkpoint/compaction cadence in applied writes (`0`
+    /// keeps both off).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
     /// The failure-detector tuning implied by this configuration.
     pub(crate) fn detector(&self) -> crate::lifecycle::DetectorConfig {
         crate::lifecycle::DetectorConfig {
@@ -271,6 +299,15 @@ impl RuntimeConfig {
             read_leases: self.read_leases,
             lease_duration: self.lease_duration,
             trace_capacity: self.trace_capacity,
+        }
+    }
+
+    /// The storage spec (backend choice + checkpoint cadence) implied
+    /// by this configuration.
+    pub(crate) fn storage(&self) -> crate::storage::StorageSpec {
+        crate::storage::StorageSpec {
+            durable_dir: self.durable_dir.clone(),
+            checkpoint_every: self.checkpoint_every,
         }
     }
 

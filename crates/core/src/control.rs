@@ -274,9 +274,42 @@ impl ControlObject {
                     store.set_policy(policy, ctx);
                 }
             }
-            CoherenceMsg::JoinRequest { node, store, class } => {
+            CoherenceMsg::JoinRequest {
+                node,
+                store,
+                class,
+                version,
+            } => {
                 if let Some(replica) = self.store.as_mut() {
-                    replica.handle_join(node, store, class, ctx);
+                    replica.handle_join(node, store, class, version, ctx);
+                }
+            }
+            CoherenceMsg::StateDelta {
+                chunk,
+                chunks,
+                writes,
+                version,
+                order_high,
+                peers,
+            } => {
+                if let Some(store) = self.store.as_mut() {
+                    store
+                        .handle_state_delta(chunk, chunks, writes, version, order_high, peers, ctx);
+                }
+            }
+            CoherenceMsg::CheckpointAnnounce { version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_checkpoint_announce(from, version, ctx);
+                }
+            }
+            CoherenceMsg::CheckpointAck { node, version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_checkpoint_ack(node, version, ctx);
+                }
+            }
+            CoherenceMsg::CompactBelow { version } => {
+                if let Some(store) = self.store.as_mut() {
+                    store.handle_compact_below(from, version, ctx);
                 }
             }
             CoherenceMsg::StateTransfer {

@@ -83,6 +83,7 @@ mod semantics;
 mod session;
 mod shard_runtime;
 mod space;
+pub mod storage;
 mod store_engine;
 mod tcp_runtime;
 pub mod trace;
@@ -111,6 +112,9 @@ pub use semantics::{registers, RegisterDoc, Semantics};
 pub use session::{Session, SessionConfig};
 pub use shard_runtime::{GlobeShard, DEFAULT_SHARDS};
 pub use space::AddressSpace;
+pub use storage::{
+    CheckpointImage, DurableBackend, MemoryBackend, StorageSpec, StoreBackend, TempDir,
+};
 pub use store_engine::{
     PeerStore, StoreConfig, StoreReplica, StoreTuning, TimerKind, DEFAULT_BATCH_WINDOW,
     DEFAULT_LEASE_DURATION, WHOLE_DOC,

@@ -228,9 +228,26 @@ pub fn run_matrix(
     backends: &[Backend],
     config: RuntimeConfig,
 ) -> Result<Vec<MatrixOutcome>, MatrixError> {
+    run_matrix_with(scenario, backends, |_| config.clone())
+}
+
+/// [`run_matrix`] with a per-backend configuration factory. Needed when
+/// the config carries backend-unshareable resources — a durable storage
+/// directory, say, where store ids repeat across backends and two
+/// runtimes writing one WAL tree would corrupt each other.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::ScenarioFailed`] if any run errors, or
+/// [`MatrixError::Diverged`] if the observations differ.
+pub fn run_matrix_with(
+    scenario: &impl Scenario,
+    backends: &[Backend],
+    config_for: impl Fn(Backend) -> RuntimeConfig,
+) -> Result<Vec<MatrixOutcome>, MatrixError> {
     let mut outcomes: Vec<MatrixOutcome> = Vec::with_capacity(backends.len());
     for &backend in backends {
-        let observations = run_on(scenario, backend, config)?;
+        let observations = run_on(scenario, backend, config_for(backend))?;
         if let Some(reference) = outcomes.first() {
             if reference.observations != observations {
                 return Err(MatrixError::Diverged {

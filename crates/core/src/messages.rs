@@ -239,6 +239,12 @@ pub enum CoherenceMsg {
         store: StoreId,
         /// The joining replica's store class.
         class: StoreClass,
+        /// The joiner's applied vector — empty for a fresh replica,
+        /// non-empty when the replica recovered state from a local
+        /// durable log. The home uses it to ship an incremental
+        /// [`CoherenceMsg::StateDelta`] (only the log suffix past this
+        /// vector) instead of a full [`CoherenceMsg::StateTransfer`].
+        version: VersionVector,
     },
     /// Home store → joining replica: the object's complete state — the
     /// semantics snapshot, the applied version vector, the per-page
@@ -385,6 +391,51 @@ pub enum CoherenceMsg {
         /// The epoch the revoked lease belonged to.
         epoch: u64,
     },
+    /// Home store → recovering replica: an incremental state transfer —
+    /// only the write-log suffix the joiner is missing, chunked so one
+    /// recovery does not monopolize the wire (the group state-transfer
+    /// batching). The joiner buffers chunks and installs the delta once
+    /// `chunk == chunks - 1` frames have all arrived.
+    StateDelta {
+        /// Zero-based index of this chunk.
+        chunk: u64,
+        /// Total number of chunks in this delta (always ≥ 1; an
+        /// up-to-date joiner still gets one empty chunk so it learns
+        /// membership and leaves bootstrap).
+        chunks: u64,
+        /// The writes in this chunk, in home-log order.
+        writes: Vec<LoggedWrite>,
+        /// The home's applied vector after the complete delta.
+        version: VersionVector,
+        /// Sequencer order height (sequential model).
+        order_high: Option<u64>,
+        /// The object's full replica membership (sender and receiver
+        /// included), as in [`CoherenceMsg::StateTransfer`].
+        peers: Vec<WireMember>,
+    },
+    /// Home store → replicas: the home took a checkpoint at `version`.
+    /// Each replica checkpoints its own backend once its applied vector
+    /// dominates the announced one, then answers with a
+    /// [`CoherenceMsg::CheckpointAck`].
+    CheckpointAnnounce {
+        /// The home's applied vector at the checkpoint.
+        version: VersionVector,
+    },
+    /// Replica → home store: my local checkpoint at `version` is
+    /// installed; you may compact the log below it once every peer says
+    /// the same.
+    CheckpointAck {
+        /// The acknowledging replica's node (the frame may be relayed).
+        node: NodeId,
+        /// The checkpoint vector being acknowledged.
+        version: VersionVector,
+    },
+    /// Home store → replicas: every peer acknowledged the checkpoint at
+    /// `version`; truncate your log prefix below it.
+    CompactBelow {
+        /// The all-peers-acked checkpoint vector.
+        version: VersionVector,
+    },
 }
 
 impl CoherenceMsg {
@@ -414,6 +465,10 @@ impl CoherenceMsg {
             CoherenceMsg::LeaseRequest { .. } => "LeaseRequest",
             CoherenceMsg::LeaseGrant { .. } => "LeaseGrant",
             CoherenceMsg::LeaseRevoke { .. } => "LeaseRevoke",
+            CoherenceMsg::StateDelta { .. } => "StateDelta",
+            CoherenceMsg::CheckpointAnnounce { .. } => "CheckpointAnnounce",
+            CoherenceMsg::CheckpointAck { .. } => "CheckpointAck",
+            CoherenceMsg::CompactBelow { .. } => "CompactBelow",
         }
     }
 }
@@ -497,11 +552,17 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(10);
                 policy.encode(buf);
             }
-            CoherenceMsg::JoinRequest { node, store, class } => {
+            CoherenceMsg::JoinRequest {
+                node,
+                store,
+                class,
+                version,
+            } => {
                 buf.put_u8(11);
                 node.encode(buf);
                 store.encode(buf);
                 class.encode(buf);
+                version.encode(buf);
             }
             CoherenceMsg::StateTransfer {
                 version,
@@ -593,6 +654,35 @@ impl WireEncode for CoherenceMsg {
                 buf.put_u8(22);
                 epoch.encode(buf);
             }
+            CoherenceMsg::StateDelta {
+                chunk,
+                chunks,
+                writes,
+                version,
+                order_high,
+                peers,
+            } => {
+                buf.put_u8(23);
+                chunk.encode(buf);
+                chunks.encode(buf);
+                writes.encode(buf);
+                version.encode(buf);
+                order_high.encode(buf);
+                peers.encode(buf);
+            }
+            CoherenceMsg::CheckpointAnnounce { version } => {
+                buf.put_u8(24);
+                version.encode(buf);
+            }
+            CoherenceMsg::CheckpointAck { node, version } => {
+                buf.put_u8(25);
+                node.encode(buf);
+                version.encode(buf);
+            }
+            CoherenceMsg::CompactBelow { version } => {
+                buf.put_u8(26);
+                version.encode(buf);
+            }
         }
     }
 
@@ -651,8 +741,16 @@ impl WireEncode for CoherenceMsg {
                 client.encoded_len() + from_seq.encoded_len()
             }
             CoherenceMsg::PolicyUpdate { policy } => policy.encoded_len(),
-            CoherenceMsg::JoinRequest { node, store, class } => {
-                node.encoded_len() + store.encoded_len() + class.encoded_len()
+            CoherenceMsg::JoinRequest {
+                node,
+                store,
+                class,
+                version,
+            } => {
+                node.encoded_len()
+                    + store.encoded_len()
+                    + class.encoded_len()
+                    + version.encoded_len()
             }
             CoherenceMsg::StateTransfer {
                 version,
@@ -711,6 +809,26 @@ impl WireEncode for CoherenceMsg {
                 duration,
             } => epoch.encoded_len() + version.encoded_len() + duration.encoded_len(),
             CoherenceMsg::LeaseRevoke { epoch } => epoch.encoded_len(),
+            CoherenceMsg::StateDelta {
+                chunk,
+                chunks,
+                writes,
+                version,
+                order_high,
+                peers,
+            } => {
+                chunk.encoded_len()
+                    + chunks.encoded_len()
+                    + writes.encoded_len()
+                    + version.encoded_len()
+                    + order_high.encoded_len()
+                    + peers.encoded_len()
+            }
+            CoherenceMsg::CheckpointAnnounce { version } => version.encoded_len(),
+            CoherenceMsg::CheckpointAck { node, version } => {
+                node.encoded_len() + version.encoded_len()
+            }
+            CoherenceMsg::CompactBelow { version } => version.encoded_len(),
         }
     }
 }
@@ -777,6 +895,7 @@ impl WireDecode for CoherenceMsg {
                 node: NodeId::decode(buf)?,
                 store: StoreId::decode(buf)?,
                 class: StoreClass::decode(buf)?,
+                version: VersionVector::decode(buf)?,
             }),
             12 => Ok(CoherenceMsg::StateTransfer {
                 version: VersionVector::decode(buf)?,
@@ -830,6 +949,24 @@ impl WireDecode for CoherenceMsg {
             }),
             22 => Ok(CoherenceMsg::LeaseRevoke {
                 epoch: u64::decode(buf)?,
+            }),
+            23 => Ok(CoherenceMsg::StateDelta {
+                chunk: u64::decode(buf)?,
+                chunks: u64::decode(buf)?,
+                writes: Vec::<LoggedWrite>::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+                order_high: Option::<u64>::decode(buf)?,
+                peers: Vec::<WireMember>::decode(buf)?,
+            }),
+            24 => Ok(CoherenceMsg::CheckpointAnnounce {
+                version: VersionVector::decode(buf)?,
+            }),
+            25 => Ok(CoherenceMsg::CheckpointAck {
+                node: NodeId::decode(buf)?,
+                version: VersionVector::decode(buf)?,
+            }),
+            26 => Ok(CoherenceMsg::CompactBelow {
+                version: VersionVector::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "CoherenceMsg",
@@ -955,6 +1092,7 @@ mod tests {
             node: globe_net::NodeId::new(3),
             store: StoreId::new(7),
             class: StoreClass::ClientInitiated,
+            version: [(ClientId::new(1), 2u64)].into_iter().collect(),
         });
         roundtrip(CoherenceMsg::StateTransfer {
             version: [(ClientId::new(1), 5u64)].into_iter().collect(),
@@ -1033,6 +1171,36 @@ mod tests {
             duration: std::time::Duration::from_millis(1500),
         });
         roundtrip(CoherenceMsg::LeaseRevoke { epoch: 3 });
+        roundtrip(CoherenceMsg::StateDelta {
+            chunk: 1,
+            chunks: 3,
+            writes: vec![sample_write(), sample_write()],
+            version: [(ClientId::new(1), 8u64)].into_iter().collect(),
+            order_high: Some(21),
+            peers: vec![(
+                globe_net::NodeId::new(2),
+                StoreId::new(1),
+                StoreClass::Permanent,
+            )],
+        });
+        roundtrip(CoherenceMsg::StateDelta {
+            chunk: 0,
+            chunks: 1,
+            writes: Vec::new(),
+            version: VersionVector::new(),
+            order_high: None,
+            peers: Vec::new(),
+        });
+        roundtrip(CoherenceMsg::CheckpointAnnounce {
+            version: [(ClientId::new(2), 6u64)].into_iter().collect(),
+        });
+        roundtrip(CoherenceMsg::CheckpointAck {
+            node: globe_net::NodeId::new(4),
+            version: [(ClientId::new(2), 6u64)].into_iter().collect(),
+        });
+        roundtrip(CoherenceMsg::CompactBelow {
+            version: [(ClientId::new(2), 6u64)].into_iter().collect(),
+        });
     }
 
     #[test]

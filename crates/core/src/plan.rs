@@ -16,6 +16,7 @@ use globe_naming::{ContactRecord, LocationService, NameSpace, ObjectId, ObjectNa
 use globe_net::{NodeId, RegionId, SimTime};
 
 use crate::lifecycle::{DetectorConfig, MembershipView, StoreHealth};
+use crate::storage::StorageSpec;
 use crate::{
     AddressSpace, BindOptions, ControlObject, PeerStore, ReplicationPolicy, RuntimeError,
     Semantics, Session, SessionConfig, SharedHistory, SharedMetrics, StoreConfig, StoreReplica,
@@ -166,6 +167,7 @@ impl CreationPlan {
         metrics: &SharedMetrics,
         detector: DetectorConfig,
         tuning: StoreTuning,
+        storage: &StorageSpec,
         mut install: impl FnMut(NodeId, StoreReplica),
     ) {
         for (index, (node, store_id, class)) in self.stores.iter().enumerate() {
@@ -197,6 +199,7 @@ impl CreationPlan {
                     metrics: metrics.clone(),
                     detector,
                     tuning,
+                    storage: storage.clone(),
                 }),
             );
         }
@@ -223,6 +226,7 @@ pub(crate) struct ReplicaParts<'a> {
     pub(crate) metrics: &'a SharedMetrics,
     pub(crate) detector: DetectorConfig,
     pub(crate) tuning: StoreTuning,
+    pub(crate) storage: StorageSpec,
 }
 
 /// The resolved shape of a home-store fail-over: which surviving
@@ -438,6 +442,7 @@ fn replica_for(
         metrics: parts.metrics.clone(),
         detector: parts.detector,
         tuning: parts.tuning,
+        storage: parts.storage,
     });
     // Born empty outside the creation path: the first state transfer
     // must land even if a newer write races ahead of it.

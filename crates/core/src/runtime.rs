@@ -192,6 +192,7 @@ pub struct GlobeSim {
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
     tuning: crate::StoreTuning,
+    storage: crate::storage::StorageSpec,
 }
 
 impl GlobeSim {
@@ -217,6 +218,7 @@ impl GlobeSim {
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(300)),
             detector: config.detector(),
             tuning: config.tuning(),
+            storage: config.storage(),
         }
     }
 
@@ -280,6 +282,7 @@ impl GlobeSim {
             &self.metrics,
             self.detector,
             self.tuning,
+            &self.storage,
             |node, replica| {
                 let space = Rc::clone(&spaces[&node]);
                 plan::install_store(&mut space.borrow_mut(), object, replica);
@@ -351,6 +354,7 @@ impl GlobeSim {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         self.locations.register(
@@ -554,6 +558,7 @@ impl GlobeSim {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         let space = Rc::clone(&self.spaces[&node]);

@@ -222,6 +222,7 @@ pub struct GlobeShard {
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
     tuning: crate::StoreTuning,
+    storage: crate::storage::StorageSpec,
 }
 
 impl GlobeShard {
@@ -286,6 +287,7 @@ impl GlobeShard {
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
             detector: config.detector(),
             tuning: config.tuning(),
+            storage: config.storage(),
         }
     }
 
@@ -353,6 +355,7 @@ impl GlobeShard {
             &self.metrics,
             self.detector,
             self.tuning,
+            &self.storage,
             |node, replica| {
                 let mut spaces = shard.lock();
                 let space = spaces.entry(node).or_insert_with(|| {
@@ -597,6 +600,7 @@ impl GlobeShard {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         self.locations.register(
@@ -720,6 +724,7 @@ impl GlobeShard {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         {

@@ -18,6 +18,7 @@ use globe_net::{NetCtx, NodeId};
 
 use crate::lifecycle::{DetectorConfig, LifecycleEvent, LifecycleEventKind};
 use crate::replication::{replication_for, Readiness, RecordMode, ReplicaView, ReplicationObject};
+use crate::storage::{CheckpointImage, Recovery, StorageSpec, StoreBackend};
 use crate::trace::{FlushReason, ProtocolEvent, ReadSource, TraceEvent};
 use crate::{
     CallOutcome, CoherenceMsg, CoherenceTransfer, CommObject, InvocationMessage, LoggedWrite,
@@ -176,6 +177,9 @@ pub struct StoreConfig {
     pub detector: DetectorConfig,
     /// Store-engine tuning: sequencer group commit and read leases.
     pub tuning: StoreTuning,
+    /// Storage backend selection and checkpoint cadence: in-memory by
+    /// default, WAL + snapshots when a durable directory is configured.
+    pub storage: StorageSpec,
 }
 
 /// One store's replica of a distributed shared object.
@@ -195,7 +199,7 @@ pub struct StoreReplica {
     invalid_pages: HashSet<PageKey>,
     whole_invalid: bool,
     known_version: VersionVector,
-    write_log: Vec<LoggedWrite>,
+    log: Box<dyn StoreBackend>,
     peer_sent: HashMap<NodeId, usize>,
     buffered: Vec<BufferedWrite>,
     queued_reads: Vec<QueuedRead>,
@@ -232,14 +236,39 @@ pub struct StoreReplica {
     retry_armed: bool,
     batch_armed: bool,
     lease_renew_armed: bool,
+    /// Checkpoint cadence: the home snapshots every this many applies
+    /// (`0` disables checkpointing and compaction entirely).
+    checkpoint_every: usize,
+    applies_since_ckpt: usize,
+    /// Home only: the announced checkpoint version still collecting
+    /// acks. Compaction happens only once every current peer acked.
+    ckpt_pending: Option<VersionVector>,
+    ckpt_acks: BTreeSet<NodeId>,
+    /// Peer only: an announced checkpoint this replica has not caught
+    /// up to yet; re-checked after every apply.
+    ckpt_deferred: Option<VersionVector>,
+    /// The version below which the log was compacted. A joiner whose
+    /// vector does not dominate it needs a full transfer, not a delta.
+    compact_floor: Option<VersionVector>,
+    /// Chunks of an in-flight incremental state transfer, buffered by
+    /// chunk index until the set completes.
+    delta_chunks: HashMap<u64, Vec<LoggedWrite>>,
+    /// A checkpoint recovered from local durable storage, reported as a
+    /// trace event on the first `join` (construction has no net ctx).
+    recovered_ckpt: Option<VersionVector>,
 }
 
 impl StoreReplica {
-    /// Builds a replica from its configuration.
+    /// Builds a replica from its configuration. A durable backend that
+    /// salvaged a checkpoint and/or write-ahead log from disk is
+    /// replayed immediately, so the replica rejoins with a non-empty
+    /// version vector and only needs the missing suffix over the wire.
     pub fn new(config: StoreConfig) -> Self {
         let comm = CommObject::new(config.object, config.metrics.clone());
         let metrics = config.metrics;
-        StoreReplica {
+        let mut log = config.storage.make_backend(config.object, config.store_id);
+        let recovery = log.take_recovery();
+        let mut replica = StoreReplica {
             object: config.object,
             store_id: config.store_id,
             class: config.class,
@@ -255,7 +284,7 @@ impl StoreReplica {
             invalid_pages: HashSet::new(),
             whole_invalid: false,
             known_version: VersionVector::new(),
-            write_log: Vec::new(),
+            log,
             peer_sent: HashMap::new(),
             buffered: Vec::new(),
             queued_reads: Vec::new(),
@@ -280,6 +309,63 @@ impl StoreReplica {
             retry_armed: false,
             batch_armed: false,
             lease_renew_armed: false,
+            checkpoint_every: config.storage.checkpoint_every,
+            applies_since_ckpt: 0,
+            ckpt_pending: None,
+            ckpt_acks: BTreeSet::new(),
+            ckpt_deferred: None,
+            compact_floor: None,
+            delta_chunks: HashMap::new(),
+            recovered_ckpt: None,
+        };
+        if let Some(recovery) = recovery {
+            replica.recover_local(recovery);
+        }
+        replica
+    }
+
+    /// Replays locally recovered state (checkpoint snapshot plus the
+    /// write-ahead-log suffix past it) into this fresh replica. The
+    /// shared history survives a restart in-process, so nothing is
+    /// re-recorded — a replayed apply would break the per-client apply
+    /// order the checkers verify.
+    fn recover_local(&mut self, recovery: Recovery) {
+        if let Some(ckpt) = &recovery.checkpoint {
+            if self.semantics.restore(&ckpt.state).is_err() {
+                return;
+            }
+            self.page_last_writer = ckpt.writers.iter().cloned().collect();
+            self.applied.merge_max(&ckpt.version);
+            self.known_version.merge_max(&ckpt.version);
+            if let Some(high) = ckpt.order_high {
+                self.next_order = self.next_order.max(high);
+            }
+            self.recovered_ckpt = Some(ckpt.version.clone());
+        }
+        for write in &recovery.log {
+            if self.applied.covers(write.wid) {
+                continue;
+            }
+            let dispatch = match &write.page {
+                Some(p) => self
+                    .repl
+                    .should_dispatch(self.page_last_writer.get(p).copied(), write.wid),
+                None => true,
+            };
+            if dispatch {
+                let _ = self.semantics.dispatch(&write.inv);
+                if let Some(page) = &write.page {
+                    self.page_last_writer.insert(page.clone(), write.wid);
+                }
+            }
+            match self.repl.record_mode() {
+                RecordMode::Exact => self.mark_seen(write.wid),
+                RecordMode::Advance => self.applied.advance_to(write.wid),
+            }
+            self.known_version.advance_to(write.wid);
+            if let Some(order) = write.order {
+                self.next_order = self.next_order.max(order + 1);
+            }
         }
     }
 
@@ -545,7 +631,7 @@ impl StoreReplica {
             }
             self.invalid_pages.remove(page);
         }
-        self.write_log.push(write.clone());
+        self.log.append(&write);
         self.history.lock().record_apply(
             ctx.now(),
             self.store_id,
@@ -553,7 +639,182 @@ impl StoreReplica {
             write.page.clone().unwrap_or_else(|| WHOLE_DOC.to_string()),
         );
         self.trace_event(ctx, ProtocolEvent::WriteApplied { write: write.wid });
+        self.applies_since_ckpt += 1;
+        self.after_apply_checkpointing(ctx);
         (write, outcome)
+    }
+
+    /// Checkpoint bookkeeping after every apply: the home snapshots
+    /// every `checkpoint_every` applies and announces the checkpoint; a
+    /// peer that deferred an announced checkpoint (it had not caught up
+    /// yet) re-checks whether its applied vector now covers it.
+    fn after_apply_checkpointing(&mut self, ctx: &mut dyn NetCtx) {
+        if self.checkpoint_every == 0 {
+            return;
+        }
+        if self.is_home {
+            if self.applies_since_ckpt >= self.checkpoint_every {
+                self.take_checkpoint_and_announce(ctx);
+            }
+        } else if let Some(version) = self.ckpt_deferred.clone() {
+            if self.applied.dominates(&version) {
+                self.ckpt_deferred = None;
+                self.checkpoint_and_ack(version, ctx);
+            }
+        }
+    }
+
+    /// A checkpoint image of the current state at `applied`.
+    fn checkpoint_image(&self) -> CheckpointImage {
+        CheckpointImage {
+            version: self.applied.clone(),
+            state: self.semantics.snapshot(),
+            writers: self
+                .page_last_writer
+                .iter()
+                .map(|(p, w)| (p.clone(), *w))
+                .collect(),
+            order_high: self.repl.orders_writes().then_some(self.order_assigned),
+        }
+    }
+
+    /// Home: persist a checkpoint now, announce its version to every
+    /// peer, and start collecting acks. The log is compacted only once
+    /// every current peer has acked — a straggler blocks compaction,
+    /// which is the conservative-safe choice: the suffix it still needs
+    /// is never dropped under it.
+    fn take_checkpoint_and_announce(&mut self, ctx: &mut dyn NetCtx) {
+        self.applies_since_ckpt = 0;
+        let image = self.checkpoint_image();
+        let version = image.version.clone();
+        self.log.checkpoint(&image);
+        self.trace_event(
+            ctx,
+            ProtocolEvent::CheckpointTaken {
+                log_len: self.log.len(),
+            },
+        );
+        self.ckpt_pending = Some(version.clone());
+        self.ckpt_acks.clear();
+        if self.peers.is_empty() {
+            self.finish_checkpoint(ctx);
+            return;
+        }
+        let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
+        self.comm
+            .multicast(ctx, peers, &CoherenceMsg::CheckpointAnnounce { version });
+    }
+
+    /// Every current peer acked the pending checkpoint: compact the log
+    /// below it, record the floor, and tell the peers to do the same.
+    fn finish_checkpoint(&mut self, ctx: &mut dyn NetCtx) {
+        let Some(version) = self.ckpt_pending.take() else {
+            return;
+        };
+        self.ckpt_acks.clear();
+        let truncated = self.log.truncate_covered(&version);
+        if truncated > 0 {
+            self.metrics.lock().protocol.log_truncated += truncated as u64;
+            self.trace_event(ctx, ProtocolEvent::LogCompacted { truncated });
+        }
+        self.compact_floor = Some(version.clone());
+        let peers: Vec<NodeId> = self.peers.iter().map(|p| p.node).collect();
+        if !peers.is_empty() {
+            self.comm
+                .multicast(ctx, peers, &CoherenceMsg::CompactBelow { version });
+        }
+    }
+
+    /// Home side of a checkpoint ack. Acks for a superseded checkpoint
+    /// (version mismatch) are dropped; compaction fires once every
+    /// current peer has acked the pending one.
+    pub fn handle_checkpoint_ack(
+        &mut self,
+        node: NodeId,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if !self.is_home || self.ckpt_pending.as_ref() != Some(&version) {
+            return;
+        }
+        self.ckpt_acks.insert(node);
+        let all_acked = self.peers.iter().all(|p| self.ckpt_acks.contains(&p.node));
+        if all_acked {
+            self.finish_checkpoint(ctx);
+        }
+    }
+
+    /// Peer side of a checkpoint announcement from the home: snapshot
+    /// locally once caught up to the announced version and ack it. A
+    /// replica still behind defers — the slot is re-checked after every
+    /// apply — and demands the missing writes when the policy allows.
+    pub fn handle_checkpoint_announce(
+        &mut self,
+        from: NodeId,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home || from != self.home_node {
+            return;
+        }
+        if self.applied.dominates(&version) {
+            self.checkpoint_and_ack(version, ctx);
+        } else {
+            self.ckpt_deferred = Some(version);
+            if self.policy.object_outdate == OutdateReaction::Demand {
+                self.demand_update(ctx);
+                self.ensure_retry(ctx);
+            }
+        }
+    }
+
+    /// Persists a local checkpoint (at this replica's own vector, which
+    /// covers the announced one) and acks the announced version.
+    fn checkpoint_and_ack(&mut self, version: VersionVector, ctx: &mut dyn NetCtx) {
+        let image = self.checkpoint_image();
+        self.log.checkpoint(&image);
+        self.trace_event(
+            ctx,
+            ProtocolEvent::CheckpointTaken {
+                log_len: self.log.len(),
+            },
+        );
+        let node = ctx.node();
+        self.comm.send(
+            ctx,
+            self.home_node,
+            &CoherenceMsg::CheckpointAck { node, version },
+        );
+    }
+
+    /// Peer side of a compaction notice: every current peer (this one
+    /// included) acked the checkpoint, so the covered prefix can go.
+    pub fn handle_compact_below(
+        &mut self,
+        from: NodeId,
+        version: VersionVector,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home || from != self.home_node {
+            return;
+        }
+        let truncated = self.log.truncate_covered(&version);
+        if truncated > 0 {
+            self.metrics.lock().protocol.log_truncated += truncated as u64;
+            self.trace_event(ctx, ProtocolEvent::LogCompacted { truncated });
+        }
+        self.compact_floor = Some(version);
+    }
+
+    /// Retained (not yet compacted) entries in the coherence log — the
+    /// bounded-growth observable the compaction tests assert on.
+    pub fn log_retained(&self) -> usize {
+        self.log.retained().len()
+    }
+
+    /// Logical length of the coherence log, compacted entries included.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
     }
 
     /// Whether this replica is a sequencer that group-commits: writes
@@ -682,14 +943,14 @@ impl StoreReplica {
             .copied()
             .filter(|p| self.policy.in_scope(p.class))
             .collect();
-        let log_len = self.write_log.len();
+        let log_len = self.log.len();
         let mut sent_to = 0usize;
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
             if sent >= log_len {
                 continue;
             }
-            let pending = &self.write_log[sent..];
+            let pending = self.log.suffix_from(sent);
             let batched_run = pending.len() > 1
                 && self.policy.propagation == Propagation::Update
                 && self.policy.coherence_transfer == CoherenceTransfer::Partial
@@ -765,6 +1026,7 @@ impl StoreReplica {
     /// with a [`CoherenceMsg::StateTransfer`] carrying the current
     /// state, version vector, and coherence write log.
     pub fn join(&mut self, ctx: &mut dyn NetCtx) {
+        self.emit_recovered_checkpoint(ctx);
         if !self.is_home {
             let node = ctx.node();
             self.comm.send(
@@ -774,8 +1036,20 @@ impl StoreReplica {
                     node,
                     store: self.store_id,
                     class: self.class,
+                    version: self.applied.clone(),
                 },
             );
+        }
+    }
+
+    /// Emits the deferred `CheckpointInstalled` event for a replica
+    /// that restarted from a local checkpoint + WAL. Construction has
+    /// no net context, so the first call that does one (the direct
+    /// `join`, or the transfer reply on runtimes that relay the join
+    /// through the control endpoint) reports it.
+    fn emit_recovered_checkpoint(&mut self, ctx: &mut dyn NetCtx) {
+        if let Some(version) = self.recovered_ckpt.take() {
+            self.trace_event(ctx, ProtocolEvent::CheckpointInstalled { version });
         }
     }
 
@@ -823,6 +1097,7 @@ impl StoreReplica {
         node: NodeId,
         store: StoreId,
         class: StoreClass,
+        version: VersionVector,
         ctx: &mut dyn NetCtx,
     ) {
         if !self.is_home {
@@ -830,31 +1105,142 @@ impl StoreReplica {
                 self.comm.send(
                     ctx,
                     self.home_node,
-                    &CoherenceMsg::JoinRequest { node, store, class },
+                    &CoherenceMsg::JoinRequest {
+                        node,
+                        store,
+                        class,
+                        version,
+                    },
                 );
             }
             return;
         }
         self.add_peer(PeerStore { node, store, class });
-        let msg = CoherenceMsg::StateTransfer {
-            version: self.applied.clone(),
-            state: self.semantics.snapshot(),
-            writers: self
-                .page_last_writer
-                .iter()
-                .map(|(p, w)| (p.clone(), *w))
-                .collect(),
-            order_high: self.repl.orders_writes().then_some(self.order_assigned),
-            log: self.write_log.clone(),
-            peers: self.membership(ctx.node()),
-        };
-        self.comm.send(ctx, node, &msg);
-        self.trace_event(ctx, ProtocolEvent::StateTransferSent { to: node });
-        // The transfer covers the entire log; immediate propagation must
-        // not replay it.
-        self.peer_sent.insert(node, self.write_log.len());
+        // A joiner that recovered state locally (durable restart) names
+        // its applied vector; ship only the missing log suffix — unless
+        // compaction already dropped part of what it would need, in
+        // which case only a full transfer is complete.
+        let behind_floor = self
+            .compact_floor
+            .as_ref()
+            .is_some_and(|floor| !version.dominates(floor));
+        if !version.is_empty() && !behind_floor {
+            self.send_delta(node, &version, ctx);
+        } else {
+            let log = self.log.retained().to_vec();
+            let entries = log.len();
+            let msg = CoherenceMsg::StateTransfer {
+                version: self.applied.clone(),
+                state: self.semantics.snapshot(),
+                writers: self
+                    .page_last_writer
+                    .iter()
+                    .map(|(p, w)| (p.clone(), *w))
+                    .collect(),
+                order_high: self.repl.orders_writes().then_some(self.order_assigned),
+                log,
+                peers: self.membership(ctx.node()),
+            };
+            self.comm.send(ctx, node, &msg);
+            self.trace_event(ctx, ProtocolEvent::StateTransferSent { to: node, entries });
+            // The transfer covers the entire log; immediate propagation
+            // must not replay it.
+            self.peer_sent.insert(node, self.log.len());
+        }
         self.record_lifecycle(node, LifecycleEventKind::Joined, ctx.now());
         self.broadcast_membership(Some(node), ctx);
+    }
+
+    /// Ships an incremental state transfer: only the retained log
+    /// entries the joiner's vector does not cover, chunked so one giant
+    /// frame never stalls the link. At least one (possibly empty) chunk
+    /// is sent, so the joiner always receives the membership and the
+    /// sequencer height even when it is fully caught up.
+    fn send_delta(&mut self, node: NodeId, since: &VersionVector, ctx: &mut dyn NetCtx) {
+        const DELTA_CHUNK: usize = 64;
+        let missing: Vec<LoggedWrite> = self
+            .log
+            .retained()
+            .iter()
+            .filter(|w| !since.covers(w.wid))
+            .cloned()
+            .collect();
+        let entries = missing.len();
+        let version = self.applied.clone();
+        let order_high = self.repl.orders_writes().then_some(self.order_assigned);
+        let peers = self.membership(ctx.node());
+        let mut runs: Vec<Vec<LoggedWrite>> = missing
+            .chunks(DELTA_CHUNK)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        if runs.is_empty() {
+            runs.push(Vec::new());
+        }
+        let chunks = runs.len() as u64;
+        for (index, writes) in runs.into_iter().enumerate() {
+            let msg = CoherenceMsg::StateDelta {
+                chunk: index as u64,
+                chunks,
+                writes,
+                version: version.clone(),
+                order_high,
+                peers: peers.clone(),
+            };
+            self.comm.send(ctx, node, &msg);
+        }
+        self.trace_event(
+            ctx,
+            ProtocolEvent::DeltaTransferSent {
+                to: node,
+                entries,
+                chunks: chunks as usize,
+            },
+        );
+        // The delta brings the joiner to the current log head; immediate
+        // propagation resumes past it.
+        self.peer_sent.insert(node, self.log.len());
+    }
+
+    /// Joiner side of an incremental state transfer. Chunks may arrive
+    /// in any order; the delta is applied once the whole set has been
+    /// buffered, then the replica's timers are (re)armed exactly as
+    /// after a full transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_state_delta(
+        &mut self,
+        chunk: u64,
+        chunks: u64,
+        writes: Vec<LoggedWrite>,
+        version: VersionVector,
+        order_high: Option<u64>,
+        peers: Vec<crate::WireMember>,
+        ctx: &mut dyn NetCtx,
+    ) {
+        if self.is_home {
+            return;
+        }
+        self.emit_recovered_checkpoint(ctx);
+        self.delta_chunks.insert(chunk, writes);
+        if (self.delta_chunks.len() as u64) < chunks {
+            return;
+        }
+        let mut buffered: Vec<(u64, Vec<LoggedWrite>)> = self.delta_chunks.drain().collect();
+        buffered.sort_by_key(|(index, _)| *index);
+        let missing: Vec<LoggedWrite> = buffered.into_iter().flat_map(|(_, run)| run).collect();
+        let entries = missing.len();
+        self.adopt_membership(&peers, ctx.node());
+        self.needs_bootstrap = false;
+        for write in missing {
+            self.accept_write(None, write, ctx);
+        }
+        if let Some(high) = order_high {
+            self.next_order = self.next_order.max(high);
+        }
+        self.known_version.merge_max(&version);
+        self.trace_event(ctx, ProtocolEvent::DeltaTransferInstalled { entries });
+        self.drain_buffered(ctx);
+        self.drain_queued_reads(ctx);
+        self.start(ctx);
     }
 
     /// Tells every peer (minus `except`, who just got the same list in
@@ -920,6 +1306,7 @@ impl StoreReplica {
         if self.is_home {
             return;
         }
+        self.emit_recovered_checkpoint(ctx);
         self.adopt_membership(&peers, ctx.node());
         if self.install_snapshot(version, state, writers, order_high, Some(log), ctx) {
             self.trace_event(ctx, ProtocolEvent::StateTransferInstalled);
@@ -956,7 +1343,7 @@ impl StoreReplica {
                 .map(|(p, w)| (p.clone(), *w))
                 .collect(),
             order_high: self.repl.orders_writes().then_some(self.order_assigned),
-            log: self.write_log.clone(),
+            log: self.log.retained().to_vec(),
             peers,
         }
     }
@@ -993,6 +1380,8 @@ impl StoreReplica {
         self.home_node = me;
         self.home_store = self.store_id;
         self.home_epoch = self.home_epoch.max(epoch);
+        // A sequencer acks no one's checkpoints; it announces its own.
+        self.ckpt_deferred = None;
         self.adopt_membership(&membership, me);
         // The old sequencer's height survives in `next_order` (every
         // replica tracks it); continue the total order there.
@@ -1009,7 +1398,7 @@ impl StoreReplica {
         for &node in &peer_nodes {
             // The announcement carries the full log; propagation resumes
             // from there.
-            self.peer_sent.insert(node, self.write_log.len());
+            self.peer_sent.insert(node, self.log.len());
         }
         // Sessions reroute on the same announcement: every client node
         // this replica has served knows the sequencer moved, so pending
@@ -1124,6 +1513,9 @@ impl StoreReplica {
             self.granted_leases.clear();
             self.is_home = false;
             self.peer_sent.clear();
+            // A demoted home abandons its in-flight checkpoint round.
+            self.ckpt_pending = None;
+            self.ckpt_acks.clear();
             let relay = CoherenceMsg::SequencerHandoff {
                 old_home,
                 new_home,
@@ -1201,7 +1593,7 @@ impl StoreReplica {
             );
             // The announcement carries the full log; propagation to the
             // recovered peer resumes from there.
-            self.peer_sent.insert(node, self.write_log.len());
+            self.peer_sent.insert(node, self.log.len());
             self.comm.send(ctx, node, &announce);
         }
     }
@@ -1617,14 +2009,14 @@ impl StoreReplica {
             .copied()
             .filter(|p| self.policy.in_scope(p.class))
             .collect();
-        let log_len = self.write_log.len();
+        let log_len = self.log.len();
         let mut sent_to = 0usize;
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
             if sent >= log_len {
                 continue;
             }
-            let msg = self.transfer_msg(&self.write_log[sent..]);
+            let msg = self.transfer_msg(self.log.suffix_from(sent));
             self.comm.send(ctx, peer.node, &msg);
             self.peer_sent.insert(peer.node, log_len);
             sent_to += 1;
@@ -1691,7 +2083,7 @@ impl StoreReplica {
         if !self.is_home || self.policy.initiative != TransferInitiative::Push {
             return;
         }
-        let log_len = self.write_log.len();
+        let log_len = self.log.len();
         let peers: Vec<PeerStore> = self.peers.clone();
         for peer in peers {
             let sent = self.peer_sent.get(&peer.node).copied().unwrap_or(0);
@@ -1708,7 +2100,7 @@ impl StoreReplica {
                 }
                 continue;
             }
-            let msg = self.transfer_msg(&self.write_log[sent..]);
+            let msg = self.transfer_msg(self.log.suffix_from(sent));
             self.comm.send(ctx, peer.node, &msg);
             self.peer_sent.insert(peer.node, log_len);
         }
@@ -1727,20 +2119,29 @@ impl StoreReplica {
             // not a view that excludes them.
             self.flush_batch(FlushReason::Demand, ctx);
         }
-        if self.policy.coherence_transfer == CoherenceTransfer::Full {
+        // A requester whose vector predates the compaction floor cannot
+        // be served from the retained suffix — part of what it needs was
+        // truncated. Only a full-state answer is complete.
+        let floor_gap = self
+            .compact_floor
+            .as_ref()
+            .is_some_and(|floor| !since.dominates(floor));
+        if self.policy.coherence_transfer == CoherenceTransfer::Full || floor_gap {
             let msg = self.full_state_msg();
             self.comm.send(ctx, from, &msg);
             return;
         }
         let missing: Vec<LoggedWrite> = match order_since {
             Some(order) => self
-                .write_log
+                .log
+                .retained()
                 .iter()
                 .filter(|w| w.order.is_some_and(|o| o >= order))
                 .cloned()
                 .collect(),
             None => self
-                .write_log
+                .log
+                .retained()
                 .iter()
                 .filter(|w| !since.covers(w.wid))
                 .cloned()
@@ -1819,7 +2220,8 @@ impl StoreReplica {
         // Writes this replica already applied that the snapshot does not
         // cover: their effects must survive the restore.
         let retained: Vec<LoggedWrite> = self
-            .write_log
+            .log
+            .retained()
             .iter()
             .filter(|w| self.applied.covers(w.wid) && !version.covers(w.wid))
             .cloned()
@@ -1872,14 +2274,32 @@ impl StoreReplica {
                 }
             }
         }
+        if let Some(log_entries) = log {
+            // The sender's log replaces this one wholesale. Durable
+            // backends also persist the snapshot image, so a local
+            // recovery reflects the transfer rather than replaying a
+            // pre-transfer WAL onto post-transfer state.
+            self.log.install(
+                &CheckpointImage {
+                    version: version.clone(),
+                    state: state.clone(),
+                    writers: writers.clone(),
+                    order_high,
+                },
+                log_entries,
+            );
+            // The sender may itself have compacted below its snapshot:
+            // when checkpointing is on, adopt the snapshot version as a
+            // conservative floor (demands from below it fall back to
+            // full state). With checkpointing off no log is ever
+            // truncated and no floor exists.
+            self.compact_floor = (self.checkpoint_every > 0).then(|| version.clone());
+        }
         self.page_last_writer = writers.into_iter().collect();
         self.applied.merge_max(&version);
         self.known_version.merge_max(&version);
         if let Some(high) = order_high {
             self.next_order = self.next_order.max(high);
-        }
-        if let Some(log) = log {
-            self.write_log = log;
         }
         // Re-impose the locally-newer writes the snapshot lacked, in
         // their original apply order, respecting the model's per-page
@@ -1897,8 +2317,8 @@ impl StoreReplica {
                     self.page_last_writer.insert(page.clone(), write.wid);
                 }
             }
-            if !self.write_log.iter().any(|w| w.wid == write.wid) {
-                self.write_log.push(write);
+            if !self.log.retained().iter().any(|w| w.wid == write.wid) {
+                self.log.append(&write);
             }
         }
         self.needs_bootstrap = false;
@@ -2154,6 +2574,7 @@ mod tests {
             metrics: shared_metrics(),
             detector: DetectorConfig::default(),
             tuning: StoreTuning::default(),
+            storage: StorageSpec::default(),
         });
 
         let forwarded = std::rc::Rc::new(std::cell::Cell::new(false));
@@ -2170,7 +2591,13 @@ mod tests {
             });
         }
         net.with_ctx(ex_home, |ctx| {
-            replica.handle_join(joiner, StoreId::new(9), StoreClass::Permanent, ctx);
+            replica.handle_join(
+                joiner,
+                StoreId::new(9),
+                StoreClass::Permanent,
+                VersionVector::new(),
+                ctx,
+            );
         });
         net.run_until_quiescent();
         assert!(forwarded.get(), "misrouted join must reach the real home");

@@ -71,6 +71,7 @@ pub struct GlobeTcp {
     call_timeout: Duration,
     detector: crate::lifecycle::DetectorConfig,
     tuning: crate::StoreTuning,
+    storage: crate::storage::StorageSpec,
 }
 
 impl GlobeTcp {
@@ -104,6 +105,7 @@ impl GlobeTcp {
             call_timeout: config.call_timeout.unwrap_or(Duration::from_secs(10)),
             detector: config.detector(),
             tuning: config.tuning(),
+            storage: config.storage(),
         }
     }
 
@@ -192,6 +194,7 @@ impl GlobeTcp {
             &self.metrics,
             self.detector,
             self.tuning,
+            &self.storage,
             |node, replica| {
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
@@ -351,6 +354,19 @@ impl GlobeTcp {
                 .get(&object)
                 .ok_or(RuntimeError::UnknownObject(object))?
                 .home_node;
+            // A replica that recovered from its local WAL names its
+            // applied vector in the relayed join, so the home ships
+            // only the log suffix it missed.
+            let version = self
+                .spaces
+                .get(&node)
+                .and_then(|space| {
+                    space
+                        .lock()
+                        .control(object)
+                        .and_then(|c| c.store().map(|s| s.applied().clone()))
+                })
+                .unwrap_or_default();
             self.control_send(
                 object,
                 home,
@@ -358,6 +374,7 @@ impl GlobeTcp {
                     node,
                     store: store_id,
                     class,
+                    version,
                 },
             )
         }
@@ -397,6 +414,7 @@ impl GlobeTcp {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         self.locations.register(
@@ -530,6 +548,7 @@ impl GlobeTcp {
                 metrics: &self.metrics,
                 detector: self.detector,
                 tuning: self.tuning,
+                storage: self.storage.clone(),
             },
         )?;
         let class = replica.class();

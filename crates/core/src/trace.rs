@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
-use globe_coherence::{StoreId, WriteId};
+use globe_coherence::{StoreId, VersionVector, WriteId};
 use globe_naming::ObjectId;
 use globe_net::{NodeId, SimTime};
 
@@ -167,9 +167,42 @@ pub enum ProtocolEvent {
     StateTransferSent {
         /// The joiner's node.
         to: NodeId,
+        /// Write-log entries carried by the transfer.
+        entries: usize,
     },
     /// This replica installed a lifecycle state transfer.
     StateTransferInstalled,
+    /// This replica checkpointed its storage backend (snapshot at the
+    /// current applied vector; durable backends persist it).
+    CheckpointTaken {
+        /// Logical log length at the checkpoint.
+        log_len: usize,
+    },
+    /// This replica dropped a fully-acknowledged log prefix.
+    LogCompacted {
+        /// Entries truncated in this pass.
+        truncated: usize,
+    },
+    /// The home shipped an incremental (suffix-only) state transfer.
+    DeltaTransferSent {
+        /// The recovering joiner's node.
+        to: NodeId,
+        /// Write-log entries carried by the delta (across all chunks).
+        entries: usize,
+        /// Chunks the delta was split into.
+        chunks: usize,
+    },
+    /// This replica assembled and applied an incremental transfer.
+    DeltaTransferInstalled {
+        /// Writes applied from the delta.
+        entries: usize,
+    },
+    /// This replica restored a checkpoint from local durable storage at
+    /// start-up; nothing below `version` may be applied again.
+    CheckpointInstalled {
+        /// The restored checkpoint's applied vector.
+        version: VersionVector,
+    },
 }
 
 impl ProtocolEvent {
@@ -192,6 +225,11 @@ impl ProtocolEvent {
             ProtocolEvent::TakeoverAnnounced { .. } => "takeover_announced",
             ProtocolEvent::StateTransferSent { .. } => "state_transfer_sent",
             ProtocolEvent::StateTransferInstalled => "state_transfer_installed",
+            ProtocolEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            ProtocolEvent::LogCompacted { .. } => "log_compacted",
+            ProtocolEvent::DeltaTransferSent { .. } => "delta_transfer_sent",
+            ProtocolEvent::DeltaTransferInstalled { .. } => "delta_transfer_installed",
+            ProtocolEvent::CheckpointInstalled { .. } => "checkpoint_installed",
         }
     }
 }
@@ -304,6 +342,8 @@ pub struct ProtocolCounters {
     pub lease_forwarded: u64,
     /// Reads refused by a held-but-invalid lease (then forwarded).
     pub lease_refused: u64,
+    /// Write-log entries truncated by checkpoint compaction.
+    pub log_truncated: u64,
 }
 
 impl ProtocolCounters {
@@ -597,7 +637,7 @@ impl TraceSnapshot {
             "{{\"flush_max\": {}, \"flush_window\": {}, \"flush_read\": {}, \
              \"flush_demand\": {}, \"flush_policy\": {}, \"batch_writes\": {}, \
              \"batch_max_size\": {}, \"lease_served\": {}, \"lease_forwarded\": {}, \
-             \"lease_refused\": {}, \"lease_hit_ratio\": {:.4}}}",
+             \"lease_refused\": {}, \"lease_hit_ratio\": {:.4}, \"log_truncated\": {}}}",
             c.flush_max,
             c.flush_window,
             c.flush_read,
@@ -609,6 +649,7 @@ impl TraceSnapshot {
             c.lease_forwarded,
             c.lease_refused,
             c.lease_hit_ratio(),
+            c.log_truncated,
         )
     }
 }
@@ -650,10 +691,38 @@ fn event_json(event: &TraceEvent) -> String {
         ProtocolEvent::SuspicionRaised { peer } => {
             detail = format!("\"peer\": {}", peer.raw());
         }
-        ProtocolEvent::StateTransferSent { to } => {
-            detail = format!("\"to\": {}", to.raw());
+        ProtocolEvent::StateTransferSent { to, entries } => {
+            detail = format!("\"to\": {}, \"entries\": {}", to.raw(), entries);
         }
         ProtocolEvent::StateTransferInstalled => {}
+        ProtocolEvent::CheckpointTaken { log_len } => {
+            detail = format!("\"log_len\": {log_len}");
+        }
+        ProtocolEvent::LogCompacted { truncated } => {
+            detail = format!("\"truncated\": {truncated}");
+        }
+        ProtocolEvent::DeltaTransferSent {
+            to,
+            entries,
+            chunks,
+        } => {
+            detail = format!(
+                "\"to\": {}, \"entries\": {}, \"chunks\": {}",
+                to.raw(),
+                entries,
+                chunks
+            );
+        }
+        ProtocolEvent::DeltaTransferInstalled { entries } => {
+            detail = format!("\"entries\": {entries}");
+        }
+        ProtocolEvent::CheckpointInstalled { version } => {
+            let clocks: Vec<String> = version
+                .iter()
+                .map(|(client, seq)| format!("\"{}\": {}", client.raw(), seq))
+                .collect();
+            detail = format!("\"version\": {{{}}}", clocks.join(", "));
+        }
     }
     let sep = if detail.is_empty() { "" } else { ", " };
     format!(
@@ -701,6 +770,10 @@ impl std::fmt::Display for Violation {
 /// 3. **No lease-served read after invalidation** — per node, a
 ///    `ReadServed{Lease}` whose most recent preceding lease event is a
 ///    revocation or expiry is a violation.
+/// 4. **No apply below an installed checkpoint** — per (node, store),
+///    once a recovering replica restored a checkpoint at some version
+///    vector, a later `WriteApplied` already covered by that vector
+///    means recovery replayed history it had promised was settled.
 pub struct TraceChecker;
 
 impl TraceChecker {
@@ -711,6 +784,7 @@ impl TraceChecker {
         Self::check_ack_after_apply(snapshot, &mut violations);
         Self::check_contiguous_orders(snapshot, &mut violations);
         Self::check_lease_reads(snapshot, &mut violations);
+        Self::check_apply_above_checkpoint(snapshot, &mut violations);
         violations
     }
 
@@ -802,6 +876,35 @@ impl TraceChecker {
                         rule: "lease_read_after_invalidation",
                         detail: format!("lease-served read at {} after revoke/expiry", event.at),
                     });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_apply_above_checkpoint(snapshot: &TraceSnapshot, out: &mut Vec<Violation>) {
+        let mut floor: BTreeMap<(NodeId, StoreId), VersionVector> = BTreeMap::new();
+        for event in &snapshot.events {
+            match &event.event {
+                ProtocolEvent::CheckpointInstalled { version } => {
+                    floor.insert((event.node, event.store), version.clone());
+                }
+                ProtocolEvent::WriteApplied { write } => {
+                    if let Some(version) = floor.get(&(event.node, event.store)) {
+                        if version.covers(*write) {
+                            out.push(Violation {
+                                node: event.node,
+                                rule: "apply_below_checkpoint",
+                                detail: format!(
+                                    "write {}#{} applied at {} below the checkpoint \
+                                     installed from local storage",
+                                    write.client.raw(),
+                                    write.seq,
+                                    event.at
+                                ),
+                            });
+                        }
+                    }
                 }
                 _ => {}
             }
@@ -940,6 +1043,37 @@ mod tests {
         let violations = TraceChecker::check(&snap);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].rule, "lease_read_after_invalidation");
+    }
+
+    #[test]
+    fn checker_flags_apply_below_installed_checkpoint() {
+        let ckpt: VersionVector = [(ClientId::new(0), 3u64)].into_iter().collect();
+        let snap = TraceSnapshot {
+            capacity: 8,
+            dropped: 0,
+            events: vec![
+                ev(1, 1, ProtocolEvent::CheckpointInstalled { version: ckpt }),
+                ev(2, 1, ProtocolEvent::WriteApplied { write: wid(2) }),
+                ev(3, 1, ProtocolEvent::WriteApplied { write: wid(4) }),
+            ],
+            counters: ProtocolCounters::default(),
+        };
+        let violations = TraceChecker::check(&snap);
+        assert_eq!(violations.len(), 1, "only the covered write violates");
+        assert_eq!(violations[0].rule, "apply_below_checkpoint");
+
+        // The same applies on a node without an installed checkpoint
+        // are fine.
+        let clean = TraceSnapshot {
+            capacity: 8,
+            dropped: 0,
+            events: vec![
+                ev(2, 2, ProtocolEvent::WriteApplied { write: wid(2) }),
+                ev(3, 2, ProtocolEvent::WriteApplied { write: wid(4) }),
+            ],
+            counters: ProtocolCounters::default(),
+        };
+        assert!(TraceChecker::check(&clean).is_empty());
     }
 
     #[test]

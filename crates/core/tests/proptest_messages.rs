@@ -114,10 +114,13 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
         Just(CoherenceMsg::PolicyUpdate {
             policy: ReplicationPolicy::conference_page(),
         }),
-        (0u32..8, 0u32..16, arb_class()).prop_map(|(n, s, class)| CoherenceMsg::JoinRequest {
-            node: NodeId::new(n),
-            store: StoreId::new(s),
-            class,
+        (0u32..8, 0u32..16, arb_class(), arb_vv()).prop_map(|(n, s, class, version)| {
+            CoherenceMsg::JoinRequest {
+                node: NodeId::new(n),
+                store: StoreId::new(s),
+                class,
+                version,
+            }
         }),
         (
             arb_vv(),
@@ -205,6 +208,31 @@ fn arb_msg() -> impl Strategy<Value = CoherenceMsg> {
             }
         }),
         any::<u64>().prop_map(|epoch| CoherenceMsg::LeaseRevoke { epoch }),
+        // The incremental state-transfer frames (PR 9): chunked deltas
+        // plus the checkpoint announce/ack/compact triple.
+        (
+            (0u64..8, 1u64..8),
+            proptest::collection::vec(arb_write(), 0..5),
+            arb_vv(),
+            proptest::option::of(any::<u64>()),
+            arb_members(),
+        )
+            .prop_map(|((chunk, chunks), writes, version, order_high, peers)| {
+                CoherenceMsg::StateDelta {
+                    chunk,
+                    chunks,
+                    writes,
+                    version,
+                    order_high,
+                    peers,
+                }
+            },),
+        arb_vv().prop_map(|version| CoherenceMsg::CheckpointAnnounce { version }),
+        (0u32..8, arb_vv()).prop_map(|(n, version)| CoherenceMsg::CheckpointAck {
+            node: NodeId::new(n),
+            version,
+        }),
+        arb_vv().prop_map(|version| CoherenceMsg::CompactBelow { version }),
     ]
 }
 

@@ -404,11 +404,238 @@ fn mirror_churn_matrix_spans_sim_tcp_and_shard() {
     assert_eq!(outcomes.len(), 3);
 }
 
+/// Builds a per-backend durable config factory: each backend gets its
+/// own WAL tree (store ids repeat across backends, so a shared tree
+/// would corrupt), rooted in temp dirs that vanish when `dirs` drops.
+fn durable_config_for(
+    dirs: &[(Backend, globe_core::TempDir)],
+    base: RuntimeConfig,
+) -> impl Fn(Backend) -> RuntimeConfig + '_ {
+    move |backend| {
+        let dir = dirs
+            .iter()
+            .find(|(b, _)| *b == backend)
+            .map(|(_, d)| d.path())
+            .expect("a temp dir per backend");
+        base.clone().durable_dir(dir)
+    }
+}
+
+fn durable_dirs(prefix: &str) -> Vec<(Backend, globe_core::TempDir)> {
+    Backend::ALL
+        .iter()
+        .map(|&b| (b, globe_core::TempDir::new(&format!("{prefix}_{b}"))))
+        .collect()
+}
+
+/// The kill-restart drill with the durable WAL backend on: the killed
+/// mirror must come back from its local log (not a blank slate) and
+/// the matrix must still agree on every backend.
+#[test]
+fn kill_restart_matrix_with_durable_storage() {
+    let dirs = durable_dirs("kill_restart");
+    let base = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .checkpoint_every(4)
+        .trace_capacity(4096);
+    let outcomes = matrix::run_matrix_with(
+        &matrix::fault::KillRestart,
+        &Backend::ALL,
+        durable_config_for(&dirs, base),
+    )
+    .expect("identical durable kill-and-recover outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.observations.items().len(),
+            4,
+            "{}: all fault observations recorded",
+            outcome.backend
+        );
+    }
+}
+
+/// The home fail-over drill with the durable WAL backend on: election,
+/// rejoin, and handback must all survive checkpointing + compaction
+/// running underneath, identically on every backend.
+#[test]
+fn home_failover_matrix_with_durable_storage() {
+    let dirs = durable_dirs("home_failover");
+    let base = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .checkpoint_every(4)
+        .trace_capacity(4096);
+    let outcomes = matrix::run_matrix_with(
+        &matrix::fault::HomeFailover,
+        &Backend::ALL,
+        durable_config_for(&dirs, base),
+    )
+    .expect("identical durable fail-over outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    assert_trace_captured(&outcomes);
+}
+
+/// The incremental-recovery proof: a durable mirror is killed after the
+/// workload has been checkpointed, recovers its state from its own WAL,
+/// and rejoins by shipping its version vector — so the home sends a
+/// chunked *delta* (the log suffix it missed), never the full state.
+/// The trace must show the delta install, and the checker must confirm
+/// no write was applied below the recovered checkpoint.
+struct DurableSuffixRecovery;
+
+impl Scenario for DurableSuffixRecovery {
+    fn name(&self) -> &'static str {
+        "fault-durable-suffix-recovery"
+    }
+
+    fn run<R: GlobeRuntime>(&self, rt: &mut R) -> Result<Observations, Box<dyn std::error::Error>> {
+        let server = rt.add_node()?;
+        let mirror = rt.add_node()?;
+        let client_node = rt.add_node()?;
+
+        let policy = globe_core::ReplicationPolicy::builder(globe_coherence::ObjectModel::Fifo)
+            .immediate()
+            .build()?;
+        let object = ObjectSpec::new("/fault/durable-suffix")
+            .policy(policy)
+            .semantics(RegisterDoc::new)
+            .store(server, StoreClass::Permanent)
+            .store(mirror, StoreClass::Permanent)
+            .create(rt)?;
+        let writer = rt.bind(object, client_node, BindOptions::new().read_node(server))?;
+        let reader = rt.bind(object, client_node, BindOptions::new().read_node(mirror))?;
+        rt.start(&[client_node]);
+
+        // Enough writes to cross several checkpoint boundaries, so the
+        // mirror's WAL holds a checkpoint + suffix when it dies.
+        for i in 0..12 {
+            rt.handle(writer).write(registers::put(
+                &format!("k{i}"),
+                format!("pre-{i}").as_bytes(),
+            ))?;
+        }
+        let mut obs = Observations::new();
+        let mut seen = Vec::new();
+        for _ in 0..50 {
+            seen = rt.handle(reader).read(registers::get("k11"))?.to_vec();
+            if seen == b"pre-11" {
+                break;
+            }
+            rt.settle(Duration::from_millis(100));
+        }
+        assert_eq!(&seen[..], b"pre-11", "mirror converges before the fault");
+        obs.record("pre-fail", &seen);
+
+        // Kill the mirror. Its semantics object is replaced with a
+        // blank one — everything it knows after this line came from
+        // its local WAL or from the join reply.
+        rt.restart_store(object, mirror, Box::new(RegisterDoc::new()))?;
+
+        // Pre-failure writes are readable again (recovered locally or
+        // shipped in the delta), and new writes keep flowing.
+        let mut old = Vec::new();
+        for _ in 0..50 {
+            old = rt.handle(reader).read(registers::get("k0"))?.to_vec();
+            if old == b"pre-0" {
+                break;
+            }
+            rt.settle(Duration::from_millis(100));
+        }
+        assert_eq!(&old[..], b"pre-0", "WAL recovery restores old writes");
+        obs.record("post-recover-old", &old);
+        rt.handle(writer)
+            .write(registers::put("k99", b"post-recover"))?;
+        let mut fresh = Vec::new();
+        for _ in 0..50 {
+            fresh = rt.handle(reader).read(registers::get("k99"))?.to_vec();
+            if fresh == b"post-recover" {
+                break;
+            }
+            rt.settle(Duration::from_millis(100));
+        }
+        assert_eq!(&fresh[..], b"post-recover");
+        obs.record("post-recover-new", &fresh);
+
+        // The trace must show the incremental path: the rejoining
+        // mirror announced a non-empty vector, so the home shipped a
+        // delta, and the mirror installed it. A full `StateTransfer`
+        // to a *recovering* store would be a regression (the initial
+        // joins at create() legitimately use the full path).
+        let snap = rt.trace();
+        let delta_installs = snap
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    globe_core::ProtocolEvent::DeltaTransferInstalled { .. }
+                )
+            })
+            .count();
+        assert!(
+            delta_installs > 0,
+            "recovery must ride the delta path, not full state transfer"
+        );
+        obs.record("delta-recovery", delta_installs.min(1).to_string());
+        let ckpt_installs = snap
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    globe_core::ProtocolEvent::CheckpointInstalled { .. }
+                )
+            })
+            .count();
+        assert!(
+            ckpt_installs > 0,
+            "the restarted store must recover a checkpoint from its WAL"
+        );
+        obs.record("wal-checkpoint-recovered", ckpt_installs.min(1).to_string());
+
+        // No write below the recovered checkpoint is ever re-applied.
+        let violations = globe_core::TraceChecker::check(&snap);
+        assert!(violations.is_empty(), "trace violations: {violations:?}");
+        obs.record("trace-captured", snap.len().min(1).to_string());
+
+        let history = rt.history();
+        let history = history.lock();
+        globe_coherence::check::check_fifo(&history)?;
+        drop(history);
+
+        rt.shutdown();
+        Ok(obs)
+    }
+}
+
+/// The durable suffix-recovery drill must agree on all three backends:
+/// WAL recovery + incremental delta join, proven by the flight
+/// recorder on each.
+#[test]
+fn durable_suffix_recovery_matrix_spans_sim_tcp_and_shard() {
+    let dirs = durable_dirs("suffix_recovery");
+    let base = RuntimeConfig::new()
+        .seed(42)
+        .call_timeout(Duration::from_secs(10))
+        .checkpoint_every(4)
+        .trace_capacity(8192);
+    let outcomes = matrix::run_matrix_with(
+        &DurableSuffixRecovery,
+        &Backend::ALL,
+        durable_config_for(&dirs, base),
+    )
+    .expect("identical durable suffix-recovery outcomes on every backend");
+    assert_eq!(outcomes.len(), 3);
+    assert_trace_captured(&outcomes);
+}
+
 #[test]
 fn runtimes_construct_symmetrically() {
     let config = RuntimeConfig::new().seed(7);
-    let _sim = GlobeSim::with_config(Topology::lan(), config);
-    let tcp = GlobeTcp::with_config(config);
+    let _sim = GlobeSim::with_config(Topology::lan(), config.clone());
+    let tcp = GlobeTcp::with_config(config.clone());
     let shard = GlobeShard::with_config(config);
     assert_eq!(tcp.seed(), 7);
     assert_eq!(shard.seed(), 7);

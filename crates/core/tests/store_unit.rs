@@ -45,6 +45,20 @@ fn rig(policy: ReplicationPolicy, is_home: bool) -> Rig {
 }
 
 fn rig_tuned(policy: ReplicationPolicy, is_home: bool, tuning: globe_core::StoreTuning) -> Rig {
+    rig_full(
+        policy,
+        is_home,
+        tuning,
+        globe_core::storage::StorageSpec::default(),
+    )
+}
+
+fn rig_full(
+    policy: ReplicationPolicy,
+    is_home: bool,
+    tuning: globe_core::StoreTuning,
+    storage: globe_core::storage::StorageSpec,
+) -> Rig {
     let mut net = SimNet::new(Topology::lan(), 0);
     let home_node = net.add_node();
     let peer_node = net.add_node();
@@ -84,6 +98,7 @@ fn rig_tuned(policy: ReplicationPolicy, is_home: bool, tuning: globe_core::Store
         metrics: metrics.clone(),
         detector: globe_core::lifecycle::DetectorConfig::disabled(),
         tuning,
+        storage,
     });
     Rig {
         net,
@@ -413,4 +428,86 @@ fn fifo_replica_jumps_over_skipped_writes() {
         store.accept_write(None, client_write(3), ctx); // late: ignored
     });
     assert_eq!(r.store.applied().get(ClientId::new(9)), 5);
+}
+
+/// The write log must not grow without bound once checkpointing is on:
+/// every `checkpoint_every` applies the home announces a checkpoint,
+/// and when the (sole) peer acks it the covered prefix is dropped. The
+/// retained suffix stays small while the *logical* log length keeps
+/// counting every write ever applied, and the truncation shows up in
+/// the always-on protocol counters.
+#[test]
+fn checkpointing_home_keeps_the_write_log_bounded() {
+    let policy = ReplicationPolicy::builder(ObjectModel::Pram)
+        .immediate()
+        .build()
+        .unwrap();
+    let mut r = rig_full(
+        policy,
+        true,
+        globe_core::StoreTuning::default(),
+        globe_core::storage::StorageSpec {
+            durable_dir: None,
+            checkpoint_every: 4,
+        },
+    );
+    let (client_node, peer_node) = (r.client_node, r.peer_node);
+    const WRITES: u64 = 40;
+    let mut acked: Vec<VersionVector> = Vec::new();
+    for seq in 1..=WRITES {
+        let store = &mut r.store;
+        r.net.with_ctx(r.home_node, |ctx| {
+            store.accept_write(
+                Some((client_node, RequestId::new(seq), ClientId::new(9))),
+                client_write(seq),
+                ctx,
+            );
+        });
+        r.net.run_until_quiescent();
+        // Play the healthy peer by hand: ack every announce the home
+        // multicast since the last write, exactly as the control plane
+        // would after the peer checkpointed its own state.
+        let announces: Vec<VersionVector> = r
+            .peer_log
+            .borrow()
+            .iter()
+            .filter_map(|(_, m)| match m {
+                CoherenceMsg::CheckpointAnnounce { version } => Some(version.clone()),
+                _ => None,
+            })
+            .filter(|v| !acked.contains(v))
+            .collect();
+        let store = &mut r.store;
+        r.net.with_ctx(r.home_node, |ctx| {
+            for version in announces {
+                store.handle_checkpoint_ack(peer_node, version.clone(), ctx);
+                acked.push(version);
+            }
+        });
+        r.net.run_until_quiescent();
+    }
+
+    assert_eq!(
+        r.store.log_len() as u64,
+        WRITES,
+        "logical length counts every write ever applied"
+    );
+    assert!(
+        r.store.log_retained() <= 8,
+        "retained suffix stays bounded (got {} of {WRITES})",
+        r.store.log_retained()
+    );
+    let truncated = r.metrics.lock().protocol.log_truncated;
+    assert!(
+        truncated >= WRITES - 8,
+        "compaction is accounted: log_truncated = {truncated}"
+    );
+    // The peers were told to drop the same prefix.
+    let compacts = r
+        .peer_log
+        .borrow()
+        .iter()
+        .filter(|(_, m)| matches!(m, CoherenceMsg::CompactBelow { .. }))
+        .count();
+    assert!(compacts > 0, "home broadcasts the compaction floor");
 }
