@@ -313,10 +313,9 @@ impl GlobeSim {
             return;
         };
         let home = plan::effective_home(record, |n| self.replica_claim(object, n));
-        self.objects
-            .get_mut(&object)
-            .expect("checked above")
-            .adopt_home(home);
+        if let Some(record) = self.objects.get_mut(&object) {
+            record.adopt_home(home);
+        }
     }
 
     /// Installs an additional store (mirror or cache) at run time. The

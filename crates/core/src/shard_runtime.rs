@@ -389,10 +389,9 @@ impl GlobeShard {
             return;
         };
         let home = plan::effective_home(record, |n| self.replica_claim(object, n));
-        self.objects
-            .get_mut(&object)
-            .expect("checked above")
-            .adopt_home(home);
+        if let Some(record) = self.objects.get_mut(&object) {
+            record.adopt_home(home);
+        }
     }
 
     /// Binds a client in `node`'s address space, mirroring

@@ -260,10 +260,15 @@ impl DurableBackend {
         if let Ok(raw) = fs::read(&wal_path) {
             let mut cursor = &raw[..];
             if cursor.len() >= 8 {
-                base = u64::from_le_bytes(cursor[..8].try_into().unwrap()) as usize;
+                #[allow(clippy::unwrap_used)]
+                // lint: allow(panic) — infallible: the slice is exactly 8 bytes by the length check above
+                let stored_base = u64::from_le_bytes(cursor[..8].try_into().unwrap());
+                base = stored_base as usize;
                 cursor = &cursor[8..];
                 good_end = 8;
                 while cursor.len() >= 4 {
+                    #[allow(clippy::unwrap_used)]
+                    // lint: allow(panic) — infallible: the slice is exactly 4 bytes by the loop condition
                     let len = u32::from_le_bytes(cursor[..4].try_into().unwrap()) as usize;
                     if cursor.len() < 4 + len {
                         break;
@@ -411,6 +416,8 @@ impl TempDir {
         let seq = TEMP_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
         let path =
             std::env::temp_dir().join(format!("globe_{prefix}_{}_{seq}", std::process::id()));
+        #[allow(clippy::expect_used)]
+        // lint: allow(panic) — test/bench scaffolding: a temp-dir failure must abort the harness loudly, there is no replica to degrade
         fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

@@ -738,8 +738,19 @@ impl StoreReplica {
             return;
         }
         self.ckpt_acks.insert(node);
-        let all_acked = self.peers.iter().all(|p| self.ckpt_acks.contains(&p.node));
-        if all_acked {
+        let outstanding = self
+            .peers
+            .iter()
+            .filter(|p| !self.ckpt_acks.contains(&p.node))
+            .count();
+        self.trace_event(
+            ctx,
+            ProtocolEvent::CheckpointAcked {
+                from: node,
+                outstanding,
+            },
+        );
+        if outstanding == 0 {
             self.finish_checkpoint(ctx);
         }
     }

@@ -160,10 +160,9 @@ impl GlobeTcp {
             return;
         };
         let home = plan::effective_home(record, |n| self.replica_claim(object, n));
-        self.objects
-            .get_mut(&object)
-            .expect("checked above")
-            .adopt_home(home);
+        if let Some(record) = self.objects.get_mut(&object) {
+            record.adopt_home(home);
+        }
     }
 
     /// Shared creation routine behind [`ObjectSpec`].
@@ -196,12 +195,17 @@ impl GlobeTcp {
             self.tuning,
             &self.storage,
             |node, replica| {
+                // Endpoint before space — the declared lock order; every
+                // other runtime path nests the same way. Placement is
+                // validated by plan_creation, so a missing entry means
+                // the node was never added: leave it dark rather than
+                // aborting creation.
+                let Some(shared) = endpoints.get(&node) else {
+                    return;
+                };
+                let mut endpoint = shared.lock();
                 let mut space = spaces[&node].lock();
                 plan::install_store(&mut space, object, replica);
-                let mut endpoint = endpoints
-                    .get(&node)
-                    .expect("endpoint exists for node")
-                    .lock();
                 let mut ctx = endpoint.ctx();
                 space.start_object(object, &mut ctx);
             },
@@ -258,11 +262,13 @@ impl GlobeTcp {
             // operation is broken; fail loudly here (like the thread
             // spawns below) instead of surfacing a misleading error from
             // a later set_policy/add_store.
-            self.control = Some(
-                self.mesh
-                    .add_node()
-                    .expect("failed to create the control endpoint"),
-            );
+            #[allow(clippy::expect_used)]
+            let control = self
+                .mesh
+                .add_node()
+                // lint: allow(panic) — deliberate fail-loud at start(): without a control endpoint every later lifecycle call would fail confusingly
+                .expect("failed to create the control endpoint");
+            self.control = Some(control);
         }
         let to_spawn: Vec<NodeId> = self
             .endpoints
@@ -271,7 +277,9 @@ impl GlobeTcp {
             .filter(|n| !client_nodes.contains(n))
             .collect();
         for node in to_spawn {
-            let shared = self.endpoints.remove(&node).expect("endpoint present");
+            let Some(shared) = self.endpoints.remove(&node) else {
+                continue;
+            };
             // Nothing else can hold a reference before start(); if an
             // engine port somehow does, the node stays caller-driven.
             let endpoint = match Arc::try_unwrap(shared) {
@@ -728,11 +736,11 @@ impl GlobeTcp {
             .get_mut(&object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let home = record.home_node;
-        if self.endpoints.contains_key(&home) {
+        if let Some(shared) = self.endpoints.get(&home) {
             // Build phase: the home endpoint is still caller-driven, so
             // apply the change directly.
             record.policy = policy.clone();
-            let mut endpoint = self.endpoints.get(&home).expect("checked above").lock();
+            let mut endpoint = shared.lock();
             let mut ctx = endpoint.ctx();
             if let Some(store) = self.spaces[&home]
                 .lock()
@@ -974,7 +982,10 @@ impl GlobeRuntime for GlobeTcp {
             }
             let mut handled = false;
             for &node in &nodes {
-                let mut endpoint = self.endpoints.get(&node).expect("endpoint listed").lock();
+                let Some(shared) = self.endpoints.get(&node) else {
+                    continue;
+                };
+                let mut endpoint = shared.lock();
                 if let Some(event) = endpoint.recv_timeout(Duration::ZERO) {
                     let mut ctx = endpoint.ctx();
                     self.spaces[&node].lock().handle_event(event, &mut ctx);
@@ -982,7 +993,11 @@ impl GlobeRuntime for GlobeTcp {
                 }
             }
             if !handled {
-                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                std::thread::sleep(
+                    deadline
+                        .saturating_duration_since(now)
+                        .min(Duration::from_millis(5)),
+                );
             }
         }
     }

@@ -178,6 +178,15 @@ pub enum ProtocolEvent {
         /// Logical log length at the checkpoint.
         log_len: usize,
     },
+    /// The home recorded a peer's ack of the pending checkpoint (the
+    /// receive side of [`CheckpointTaken`]'s announce/ack round; when
+    /// the last ack lands the covered log prefix becomes compactable).
+    CheckpointAcked {
+        /// The acking peer.
+        from: NodeId,
+        /// Peers whose ack is still outstanding after this one.
+        outstanding: usize,
+    },
     /// This replica dropped a fully-acknowledged log prefix.
     LogCompacted {
         /// Entries truncated in this pass.
@@ -226,6 +235,7 @@ impl ProtocolEvent {
             ProtocolEvent::StateTransferSent { .. } => "state_transfer_sent",
             ProtocolEvent::StateTransferInstalled => "state_transfer_installed",
             ProtocolEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            ProtocolEvent::CheckpointAcked { .. } => "checkpoint_acked",
             ProtocolEvent::LogCompacted { .. } => "log_compacted",
             ProtocolEvent::DeltaTransferSent { .. } => "delta_transfer_sent",
             ProtocolEvent::DeltaTransferInstalled { .. } => "delta_transfer_installed",
@@ -697,6 +707,9 @@ fn event_json(event: &TraceEvent) -> String {
         ProtocolEvent::StateTransferInstalled => {}
         ProtocolEvent::CheckpointTaken { log_len } => {
             detail = format!("\"log_len\": {log_len}");
+        }
+        ProtocolEvent::CheckpointAcked { from, outstanding } => {
+            detail = format!("\"from\": {}, \"outstanding\": {}", from.raw(), outstanding);
         }
         ProtocolEvent::LogCompacted { truncated } => {
             detail = format!("\"truncated\": {truncated}");

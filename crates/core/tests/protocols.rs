@@ -2,6 +2,10 @@
 //! the simulated network and its recorded history must satisfy the
 //! corresponding checker from `globe-coherence`.
 
+// Test-only crate: helper fns outside #[test] bodies may unwrap/expect
+// (clippy's allow-unwrap-in-tests only covers #[test] functions).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use globe_coherence::{check, ClientModel, ObjectModel, StoreClass};

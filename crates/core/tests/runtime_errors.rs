@@ -1,6 +1,10 @@
 //! Negative paths of the runtime API: every misuse must surface as a
 //! typed error, never a panic or a silent success.
 
+// Test-only crate: helper fns outside #[test] bodies may unwrap/expect
+// (clippy's allow-unwrap-in-tests only covers #[test] functions).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use globe_coherence::{ObjectModel, StoreClass};
 use globe_core::{
     registers, BindOptions, CallError, GlobeRuntime, GlobeSim, ObjectSpec, ReadChoice, RegisterDoc,

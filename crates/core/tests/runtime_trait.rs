@@ -5,6 +5,10 @@
 //! three backends report identical logical outcomes. Only construction
 //! differs; every create/bind/invoke call goes through the trait.
 
+// Test-only crate: helper fns outside #[test] bodies may unwrap/expect
+// (clippy's allow-unwrap-in-tests only covers #[test] functions).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use globe_coherence::{ClientModel, StoreClass};

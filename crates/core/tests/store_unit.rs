@@ -3,6 +3,10 @@
 //! message-level behaviours the integration tests only observe in the
 //! aggregate.
 
+// Test-only crate: helper fns outside #[test] bodies may unwrap/expect
+// (clippy's allow-unwrap-in-tests only covers #[test] functions).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;

@@ -1,0 +1,428 @@
+//! A minimal Rust lexer for the lint passes.
+//!
+//! The rules only need a token stream that is *correct about what is
+//! code*: string literals, char literals, lifetimes, and comments must
+//! never be mistaken for identifiers or operators (a `panic!` inside a
+//! doc comment is not a violation; a `-` inside a string is not a
+//! subtraction). Everything else — expressions, types, full grammar —
+//! stays out of scope; the rules pattern-match on the token stream.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `self`).
+    Ident,
+    /// A lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (`42`, `0xff`, `1.5e3`).
+    Number,
+    /// A string, raw string, byte string, or char literal.
+    Literal,
+    /// A punctuation token; multi-char operators arrive as one token
+    /// (`::`, `->`, `=>`, `-=`, `..`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is the exact identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// One comment (line or block, doc or plain) with the line it starts on.
+/// The allow-comment grammar (`lint: allow(<rule>) — <reason>`) is
+/// matched against these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed file: code tokens plus the comments that were skipped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes `src`, skipping (but recording) comments and never confusing
+/// literal contents for code.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let start_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            'r' | 'b' if starts_string_prefix(bytes, i) => {
+                let (end, newlines, kind) = scan_prefixed_literal(bytes, i);
+                out.tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'\...'` and `'x'` are
+                // chars; `'ident` not followed by a closing quote is a
+                // lifetime.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let (end, _) = scan_char(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'\'' && j > i + 1 {
+                        // 'a' — single ident char closed by a quote.
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else if j == i + 1 && j < bytes.len() + 1 {
+                        // Not an ident after the quote: 'x' where x is
+                        // punctuation-ish, treat as char literal.
+                        let (end, _) = scan_char(bytes, i);
+                        out.tokens.push(Token {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                        i = end;
+                    } else {
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            text: src[i..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                        break; // range operator, not a float
+                    }
+                    if is_ident_char(b) || b == b'.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPS {
+                    if src[i..].starts_with(op) {
+                        out.tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += op.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += c.len_utf8();
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `r`/`b` at `i` starts a raw/byte string or byte char rather
+/// than an identifier (`r"`, `r#"`, `b"`, `b'`, `br"`, `rb` is not a
+/// thing, `br#"`).
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    match rest.first() {
+        Some(b'r') => matches!(rest.get(1), Some(b'"') | Some(b'#')) && raw_has_quote(rest, 1),
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(rest.get(2), Some(b'"') | Some(b'#')) && raw_has_quote(rest, 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// For `r###"` shapes: hashes after `offset` must end in a quote.
+fn raw_has_quote(rest: &[u8], offset: usize) -> bool {
+    let mut j = offset;
+    while rest.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&b'"')
+}
+
+/// Scans a plain `"..."` string starting at the opening quote. Returns
+/// (index past the closing quote, newlines inside).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Scans a `'x'` / `'\n'` char literal from the opening quote.
+fn scan_char(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return (i + 1, 0),
+            _ => i += 1,
+        }
+    }
+    (i, 0)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` from the prefix.
+fn scan_prefixed_literal(bytes: &[u8], start: usize) -> (usize, u32, TokKind) {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'\'' {
+            let (end, nl) = scan_char(bytes, i);
+            return (end, nl, TokKind::Literal);
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            let (end, nl) = scan_string(bytes, i);
+            return (end, nl, TokKind::Literal);
+        }
+    }
+    // Raw (possibly byte-raw) string: count hashes, then scan to `"#…#`.
+    debug_assert!(bytes[i] == b'r');
+    i += 1;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    // bytes[i] == b'"'
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while h < hashes && j < bytes.len() && bytes[j] == b'#' {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return (j, newlines, TokKind::Literal);
+            }
+        }
+        i += 1;
+    }
+    (i, newlines, TokKind::Literal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // panic!("not real")
+            /* .unwrap() /* nested */ still comment */
+            let s = "panic!(\"in a string\")";
+            let r = r#"unwrap() in raw"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn comments_are_recorded_with_lines() {
+        let src = "let a = 1;\n// lint: allow(panic) — reason\nb.unwrap();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(panic)"));
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let lexed = lex("a -> b => c :: d - e -= f .. g");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["->", "=>", "::", "-", "-=", ".."]);
+    }
+
+    #[test]
+    fn lines_survive_multiline_strings() {
+        let src = "let s = \"one\ntwo\";\nafter();\n";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+}

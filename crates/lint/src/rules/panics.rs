@@ -1,0 +1,112 @@
+//! Rule `panic`: panic-freedom of the protocol crates.
+//!
+//! `unwrap()`, `expect(...)`, `panic!`, `unreachable!`, `todo!`, and
+//! `unimplemented!` abort the process; on the protocol path that turns
+//! a malformed frame or a lost race into a dead replica. Non-test code
+//! in `core`, `net`, `wire`, and `coherence` must convert these into
+//! counted errors (`fault_stats` / `MetricsStore::transport`) or carry
+//! a justified `// lint: allow(panic) — <reason>` for the genuinely
+//! impossible cases.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Lexed, TokKind};
+use crate::scan::{in_ranges, test_mod_ranges};
+
+/// Macro names that abort.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one file's token stream; `file` is the workspace-relative path
+/// used in diagnostics.
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let tests = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+
+    for i in 0..tokens.len() {
+        if in_ranges(&tests, i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method position only: a local
+        // helper named `unwrap` would also be suspect, but none exist,
+        // and requiring the leading dot avoids flagging definitions.
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && tokens[i - 1].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            diags.push(Diagnostic {
+                rule: Rule::Panic,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` can abort a replica on the protocol path; return an error (count it via \
+                     fault_stats/MetricsStore) or justify with `// lint: allow(panic) — <reason>`",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            diags.push(Diagnostic {
+                rule: Rule::Panic,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}!` aborts the process; protocol code must degrade observably instead \
+                     (or justify with `// lint: allow(panic) — <reason>`)",
+                    t.text
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::apply_allows;
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); unreachable!(); }\n";
+        let diags = check("f.rs", &lex(src));
+        assert_eq!(diags.len(), 4);
+        assert!(diags.iter().all(|d| d.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn test_mod_and_allows_are_exempt() {
+        let src = "\
+fn f() {\n\
+    // lint: allow(panic) — length checked two lines up\n\
+    x.unwrap();\n\
+}\n\
+#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); panic!(\"fine in tests\"); }\n}\n";
+        let lexed = lex(src);
+        let diags = apply_allows("f.rs", &lexed, check("f.rs", &lexed));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() {\n    // lint: allow(panic)\n    x.unwrap();\n}\n";
+        let lexed = lex(src);
+        let diags = apply_allows("f.rs", &lexed, check("f.rs", &lexed));
+        // The unwrap stays un-suppressed AND the bare allow is flagged.
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_default_is_fine() {
+        let diags = check("f.rs", &lex("fn f() { x.unwrap_or_default(); }\n"));
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Rule `time`: the saturating-time convention.
+//!
+//! `SimTime - SimTime` and `Instant::duration_since` panic (or, for
+//! newer `Instant`s, silently saturate differently per platform) when
+//! the "later" operand is actually earlier — and on the protocol path
+//! instant order is data-dependent: a reordered heartbeat or a
+//! future-dated proof-of-life must degrade to `Duration::ZERO`, not
+//! abort a replica (PR 4 audited exactly this by hand). Outside the
+//! clock implementation (`net/src/time.rs`) and test modules, direct
+//! `-` between time-named operands and any `duration_since` call are
+//! forbidden; use `SimTime::saturating_since` /
+//! `Instant::saturating_duration_since`.
+//!
+//! Detection is lexical: an operand counts as "time-named" when its
+//! trailing identifier is one of [`TIME_NAMES`] or carries one of
+//! [`TIME_SUFFIXES`]. Keep variable naming honest and the rule stays
+//! sharp; a deliberate, safe subtraction takes
+//! `// lint: allow(time) — <reason>`.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::scan::{in_ranges, test_mod_ranges};
+
+/// Identifiers that denote an instant by convention in this repo.
+pub const TIME_NAMES: &[&str] = &["now", "deadline", "earlier", "later", "expiry", "heard"];
+
+/// Identifier suffixes that denote an instant.
+pub const TIME_SUFFIXES: &[&str] = &["_at", "_deadline", "_instant"];
+
+fn is_time_name(name: &str) -> bool {
+    TIME_NAMES.contains(&name) || TIME_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Scans one file's token stream.
+pub fn check(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let tests = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+
+    for i in 0..tokens.len() {
+        if in_ranges(&tests, i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident && t.text == "duration_since" {
+            diags.push(Diagnostic {
+                rule: Rule::Time,
+                file: file.to_string(),
+                line: t.line,
+                message: "`duration_since` breaks the saturating-time convention; use \
+                          `saturating_duration_since` (Instant) or `saturating_since` (SimTime)"
+                    .to_string(),
+            });
+            continue;
+        }
+        if t.is_punct("-") && is_binary_minus(tokens, i) {
+            let lhs = lhs_operand_name(tokens, i);
+            let rhs = rhs_operand_name(tokens, i);
+            let offender = [lhs.as_deref(), rhs.as_deref()]
+                .into_iter()
+                .flatten()
+                .find(|n| is_time_name(n));
+            if let Some(name) = offender {
+                diags.push(Diagnostic {
+                    rule: Rule::Time,
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "raw `-` on time-named operand `{name}` can underflow-panic when event \
+                         order is data-dependent; use saturating_since/saturating_duration_since \
+                         (or justify with `// lint: allow(time) — <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Whether the `-` at `i` is a binary subtraction (not negation): the
+/// previous token must be able to end an expression.
+fn is_binary_minus(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| tokens.get(j)) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident => {
+            // Keywords that *precede* an expression mean the minus is a
+            // negation: `return -x`, `match -x`, …
+            !matches!(
+                prev.text.as_str(),
+                "return" | "match" | "if" | "while" | "in" | "as" | "else" | "break"
+            )
+        }
+        TokKind::Number | TokKind::Literal => true,
+        TokKind::Punct => prev.text == ")" || prev.text == "]" || prev.text == "?",
+        TokKind::Lifetime => false,
+    }
+}
+
+/// Trailing identifier of the expression ending just before token `i`
+/// (e.g. `head.deadline` → `deadline`, `f(x)` → `f`).
+fn lhs_operand_name(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i.checked_sub(1)?;
+    // Skip one balanced `(...)` / `[...]` group so `f(inner) - x`
+    // resolves to `f`, not `inner`.
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct(")") || t.is_punct("]") {
+            let open = if t.text == ")" { "(" } else { "[" };
+            let close = t.text.clone();
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct(&close) {
+                    depth += 1;
+                } else if t.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if t.is_punct("?") {
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        return if t.kind == TokKind::Ident {
+            Some(t.text.clone())
+        } else {
+            None
+        };
+    }
+}
+
+/// Leading identifier of the expression starting after token `i`
+/// (e.g. `- self.granted_at` → `granted_at` is *not* what we see first;
+/// we take the first non-`self` identifier of the chain).
+fn rhs_operand_name(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    // Skip prefix punctuation: `(`, `&`, `*`.
+    while tokens
+        .get(j)
+        .is_some_and(|t| t.is_punct("(") || t.is_punct("&") || t.is_punct("*"))
+    {
+        j += 1;
+    }
+    let mut last: Option<String> = None;
+    // Walk the field chain `self.x.y` up to a call/operator boundary,
+    // keeping the last plain identifier.
+    loop {
+        let t = tokens.get(j)?;
+        if t.kind == TokKind::Ident {
+            if t.text != "self" {
+                last = Some(t.text.clone());
+            }
+            j += 1;
+            if tokens.get(j).is_some_and(|n| n.is_punct(".")) {
+                j += 1;
+                continue;
+            }
+        }
+        return last;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn flags_duration_since_and_raw_subtraction() {
+        let src = "fn f() { let w = head.deadline - now; let d = a.duration_since(b); }\n";
+        let diags = check("f.rs", &lex(src));
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == Rule::Time));
+    }
+
+    #[test]
+    fn saturating_variants_and_plain_math_pass() {
+        let src = "fn f() { let a = now.saturating_since(t0); \
+                   let b = x.saturating_duration_since(y); let c = hi - lo; let d = -5; }\n";
+        assert!(check("f.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn negation_is_not_subtraction() {
+        let src = "fn f() { let a = -now_value(); return -1; }\n";
+        assert!(check("f.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn field_chains_resolve() {
+        let diags = check("f.rs", &lex("fn f() { let w = x - self.granted_at; }\n"));
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("granted_at"));
+    }
+
+    #[test]
+    fn call_results_use_the_callee_name() {
+        // `recorded(x) - started(y)`: callee names, not call arguments.
+        let diags = check("f.rs", &lex("fn f() { let d = total(now_ms) - len; }\n"));
+        // `total` and `len` are not time names; the argument `now_ms`
+        // must not leak out of the parens.
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

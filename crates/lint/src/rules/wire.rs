@@ -1,0 +1,435 @@
+//! Rule `wire-frame`: every `CoherenceMsg` frame must exist end-to-end.
+//!
+//! A frame that exists in the enum but is missing an encode arm, a
+//! decode arm, proptest coverage, a docs mention, or a trace story is
+//! drift waiting to ship: it compiles today and corrupts a peer (or
+//! silently vanishes from the flight recorder) the first time someone
+//! sends it. This rule parses the enum out of `core/src/messages.rs`
+//! and cross-checks five surfaces:
+//!
+//! 1. encode arm with a literal tag byte (`buf.put_u8(N)`);
+//! 2. decode arm mapping the *same* tag back (`N => Ok(CoherenceMsg::…)`);
+//! 3. an arm in the wire proptest (`core/tests/proptest_messages.rs`);
+//! 4. a mention in `docs/ARCHITECTURE.md`;
+//! 5. an entry in `crates/lint/frame_trace.toml` naming the
+//!    `ProtocolEvent` kinds that record the frame's effect (each kind
+//!    verified to exist as a string in `core/src/trace.rs`), or an
+//!    explicit exemption with a reason.
+
+use std::collections::BTreeMap;
+
+use crate::config::Doc;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Lexed, TokKind, Token};
+
+const ENUM_NAME: &str = "CoherenceMsg";
+
+/// Everything the cross-check needs, already loaded.
+pub struct WireInputs<'a> {
+    pub messages: &'a Lexed,
+    pub messages_path: &'a str,
+    pub proptest: &'a Lexed,
+    pub proptest_path: &'a str,
+    pub trace_src: &'a str,
+    pub trace_path: &'a str,
+    pub arch_src: &'a str,
+    pub arch_path: &'a str,
+    pub frame_cfg: &'a Doc,
+    pub frame_cfg_path: &'a str,
+}
+
+pub fn check(inputs: &WireInputs) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let variants = enum_variants(&inputs.messages.tokens);
+    if variants.is_empty() {
+        diags.push(Diagnostic {
+            rule: Rule::WireFrame,
+            file: inputs.messages_path.to_string(),
+            line: 0,
+            message: format!(
+                "could not find `enum {ENUM_NAME}` — the wire rule has nothing to check"
+            ),
+        });
+        return diags;
+    }
+
+    let encode_tags = encode_tags(&inputs.messages.tokens);
+    let decode_tags = decode_tags(&inputs.messages.tokens);
+    let prop_mentions = path_mentions(&inputs.proptest.tokens);
+
+    let frames = inputs.frame_cfg.section_arrays("frames");
+    let exempt = inputs.frame_cfg.section_strings("exempt");
+
+    for (variant, line) in &variants {
+        let push = |diags: &mut Vec<Diagnostic>, file: &str, line: u32, message: String| {
+            diags.push(Diagnostic {
+                rule: Rule::WireFrame,
+                file: file.to_string(),
+                line,
+                message,
+            });
+        };
+        match (encode_tags.get(variant), decode_tags.get(variant)) {
+            (None, _) => push(
+                &mut diags,
+                inputs.messages_path,
+                *line,
+                format!("frame `{variant}` has no encode arm with a literal tag byte"),
+            ),
+            (_, None) => push(
+                &mut diags,
+                inputs.messages_path,
+                *line,
+                format!(
+                    "frame `{variant}` has no decode arm (`N => Ok({ENUM_NAME}::{variant} …)`)"
+                ),
+            ),
+            (Some(e), Some(d)) if e != d => push(
+                &mut diags,
+                inputs.messages_path,
+                *line,
+                format!(
+                    "frame `{variant}` encodes tag {e} but decodes tag {d} — round-trips corrupt"
+                ),
+            ),
+            _ => {}
+        }
+        if !prop_mentions.contains(variant.as_str()) {
+            push(
+                &mut diags,
+                inputs.proptest_path,
+                0,
+                format!(
+                    "frame `{variant}` is not exercised by the wire proptest — add an \
+                     `arb_msg` arm so round-trip/garbage/truncation properties cover it"
+                ),
+            );
+        }
+        if !mentions_word(inputs.arch_src, variant) {
+            push(
+                &mut diags,
+                inputs.arch_path,
+                0,
+                format!("frame `{variant}` is not mentioned in ARCHITECTURE.md — document it in the frame catalogue"),
+            );
+        }
+        match (frames.get(variant), exempt.get(variant)) {
+            (Some(kinds), _) => {
+                if kinds.is_empty() {
+                    push(
+                        &mut diags,
+                        inputs.frame_cfg_path,
+                        0,
+                        format!("frame `{variant}` maps to an empty event list — name the kinds or move it to [exempt]"),
+                    );
+                }
+                for kind in kinds {
+                    if !inputs.trace_src.contains(&format!("\"{kind}\"")) {
+                        push(
+                            &mut diags,
+                            inputs.trace_path,
+                            0,
+                            format!(
+                                "frame `{variant}` claims trace event kind `{kind}`, but no such \
+                                 kind string exists in trace.rs — the trace story has drifted"
+                            ),
+                        );
+                    }
+                }
+            }
+            (None, Some(reason)) => {
+                if reason.trim().is_empty() {
+                    push(
+                        &mut diags,
+                        inputs.frame_cfg_path,
+                        0,
+                        format!(
+                            "frame `{variant}` is exempt from the trace check without a reason"
+                        ),
+                    );
+                }
+            }
+            (None, None) => push(
+                &mut diags,
+                inputs.frame_cfg_path,
+                0,
+                format!(
+                    "frame `{variant}` has no trace story: map it to ProtocolEvent kinds under \
+                     [frames] in frame_trace.toml, or exempt it with a reason under [exempt]"
+                ),
+            ),
+        }
+    }
+
+    // Reverse direction: config entries for frames that no longer exist.
+    let names: Vec<&str> = variants.iter().map(|(v, _)| v.as_str()).collect();
+    for stale in frames.keys().chain(exempt.keys()) {
+        if !names.contains(&stale.as_str()) {
+            diags.push(Diagnostic {
+                rule: Rule::WireFrame,
+                file: inputs.frame_cfg_path.to_string(),
+                line: 0,
+                message: format!("frame_trace.toml names `{stale}`, which is not a {ENUM_NAME} variant — remove the stale entry"),
+            });
+        }
+    }
+
+    // Duplicate tags corrupt decode regardless of per-variant pairing.
+    let mut by_tag: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    for (v, tag) in &encode_tags {
+        by_tag.entry(*tag).or_default().push(v);
+    }
+    for (tag, vs) in by_tag {
+        if vs.len() > 1 {
+            diags.push(Diagnostic {
+                rule: Rule::WireFrame,
+                file: inputs.messages_path.to_string(),
+                line: 0,
+                message: format!("tag byte {tag} is encoded by multiple frames: {vs:?}"),
+            });
+        }
+    }
+    diags
+}
+
+/// `(variant name, line)` pairs of `enum CoherenceMsg`.
+fn enum_variants(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens.get(i + 1).is_some_and(|t| t.is_ident(ENUM_NAME)) {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            let end = crate::scan::matching_brace(tokens, j);
+            let mut k = j + 1;
+            while k < end.saturating_sub(1) {
+                if tokens[k].is_punct("#") {
+                    k = crate::scan::skip_attribute(tokens, k);
+                    continue;
+                }
+                if tokens[k].kind == TokKind::Ident {
+                    out.push((tokens[k].text.clone(), tokens[k].line));
+                    // Skip the variant payload to the next top-level comma.
+                    let mut depth = 0i32;
+                    k += 1;
+                    while k < end {
+                        let t = &tokens[k];
+                        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                            depth += 1;
+                        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                            depth -= 1;
+                        } else if t.is_punct(",") && depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    continue;
+                }
+                k += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// variant → literal tag byte from encode arms: the first
+/// `put_u8(<number>)` after a `CoherenceMsg::Variant` path.
+fn encode_tags(tokens: &[Token]) -> BTreeMap<String, u64> {
+    let mut tags = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("::") && i > 0 && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            // Any path resets the attribution; only CoherenceMsg paths
+            // set a variant (other enums' encode arms must not inherit).
+            current = if tokens[i - 1].is_ident(ENUM_NAME) {
+                Some(tokens[i + 1].text.clone())
+            } else {
+                None
+            };
+        }
+        if t.is_ident("put_u8")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::Number)
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            if let (Some(v), Ok(tag)) = (current.take(), tokens[i + 2].text.parse::<u64>()) {
+                tags.entry(v).or_insert(tag);
+            }
+        }
+    }
+    tags
+}
+
+/// variant → tag from decode arms: `N => Ok(CoherenceMsg::Variant`.
+fn decode_tags(tokens: &[Token]) -> BTreeMap<String, u64> {
+    let mut tags = BTreeMap::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind == TokKind::Number
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("=>"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("Ok"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident(ENUM_NAME))
+            && tokens.get(i + 5).is_some_and(|t| t.is_punct("::"))
+            && tokens.get(i + 6).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            if let Ok(tag) = tokens[i].text.parse::<u64>() {
+                tags.entry(tokens[i + 6].text.clone()).or_insert(tag);
+            }
+        }
+    }
+    tags
+}
+
+/// Variant names referenced as `CoherenceMsg::X` anywhere in the stream.
+fn path_mentions(tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut set = std::collections::BTreeSet::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident(ENUM_NAME)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            set.insert(tokens[i + 2].text.clone());
+        }
+    }
+    set
+}
+
+/// Word-boundary containment: `word` appears in `text` not embedded in a
+/// longer identifier (so `Update` does not satisfy `UpdateBatch`).
+fn mentions_word(text: &str, word: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0
+            || !text[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = end == text.len()
+            || !text[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const MESSAGES: &str = r#"
+pub enum CoherenceMsg {
+    Ping { n: u64 },
+    Pong { n: u64 },
+}
+impl Wire for CoherenceMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            CoherenceMsg::Ping { n } => { buf.put_u8(0); n.encode(buf); }
+            CoherenceMsg::Pong { n } => { buf.put_u8(1); n.encode(buf); }
+        }
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        match buf.get_u8() {
+            0 => Ok(CoherenceMsg::Ping { n: u64::decode(buf)? }),
+            1 => Ok(CoherenceMsg::Pong { n: u64::decode(buf)? }),
+            other => Err(WireError::UnknownTag { tag: other }),
+        }
+    }
+}
+"#;
+
+    fn run(messages: &str, proptest: &str, trace: &str, arch: &str, cfg: &str) -> Vec<Diagnostic> {
+        let m = lex(messages);
+        let p = lex(proptest);
+        let doc = Doc::parse(cfg).expect("config");
+        check(&WireInputs {
+            messages: &m,
+            messages_path: "messages.rs",
+            proptest: &p,
+            proptest_path: "prop.rs",
+            trace_src: trace,
+            trace_path: "trace.rs",
+            arch_src: arch,
+            arch_path: "ARCH.md",
+            frame_cfg: &doc,
+            frame_cfg_path: "frame_trace.toml",
+        })
+    }
+
+    const GOOD_CFG: &str =
+        "[frames]\nPing = [\"ping_seen\"]\n[exempt]\nPong = \"liveness only, no state effect\"\n";
+
+    #[test]
+    fn fully_covered_enum_passes() {
+        let diags = run(
+            MESSAGES,
+            "fn arb() { CoherenceMsg::Ping { n }; CoherenceMsg::Pong { n }; }",
+            "fn kind() { \"ping_seen\" }",
+            "`Ping` and `Pong` frames.",
+            GOOD_CFG,
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn missing_surfaces_each_fire() {
+        let diags = run(
+            MESSAGES,
+            "fn arb() { CoherenceMsg::Ping { n }; }",
+            "fn kind() { \"other\" }",
+            "Only Ping here.",
+            "[frames]\nPing = [\"ping_seen\"]\n",
+        );
+        // Pong: no proptest, no docs, no trace story; Ping: kind missing.
+        assert_eq!(diags.len(), 4, "got: {diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::WireFrame));
+    }
+
+    #[test]
+    fn tag_mismatch_fires() {
+        let bad = MESSAGES.replace("1 => Ok(CoherenceMsg::Pong", "9 => Ok(CoherenceMsg::Pong");
+        let diags = run(
+            &bad,
+            "fn arb() { CoherenceMsg::Ping { n }; CoherenceMsg::Pong { n }; }",
+            "fn kind() { \"ping_seen\" }",
+            "`Ping` and `Pong` frames.",
+            GOOD_CFG,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("encodes tag 1 but decodes tag 9"));
+    }
+
+    #[test]
+    fn stale_config_entry_fires() {
+        let diags = run(
+            MESSAGES,
+            "fn arb() { CoherenceMsg::Ping { n }; CoherenceMsg::Pong { n }; }",
+            "fn kind() { \"ping_seen\" }",
+            "`Ping` and `Pong` frames.",
+            "[frames]\nPing = [\"ping_seen\"]\nGone = [\"x\"]\n[exempt]\nPong = \"liveness only\"\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("Gone"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(mentions_word("the `Update` frame", "Update"));
+        assert!(!mentions_word("only UpdateBatch here", "Update"));
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: panic-rule violations at pinned lines. Not compiled — lexed
+// by tests/fixtures.rs, which asserts the exact file/line/rule of every
+// finding (update the assertions if you renumber lines here).
+
+fn hot_path(frame: Option<u32>) -> u32 {
+    let value = frame.unwrap(); // line 6: method-position unwrap
+    if value > 7 {
+        panic!("protocol violation"); // line 8: abort macro
+    }
+    value
+}
+
+fn justified(frame: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture: reason present, finding suppressed
+    frame.expect("stays suppressed")
+}
+
+fn bare_allow(frame: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    frame.expect("line 20: bare allow suppresses nothing and is itself flagged")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = None::<u32>.unwrap_or_else(|| panic!("fine in tests"));
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: time-rule violations at pinned lines (raw subtraction on
+// time-named operands and a duration_since call). Lexed, not compiled.
+
+fn lease_wait(now: SimTime, deadline: SimTime) -> Duration {
+    let remaining = deadline - now; // line 5: raw SimTime subtraction
+    remaining
+}
+
+fn heartbeat_age(now: Instant, heard_at: Instant) -> Duration {
+    now.duration_since(heard_at) // line 10: non-saturating API
+}
+
+fn fine(now: SimTime, granted_at: SimTime, hi: u64, lo: u64) -> u64 {
+    let _ = now.saturating_since(granted_at);
+    hi - lo // plain integer math: not time-named, no finding
+}

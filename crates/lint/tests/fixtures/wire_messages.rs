@@ -1,0 +1,43 @@
+// Fixture: a miniature CoherenceMsg with seeded wire-frame drift, fed
+// to the wire rule by tests/fixtures.rs together with fixture proptest,
+// trace, docs, and frame_trace inputs. Seeded defects:
+//   - `Orphan` (tag 2) has an encode arm but NO decode arm;
+//   - `Skewed` encodes tag 3 but decodes tag 9.
+
+pub enum CoherenceMsg {
+    Ping { n: u64 },
+    Pong { n: u64 },
+    Orphan { n: u64 },
+    Skewed { n: u64 },
+}
+
+impl Wire for CoherenceMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            CoherenceMsg::Ping { n } => {
+                buf.put_u8(0);
+                n.encode(buf);
+            }
+            CoherenceMsg::Pong { n } => {
+                buf.put_u8(1);
+                n.encode(buf);
+            }
+            CoherenceMsg::Orphan { n } => {
+                buf.put_u8(2);
+                n.encode(buf);
+            }
+            CoherenceMsg::Skewed { n } => {
+                buf.put_u8(3);
+                n.encode(buf);
+            }
+        }
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        match buf.get_u8() {
+            0 => Ok(CoherenceMsg::Ping { n: u64::decode(buf)? }),
+            1 => Ok(CoherenceMsg::Pong { n: u64::decode(buf)? }),
+            9 => Ok(CoherenceMsg::Skewed { n: u64::decode(buf)? }),
+            other => Err(WireError::UnknownTag { tag: other }),
+        }
+    }
+}

@@ -104,10 +104,15 @@ impl Sub<SimTime> for SimTime {
     ///
     /// Panics if `rhs` is later than `self`; use
     /// [`SimTime::saturating_since`] when order is uncertain.
+    // Documented contract (see above): the panicking form is for test
+    // assertions where underflow is a bug; protocol code must use
+    // `saturating_since`, which globe-lint's time rule enforces.
+    #[allow(clippy::expect_used)]
     fn sub(self, rhs: SimTime) -> Duration {
         Duration::from_nanos(
             self.0
                 .checked_sub(rhs.0)
+                // lint: allow(panic) — documented contract: panicking Sub is the test-assertion form; protocol code uses saturating_since (enforced by the time rule)
                 .expect("SimTime subtraction underflow"),
         )
     }

@@ -172,14 +172,15 @@ impl WallTimer {
             let now = Instant::now();
             if let Some(head) = heap.peek() {
                 if head.deadline <= now {
-                    let entry = heap.pop().expect("peeked entry must pop");
-                    let skip = self.cancelled.lock().remove(&entry.id);
-                    if !skip {
-                        (entry.deliver)();
+                    if let Some(entry) = heap.pop() {
+                        let skip = self.cancelled.lock().remove(&entry.id);
+                        if !skip {
+                            (entry.deliver)();
+                        }
                     }
                     continue;
                 }
-                let wait = head.deadline - now;
+                let wait = head.deadline.saturating_duration_since(now);
                 self.cond.wait_for(&mut heap, wait);
             } else {
                 self.cond.wait_for(&mut heap, Duration::from_millis(100));
